@@ -1,0 +1,150 @@
+// Command achilles-bench regenerates the tables and figures of the
+// Achilles paper's evaluation (Sec. 5) on the deterministic simulator.
+//
+// Usage:
+//
+//	achilles-bench -all                # every experiment, full windows
+//	achilles-bench -fig 3ab            # Fig. 3a/3b (WAN fault sweep)
+//	achilles-bench -fig 4              # Fig. 4 (latency vs throughput)
+//	achilles-bench -fig 5              # Fig. 5 (counter-latency sweep)
+//	achilles-bench -table 1            # Table 1 ... -table 4
+//	achilles-bench -quick -all         # short measurement windows
+//
+// Output is the same rows/series the paper reports: one line per data
+// point with protocol, parameters, throughput (K TPS) and latency (ms).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"achilles/internal/harness"
+	"achilles/internal/sim"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 3ab|3cd|3ef|3gh|3ij|3kl|4|5")
+		table  = flag.Int("table", 0, "table to regenerate: 1|2|3|4")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "short measurement windows")
+		faults = flag.String("faults", "1,2,4,10,20,30", "comma-separated f values for Fig. 3a-3d")
+	)
+	flag.Parse()
+
+	d := harness.StandardDurations()
+	if *quick {
+		d = harness.QuickDurations()
+	}
+	fs, err := parseInts(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "achilles-bench: bad -faults: %v\n", err)
+		os.Exit(2)
+	}
+
+	ran := false
+	runFig := func(name string) {
+		ran = true
+		switch name {
+		case "3ab":
+			harness.PrintRows(os.Stdout, "Fig. 3a/3b — WAN, batch 400, payload 256 B, varying f", harness.Fig3Faults(sim.WANModel(), fs, d))
+		case "3cd":
+			harness.PrintRows(os.Stdout, "Fig. 3c/3d — LAN, batch 400, payload 256 B, varying f", harness.Fig3Faults(sim.LANModel(), fs, d))
+		case "3ef":
+			harness.PrintRows(os.Stdout, "Fig. 3e/3f — WAN, f=10, batch 400, varying payload", harness.Fig3Payload(sim.WANModel(), []int{0, 256, 512}, d))
+		case "3gh":
+			harness.PrintRows(os.Stdout, "Fig. 3g/3h — LAN, f=10, batch 400, varying payload", harness.Fig3Payload(sim.LANModel(), []int{0, 256, 512}, d))
+		case "3ij":
+			harness.PrintRows(os.Stdout, "Fig. 3i/3j — WAN, f=10, payload 256 B, varying batch", harness.Fig3Batch(sim.WANModel(), []int{200, 400, 600}, d))
+		case "3kl":
+			harness.PrintRows(os.Stdout, "Fig. 3k/3l — LAN, f=10, payload 256 B, varying batch", harness.Fig3Batch(sim.LANModel(), []int{200, 400, 600}, d))
+		case "4":
+			offered := []float64{1000, 2000, 4000, 8000, 16000, 32000, 64000}
+			fmt.Println("== Fig. 4 — LAN, f=10: e2e latency vs achieved throughput under increasing offered load ==")
+			for _, p := range []harness.ProtocolKind{harness.Achilles, harness.DamysusR, harness.FlexiBFT, harness.OneShotR} {
+				for _, r := range harness.Fig4LoadSweep(p, offered, d) {
+					fmt.Println(r)
+				}
+			}
+		case "5":
+			harness.PrintRows(os.Stdout, "Fig. 5 — LAN, f=10: baselines vs counter write latency", harness.Fig5CounterSweep([]int{0, 10, 20, 40, 80}, d))
+		default:
+			fmt.Fprintf(os.Stderr, "achilles-bench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+	runTable := func(n int) {
+		ran = true
+		switch n {
+		case 1:
+			fmt.Println("== Table 1 — protocol comparison (static design + measured message complexity) ==")
+			for _, r := range harness.Table1(d) {
+				fmt.Printf("%-10s threshold=%-5s rollbackRes=%-5v counters=%-7s complexity=%-6s steps=%-7s replyRes=%-5v msgs/block@f=2: %6.1f  @f=4: %6.1f\n",
+					r.Protocol, r.Threshold, r.RollbackRes, r.Counters, r.Complexity, r.Steps, r.ReplyRes, r.MsgsAtF2, r.MsgsAtF4)
+			}
+		case 2:
+			fmt.Println("== Table 2 — recovery overhead breakdown in LAN ==")
+			rows := harness.Table2Recovery([]int{3, 5, 9, 21, 41, 61}, d)
+			fmt.Printf("%-16s", "Nodes")
+			for _, r := range rows {
+				fmt.Printf("%8d", r.Nodes)
+			}
+			fmt.Printf("\n%-16s", "Initialization")
+			for _, r := range rows {
+				fmt.Printf("%8.2f", r.InitMS)
+			}
+			fmt.Printf("\n%-16s", "Recovery")
+			for _, r := range rows {
+				fmt.Printf("%8.2f", r.RecoveryMS)
+			}
+			fmt.Printf("\n%-16s", "Total")
+			for _, r := range rows {
+				fmt.Printf("%8.2f", r.TotalMS)
+			}
+			fmt.Println()
+		case 3:
+			harness.PrintRows(os.Stdout, "Table 3 — overhead profiling in LAN (Achilles vs Achilles-C vs BRaft)", harness.Table3Overhead([]int{2, 4, 10}, d))
+		case 4:
+			fmt.Println("== Table 4 — persistent counter write/read latency (ms) ==")
+			for _, r := range harness.Table4Counters() {
+				fmt.Printf("%-14s write=%6.1f read=%6.1f\n", r.Name, r.WriteMS, r.ReadMS)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "achilles-bench: unknown table %d\n", n)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, f := range []string{"3ab", "3cd", "3ef", "3gh", "3ij", "3kl", "4", "5"} {
+			runFig(f)
+		}
+		for _, t := range []int{1, 2, 3, 4} {
+			runTable(t)
+		}
+	case *fig != "":
+		runFig(strings.ToLower(*fig))
+	case *table != 0:
+		runTable(*table)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+// Command achilles-client drives a live Achilles cluster with an
+// open-loop workload and reports end-to-end latency (transaction
+// creation to certified commit reply).
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"achilles/internal/client"
+	"achilles/internal/core"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+)
+
+func main() {
+	var (
+		idx       = flag.Int("client", 0, "client index")
+		peersFlag = flag.String("peers", "0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002", "peer list id=host:port,...")
+		rate      = flag.Float64("rate", 1000, "offered transactions per second")
+		payload   = flag.Int("payload", 256, "payload bytes per transaction")
+		duration  = flag.Duration("duration", 30*time.Second, "run duration")
+	)
+	flag.Parse()
+
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("achilles-client: %v", err)
+	}
+	transport.RegisterMessages(
+		&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
+		&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
+	)
+
+	self := types.ClientIDBase + types.NodeID(*idx)
+	cl := client.New(client.Config{
+		Self:        self,
+		Nodes:       len(peers),
+		F:           (len(peers) - 1) / 2,
+		Rate:        *rate,
+		PayloadSize: *payload,
+	})
+	rt := transport.New(transport.Config{Self: self, Peers: peers}, cl)
+	if err := rt.Start(); err != nil {
+		log.Fatalf("achilles-client: %v", err)
+	}
+	defer rt.Stop()
+	log.Printf("client %v offering %.0f tx/s to %d nodes", self, *rate, len(peers))
+
+	deadline := time.After(*duration)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	var last uint64
+	for {
+		select {
+		case <-tick.C:
+			done := cl.Completed()
+			log.Printf("confirmed/s=%d total=%d mean-latency=%v in-flight=%d",
+				done-last, done, cl.MeanLatency(), cl.InFlight())
+			last = done
+		case <-deadline:
+			log.Printf("done: confirmed=%d mean-latency=%v max-latency=%v",
+				cl.Completed(), cl.MeanLatency(), cl.MaxLatency())
+			return
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command achilles-node runs one Achilles consensus node over real TCP.
+//
+// A three-node local cluster:
+//
+//	achilles-node -id 0 -peers "0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002" &
+//	achilles-node -id 1 -peers "0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002" &
+//	achilles-node -id 2 -peers "0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002" &
+//	achilles-client -peers "..." -rate 1000
+//
+// Keys are derived deterministically from -seed for all peers, which
+// stands in for the remote-attestation-based PKI of the real system
+// (Sec. 4.5); every node must use the same -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/protocol"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "node id (0..n-1)")
+		peersFlag = flag.String("peers", "0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002", "peer list id=host:port,...")
+		batch     = flag.Int("batch", 400, "transactions per block")
+		payload   = flag.Int("payload", 256, "payload bytes per synthetic transaction")
+		seed      = flag.Int64("seed", 1, "deterministic key seed (same on all nodes)")
+		timeout   = flag.Duration("timeout", 500*time.Millisecond, "base view timeout")
+		synthetic = flag.Bool("synthetic", false, "saturate blocks with generated transactions")
+		recover_  = flag.Bool("recover", false, "start in recovery mode (after a reboot)")
+		verbose   = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("achilles-node: %v", err)
+	}
+	n := len(peers)
+	self := types.NodeID(*id)
+	listen, ok := peers[self]
+	if !ok {
+		log.Fatalf("achilles-node: id %d not in peer list", *id)
+	}
+
+	transport.RegisterMessages(
+		&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
+		&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
+	)
+
+	scheme := crypto.ECDSAScheme{}
+	ring := crypto.NewKeyRing()
+	var priv crypto.PrivateKey
+	for i := 0; i < n; i++ {
+		p, pub := scheme.KeyPair(*seed, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		if types.NodeID(i) == self {
+			priv = p
+		}
+	}
+
+	var secret [32]byte
+	secret[0] = byte(self)
+	rep := core.New(core.Config{
+		Config: protocol.Config{
+			Self: self, N: n, F: (n - 1) / 2,
+			BatchSize: *batch, PayloadSize: *payload,
+			BaseTimeout: *timeout, Seed: *seed,
+		},
+		Scheme:            scheme,
+		Ring:              ring,
+		Priv:              priv,
+		MachineSecret:     secret,
+		Recovering:        *recover_,
+		SyntheticWorkload: *synthetic,
+	})
+
+	var committed, txs atomic.Uint64
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { log.Printf("[p%d] %s", *id, fmt.Sprintf(format, args...)) }
+	}
+	rt := transport.New(transport.Config{
+		Self:   self,
+		Listen: listen,
+		Peers:  peers,
+		Logf:   logf,
+		OnCommit: func(b *types.Block, _ *types.CommitCert) {
+			committed.Add(1)
+			txs.Add(uint64(len(b.Txs)))
+		},
+	}, rep)
+	if err := rt.Start(); err != nil {
+		log.Fatalf("achilles-node: %v", err)
+	}
+	log.Printf("achilles-node %d listening on %s (n=%d f=%d)", *id, listen, n, (n-1)/2)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	var lastTxs uint64
+	for {
+		select {
+		case <-tick.C:
+			cur := txs.Load()
+			log.Printf("height=%d committed-tx/s=%d total-tx=%d", committed.Load(), cur-lastTxs, cur)
+			lastTxs = cur
+		case <-sig:
+			log.Printf("shutting down")
+			rt.Stop()
+			return
+		}
+	}
+}

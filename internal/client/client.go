@@ -1,0 +1,174 @@
+// Package client implements the workload clients of the paper's
+// evaluation: open-loop generators that submit transactions at a fixed
+// offered rate and measure end-to-end latency — the time from creating
+// a transaction to receiving a (verifiable) commit reply (Sec. 5.1).
+//
+// Clients run as simulator nodes, so the client↔node communication
+// steps are part of measured latency exactly as in the paper's
+// end-to-end numbers (Fig. 4).
+package client
+
+import (
+	"time"
+
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// Self is the client's identity (>= types.ClientIDBase).
+	Self types.NodeID
+	// Nodes is the number of consensus nodes; requests go to all of
+	// them (the standard BFT client pattern) and replies are counted
+	// per transaction.
+	Nodes int
+	// F is the fault threshold: uncertified replies need f+1 matching
+	// copies, certified replies just one (reply responsiveness,
+	// Sec. 6.1).
+	F int
+	// Rate is the offered load in transactions per second.
+	Rate float64
+	// PayloadSize is the per-transaction payload in bytes.
+	PayloadSize int
+	// Tick is the submission granularity; zero defaults to 5 ms.
+	Tick time.Duration
+	// MaxInFlight caps outstanding transactions (0 = unlimited); an
+	// open-loop client keeps submitting regardless, which is what
+	// saturates the system in Fig. 4.
+	MaxInFlight int
+}
+
+// Client is an open-loop workload generator.
+type Client struct {
+	cfg Config
+	env protocol.Env
+
+	payload []byte
+	seq     uint32
+	carry   float64
+
+	created map[uint32]types.Time
+	acks    map[uint32]int
+
+	completed uint64
+	totalLat  time.Duration
+	maxLat    time.Duration
+}
+
+// New creates a client.
+func New(cfg Config) *Client {
+	if cfg.Tick == 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	c := &Client{
+		cfg:     cfg,
+		payload: make([]byte, cfg.PayloadSize),
+		created: make(map[uint32]types.Time),
+		acks:    make(map[uint32]int),
+	}
+	for i := range c.payload {
+		c.payload[i] = byte(i * 7)
+	}
+	return c
+}
+
+// Init implements protocol.Replica.
+func (c *Client) Init(env protocol.Env) {
+	c.env = env
+	c.armTick()
+}
+
+func (c *Client) armTick() {
+	c.env.SetTimer(c.cfg.Tick, types.TimerID{Kind: types.TimerClientTick})
+}
+
+// OnTimer implements protocol.Replica.
+func (c *Client) OnTimer(id types.TimerID) {
+	if id.Kind != types.TimerClientTick {
+		return
+	}
+	c.armTick()
+	c.carry += c.cfg.Rate * c.cfg.Tick.Seconds()
+	n := int(c.carry)
+	if n <= 0 {
+		return
+	}
+	c.carry -= float64(n)
+	if c.cfg.MaxInFlight > 0 && len(c.created) >= c.cfg.MaxInFlight {
+		return
+	}
+	now := c.env.Now()
+	txs := make([]types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		c.seq++
+		txs = append(txs, types.Transaction{
+			Client:  c.cfg.Self,
+			Seq:     c.seq,
+			Payload: c.payload,
+			Created: now,
+		})
+		c.created[c.seq] = now
+	}
+	c.env.Broadcast(&types.ClientRequest{Txs: txs})
+}
+
+// OnMessage implements protocol.Replica.
+func (c *Client) OnMessage(from types.NodeID, msg types.Message) {
+	m, ok := msg.(*types.ClientReply)
+	if !ok {
+		return
+	}
+	need := 1
+	if !m.Certified {
+		need = c.cfg.F + 1
+	}
+	now := c.env.Now()
+	for _, k := range m.TxKeys {
+		if k.Client != c.cfg.Self {
+			continue
+		}
+		start, pending := c.created[k.Seq]
+		if !pending {
+			continue
+		}
+		c.acks[k.Seq]++
+		if c.acks[k.Seq] < need {
+			continue
+		}
+		delete(c.created, k.Seq)
+		delete(c.acks, k.Seq)
+		lat := now - start
+		c.completed++
+		c.totalLat += lat
+		if lat > c.maxLat {
+			c.maxLat = lat
+		}
+	}
+}
+
+// Completed returns the number of confirmed transactions.
+func (c *Client) Completed() uint64 { return c.completed }
+
+// MeanLatency returns the mean end-to-end latency of confirmed
+// transactions.
+func (c *Client) MeanLatency() time.Duration {
+	if c.completed == 0 {
+		return 0
+	}
+	return c.totalLat / time.Duration(c.completed)
+}
+
+// MaxLatency returns the largest observed end-to-end latency.
+func (c *Client) MaxLatency() time.Duration { return c.maxLat }
+
+// InFlight returns the number of unconfirmed transactions.
+func (c *Client) InFlight() int { return len(c.created) }
+
+// ResetStats clears latency/throughput accounting (e.g. after warmup)
+// while keeping in-flight state.
+func (c *Client) ResetStats() {
+	c.completed = 0
+	c.totalLat = 0
+	c.maxLat = 0
+}

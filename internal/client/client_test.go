@@ -1,0 +1,146 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/protocol/protocoltest"
+	"achilles/internal/types"
+)
+
+func newClient(rate float64, f int) (*Client, *protocoltest.Env) {
+	c := New(Config{
+		Self:        types.ClientIDBase,
+		Nodes:       5,
+		F:           f,
+		Rate:        rate,
+		PayloadSize: 16,
+		Tick:        10 * time.Millisecond,
+	})
+	env := &protocoltest.Env{}
+	c.Init(env)
+	return c, env
+}
+
+// tick fires the client's pending tick timer once.
+func tick(c *Client, env *protocoltest.Env) {
+	last := env.Timers[len(env.Timers)-1]
+	env.Advance(10 * time.Millisecond)
+	c.OnTimer(last.ID)
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	c, env := newClient(1000, 2) // 1000 tx/s, 10ms ticks → 10 tx per tick
+	var txs int
+	for i := 0; i < 10; i++ {
+		tick(c, env)
+	}
+	for _, b := range env.Broadcasts() {
+		if req, ok := b.(*types.ClientRequest); ok {
+			txs += len(req.Txs)
+		}
+	}
+	if txs != 100 {
+		t.Fatalf("offered %d txs in 100ms at 1000/s", txs)
+	}
+	if c.InFlight() != 100 {
+		t.Fatalf("in flight = %d", c.InFlight())
+	}
+}
+
+func TestFractionalRateAccumulates(t *testing.T) {
+	c, env := newClient(50, 2) // 0.5 tx per 10ms tick
+	for i := 0; i < 20; i++ {
+		tick(c, env)
+	}
+	var txs int
+	for _, b := range env.Broadcasts() {
+		if req, ok := b.(*types.ClientRequest); ok {
+			txs += len(req.Txs)
+		}
+	}
+	if txs != 10 {
+		t.Fatalf("offered %d txs in 200ms at 50/s", txs)
+	}
+}
+
+func TestCertifiedReplyConfirmsImmediately(t *testing.T) {
+	c, env := newClient(100, 2)
+	tick(c, env)
+	env.Advance(30 * time.Millisecond)
+	c.OnMessage(0, &types.ClientReply{
+		Certified: true,
+		TxKeys:    []types.TxKey{{Client: types.ClientIDBase, Seq: 1}},
+	})
+	if c.Completed() != 1 {
+		t.Fatalf("completed = %d", c.Completed())
+	}
+	if c.MeanLatency() <= 0 || c.MaxLatency() <= 0 {
+		t.Fatal("latency not recorded")
+	}
+	// A duplicate reply must not double-count.
+	c.OnMessage(1, &types.ClientReply{
+		Certified: true,
+		TxKeys:    []types.TxKey{{Client: types.ClientIDBase, Seq: 1}},
+	})
+	if c.Completed() != 1 {
+		t.Fatal("duplicate reply double-counted")
+	}
+}
+
+func TestUncertifiedRepliesNeedQuorum(t *testing.T) {
+	c, env := newClient(100, 2) // f=2 → need 3 matching replies
+	tick(c, env)
+	key := types.TxKey{Client: types.ClientIDBase, Seq: 1}
+	for i := 0; i < 2; i++ {
+		c.OnMessage(types.NodeID(i), &types.ClientReply{TxKeys: []types.TxKey{key}})
+		if c.Completed() != 0 {
+			t.Fatalf("confirmed after %d uncertified replies", i+1)
+		}
+	}
+	c.OnMessage(2, &types.ClientReply{TxKeys: []types.TxKey{key}})
+	if c.Completed() != 1 {
+		t.Fatalf("completed = %d after f+1 replies", c.Completed())
+	}
+}
+
+func TestRepliesForOtherClientsIgnored(t *testing.T) {
+	c, env := newClient(100, 2)
+	tick(c, env)
+	c.OnMessage(0, &types.ClientReply{
+		Certified: true,
+		TxKeys:    []types.TxKey{{Client: types.ClientIDBase + 9, Seq: 1}},
+	})
+	if c.Completed() != 0 {
+		t.Fatal("confirmed someone else's transaction")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c, env := newClient(100, 0)
+	tick(c, env)
+	c.OnMessage(0, &types.ClientReply{
+		Certified: true,
+		TxKeys:    []types.TxKey{{Client: types.ClientIDBase, Seq: 1}},
+	})
+	c.ResetStats()
+	if c.Completed() != 0 || c.MeanLatency() != 0 || c.MaxLatency() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMaxInFlightThrottle(t *testing.T) {
+	c := New(Config{
+		Self: types.ClientIDBase, Nodes: 3, F: 1,
+		Rate: 10000, PayloadSize: 0,
+		Tick: 10 * time.Millisecond, MaxInFlight: 50,
+	})
+	env := &protocoltest.Env{}
+	c.Init(env)
+	for i := 0; i < 10; i++ {
+		tick(c, env)
+	}
+	if c.InFlight() > 150 {
+		t.Fatalf("in flight = %d, throttle ineffective", c.InFlight())
+	}
+}

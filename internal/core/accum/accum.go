@@ -1,0 +1,83 @@
+// Package accum implements Achilles' ACCUMULATOR trusted component
+// (Sec. 4.3): a stateless trusted function that forces a new leader to
+// extend the stored block with the highest view among f+1 view
+// certificates. Unlike Damysus' accumulator, it accepts view
+// certificates for *unprepared* blocks — the extension that lets
+// Achilles drop the PREPARE phase.
+package accum
+
+import (
+	"errors"
+
+	"achilles/internal/crypto"
+	"achilles/internal/tee"
+	"achilles/internal/types"
+)
+
+// Errors returned by TEEaccum.
+var (
+	ErrTooFew        = errors.New("accum: fewer than f+1 view certificates")
+	ErrBadSignature  = errors.New("accum: invalid view certificate signature")
+	ErrDuplicate     = errors.New("accum: duplicate signer")
+	ErrViewMismatch  = errors.New("accum: view certificates for different views")
+	ErrNotHighest    = errors.New("accum: chosen certificate does not have the highest stored view")
+	ErrBestNotInList = errors.New("accum: chosen certificate not among the inputs")
+)
+
+// Accumulator is the host handle to the trusted accumulator. It holds
+// no consensus state — only keys — so nothing needs recovery after a
+// reboot (Sec. 4.3).
+type Accumulator struct {
+	enc    *tee.Enclave
+	svc    *crypto.Service
+	quorum int
+}
+
+// New creates an accumulator for the node behind svc.
+func New(enc *tee.Enclave, svc *crypto.Service, quorum int) *Accumulator {
+	return &Accumulator{enc: enc, svc: svc, quorum: quorum}
+}
+
+// TEEaccum validates f+1 view certificates for the same view and
+// asserts — by signing an accumulator certificate — that best carries
+// the highest stored-block view among them (Algorithm 2, lines 22-25).
+// The resulting certificate ⟨ACC, h, v, id⃗⟩σ authorizes exactly one
+// parent choice for the leader's proposal in view best.CurView.
+func (a *Accumulator) TEEaccum(best *types.ViewCert, all []*types.ViewCert) (*types.AccCert, error) {
+	a.enc.EnterCall()
+	if len(all) < a.quorum {
+		return nil, ErrTooFew
+	}
+	seen := make(map[types.NodeID]bool, len(all))
+	found := false
+	for _, vc := range all {
+		if seen[vc.Signer] {
+			return nil, ErrDuplicate
+		}
+		seen[vc.Signer] = true
+		if vc.CurView != best.CurView {
+			return nil, ErrViewMismatch
+		}
+		if !a.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
+			return nil, ErrBadSignature
+		}
+		if vc.PrepView > best.PrepView {
+			return nil, ErrNotHighest
+		}
+		if vc == best || (vc.Signer == best.Signer && vc.PrepView == best.PrepView && vc.PrepHash == best.PrepHash) {
+			found = true
+		}
+	}
+	if !found {
+		return nil, ErrBestNotInList
+	}
+	ids := make([]types.NodeID, 0, len(all))
+	for _, vc := range all {
+		ids = append(ids, vc.Signer)
+	}
+	sig := a.svc.Sign(types.AccCertPayload(best.PrepHash, best.PrepView, best.CurView, ids))
+	return &types.AccCert{
+		Hash: best.PrepHash, View: best.PrepView, CurView: best.CurView,
+		IDs: ids, Signer: a.svc.Self(), Sig: sig,
+	}, nil
+}

@@ -1,0 +1,156 @@
+package accum_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"achilles/internal/core/accum"
+	"achilles/internal/crypto"
+	"achilles/internal/tee"
+	"achilles/internal/types"
+)
+
+const (
+	nNodes = 5
+	quorum = 3
+)
+
+type fixture struct {
+	svcs []*crypto.Service
+	acc  *accum.Accumulator
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	scheme := crypto.FastScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, nNodes)
+	for i := 0; i < nNodes; i++ {
+		p, pub := scheme.KeyPair(1, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+	fx := &fixture{}
+	for i := 0; i < nNodes; i++ {
+		fx.svcs = append(fx.svcs, crypto.NewService(scheme, ring, privs[i], types.NodeID(i), nil, crypto.Costs{}))
+	}
+	enc := tee.New(tee.Config{Measurement: types.HashBytes([]byte("acc"))})
+	fx.acc = accum.New(enc, fx.svcs[0], quorum)
+	return fx
+}
+
+// vc builds a signed view certificate for node id.
+func (fx *fixture) vc(id types.NodeID, prepView, curView types.View, tag string) *types.ViewCert {
+	h := types.HashBytes([]byte(tag))
+	sig := fx.svcs[id].Sign(types.ViewCertPayload(h, prepView, curView))
+	return &types.ViewCert{PrepHash: h, PrepView: prepView, CurView: curView, Signer: id, Sig: sig}
+}
+
+func TestAccumHappyPath(t *testing.T) {
+	fx := newFixture(t)
+	best := fx.vc(1, 7, 10, "best")
+	all := []*types.ViewCert{best, fx.vc(2, 5, 10, "b"), fx.vc(3, 0, 10, "c")}
+	acc, err := fx.acc.TEEaccum(best, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Hash != best.PrepHash || acc.View != 7 || acc.CurView != 10 {
+		t.Fatalf("acc fields: %+v", acc)
+	}
+	if len(acc.IDs) != 3 || !crypto.DistinctIDs(acc.IDs) {
+		t.Fatalf("ids: %v", acc.IDs)
+	}
+	// The certificate verifies under the leader's key.
+	if !fx.svcs[1].Verify(0, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
+		t.Fatal("acc signature invalid")
+	}
+}
+
+func TestAccumTies(t *testing.T) {
+	// Two certificates share the highest prep view; either is a legal
+	// choice, but the chosen one must be in the list.
+	fx := newFixture(t)
+	a := fx.vc(1, 7, 10, "a")
+	b := fx.vc(2, 7, 10, "b")
+	all := []*types.ViewCert{a, b, fx.vc(3, 1, 10, "c")}
+	if _, err := fx.acc.TEEaccum(a, all); err != nil {
+		t.Fatalf("tie choice a rejected: %v", err)
+	}
+	if _, err := fx.acc.TEEaccum(b, all); err != nil {
+		t.Fatalf("tie choice b rejected: %v", err)
+	}
+}
+
+func TestAccumRejections(t *testing.T) {
+	fx := newFixture(t)
+	best := fx.vc(1, 7, 10, "best")
+
+	// Too few certificates.
+	if _, err := fx.acc.TEEaccum(best, []*types.ViewCert{best, fx.vc(2, 5, 10, "b")}); !errors.Is(err, accum.ErrTooFew) {
+		t.Fatalf("too few: %v", err)
+	}
+	// Duplicate signer.
+	dup := []*types.ViewCert{best, fx.vc(1, 5, 10, "x"), fx.vc(3, 0, 10, "c")}
+	if _, err := fx.acc.TEEaccum(best, dup); !errors.Is(err, accum.ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	// Mixed views.
+	mixed := []*types.ViewCert{best, fx.vc(2, 5, 11, "b"), fx.vc(3, 0, 10, "c")}
+	if _, err := fx.acc.TEEaccum(best, mixed); !errors.Is(err, accum.ErrViewMismatch) {
+		t.Fatalf("view mismatch: %v", err)
+	}
+	// Best does not have the highest prep view — the attack TEEaccum
+	// exists to prevent: hiding the freshest stored block.
+	low := fx.vc(2, 3, 10, "low")
+	hidden := []*types.ViewCert{low, fx.vc(3, 9, 10, "high"), fx.vc(4, 0, 10, "c")}
+	if _, err := fx.acc.TEEaccum(low, hidden); !errors.Is(err, accum.ErrNotHighest) {
+		t.Fatalf("hidden freshest block: %v", err)
+	}
+	// Best not among the inputs.
+	other := []*types.ViewCert{fx.vc(2, 5, 10, "b"), fx.vc(3, 0, 10, "c"), fx.vc(4, 0, 10, "d")}
+	if _, err := fx.acc.TEEaccum(best, other); !errors.Is(err, accum.ErrBestNotInList) && !errors.Is(err, accum.ErrNotHighest) {
+		t.Fatalf("external best: %v", err)
+	}
+	// Tampered signature.
+	bad := fx.vc(2, 5, 10, "b")
+	bad.Sig = append([]byte(nil), bad.Sig...)
+	bad.Sig[0] ^= 1
+	withBad := []*types.ViewCert{best, bad, fx.vc(3, 0, 10, "c")}
+	if _, err := fx.acc.TEEaccum(best, withBad); !errors.Is(err, accum.ErrBadSignature) {
+		t.Fatalf("bad signature: %v", err)
+	}
+}
+
+// TestAccumAlwaysPicksMax property: for random prep views, TEEaccum
+// only succeeds when handed the true maximum.
+func TestAccumAlwaysPicksMax(t *testing.T) {
+	fx := newFixture(t)
+	f := func(pv0, pv1, pv2 uint8) bool {
+		vcs := []*types.ViewCert{
+			fx.vc(0, types.View(pv0), 4, "a"),
+			fx.vc(1, types.View(pv1), 4, "b"),
+			fx.vc(2, types.View(pv2), 4, "c"),
+		}
+		maxIdx := 0
+		for i, vc := range vcs {
+			if vc.PrepView > vcs[maxIdx].PrepView {
+				maxIdx = i
+			}
+		}
+		for i := range vcs {
+			_, err := fx.acc.TEEaccum(vcs[i], vcs)
+			isMax := vcs[i].PrepView == vcs[maxIdx].PrepView
+			if isMax && err != nil {
+				return false
+			}
+			if !isMax && err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

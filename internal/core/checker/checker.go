@@ -1,0 +1,347 @@
+// Package checker implements Achilles' CHECKER trusted component
+// (Sec. 4.3): the only stateful trusted component in the protocol. It
+// binds each consensus message to a unique identity per view (no
+// equivocation) and records the latest — prepared or unprepared —
+// block received from a leader.
+//
+// The implementation follows Algorithm 2 (normal-case TEE code) and
+// the TEE side of Algorithm 3 (recovery). One deliberate deviation
+// from the paper's pseudocode: TEEstore resets the proposal flag only
+// when the view actually advances (v > vi). Resetting it on v == vi,
+// as Algorithm 2 line 19 literally reads, would let a leader that just
+// voted for its own block produce a second block certificate in the
+// same view, violating Lemma 1 (no equivocation); the stricter guard
+// preserves it.
+//
+// Unlike the checkers of Damysus-R/OneShot-R/FlexiBFT, this component
+// never touches a persistent counter: after a reboot its state is
+// reconstructed exclusively through the rollback-resilient recovery
+// protocol, never from (rollback-prone) sealed storage.
+package checker
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"achilles/internal/crypto"
+	"achilles/internal/tee"
+	"achilles/internal/types"
+)
+
+// Errors returned by trusted functions. The host treats any error as
+// an abort of the corresponding pseudocode function.
+var (
+	ErrAlreadyProposed = errors.New("checker: block already proposed in this view (flag=1)")
+	ErrBadCertificate  = errors.New("checker: invalid certificate")
+	ErrWrongView       = errors.New("checker: certificate view does not match")
+	ErrStale           = errors.New("checker: stale certificate")
+	ErrRecovering      = errors.New("checker: node is recovering")
+	ErrNotRecovering   = errors.New("checker: node is not recovering")
+	ErrBadNonce        = errors.New("checker: recovery nonce mismatch")
+	ErrNoLeaderReply   = errors.New("checker: highest-view reply is not from that view's leader")
+)
+
+// Checker is the host handle to the trusted checker. All exported
+// TEE* methods execute "inside" the enclave: they are the only code
+// that can read or write the trusted state below.
+type Checker struct {
+	enc      *tee.Enclave
+	svc      *crypto.Service
+	leaderOf func(types.View) types.NodeID
+	quorum   int
+
+	// Trusted state (vi, flag) and (prepv, preph) per Sec. 4.3.
+	vi   types.View
+	flag bool
+	prpv types.View
+	prph types.Hash
+
+	recovering bool
+	lastNonce  uint64
+	nonceState [32]byte
+	hasNonce   bool
+
+	// Memo of the last quorum-verified commitment certificate: the
+	// same certificate typically flows through TEEstoreCommit and the
+	// fast-path TEEprepare back to back, and re-verifying f+1
+	// signatures inside the enclave would double the per-view crypto
+	// cost for no security benefit.
+	verifiedCCHash types.Hash
+	verifiedCCView types.View
+}
+
+// Config configures a checker instance.
+type Config struct {
+	// Enclave hosts the component; its call costs are charged on every
+	// trusted call.
+	Enclave *tee.Enclave
+	// Service signs with the node's private key (held inside the TEE)
+	// and verifies peers' certificates through the PKI key ring.
+	Service *crypto.Service
+	// LeaderOf maps views to their round-robin leaders; the checker
+	// needs it to validate that block certificates and the
+	// highest-view recovery reply come from the right leader.
+	LeaderOf func(types.View) types.NodeID
+	// Quorum is f+1.
+	Quorum int
+	// GenesisHash seeds (prepv, preph) = (0, H(G)).
+	GenesisHash types.Hash
+	// Recovering marks a checker created after a reboot: every trusted
+	// function except TEErequest/TEEreply-verification and TEErecover
+	// aborts until recovery completes. Fresh clusters start with
+	// Recovering=false (state provisioned at attestation time).
+	Recovering bool
+	// NonceSeed makes recovery nonce generation deterministic per
+	// enclave instance for reproducible simulations.
+	NonceSeed uint64
+}
+
+// New creates a checker with genesis state (vi=0, flag=0,
+// prepv=0, preph=H(G)) per Algorithm 2.
+func New(cfg Config) *Checker {
+	var ns [32]byte
+	binary.BigEndian.PutUint64(ns[:8], cfg.NonceSeed)
+	ns = sha256.Sum256(ns[:])
+	return &Checker{
+		enc:        cfg.Enclave,
+		svc:        cfg.Service,
+		leaderOf:   cfg.LeaderOf,
+		quorum:     cfg.Quorum,
+		vi:         0,
+		prpv:       0,
+		prph:       cfg.GenesisHash,
+		recovering: cfg.Recovering,
+		nonceState: ns,
+	}
+}
+
+// View returns the checker's current view vi.
+func (c *Checker) View() types.View { return c.vi }
+
+// Proposed reports whether the leader flag is set for the current view.
+func (c *Checker) Proposed() bool { return c.flag }
+
+// PrepView returns the view of the latest stored block.
+func (c *Checker) PrepView() types.View { return c.prpv }
+
+// PrepHash returns the hash of the latest stored block.
+func (c *Checker) PrepHash() types.Hash { return c.prph }
+
+// Recovering reports whether the checker still awaits recovery.
+func (c *Checker) Recovering() bool { return c.recovering }
+
+// TEEprepare certifies the leader's block b for the current view
+// (Algorithm 2, lines 5-14). Exactly one of acc and cc must justify
+// the parent selection: an accumulator certificate binds b to extend
+// the highest stored block among f+1 view certificates; a commitment
+// certificate from view vi-1 justifies the fast path (new-view
+// optimization). The returned block certificate ⟨PROP, H(b), vi⟩σ is
+// the only one this checker will ever produce for view vi.
+func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, cc *types.CommitCert) (*types.BlockCert, error) {
+	c.enc.EnterCall()
+	if c.recovering {
+		return nil, ErrRecovering
+	}
+	if c.flag {
+		return nil, ErrAlreadyProposed
+	}
+	if b.Hash() != h {
+		return nil, ErrBadCertificate
+	}
+	switch {
+	case acc != nil:
+		if len(acc.IDs) < c.quorum || !crypto.DistinctIDs(acc.IDs) {
+			return nil, ErrBadCertificate
+		}
+		if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
+			return nil, ErrBadCertificate
+		}
+		if b.Parent != acc.Hash || acc.CurView != c.vi {
+			return nil, ErrWrongView
+		}
+	case cc != nil:
+		if !c.verifyCC(cc) {
+			return nil, ErrBadCertificate
+		}
+		if b.Parent != cc.Hash || cc.View != c.vi-1 {
+			return nil, ErrWrongView
+		}
+	default:
+		return nil, ErrBadCertificate
+	}
+	c.flag = true
+	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi))
+	return &types.BlockCert{Hash: h, View: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEstore stores the leader's block identified by its block
+// certificate and returns this node's store certificate
+// ⟨COMMIT, h, v⟩σ (Algorithm 2, lines 16-20). The host must have
+// validated the block body (ancestry and execution results) first.
+func (c *Checker) TEEstore(bc *types.BlockCert) (*types.StoreCert, error) {
+	c.enc.EnterCall()
+	if c.recovering {
+		return nil, ErrRecovering
+	}
+	if bc.Signer != c.leaderOf(bc.View) {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+		return nil, ErrBadCertificate
+	}
+	if bc.View < c.vi {
+		return nil, ErrStale
+	}
+	c.prpv, c.prph = bc.View, bc.Hash
+	if bc.View > c.vi {
+		c.vi = bc.View
+		c.flag = false
+	}
+	sig := c.svc.Sign(types.StoreCertPayload(bc.Hash, bc.View))
+	return &types.StoreCert{Hash: bc.Hash, View: bc.View, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEstoreCommit lets a node that missed a proposal adopt the state
+// certified by a commitment certificate: f+1 store certificates are
+// strictly stronger evidence than the single block certificate
+// TEEstore requires, so advancing (prepv, preph, vi) on them is safe.
+// It is the checker-side half of the catch-up path a node takes when a
+// DECIDE for a view above its own arrives.
+func (c *Checker) TEEstoreCommit(cc *types.CommitCert) error {
+	c.enc.EnterCall()
+	if c.recovering {
+		return ErrRecovering
+	}
+	if !c.verifyCC(cc) {
+		return ErrBadCertificate
+	}
+	if cc.View >= c.prpv {
+		c.prpv, c.prph = cc.View, cc.Hash
+	}
+	if cc.View > c.vi {
+		c.vi = cc.View
+		c.flag = false
+	}
+	return nil
+}
+
+// verifyCC checks a commitment certificate's f+1 signatures,
+// memoizing the last success.
+func (c *Checker) verifyCC(cc *types.CommitCert) bool {
+	if cc.Hash == c.verifiedCCHash && cc.View == c.verifiedCCView && !cc.Hash.IsZero() {
+		return true
+	}
+	if len(cc.Signers) < c.quorum {
+		return false
+	}
+	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+		return false
+	}
+	c.verifiedCCHash, c.verifiedCCView = cc.Hash, cc.View
+	return true
+}
+
+// TEEview enters the next view and returns the view certificate
+// ⟨NEW-VIEW, preph, prepv, vi⟩σ (Algorithm 2, lines 27-29).
+func (c *Checker) TEEview() (*types.ViewCert, error) {
+	c.enc.EnterCall()
+	if c.recovering {
+		return nil, ErrRecovering
+	}
+	c.vi++
+	c.flag = false
+	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
+	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEErequest generates a fresh recovery request ⟨REQ, non⟩σ
+// (Algorithm 3). The nonce is remembered so TEErecover can verify that
+// replies answer this request and not a replayed older one.
+func (c *Checker) TEErequest() (*types.RecoveryReq, error) {
+	c.enc.EnterCall()
+	if !c.recovering {
+		return nil, ErrNotRecovering
+	}
+	c.nonceState = sha256.Sum256(c.nonceState[:])
+	c.lastNonce = binary.BigEndian.Uint64(c.nonceState[:8])
+	c.hasNonce = true
+	sig := c.svc.Sign(types.RecoveryReqPayload(c.lastNonce))
+	return &types.RecoveryReq{Nonce: c.lastNonce, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEreply answers a peer's recovery request with this checker's
+// current state ⟨RPY, preph, prepv, vi, k, non⟩σ (Algorithm 3). A
+// recovering checker must not answer: it does not yet know its own
+// state.
+func (c *Checker) TEEreply(req *types.RecoveryReq) (*types.RecoveryRpy, error) {
+	c.enc.EnterCall()
+	if c.recovering {
+		return nil, ErrRecovering
+	}
+	if !c.svc.Verify(req.Signer, types.RecoveryReqPayload(req.Nonce), req.Sig) {
+		return nil, ErrBadCertificate
+	}
+	sig := c.svc.Sign(types.RecoveryRpyPayload(c.prph, c.prpv, c.vi, req.Signer, req.Nonce))
+	return &types.RecoveryRpy{
+		PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi,
+		Target: req.Signer, Nonce: req.Nonce,
+		Signer: c.svc.Self(), Sig: sig,
+	}, nil
+}
+
+// TEErecover completes recovery from f+1 recovery replies
+// (Algorithm 3, lines 23-31). leaderRpy must be the reply with the
+// highest view v' among replies, and must be signed by the leader of
+// v' — the one node guaranteed to know about any in-flight proposal
+// for v' (see the five-node attack in Sec. 4.5). The checker adopts
+// the leader's stored block and jumps to view v'+2: it cannot send
+// anything for v' (it may have sent messages there before the reboot)
+// nor for v'+1 (the new-view optimization may already have carried a
+// node into v'+1 while the leader of v' was still in v'; Lemma 1).
+func (c *Checker) TEErecover(leaderRpy *types.RecoveryRpy, replies []*types.RecoveryRpy) (*types.ViewCert, error) {
+	c.enc.EnterCall()
+	if !c.recovering {
+		return nil, ErrNotRecovering
+	}
+	if !c.hasNonce {
+		return nil, ErrBadNonce
+	}
+	if len(replies) < c.quorum {
+		return nil, ErrBadCertificate
+	}
+	self := c.svc.Self()
+	seen := make(map[types.NodeID]bool, len(replies))
+	foundLeader := false
+	for _, r := range replies {
+		if r.Target != self || r.Nonce != c.lastNonce {
+			return nil, ErrBadNonce
+		}
+		if r.Signer == self || seen[r.Signer] {
+			return nil, ErrBadCertificate
+		}
+		seen[r.Signer] = true
+		if !c.svc.Verify(r.Signer, types.RecoveryRpyPayload(r.PrepHash, r.PrepView, r.CurView, r.Target, r.Nonce), r.Sig) {
+			return nil, ErrBadCertificate
+		}
+		if r.CurView > leaderRpy.CurView {
+			return nil, ErrNoLeaderReply
+		}
+		if r == leaderRpy || (r.Signer == leaderRpy.Signer && r.CurView == leaderRpy.CurView) {
+			foundLeader = true
+		}
+	}
+	if !foundLeader {
+		return nil, ErrBadCertificate
+	}
+	if c.leaderOf(leaderRpy.CurView) != leaderRpy.Signer {
+		return nil, ErrNoLeaderReply
+	}
+	c.vi = leaderRpy.CurView + 2
+	c.flag = false
+	c.prpv, c.prph = leaderRpy.PrepView, leaderRpy.PrepHash
+	c.recovering = false
+	c.hasNonce = false
+	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
+	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi, Signer: self, Sig: sig}, nil
+}

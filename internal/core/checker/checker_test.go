@@ -1,0 +1,570 @@
+package checker_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"achilles/internal/core/checker"
+	"achilles/internal/crypto"
+	"achilles/internal/tee"
+	"achilles/internal/types"
+)
+
+const (
+	nNodes = 5
+	f      = 2
+	quorum = f + 1
+)
+
+// fixture wires n checkers sharing a PKI, like a real cluster.
+type fixture struct {
+	svcs     []*crypto.Service
+	checkers []*checker.Checker
+	genesis  *types.Block
+}
+
+func leaderOf(v types.View) types.NodeID { return types.LeaderForView(v, nNodes) }
+
+func newFixture(t *testing.T, recovering ...types.NodeID) *fixture {
+	t.Helper()
+	scheme := crypto.FastScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, nNodes)
+	for i := 0; i < nNodes; i++ {
+		p, pub := scheme.KeyPair(1, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+	rec := map[types.NodeID]bool{}
+	for _, id := range recovering {
+		rec[id] = true
+	}
+	fx := &fixture{genesis: types.GenesisBlock()}
+	for i := 0; i < nNodes; i++ {
+		svc := crypto.NewService(scheme, ring, privs[i], types.NodeID(i), nil, crypto.Costs{})
+		enc := tee.New(tee.Config{Measurement: types.HashBytes([]byte("chk"))})
+		fx.svcs = append(fx.svcs, svc)
+		fx.checkers = append(fx.checkers, checker.New(checker.Config{
+			Enclave:     enc,
+			Service:     svc,
+			LeaderOf:    leaderOf,
+			Quorum:      quorum,
+			GenesisHash: fx.genesis.Hash(),
+			Recovering:  rec[types.NodeID(i)],
+			NonceSeed:   uint64(i),
+		}))
+	}
+	return fx
+}
+
+// enterView advances every non-recovering checker to view v, returning
+// the latest view certificates.
+func (fx *fixture) enterView(t *testing.T, v types.View) []*types.ViewCert {
+	t.Helper()
+	certs := make([]*types.ViewCert, nNodes)
+	for i, c := range fx.checkers {
+		if c.Recovering() {
+			continue
+		}
+		for c.View() < v {
+			vc, err := c.TEEview()
+			if err != nil {
+				t.Fatalf("TEEview: %v", err)
+			}
+			certs[i] = vc
+		}
+	}
+	return certs
+}
+
+// blockAt builds a valid block extending parent at the given view.
+func blockAt(parent *types.Block, v types.View, proposer types.NodeID) *types.Block {
+	return &types.Block{
+		Txs:      []types.Transaction{{Client: 1, Seq: uint32(v), Payload: []byte{byte(v)}}},
+		Op:       []byte{byte(v)},
+		Parent:   parent.Hash(),
+		View:     v,
+		Height:   parent.Height + 1,
+		Proposer: proposer,
+	}
+}
+
+// accFor fabricates a valid accumulator certificate signed by the
+// leader for extending the genesis block at view v.
+func (fx *fixture) accFor(leader types.NodeID, parent *types.Block, pv, v types.View) *types.AccCert {
+	ids := []types.NodeID{0, 1, 2}
+	sig := fx.svcs[leader].Sign(types.AccCertPayload(parent.Hash(), pv, v, ids))
+	return &types.AccCert{Hash: parent.Hash(), View: pv, CurView: v, IDs: ids, Signer: leader, Sig: sig}
+}
+
+func TestTEEviewAdvances(t *testing.T) {
+	fx := newFixture(t)
+	c := fx.checkers[0]
+	vc, err := c.TEEview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.CurView != 1 || c.View() != 1 {
+		t.Fatalf("view = %d", vc.CurView)
+	}
+	if vc.PrepHash != fx.genesis.Hash() || vc.PrepView != 0 {
+		t.Fatalf("fresh checker cert should reference genesis: %+v", vc)
+	}
+	if !fx.svcs[1].Verify(0, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
+		t.Fatal("view cert signature invalid")
+	}
+}
+
+func TestTEEprepareAccumulatorPath(t *testing.T) {
+	fx := newFixture(t)
+	fx.enterView(t, 1)
+	leader := leaderOf(1)
+	c := fx.checkers[leader]
+	b := blockAt(fx.genesis, 1, leader)
+	acc := fx.accFor(leader, fx.genesis, 0, 1)
+	bc, err := c.TEEprepare(b, b.Hash(), acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.View != 1 || bc.Hash != b.Hash() || bc.Signer != leader {
+		t.Fatalf("bad block cert: %+v", bc)
+	}
+	if !c.Proposed() {
+		t.Fatal("flag not set after prepare")
+	}
+	// Equivocation attempt: a second block for the same view.
+	b2 := blockAt(fx.genesis, 1, leader)
+	b2.Txs[0].Payload = []byte("different")
+	if _, err := c.TEEprepare(b2, b2.Hash(), acc, nil); !errors.Is(err, checker.ErrAlreadyProposed) {
+		t.Fatalf("equivocation allowed: %v", err)
+	}
+}
+
+func TestTEEprepareRejections(t *testing.T) {
+	fx := newFixture(t)
+	fx.enterView(t, 1)
+	leader := leaderOf(1)
+	c := fx.checkers[leader]
+	b := blockAt(fx.genesis, 1, leader)
+
+	// Wrong hash.
+	acc := fx.accFor(leader, fx.genesis, 0, 1)
+	if _, err := c.TEEprepare(b, types.HashBytes([]byte("wrong")), acc, nil); err == nil {
+		t.Fatal("wrong hash accepted")
+	}
+	// No justification at all.
+	if _, err := c.TEEprepare(b, b.Hash(), nil, nil); err == nil {
+		t.Fatal("missing justification accepted")
+	}
+	// Accumulator for another view.
+	staleAcc := fx.accFor(leader, fx.genesis, 0, 2)
+	if _, err := c.TEEprepare(b, b.Hash(), staleAcc, nil); !errors.Is(err, checker.ErrWrongView) {
+		t.Fatalf("wrong-view acc: %v", err)
+	}
+	// Accumulator with a forged signature.
+	forged := fx.accFor(leader, fx.genesis, 0, 1)
+	forged.Sig = append([]byte(nil), forged.Sig...)
+	forged.Sig[0] ^= 0xff
+	if _, err := c.TEEprepare(b, b.Hash(), forged, nil); !errors.Is(err, checker.ErrBadCertificate) {
+		t.Fatalf("forged acc: %v", err)
+	}
+	// Accumulator naming a different parent than the block extends.
+	other := blockAt(fx.genesis, 1, leader)
+	other.Txs[0].Payload = []byte("other-parent")
+	accOther := fx.accFor(leader, other, 0, 1)
+	if _, err := c.TEEprepare(b, b.Hash(), accOther, nil); !errors.Is(err, checker.ErrWrongView) {
+		t.Fatalf("parent mismatch: %v", err)
+	}
+	// Too few accumulator ids.
+	small := fx.accFor(leader, fx.genesis, 0, 1)
+	small.IDs = small.IDs[:1]
+	if _, err := c.TEEprepare(b, b.Hash(), small, nil); err == nil {
+		t.Fatal("sub-quorum acc accepted")
+	}
+}
+
+// storeRound runs one full view: leader prepares, everyone stores and
+// the store certificates are combined into a commitment certificate.
+func storeRound(t *testing.T, fx *fixture, parent *types.Block, v types.View) (*types.Block, *types.CommitCert) {
+	t.Helper()
+	leader := leaderOf(v)
+	fx.enterView(t, v)
+	b := blockAt(parent, v, leader)
+	acc := fx.accFor(leader, parent, parent.View, v)
+	bc, err := fx.checkers[leader].TEEprepare(b, b.Hash(), acc, nil)
+	if err != nil {
+		t.Fatalf("prepare v%d: %v", v, err)
+	}
+	cc := &types.CommitCert{Hash: b.Hash(), View: v}
+	for i := 0; i < quorum; i++ {
+		sc, err := fx.checkers[i].TEEstore(bc)
+		if err != nil {
+			t.Fatalf("store v%d node %d: %v", v, i, err)
+		}
+		cc.Signers = append(cc.Signers, sc.Signer)
+		cc.Sigs = append(cc.Sigs, sc.Sig)
+	}
+	return b, cc
+}
+
+func TestTEEstoreUpdatesState(t *testing.T) {
+	fx := newFixture(t)
+	b, _ := storeRound(t, fx, fx.genesis, 1)
+	c := fx.checkers[0]
+	if c.PrepHash() != b.Hash() || c.PrepView() != 1 {
+		t.Fatalf("store did not update prep state: %v %d", c.PrepHash(), c.PrepView())
+	}
+}
+
+func TestTEEstoreRejectsNonLeaderCert(t *testing.T) {
+	fx := newFixture(t)
+	fx.enterView(t, 1)
+	b := blockAt(fx.genesis, 1, 0)
+	// Node 3 (not the leader of view 1) signs a block certificate.
+	sig := fx.svcs[3].Sign(types.BlockCertPayload(b.Hash(), 1))
+	bc := &types.BlockCert{Hash: b.Hash(), View: 1, Signer: 3, Sig: sig}
+	if _, err := fx.checkers[0].TEEstore(bc); !errors.Is(err, checker.ErrBadCertificate) {
+		t.Fatalf("non-leader cert accepted: %v", err)
+	}
+	// A cert claiming to be from the leader but signed by someone else.
+	bc2 := &types.BlockCert{Hash: b.Hash(), View: 1, Signer: leaderOf(1), Sig: sig}
+	if _, err := fx.checkers[0].TEEstore(bc2); !errors.Is(err, checker.ErrBadCertificate) {
+		t.Fatalf("forged leader cert accepted: %v", err)
+	}
+}
+
+func TestTEEstoreRejectsStale(t *testing.T) {
+	fx := newFixture(t)
+	b1, _ := storeRound(t, fx, fx.genesis, 1)
+	_, _ = storeRound(t, fx, b1, 2)
+	// Re-presenting the view-1 certificate after moving to view 2.
+	leader := leaderOf(1)
+	sig := fx.svcs[leader].Sign(types.BlockCertPayload(b1.Hash(), 1))
+	bc := &types.BlockCert{Hash: b1.Hash(), View: 1, Signer: leader, Sig: sig}
+	if _, err := fx.checkers[0].TEEstore(bc); !errors.Is(err, checker.ErrStale) {
+		t.Fatalf("stale store accepted: %v", err)
+	}
+}
+
+// TestLeaderSelfStoreKeepsFlag pins the deliberate deviation from the
+// paper's Algorithm 2 line 19: after the leader stores its own block
+// (v == vi), the proposal flag must stay set, otherwise the leader
+// could produce a second block certificate for the same view.
+func TestLeaderSelfStoreKeepsFlag(t *testing.T) {
+	fx := newFixture(t)
+	fx.enterView(t, 1)
+	leader := leaderOf(1)
+	c := fx.checkers[leader]
+	b := blockAt(fx.genesis, 1, leader)
+	acc := fx.accFor(leader, fx.genesis, 0, 1)
+	bc, err := c.TEEprepare(b, b.Hash(), acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TEEstore(bc); err != nil {
+		t.Fatal(err)
+	}
+	b2 := blockAt(fx.genesis, 1, leader)
+	b2.Txs[0].Payload = []byte("equivocation")
+	if _, err := c.TEEprepare(b2, b2.Hash(), acc, nil); !errors.Is(err, checker.ErrAlreadyProposed) {
+		t.Fatalf("leader equivocated after self-store: %v", err)
+	}
+}
+
+func TestFastPathPrepare(t *testing.T) {
+	fx := newFixture(t)
+	b1, cc := storeRound(t, fx, fx.genesis, 1)
+	// All checkers advance into view 2 (normally via TEEstoreCommit +
+	// TEEview on the DECIDE).
+	for _, c := range fx.checkers {
+		if err := c.TEEstoreCommit(cc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx.enterView(t, 2)
+	leader := leaderOf(2)
+	b2 := blockAt(b1, 2, leader)
+	bc, err := fx.checkers[leader].TEEprepare(b2, b2.Hash(), nil, cc)
+	if err != nil {
+		t.Fatalf("fast path rejected: %v", err)
+	}
+	if bc.View != 2 {
+		t.Fatalf("bad view %d", bc.View)
+	}
+	// The fast path must reject a commitment certificate that is not
+	// for the immediately preceding view.
+	fx.enterView(t, 4)
+	b4 := blockAt(b2, 4, leaderOf(4))
+	if _, err := fx.checkers[leaderOf(4)].TEEprepare(b4, b4.Hash(), nil, cc); !errors.Is(err, checker.ErrWrongView) {
+		t.Fatalf("stale cc accepted by fast path: %v", err)
+	}
+}
+
+func TestTEEstoreCommitCatchUp(t *testing.T) {
+	fx := newFixture(t)
+	b1, cc := storeRound(t, fx, fx.genesis, 1)
+	// Node 4 never saw the proposal; it catches up from the commitment
+	// certificate alone.
+	lagger := fx.checkers[4]
+	if err := lagger.TEEstoreCommit(cc); err != nil {
+		t.Fatal(err)
+	}
+	if lagger.PrepHash() != b1.Hash() || lagger.PrepView() != 1 || lagger.View() != 1 {
+		t.Fatalf("catch-up state wrong: view=%d prep=%d", lagger.View(), lagger.PrepView())
+	}
+	// Garbage certificate must be rejected.
+	bad := &types.CommitCert{Hash: b1.Hash(), View: 1, Signers: cc.Signers[:1], Sigs: cc.Sigs[:1]}
+	fresh := newFixture(t).checkers[4]
+	if err := fresh.TEEstoreCommit(bad); err == nil {
+		t.Fatal("sub-quorum commit cert accepted")
+	}
+}
+
+func TestRecoveryHappyPath(t *testing.T) {
+	fx := newFixture(t, 4) // node 4 boots recovering
+	b1, cc := storeRound(t, fx, fx.genesis, 1)
+	for i := 0; i < 4; i++ {
+		if err := fx.checkers[i].TEEstoreCommit(cc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx.enterView(t, 2)
+
+	rec := fx.checkers[4]
+	if rec.Recovering() != true {
+		t.Fatal("node 4 should boot recovering")
+	}
+	// Recovering checkers refuse normal operation.
+	if _, err := rec.TEEview(); !errors.Is(err, checker.ErrRecovering) {
+		t.Fatalf("TEEview while recovering: %v", err)
+	}
+	if _, err := rec.TEEreply(&types.RecoveryReq{}); !errors.Is(err, checker.ErrRecovering) {
+		t.Fatalf("TEEreply while recovering: %v", err)
+	}
+
+	req, err := rec.TEErequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peers reply; all are at view 2, and leader(2)=p2 is among them.
+	replies := make([]*types.RecoveryRpy, 0, quorum)
+	var leaderRpy *types.RecoveryRpy
+	for i := 0; i < quorum; i++ {
+		rpy, err := fx.checkers[i].TEEreply(req)
+		if err != nil {
+			t.Fatalf("reply from %d: %v", i, err)
+		}
+		replies = append(replies, rpy)
+		if types.NodeID(i) == leaderOf(rpy.CurView) {
+			leaderRpy = rpy
+		}
+	}
+	if leaderRpy == nil {
+		t.Fatal("test setup: leader reply missing")
+	}
+	vc, err := rec.TEErecover(leaderRpy, replies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.CurView != leaderRpy.CurView+2 {
+		t.Fatalf("recovered view = %d, want leader view + 2 = %d", vc.CurView, leaderRpy.CurView+2)
+	}
+	if rec.Recovering() {
+		t.Fatal("still recovering after TEErecover")
+	}
+	if rec.PrepHash() != b1.Hash() {
+		t.Fatalf("recovered prep hash %v, want %v", rec.PrepHash(), b1.Hash())
+	}
+	// Recovery is one-shot.
+	if _, err := rec.TEErecover(leaderRpy, replies); !errors.Is(err, checker.ErrNotRecovering) {
+		t.Fatalf("second recover: %v", err)
+	}
+}
+
+func TestRecoveryRejections(t *testing.T) {
+	fx := newFixture(t, 4)
+	_, cc := storeRound(t, fx, fx.genesis, 1)
+	for i := 0; i < 4; i++ {
+		_ = fx.checkers[i].TEEstoreCommit(cc)
+	}
+	fx.enterView(t, 2)
+	rec := fx.checkers[4]
+	req, _ := rec.TEErequest()
+
+	mkReplies := func() (*types.RecoveryRpy, []*types.RecoveryRpy) {
+		var leaderRpy *types.RecoveryRpy
+		replies := make([]*types.RecoveryRpy, 0, quorum)
+		for i := 0; i < quorum; i++ {
+			rpy, err := fx.checkers[i].TEEreply(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replies = append(replies, rpy)
+			if types.NodeID(i) == leaderOf(rpy.CurView) {
+				leaderRpy = rpy
+			}
+		}
+		return leaderRpy, replies
+	}
+
+	// Too few replies.
+	leaderRpy, replies := mkReplies()
+	if _, err := rec.TEErecover(leaderRpy, replies[:quorum-1]); err == nil {
+		t.Fatal("sub-quorum recovery accepted")
+	}
+	// Wrong nonce (replay of replies to an older request).
+	stale := *replies[0]
+	stale.Nonce++
+	if _, err := rec.TEErecover(leaderRpy, []*types.RecoveryRpy{leaderRpy, &stale, replies[1]}); !errors.Is(err, checker.ErrBadNonce) {
+		t.Fatalf("nonce replay: %v", err)
+	}
+	// Highest-view reply not from that view's leader: craft a reply
+	// from node 3 claiming a higher view.
+	_, _ = rec.TEErequest() // fresh nonce invalidates previous replies
+	req2, _ := rec.TEErequest()
+	leaderRpy, replies = func() (*types.RecoveryRpy, []*types.RecoveryRpy) {
+		var lr *types.RecoveryRpy
+		rs := make([]*types.RecoveryRpy, 0, quorum)
+		for i := 0; i < quorum; i++ {
+			rpy, err := fx.checkers[i].TEEreply(req2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs = append(rs, rpy)
+			if types.NodeID(i) == leaderOf(rpy.CurView) {
+				lr = rpy
+			}
+		}
+		return lr, rs
+	}()
+	forged := *replies[0]
+	forged.CurView += 10
+	forged.Sig = fx.svcs[0].Sign(types.RecoveryRpyPayload(forged.PrepHash, forged.PrepView, forged.CurView, forged.Target, forged.Nonce))
+	if _, err := rec.TEErecover(leaderRpy, []*types.RecoveryRpy{leaderRpy, &forged, replies[1]}); !errors.Is(err, checker.ErrNoLeaderReply) {
+		t.Fatalf("higher-view non-leader reply accepted: %v", err)
+	}
+	// Duplicate signers.
+	if _, err := rec.TEErecover(leaderRpy, []*types.RecoveryRpy{leaderRpy, leaderRpy, leaderRpy}); !errors.Is(err, checker.ErrBadCertificate) {
+		t.Fatalf("duplicate signers accepted: %v", err)
+	}
+}
+
+// TestNoEquivocationAfterRecovery is Lemma 1's scenario: a node that
+// produced a certificate in view v, crashed and recovered must land in
+// a view strictly above v, making equivocation in v impossible.
+func TestNoEquivocationAfterRecovery(t *testing.T) {
+	fx := newFixture(t)
+	b1, cc1 := storeRound(t, fx, fx.genesis, 1)
+	for _, c := range fx.checkers {
+		_ = c.TEEstoreCommit(cc1)
+	}
+	_, cc2 := storeRound(t, fx, b1, 2)
+	for _, c := range fx.checkers {
+		_ = c.TEEstoreCommit(cc2)
+	}
+	fx.enterView(t, 3)
+	// Node 0 stored in views 1..2 and is now in view 3. It "crashes":
+	// a fresh recovering checker takes its place.
+	scheme := crypto.FastScheme{}
+	_ = scheme
+	reborn := checker.New(checker.Config{
+		Enclave:     tee.New(tee.Config{}),
+		Service:     fx.svcs[0],
+		LeaderOf:    leaderOf,
+		Quorum:      quorum,
+		GenesisHash: fx.genesis.Hash(),
+		Recovering:  true,
+		NonceSeed:   77,
+	})
+	req, _ := reborn.TEErequest()
+	var leaderRpy *types.RecoveryRpy
+	replies := make([]*types.RecoveryRpy, 0, quorum)
+	for i := 1; i <= quorum; i++ {
+		rpy, err := fx.checkers[i].TEEreply(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replies = append(replies, rpy)
+		if types.NodeID(i) == leaderOf(rpy.CurView) {
+			leaderRpy = rpy
+		}
+	}
+	if leaderRpy == nil {
+		t.Skip("leader of current view not among repliers in this configuration")
+	}
+	vc, err := reborn.TEErecover(leaderRpy, replies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The node was last active in view 3; the recovered view must be
+	// at least 3+1 so no certificate for view <= 3 can ever be signed
+	// again (in fact v'+2 = 5 here).
+	if vc.CurView < 4 {
+		t.Fatalf("recovered into view %d, allowing equivocation", vc.CurView)
+	}
+}
+
+// TestCheckerInvariantsProperty drives a checker through random
+// sequences of trusted calls and asserts the invariants the safety
+// proof rests on: the view counter never decreases, at most one block
+// certificate is issued per view, and every store certificate is for
+// a view >= the view at which it was requested.
+func TestCheckerInvariantsProperty(t *testing.T) {
+	fx := newFixture(t)
+	rng := rand.New(rand.NewSource(99))
+	c := fx.checkers[0]
+	parent := fx.genesis
+
+	blockCertViews := map[types.View]int{}
+	var lastVi types.View
+
+	for step := 0; step < 600; step++ {
+		if v := c.View(); v < lastVi {
+			t.Fatalf("step %d: view went backwards %d -> %d", step, lastVi, v)
+		} else {
+			lastVi = v
+		}
+		switch rng.Intn(3) {
+		case 0: // advance a view
+			if _, err := c.TEEview(); err != nil {
+				t.Fatalf("TEEview: %v", err)
+			}
+		case 1: // try to propose at the current view (node 0 as leader)
+			v := c.View()
+			if leaderOf(v) != 0 {
+				continue
+			}
+			b := blockAt(parent, v, 0)
+			b.Txs[0].Seq = uint32(step) // unique content
+			acc := fx.accFor(0, parent, parent.View, v)
+			bc, err := c.TEEprepare(b, b.Hash(), acc, nil)
+			if err == nil {
+				blockCertViews[bc.View]++
+				if blockCertViews[bc.View] > 1 {
+					t.Fatalf("step %d: two block certificates for view %d", step, bc.View)
+				}
+			}
+		case 2: // store a leader block for the current or a future view
+			v := c.View() + types.View(rng.Intn(3))
+			if v == 0 {
+				continue
+			}
+			leader := leaderOf(v)
+			b := blockAt(parent, v, leader)
+			b.Txs[0].Seq = uint32(1000 + step)
+			sig := fx.svcs[leader].Sign(types.BlockCertPayload(b.Hash(), v))
+			bc := &types.BlockCert{Hash: b.Hash(), View: v, Signer: leader, Sig: sig}
+			before := c.View()
+			sc, err := c.TEEstore(bc)
+			if err == nil {
+				if sc.View < before {
+					t.Fatalf("step %d: store certificate for stale view %d < %d", step, sc.View, before)
+				}
+				if c.PrepView() != sc.View || c.PrepHash() != sc.Hash {
+					t.Fatalf("step %d: prep state not updated", step)
+				}
+			}
+		}
+	}
+}

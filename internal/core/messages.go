@@ -1,0 +1,100 @@
+package core
+
+import "achilles/internal/types"
+
+// MsgNewView carries a node's view certificate to the new leader, and
+// optionally the commitment certificate of the previous view enabling
+// the fast proposal path (Algorithm 1, new-view optimization).
+type MsgNewView struct {
+	VC *types.ViewCert
+	CC *types.CommitCert
+}
+
+// Type implements types.Message.
+func (*MsgNewView) Type() string { return "achilles/new-view" }
+
+// Size implements types.Message.
+func (m *MsgNewView) Size() int {
+	s := 1
+	if m.VC != nil {
+		s += m.VC.WireSize()
+	}
+	if m.CC != nil {
+		s += m.CC.WireSize()
+	}
+	return s
+}
+
+// MsgProposal is the leader's block with its block certificate
+// (COMMIT phase, Algorithm 1 lines 18-23).
+type MsgProposal struct {
+	Block *types.Block
+	BC    *types.BlockCert
+}
+
+// Type implements types.Message.
+func (*MsgProposal) Type() string { return "achilles/proposal" }
+
+// Size implements types.Message.
+func (m *MsgProposal) Size() int { return m.Block.WireSize() + m.BC.WireSize() }
+
+// MsgVote carries a backup's store certificate to the leader.
+type MsgVote struct {
+	SC *types.StoreCert
+}
+
+// Type implements types.Message.
+func (*MsgVote) Type() string { return "achilles/vote" }
+
+// Size implements types.Message.
+func (m *MsgVote) Size() int { return m.SC.WireSize() }
+
+// MsgDecide broadcasts the commitment certificate (DECIDE phase).
+type MsgDecide struct {
+	CC *types.CommitCert
+}
+
+// Type implements types.Message.
+func (*MsgDecide) Type() string { return "achilles/decide" }
+
+// Size implements types.Message.
+func (m *MsgDecide) Size() int { return m.CC.WireSize() }
+
+// MsgRecoveryReq is a rebooting node's recovery request (Algorithm 3).
+type MsgRecoveryReq struct {
+	Req *types.RecoveryReq
+}
+
+// Type implements types.Message.
+func (*MsgRecoveryReq) Type() string { return "achilles/recovery-req" }
+
+// Size implements types.Message.
+func (m *MsgRecoveryReq) Size() int { return m.Req.WireSize() }
+
+// MsgRecoveryRpy is a peer's recovery reply: the TEE-signed state
+// attestation plus the latest stored block and its certificates
+// ⟨b, φ_b, φ_c, φ_rpy⟩ (Algorithm 3 line 7).
+type MsgRecoveryRpy struct {
+	Rpy   *types.RecoveryRpy
+	Block *types.Block
+	BC    *types.BlockCert
+	CC    *types.CommitCert
+}
+
+// Type implements types.Message.
+func (*MsgRecoveryRpy) Type() string { return "achilles/recovery-rpy" }
+
+// Size implements types.Message.
+func (m *MsgRecoveryRpy) Size() int {
+	s := m.Rpy.WireSize()
+	if m.Block != nil {
+		s += m.Block.WireSize()
+	}
+	if m.BC != nil {
+		s += m.BC.WireSize()
+	}
+	if m.CC != nil {
+		s += m.CC.WireSize()
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"time"
+
+	"achilles/internal/types"
+)
+
+// This file implements the replica-side driver of the rollback
+// resilient recovery protocol (Algorithm 3). The TEE-side checks live
+// in checker.TEErequest/TEEreply/TEErecover.
+//
+// A recovering node:
+//
+//  1. broadcasts ⟨REQ, non⟩σ from TEErequest;
+//  2. collects replies ⟨b, φ_b, φ_c, φ_rpy⟩ from peers;
+//  3. once it holds f+1 replies whose highest-view reply was signed by
+//     that view's leader, calls TEErecover, adopts the leader's stored
+//     block as preb, jumps to view v'+2 and rejoins with a NEW-VIEW.
+//
+// If the constraint cannot be met (e.g. the recovering node itself was
+// the leader, so nobody can speak for the current view), it retries
+// with a fresh nonce after roughly RecoveryRetry; the pacemaker
+// rotation of the live nodes eventually produces a leader that can
+// reply.
+//
+// Two implementation refinements make this fast in practice (both are
+// instances of the paper's "send new recovery requests ... in a given
+// period" rule):
+//
+//   - retry delays are staggered across attempts, because while the
+//     victim is down the live cluster spends most of its time waiting
+//     out the timeouts of views the victim would have led, and a fixed
+//     retry period can phase-lock onto those stalled windows (where
+//     the highest-view reply names the victim itself as leader and
+//     recovery can never complete);
+//   - peers that answered a recovery request re-send their reply the
+//     next few times their view advances, so the recovering node
+//     observes the cluster exactly when it leaves a stalled view and
+//     a live leader's reply becomes usable.
+
+// startRecovery issues a fresh recovery request to all peers.
+func (r *Replica) startRecovery() {
+	req, err := r.chk.TEErequest()
+	if err != nil {
+		return
+	}
+	r.recEpoch++
+	r.recNonce = req.Nonce
+	r.recReplies = make(map[types.NodeID]*MsgRecoveryRpy)
+	r.env.Broadcast(&MsgRecoveryReq{Req: req})
+	base := r.cfg.RecoveryRetry
+	delay := base/2 + time.Duration(uint64(r.recEpoch)%8)*base/8
+	r.env.SetTimer(delay, types.TimerID{Kind: types.TimerRecoveryRetry, View: r.recEpoch})
+}
+
+// onRecoveryReq answers a peer's recovery request with this node's
+// checker attestation and latest stored block. Recovering nodes must
+// not answer (they do not know their own state yet); the checker
+// enforces this too.
+func (r *Replica) onRecoveryReq(from types.NodeID, m *MsgRecoveryReq) {
+	if r.recovering || m.Req == nil || m.Req.Signer != from {
+		return
+	}
+	rpy, err := r.chk.TEEreply(m.Req)
+	if err != nil {
+		return
+	}
+	if !r.cfg.DisableReReply {
+		r.recoveryPending[from] = &pendingRecovery{req: m.Req, remaining: 8}
+	}
+	r.env.Send(from, &MsgRecoveryRpy{Rpy: rpy, Block: r.prebBlock, BC: r.prebBC, CC: r.prebCC})
+}
+
+// refreshRecoveryReplies re-answers outstanding recovery requests
+// after a view advance (see the package comment above).
+func (r *Replica) refreshRecoveryReplies() {
+	if len(r.recoveryPending) == 0 || r.recovering {
+		return
+	}
+	for id, p := range r.recoveryPending {
+		p.remaining--
+		if p.remaining <= 0 {
+			delete(r.recoveryPending, id)
+		}
+		rpy, err := r.chk.TEEreply(p.req)
+		if err != nil {
+			delete(r.recoveryPending, id)
+			continue
+		}
+		r.env.Send(id, &MsgRecoveryRpy{Rpy: rpy, Block: r.prebBlock, BC: r.prebBC, CC: r.prebCC})
+	}
+}
+
+// onRecoveryRpy records a recovery reply and attempts to finish
+// recovery.
+func (r *Replica) onRecoveryRpy(from types.NodeID, m *MsgRecoveryRpy) {
+	if !r.recovering || m.Rpy == nil {
+		return
+	}
+	rpy := m.Rpy
+	if rpy.Signer != from || rpy.Target != r.cfg.Self || rpy.Nonce != r.recNonce {
+		return
+	}
+	// The attached block must match the attested (view, hash) unless
+	// the peer's latest block is genesis.
+	if m.Block != nil && m.Block.Hash() != rpy.PrepHash {
+		return
+	}
+	r.recReplies[from] = m
+	r.tryFinishRecovery()
+}
+
+// tryFinishRecovery checks Algorithm 3's completion condition and, if
+// met, restores the checker through TEErecover and rejoins the
+// protocol.
+func (r *Replica) tryFinishRecovery() {
+	if len(r.recReplies) < r.cfg.Quorum() {
+		return
+	}
+	// The highest-view reply must come from that view's leader
+	// (Sec. 4.5); find the best reply satisfying it, then ensure no
+	// reply exceeds its view.
+	var leaderMsg *MsgRecoveryRpy
+	var maxView types.View
+	for _, m := range r.recReplies {
+		if m.Rpy.CurView > maxView {
+			maxView = m.Rpy.CurView
+		}
+		if r.cfg.Leader(m.Rpy.CurView) == m.Rpy.Signer {
+			if leaderMsg == nil || m.Rpy.CurView > leaderMsg.Rpy.CurView {
+				leaderMsg = m
+			}
+		}
+	}
+	if leaderMsg == nil || leaderMsg.Rpy.CurView < maxView {
+		// No usable leader reply yet; wait for more replies or retry.
+		return
+	}
+	replies := make([]*types.RecoveryRpy, 0, r.cfg.Quorum())
+	replies = append(replies, leaderMsg.Rpy)
+	for _, m := range r.recReplies {
+		if len(replies) == r.cfg.Quorum() {
+			break
+		}
+		if m != leaderMsg {
+			replies = append(replies, m.Rpy)
+		}
+	}
+	vc, err := r.chk.TEErecover(leaderMsg.Rpy, replies)
+	if err != nil {
+		r.env.Logf("TEErecover rejected: %v", err)
+		return
+	}
+	// Adopt the leader's stored block as preb ⟨b, φ_b, φ_c⟩.
+	if b := leaderMsg.Block; b != nil {
+		r.store.Add(b)
+		r.prebBlock = b
+		r.prebBC = leaderMsg.BC
+		r.prebCC = nil
+		if cc := leaderMsg.CC; cc != nil && cc.Hash == b.Hash() {
+			r.prebCC = cc
+		}
+	}
+	r.recovering = false
+	r.recoverEndAt = r.env.Now()
+	r.view = vc.CurView
+	r.votes = make(map[types.NodeID]*types.StoreCert)
+	r.voteHash = types.ZeroHash
+	r.decided = false
+	r.pm.Progress()
+	r.armViewTimer()
+	r.deliverOrSend(r.cfg.Leader(r.view), &MsgNewView{VC: vc})
+	// Catch up the committed chain using the adopted commitment
+	// certificate (ancestors are pulled via block sync as needed).
+	if r.prebCC != nil {
+		r.handleCC(r.prebCC, leaderMsg.Rpy.Signer)
+	}
+	r.env.Logf("recovery complete: rejoined at view %d", r.view)
+}

@@ -1,0 +1,693 @@
+// Package core implements the Achilles replica: the paper's primary
+// contribution. One instance runs per node and drives the one-phase
+// normal-case operations (Algorithm 1), the pacemaker, block
+// synchronization, client interaction, and the rollback-resilient
+// recovery protocol (Algorithm 3) on top of the CHECKER and
+// ACCUMULATOR trusted components.
+package core
+
+import (
+	"bytes"
+	"time"
+
+	"achilles/internal/core/accum"
+	"achilles/internal/core/checker"
+	"achilles/internal/crypto"
+	"achilles/internal/ledger"
+	"achilles/internal/mempool"
+	"achilles/internal/protocol"
+	"achilles/internal/statemachine"
+	"achilles/internal/tee"
+	"achilles/internal/types"
+)
+
+// Config parameterizes an Achilles replica. The zero value is not
+// usable; fill at least the embedded protocol.Config and the crypto
+// fields (the harness does this uniformly for all nodes).
+type Config struct {
+	protocol.Config
+
+	// Scheme, Ring and Priv form the node's PKI identity (Sec. 3.1).
+	Scheme crypto.Scheme
+	Ring   *crypto.KeyRing
+	Priv   crypto.PrivateKey
+	// CryptoCosts models signature CPU time charged to the clock.
+	CryptoCosts crypto.Costs
+	// TEECosts models enclave transition/creation costs.
+	TEECosts tee.CallCosts
+	// TEEDisabled runs the trusted components outside the enclave —
+	// the Achilles-C variant of Sec. 5.4 (no ecall/init cost, no
+	// in-enclave crypto slowdown).
+	TEEDisabled bool
+	// EnclaveCryptoFactor scales signature costs for code running
+	// inside the enclave (in-enclave crypto is slower than native; this
+	// is the bulk of the SGX overhead in Sec. 5.4). 0 means 1.0.
+	EnclaveCryptoFactor float64
+	// MachineSecret roots the enclave's sealing key.
+	MachineSecret [32]byte
+	// SealedStore persists across this node's reboots; the harness
+	// passes the same store to successive incarnations so tests can
+	// mount rollback attacks on it. Achilles' checker never reads its
+	// consensus state from it.
+	SealedStore tee.SealedStore
+	// Recovering marks a replica created after a reboot: it must run
+	// the recovery protocol before participating (Sec. 4.5).
+	Recovering bool
+	// ExecCostPerTx is the modelled execution cost per transaction.
+	ExecCostPerTx time.Duration
+	// SyntheticWorkload fills every block with generated transactions,
+	// modelling the saturated closed-loop clients of the throughput
+	// experiments. When false, blocks contain only real client
+	// transactions (possibly none; empty blocks still advance views).
+	SyntheticWorkload bool
+	// RecoveryRetry is the recovery re-request period (Sec. 4.5); zero
+	// defaults to half of BaseTimeout.
+	RecoveryRetry time.Duration
+	// ConnSetupPerPeer models the cost of (re-)establishing the secure
+	// channel to each peer during node initialization; it is what makes
+	// the paper's Table 2 "Initialization" row grow with cluster size.
+	// Zero defaults to 100µs.
+	ConnSetupPerPeer time.Duration
+	// DisableFastPath ablates the new-view optimization (Sec. 4.4):
+	// every view starts from f+1 view certificates and the
+	// accumulator, never from the previous view's commitment
+	// certificate. Used by the ablation benchmarks.
+	DisableFastPath bool
+	// DisableReReply ablates the view-advance recovery re-replies
+	// (recovery.go), leaving only nonce-fresh retry rounds.
+	DisableReReply bool
+}
+
+// Replica is an Achilles consensus node.
+type Replica struct {
+	cfg Config
+	env protocol.Env
+
+	svc     *crypto.Service
+	enclave *tee.Enclave
+	chk     *checker.Checker
+	acc     *accum.Accumulator
+	store   *ledger.Store
+	pool    *mempool.Pool
+	machine statemachine.Machine
+	pm      protocol.Pacemaker
+
+	view types.View
+
+	// preb = ⟨b, φ_b, φ_c⟩: the latest stored block from a leader.
+	prebBlock *types.Block
+	prebBC    *types.BlockCert
+	prebCC    *types.CommitCert
+
+	lastCC *types.CommitCert
+
+	viewCerts map[types.View]map[types.NodeID]*types.ViewCert
+	votes     map[types.NodeID]*types.StoreCert // for our proposal in the current view
+	voteHash  types.Hash
+	decided   bool // CC formed for current view's proposal
+
+	stashedProposals map[types.View]*MsgProposal
+	stashedCCs       []*types.CommitCert
+	inflightSync     map[types.Hash]bool
+
+	recovering bool
+	recEpoch   types.View // distinguishes retry timers
+	recNonce   uint64
+	recReplies map[types.NodeID]*MsgRecoveryRpy
+
+	// recoveryPending tracks peers we recently answered a recovery
+	// request for; we re-reply when our view advances so a recovering
+	// node observes the cluster the moment it leaves a stalled view
+	// (see recovery.go).
+	recoveryPending map[types.NodeID]*pendingRecovery
+
+	// Recovery timing instrumentation (Table 2).
+	bootAt       types.Time
+	initEndAt    types.Time
+	recoverEndAt types.Time
+}
+
+// pendingRecovery remembers a peer's recovery request for view-advance
+// re-replies.
+type pendingRecovery struct {
+	req       *types.RecoveryReq
+	remaining int
+}
+
+// New creates an Achilles replica. The replica is inert until Init.
+func New(cfg Config) *Replica {
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 500 * time.Millisecond
+	}
+	if cfg.RecoveryRetry == 0 {
+		cfg.RecoveryRetry = cfg.BaseTimeout / 2
+	}
+	if cfg.ConnSetupPerPeer == 0 {
+		cfg.ConnSetupPerPeer = 100 * time.Microsecond
+	}
+	return &Replica{
+		cfg:              cfg,
+		viewCerts:        make(map[types.View]map[types.NodeID]*types.ViewCert),
+		votes:            make(map[types.NodeID]*types.StoreCert),
+		stashedProposals: make(map[types.View]*MsgProposal),
+		inflightSync:     make(map[types.Hash]bool),
+		recReplies:       make(map[types.NodeID]*MsgRecoveryRpy),
+		recoveryPending:  make(map[types.NodeID]*pendingRecovery),
+	}
+}
+
+// enclaveCrypto returns the signature cost model for code inside the
+// enclave.
+func (r *Replica) enclaveCrypto() crypto.Costs {
+	c := r.cfg.CryptoCosts
+	f := r.cfg.EnclaveCryptoFactor
+	if r.cfg.TEEDisabled || f == 0 {
+		return c
+	}
+	c.Sign = time.Duration(float64(c.Sign) * f)
+	c.Verify = time.Duration(float64(c.Verify) * f)
+	return c
+}
+
+// Init implements protocol.Replica.
+func (r *Replica) Init(env protocol.Env) {
+	r.env = env
+	r.bootAt = env.Now()
+	r.store = ledger.NewStore()
+	if r.cfg.SyntheticWorkload {
+		r.pool = mempool.NewSynthetic(r.cfg.Self, r.cfg.PayloadSize)
+	} else {
+		r.pool = mempool.New()
+	}
+	r.machine = statemachine.NewDigestMachine(env, r.cfg.ExecCostPerTx)
+
+	r.enclave = tee.New(tee.Config{
+		Measurement:   types.HashBytes([]byte("achilles-trusted-components-v1")),
+		MachineSecret: r.cfg.MachineSecret,
+		Meter:         env,
+		Costs:         r.cfg.TEECosts,
+		Store:         r.cfg.SealedStore,
+		Disabled:      r.cfg.TEEDisabled,
+	})
+	// The untrusted host verifies with native-speed crypto; trusted
+	// components sign/verify at in-enclave speed.
+	r.svc = crypto.NewService(r.cfg.Scheme, r.cfg.Ring, nil, r.cfg.Self, env, r.cfg.CryptoCosts)
+	teeSvc := crypto.NewService(r.cfg.Scheme, r.cfg.Ring, r.cfg.Priv, r.cfg.Self, env, r.enclaveCrypto())
+	r.chk = checker.New(checker.Config{
+		Enclave:     r.enclave,
+		Service:     teeSvc,
+		LeaderOf:    r.cfg.Leader,
+		Quorum:      r.cfg.Quorum(),
+		GenesisHash: r.store.Genesis().Hash(),
+		Recovering:  r.cfg.Recovering,
+		NonceSeed:   uint64(r.cfg.Seed)<<16 ^ uint64(r.cfg.Self),
+	})
+	r.acc = accum.New(r.enclave, teeSvc, r.cfg.Quorum())
+	r.pm = protocol.Pacemaker{Base: r.cfg.BaseTimeout, MaxShift: 10}
+
+	r.prebBlock = r.store.Genesis()
+
+	// Re-establish the secure channels to every peer (part of the
+	// initialization cost the paper's Table 2 reports).
+	env.Charge(time.Duration(r.cfg.N-1) * r.cfg.ConnSetupPerPeer)
+	r.initEndAt = env.Now()
+
+	if r.cfg.Recovering {
+		r.recovering = true
+		r.startRecovery()
+		return
+	}
+	// Bootstrap: enter view 1 and announce to its leader.
+	r.enterNextView()
+}
+
+// enterNextView advances the checker one view and sends the resulting
+// view certificate (plus the last commitment certificate, enabling the
+// fast path) to the new leader.
+func (r *Replica) enterNextView() {
+	vc, err := r.chk.TEEview()
+	if err != nil {
+		return
+	}
+	r.view = vc.CurView
+	r.votes = make(map[types.NodeID]*types.StoreCert)
+	r.voteHash = types.ZeroHash
+	r.decided = false
+	// Forget stale sync requests; anything still needed will be
+	// re-requested (possibly from a different peer).
+	r.inflightSync = make(map[types.Hash]bool)
+	delete(r.viewCerts, r.view-2)
+	delete(r.stashedProposals, r.view-1)
+	r.armViewTimer()
+	msg := &MsgNewView{VC: vc}
+	if r.lastCC != nil && r.lastCC.View == r.view-1 {
+		msg.CC = r.lastCC
+	}
+	r.deliverOrSend(r.cfg.Leader(r.view), msg)
+	// Refresh outstanding recovery replies now that our view moved.
+	r.refreshRecoveryReplies()
+	// A proposal for this view may already be waiting.
+	if m, ok := r.stashedProposals[r.view]; ok {
+		delete(r.stashedProposals, r.view)
+		r.onProposal(m.BC.Signer, m)
+	}
+}
+
+func (r *Replica) armViewTimer() {
+	r.env.SetTimer(r.pm.Timeout(), types.TimerID{Kind: types.TimerViewChange, View: r.view})
+}
+
+// deliverOrSend routes a message, short-circuiting self-addressed
+// traffic (a node does not use the network to talk to itself).
+func (r *Replica) deliverOrSend(to types.NodeID, msg types.Message) {
+	if to == r.cfg.Self {
+		r.OnMessage(to, msg)
+		return
+	}
+	r.env.Send(to, msg)
+}
+
+// OnMessage implements protocol.Replica.
+func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
+	if len(r.recoveryPending) > 0 && from != r.cfg.Self {
+		// Any non-recovery message from a peer means it rejoined.
+		if _, isReq := msg.(*MsgRecoveryReq); !isReq {
+			delete(r.recoveryPending, from)
+		}
+	}
+	switch m := msg.(type) {
+	case *MsgRecoveryReq:
+		r.onRecoveryReq(from, m)
+	case *MsgRecoveryRpy:
+		r.onRecoveryRpy(from, m)
+	case *MsgNewView:
+		r.onNewView(from, m)
+	case *MsgProposal:
+		r.onProposal(from, m)
+	case *MsgVote:
+		r.onVote(from, m)
+	case *MsgDecide:
+		r.onDecide(from, m)
+	case *types.BlockRequest:
+		r.onBlockRequest(from, m)
+	case *types.BlockResponse:
+		r.onBlockResponse(from, m)
+	case *types.ClientRequest:
+		if !r.recovering {
+			r.pool.Add(m.Txs)
+			r.tryPropose()
+		}
+	}
+}
+
+// OnTimer implements protocol.Replica.
+func (r *Replica) OnTimer(id types.TimerID) {
+	switch id.Kind {
+	case types.TimerViewChange:
+		if r.recovering || id.View != r.view {
+			return
+		}
+		// A view that expired with an empty mempool is idle rotation,
+		// not a failure: the backoff only grows when there was work to
+		// order and the view still made no progress.
+		if r.cfg.SyntheticWorkload || r.pool.Len() > 0 {
+			r.pm.Expired()
+			r.env.Logf("view %d timed out (failures=%d)", r.view, r.pm.Failures())
+		}
+		r.enterNextView()
+	case types.TimerRecoveryRetry:
+		if !r.recovering || id.View != r.recEpoch {
+			return
+		}
+		r.startRecovery()
+	}
+}
+
+// --- normal-case operations -------------------------------------------
+
+func (r *Replica) onNewView(from types.NodeID, m *MsgNewView) {
+	if r.recovering {
+		return
+	}
+	if m.CC != nil {
+		r.handleCC(m.CC, from)
+	}
+	if m.VC != nil {
+		vc := m.VC
+		if vc.Signer != from && from != r.cfg.Self {
+			return
+		}
+		// Window-bound acceptance keeps Byzantine senders from growing
+		// the map with certificates for views far in the future.
+		if vc.CurView >= r.view && vc.CurView < r.view+64 {
+			set := r.viewCerts[vc.CurView]
+			if set == nil {
+				set = make(map[types.NodeID]*types.ViewCert)
+				r.viewCerts[vc.CurView] = set
+			}
+			set[vc.Signer] = vc
+		}
+	}
+	r.tryPropose()
+}
+
+// tryPropose attempts to propose in the current view, via the fast
+// path (commitment certificate for view-1) or the accumulator path
+// (f+1 view certificates for the current view).
+func (r *Replica) tryPropose() {
+	if r.recovering || !r.cfg.IsLeader(r.view) || r.chk.Proposed() {
+		return
+	}
+	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
+		// Nothing to order; wait for client traffic (the view advances
+		// by timeout while idle).
+		return
+	}
+	// Fast path: extend the block committed in the previous view.
+	if !r.cfg.DisableFastPath && r.lastCC != nil && r.lastCC.View == r.view-1 {
+		if ok, missing := r.store.HasAncestry(r.lastCC.Hash); ok {
+			r.propose(r.lastCC.Hash, nil, r.lastCC)
+			return
+		} else {
+			r.requestBlock(missing, r.cfg.Leader(r.lastCC.View))
+		}
+	}
+	// Accumulator path: f+1 view certificates for this view.
+	set := r.viewCerts[r.view]
+	if len(set) < r.cfg.Quorum() {
+		return
+	}
+	var best *types.ViewCert
+	for _, vc := range set {
+		if best == nil || vc.PrepView > best.PrepView {
+			best = vc
+		}
+	}
+	if ok, missing := r.store.HasAncestry(best.PrepHash); !ok {
+		r.requestBlock(missing, best.Signer)
+		return
+	}
+	certs := make([]*types.ViewCert, 0, r.cfg.Quorum())
+	certs = append(certs, best)
+	for _, vc := range set {
+		if len(certs) == r.cfg.Quorum() {
+			break
+		}
+		if vc != best {
+			certs = append(certs, vc)
+		}
+	}
+	acc, err := r.acc.TEEaccum(best, certs)
+	if err != nil {
+		r.env.Logf("TEEaccum failed: %v", err)
+		return
+	}
+	r.propose(acc.Hash, acc, nil)
+}
+
+func (r *Replica) haveQuorumCerts() bool {
+	return len(r.viewCerts[r.view]) >= r.cfg.Quorum()
+}
+
+// propose creates, certifies and broadcasts a block extending
+// parentHash, justified by exactly one of acc and cc (Algorithm 1,
+// propose function).
+func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.CommitCert) {
+	parent := r.store.Get(parentHash)
+	if parent == nil {
+		return
+	}
+	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
+	op := r.machine.Execute(parent.Op, txs)
+	b := &types.Block{
+		Txs:      txs,
+		Op:       op,
+		Parent:   parentHash,
+		View:     r.view,
+		Height:   parent.Height + 1,
+		Proposer: r.cfg.Self,
+		Proposed: r.env.Now(),
+	}
+	bc, err := r.chk.TEEprepare(b, b.Hash(), acc, cc)
+	if err != nil {
+		r.env.Logf("TEEprepare failed: %v", err)
+		return
+	}
+	r.store.Add(b)
+	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
+	r.voteHash = b.Hash()
+	r.env.Broadcast(&MsgProposal{Block: b, BC: bc})
+	// Vote for our own block.
+	sc, err := r.chk.TEEstore(bc)
+	if err != nil {
+		return
+	}
+	r.onVote(r.cfg.Self, &MsgVote{SC: sc})
+}
+
+func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
+	if r.recovering {
+		return
+	}
+	b, bc := m.Block, m.BC
+	if b == nil || bc == nil || b.Hash() != bc.Hash || b.View != bc.View {
+		return
+	}
+	if bc.Signer != r.cfg.Leader(bc.View) || b.Proposer != bc.Signer {
+		return
+	}
+	switch {
+	case bc.View < r.view:
+		return
+	case bc.View > r.view:
+		// We have not advanced yet (the DECIDE that moves us is in
+		// flight); keep the proposal for when we do. The window is
+		// bounded to keep Byzantine leaders from exhausting memory.
+		if bc.View < r.view+64 {
+			r.stashedProposals[bc.View] = m
+		}
+		return
+	}
+	// Block validity (Sec. 4.4): ancestry available and execution
+	// results correct.
+	if ok, missing := r.store.HasAncestry(b.Parent); !ok {
+		r.requestBlock(missing, from)
+		r.stashedProposals[bc.View] = m
+		return
+	}
+	parent := r.store.Get(b.Parent)
+	if parent == nil || b.Height != parent.Height+1 {
+		return
+	}
+	if op := r.machine.Execute(parent.Op, b.Txs); !bytes.Equal(op, b.Op) {
+		r.env.Logf("proposal with invalid execution results from %v", from)
+		return
+	}
+	sc, err := r.chk.TEEstore(bc)
+	if err != nil {
+		return
+	}
+	r.store.Add(b)
+	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
+	r.deliverOrSend(r.cfg.Leader(bc.View), &MsgVote{SC: sc})
+}
+
+func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
+	if r.recovering {
+		return
+	}
+	sc := m.SC
+	if sc == nil || sc.Signer != from || sc.View != r.view || !r.cfg.IsLeader(r.view) || r.decided {
+		return
+	}
+	if r.voteHash.IsZero() || sc.Hash != r.voteHash || r.votes[sc.Signer] != nil {
+		return
+	}
+	// Our own store certificate needs no re-verification; peers' do.
+	if sc.Signer != r.cfg.Self &&
+		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View), sc.Sig) {
+		return
+	}
+	r.votes[sc.Signer] = sc
+	if len(r.votes) < r.cfg.Quorum() {
+		return
+	}
+	r.decided = true
+	signers := make([]types.NodeID, 0, len(r.votes))
+	sigs := make([]types.Signature, 0, len(r.votes))
+	for id, v := range r.votes {
+		signers = append(signers, id)
+		sigs = append(sigs, v.Sig)
+	}
+	cc := &types.CommitCert{Hash: sc.Hash, View: sc.View, Signers: signers, Sigs: sigs}
+	r.env.Broadcast(&MsgDecide{CC: cc})
+	r.handleCC(cc, r.cfg.Self)
+}
+
+func (r *Replica) onDecide(from types.NodeID, m *MsgDecide) {
+	if r.recovering || m.CC == nil {
+		return
+	}
+	r.handleCC(m.CC, from)
+}
+
+// handleCC processes a commitment certificate: it verifies it, commits
+// the certified block (and uncommitted ancestors, per the chained
+// commit rule), replies to clients, and advances into the next view.
+func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
+	if r.store.IsCommitted(cc.Hash) {
+		return
+	}
+	if len(cc.Signers) < r.cfg.Quorum() {
+		return
+	}
+	// No host-side signature check here: TEEstoreCommit verifies the
+	// certificate inside the enclave before any state changes, and the
+	// ledger only commits after it succeeds.
+	if ok, missing := r.store.HasAncestry(cc.Hash); !ok {
+		r.requestBlock(missing, from)
+		if len(r.stashedCCs) < 64 {
+			r.stashedCCs = append(r.stashedCCs, cc)
+		}
+		return
+	}
+	if err := r.chk.TEEstoreCommit(cc); err != nil {
+		return
+	}
+	newly, err := r.store.Commit(cc.Hash)
+	if err != nil {
+		r.env.Logf("SAFETY ALARM: %v", err)
+		return
+	}
+	b := r.store.Get(cc.Hash)
+	r.prebBlock, r.prebCC = b, cc
+	if r.prebBC != nil && r.prebBC.Hash != cc.Hash {
+		r.prebBC = nil
+	}
+	if r.lastCC == nil || cc.View > r.lastCC.View {
+		r.lastCC = cc
+	}
+	for _, nb := range newly {
+		r.env.Commit(nb, cc)
+		r.pool.MarkCommitted(nb.Txs)
+		r.replyClients(nb, cc)
+	}
+	if cc.View >= r.view {
+		r.pm.Progress()
+		r.enterNextView()
+	}
+	// Periodically drop old block bodies.
+	if r.store.CommittedHeight()%256 == 0 && r.store.CommittedHeight() > 1024 {
+		r.store.PruneBefore(r.store.CommittedHeight() - 1024)
+	}
+}
+
+// replyClients sends one certified reply per real client with
+// transactions in the committed block (reply responsiveness, Sec. 6.1:
+// a single verifiable reply suffices).
+func (r *Replica) replyClients(b *types.Block, cc *types.CommitCert) {
+	var perClient map[types.NodeID][]types.TxKey
+	for i := range b.Txs {
+		c := b.Txs[i].Client
+		if c.IsSynthetic() || !c.IsClient() {
+			continue
+		}
+		if perClient == nil {
+			perClient = make(map[types.NodeID][]types.TxKey)
+		}
+		perClient[c] = append(perClient[c], b.Txs[i].Key())
+	}
+	for c, keys := range perClient {
+		r.env.Send(c, &types.ClientReply{
+			Block: b.Hash(), View: cc.View, Height: b.Height,
+			TxKeys: keys, Certified: true, From: r.cfg.Self,
+		})
+	}
+}
+
+// --- block synchronization ---------------------------------------------
+
+func (r *Replica) requestBlock(h types.Hash, from types.NodeID) {
+	if r.inflightSync[h] || from == r.cfg.Self || h.IsZero() {
+		return
+	}
+	r.inflightSync[h] = true
+	r.env.Send(from, &types.BlockRequest{Hash: h, From: r.cfg.Self})
+}
+
+func (r *Replica) onBlockRequest(from types.NodeID, m *types.BlockRequest) {
+	if r.recovering {
+		return
+	}
+	if b := r.store.Get(m.Hash); b != nil {
+		r.env.Send(from, &types.BlockResponse{Block: b})
+	}
+}
+
+func (r *Replica) onBlockResponse(from types.NodeID, m *types.BlockResponse) {
+	if m.Block == nil {
+		return
+	}
+	h := m.Block.Hash()
+	if !r.inflightSync[h] {
+		return
+	}
+	delete(r.inflightSync, h)
+	r.store.Add(m.Block)
+	// Continue walking toward the committed chain if needed.
+	if ok, missing := r.store.HasAncestry(h); !ok {
+		r.requestBlock(missing, from)
+	}
+	r.resumeStashed(from)
+}
+
+// resumeStashed retries work that was blocked on missing ancestors.
+func (r *Replica) resumeStashed(from types.NodeID) {
+	if r.recovering {
+		return
+	}
+	if len(r.stashedCCs) > 0 {
+		ccs := r.stashedCCs
+		r.stashedCCs = nil
+		for _, cc := range ccs {
+			if !r.store.IsCommitted(cc.Hash) {
+				r.handleCC(cc, from)
+			}
+		}
+	}
+	if m, ok := r.stashedProposals[r.view]; ok {
+		delete(r.stashedProposals, r.view)
+		r.onProposal(m.BC.Signer, m)
+	}
+	r.tryPropose()
+}
+
+// View returns the replica's current view (for tests and metrics).
+func (r *Replica) View() types.View { return r.view }
+
+// Recovering reports whether the replica is still in recovery.
+func (r *Replica) Recovering() bool { return r.recovering }
+
+// InitTime returns the duration of post-reboot initialization (enclave
+// re-creation plus channel setup) — Table 2's "Initialization" row.
+func (r *Replica) InitTime() time.Duration { return r.initEndAt - r.bootAt }
+
+// RecoveryTime returns the duration of the recovery protocol itself
+// (request to TEErecover completion) — Table 2's "Recovery" row. It
+// returns 0 while recovery is still in progress.
+func (r *Replica) RecoveryTime() time.Duration {
+	if r.recoverEndAt == 0 {
+		return 0
+	}
+	return r.recoverEndAt - r.initEndAt
+}
+
+// Ledger exposes the replica's block store (read-only use by tests,
+// examples and the harness's safety checker).
+func (r *Replica) Ledger() *ledger.Store { return r.store }
+
+// Checker exposes the trusted checker (tests).
+func (r *Replica) Checker() *checker.Checker { return r.chk }
+
+// Enclave exposes the enclave host handle (tests, overhead profiling).
+func (r *Replica) Enclave() *tee.Enclave { return r.enclave }

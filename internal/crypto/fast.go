@@ -1,0 +1,57 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"achilles/internal/types"
+)
+
+// FastScheme implements Scheme with per-node HMAC-SHA256 keys. It is a
+// *simulation* scheme: the "public" key is the MAC key itself, so only
+// environments with a trusted key distribution (the simulator harness)
+// may use it. Its purpose is to keep host-side CPU out of large virtual
+// experiments; the simulator charges ECDSA-calibrated virtual time for
+// every operation regardless of scheme, so measured results match.
+type FastScheme struct{}
+
+// Name implements Scheme.
+func (FastScheme) Name() string { return "hmac-fast" }
+
+type fastKey struct{ secret [32]byte }
+
+func (fastKey) privateKey() {}
+func (fastKey) publicKey()  {}
+
+// KeyPair implements Scheme.
+func (FastScheme) KeyPair(seed int64, id types.NodeID) (PrivateKey, PublicKey) {
+	var init [48]byte
+	copy(init[:], "achilles-fastkey-v1")
+	binary.BigEndian.PutUint64(init[24:], uint64(seed))
+	binary.BigEndian.PutUint64(init[32:], uint64(id))
+	k := fastKey{secret: sha256.Sum256(init[:])}
+	return k, k
+}
+
+// Sign implements Scheme.
+func (FastScheme) Sign(priv PrivateKey, msg []byte) types.Signature {
+	k, ok := priv.(fastKey)
+	if !ok {
+		return nil
+	}
+	m := hmac.New(sha256.New, k.secret[:])
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+// Verify implements Scheme.
+func (FastScheme) Verify(pub PublicKey, msg []byte, sig types.Signature) bool {
+	k, ok := pub.(fastKey)
+	if !ok {
+		return false
+	}
+	m := hmac.New(sha256.New, k.secret[:])
+	m.Write(msg)
+	return hmac.Equal(m.Sum(nil), sig)
+}

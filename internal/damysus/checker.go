@@ -1,0 +1,195 @@
+// Package damysus implements chained Damysus (Decouchant et al.,
+// EuroSys '22), the protocol Achilles is built on, as the paper's
+// primary baseline. It keeps Damysus' two voting phases — PREPARE and
+// PRE-COMMIT — so committing a block takes six communication steps end
+// to end, and its CHECKER stores only *prepared* blocks (certified by
+// f+1 prepare votes), which is exactly the restriction Achilles lifts.
+//
+// The -R variant (Damysus-R, Sec. 5.1) wires every checker invocation
+// to a trusted persistent counter: before the checker's state changes
+// it is sealed and the counter incremented, paying the device's write
+// latency. Four accesses sit on the critical path of each view
+// (Table 1), which is what makes Damysus-R the slowest baseline.
+package damysus
+
+import (
+	"errors"
+
+	"achilles/internal/crypto"
+	"achilles/internal/tee"
+	"achilles/internal/tee/counter"
+	"achilles/internal/types"
+)
+
+// Errors returned by trusted functions.
+var (
+	ErrAlreadyProposed = errors.New("damysus: block already proposed in this view")
+	ErrBadCertificate  = errors.New("damysus: invalid certificate")
+	ErrWrongView       = errors.New("damysus: certificate view mismatch")
+	ErrStale           = errors.New("damysus: stale certificate")
+)
+
+// Checker is Damysus' stateful trusted component. Compared to
+// Achilles' checker it differs in two ways: (prepv, preph) may only
+// advance to *prepared* blocks, and (in -R mode) every invocation
+// performs a persistent-counter write for rollback prevention.
+type Checker struct {
+	enc      *tee.Enclave
+	svc      *crypto.Service
+	leaderOf func(types.View) types.NodeID
+	quorum   int
+	ctr      counter.Counter
+
+	vi   types.View
+	flag bool
+	prpv types.View
+	prph types.Hash
+}
+
+// CheckerConfig configures a Damysus checker.
+type CheckerConfig struct {
+	Enclave     *tee.Enclave
+	Service     *crypto.Service
+	LeaderOf    func(types.View) types.NodeID
+	Quorum      int
+	GenesisHash types.Hash
+	// Counter, when non-nil, enables rollback prevention: every state
+	// mutation seals the state and increments the persistent counter.
+	Counter counter.Counter
+}
+
+// NewChecker creates a Damysus checker at genesis state.
+func NewChecker(cfg CheckerConfig) *Checker {
+	return &Checker{
+		enc:      cfg.Enclave,
+		svc:      cfg.Service,
+		leaderOf: cfg.LeaderOf,
+		quorum:   cfg.Quorum,
+		ctr:      cfg.Counter,
+		prph:     cfg.GenesisHash,
+	}
+}
+
+// protect performs rollback prevention for a state update: seal the
+// new state, then increment the persistent counter (store + increase,
+// Sec. 2.1). The counter's write latency is charged to the meter.
+func (c *Checker) protect() {
+	if c.ctr == nil {
+		return
+	}
+	var state [50]byte // vi, flag, prepv, preph
+	c.enc.Seal("damysus-checker", state[:])
+	c.ctr.Increment()
+}
+
+// View returns the checker's current view.
+func (c *Checker) View() types.View { return c.vi }
+
+// PrepView returns the view of the last prepared block.
+func (c *Checker) PrepView() types.View { return c.prpv }
+
+// PrepHash returns the hash of the last prepared block.
+func (c *Checker) PrepHash() types.Hash { return c.prph }
+
+// TEEnewview enters the next view and certifies the last *prepared*
+// block for the new leader's accumulator.
+func (c *Checker) TEEnewview() (*types.ViewCert, error) {
+	c.enc.EnterCall()
+	c.vi++
+	c.flag = false
+	c.protect()
+	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
+	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEprepare certifies the leader's block for the current view. The
+// accumulator certificate proves b extends the highest prepared block
+// among f+1 new-view certificates.
+func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert) (*types.BlockCert, error) {
+	c.enc.EnterCall()
+	if c.flag {
+		return nil, ErrAlreadyProposed
+	}
+	if b.Hash() != h || acc == nil {
+		return nil, ErrBadCertificate
+	}
+	if len(acc.IDs) < c.quorum || !crypto.DistinctIDs(acc.IDs) {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
+		return nil, ErrBadCertificate
+	}
+	if b.Parent != acc.Hash || acc.CurView != c.vi {
+		return nil, ErrWrongView
+	}
+	c.flag = true
+	c.protect()
+	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi))
+	return &types.BlockCert{Hash: h, View: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEvotePrepare produces this node's PREPARE-phase vote for the
+// leader's certified block.
+func (c *Checker) TEEvotePrepare(bc *types.BlockCert) (*types.StoreCert, error) {
+	c.enc.EnterCall()
+	if bc.Signer != c.leaderOf(bc.View) {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+		return nil, ErrBadCertificate
+	}
+	if bc.View < c.vi {
+		return nil, ErrStale
+	}
+	if bc.View > c.vi {
+		c.vi = bc.View
+		c.flag = false
+	}
+	c.protect()
+	sig := c.svc.Sign(types.PrepareCertPayload(bc.Hash, bc.View))
+	return &types.StoreCert{Hash: bc.Hash, View: bc.View, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEstorePrepared records a block certified by f+1 prepare votes as
+// the last prepared block and produces the PRE-COMMIT-phase vote.
+func (c *Checker) TEEstorePrepared(pc *types.CommitCert) (*types.StoreCert, error) {
+	c.enc.EnterCall()
+	if len(pc.Signers) < c.quorum {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.VerifyQuorum(pc.Signers, types.PrepareCertPayload(pc.Hash, pc.View), pc.Sigs) {
+		return nil, ErrBadCertificate
+	}
+	if pc.View < c.prpv {
+		return nil, ErrStale
+	}
+	c.prpv, c.prph = pc.View, pc.Hash
+	if pc.View > c.vi {
+		c.vi = pc.View
+		c.flag = false
+	}
+	c.protect()
+	sig := c.svc.Sign(types.StoreCertPayload(pc.Hash, pc.View))
+	return &types.StoreCert{Hash: pc.Hash, View: pc.View, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEcatchup adopts the state certified by a commitment certificate
+// (f+1 commit votes) — used by nodes that missed a view's phases.
+func (c *Checker) TEEcatchup(cc *types.CommitCert) error {
+	c.enc.EnterCall()
+	if len(cc.Signers) < c.quorum {
+		return ErrBadCertificate
+	}
+	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+		return ErrBadCertificate
+	}
+	if cc.View >= c.prpv {
+		c.prpv, c.prph = cc.View, cc.Hash
+	}
+	if cc.View > c.vi {
+		c.vi = cc.View
+		c.flag = false
+	}
+	c.protect()
+	return nil
+}

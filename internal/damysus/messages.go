@@ -1,0 +1,73 @@
+package damysus
+
+import "achilles/internal/types"
+
+// MsgNewView carries a node's NEW-VIEW certificate (last prepared
+// block) to the leader of the new view.
+type MsgNewView struct {
+	VC *types.ViewCert
+}
+
+// Type implements types.Message.
+func (*MsgNewView) Type() string { return "damysus/new-view" }
+
+// Size implements types.Message.
+func (m *MsgNewView) Size() int { return m.VC.WireSize() }
+
+// MsgPrepare is the leader's PREPARE-phase proposal.
+type MsgPrepare struct {
+	Block *types.Block
+	BC    *types.BlockCert
+}
+
+// Type implements types.Message.
+func (*MsgPrepare) Type() string { return "damysus/prepare" }
+
+// Size implements types.Message.
+func (m *MsgPrepare) Size() int { return m.Block.WireSize() + m.BC.WireSize() }
+
+// MsgPrepareVote carries a backup's PREPARE vote to the leader.
+type MsgPrepareVote struct {
+	SC *types.StoreCert
+}
+
+// Type implements types.Message.
+func (*MsgPrepareVote) Type() string { return "damysus/prepare-vote" }
+
+// Size implements types.Message.
+func (m *MsgPrepareVote) Size() int { return m.SC.WireSize() }
+
+// MsgPrepared broadcasts the combined f+1 prepare votes (the block is
+// now prepared), opening the PRE-COMMIT phase.
+type MsgPrepared struct {
+	PC *types.CommitCert // signatures over PrepareCertPayload
+}
+
+// Type implements types.Message.
+func (*MsgPrepared) Type() string { return "damysus/prepared" }
+
+// Size implements types.Message.
+func (m *MsgPrepared) Size() int { return m.PC.WireSize() }
+
+// MsgCommitVote carries a backup's PRE-COMMIT vote to the leader.
+type MsgCommitVote struct {
+	SC *types.StoreCert
+}
+
+// Type implements types.Message.
+func (*MsgCommitVote) Type() string { return "damysus/commit-vote" }
+
+// Size implements types.Message.
+func (m *MsgCommitVote) Size() int { return m.SC.WireSize() }
+
+// MsgDecide broadcasts the commitment certificate; nodes execute the
+// block, reply to clients and move to the next view.
+type MsgDecide struct {
+	CC *types.CommitCert
+}
+
+// Type implements types.Message.
+func (*MsgDecide) Type() string { return "damysus/decide" }
+
+// Size implements types.Message.
+func (m *MsgDecide) Size() int { return m.CC.WireSize() }

@@ -1,0 +1,499 @@
+// Package flexibft implements FlexiBFT (Gupta et al., EuroSys '23),
+// the protocol whose tolerance-performance tradeoff motivates
+// Achilles. FlexiBFT relaxes the threshold to n = 3f+1 so that only
+// the leader needs a TEE: a trusted sequencer whose persistent counter
+// assigns each block a unique, rollback-protected sequence number
+// (one counter write per block — Table 1). Backups vote with ordinary
+// signatures broadcast to everyone (O(n²) messages), and any node
+// commits once it sees 2f+1 matching votes — four communication steps
+// end to end, with reply responsiveness.
+//
+// The implementation uses a stable leader with serial (chained) block
+// commitment, matching the configuration described in Sec. 5.1.
+package flexibft
+
+import (
+	"bytes"
+	"errors"
+	"time"
+
+	"achilles/internal/crypto"
+	"achilles/internal/ledger"
+	"achilles/internal/mempool"
+	"achilles/internal/protocol"
+	"achilles/internal/statemachine"
+	"achilles/internal/tee"
+	"achilles/internal/tee/counter"
+	"achilles/internal/types"
+)
+
+// ErrSeqUsed is returned when the sequencer is asked to certify a
+// second block for an already-assigned sequence number.
+var ErrSeqUsed = errors.New("flexibft: sequence number already assigned")
+
+// Sequencer is FlexiBFT's only trusted component: it binds each block
+// to the next value of a persistent monotonic counter, preventing both
+// equivocation and rollback of the leader's log position.
+type Sequencer struct {
+	enc  *tee.Enclave
+	svc  *crypto.Service
+	ctr  counter.Counter
+	next uint64
+}
+
+// NewSequencer creates a sequencer backed by the given counter.
+func NewSequencer(enc *tee.Enclave, svc *crypto.Service, ctr counter.Counter) *Sequencer {
+	return &Sequencer{enc: enc, svc: svc, ctr: ctr}
+}
+
+// TEEorder certifies block b as the seq-th block of this leader. The
+// persistent counter write is the rollback prevention the paper's
+// Fig. 5 sweeps.
+func (s *Sequencer) TEEorder(b *types.Block, h types.Hash, seq uint64) (*types.BlockCert, error) {
+	s.enc.EnterCall()
+	if b.Hash() != h || seq < s.next {
+		return nil, ErrSeqUsed
+	}
+	s.next = seq + 1
+	if s.ctr != nil {
+		var state [16]byte
+		s.enc.Seal("flexibft-seq", state[:])
+		s.ctr.Increment()
+	}
+	sig := s.svc.Sign(types.BlockCertPayload(h, types.View(seq)))
+	return &types.BlockCert{Hash: h, View: types.View(seq), Signer: s.svc.Self(), Sig: sig}, nil
+}
+
+// --- messages ------------------------------------------------------------
+
+// MsgProposal is the leader's sequenced block.
+type MsgProposal struct {
+	Block *types.Block
+	BC    *types.BlockCert // View field carries the sequence number
+	Epoch types.View
+}
+
+// Type implements types.Message.
+func (*MsgProposal) Type() string { return "flexibft/proposal" }
+
+// Size implements types.Message.
+func (m *MsgProposal) Size() int { return m.Block.WireSize() + m.BC.WireSize() + 8 }
+
+// MsgVote is a backup's vote, broadcast to every node.
+type MsgVote struct {
+	SC    *types.StoreCert // View field carries the sequence number
+	Epoch types.View
+}
+
+// Type implements types.Message.
+func (*MsgVote) Type() string { return "flexibft/vote" }
+
+// Size implements types.Message.
+func (m *MsgVote) Size() int { return m.SC.WireSize() + 8 }
+
+// MsgEpochChange asks to depose the current leader; 2f+1 of these
+// start the next epoch with the next round-robin leader.
+type MsgEpochChange struct {
+	NextEpoch types.View
+	Committed types.Hash
+	Height    types.Height
+	Signer    types.NodeID
+	Sig       types.Signature
+}
+
+// Type implements types.Message.
+func (*MsgEpochChange) Type() string { return "flexibft/epoch-change" }
+
+// Size implements types.Message.
+func (m *MsgEpochChange) Size() int { return 8 + 32 + 8 + 4 + types.SigSize }
+
+// epochChangePayload is the signed content of an epoch change.
+func epochChangePayload(e types.View, h types.Hash, height types.Height) []byte {
+	return types.ViewCertPayload(h, types.View(height), e)
+}
+
+// --- replica -------------------------------------------------------------
+
+// Config parameterizes a FlexiBFT replica.
+type Config struct {
+	protocol.Config
+
+	Scheme              crypto.Scheme
+	Ring                *crypto.KeyRing
+	Priv                crypto.PrivateKey
+	CryptoCosts         crypto.Costs
+	TEECosts            tee.CallCosts
+	EnclaveCryptoFactor float64
+	MachineSecret       [32]byte
+	SealedStore         tee.SealedStore
+	ExecCostPerTx       time.Duration
+	SyntheticWorkload   bool
+	// CounterSpec selects the persistent counter device guarding the
+	// leader's sequencer (FlexiBFT always uses one).
+	CounterSpec counter.Spec
+}
+
+// quorumBFT is FlexiBFT's 2f+1 vote quorum out of 3f+1 nodes.
+func (c Config) quorumBFT() int { return types.QuorumBFT(c.F) }
+
+// Replica is a FlexiBFT consensus node.
+type Replica struct {
+	cfg Config
+	env protocol.Env
+
+	svc     *crypto.Service
+	teeSvc  *crypto.Service
+	enclave *tee.Enclave
+	seq     *Sequencer
+	store   *ledger.Store
+	pool    *mempool.Pool
+	machine statemachine.Machine
+	pm      protocol.Pacemaker
+
+	epoch    types.View
+	proposed types.Height // highest height we proposed (as leader)
+
+	votes        map[types.Hash]map[types.NodeID]*types.StoreCert
+	epochChanges map[types.View]map[types.NodeID]*MsgEpochChange
+	timerEpoch   types.View
+	progressAt   types.Height
+
+	stashedBlocks map[types.Hash]*MsgProposal
+	inflightSync  map[types.Hash]bool
+}
+
+// New creates a FlexiBFT replica.
+func New(cfg Config) *Replica {
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 500 * time.Millisecond
+	}
+	if cfg.CounterSpec.Name == "" {
+		cfg.CounterSpec = counter.DefaultSpec
+	}
+	return &Replica{
+		cfg:           cfg,
+		votes:         make(map[types.Hash]map[types.NodeID]*types.StoreCert),
+		epochChanges:  make(map[types.View]map[types.NodeID]*MsgEpochChange),
+		stashedBlocks: make(map[types.Hash]*MsgProposal),
+		inflightSync:  make(map[types.Hash]bool),
+	}
+}
+
+// leaderOf returns the stable leader of an epoch.
+func (r *Replica) leaderOf(e types.View) types.NodeID {
+	return types.NodeID(uint64(e) % uint64(r.cfg.N))
+}
+
+// Init implements protocol.Replica.
+func (r *Replica) Init(env protocol.Env) {
+	r.env = env
+	r.store = ledger.NewStore()
+	if r.cfg.SyntheticWorkload {
+		r.pool = mempool.NewSynthetic(r.cfg.Self, r.cfg.PayloadSize)
+	} else {
+		r.pool = mempool.New()
+	}
+	r.machine = statemachine.NewDigestMachine(env, r.cfg.ExecCostPerTx)
+	r.enclave = tee.New(tee.Config{
+		Measurement:   types.HashBytes([]byte("flexibft-sequencer-v1")),
+		MachineSecret: r.cfg.MachineSecret,
+		Meter:         env,
+		Costs:         r.cfg.TEECosts,
+		Store:         r.cfg.SealedStore,
+	})
+	teeCosts := r.cfg.CryptoCosts
+	if f := r.cfg.EnclaveCryptoFactor; f > 0 {
+		teeCosts.Sign = time.Duration(float64(teeCosts.Sign) * f)
+		teeCosts.Verify = time.Duration(float64(teeCosts.Verify) * f)
+	}
+	r.svc = crypto.NewService(r.cfg.Scheme, r.cfg.Ring, r.cfg.Priv, r.cfg.Self, env, r.cfg.CryptoCosts)
+	r.teeSvc = crypto.NewService(r.cfg.Scheme, r.cfg.Ring, r.cfg.Priv, r.cfg.Self, env, teeCosts)
+	r.seq = NewSequencer(r.enclave, r.teeSvc, counter.New(r.cfg.CounterSpec, env))
+	r.pm = protocol.Pacemaker{Base: r.cfg.BaseTimeout, MaxShift: 10}
+	r.armTimer()
+	r.tryPropose()
+}
+
+func (r *Replica) armTimer() {
+	r.timerEpoch = r.epoch
+	r.progressAt = r.store.CommittedHeight()
+	r.env.SetTimer(r.pm.Timeout(), types.TimerID{Kind: types.TimerViewChange, View: r.epoch})
+}
+
+// OnMessage implements protocol.Replica.
+func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *MsgProposal:
+		r.onProposal(from, m)
+	case *MsgVote:
+		r.onVote(from, m)
+	case *MsgEpochChange:
+		r.onEpochChange(from, m)
+	case *types.BlockRequest:
+		if b := r.store.Get(m.Hash); b != nil {
+			r.env.Send(from, &types.BlockResponse{Block: b})
+		}
+	case *types.BlockResponse:
+		r.onBlockResponse(from, m)
+	case *types.ClientRequest:
+		r.pool.Add(m.Txs)
+		r.tryPropose()
+	}
+}
+
+// OnTimer implements protocol.Replica.
+func (r *Replica) OnTimer(id types.TimerID) {
+	if id.Kind != types.TimerViewChange || id.View != r.epoch {
+		return
+	}
+	if r.store.CommittedHeight() > r.progressAt {
+		// Progress was made; keep the leader.
+		r.pm.Progress()
+		r.armTimer()
+		return
+	}
+	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
+		// Idle system, no reason to depose the leader.
+		r.armTimer()
+		return
+	}
+	r.pm.Expired()
+	next := r.epoch + 1
+	head := r.store.Head()
+	ec := &MsgEpochChange{
+		NextEpoch: next,
+		Committed: head.Hash(),
+		Height:    head.Height,
+		Signer:    r.cfg.Self,
+		Sig:       r.svc.Sign(epochChangePayload(next, head.Hash(), head.Height)),
+	}
+	r.env.Broadcast(ec)
+	r.onEpochChange(r.cfg.Self, ec)
+	r.armTimer()
+}
+
+func (r *Replica) onEpochChange(from types.NodeID, m *MsgEpochChange) {
+	if m.Signer != from || m.NextEpoch <= r.epoch {
+		return
+	}
+	if from != r.cfg.Self &&
+		!r.svc.Verify(m.Signer, epochChangePayload(m.NextEpoch, m.Committed, m.Height), m.Sig) {
+		return
+	}
+	set := r.epochChanges[m.NextEpoch]
+	if set == nil {
+		set = make(map[types.NodeID]*MsgEpochChange)
+		r.epochChanges[m.NextEpoch] = set
+	}
+	set[m.Signer] = m
+	if len(set) < r.cfg.quorumBFT() {
+		return
+	}
+	r.epoch = m.NextEpoch
+	delete(r.epochChanges, m.NextEpoch)
+	r.pm.Progress()
+	r.armTimer()
+	r.tryPropose()
+}
+
+// tryPropose makes the stable leader extend its committed head with
+// the next sequenced block.
+func (r *Replica) tryPropose() {
+	if r.leaderOf(r.epoch) != r.cfg.Self {
+		return
+	}
+	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
+		return
+	}
+	head := r.store.Head()
+	if head.Height < r.proposed {
+		return // previous proposal still in flight
+	}
+	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
+	op := r.machine.Execute(head.Op, txs)
+	b := &types.Block{
+		Txs: txs, Op: op, Parent: head.Hash(),
+		View: r.epoch, Height: head.Height + 1,
+		Proposer: r.cfg.Self, Proposed: r.env.Now(),
+	}
+	bc, err := r.seq.TEEorder(b, b.Hash(), uint64(b.Height))
+	if err != nil {
+		return
+	}
+	r.proposed = b.Height
+	r.store.Add(b)
+	m := &MsgProposal{Block: b, BC: bc, Epoch: r.epoch}
+	r.env.Broadcast(m)
+	r.voteFor(b, bc)
+}
+
+// voteFor broadcasts this node's vote for a validated proposal.
+func (r *Replica) voteFor(b *types.Block, bc *types.BlockCert) {
+	sc := &types.StoreCert{
+		Hash: b.Hash(), View: bc.View, Signer: r.cfg.Self,
+		Sig: r.svc.Sign(types.StoreCertPayload(b.Hash(), bc.View)),
+	}
+	m := &MsgVote{SC: sc, Epoch: r.epoch}
+	r.env.Broadcast(m)
+	r.onVote(r.cfg.Self, m)
+}
+
+func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
+	b, bc := m.Block, m.BC
+	if b == nil || bc == nil || b.Hash() != bc.Hash {
+		return
+	}
+	if m.Epoch != r.epoch || b.Proposer != r.leaderOf(m.Epoch) || bc.Signer != b.Proposer {
+		return
+	}
+	if from != r.cfg.Self && !r.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+		return
+	}
+	if uint64(bc.View) != uint64(b.Height) {
+		return
+	}
+	if r.store.IsCommitted(b.Hash()) || r.store.Has(b.Hash()) {
+		return
+	}
+	if ok, missing := r.store.HasAncestry(b.Parent); !ok {
+		r.requestBlock(missing, from)
+		r.stashedBlocks[b.Parent] = m
+		return
+	}
+	parent := r.store.Get(b.Parent)
+	if parent == nil || b.Height != parent.Height+1 {
+		return
+	}
+	if op := r.machine.Execute(parent.Op, b.Txs); !bytes.Equal(op, b.Op) {
+		return
+	}
+	r.store.Add(b)
+	r.voteFor(b, bc)
+	// Votes that arrived before the proposal may already complete a
+	// quorum.
+	r.tryCommit(b.Hash())
+}
+
+func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
+	sc := m.SC
+	if sc == nil || sc.Signer != from {
+		return
+	}
+	if r.store.IsCommitted(sc.Hash) {
+		return
+	}
+	if from != r.cfg.Self &&
+		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View), sc.Sig) {
+		return
+	}
+	set := r.votes[sc.Hash]
+	if set == nil {
+		set = make(map[types.NodeID]*types.StoreCert)
+		r.votes[sc.Hash] = set
+	}
+	set[sc.Signer] = sc
+	r.tryCommit(sc.Hash)
+}
+
+// tryCommit commits a block once 2f+1 votes are in and its body and
+// ancestry are available.
+func (r *Replica) tryCommit(h types.Hash) {
+	set := r.votes[h]
+	if len(set) < r.cfg.quorumBFT() || r.store.IsCommitted(h) {
+		return
+	}
+	b := r.store.Get(h)
+	if b == nil {
+		return // body not yet received; commit happens after sync/vote replay
+	}
+	if ok, _ := r.store.HasAncestry(h); !ok {
+		return
+	}
+	var cc types.CommitCert
+	for id, v := range set {
+		cc.Hash, cc.View = v.Hash, v.View
+		cc.Signers = append(cc.Signers, id)
+		cc.Sigs = append(cc.Sigs, v.Sig)
+	}
+	newly, err := r.store.Commit(h)
+	if err != nil {
+		r.env.Logf("SAFETY ALARM: %v", err)
+		return
+	}
+	delete(r.votes, h)
+	for _, nb := range newly {
+		r.env.Commit(nb, &cc)
+		r.pool.MarkCommitted(nb.Txs)
+		r.replyClients(nb, &cc)
+	}
+	if r.store.CommittedHeight()%256 == 0 && r.store.CommittedHeight() > 1024 {
+		r.store.PruneBefore(r.store.CommittedHeight() - 1024)
+	}
+	// Stable leader: propose the next block.
+	r.tryPropose()
+	// A stashed child of the committed block can now be processed.
+	if m, ok := r.stashedBlocks[h]; ok {
+		delete(r.stashedBlocks, h)
+		r.onProposal(m.Block.Proposer, m)
+	}
+}
+
+// replyClients sends certified replies (FlexiBFT has reply
+// responsiveness: the commitment certificate accompanies the reply).
+func (r *Replica) replyClients(b *types.Block, cc *types.CommitCert) {
+	if r.leaderOf(r.epoch) != r.cfg.Self {
+		return
+	}
+	var perClient map[types.NodeID][]types.TxKey
+	for i := range b.Txs {
+		c := b.Txs[i].Client
+		if c.IsSynthetic() || !c.IsClient() {
+			continue
+		}
+		if perClient == nil {
+			perClient = make(map[types.NodeID][]types.TxKey)
+		}
+		perClient[c] = append(perClient[c], b.Txs[i].Key())
+	}
+	for c, keys := range perClient {
+		r.env.Send(c, &types.ClientReply{
+			Block: b.Hash(), View: cc.View, Height: b.Height,
+			TxKeys: keys, Certified: true, From: r.cfg.Self,
+		})
+	}
+}
+
+func (r *Replica) requestBlock(h types.Hash, from types.NodeID) {
+	if r.inflightSync[h] || from == r.cfg.Self || h.IsZero() {
+		return
+	}
+	r.inflightSync[h] = true
+	r.env.Send(from, &types.BlockRequest{Hash: h, From: r.cfg.Self})
+}
+
+func (r *Replica) onBlockResponse(from types.NodeID, m *types.BlockResponse) {
+	if m.Block == nil {
+		return
+	}
+	h := m.Block.Hash()
+	if !r.inflightSync[h] {
+		return
+	}
+	delete(r.inflightSync, h)
+	r.store.Add(m.Block)
+	if ok, missing := r.store.HasAncestry(h); !ok {
+		r.requestBlock(missing, from)
+		return
+	}
+	r.tryCommit(h)
+	if m2, ok := r.stashedBlocks[h]; ok {
+		delete(r.stashedBlocks, h)
+		r.onProposal(m2.Block.Proposer, m2)
+	}
+}
+
+// Epoch returns the current epoch (tests).
+func (r *Replica) Epoch() types.View { return r.epoch }
+
+// Ledger exposes the block store (tests, safety checks).
+func (r *Replica) Ledger() *ledger.Store { return r.store }

@@ -1,0 +1,87 @@
+package flexibft_test
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/flexibft"
+	"achilles/internal/harness"
+	"achilles/internal/types"
+)
+
+func TestFlexiBFTCommits(t *testing.T) {
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.FlexiBFT, F: 1, BatchSize: 20, PayloadSize: 8, Seed: 4, Synthetic: true,
+	})
+	if c.N != 4 {
+		t.Fatalf("FlexiBFT cluster size = %d, want 3f+1 = 4", c.N)
+	}
+	res := c.Measure(200*time.Millisecond, time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	if res.Blocks == 0 {
+		t.Fatal("no blocks")
+	}
+	// One counter write per block: latency at least the write latency.
+	if res.MeanLatency < 20*time.Millisecond {
+		t.Fatalf("latency %v below one counter write", res.MeanLatency)
+	}
+}
+
+func TestFlexiBFTQuadraticMessages(t *testing.T) {
+	run := func(f int) harness.Result {
+		c := harness.NewCluster(harness.ClusterConfig{
+			Protocol: harness.FlexiBFT, F: f, BatchSize: 20, PayloadSize: 8, Seed: 4, Synthetic: true,
+		})
+		res := c.Measure(200*time.Millisecond, time.Second)
+		if len(res.SafetyViolations) != 0 {
+			t.Fatalf("safety: %v", res.SafetyViolations)
+		}
+		return res
+	}
+	r1 := run(1) // n=4
+	r3 := run(3) // n=10
+	ratio := r3.MsgsPerBlock / r1.MsgsPerBlock
+	// n grows 2.5×; O(n²) votes should push message growth well above
+	// linear (2.5) toward quadratic (6.25).
+	if ratio < 3.5 {
+		t.Fatalf("message growth %.2f does not look quadratic", ratio)
+	}
+}
+
+func TestFlexiBFTEpochChangeOnLeaderCrash(t *testing.T) {
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.FlexiBFT, F: 1, BatchSize: 20, PayloadSize: 8, Seed: 4, Synthetic: true,
+	})
+	// Epoch 0's stable leader is node 0; crash it mid-run.
+	c.Engine.Crash(types.NodeID(0), 500*time.Millisecond)
+	res := c.Measure(200*time.Millisecond, 4*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	rep := c.Engine.Replica(1).(*flexibft.Replica)
+	if rep.Epoch() == 0 {
+		t.Fatal("no epoch change after leader crash")
+	}
+	if got := c.Metrics.CommitsAt(1); got == 0 {
+		t.Fatal("no commits at all")
+	}
+	// Progress after the crash: committed height advanced past what
+	// could have been reached before it.
+	if rep.Ledger().CommittedHeight() == 0 {
+		t.Fatal("ledger empty")
+	}
+}
+
+func TestFlexiBFTLeaderOnlyCounter(t *testing.T) {
+	// FlexiBFT's counter is leader-only: its latency must reflect ~1
+	// write per block, unlike Damysus-R's 3-4.
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.FlexiBFT, F: 1, BatchSize: 40, PayloadSize: 16, Seed: 21, Synthetic: true,
+	})
+	res := c.Measure(300*time.Millisecond, 1200*time.Millisecond)
+	if res.MeanLatency > 45*time.Millisecond {
+		t.Fatalf("latency %v suggests more than one counter write per block", res.MeanLatency)
+	}
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAchillesSmoke runs a small Achilles cluster to steady state and
+// checks liveness, safety and sane metrics.
+func TestAchillesSmoke(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol:    Achilles,
+		F:           2,
+		BatchSize:   100,
+		PayloadSize: 32,
+		Seed:        1,
+		Synthetic:   true,
+	})
+	res := c.Measure(200*time.Millisecond, time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety violations: %v", res.SafetyViolations)
+	}
+	if res.Blocks < 10 {
+		t.Fatalf("too few blocks committed: %d", res.Blocks)
+	}
+	if res.ThroughputTPS <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	if res.MeanLatency <= 0 {
+		t.Fatalf("no latency measured: %+v", res)
+	}
+	t.Logf("achilles f=2 LAN: %v", res)
+}
+
+// TestAllProtocolsSmoke checks that every protocol commits blocks
+// safely on a small LAN cluster.
+func TestAllProtocolsSmoke(t *testing.T) {
+	for _, p := range []ProtocolKind{Achilles, AchillesC, Damysus, DamysusR, OneShot, OneShotR, FlexiBFT, BRaft} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			c := NewCluster(ClusterConfig{
+				Protocol:    p,
+				F:           1,
+				BatchSize:   50,
+				PayloadSize: 16,
+				Seed:        7,
+				Synthetic:   true,
+			})
+			res := c.Measure(300*time.Millisecond, time.Second)
+			if len(res.SafetyViolations) != 0 {
+				t.Fatalf("safety violations: %v", res.SafetyViolations)
+			}
+			if res.Blocks == 0 {
+				t.Fatalf("no blocks committed: %+v", res)
+			}
+			t.Logf("%s: %v", p, res)
+		})
+	}
+}

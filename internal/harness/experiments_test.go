@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"testing"
+
+	"achilles/internal/sim"
+)
+
+// The experiment runners are exercised with QuickDurations; these
+// tests assert the qualitative claims of the paper's evaluation, which
+// must hold at any measurement length.
+
+func TestFig3OrderingLAN(t *testing.T) {
+	d := QuickDurations()
+	rows := Fig3Faults(sim.LANModel(), []int{2}, d)
+	byName := map[string]ExpRow{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	a, dr, fx, os := byName["Achilles"], byName["Damysus-R"], byName["FlexiBFT"], byName["OneShot-R"]
+	// C2-style claims: Achilles beats every counter-bound baseline by a
+	// wide margin in LAN, and Damysus-R is the slowest.
+	if !(a.TPSk > 3*fx.TPSk && a.TPSk > 5*os.TPSk && a.TPSk > 10*dr.TPSk) {
+		t.Fatalf("LAN throughput ordering broken: A=%v F=%v O=%v D=%v", a.TPSk, fx.TPSk, os.TPSk, dr.TPSk)
+	}
+	if !(dr.TPSk < os.TPSk) {
+		t.Fatalf("Damysus-R should trail OneShot-R: %v vs %v", dr.TPSk, os.TPSk)
+	}
+	if !(a.LatencyMS < os.LatencyMS && os.LatencyMS < dr.LatencyMS) {
+		t.Fatalf("latency ordering broken: %v %v %v", a.LatencyMS, os.LatencyMS, dr.LatencyMS)
+	}
+}
+
+func TestFig3BatchTrend(t *testing.T) {
+	d := QuickDurations()
+	rows := Fig3Batch(sim.LANModel(), []int{100, 400}, d)
+	// Throughput grows with batch size for every protocol (Fig. 3k).
+	for i := 0; i < len(rows); i += 2 {
+		small, big := rows[i], rows[i+1]
+		if big.TPSk <= small.TPSk {
+			t.Fatalf("%s: batch 400 (%.1fK) not faster than batch 100 (%.1fK)",
+				big.Protocol, big.TPSk, small.TPSk)
+		}
+	}
+}
+
+func TestFig3PayloadTrendLANAchilles(t *testing.T) {
+	d := QuickDurations()
+	rows := Fig3Payload(sim.LANModel(), []int{0, 512}, d)
+	for i := 0; i < len(rows); i += 2 {
+		zero, big := rows[i], rows[i+1]
+		if zero.Protocol == "Achilles" {
+			// Fig. 3g: payload growth hits Achilles hardest in LAN
+			// (network-bound); throughput must drop noticeably.
+			if big.TPSk >= zero.TPSk {
+				t.Fatalf("Achilles payload sweep flat: %v -> %v", zero.TPSk, big.TPSk)
+			}
+		}
+	}
+}
+
+func TestFig4SaturationShape(t *testing.T) {
+	d := QuickDurations()
+	low := Fig4Point(Achilles, 1000, d, 1)
+	high := Fig4Point(Achilles, 64000, d, 1)
+	if low.TPSk <= 0 || low.LatencyMS <= 0 {
+		t.Fatalf("no confirmed transactions at low load: %+v", low)
+	}
+	// Under 10x overload, latency must be visibly higher than at
+	// trickle load (queueing), and achieved throughput must exceed the
+	// low-load point.
+	if high.LatencyMS <= low.LatencyMS {
+		t.Fatalf("no queueing at saturation: %.3f vs %.3f ms", high.LatencyMS, low.LatencyMS)
+	}
+	if high.TPSk <= low.TPSk {
+		t.Fatalf("throughput did not grow with load: %v vs %v", high.TPSk, low.TPSk)
+	}
+}
+
+func TestTable1ComplexityMeasurements(t *testing.T) {
+	rows := Table1(QuickDurations())
+	for _, r := range rows {
+		growth := r.MsgsAtF4 / r.MsgsAtF2
+		switch r.Complexity {
+		case "O(n)":
+			// n grows 5 -> 9 = 1.8x.
+			if growth > 2.6 {
+				t.Fatalf("%s claims O(n) but messages grew %.2fx", r.Protocol, growth)
+			}
+		case "O(n^2)":
+			// n grows 7 -> 13 = 1.86x; squared = 3.45x.
+			if growth < 2.6 {
+				t.Fatalf("%s claims O(n^2) but messages grew only %.2fx", r.Protocol, growth)
+			}
+		}
+	}
+}
+
+func TestTable2RecoveryShape(t *testing.T) {
+	rows := Table2Recovery([]int{3, 9, 21}, QuickDurations())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RecoveryMS <= 0 || r.RecoveryMS > 40 {
+			t.Fatalf("n=%d recovery %.2fms out of range", r.Nodes, r.RecoveryMS)
+		}
+		if r.InitMS < 10 || r.InitMS > 30 {
+			t.Fatalf("n=%d init %.2fms out of range", r.Nodes, r.InitMS)
+		}
+		if r.TotalMS != r.InitMS+r.RecoveryMS {
+			t.Fatalf("total mismatch: %+v", r)
+		}
+	}
+	// Initialization grows with cluster size (channel setup).
+	if rows[2].InitMS <= rows[0].InitMS {
+		t.Fatalf("init not growing: %v vs %v", rows[2].InitMS, rows[0].InitMS)
+	}
+}
+
+func TestTable4Latencies(t *testing.T) {
+	rows := Table4Counters()
+	want := map[string]float64{"TPM": 97, "SGX": 160, "Narrator_LAN": 9, "Narrator_WAN": 45}
+	for _, r := range rows {
+		if w, ok := want[r.Name]; ok && r.WriteMS != w {
+			t.Fatalf("%s write = %v, want %v", r.Name, r.WriteMS, w)
+		}
+		if r.ReadMS <= 0 {
+			t.Fatalf("%s read = %v", r.Name, r.ReadMS)
+		}
+	}
+}
+
+func TestFig5Monotonicity(t *testing.T) {
+	d := QuickDurations()
+	rows := Fig5CounterSweep([]int{0, 40}, d)
+	// For every protocol, throughput at 40ms writes must be well below
+	// throughput at 0ms (Fig. 5's proportional decline).
+	for i := 0; i < len(rows); i += 2 {
+		free, slow := rows[i], rows[i+1]
+		if slow.TPSk >= free.TPSk*0.8 {
+			t.Fatalf("%s: counter latency had no effect (%.1fK -> %.1fK)",
+				free.Protocol, free.TPSk, slow.TPSk)
+		}
+		if slow.LatencyMS <= free.LatencyMS {
+			t.Fatalf("%s: latency flat under counter cost", free.Protocol)
+		}
+	}
+}
+
+func TestProtocolKindHelpers(t *testing.T) {
+	if Achilles.Nodes(3) != 7 || FlexiBFT.Nodes(3) != 10 {
+		t.Fatal("Nodes() wrong")
+	}
+	if Achilles.UsesCounter() || !DamysusR.UsesCounter() || !FlexiBFT.UsesCounter() || !OneShotR.UsesCounter() {
+		t.Fatal("UsesCounter() wrong")
+	}
+}
+
+func TestDurationPresets(t *testing.T) {
+	std, quick := StandardDurations(), QuickDurations()
+	if std.Window <= quick.Window || std.Warmup <= quick.Warmup {
+		t.Fatal("standard durations should exceed quick ones")
+	}
+}
+
+func TestExpRowString(t *testing.T) {
+	r := ExpRow{Protocol: "Achilles", F: 2, Nodes: 5, Batch: 400, Payload: 256, Net: "LAN", TPSk: 50, LatencyMS: 3.2}
+	s := r.String()
+	if len(s) == 0 || s[0] != 'A' {
+		t.Fatalf("bad row string: %q", s)
+	}
+}

@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/sim"
+	"achilles/internal/types"
+)
+
+// TestAchillesWithByzantineWithholding drops every DECIDE a designated
+// "Byzantine" node would deliver to half the cluster: progress and
+// safety must survive (nodes catch up via proposals and block sync).
+func TestAchillesWithByzantineWithholding(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol: Achilles, F: 2, BatchSize: 30, PayloadSize: 8, Seed: 17, Synthetic: true,
+	})
+	byz := types.NodeID(2)
+	c.Engine.SetLinkFilter(func(from, to types.NodeID, msg types.Message) bool {
+		if from != byz {
+			return true
+		}
+		if _, isDecide := msg.(*core.MsgDecide); isDecide && to <= 2 {
+			return false // withhold
+		}
+		return true
+	})
+	res := c.Measure(300*time.Millisecond, 2*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	if res.Blocks < 5 {
+		t.Fatalf("withholding stalled the cluster: %+v", res)
+	}
+}
+
+// TestAchillesPartitionHeals splits f nodes away for a while; after
+// the partition heals the cluster reconverges with safety intact.
+func TestAchillesPartitionHeals(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol: Achilles, F: 2, BatchSize: 30, PayloadSize: 8, Seed: 19, Synthetic: true,
+	})
+	isolated := map[types.NodeID]bool{3: true, 4: true}
+	partitioned := false
+	c.Engine.SetLinkFilter(func(from, to types.NodeID, _ types.Message) bool {
+		if !partitioned {
+			return true
+		}
+		return isolated[from] == isolated[to]
+	})
+	c.Engine.At(500*time.Millisecond, func() { partitioned = true })
+	c.Engine.At(1200*time.Millisecond, func() { partitioned = false })
+	res := c.Measure(300*time.Millisecond, 3*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	// The majority side (3 of 5) keeps committing through the
+	// partition, and the isolated nodes catch up afterwards.
+	if res.Blocks < 10 {
+		t.Fatalf("no progress across partition: %+v", res)
+	}
+	for _, id := range []types.NodeID{3, 4} {
+		if c.Metrics.CommitsAt(id) == 0 {
+			t.Fatalf("isolated node %v never caught up", id)
+		}
+	}
+}
+
+// TestAchillesReplayedRecoveryRepliesRejected mounts a replay attack
+// on recovery: stale replies (for an old nonce) are replayed to the
+// recovering node. Recovery must still complete correctly and safely.
+func TestAchillesReplayedRecoveryReplies(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol: Achilles, F: 2, BatchSize: 30, PayloadSize: 8, Seed: 23, Synthetic: true,
+	})
+	victim := types.NodeID(3)
+	var stale []*core.MsgRecoveryRpy
+	c.Engine.SetLinkFilter(func(from, to types.NodeID, msg types.Message) bool {
+		if m, ok := msg.(*core.MsgRecoveryRpy); ok && to == victim {
+			stale = append(stale, m)
+			if len(stale) > 8 {
+				stale = stale[1:]
+			}
+		}
+		return true
+	})
+	c.CrashReboot(victim, 400*time.Millisecond, 500*time.Millisecond)
+	// Periodically replay captured stale replies at the victim.
+	for i := 0; i < 20; i++ {
+		at := 500*time.Millisecond + time.Duration(i)*20*time.Millisecond
+		c.Engine.At(at, func() {
+			for _, m := range stale {
+				mm := m
+				c.Engine.At(c.Engine.Now(), func() {
+					if rep, ok := c.Engine.Replica(victim).(*core.Replica); ok {
+						rep.OnMessage(mm.Rpy.Signer, mm)
+					}
+				})
+			}
+		})
+	}
+	res := c.Measure(300*time.Millisecond, 2500*time.Millisecond)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("replay broke safety: %v", res.SafetyViolations)
+	}
+	rep := c.Engine.Replica(victim).(*core.Replica)
+	if rep.Recovering() {
+		t.Fatal("victim never recovered under replay attack")
+	}
+}
+
+// TestAchillesRandomCrashSchedules property-tests safety across random
+// single-node crash/reboot schedules.
+func TestAchillesRandomCrashSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 100)))
+		c := NewCluster(ClusterConfig{
+			Protocol: Achilles, F: 2, BatchSize: 20, PayloadSize: 0,
+			Seed: int64(trial), Synthetic: true,
+		})
+		victim := types.NodeID(rng.Intn(5))
+		crashAt := time.Duration(300+rng.Intn(400)) * time.Millisecond
+		downFor := time.Duration(20+rng.Intn(300)) * time.Millisecond
+		c.CrashReboot(victim, crashAt, crashAt+downFor)
+		if rng.Intn(2) == 0 {
+			// Also mount a rollback attack on its sealed storage.
+			st := c.SealedStore(victim)
+			c.Engine.At(crashAt-time.Millisecond, func() { st.Wipe("anything") })
+		}
+		res := c.Measure(200*time.Millisecond, 2500*time.Millisecond)
+		if len(res.SafetyViolations) != 0 {
+			t.Fatalf("trial %d (victim %v crash %v down %v): safety %v",
+				trial, victim, crashAt, downFor, res.SafetyViolations)
+		}
+		if res.Blocks == 0 {
+			t.Fatalf("trial %d: no progress", trial)
+		}
+	}
+}
+
+// TestClusterDeterminism: two identical cluster runs produce identical
+// metrics, the property every benchmark in this repo rests on.
+func TestClusterDeterminism(t *testing.T) {
+	run := func() Result {
+		c := NewCluster(ClusterConfig{
+			Protocol: Achilles, F: 2, BatchSize: 50, PayloadSize: 32, Seed: 31, Synthetic: true,
+		})
+		c.CrashReboot(1, 400*time.Millisecond, 500*time.Millisecond)
+		return c.Measure(200*time.Millisecond, time.Second)
+	}
+	a, b := run(), run()
+	if a.Blocks != b.Blocks || a.Txs != b.Txs || a.MeanLatency != b.MeanLatency || a.TotalMessages != b.TotalMessages {
+		t.Fatalf("nondeterministic runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestResultString smoke-tests the human-readable form.
+func TestResultString(t *testing.T) {
+	r := Result{ThroughputTPS: 1234, MeanLatency: 5 * time.Millisecond, Blocks: 7, MsgsPerBlock: 16}
+	s := r.String()
+	if !strings.Contains(s, "1.23K") || !strings.Contains(s, "blocks=7") {
+		t.Fatalf("bad string: %s", s)
+	}
+}
+
+// TestWANCluster runs Achilles under the WAN model and checks commit
+// latency reflects the 40 ms RTT (roughly one RTT per commit).
+func TestWANCluster(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol: Achilles, F: 1, BatchSize: 50, PayloadSize: 32,
+		Net: sim.WANModel(), Seed: 37, Synthetic: true,
+	})
+	res := c.Measure(2*time.Second, 4*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	if res.MeanLatency < 30*time.Millisecond || res.MeanLatency > 90*time.Millisecond {
+		t.Fatalf("WAN commit latency %v, want ~1 RTT", res.MeanLatency)
+	}
+}
+
+// TestAchillesDuplicatedMessages duplicates every consensus message
+// (at-least-once delivery): all handlers must be idempotent and
+// safety/liveness preserved.
+func TestAchillesDuplicatedMessages(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol: Achilles, F: 2, BatchSize: 30, PayloadSize: 8, Seed: 73, Synthetic: true,
+	})
+	// The link filter cannot inject, but it can observe; replay each
+	// observed message shortly afterwards straight into the recipient.
+	c.Engine.SetLinkFilter(func(from, to types.NodeID, msg types.Message) bool {
+		f, m := from, msg
+		target := to
+		c.Engine.At(c.Engine.Now()+time.Millisecond, func() {
+			if rep := c.Engine.Replica(target); rep != nil {
+				rep.OnMessage(f, m)
+			}
+		})
+		return true
+	})
+	res := c.Measure(300*time.Millisecond, 1500*time.Millisecond)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("duplication broke safety: %v", res.SafetyViolations)
+	}
+	if res.Blocks < 10 {
+		t.Fatalf("duplication stalled the cluster: %+v", res)
+	}
+}
+
+// TestAchillesSilentLeader makes one node a "silent leader": it
+// receives everything but sends nothing while it leads. Views it
+// owns must time out and the cluster must keep committing in the
+// other views.
+func TestAchillesSilentLeader(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol: Achilles, F: 2, BatchSize: 30, PayloadSize: 8, Seed: 79, Synthetic: true,
+	})
+	silent := types.NodeID(2)
+	c.Engine.SetLinkFilter(func(from, to types.NodeID, msg types.Message) bool {
+		if from != silent {
+			return true
+		}
+		// Votes and new-views still flow (it behaves as a backup);
+		// only its proposals and decides are suppressed.
+		switch msg.(type) {
+		case *core.MsgProposal, *core.MsgDecide:
+			return false
+		}
+		return true
+	})
+	res := c.Measure(300*time.Millisecond, 3*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	if res.Blocks < 10 {
+		t.Fatalf("silent leader stalled the cluster: %+v", res)
+	}
+	// Latency p99 reflects the timeout stalls at the silent leader's
+	// views, while p50 stays in the normal range.
+	if res.P50Latency > 10*time.Millisecond {
+		t.Fatalf("p50 latency %v, normal views should be unaffected", res.P50Latency)
+	}
+}
+
+// TestAchillesMessageReordering delays a random subset of messages by
+// several milliseconds, creating heavy reordering relative to the
+// 0.1 ms RTT. Stashing/sync logic must absorb it.
+func TestAchillesMessageReordering(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol: Achilles, F: 2, BatchSize: 30, PayloadSize: 8, Seed: 83, Synthetic: true,
+	})
+	rng := rand.New(rand.NewSource(83))
+	c.Engine.SetLinkFilter(func(from, to types.NodeID, msg types.Message) bool {
+		if rng.Intn(4) != 0 {
+			return true
+		}
+		f, m, target := from, msg, to
+		delay := time.Duration(1+rng.Intn(8)) * time.Millisecond
+		c.Engine.At(c.Engine.Now()+delay, func() {
+			if rep := c.Engine.Replica(target); rep != nil {
+				rep.OnMessage(f, m)
+			}
+		})
+		return false // drop the timely copy; only the late one arrives
+	})
+	res := c.Measure(300*time.Millisecond, 2*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("reordering broke safety: %v", res.SafetyViolations)
+	}
+	if res.Blocks < 10 {
+		t.Fatalf("reordering stalled the cluster: %+v", res)
+	}
+}

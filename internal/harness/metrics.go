@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"achilles/internal/sim"
+	"achilles/internal/types"
+)
+
+// Metrics aggregates commit observations across a cluster run.
+// A block's transactions are counted once, at the block's first commit
+// anywhere in the cluster; commit latency is measured from the
+// leader's proposal timestamp to that first commit (the paper's
+// "commitment latency", Sec. 5.1).
+type Metrics struct {
+	measureFrom types.Time
+	measureTo   types.Time
+
+	firstCommit map[types.Hash]types.Time
+	byHeight    map[types.Height]types.Hash
+	violations  []string
+
+	txs        uint64
+	blocks     uint64
+	latencies  []time.Duration
+	perNode    map[types.NodeID]uint64
+	lastCommit types.Time
+}
+
+// NewMetrics creates a metrics collector counting commits in
+// [from, to).
+func NewMetrics(from, to types.Time) *Metrics {
+	return &Metrics{
+		measureFrom: from,
+		measureTo:   to,
+		firstCommit: make(map[types.Hash]types.Time),
+		byHeight:    make(map[types.Height]types.Hash),
+		perNode:     make(map[types.NodeID]uint64),
+	}
+}
+
+// Observe records one node's commit of one block. It always performs
+// the cross-node safety check; throughput/latency are only accumulated
+// inside the measurement window.
+func (m *Metrics) Observe(rec sim.CommitRecord) {
+	h := rec.Block.Hash()
+	if prev, ok := m.byHeight[rec.Block.Height]; ok {
+		if prev != h {
+			m.violations = append(m.violations,
+				fmt.Sprintf("height %d committed as %v and %v", rec.Block.Height, prev, h))
+		}
+	} else {
+		m.byHeight[rec.Block.Height] = h
+	}
+	m.perNode[rec.Node]++
+	if _, seen := m.firstCommit[h]; seen {
+		return
+	}
+	m.firstCommit[h] = rec.At
+	m.lastCommit = rec.At
+	if rec.At < m.measureFrom || rec.At >= m.measureTo {
+		return
+	}
+	m.blocks++
+	m.txs += uint64(len(rec.Block.Txs))
+	if rec.Block.Proposed > 0 {
+		m.latencies = append(m.latencies, rec.At-rec.Block.Proposed)
+	}
+}
+
+// Violations returns the cross-node safety violations observed (always
+// empty unless the protocol is broken).
+func (m *Metrics) Violations() []string { return m.violations }
+
+// CommitsAt returns how many blocks node id committed.
+func (m *Metrics) CommitsAt(id types.NodeID) uint64 { return m.perNode[id] }
+
+// Result summarizes a run.
+type Result struct {
+	// ThroughputTPS is committed transactions per second of measured
+	// (virtual) time.
+	ThroughputTPS float64
+	// Blocks is the number of blocks committed in the window.
+	Blocks uint64
+	// Txs is the number of transactions committed in the window.
+	Txs uint64
+	// MeanLatency, P50Latency and P99Latency summarize commit latency.
+	MeanLatency, P50Latency, P99Latency time.Duration
+	// MsgsPerBlock is the average number of consensus messages sent
+	// per committed block (message-complexity measurements, Table 1).
+	MsgsPerBlock float64
+	// TotalMessages and TotalBytes are the raw network counters for
+	// the window.
+	TotalMessages uint64
+	TotalBytes    uint64
+	// SafetyViolations lists cross-node disagreements (must be empty).
+	SafetyViolations []string
+}
+
+// Summarize computes the result for the window [from, to).
+func (m *Metrics) Summarize(window time.Duration, msgs, bytes uint64) Result {
+	r := Result{
+		Blocks:           m.blocks,
+		Txs:              m.txs,
+		TotalMessages:    msgs,
+		TotalBytes:       bytes,
+		SafetyViolations: m.violations,
+	}
+	if window > 0 {
+		r.ThroughputTPS = float64(m.txs) / window.Seconds()
+	}
+	if len(m.latencies) > 0 {
+		ls := append([]time.Duration(nil), m.latencies...)
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		var sum time.Duration
+		for _, l := range ls {
+			sum += l
+		}
+		r.MeanLatency = sum / time.Duration(len(ls))
+		r.P50Latency = ls[len(ls)/2]
+		r.P99Latency = ls[len(ls)*99/100]
+	}
+	if m.blocks > 0 {
+		r.MsgsPerBlock = float64(msgs) / float64(m.blocks)
+	}
+	return r
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("throughput=%.2fK TPS latency=%.2fms (p50=%.2f p99=%.2f) blocks=%d msgs/block=%.1f",
+		r.ThroughputTPS/1000,
+		float64(r.MeanLatency)/float64(time.Millisecond),
+		float64(r.P50Latency)/float64(time.Millisecond),
+		float64(r.P99Latency)/float64(time.Millisecond),
+		r.Blocks, r.MsgsPerBlock)
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/sim"
+	"achilles/internal/types"
+)
+
+func block(height types.Height, tag byte, txs int, proposed types.Time) *types.Block {
+	b := &types.Block{
+		Height:   height,
+		Op:       []byte{tag},
+		Proposed: proposed,
+	}
+	for i := 0; i < txs; i++ {
+		b.Txs = append(b.Txs, types.Transaction{Client: 1, Seq: uint32(int(tag)*1000 + i)})
+	}
+	return b
+}
+
+func TestMetricsCountsFirstCommitOnly(t *testing.T) {
+	m := NewMetrics(0, time.Hour)
+	b := block(1, 1, 10, 5*time.Millisecond)
+	m.Observe(sim.CommitRecord{Node: 0, Block: b, At: 10 * time.Millisecond})
+	m.Observe(sim.CommitRecord{Node: 1, Block: b, At: 12 * time.Millisecond})
+	m.Observe(sim.CommitRecord{Node: 2, Block: b, At: 14 * time.Millisecond})
+	res := m.Summarize(time.Second, 0, 0)
+	if res.Blocks != 1 || res.Txs != 10 {
+		t.Fatalf("blocks=%d txs=%d", res.Blocks, res.Txs)
+	}
+	// Latency is first-commit minus proposal time.
+	if res.MeanLatency != 5*time.Millisecond {
+		t.Fatalf("latency = %v", res.MeanLatency)
+	}
+	if m.CommitsAt(1) != 1 || m.CommitsAt(9) != 0 {
+		t.Fatal("per-node accounting wrong")
+	}
+}
+
+func TestMetricsWindow(t *testing.T) {
+	m := NewMetrics(100*time.Millisecond, 200*time.Millisecond)
+	m.Observe(sim.CommitRecord{Node: 0, Block: block(1, 1, 5, 0), At: 50 * time.Millisecond})  // before window
+	m.Observe(sim.CommitRecord{Node: 0, Block: block(2, 2, 5, 0), At: 150 * time.Millisecond}) // inside
+	m.Observe(sim.CommitRecord{Node: 0, Block: block(3, 3, 5, 0), At: 250 * time.Millisecond}) // after
+	res := m.Summarize(100*time.Millisecond, 0, 0)
+	if res.Blocks != 1 || res.Txs != 5 {
+		t.Fatalf("window filtering broken: %+v", res)
+	}
+	// 5 txs over 100ms window = 50 TPS.
+	if res.ThroughputTPS != 50 {
+		t.Fatalf("tps = %v", res.ThroughputTPS)
+	}
+}
+
+func TestMetricsDetectsSafetyViolation(t *testing.T) {
+	m := NewMetrics(0, time.Hour)
+	a := block(1, 1, 1, 0)
+	conflicting := block(1, 2, 1, 0) // same height, different content
+	m.Observe(sim.CommitRecord{Node: 0, Block: a, At: time.Millisecond})
+	m.Observe(sim.CommitRecord{Node: 1, Block: conflicting, At: 2 * time.Millisecond})
+	if len(m.Violations()) != 1 {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+	// Agreement on the same block is fine.
+	m2 := NewMetrics(0, time.Hour)
+	m2.Observe(sim.CommitRecord{Node: 0, Block: a, At: time.Millisecond})
+	m2.Observe(sim.CommitRecord{Node: 1, Block: a, At: 2 * time.Millisecond})
+	if len(m2.Violations()) != 0 {
+		t.Fatalf("false positive: %v", m2.Violations())
+	}
+}
+
+func TestMetricsPercentiles(t *testing.T) {
+	m := NewMetrics(0, time.Hour)
+	for i := 1; i <= 100; i++ {
+		b := block(types.Height(i), byte(i), 1, 0)
+		m.Observe(sim.CommitRecord{Node: 0, Block: b, At: time.Duration(i) * time.Millisecond})
+	}
+	res := m.Summarize(time.Second, 500, 9999)
+	if res.P50Latency < res.MeanLatency/2 || res.P99Latency < res.P50Latency {
+		t.Fatalf("percentiles inconsistent: p50=%v p99=%v mean=%v", res.P50Latency, res.P99Latency, res.MeanLatency)
+	}
+	if res.MsgsPerBlock != 5 {
+		t.Fatalf("msgs/block = %v", res.MsgsPerBlock)
+	}
+	if res.TotalMessages != 500 || res.TotalBytes != 9999 {
+		t.Fatal("raw counters not propagated")
+	}
+}
+
+func TestMetricsZeroWindow(t *testing.T) {
+	m := NewMetrics(0, time.Hour)
+	res := m.Summarize(0, 0, 0)
+	if res.ThroughputTPS != 0 || res.MeanLatency != 0 {
+		t.Fatalf("empty metrics produced numbers: %+v", res)
+	}
+}

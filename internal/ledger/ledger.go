@@ -1,0 +1,143 @@
+// Package ledger maintains each node's local block tree and the
+// committed chain. Blocks are cryptographically linked by parent hash
+// (Sec. 4.2); committing a block commits all of its uncommitted
+// ancestors (the chained commit rule of Sec. 4.4).
+package ledger
+
+import (
+	"errors"
+	"fmt"
+
+	"achilles/internal/types"
+)
+
+// ErrConflict is returned when a commit target does not descend from
+// the already-committed chain — a safety violation if it ever happens
+// between correct nodes.
+var ErrConflict = errors.New("ledger: committed chain conflict")
+
+// ErrUnknownAncestor is returned when a block's ancestry cannot be
+// walked back to the committed chain because a block body is missing.
+var ErrUnknownAncestor = errors.New("ledger: missing ancestor block")
+
+// Store is one node's view of the block tree.
+type Store struct {
+	blocks    map[types.Hash]*types.Block
+	committed map[types.Hash]bool
+	head      *types.Block // tip of the committed chain
+	genesis   *types.Block
+}
+
+// NewStore returns a store containing only the genesis block, which is
+// committed by definition.
+func NewStore() *Store {
+	g := types.GenesisBlock()
+	s := &Store{
+		blocks:    map[types.Hash]*types.Block{g.Hash(): g},
+		committed: map[types.Hash]bool{g.Hash(): true},
+		head:      g,
+		genesis:   g,
+	}
+	return s
+}
+
+// Genesis returns the genesis block.
+func (s *Store) Genesis() *types.Block { return s.genesis }
+
+// Head returns the tip of the committed chain.
+func (s *Store) Head() *types.Block { return s.head }
+
+// CommittedHeight returns the height of the committed chain tip.
+func (s *Store) CommittedHeight() types.Height { return s.head.Height }
+
+// Add inserts a block body. Adding the same block twice is a no-op.
+func (s *Store) Add(b *types.Block) { s.blocks[b.Hash()] = b }
+
+// Get returns the block with hash h, or nil if the body is unknown.
+func (s *Store) Get(h types.Hash) *types.Block { return s.blocks[h] }
+
+// Has reports whether the block body for h is present.
+func (s *Store) Has(h types.Hash) bool { return s.blocks[h] != nil }
+
+// Len returns the number of stored block bodies.
+func (s *Store) Len() int { return len(s.blocks) }
+
+// IsCommitted reports whether the block with hash h has been committed.
+func (s *Store) IsCommitted(h types.Hash) bool { return s.committed[h] }
+
+// HasAncestry reports whether every block from h back to the committed
+// chain is present locally. It returns the first missing hash when not.
+func (s *Store) HasAncestry(h types.Hash) (bool, types.Hash) {
+	cur := h
+	for {
+		if s.committed[cur] {
+			return true, types.ZeroHash
+		}
+		b := s.blocks[cur]
+		if b == nil {
+			return false, cur
+		}
+		cur = b.Parent
+	}
+}
+
+// Extends reports whether the block with hash child transitively
+// extends the block with hash anc, walking only locally known bodies.
+func (s *Store) Extends(child, anc types.Hash) bool {
+	cur := child
+	for {
+		if cur == anc {
+			return true
+		}
+		b := s.blocks[cur]
+		if b == nil || b.Height == 0 {
+			return false
+		}
+		cur = b.Parent
+	}
+}
+
+// Commit commits the block with hash h and all uncommitted ancestors,
+// returning the newly committed blocks in chain order (lowest height
+// first). It fails with ErrUnknownAncestor if a body is missing and
+// ErrConflict if h does not descend from the committed head.
+func (s *Store) Commit(h types.Hash) ([]*types.Block, error) {
+	if s.committed[h] {
+		return nil, nil
+	}
+	var path []*types.Block
+	cur := h
+	for !s.committed[cur] {
+		b := s.blocks[cur]
+		if b == nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownAncestor, cur)
+		}
+		path = append(path, b)
+		cur = b.Parent
+	}
+	if cur != s.head.Hash() {
+		return nil, fmt.Errorf("%w: commit %v lands on %v, head is %v", ErrConflict, h, cur, s.head.Hash())
+	}
+	// Reverse into chain order and mark committed.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	for _, b := range path {
+		s.committed[b.Hash()] = true
+		s.head = b
+	}
+	return path, nil
+}
+
+// PruneBefore drops block bodies strictly below height keep that are
+// already committed, bounding memory in long runs. Certificate
+// verification never needs pruned bodies again.
+func (s *Store) PruneBefore(keep types.Height) {
+	for h, b := range s.blocks {
+		// The committed marker is retained (it is tiny and ancestry
+		// walks terminate on it); only the body is dropped.
+		if b.Height < keep && s.committed[h] && b != s.head {
+			delete(s.blocks, h)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package ledger
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"achilles/internal/types"
+)
+
+// chainOf builds a linear chain of blocks on top of genesis.
+func chainOf(s *Store, n int, tag byte) []*types.Block {
+	parent := s.Genesis()
+	out := make([]*types.Block, 0, n)
+	for i := 0; i < n; i++ {
+		b := &types.Block{
+			Txs:    []types.Transaction{{Client: types.NodeID(tag), Seq: uint32(i), Payload: []byte{tag}}},
+			Parent: parent.Hash(),
+			View:   types.View(i + 1),
+			Height: parent.Height + 1,
+		}
+		out = append(out, b)
+		parent = b
+	}
+	return out
+}
+
+func TestCommitChainOrder(t *testing.T) {
+	s := NewStore()
+	chain := chainOf(s, 5, 1)
+	for _, b := range chain {
+		s.Add(b)
+	}
+	// Committing the tip commits all ancestors, in chain order.
+	newly, err := s.Commit(chain[4].Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 5 {
+		t.Fatalf("committed %d blocks", len(newly))
+	}
+	for i, b := range newly {
+		if b.Height != types.Height(i+1) {
+			t.Fatalf("commit order broken at %d: height %d", i, b.Height)
+		}
+	}
+	if s.CommittedHeight() != 5 || s.Head() != chain[4] {
+		t.Fatalf("head = %v", s.Head())
+	}
+	// Recommitting is a no-op.
+	again, err := s.Commit(chain[4].Hash())
+	if err != nil || len(again) != 0 {
+		t.Fatalf("recommit: %v %v", again, err)
+	}
+}
+
+func TestCommitMissingAncestor(t *testing.T) {
+	s := NewStore()
+	chain := chainOf(s, 3, 1)
+	s.Add(chain[0])
+	s.Add(chain[2]) // gap at chain[1]
+	_, err := s.Commit(chain[2].Hash())
+	if !errors.Is(err, ErrUnknownAncestor) {
+		t.Fatalf("err = %v", err)
+	}
+	ok, missing := s.HasAncestry(chain[2].Hash())
+	if ok || missing != chain[1].Hash() {
+		t.Fatalf("HasAncestry = %v %v", ok, missing)
+	}
+	s.Add(chain[1])
+	if ok, _ := s.HasAncestry(chain[2].Hash()); !ok {
+		t.Fatal("ancestry still incomplete after fill")
+	}
+}
+
+func TestCommitConflict(t *testing.T) {
+	s := NewStore()
+	a := chainOf(s, 3, 1)
+	b := chainOf(s, 3, 2) // conflicting fork from genesis
+	for _, blk := range a {
+		s.Add(blk)
+	}
+	for _, blk := range b {
+		s.Add(blk)
+	}
+	if _, err := s.Commit(a[2].Hash()); err != nil {
+		t.Fatal(err)
+	}
+	// Committing the fork must fail loudly (safety violation).
+	_, err := s.Commit(b[2].Hash())
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("fork commit error = %v", err)
+	}
+}
+
+func TestExtends(t *testing.T) {
+	s := NewStore()
+	chain := chainOf(s, 4, 1)
+	for _, b := range chain {
+		s.Add(b)
+	}
+	if !s.Extends(chain[3].Hash(), chain[0].Hash()) {
+		t.Fatal("descendant not recognized")
+	}
+	if s.Extends(chain[0].Hash(), chain[3].Hash()) {
+		t.Fatal("ancestor claimed to extend descendant")
+	}
+	if !s.Extends(chain[2].Hash(), s.Genesis().Hash()) {
+		t.Fatal("genesis ancestry broken")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	s := NewStore()
+	chain := chainOf(s, 20, 1)
+	for _, b := range chain {
+		s.Add(b)
+	}
+	if _, err := s.Commit(chain[19].Hash()); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Len()
+	s.PruneBefore(15)
+	if s.Len() >= before {
+		t.Fatal("prune removed nothing")
+	}
+	// Pruned blocks remain committed (markers are kept).
+	if !s.IsCommitted(chain[2].Hash()) {
+		t.Fatal("pruned block lost its committed marker")
+	}
+	// Ancestry checks still succeed (terminate at committed marker).
+	if ok, _ := s.HasAncestry(chain[19].Hash()); !ok {
+		t.Fatal("ancestry broken after prune")
+	}
+	// The head never gets pruned.
+	if s.Get(chain[19].Hash()) == nil {
+		t.Fatal("head pruned")
+	}
+}
+
+// TestRandomInsertionOrder property-tests that ancestry and commit
+// behave identically regardless of block arrival order.
+func TestRandomInsertionOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		chain := chainOf(s, 12, 1)
+		perm := rng.Perm(len(chain))
+		for _, i := range perm {
+			s.Add(chain[i])
+		}
+		newly, err := s.Commit(chain[len(chain)-1].Hash())
+		return err == nil && len(newly) == len(chain) && s.CommittedHeight() == 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenesisProperties(t *testing.T) {
+	s := NewStore()
+	if !s.IsCommitted(s.Genesis().Hash()) {
+		t.Fatal("genesis must start committed")
+	}
+	if s.CommittedHeight() != 0 {
+		t.Fatal("initial height must be 0")
+	}
+	ok, _ := s.HasAncestry(s.Genesis().Hash())
+	if !ok {
+		t.Fatal("genesis ancestry must hold")
+	}
+}

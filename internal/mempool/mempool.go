@@ -1,0 +1,116 @@
+// Package mempool buffers client transactions and assembles the
+// fixed-size batches (blocks' tx lists) the paper's experiments use.
+//
+// Two sources feed a pool: real client requests (deduplicated by
+// (client, seq)) and an optional synthetic generator that models a
+// saturated system — the setting under which the paper measures
+// throughput and commit latency (Sec. 5.1).
+package mempool
+
+import (
+	"achilles/internal/types"
+)
+
+// Pool is a per-node transaction pool. It is not safe for concurrent
+// use; runtimes are single-threaded per node.
+type Pool struct {
+	queue   []types.Transaction
+	pending map[types.TxKey]bool
+	done    map[types.TxKey]bool
+
+	// synthetic configuration
+	synthetic   bool
+	payloadSize int
+	self        types.NodeID
+	nextSeq     uint32
+	payload     []byte
+}
+
+// New returns an empty pool fed only by client requests.
+func New() *Pool {
+	return &Pool{pending: make(map[types.TxKey]bool), done: make(map[types.TxKey]bool)}
+}
+
+// NewSynthetic returns a pool that can always fill a batch with
+// generated transactions of the given payload size, attributed to a
+// per-node pseudo client. It models the saturated closed-loop workload
+// used for the throughput figures.
+func NewSynthetic(self types.NodeID, payloadSize int) *Pool {
+	p := New()
+	p.synthetic = true
+	p.payloadSize = payloadSize
+	p.self = self
+	p.payload = make([]byte, payloadSize)
+	for i := range p.payload {
+		p.payload[i] = byte(i)
+	}
+	return p
+}
+
+// Add enqueues client transactions, dropping duplicates and
+// transactions that already committed.
+func (p *Pool) Add(txs []types.Transaction) {
+	for _, tx := range txs {
+		k := tx.Key()
+		if p.pending[k] || p.done[k] {
+			continue
+		}
+		p.pending[k] = true
+		p.queue = append(p.queue, tx)
+	}
+}
+
+// Len returns the number of queued client transactions (an upper
+// bound: entries that committed elsewhere are dropped lazily when a
+// batch is assembled).
+func (p *Pool) Len() int { return len(p.queue) }
+
+// NextBatch returns up to n transactions for a new block, preferring
+// queued client transactions and topping up from the synthetic
+// generator when enabled. Transactions are NOT removed until
+// MarkCommitted is called, but repeated NextBatch calls return fresh
+// synthetic transactions so pipelined proposers do not duplicate.
+// Client transactions returned here are removed from the queue; if the
+// block fails to commit they will be retransmitted by the client.
+func (p *Pool) NextBatch(n int, now types.Time) []types.Transaction {
+	batch := make([]types.Transaction, 0, n)
+	// Pop client transactions, skipping any that committed since they
+	// were queued: with rotating leaders every node holds every
+	// broadcast transaction, and without this check leaders would
+	// re-propose work that other leaders already ordered.
+	for len(batch) < n && len(p.queue) > 0 {
+		tx := p.queue[0]
+		p.queue = p.queue[1:]
+		if p.done[tx.Key()] {
+			delete(p.pending, tx.Key())
+			continue
+		}
+		batch = append(batch, tx)
+	}
+	if p.synthetic {
+		for len(batch) < n {
+			p.nextSeq++
+			batch = append(batch, types.Transaction{
+				Client:  p.self + types.SyntheticIDBase,
+				Seq:     p.nextSeq,
+				Payload: p.payload,
+				Created: now,
+			})
+		}
+	}
+	return batch
+}
+
+// MarkCommitted records committed transactions so later duplicates are
+// ignored. Synthetic transactions are never retransmitted, so they are
+// not tracked (keeping memory bounded in long simulations).
+func (p *Pool) MarkCommitted(txs []types.Transaction) {
+	for i := range txs {
+		if txs[i].Client.IsSynthetic() {
+			continue
+		}
+		k := txs[i].Key()
+		delete(p.pending, k)
+		p.done[k] = true
+	}
+}

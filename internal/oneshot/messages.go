@@ -1,0 +1,92 @@
+package oneshot
+
+import "achilles/internal/types"
+
+// MsgNewView carries a node's view certificate (and, piggybacked, the
+// previous view's commitment certificate when known) to the new
+// leader.
+type MsgNewView struct {
+	VC *types.ViewCert
+	CC *types.CommitCert
+}
+
+// Type implements types.Message.
+func (*MsgNewView) Type() string { return "oneshot/new-view" }
+
+// Size implements types.Message.
+func (m *MsgNewView) Size() int {
+	s := 1 + m.VC.WireSize()
+	if m.CC != nil {
+		s += m.CC.WireSize()
+	}
+	return s
+}
+
+// MsgProposal is the leader's proposal. Exactly one of CC (fast path)
+// and Acc (slow path) is set; fast-path backups need CC to validate
+// one-phase storage.
+type MsgProposal struct {
+	Block *types.Block
+	BC    *types.BlockCert
+	CC    *types.CommitCert
+	Acc   *types.AccCert
+}
+
+// Type implements types.Message.
+func (*MsgProposal) Type() string { return "oneshot/proposal" }
+
+// Size implements types.Message.
+func (m *MsgProposal) Size() int {
+	s := m.Block.WireSize() + m.BC.WireSize()
+	if m.CC != nil {
+		s += m.CC.WireSize()
+	}
+	if m.Acc != nil {
+		s += m.Acc.WireSize()
+	}
+	return s
+}
+
+// MsgPrepareVote is a slow-path PREPARE vote.
+type MsgPrepareVote struct {
+	SC *types.StoreCert
+}
+
+// Type implements types.Message.
+func (*MsgPrepareVote) Type() string { return "oneshot/prepare-vote" }
+
+// Size implements types.Message.
+func (m *MsgPrepareVote) Size() int { return m.SC.WireSize() }
+
+// MsgPrepared broadcasts the slow-path prepared certificate.
+type MsgPrepared struct {
+	PC *types.CommitCert
+}
+
+// Type implements types.Message.
+func (*MsgPrepared) Type() string { return "oneshot/prepared" }
+
+// Size implements types.Message.
+func (m *MsgPrepared) Size() int { return m.PC.WireSize() }
+
+// MsgCommitVote is a commit vote (fast or slow path).
+type MsgCommitVote struct {
+	SC *types.StoreCert
+}
+
+// Type implements types.Message.
+func (*MsgCommitVote) Type() string { return "oneshot/commit-vote" }
+
+// Size implements types.Message.
+func (m *MsgCommitVote) Size() int { return m.SC.WireSize() }
+
+// MsgDecide broadcasts the commitment certificate.
+type MsgDecide struct {
+	CC *types.CommitCert
+}
+
+// Type implements types.Message.
+func (*MsgDecide) Type() string { return "oneshot/decide" }
+
+// Size implements types.Message.
+func (m *MsgDecide) Size() int { return m.CC.WireSize() }

@@ -1,0 +1,237 @@
+// Package oneshot implements OneShot (Decouchant et al., IPDPS '24),
+// the view-adapting streamlining of Damysus: when the leader of view v
+// holds the commitment certificate of view v-1 (the "normal and
+// piggyback execution"), it proposes immediately and the view commits
+// in ONE voting phase — four communication steps end to end. Otherwise
+// (after a timeout) the view falls back to Damysus' two phases — six
+// steps.
+//
+// The -R variant guards every checker access with a persistent
+// counter: two writes per view on the fast path, four on the slow path
+// (Table 1: "0 (2 or 4)").
+package oneshot
+
+import (
+	"errors"
+
+	"achilles/internal/crypto"
+	"achilles/internal/tee"
+	"achilles/internal/tee/counter"
+	"achilles/internal/types"
+)
+
+// Errors returned by trusted functions.
+var (
+	ErrAlreadyProposed = errors.New("oneshot: block already proposed in this view")
+	ErrBadCertificate  = errors.New("oneshot: invalid certificate")
+	ErrWrongView       = errors.New("oneshot: certificate view mismatch")
+	ErrStale           = errors.New("oneshot: stale certificate")
+)
+
+// Checker is OneShot's stateful trusted component. It stores prepared
+// blocks (slow path) like Damysus, but additionally lets a backup
+// store-and-commit-vote in one call when the proposal is justified by
+// the previous view's commitment certificate (fast path).
+type Checker struct {
+	enc      *tee.Enclave
+	svc      *crypto.Service
+	leaderOf func(types.View) types.NodeID
+	quorum   int
+	ctr      counter.Counter
+
+	vi   types.View
+	flag bool
+	prpv types.View
+	prph types.Hash
+}
+
+// CheckerConfig configures a OneShot checker.
+type CheckerConfig struct {
+	Enclave     *tee.Enclave
+	Service     *crypto.Service
+	LeaderOf    func(types.View) types.NodeID
+	Quorum      int
+	GenesisHash types.Hash
+	// Counter enables rollback prevention (-R variant).
+	Counter counter.Counter
+}
+
+// NewChecker creates a OneShot checker at genesis state.
+func NewChecker(cfg CheckerConfig) *Checker {
+	return &Checker{
+		enc:      cfg.Enclave,
+		svc:      cfg.Service,
+		leaderOf: cfg.LeaderOf,
+		quorum:   cfg.Quorum,
+		ctr:      cfg.Counter,
+		prph:     cfg.GenesisHash,
+	}
+}
+
+func (c *Checker) protect() {
+	if c.ctr == nil {
+		return
+	}
+	var state [50]byte
+	c.enc.Seal("oneshot-checker", state[:])
+	c.ctr.Increment()
+}
+
+// View returns the checker's current view.
+func (c *Checker) View() types.View { return c.vi }
+
+// TEEnewview enters the next view and certifies the last prepared
+// block. It does not touch the counter: the view number is re-derived
+// from the first certificate handled in the new view, so only
+// certificate-producing calls need rollback protection.
+func (c *Checker) TEEnewview() (*types.ViewCert, error) {
+	c.enc.EnterCall()
+	c.vi++
+	c.flag = false
+	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
+	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEprepareFast certifies a fast-path proposal extending the block
+// committed in view vi-1 (justified by its commitment certificate).
+func (c *Checker) TEEprepareFast(b *types.Block, h types.Hash, cc *types.CommitCert) (*types.BlockCert, error) {
+	c.enc.EnterCall()
+	if c.flag {
+		return nil, ErrAlreadyProposed
+	}
+	if b.Hash() != h || cc == nil || len(cc.Signers) < c.quorum {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+		return nil, ErrBadCertificate
+	}
+	if b.Parent != cc.Hash || cc.View != c.vi-1 {
+		return nil, ErrWrongView
+	}
+	c.flag = true
+	c.protect()
+	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi))
+	return &types.BlockCert{Hash: h, View: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEprepareSlow certifies a slow-path proposal extending the highest
+// prepared block among f+1 view certificates.
+func (c *Checker) TEEprepareSlow(b *types.Block, h types.Hash, acc *types.AccCert) (*types.BlockCert, error) {
+	c.enc.EnterCall()
+	if c.flag {
+		return nil, ErrAlreadyProposed
+	}
+	if b.Hash() != h || acc == nil || len(acc.IDs) < c.quorum || !crypto.DistinctIDs(acc.IDs) {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
+		return nil, ErrBadCertificate
+	}
+	if b.Parent != acc.Hash || acc.CurView != c.vi {
+		return nil, ErrWrongView
+	}
+	c.flag = true
+	c.protect()
+	// Slow-path certificates sign the PREPARE payload so fast-path
+	// backups cannot be tricked into one-phase commitment of a
+	// slow-path block.
+	sig := c.svc.Sign(types.PrepareCertPayload(h, c.vi))
+	return &types.BlockCert{Hash: h, View: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEstoreFast stores a fast-path block and emits the commit vote in
+// one call: the previous block is committed, so one voting phase
+// suffices.
+func (c *Checker) TEEstoreFast(b *types.Block, bc *types.BlockCert, cc *types.CommitCert) (*types.StoreCert, error) {
+	c.enc.EnterCall()
+	if b == nil || bc == nil || cc == nil || b.Hash() != bc.Hash {
+		return nil, ErrBadCertificate
+	}
+	if bc.Signer != c.leaderOf(bc.View) {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+		return nil, ErrBadCertificate
+	}
+	if len(cc.Signers) < c.quorum ||
+		!c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+		return nil, ErrBadCertificate
+	}
+	if b.Parent != cc.Hash || cc.View != bc.View-1 {
+		return nil, ErrWrongView
+	}
+	if bc.View < c.vi {
+		return nil, ErrStale
+	}
+	c.prpv, c.prph = bc.View, bc.Hash
+	if bc.View > c.vi {
+		c.vi = bc.View
+		c.flag = false
+	}
+	c.protect()
+	sig := c.svc.Sign(types.StoreCertPayload(bc.Hash, bc.View))
+	return &types.StoreCert{Hash: bc.Hash, View: bc.View, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEvotePrepare emits the slow-path PREPARE vote.
+func (c *Checker) TEEvotePrepare(bc *types.BlockCert) (*types.StoreCert, error) {
+	c.enc.EnterCall()
+	if bc.Signer != c.leaderOf(bc.View) {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.Verify(bc.Signer, types.PrepareCertPayload(bc.Hash, bc.View), bc.Sig) {
+		return nil, ErrBadCertificate
+	}
+	if bc.View < c.vi {
+		return nil, ErrStale
+	}
+	if bc.View > c.vi {
+		c.vi = bc.View
+		c.flag = false
+	}
+	c.protect()
+	sig := c.svc.Sign(types.PrepareCertPayload(bc.Hash, bc.View))
+	return &types.StoreCert{Hash: bc.Hash, View: bc.View, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEstorePrepared stores a prepared block and emits the slow-path
+// commit vote.
+func (c *Checker) TEEstorePrepared(pc *types.CommitCert) (*types.StoreCert, error) {
+	c.enc.EnterCall()
+	if len(pc.Signers) < c.quorum {
+		return nil, ErrBadCertificate
+	}
+	if !c.svc.VerifyQuorum(pc.Signers, types.PrepareCertPayload(pc.Hash, pc.View), pc.Sigs) {
+		return nil, ErrBadCertificate
+	}
+	if pc.View < c.prpv {
+		return nil, ErrStale
+	}
+	c.prpv, c.prph = pc.View, pc.Hash
+	if pc.View > c.vi {
+		c.vi = pc.View
+		c.flag = false
+	}
+	c.protect()
+	sig := c.svc.Sign(types.StoreCertPayload(pc.Hash, pc.View))
+	return &types.StoreCert{Hash: pc.Hash, View: pc.View, Signer: c.svc.Self(), Sig: sig}, nil
+}
+
+// TEEcatchup adopts state certified by a commitment certificate.
+func (c *Checker) TEEcatchup(cc *types.CommitCert) error {
+	c.enc.EnterCall()
+	if len(cc.Signers) < c.quorum {
+		return ErrBadCertificate
+	}
+	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+		return ErrBadCertificate
+	}
+	if cc.View >= c.prpv {
+		c.prpv, c.prph = cc.View, cc.Hash
+	}
+	if cc.View > c.vi {
+		c.vi = cc.View
+		c.flag = false
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package oneshot_test
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/harness"
+	"achilles/internal/oneshot"
+	"achilles/internal/types"
+)
+
+func TestOneShotFastPathDominates(t *testing.T) {
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.OneShot, F: 1, BatchSize: 20, PayloadSize: 8, Seed: 9, Synthetic: true,
+	})
+	res := c.Measure(200*time.Millisecond, time.Second)
+	if res.Blocks == 0 {
+		t.Fatal("no blocks")
+	}
+	counts := c.Engine.MessageCounts()
+	// In fault-free steady state the piggyback execution holds: views
+	// commit in one phase, so PREPARE-phase traffic must be (nearly)
+	// absent while commit votes flow for every block.
+	if counts["oneshot/commit-vote"] == 0 {
+		t.Fatalf("no commit votes: %v", counts)
+	}
+	prepared := counts["oneshot/prepared"] + counts["oneshot/prepare-vote"]
+	if prepared > counts["oneshot/commit-vote"]/10 {
+		t.Fatalf("slow-path traffic in fault-free run: %v", counts)
+	}
+}
+
+func TestOneShotSlowPathAfterLeaderCrash(t *testing.T) {
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.OneShot, F: 2, BatchSize: 20, PayloadSize: 8, Seed: 9, Synthetic: true,
+	})
+	// Crash a node mid-run: views it would have led time out, their
+	// successors must start from f+1 view certificates (slow path with
+	// the PREPARE phase).
+	c.Engine.Crash(types.NodeID(2), 400*time.Millisecond)
+	res := c.Measure(200*time.Millisecond, 2*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	if res.Blocks == 0 {
+		t.Fatal("stalled after crash")
+	}
+	counts := c.Engine.MessageCounts()
+	if counts["oneshot/prepare-vote"] == 0 || counts["oneshot/prepared"] == 0 {
+		t.Fatalf("slow path never exercised after crash: %v", counts)
+	}
+}
+
+func TestOneShotRCounterCost(t *testing.T) {
+	mk := func(p harness.ProtocolKind) harness.Result {
+		c := harness.NewCluster(harness.ClusterConfig{
+			Protocol: p, F: 1, BatchSize: 40, PayloadSize: 16, Seed: 21, Synthetic: true,
+		})
+		res := c.Measure(300*time.Millisecond, 1200*time.Millisecond)
+		if len(res.SafetyViolations) != 0 {
+			t.Fatalf("safety: %v", res.SafetyViolations)
+		}
+		return res
+	}
+	plain := mk(harness.OneShot)
+	protected := mk(harness.OneShotR)
+	// Fast path pays two counter writes per view (leader + backup).
+	if protected.MeanLatency < 40*time.Millisecond {
+		t.Fatalf("OneShot-R latency %v, want >= 2 counter writes", protected.MeanLatency)
+	}
+	// But it must stay cheaper than Damysus-R's four writes.
+	if protected.MeanLatency > 62*time.Millisecond {
+		t.Fatalf("OneShot-R latency %v, too many counter accesses", protected.MeanLatency)
+	}
+	if protected.ThroughputTPS >= plain.ThroughputTPS {
+		t.Fatal("counter writes should cost throughput")
+	}
+}
+
+func TestOneShotSlowPathAccessor(t *testing.T) {
+	// White-box check that the replica exposes its path state.
+	r := oneshot.New(oneshot.Config{})
+	if r.SlowPath() {
+		t.Fatal("fresh replica claims slow path")
+	}
+}

@@ -1,0 +1,533 @@
+package oneshot
+
+import (
+	"bytes"
+	"time"
+
+	"achilles/internal/core/accum"
+	"achilles/internal/crypto"
+	"achilles/internal/ledger"
+	"achilles/internal/mempool"
+	"achilles/internal/protocol"
+	"achilles/internal/statemachine"
+	"achilles/internal/tee"
+	"achilles/internal/tee/counter"
+	"achilles/internal/types"
+)
+
+// Config parameterizes a OneShot replica.
+type Config struct {
+	protocol.Config
+
+	Scheme              crypto.Scheme
+	Ring                *crypto.KeyRing
+	Priv                crypto.PrivateKey
+	CryptoCosts         crypto.Costs
+	TEECosts            tee.CallCosts
+	EnclaveCryptoFactor float64
+	MachineSecret       [32]byte
+	SealedStore         tee.SealedStore
+	ExecCostPerTx       time.Duration
+	SyntheticWorkload   bool
+	// RollbackPrevention enables the -R variant.
+	RollbackPrevention bool
+	CounterSpec        counter.Spec
+}
+
+// Replica is a OneShot consensus node.
+type Replica struct {
+	cfg Config
+	env protocol.Env
+
+	svc     *crypto.Service
+	enclave *tee.Enclave
+	chk     *Checker
+	acc     *accum.Accumulator
+	store   *ledger.Store
+	pool    *mempool.Pool
+	machine statemachine.Machine
+	pm      protocol.Pacemaker
+
+	view   types.View
+	lastCC *types.CommitCert
+
+	viewCerts map[types.View]map[types.NodeID]*types.ViewCert
+
+	proposalHash types.Hash
+	slowPath     bool
+	prepVotes    map[types.NodeID]*types.StoreCert
+	prepared     bool
+	commitVotes  map[types.NodeID]*types.StoreCert
+	decided      bool
+
+	stashedProposals map[types.View]*MsgProposal
+	stashedCCs       []*types.CommitCert
+	inflightSync     map[types.Hash]bool
+}
+
+// New creates a OneShot replica.
+func New(cfg Config) *Replica {
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 500 * time.Millisecond
+	}
+	return &Replica{
+		cfg:              cfg,
+		viewCerts:        make(map[types.View]map[types.NodeID]*types.ViewCert),
+		stashedProposals: make(map[types.View]*MsgProposal),
+		inflightSync:     make(map[types.Hash]bool),
+	}
+}
+
+// Init implements protocol.Replica.
+func (r *Replica) Init(env protocol.Env) {
+	r.env = env
+	r.store = ledger.NewStore()
+	if r.cfg.SyntheticWorkload {
+		r.pool = mempool.NewSynthetic(r.cfg.Self, r.cfg.PayloadSize)
+	} else {
+		r.pool = mempool.New()
+	}
+	r.machine = statemachine.NewDigestMachine(env, r.cfg.ExecCostPerTx)
+	r.enclave = tee.New(tee.Config{
+		Measurement:   types.HashBytes([]byte("oneshot-trusted-components-v1")),
+		MachineSecret: r.cfg.MachineSecret,
+		Meter:         env,
+		Costs:         r.cfg.TEECosts,
+		Store:         r.cfg.SealedStore,
+	})
+	teeCosts := r.cfg.CryptoCosts
+	if f := r.cfg.EnclaveCryptoFactor; f > 0 {
+		teeCosts.Sign = time.Duration(float64(teeCosts.Sign) * f)
+		teeCosts.Verify = time.Duration(float64(teeCosts.Verify) * f)
+	}
+	r.svc = crypto.NewService(r.cfg.Scheme, r.cfg.Ring, nil, r.cfg.Self, env, r.cfg.CryptoCosts)
+	teeSvc := crypto.NewService(r.cfg.Scheme, r.cfg.Ring, r.cfg.Priv, r.cfg.Self, env, teeCosts)
+	var ctr counter.Counter
+	if r.cfg.RollbackPrevention {
+		ctr = counter.New(r.cfg.CounterSpec, env)
+	}
+	r.chk = NewChecker(CheckerConfig{
+		Enclave:     r.enclave,
+		Service:     teeSvc,
+		LeaderOf:    r.cfg.Leader,
+		Quorum:      r.cfg.Quorum(),
+		GenesisHash: r.store.Genesis().Hash(),
+		Counter:     ctr,
+	})
+	r.acc = accum.New(r.enclave, teeSvc, r.cfg.Quorum())
+	r.pm = protocol.Pacemaker{Base: r.cfg.BaseTimeout, MaxShift: 10}
+	r.enterNextView()
+}
+
+func (r *Replica) enterNextView() {
+	vc, err := r.chk.TEEnewview()
+	if err != nil {
+		return
+	}
+	r.view = vc.CurView
+	r.proposalHash = types.ZeroHash
+	r.slowPath = false
+	r.prepVotes = make(map[types.NodeID]*types.StoreCert)
+	r.commitVotes = make(map[types.NodeID]*types.StoreCert)
+	r.prepared = false
+	r.decided = false
+	r.inflightSync = make(map[types.Hash]bool)
+	delete(r.viewCerts, r.view-2)
+	delete(r.stashedProposals, r.view-1)
+	r.armViewTimer()
+	msg := &MsgNewView{VC: vc}
+	if r.lastCC != nil && r.lastCC.View == r.view-1 {
+		msg.CC = r.lastCC
+	}
+	r.deliverOrSend(r.cfg.Leader(r.view), msg)
+	if m, ok := r.stashedProposals[r.view]; ok {
+		delete(r.stashedProposals, r.view)
+		r.onProposal(m.BC.Signer, m)
+	}
+}
+
+func (r *Replica) armViewTimer() {
+	r.env.SetTimer(r.pm.Timeout(), types.TimerID{Kind: types.TimerViewChange, View: r.view})
+}
+
+func (r *Replica) deliverOrSend(to types.NodeID, msg types.Message) {
+	if to == r.cfg.Self {
+		r.OnMessage(to, msg)
+		return
+	}
+	r.env.Send(to, msg)
+}
+
+// OnMessage implements protocol.Replica.
+func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *MsgNewView:
+		r.onNewView(from, m)
+	case *MsgProposal:
+		r.onProposal(from, m)
+	case *MsgPrepareVote:
+		r.onPrepareVote(from, m)
+	case *MsgPrepared:
+		r.onPrepared(from, m)
+	case *MsgCommitVote:
+		r.onCommitVote(from, m)
+	case *MsgDecide:
+		if m.CC != nil {
+			r.handleCC(m.CC, from)
+		}
+	case *types.BlockRequest:
+		if b := r.store.Get(m.Hash); b != nil {
+			r.env.Send(from, &types.BlockResponse{Block: b})
+		}
+	case *types.BlockResponse:
+		r.onBlockResponse(from, m)
+	case *types.ClientRequest:
+		r.pool.Add(m.Txs)
+	}
+}
+
+// OnTimer implements protocol.Replica.
+func (r *Replica) OnTimer(id types.TimerID) {
+	if id.Kind != types.TimerViewChange || id.View != r.view {
+		return
+	}
+	if r.cfg.SyntheticWorkload || r.pool.Len() > 0 {
+		r.pm.Expired()
+	}
+	r.enterNextView()
+}
+
+func (r *Replica) onNewView(from types.NodeID, m *MsgNewView) {
+	if m.CC != nil {
+		r.handleCC(m.CC, from)
+	}
+	vc := m.VC
+	if vc == nil || (vc.Signer != from && from != r.cfg.Self) || vc.CurView < r.view {
+		r.tryPropose()
+		return
+	}
+	if vc.CurView >= r.view+64 {
+		return // bound the window against Byzantine far-future floods
+	}
+	set := r.viewCerts[vc.CurView]
+	if set == nil {
+		set = make(map[types.NodeID]*types.ViewCert)
+		r.viewCerts[vc.CurView] = set
+	}
+	set[vc.Signer] = vc
+	r.tryPropose()
+}
+
+func (r *Replica) tryPropose() {
+	if !r.cfg.IsLeader(r.view) || !r.proposalHash.IsZero() {
+		return
+	}
+	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
+		return
+	}
+	// Fast path (normal/piggyback execution): the previous view's
+	// block committed and we hold its certificate.
+	if r.lastCC != nil && r.lastCC.View == r.view-1 {
+		if ok, missing := r.store.HasAncestry(r.lastCC.Hash); ok {
+			r.proposeFast(r.lastCC)
+			return
+		} else {
+			r.requestBlock(missing, r.cfg.Leader(r.lastCC.View))
+		}
+	}
+	// Slow path: f+1 view certificates and two voting phases.
+	set := r.viewCerts[r.view]
+	if len(set) < r.cfg.Quorum() {
+		return
+	}
+	var best *types.ViewCert
+	for _, vc := range set {
+		if best == nil || vc.PrepView > best.PrepView {
+			best = vc
+		}
+	}
+	if ok, missing := r.store.HasAncestry(best.PrepHash); !ok {
+		r.requestBlock(missing, best.Signer)
+		return
+	}
+	certs := make([]*types.ViewCert, 0, r.cfg.Quorum())
+	certs = append(certs, best)
+	for _, vc := range set {
+		if len(certs) == r.cfg.Quorum() {
+			break
+		}
+		if vc != best {
+			certs = append(certs, vc)
+		}
+	}
+	acc, err := r.acc.TEEaccum(best, certs)
+	if err != nil {
+		return
+	}
+	b := r.buildBlock(acc.Hash)
+	if b == nil {
+		return
+	}
+	bc, err := r.chk.TEEprepareSlow(b, b.Hash(), acc)
+	if err != nil {
+		return
+	}
+	r.store.Add(b)
+	r.proposalHash = b.Hash()
+	r.slowPath = true
+	r.env.Broadcast(&MsgProposal{Block: b, BC: bc, Acc: acc})
+	if sc, err := r.chk.TEEvotePrepare(bc); err == nil {
+		r.onPrepareVote(r.cfg.Self, &MsgPrepareVote{SC: sc})
+	}
+}
+
+func (r *Replica) proposeFast(cc *types.CommitCert) {
+	b := r.buildBlock(cc.Hash)
+	if b == nil {
+		return
+	}
+	bc, err := r.chk.TEEprepareFast(b, b.Hash(), cc)
+	if err != nil {
+		return
+	}
+	r.store.Add(b)
+	r.proposalHash = b.Hash()
+	r.slowPath = false
+	r.env.Broadcast(&MsgProposal{Block: b, BC: bc, CC: cc})
+	if sc, err := r.chk.TEEstoreFast(b, bc, cc); err == nil {
+		r.onCommitVote(r.cfg.Self, &MsgCommitVote{SC: sc})
+	}
+}
+
+func (r *Replica) buildBlock(parentHash types.Hash) *types.Block {
+	parent := r.store.Get(parentHash)
+	if parent == nil {
+		return nil
+	}
+	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
+	op := r.machine.Execute(parent.Op, txs)
+	return &types.Block{
+		Txs: txs, Op: op, Parent: parentHash,
+		View: r.view, Height: parent.Height + 1,
+		Proposer: r.cfg.Self, Proposed: r.env.Now(),
+	}
+}
+
+func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
+	b, bc := m.Block, m.BC
+	if b == nil || bc == nil || b.Hash() != bc.Hash || b.View != bc.View {
+		return
+	}
+	if bc.Signer != r.cfg.Leader(bc.View) || b.Proposer != bc.Signer {
+		return
+	}
+	switch {
+	case bc.View < r.view:
+		return
+	case bc.View > r.view:
+		if bc.View < r.view+64 {
+			r.stashedProposals[bc.View] = m
+		}
+		return
+	}
+	if ok, missing := r.store.HasAncestry(b.Parent); !ok {
+		r.requestBlock(missing, from)
+		r.stashedProposals[bc.View] = m
+		return
+	}
+	parent := r.store.Get(b.Parent)
+	if parent == nil || b.Height != parent.Height+1 {
+		return
+	}
+	if op := r.machine.Execute(parent.Op, b.Txs); !bytes.Equal(op, b.Op) {
+		return
+	}
+	r.store.Add(b)
+	if m.CC != nil {
+		// Fast path: store and commit-vote in one step.
+		if sc, err := r.chk.TEEstoreFast(b, bc, m.CC); err == nil {
+			r.deliverOrSend(r.cfg.Leader(bc.View), &MsgCommitVote{SC: sc})
+		}
+		return
+	}
+	// Slow path: PREPARE vote first.
+	if sc, err := r.chk.TEEvotePrepare(bc); err == nil {
+		r.deliverOrSend(r.cfg.Leader(bc.View), &MsgPrepareVote{SC: sc})
+	}
+}
+
+func (r *Replica) onPrepareVote(from types.NodeID, m *MsgPrepareVote) {
+	sc := m.SC
+	if sc == nil || sc.Signer != from || sc.View != r.view || !r.cfg.IsLeader(r.view) || r.prepared || !r.slowPath {
+		return
+	}
+	if r.proposalHash.IsZero() || sc.Hash != r.proposalHash || r.prepVotes[sc.Signer] != nil {
+		return
+	}
+	if sc.Signer != r.cfg.Self &&
+		!r.svc.Verify(sc.Signer, types.PrepareCertPayload(sc.Hash, sc.View), sc.Sig) {
+		return
+	}
+	r.prepVotes[sc.Signer] = sc
+	if len(r.prepVotes) < r.cfg.Quorum() {
+		return
+	}
+	r.prepared = true
+	pc := combine(r.prepVotes)
+	r.env.Broadcast(&MsgPrepared{PC: pc})
+	r.onPrepared(r.cfg.Self, &MsgPrepared{PC: pc})
+}
+
+func (r *Replica) onPrepared(from types.NodeID, m *MsgPrepared) {
+	pc := m.PC
+	if pc == nil || pc.View != r.view {
+		return
+	}
+	if !r.store.Has(pc.Hash) {
+		r.requestBlock(pc.Hash, from)
+		return
+	}
+	if sc, err := r.chk.TEEstorePrepared(pc); err == nil {
+		r.deliverOrSend(r.cfg.Leader(pc.View), &MsgCommitVote{SC: sc})
+	}
+}
+
+func (r *Replica) onCommitVote(from types.NodeID, m *MsgCommitVote) {
+	sc := m.SC
+	if sc == nil || sc.Signer != from || sc.View != r.view || !r.cfg.IsLeader(r.view) || r.decided {
+		return
+	}
+	if r.proposalHash.IsZero() || sc.Hash != r.proposalHash || r.commitVotes[sc.Signer] != nil {
+		return
+	}
+	if sc.Signer != r.cfg.Self &&
+		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View), sc.Sig) {
+		return
+	}
+	r.commitVotes[sc.Signer] = sc
+	if len(r.commitVotes) < r.cfg.Quorum() {
+		return
+	}
+	r.decided = true
+	cc := combine(r.commitVotes)
+	r.env.Broadcast(&MsgDecide{CC: cc})
+	r.handleCC(cc, r.cfg.Self)
+}
+
+func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
+	if r.store.IsCommitted(cc.Hash) {
+		return
+	}
+	if len(cc.Signers) < r.cfg.Quorum() {
+		return
+	}
+	// TEEcatchup verifies the certificate inside the enclave before
+	// the ledger commits.
+	if ok, missing := r.store.HasAncestry(cc.Hash); !ok {
+		r.requestBlock(missing, from)
+		if len(r.stashedCCs) < 64 {
+			r.stashedCCs = append(r.stashedCCs, cc)
+		}
+		return
+	}
+	if err := r.chk.TEEcatchup(cc); err != nil {
+		return
+	}
+	newly, err := r.store.Commit(cc.Hash)
+	if err != nil {
+		r.env.Logf("SAFETY ALARM: %v", err)
+		return
+	}
+	if r.lastCC == nil || cc.View > r.lastCC.View {
+		r.lastCC = cc
+	}
+	for _, nb := range newly {
+		r.env.Commit(nb, cc)
+		r.pool.MarkCommitted(nb.Txs)
+		r.replyClients(nb, cc)
+	}
+	if cc.View >= r.view {
+		r.pm.Progress()
+		r.enterNextView()
+	}
+	if r.store.CommittedHeight()%256 == 0 && r.store.CommittedHeight() > 1024 {
+		r.store.PruneBefore(r.store.CommittedHeight() - 1024)
+	}
+}
+
+func (r *Replica) replyClients(b *types.Block, cc *types.CommitCert) {
+	var perClient map[types.NodeID][]types.TxKey
+	for i := range b.Txs {
+		c := b.Txs[i].Client
+		if c.IsSynthetic() || !c.IsClient() {
+			continue
+		}
+		if perClient == nil {
+			perClient = make(map[types.NodeID][]types.TxKey)
+		}
+		perClient[c] = append(perClient[c], b.Txs[i].Key())
+	}
+	for c, keys := range perClient {
+		r.env.Send(c, &types.ClientReply{
+			Block: b.Hash(), View: cc.View, Height: b.Height,
+			TxKeys: keys, Certified: false, From: r.cfg.Self,
+		})
+	}
+}
+
+func (r *Replica) requestBlock(h types.Hash, from types.NodeID) {
+	if r.inflightSync[h] || from == r.cfg.Self || h.IsZero() {
+		return
+	}
+	r.inflightSync[h] = true
+	r.env.Send(from, &types.BlockRequest{Hash: h, From: r.cfg.Self})
+}
+
+func (r *Replica) onBlockResponse(from types.NodeID, m *types.BlockResponse) {
+	if m.Block == nil {
+		return
+	}
+	h := m.Block.Hash()
+	if !r.inflightSync[h] {
+		return
+	}
+	delete(r.inflightSync, h)
+	r.store.Add(m.Block)
+	if ok, missing := r.store.HasAncestry(h); !ok {
+		r.requestBlock(missing, from)
+	}
+	if len(r.stashedCCs) > 0 {
+		ccs := r.stashedCCs
+		r.stashedCCs = nil
+		for _, cc := range ccs {
+			if !r.store.IsCommitted(cc.Hash) {
+				r.handleCC(cc, from)
+			}
+		}
+	}
+	if m2, ok := r.stashedProposals[r.view]; ok {
+		delete(r.stashedProposals, r.view)
+		r.onProposal(m2.BC.Signer, m2)
+	}
+	r.tryPropose()
+}
+
+func combine(votes map[types.NodeID]*types.StoreCert) *types.CommitCert {
+	var cc types.CommitCert
+	for id, v := range votes {
+		cc.Hash, cc.View = v.Hash, v.View
+		cc.Signers = append(cc.Signers, id)
+		cc.Sigs = append(cc.Sigs, v.Sig)
+	}
+	return &cc
+}
+
+// View returns the current view (tests).
+func (r *Replica) View() types.View { return r.view }
+
+// Ledger exposes the block store (tests, safety checks).
+func (r *Replica) Ledger() *ledger.Store { return r.store }
+
+// SlowPath reports whether the current view took the slow path
+// (tests).
+func (r *Replica) SlowPath() bool { return r.slowPath }

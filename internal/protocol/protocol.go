@@ -1,0 +1,118 @@
+// Package protocol defines the contract between consensus replicas and
+// the runtimes that drive them.
+//
+// Every protocol in this repository (Achilles, Damysus, OneShot,
+// FlexiBFT, Raft) is written as a deterministic event handler: it
+// reacts to delivered messages and timer firings and emits effects
+// through Env. The same replica code therefore runs unchanged under
+// the discrete-event simulator (internal/sim) used for the paper's
+// experiments and under the live TCP runtime (internal/transport).
+package protocol
+
+import (
+	"time"
+
+	"achilles/internal/types"
+)
+
+// Env is the effect interface a replica uses to act on the world. All
+// methods must be called only from within OnMessage/OnTimer/Init (the
+// runtimes are single-threaded per node).
+//
+// Env doubles as a types.Meter: Charge accounts CPU/device time spent
+// in the current handler, which the simulator adds to the node's
+// virtual clock.
+type Env interface {
+	types.Meter
+
+	// Now returns the current time on the runtime's clock at the start
+	// of the current handler invocation plus any charged work.
+	Now() types.Time
+	// Send delivers msg to node to (consensus node or client).
+	Send(to types.NodeID, msg types.Message)
+	// Broadcast delivers msg to every consensus node except the sender.
+	Broadcast(msg types.Message)
+	// SetTimer schedules OnTimer(id) after d. Timers are one-shot; an
+	// identical id may be re-armed, and replicas are expected to ignore
+	// stale firings (e.g. timers for views already left behind).
+	SetTimer(d time.Duration, id types.TimerID)
+	// Commit reports that the replica committed block b (with its
+	// commitment certificate when the protocol has one). Runtimes use
+	// it for metrics and cross-node safety checking. Replicas must call
+	// it in chain order, exactly once per block.
+	Commit(b *types.Block, cc *types.CommitCert)
+	// Logf emits a debug log line attributed to the node.
+	Logf(format string, args ...any)
+}
+
+// Replica is a deterministic consensus state machine for one node.
+type Replica interface {
+	// Init is called once before any event is delivered. Replicas
+	// arm their first timers and (for recovering nodes) start the
+	// recovery protocol here.
+	Init(env Env)
+	// OnMessage delivers a message from another node or a client.
+	OnMessage(from types.NodeID, msg types.Message)
+	// OnTimer delivers a timer firing.
+	OnTimer(id types.TimerID)
+}
+
+// Config carries the parameters shared by all protocol replicas.
+type Config struct {
+	// Self is this node's identity.
+	Self types.NodeID
+	// N is the number of consensus nodes; F the fault threshold. The
+	// relation between them is protocol-specific (2f+1 or 3f+1).
+	N, F int
+	// BatchSize is the number of transactions per block.
+	BatchSize int
+	// PayloadSize is the per-transaction payload in bytes (the paper's
+	// 0/256/512 B settings).
+	PayloadSize int
+	// BaseTimeout is the initial view-change timeout; the pacemaker
+	// doubles it on consecutive failures.
+	BaseTimeout time.Duration
+	// Seed parameterizes deterministic key generation.
+	Seed int64
+}
+
+// Quorum returns this configuration's f+1 quorum.
+func (c Config) Quorum() int { return types.Quorum(c.F) }
+
+// Leader returns the round-robin leader of view v.
+func (c Config) Leader(v types.View) types.NodeID { return types.LeaderForView(v, c.N) }
+
+// IsLeader reports whether this node leads view v.
+func (c Config) IsLeader(v types.View) bool { return c.Leader(v) == c.Self }
+
+// Pacemaker implements the liveness mechanism of Sec. 4.1: timeouts
+// grow exponentially while no progress is made and reset once a block
+// commits, so that after GST all correct nodes eventually overlap in a
+// view with a correct leader for long enough.
+type Pacemaker struct {
+	// Base is the initial timeout.
+	Base time.Duration
+	// MaxShift caps exponential growth at Base << MaxShift.
+	MaxShift uint
+
+	failures uint
+}
+
+// Timeout returns the current view timeout.
+func (p *Pacemaker) Timeout() time.Duration {
+	shift := p.failures
+	if p.MaxShift != 0 && shift > p.MaxShift {
+		shift = p.MaxShift
+	}
+	return p.Base << shift
+}
+
+// Progress records that the current view committed a block, resetting
+// the backoff.
+func (p *Pacemaker) Progress() { p.failures = 0 }
+
+// Expired records a view timeout, growing the backoff.
+func (p *Pacemaker) Expired() { p.failures++ }
+
+// Failures returns the number of consecutive expired views.
+func (p *Pacemaker) Failures() uint { return p.failures }

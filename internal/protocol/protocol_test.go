@@ -1,0 +1,50 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/types"
+)
+
+func TestPacemakerBackoff(t *testing.T) {
+	pm := Pacemaker{Base: 100 * time.Millisecond, MaxShift: 3}
+	if pm.Timeout() != 100*time.Millisecond {
+		t.Fatalf("initial timeout = %v", pm.Timeout())
+	}
+	pm.Expired()
+	if pm.Timeout() != 200*time.Millisecond {
+		t.Fatalf("after 1 failure = %v", pm.Timeout())
+	}
+	pm.Expired()
+	pm.Expired()
+	if pm.Timeout() != 800*time.Millisecond {
+		t.Fatalf("after 3 failures = %v", pm.Timeout())
+	}
+	// Capped at MaxShift.
+	pm.Expired()
+	pm.Expired()
+	if pm.Timeout() != 800*time.Millisecond {
+		t.Fatalf("cap broken: %v", pm.Timeout())
+	}
+	if pm.Failures() != 5 {
+		t.Fatalf("failures = %d", pm.Failures())
+	}
+	pm.Progress()
+	if pm.Timeout() != 100*time.Millisecond || pm.Failures() != 0 {
+		t.Fatal("progress did not reset backoff")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{Self: 2, N: 5, F: 2}
+	if c.Quorum() != 3 {
+		t.Fatalf("quorum = %d", c.Quorum())
+	}
+	if c.Leader(7) != types.NodeID(2) {
+		t.Fatalf("leader(7) = %v", c.Leader(7))
+	}
+	if !c.IsLeader(7) || c.IsLeader(8) {
+		t.Fatal("IsLeader wrong")
+	}
+}

@@ -1,0 +1,107 @@
+// Package protocoltest provides a scripted, single-node Env for unit
+// tests of replica logic: every effect (send, broadcast, timer,
+// commit) is recorded for assertions, and time is advanced manually.
+package protocoltest
+
+import (
+	"fmt"
+	"time"
+
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// Sent records one Send or Broadcast effect.
+type Sent struct {
+	To        types.NodeID // -1 for broadcasts
+	Msg       types.Message
+	Broadcast bool
+}
+
+// Timer records one SetTimer effect.
+type Timer struct {
+	At types.Time
+	ID types.TimerID
+}
+
+// Commit records one Commit effect.
+type Commit struct {
+	Block *types.Block
+	CC    *types.CommitCert
+}
+
+// Env is a recording protocol.Env.
+type Env struct {
+	NowAt   types.Time
+	Charged time.Duration
+	Sends   []Sent
+	Timers  []Timer
+	Commits []Commit
+	Logs    []string
+}
+
+var _ protocol.Env = (*Env)(nil)
+
+// Charge implements types.Meter.
+func (e *Env) Charge(d time.Duration) { e.Charged += d }
+
+// Now implements protocol.Env.
+func (e *Env) Now() types.Time { return e.NowAt + e.Charged }
+
+// Advance moves the scripted clock forward.
+func (e *Env) Advance(d time.Duration) { e.NowAt += d }
+
+// Send implements protocol.Env.
+func (e *Env) Send(to types.NodeID, msg types.Message) {
+	e.Sends = append(e.Sends, Sent{To: to, Msg: msg})
+}
+
+// Broadcast implements protocol.Env.
+func (e *Env) Broadcast(msg types.Message) {
+	e.Sends = append(e.Sends, Sent{To: -1, Msg: msg, Broadcast: true})
+}
+
+// SetTimer implements protocol.Env.
+func (e *Env) SetTimer(d time.Duration, id types.TimerID) {
+	e.Timers = append(e.Timers, Timer{At: e.Now() + d, ID: id})
+}
+
+// Commit implements protocol.Env.
+func (e *Env) Commit(b *types.Block, cc *types.CommitCert) {
+	e.Commits = append(e.Commits, Commit{Block: b, CC: cc})
+}
+
+// Logf implements protocol.Env.
+func (e *Env) Logf(format string, args ...any) {
+	e.Logs = append(e.Logs, fmt.Sprintf(format, args...))
+}
+
+// Reset clears recorded effects (keeping the clock).
+func (e *Env) Reset() {
+	e.Sends = nil
+	e.Timers = nil
+	e.Commits = nil
+	e.Logs = nil
+}
+
+// SentTo returns all messages sent (not broadcast) to a node.
+func (e *Env) SentTo(id types.NodeID) []types.Message {
+	var out []types.Message
+	for _, s := range e.Sends {
+		if s.To == id {
+			out = append(out, s.Msg)
+		}
+	}
+	return out
+}
+
+// Broadcasts returns all broadcast messages.
+func (e *Env) Broadcasts() []types.Message {
+	var out []types.Message
+	for _, s := range e.Sends {
+		if s.Broadcast {
+			out = append(out, s.Msg)
+		}
+	}
+	return out
+}

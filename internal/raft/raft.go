@@ -1,0 +1,426 @@
+// Package raft implements a Raft-style CFT replica (the stand-in for
+// BRaft in the paper's Table 3 overhead profiling; DESIGN.md §2). It
+// provides leader election with randomized timeouts, term-based log
+// replication in block-sized batches, and majority (f+1 of 2f+1)
+// commitment — the four-communication-step, linear-message CFT
+// yardstick Achilles is compared against.
+//
+// No cryptography is used on the wire (Raft trusts its nodes not to be
+// Byzantine), which is precisely why it upper-bounds the throughput of
+// the BFT protocols on the same substrate.
+package raft
+
+import (
+	"time"
+
+	"achilles/internal/ledger"
+	"achilles/internal/mempool"
+	"achilles/internal/protocol"
+	"achilles/internal/statemachine"
+	"achilles/internal/types"
+)
+
+// Term is a Raft term.
+type Term uint64
+
+// --- messages ------------------------------------------------------------
+
+// MsgAppendEntries replicates one block (batch of commands) and
+// piggybacks the leader's commit index.
+type MsgAppendEntries struct {
+	Term         Term
+	Leader       types.NodeID
+	Block        *types.Block // nil for pure heartbeats
+	PrevHash     types.Hash
+	LeaderCommit types.Height
+}
+
+// Type implements types.Message.
+func (*MsgAppendEntries) Type() string { return "raft/append-entries" }
+
+// Size implements types.Message.
+func (m *MsgAppendEntries) Size() int {
+	s := 8 + 4 + 32 + 8
+	if m.Block != nil {
+		s += m.Block.WireSize()
+	}
+	return s
+}
+
+// MsgAppendReply acknowledges replication up to Height.
+type MsgAppendReply struct {
+	Term    Term
+	Success bool
+	Height  types.Height
+	Hash    types.Hash
+}
+
+// Type implements types.Message.
+func (*MsgAppendReply) Type() string { return "raft/append-reply" }
+
+// Size implements types.Message.
+func (m *MsgAppendReply) Size() int { return 8 + 1 + 8 + 32 }
+
+// MsgRequestVote solicits election votes.
+type MsgRequestVote struct {
+	Term        Term
+	Candidate   types.NodeID
+	LastHeight  types.Height
+	LastLogTerm Term
+}
+
+// Type implements types.Message.
+func (*MsgRequestVote) Type() string { return "raft/request-vote" }
+
+// Size implements types.Message.
+func (m *MsgRequestVote) Size() int { return 8 + 4 + 8 + 8 }
+
+// MsgVoteReply grants or refuses an election vote.
+type MsgVoteReply struct {
+	Term    Term
+	Granted bool
+}
+
+// Type implements types.Message.
+func (*MsgVoteReply) Type() string { return "raft/vote-reply" }
+
+// Size implements types.Message.
+func (m *MsgVoteReply) Size() int { return 9 }
+
+// --- replica -------------------------------------------------------------
+
+// Config parameterizes a Raft replica.
+type Config struct {
+	protocol.Config
+	ExecCostPerTx     time.Duration
+	SyntheticWorkload bool
+	// HeartbeatEvery bounds the leader's idle heartbeat period; zero
+	// defaults to BaseTimeout/4.
+	HeartbeatEvery time.Duration
+	// DiskAppend models the stable-storage append (fsync) Raft performs
+	// before acknowledging a log entry — its equivalent of the BFT
+	// protocols' durability costs. Zero defaults to 500µs (cloud SSD).
+	DiskAppend time.Duration
+}
+
+type role int
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+// Replica is a Raft consensus node.
+type Replica struct {
+	cfg Config
+	env protocol.Env
+
+	store   *ledger.Store
+	pool    *mempool.Pool
+	machine statemachine.Machine
+
+	term     Term
+	role     role
+	votedFor types.NodeID
+	votes    int
+
+	// log tip (may be ahead of the committed head)
+	tipHash   types.Hash
+	tipHeight types.Height
+	tipTerm   Term
+
+	// leader state
+	matched  map[types.NodeID]types.Height
+	inFlight bool
+
+	timerGen types.View
+}
+
+// New creates a Raft replica.
+func New(cfg Config) *Replica {
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = cfg.BaseTimeout / 4
+	}
+	if cfg.DiskAppend == 0 {
+		cfg.DiskAppend = 500 * time.Microsecond
+	}
+	return &Replica{cfg: cfg, votedFor: -1}
+}
+
+// Init implements protocol.Replica.
+func (r *Replica) Init(env protocol.Env) {
+	r.env = env
+	r.store = ledger.NewStore()
+	if r.cfg.SyntheticWorkload {
+		r.pool = mempool.NewSynthetic(r.cfg.Self, r.cfg.PayloadSize)
+	} else {
+		r.pool = mempool.New()
+	}
+	r.machine = statemachine.NewDigestMachine(env, r.cfg.ExecCostPerTx)
+	g := r.store.Genesis()
+	r.tipHash, r.tipHeight = g.Hash(), 0
+	r.armElectionTimer()
+	// Node 0 starts an election immediately so benchmarks skip the
+	// initial timeout dance; other nodes use randomized timers.
+	if r.cfg.Self == 0 {
+		r.startElection()
+	}
+}
+
+// electionTimeout staggers candidates deterministically by node id.
+func (r *Replica) electionTimeout() time.Duration {
+	return r.cfg.BaseTimeout + time.Duration(int(r.cfg.Self)+1)*r.cfg.BaseTimeout/time.Duration(r.cfg.N+1)
+}
+
+func (r *Replica) armElectionTimer() {
+	r.timerGen++
+	r.env.SetTimer(r.electionTimeout(), types.TimerID{Kind: types.TimerViewChange, View: r.timerGen})
+}
+
+func (r *Replica) armHeartbeat() {
+	r.timerGen++
+	r.env.SetTimer(r.cfg.HeartbeatEvery, types.TimerID{Kind: types.TimerProtocolBase, View: r.timerGen})
+}
+
+// OnTimer implements protocol.Replica.
+func (r *Replica) OnTimer(id types.TimerID) {
+	if id.View != r.timerGen {
+		return
+	}
+	switch id.Kind {
+	case types.TimerViewChange:
+		if r.role != leader {
+			r.startElection()
+		}
+	case types.TimerProtocolBase:
+		if r.role == leader {
+			r.tryReplicate()
+			r.armHeartbeat()
+		}
+	}
+}
+
+func (r *Replica) startElection() {
+	r.term++
+	r.role = candidate
+	r.votedFor = r.cfg.Self
+	r.votes = 1
+	r.env.Broadcast(&MsgRequestVote{
+		Term: r.term, Candidate: r.cfg.Self,
+		LastHeight: r.tipHeight, LastLogTerm: r.tipTerm,
+	})
+	r.armElectionTimer()
+	if r.cfg.N == 1 {
+		r.becomeLeader()
+	}
+}
+
+func (r *Replica) becomeLeader() {
+	r.role = leader
+	r.matched = make(map[types.NodeID]types.Height)
+	r.inFlight = false
+	r.tryReplicate()
+	r.armHeartbeat()
+}
+
+// OnMessage implements protocol.Replica.
+func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *MsgRequestVote:
+		r.onRequestVote(from, m)
+	case *MsgVoteReply:
+		r.onVoteReply(from, m)
+	case *MsgAppendEntries:
+		r.onAppendEntries(from, m)
+	case *MsgAppendReply:
+		r.onAppendReply(from, m)
+	case *types.ClientRequest:
+		r.pool.Add(m.Txs)
+		if r.role == leader {
+			r.tryReplicate()
+		}
+	case *types.BlockRequest:
+		if b := r.store.Get(m.Hash); b != nil {
+			r.env.Send(from, &types.BlockResponse{Block: b})
+		}
+	case *types.BlockResponse:
+		if m.Block != nil {
+			r.store.Add(m.Block)
+		}
+	}
+}
+
+func (r *Replica) onRequestVote(from types.NodeID, m *MsgRequestVote) {
+	if m.Term > r.term {
+		r.term = m.Term
+		r.role = follower
+		r.votedFor = -1
+	}
+	grant := false
+	if m.Term == r.term && (r.votedFor == -1 || r.votedFor == m.Candidate) {
+		// Standard up-to-date check.
+		if m.LastLogTerm > r.tipTerm || (m.LastLogTerm == r.tipTerm && m.LastHeight >= r.tipHeight) {
+			grant = true
+			r.votedFor = m.Candidate
+			r.armElectionTimer()
+		}
+	}
+	r.env.Send(from, &MsgVoteReply{Term: r.term, Granted: grant})
+}
+
+func (r *Replica) onVoteReply(_ types.NodeID, m *MsgVoteReply) {
+	if r.role != candidate || m.Term != r.term || !m.Granted {
+		if m.Term > r.term {
+			r.term = m.Term
+			r.role = follower
+		}
+		return
+	}
+	r.votes++
+	if r.votes >= r.cfg.Quorum() {
+		r.becomeLeader()
+	}
+}
+
+// tryReplicate ships the next batch (or a heartbeat) to all followers.
+func (r *Replica) tryReplicate() {
+	if r.role != leader || r.inFlight {
+		return
+	}
+	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
+		// Pure heartbeat to retain leadership.
+		r.env.Broadcast(&MsgAppendEntries{
+			Term: r.term, Leader: r.cfg.Self,
+			PrevHash: r.tipHash, LeaderCommit: r.store.CommittedHeight(),
+		})
+		return
+	}
+	parent := r.store.Get(r.tipHash)
+	if parent == nil {
+		return
+	}
+	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
+	op := r.machine.Execute(parent.Op, txs)
+	b := &types.Block{
+		Txs: txs, Op: op, Parent: r.tipHash,
+		View: types.View(r.term), Height: parent.Height + 1,
+		Proposer: r.cfg.Self, Proposed: r.env.Now(),
+	}
+	r.store.Add(b)
+	r.env.Charge(r.cfg.DiskAppend) // persist the entry before shipping it
+	r.tipHash, r.tipHeight, r.tipTerm = b.Hash(), b.Height, r.term
+	r.matched[r.cfg.Self] = b.Height
+	r.inFlight = true
+	r.env.Broadcast(&MsgAppendEntries{
+		Term: r.term, Leader: r.cfg.Self, Block: b,
+		PrevHash: b.Parent, LeaderCommit: r.store.CommittedHeight(),
+	})
+}
+
+func (r *Replica) onAppendEntries(from types.NodeID, m *MsgAppendEntries) {
+	if m.Term < r.term {
+		r.env.Send(from, &MsgAppendReply{Term: r.term, Success: false})
+		return
+	}
+	if m.Term > r.term || r.role != follower {
+		r.term = m.Term
+		r.role = follower
+		r.votedFor = m.Leader
+	}
+	r.armElectionTimer()
+	if m.Block != nil {
+		if m.Block.Parent != r.tipHash {
+			// Gap or divergence: ask the leader for the missing parent
+			// and reject; the leader retries from its tip.
+			if !r.store.Has(m.Block.Parent) {
+				r.env.Send(from, &types.BlockRequest{Hash: m.Block.Parent, From: r.cfg.Self})
+			}
+			r.env.Send(from, &MsgAppendReply{Term: r.term, Success: false, Height: r.tipHeight, Hash: r.tipHash})
+			return
+		}
+		r.store.Add(m.Block)
+		r.env.Charge(r.cfg.DiskAppend) // persist before acknowledging
+		r.tipHash, r.tipHeight, r.tipTerm = m.Block.Hash(), m.Block.Height, m.Term
+		r.env.Send(from, &MsgAppendReply{Term: r.term, Success: true, Height: m.Block.Height, Hash: m.Block.Hash()})
+	}
+	// Apply the leader's commit index.
+	if m.LeaderCommit > r.store.CommittedHeight() {
+		r.commitThrough(m.LeaderCommit)
+	}
+}
+
+// commitThrough commits the local log up to height h (bounded by the
+// local tip).
+func (r *Replica) commitThrough(h types.Height) {
+	target := r.tipHash
+	tb := r.store.Get(target)
+	for tb != nil && tb.Height > h {
+		target = tb.Parent
+		tb = r.store.Get(target)
+	}
+	if tb == nil || tb.Height == 0 || r.store.IsCommitted(target) {
+		return
+	}
+	newly, err := r.store.Commit(target)
+	if err != nil {
+		r.env.Logf("raft commit error: %v", err)
+		return
+	}
+	for _, nb := range newly {
+		r.env.Commit(nb, nil)
+		r.pool.MarkCommitted(nb.Txs)
+	}
+}
+
+func (r *Replica) onAppendReply(from types.NodeID, m *MsgAppendReply) {
+	if r.role != leader || m.Term != r.term {
+		if m.Term > r.term {
+			r.term = m.Term
+			r.role = follower
+			r.armElectionTimer()
+		}
+		return
+	}
+	if !m.Success {
+		return
+	}
+	if m.Height > r.matched[from] {
+		r.matched[from] = m.Height
+	}
+	// Majority match → advance commit index.
+	count := 0
+	for _, h := range r.matched {
+		if h >= r.tipHeight {
+			count++
+		}
+	}
+	if count >= r.cfg.Quorum() && r.store.CommittedHeight() < r.tipHeight {
+		r.commitThrough(r.tipHeight)
+		r.inFlight = false
+		// Tell followers about the new commit index with the next
+		// batch (pipelined immediately under saturation).
+		r.tryReplicate()
+	}
+}
+
+// Role returns a short role name (tests).
+func (r *Replica) Role() string {
+	switch r.role {
+	case leader:
+		return "leader"
+	case candidate:
+		return "candidate"
+	default:
+		return "follower"
+	}
+}
+
+// Term returns the current term (tests).
+func (r *Replica) Term() Term { return r.term }
+
+// Ledger exposes the block store (tests).
+func (r *Replica) Ledger() *ledger.Store { return r.store }

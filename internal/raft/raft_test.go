@@ -1,0 +1,96 @@
+package raft_test
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/harness"
+	"achilles/internal/raft"
+	"achilles/internal/types"
+)
+
+func TestRaftElectsLeaderAndCommits(t *testing.T) {
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.BRaft, F: 1, BatchSize: 20, PayloadSize: 8, Seed: 6, Synthetic: true,
+	})
+	res := c.Measure(200*time.Millisecond, time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	if res.Blocks == 0 {
+		t.Fatal("no blocks")
+	}
+	leaders := 0
+	for i := 0; i < c.N; i++ {
+		if c.Engine.Replica(types.NodeID(i)).(*raft.Replica).Role() == "leader" {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+}
+
+func TestRaftReelectionAfterLeaderCrash(t *testing.T) {
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.BRaft, F: 2, BatchSize: 20, PayloadSize: 8, Seed: 6, Synthetic: true,
+	})
+	// Node 0 wins the initial election (it starts one immediately).
+	c.Engine.Crash(types.NodeID(0), 500*time.Millisecond)
+	res := c.Measure(200*time.Millisecond, 5*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety: %v", res.SafetyViolations)
+	}
+	leaders := 0
+	var term raft.Term
+	for i := 1; i < c.N; i++ {
+		rep := c.Engine.Replica(types.NodeID(i)).(*raft.Replica)
+		if rep.Role() == "leader" {
+			leaders++
+			term = rep.Term()
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders after crash = %d", leaders)
+	}
+	if term < 2 {
+		t.Fatalf("term = %d, re-election should have bumped it", term)
+	}
+	// Progress continued after the crash.
+	rep := c.Engine.Replica(types.NodeID(1)).(*raft.Replica)
+	if rep.Ledger().CommittedHeight() == 0 {
+		t.Fatal("no committed entries after re-election")
+	}
+}
+
+func TestRaftLinearMessages(t *testing.T) {
+	run := func(f int) harness.Result {
+		c := harness.NewCluster(harness.ClusterConfig{
+			Protocol: harness.BRaft, F: f, BatchSize: 20, PayloadSize: 8, Seed: 6, Synthetic: true,
+		})
+		return c.Measure(200*time.Millisecond, time.Second)
+	}
+	r1, r3 := run(1), run(3)
+	// n grows 3→7 (×2.33); message growth must stay near linear.
+	ratio := r3.MsgsPerBlock / r1.MsgsPerBlock
+	if ratio > 3.2 {
+		t.Fatalf("raft message growth %.2f not linear", ratio)
+	}
+}
+
+func TestRaftFollowersMatchLeaderChain(t *testing.T) {
+	c := harness.NewCluster(harness.ClusterConfig{
+		Protocol: harness.BRaft, F: 1, BatchSize: 10, PayloadSize: 0, Seed: 8, Synthetic: true,
+	})
+	c.Measure(200*time.Millisecond, time.Second)
+	var heads []types.Height
+	for i := 0; i < c.N; i++ {
+		heads = append(heads, c.Engine.Replica(types.NodeID(i)).(*raft.Replica).Ledger().CommittedHeight())
+	}
+	// All within one batch of each other (followers lag one append).
+	for _, h := range heads {
+		if h == 0 {
+			t.Fatalf("a node committed nothing: %v", heads)
+		}
+	}
+}

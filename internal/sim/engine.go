@@ -1,0 +1,426 @@
+// Package sim is a deterministic discrete-event simulator that stands
+// in for the paper's cloud testbed (DESIGN.md §2). It runs unmodified
+// protocol replicas over a modelled network — per-link latency with
+// jitter, per-node NIC serialization at a configurable bandwidth — and
+// a modelled CPU: handler work (signatures, enclave calls, persistent
+// counter writes, execution) is charged to each node's virtual clock.
+//
+// Determinism: given the same seed and node set, every run produces an
+// identical event sequence, which makes simulation results (and
+// therefore the benchmark tables) reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// NetworkModel describes the network between nodes.
+type NetworkModel struct {
+	// RTT is the round-trip time between any two nodes; one-way link
+	// latency is RTT/2.
+	RTT time.Duration
+	// Jitter is the maximum absolute deviation applied uniformly to
+	// each one-way delivery (the paper's ±0.02 ms / ±0.2 ms).
+	Jitter time.Duration
+	// Bandwidth is each node's NIC bandwidth in bits per second;
+	// 0 means infinite.
+	Bandwidth float64
+	// FrameOverhead is added to every message's wire size (headers).
+	FrameOverhead int
+}
+
+// LANModel returns the paper's LAN: 0.1 ± 0.02 ms RTT, 10 Gbps NICs.
+func LANModel() NetworkModel {
+	return NetworkModel{RTT: 100 * time.Microsecond, Jitter: 20 * time.Microsecond, Bandwidth: 10e9, FrameOverhead: 66}
+}
+
+// WANModel returns the paper's emulated WAN: 40 ± 0.2 ms RTT, 10 Gbps.
+func WANModel() NetworkModel {
+	return NetworkModel{RTT: 40 * time.Millisecond, Jitter: 200 * time.Microsecond, Bandwidth: 10e9, FrameOverhead: 66}
+}
+
+// txTime returns the NIC serialization time for size bytes.
+func (m NetworkModel) txTime(size int) time.Duration {
+	if m.Bandwidth <= 0 {
+		return 0
+	}
+	bits := float64(size+m.FrameOverhead) * 8
+	return time.Duration(bits / m.Bandwidth * float64(time.Second))
+}
+
+// CommitRecord captures one node's commit of one block.
+type CommitRecord struct {
+	Node  types.NodeID
+	Block *types.Block
+	CC    *types.CommitCert
+	At    types.Time
+}
+
+// LinkFilter can drop or observe messages in flight; returning false
+// drops the message. Used to model partitions and Byzantine message
+// withholding.
+type LinkFilter func(from, to types.NodeID, msg types.Message) bool
+
+// Engine is the simulator.
+type Engine struct {
+	now   types.Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	net   NetworkModel
+
+	nodes     map[types.NodeID]*Node
+	consensus []types.NodeID
+
+	filter LinkFilter
+
+	// OnCommit, if set, observes every commit as it happens.
+	OnCommit func(CommitRecord)
+
+	// Metrics.
+	msgCount  map[string]uint64
+	msgBytes  uint64
+	totalMsgs uint64
+	dropped   uint64
+
+	debug io.Writer
+}
+
+// New creates an engine with the given seed and network model.
+func New(seed int64, net NetworkModel) *Engine {
+	return &Engine{
+		rng:      rand.New(rand.NewSource(seed)),
+		net:      net,
+		nodes:    make(map[types.NodeID]*Node),
+		msgCount: make(map[string]uint64),
+	}
+}
+
+// SetDebug directs per-node debug logs to w (nil disables).
+func (e *Engine) SetDebug(w io.Writer) { e.debug = w }
+
+// SetLinkFilter installs a message filter (nil removes it).
+func (e *Engine) SetLinkFilter(f LinkFilter) { e.filter = f }
+
+// Node is one simulated machine.
+type Node struct {
+	id          types.NodeID
+	replica     protocol.Replica
+	up          bool
+	incarnation uint64
+	busyUntil   types.Time
+	nicFreeAt   types.Time
+	consensus   bool
+	env         *nodeEnv
+	initialized bool
+}
+
+// AddNode registers a consensus node. Must be called before Start.
+func (e *Engine) AddNode(id types.NodeID, r protocol.Replica) *Node {
+	return e.addNode(id, r, true)
+}
+
+// AddClient registers a client node (excluded from Broadcast targets).
+func (e *Engine) AddClient(id types.NodeID, r protocol.Replica) *Node {
+	return e.addNode(id, r, false)
+}
+
+func (e *Engine) addNode(id types.NodeID, r protocol.Replica, consensus bool) *Node {
+	n := &Node{id: id, replica: r, up: true, consensus: consensus}
+	n.env = &nodeEnv{engine: e, node: n}
+	e.nodes[id] = n
+	if consensus {
+		e.consensus = append(e.consensus, id)
+	}
+	return n
+}
+
+// Node returns the node with the given id.
+func (e *Engine) Node(id types.NodeID) *Node { return e.nodes[id] }
+
+// Replica returns the current replica instance of node id.
+func (e *Engine) Replica(id types.NodeID) protocol.Replica { return e.nodes[id].replica }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() types.Time { return e.now }
+
+// Start schedules Init for every node at time zero (in id order for
+// determinism). Call once before Run.
+func (e *Engine) Start() {
+	ids := append([]types.NodeID(nil), e.consensus...)
+	for id, n := range e.nodes {
+		if !n.consensus {
+			ids = append(ids, id)
+		}
+	}
+	sortIDs(ids)
+	for _, id := range ids {
+		n := e.nodes[id]
+		inc := n.incarnation
+		e.schedule(0, func() {
+			if n.up && n.incarnation == inc && !n.initialized {
+				n.initialized = true
+				e.dispatch(n, func() { n.replica.Init(n.env) })
+			}
+		})
+	}
+}
+
+// Run processes events until the virtual clock passes until (absolute
+// time) or no events remain. It returns the final virtual time.
+func (e *Engine) Run(until types.Time) types.Time {
+	for e.queue.Len() > 0 {
+		ev := e.queue.peek()
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunUntilIdle processes all remaining events (useful for tests).
+// maxTime bounds runaway schedules.
+func (e *Engine) RunUntilIdle(maxTime types.Time) types.Time {
+	for e.queue.Len() > 0 {
+		ev := e.queue.peek()
+		if ev.at > maxTime {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// schedule enqueues fn at time at (clamped to now).
+func (e *Engine) schedule(at types.Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// dispatch runs a handler on a node, serializing on its virtual CPU.
+func (e *Engine) dispatch(n *Node, fn func()) {
+	start := e.now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	prevStart, prevCharged := n.env.start, n.env.charged
+	n.env.start, n.env.charged = start, 0
+	fn()
+	n.busyUntil = n.env.start + n.env.charged
+	n.env.start, n.env.charged = prevStart, prevCharged
+}
+
+// Crash takes a node down at time at: its replica stops, in-flight
+// messages to it are lost, and pending timers die with the
+// incarnation.
+func (e *Engine) Crash(id types.NodeID, at types.Time) {
+	e.schedule(at, func() {
+		n := e.nodes[id]
+		n.up = false
+		n.incarnation++
+		n.busyUntil = 0
+		n.nicFreeAt = 0
+	})
+}
+
+// Reboot brings a node back at time at with a fresh replica built by
+// factory (typically configured with Recovering=true).
+func (e *Engine) Reboot(id types.NodeID, at types.Time, factory func() protocol.Replica) {
+	e.schedule(at, func() {
+		n := e.nodes[id]
+		n.up = true
+		n.incarnation++
+		n.replica = factory()
+		n.busyUntil = e.now
+		n.nicFreeAt = e.now
+		e.dispatch(n, func() { n.replica.Init(n.env) })
+	})
+}
+
+// At schedules an arbitrary callback on the engine clock (not charged
+// to any node); used by harness fault scripts.
+func (e *Engine) At(at types.Time, fn func()) { e.schedule(at, fn) }
+
+// MessageCounts returns per-type message counts.
+func (e *Engine) MessageCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(e.msgCount))
+	for k, v := range e.msgCount {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalMessages returns the number of messages sent so far.
+func (e *Engine) TotalMessages() uint64 { return e.totalMsgs }
+
+// TotalBytes returns the number of payload bytes sent so far.
+func (e *Engine) TotalBytes() uint64 { return e.msgBytes }
+
+// ResetMessageCounts clears message metrics (e.g. after warmup).
+func (e *Engine) ResetMessageCounts() {
+	e.msgCount = make(map[string]uint64)
+	e.totalMsgs = 0
+	e.msgBytes = 0
+}
+
+// --- per-node environment ----------------------------------------------
+
+type nodeEnv struct {
+	engine  *Engine
+	node    *Node
+	start   types.Time
+	charged time.Duration
+}
+
+var _ protocol.Env = (*nodeEnv)(nil)
+
+func (v *nodeEnv) Charge(d time.Duration) {
+	if d > 0 {
+		v.charged += d
+	}
+}
+
+func (v *nodeEnv) Now() types.Time { return v.start + v.charged }
+
+func (v *nodeEnv) Send(to types.NodeID, msg types.Message) {
+	v.engine.send(v.node, to, msg, v.Now())
+}
+
+func (v *nodeEnv) Broadcast(msg types.Message) {
+	e := v.engine
+	t := v.Now()
+	for _, id := range e.consensus {
+		if id != v.node.id {
+			e.send(v.node, id, msg, t)
+		}
+	}
+}
+
+func (v *nodeEnv) SetTimer(d time.Duration, id types.TimerID) {
+	e := v.engine
+	n := v.node
+	inc := n.incarnation
+	e.schedule(v.Now()+d, func() {
+		if n.up && n.incarnation == inc {
+			e.dispatch(n, func() { n.replica.OnTimer(id) })
+		}
+	})
+}
+
+func (v *nodeEnv) Commit(b *types.Block, cc *types.CommitCert) {
+	e := v.engine
+	if e.OnCommit != nil {
+		e.OnCommit(CommitRecord{Node: v.node.id, Block: b, CC: cc, At: v.Now()})
+	}
+}
+
+func (v *nodeEnv) Logf(format string, args ...any) {
+	e := v.engine
+	if e.debug != nil {
+		fmt.Fprintf(e.debug, "[%12s %v] %s\n", e.now, v.node.id, fmt.Sprintf(format, args...))
+	}
+}
+
+// send models NIC serialization at the sender plus link latency with
+// jitter, then delivers to the destination's current incarnation.
+func (e *Engine) send(from *Node, to types.NodeID, msg types.Message, at types.Time) {
+	e.totalMsgs++
+	e.msgCount[msg.Type()]++
+	size := msg.Size()
+	e.msgBytes += uint64(size)
+
+	if e.filter != nil && !e.filter(from.id, to, msg) {
+		e.dropped++
+		return
+	}
+	dst := e.nodes[to]
+	if dst == nil {
+		return
+	}
+	depart := at
+	if from.nicFreeAt > depart {
+		depart = from.nicFreeAt
+	}
+	depart += e.net.txTime(size)
+	from.nicFreeAt = depart
+
+	delay := e.net.RTT / 2
+	if e.net.Jitter > 0 {
+		delay += time.Duration(e.rng.Int63n(int64(2*e.net.Jitter))) - e.net.Jitter
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	arrival := depart + delay
+	inc := dst.incarnation
+	fromID := from.id
+	e.schedule(arrival, func() {
+		if dst.up && dst.incarnation == inc {
+			e.dispatch(dst, func() { dst.replica.OnMessage(fromID, msg) })
+		} else {
+			e.dropped++
+		}
+	})
+}
+
+// Dropped returns the number of messages lost to filters, crashes and
+// reboots.
+func (e *Engine) Dropped() uint64 { return e.dropped }
+
+// --- event queue ---------------------------------------------------------
+
+type event struct {
+	at  types.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+func (q eventQueue) peek() *event { return q[0] }
+
+func sortIDs(ids []types.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// pingMsg is a trivial test message.
+type pingMsg struct{ Bytes int }
+
+func (*pingMsg) Type() string { return "test/ping" }
+func (m *pingMsg) Size() int  { return m.Bytes }
+
+// probe is a scriptable replica.
+type probe struct {
+	env       protocol.Env
+	onInit    func(*probe)
+	onMessage func(*probe, types.NodeID, types.Message)
+	onTimer   func(*probe, types.TimerID)
+	events    []string
+	times     []types.Time
+}
+
+func (p *probe) Init(env protocol.Env) {
+	p.env = env
+	if p.onInit != nil {
+		p.onInit(p)
+	}
+}
+func (p *probe) OnMessage(from types.NodeID, msg types.Message) {
+	p.events = append(p.events, fmt.Sprintf("msg-from-%v", from))
+	p.times = append(p.times, p.env.Now())
+	if p.onMessage != nil {
+		p.onMessage(p, from, msg)
+	}
+}
+func (p *probe) OnTimer(id types.TimerID) {
+	p.events = append(p.events, fmt.Sprintf("timer-%d", id.Kind))
+	p.times = append(p.times, p.env.Now())
+	if p.onTimer != nil {
+		p.onTimer(p, id)
+	}
+}
+
+func TestMessageDeliveryAndLatency(t *testing.T) {
+	net := NetworkModel{RTT: 10 * time.Millisecond} // no jitter, no bandwidth
+	e := New(1, net)
+	a := &probe{onInit: func(p *probe) { p.env.Send(1, &pingMsg{Bytes: 100}) }}
+	b := &probe{}
+	e.AddNode(0, a)
+	e.AddNode(1, b)
+	e.Start()
+	e.Run(time.Second)
+	if len(b.events) != 1 {
+		t.Fatalf("b got %d events", len(b.events))
+	}
+	// One-way latency = RTT/2 exactly (no jitter).
+	if b.times[0] != 5*time.Millisecond {
+		t.Fatalf("delivery at %v, want 5ms", b.times[0])
+	}
+	if e.TotalMessages() != 1 || e.MessageCounts()["test/ping"] != 1 {
+		t.Fatalf("message accounting wrong: %v", e.MessageCounts())
+	}
+}
+
+func TestChargeSerializesNodeCPU(t *testing.T) {
+	net := NetworkModel{RTT: 0}
+	e := New(1, net)
+	// Node 1 charges 10ms per message; two messages arriving together
+	// must be processed back to back on the virtual CPU.
+	b := &probe{onMessage: func(p *probe, _ types.NodeID, _ types.Message) {
+		p.env.Charge(10 * time.Millisecond)
+	}}
+	a := &probe{onInit: func(p *probe) {
+		p.env.Send(1, &pingMsg{})
+		p.env.Send(1, &pingMsg{})
+	}}
+	e.AddNode(0, a)
+	e.AddNode(1, b)
+	e.Start()
+	e.Run(time.Second)
+	if len(b.times) != 2 {
+		t.Fatalf("events = %d", len(b.times))
+	}
+	// First handler observes ~t0 (then charges 10ms), second starts
+	// only after the first's charge: Now() at entry >= 10ms.
+	if b.times[1] < 10*time.Millisecond {
+		t.Fatalf("second handler started at %v, want >= 10ms", b.times[1])
+	}
+}
+
+func TestNICSerialization(t *testing.T) {
+	// 1 MB at 8 Mbit/s takes 1 s on the wire; two sends back to back
+	// must arrive 1 s apart.
+	net := NetworkModel{RTT: 0, Bandwidth: 8e6, FrameOverhead: 0}
+	e := New(1, net)
+	b := &probe{}
+	a := &probe{onInit: func(p *probe) {
+		p.env.Send(1, &pingMsg{Bytes: 1_000_000})
+		p.env.Send(1, &pingMsg{Bytes: 1_000_000})
+	}}
+	e.AddNode(0, a)
+	e.AddNode(1, b)
+	e.Start()
+	e.Run(10 * time.Second)
+	if len(b.times) != 2 {
+		t.Fatalf("events = %d", len(b.times))
+	}
+	d := b.times[1] - b.times[0]
+	if d < 900*time.Millisecond || d > 1100*time.Millisecond {
+		t.Fatalf("NIC spacing = %v, want ~1s", d)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	e := New(1, NetworkModel{})
+	a := &probe{onInit: func(p *probe) {
+		p.env.SetTimer(30*time.Millisecond, types.TimerID{Kind: 7})
+		p.env.SetTimer(10*time.Millisecond, types.TimerID{Kind: 3})
+	}}
+	e.AddNode(0, a)
+	e.Start()
+	e.Run(time.Second)
+	if len(a.events) != 2 || a.events[0] != "timer-3" || a.events[1] != "timer-7" {
+		t.Fatalf("timer order: %v", a.events)
+	}
+	if a.times[0] != 10*time.Millisecond || a.times[1] != 30*time.Millisecond {
+		t.Fatalf("timer times: %v", a.times)
+	}
+}
+
+func TestCrashDropsDelivery(t *testing.T) {
+	net := NetworkModel{RTT: 10 * time.Millisecond}
+	e := New(1, net)
+	a := &probe{onInit: func(p *probe) { p.env.Send(1, &pingMsg{}) }}
+	b := &probe{}
+	e.AddNode(0, a)
+	e.AddNode(1, b)
+	e.Crash(1, 1*time.Millisecond) // before the 5ms delivery
+	e.Start()
+	e.Run(time.Second)
+	if len(b.events) != 0 {
+		t.Fatalf("crashed node received %v", b.events)
+	}
+	if e.Dropped() != 1 {
+		t.Fatalf("dropped = %d", e.Dropped())
+	}
+}
+
+func TestRebootGetsFreshReplica(t *testing.T) {
+	e := New(1, NetworkModel{RTT: time.Millisecond})
+	old := &probe{}
+	fresh := &probe{}
+	initialized := false
+	e.AddNode(0, old)
+	e.AddNode(1, &probe{})
+	e.Crash(0, 10*time.Millisecond)
+	e.Reboot(0, 20*time.Millisecond, func() protocol.Replica {
+		initialized = true
+		return fresh
+	})
+	e.Start()
+	e.Run(time.Second)
+	if !initialized {
+		t.Fatal("factory not called")
+	}
+	if e.Replica(0) != fresh {
+		t.Fatal("reboot did not swap the replica")
+	}
+	if fresh.env == nil {
+		t.Fatal("fresh replica was not initialized")
+	}
+}
+
+func TestTimersDieWithIncarnation(t *testing.T) {
+	e := New(1, NetworkModel{})
+	a := &probe{onInit: func(p *probe) {
+		p.env.SetTimer(50*time.Millisecond, types.TimerID{Kind: 1})
+	}}
+	e.AddNode(0, a)
+	e.Crash(0, 10*time.Millisecond)
+	e.Start()
+	e.Run(time.Second)
+	if len(a.events) != 0 {
+		t.Fatalf("timer fired on crashed incarnation: %v", a.events)
+	}
+}
+
+func TestLinkFilter(t *testing.T) {
+	e := New(1, NetworkModel{})
+	a := &probe{onInit: func(p *probe) {
+		p.env.Send(1, &pingMsg{})
+		p.env.Send(2, &pingMsg{})
+	}}
+	b, c := &probe{}, &probe{}
+	e.AddNode(0, a)
+	e.AddNode(1, b)
+	e.AddNode(2, c)
+	e.SetLinkFilter(func(from, to types.NodeID, _ types.Message) bool { return to != 1 })
+	e.Start()
+	e.Run(time.Second)
+	if len(b.events) != 0 || len(c.events) != 1 {
+		t.Fatalf("filter leaked: b=%v c=%v", b.events, c.events)
+	}
+}
+
+func TestBroadcastExcludesSenderAndClients(t *testing.T) {
+	e := New(1, NetworkModel{})
+	a := &probe{onInit: func(p *probe) { p.env.Broadcast(&pingMsg{}) }}
+	b, cl := &probe{}, &probe{}
+	e.AddNode(0, a)
+	e.AddNode(1, b)
+	e.AddClient(types.ClientIDBase, cl)
+	e.Start()
+	e.Run(time.Second)
+	if len(a.events) != 0 {
+		t.Fatal("broadcast echoed to sender")
+	}
+	if len(b.events) != 1 {
+		t.Fatalf("peer got %d", len(b.events))
+	}
+	if len(cl.events) != 0 {
+		t.Fatal("broadcast reached a client")
+	}
+}
+
+// TestDeterminism: identical seeds yield identical event sequences;
+// different seeds differ (jitter).
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []types.Time {
+		net := NetworkModel{RTT: 10 * time.Millisecond, Jitter: 2 * time.Millisecond}
+		e := New(seed, net)
+		b := &probe{}
+		a := &probe{onInit: func(p *probe) {
+			for i := 0; i < 10; i++ {
+				p.env.Send(1, &pingMsg{})
+			}
+		}}
+		e.AddNode(0, a)
+		e.AddNode(1, b)
+		e.Start()
+		e.Run(time.Second)
+		return b.times
+	}
+	r1, r2, r3 := run(7), run(7), run(8)
+	if len(r1) != 10 {
+		t.Fatalf("deliveries = %d", len(r1))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	same := true
+	for i := range r1 {
+		if r1[i] != r3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestRunUntilIdleAndPending(t *testing.T) {
+	e := New(1, NetworkModel{})
+	a := &probe{onInit: func(p *probe) {
+		p.env.SetTimer(time.Millisecond, types.TimerID{Kind: 1})
+	}}
+	e.AddNode(0, a)
+	e.Start()
+	if e.Pending() == 0 {
+		t.Fatal("no pending events after Start")
+	}
+	e.RunUntilIdle(time.Second)
+	if e.Pending() != 0 {
+		t.Fatalf("pending after idle run: %d", e.Pending())
+	}
+	if len(a.events) != 1 {
+		t.Fatalf("events: %v", a.events)
+	}
+}
+
+func TestMetricsReset(t *testing.T) {
+	e := New(1, NetworkModel{})
+	a := &probe{onInit: func(p *probe) { p.env.Send(1, &pingMsg{Bytes: 10}) }}
+	e.AddNode(0, a)
+	e.AddNode(1, &probe{})
+	e.Start()
+	e.Run(time.Second)
+	if e.TotalMessages() != 1 || e.TotalBytes() != 10 {
+		t.Fatalf("counters: %d msgs %d bytes", e.TotalMessages(), e.TotalBytes())
+	}
+	e.ResetMessageCounts()
+	if e.TotalMessages() != 0 || e.TotalBytes() != 0 || len(e.MessageCounts()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

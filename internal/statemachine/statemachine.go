@@ -1,0 +1,130 @@
+// Package statemachine provides the deterministic execution layer:
+// the executeTx function of Sec. 4.2 that turns a batch of
+// transactions (given the chain they extend) into execution results op
+// embedded in blocks, which backups re-execute and verify.
+package statemachine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+
+	"achilles/internal/types"
+)
+
+// Machine executes transaction batches deterministically.
+type Machine interface {
+	// Execute runs txs on the state reached by the chain ending at
+	// parentOpDigest and returns the execution results op. Execution
+	// must be deterministic: every correct node obtains identical op
+	// bytes for identical inputs.
+	Execute(parentOp []byte, txs []types.Transaction) []byte
+}
+
+// DigestMachine is the default machine used by the consensus
+// benchmarks: op is a running digest over the executed chain, which is
+// enough for backups to verify agreement on execution without
+// maintaining application state. It charges a per-transaction
+// execution cost to the meter so batch size influences latency the way
+// the paper's Fig. 3i-3l show.
+type DigestMachine struct {
+	meter     types.Meter
+	perTxCost time.Duration
+}
+
+// NewDigestMachine returns a digest machine charging perTxCost for
+// each executed transaction.
+func NewDigestMachine(meter types.Meter, perTxCost time.Duration) *DigestMachine {
+	if meter == nil {
+		meter = types.NopMeter{}
+	}
+	return &DigestMachine{meter: meter, perTxCost: perTxCost}
+}
+
+// Execute implements Machine.
+func (m *DigestMachine) Execute(parentOp []byte, txs []types.Transaction) []byte {
+	m.meter.Charge(time.Duration(len(txs)) * m.perTxCost)
+	h := sha256.New()
+	h.Write(parentOp)
+	var buf [8]byte
+	for i := range txs {
+		binary.BigEndian.PutUint32(buf[:4], uint32(txs[i].Client))
+		binary.BigEndian.PutUint32(buf[4:], txs[i].Seq)
+		h.Write(buf[:])
+		h.Write(txs[i].Payload)
+	}
+	return h.Sum(nil)
+}
+
+// KVMachine is a replicated key-value store used by the examples: a
+// realistic application on top of the consensus API. Commands are
+// encoded as "S<key>=<value>" (set) or "D<key>" (delete); any other
+// payload is a no-op. Op is a digest of the store after the batch, so
+// divergent executions are detected by consensus.
+type KVMachine struct {
+	meter types.Meter
+	state map[string]string
+}
+
+// NewKVMachine returns an empty key-value machine.
+func NewKVMachine(meter types.Meter) *KVMachine {
+	if meter == nil {
+		meter = types.NopMeter{}
+	}
+	return &KVMachine{meter: meter, state: make(map[string]string)}
+}
+
+// SetCommand encodes a set operation as a transaction payload.
+func SetCommand(key, value string) []byte {
+	return append(append(append([]byte{'S'}, key...), '='), value...)
+}
+
+// DeleteCommand encodes a delete operation as a transaction payload.
+func DeleteCommand(key string) []byte { return append([]byte{'D'}, key...) }
+
+// Get returns the value stored under key.
+func (m *KVMachine) Get(key string) (string, bool) {
+	v, ok := m.state[key]
+	return v, ok
+}
+
+// Size returns the number of stored keys.
+func (m *KVMachine) Size() int { return len(m.state) }
+
+// Execute implements Machine.
+func (m *KVMachine) Execute(parentOp []byte, txs []types.Transaction) []byte {
+	m.meter.Charge(time.Duration(len(txs)) * time.Microsecond)
+	for i := range txs {
+		m.apply(txs[i].Payload)
+	}
+	// The digest covers the parent op and the mutations applied, which
+	// uniquely determines the state given an agreed history.
+	h := sha256.New()
+	h.Write(parentOp)
+	for i := range txs {
+		h.Write(txs[i].Payload)
+	}
+	return h.Sum(nil)
+}
+
+// Apply applies a single committed command to the store. Replication
+// layers call it from their commit callbacks (apply-at-commit SMR).
+func (m *KVMachine) Apply(cmd []byte) { m.apply(cmd) }
+
+func (m *KVMachine) apply(cmd []byte) {
+	if len(cmd) == 0 {
+		return
+	}
+	switch cmd[0] {
+	case 'S':
+		rest := string(cmd[1:])
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '=' {
+				m.state[rest[:i]] = rest[i+1:]
+				return
+			}
+		}
+	case 'D':
+		delete(m.state, string(cmd[1:]))
+	}
+}

@@ -1,0 +1,123 @@
+package statemachine
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"achilles/internal/types"
+)
+
+type meterRec struct{ total time.Duration }
+
+func (m *meterRec) Charge(d time.Duration) { m.total += d }
+
+func txs(payloads ...string) []types.Transaction {
+	out := make([]types.Transaction, len(payloads))
+	for i, p := range payloads {
+		out[i] = types.Transaction{Client: 1, Seq: uint32(i), Payload: []byte(p)}
+	}
+	return out
+}
+
+func TestDigestMachineDeterminism(t *testing.T) {
+	a := NewDigestMachine(nil, 0)
+	b := NewDigestMachine(nil, 0)
+	in := txs("x", "y", "z")
+	if !bytes.Equal(a.Execute(nil, in), b.Execute(nil, in)) {
+		t.Fatal("identical executions diverged")
+	}
+	if bytes.Equal(a.Execute(nil, in), a.Execute([]byte("other-parent"), in)) {
+		t.Fatal("parent op not covered")
+	}
+	if bytes.Equal(a.Execute(nil, in), a.Execute(nil, txs("x", "y"))) {
+		t.Fatal("tx set not covered")
+	}
+}
+
+func TestDigestMachineChargesPerTx(t *testing.T) {
+	var m meterRec
+	dm := NewDigestMachine(&m, 2*time.Microsecond)
+	dm.Execute(nil, txs("a", "b", "c"))
+	if m.total != 6*time.Microsecond {
+		t.Fatalf("charged %v", m.total)
+	}
+}
+
+// TestDigestChainProperty: executing a chain of batches yields a
+// digest that depends on every link.
+func TestDigestChainProperty(t *testing.T) {
+	f := func(batches [][]byte) bool {
+		m := NewDigestMachine(nil, 0)
+		op := []byte(nil)
+		seen := map[string]bool{}
+		for i, b := range batches {
+			op = m.Execute(op, []types.Transaction{{Client: 1, Seq: uint32(i), Payload: b}})
+			if seen[string(op)] {
+				return false // a chain prefix repeated a digest
+			}
+			seen[string(op)] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVMachineSetGetDelete(t *testing.T) {
+	m := NewKVMachine(nil)
+	m.Apply(SetCommand("k", "v1"))
+	if v, ok := m.Get("k"); !ok || v != "v1" {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	m.Apply(SetCommand("k", "v2"))
+	if v, _ := m.Get("k"); v != "v2" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	m.Apply(DeleteCommand("k"))
+	if _, ok := m.Get("k"); ok {
+		t.Fatal("delete failed")
+	}
+	if m.Size() != 0 {
+		t.Fatalf("size = %d", m.Size())
+	}
+}
+
+func TestKVMachineIgnoresGarbage(t *testing.T) {
+	m := NewKVMachine(nil)
+	m.Apply(nil)
+	m.Apply([]byte("Zxyz"))
+	m.Apply([]byte("Snoequals"))
+	if m.Size() != 0 {
+		t.Fatal("garbage commands mutated state")
+	}
+}
+
+func TestKVMachineExecuteDigest(t *testing.T) {
+	a := NewKVMachine(nil)
+	b := NewKVMachine(nil)
+	in := []types.Transaction{{Payload: SetCommand("x", "1")}}
+	if !bytes.Equal(a.Execute(nil, in), b.Execute(nil, in)) {
+		t.Fatal("identical kv executions diverged")
+	}
+	if v, ok := a.Get("x"); !ok || v != "1" {
+		t.Fatal("execute did not apply")
+	}
+}
+
+func TestKVCommandEncoding(t *testing.T) {
+	if string(SetCommand("a", "b=c")) != "Sa=b=c" {
+		t.Fatalf("set encoding = %q", SetCommand("a", "b=c"))
+	}
+	if string(DeleteCommand("a")) != "Da" {
+		t.Fatalf("delete encoding = %q", DeleteCommand("a"))
+	}
+	// Values containing '=' survive (split on first '=' only).
+	m := NewKVMachine(nil)
+	m.Apply(SetCommand("a", "b=c"))
+	if v, _ := m.Get("a"); v != "b=c" {
+		t.Fatalf("value with '=' mangled: %q", v)
+	}
+}

@@ -1,0 +1,119 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type meterRec struct{ total time.Duration }
+
+func (m *meterRec) Charge(d time.Duration) { m.total += d }
+
+func TestMonotonicity(t *testing.T) {
+	d := New(ParametricSpec(0), nil)
+	var prev uint64
+	for i := 0; i < 100; i++ {
+		v := d.Increment()
+		if v <= prev {
+			t.Fatalf("counter went backwards: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if d.Read() != prev {
+		t.Fatalf("read %d != last increment %d", d.Read(), prev)
+	}
+}
+
+func TestLatencyCharging(t *testing.T) {
+	var m meterRec
+	spec := Spec{Name: "t", WriteLatency: 20 * time.Millisecond, ReadLatency: 7 * time.Millisecond}
+	d := New(spec, &m)
+	d.Increment()
+	if m.total != 20*time.Millisecond {
+		t.Fatalf("write charged %v", m.total)
+	}
+	d.Read()
+	if m.total != 27*time.Millisecond {
+		t.Fatalf("read charged %v total", m.total)
+	}
+}
+
+func TestEndurance(t *testing.T) {
+	spec := Spec{Name: "worn", WriteCycles: 3}
+	d := New(spec, nil)
+	for i := 0; i < 3; i++ {
+		d.Increment()
+	}
+	if v := d.Increment(); v != 3 {
+		t.Fatalf("worn-out counter advanced to %d", v)
+	}
+	if d.Writes() != 3 {
+		t.Fatalf("writes = %d", d.Writes())
+	}
+}
+
+func TestTable4Specs(t *testing.T) {
+	// Table 4 of the paper: latency characteristics of the devices.
+	cases := []struct {
+		spec  Spec
+		write time.Duration
+	}{
+		{TPMSpec, 97 * time.Millisecond},
+		{SGXSpec, 160 * time.Millisecond},
+		{NarratorLANSpec, 9 * time.Millisecond},
+		{NarratorWANSpec, 45 * time.Millisecond},
+		{DefaultSpec, 20 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if c.spec.WriteLatency != c.write {
+			t.Fatalf("%s write latency = %v, want %v", c.spec.Name, c.spec.WriteLatency, c.write)
+		}
+		if c.spec.ReadLatency <= 0 || c.spec.ReadLatency >= c.spec.WriteLatency {
+			t.Fatalf("%s read latency %v must be positive and below write", c.spec.Name, c.spec.ReadLatency)
+		}
+	}
+}
+
+func TestParametricSpec(t *testing.T) {
+	s := ParametricSpec(40 * time.Millisecond)
+	if s.WriteLatency != 40*time.Millisecond || s.ReadLatency != 20*time.Millisecond {
+		t.Fatalf("parametric spec = %+v", s)
+	}
+	z := ParametricSpec(0)
+	if z.WriteLatency != 0 || z.ReadLatency != 0 {
+		t.Fatalf("zero parametric spec = %+v", z)
+	}
+}
+
+// TestMonotonicityProperty: no interleaving of reads and increments
+// ever observes a decrease.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		d := New(ParametricSpec(0), nil)
+		var last uint64
+		for _, inc := range ops {
+			var v uint64
+			if inc {
+				v = d.Increment()
+			} else {
+				v = d.Read()
+			}
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecAccessor(t *testing.T) {
+	d := New(TPMSpec, nil)
+	if d.Spec().Name != "TPM" {
+		t.Fatalf("spec = %+v", d.Spec())
+	}
+}

@@ -1,0 +1,165 @@
+// Package tee models the Trusted Execution Environment the paper's
+// trusted components run in (Intel SGX in the prototype, Sec. 5.1).
+//
+// The model captures exactly the guarantees and non-guarantees the
+// protocol relies on (Sec. 3.1):
+//
+//   - integrity: code inside an Enclave cannot be altered and its keys
+//     cannot be extracted — in this codebase, trusted state lives in
+//     unexported fields reachable only through the trusted functions;
+//   - no freshness: sealed state written to untrusted storage can be
+//     rolled back by the adversary (VersionedStore lets tests and the
+//     harness mount exactly that attack);
+//   - cost: every trusted call pays an enclave-transition cost and
+//     enclave (re)creation pays an initialization cost, charged to the
+//     runtime's Meter so SGX overhead appears in measurements
+//     (Sec. 5.4).
+package tee
+
+import (
+	"time"
+
+	"achilles/internal/types"
+)
+
+// CallCosts models SGX-related overheads charged to the virtual clock.
+type CallCosts struct {
+	// Ecall is the world-switch cost of entering a trusted function.
+	Ecall time.Duration
+	// Init is the cost of creating (or re-creating after reboot) the
+	// enclave: EPC setup, measurement, attestation handshake.
+	Init time.Duration
+}
+
+// DefaultCallCosts returns SGX costs calibrated to published
+// measurements (ecall ≈ 8 µs; enclave creation ≈ 11 ms, matching the
+// base of the paper's Table 2 initialization row).
+func DefaultCallCosts() CallCosts {
+	return CallCosts{Ecall: 8 * time.Microsecond, Init: 11 * time.Millisecond}
+}
+
+// Measurement identifies the enclave's code identity (MRENCLAVE).
+type Measurement = types.Hash
+
+// Enclave is the host handle to a trusted execution environment.
+// Trusted components embed an *Enclave and call EnterCall at the top of
+// every trusted function; the enclave charges the transition cost and
+// tracks call counts for the overhead profiling experiments.
+type Enclave struct {
+	measurement Measurement
+	meter       types.Meter
+	costs       CallCosts
+	store       SealedStore
+	sealer      *Sealer
+	calls       uint64
+	disabled    bool
+}
+
+// Config configures an enclave.
+type Config struct {
+	// Measurement is the code identity; enclaves running the same
+	// trusted components share it.
+	Measurement Measurement
+	// MachineSecret models the per-CPU sealing root; sealing keys are
+	// derived from it and the measurement.
+	MachineSecret [32]byte
+	// Meter receives cost charges. Nil means costs are ignored.
+	Meter types.Meter
+	// Costs are the transition/initialization costs.
+	Costs CallCosts
+	// Store is the untrusted storage sealed blobs are written to. Nil
+	// installs a fresh honest VersionedStore.
+	Store SealedStore
+	// Disabled turns the enclave into a pass-through with zero cost,
+	// modelling the Achilles-C variant that runs trusted components
+	// outside SGX (Sec. 5.4). Integrity bookkeeping still works so the
+	// same code runs unmodified.
+	Disabled bool
+}
+
+// New creates an enclave and charges its initialization cost.
+func New(cfg Config) *Enclave {
+	m := cfg.Meter
+	if m == nil {
+		m = types.NopMeter{}
+	}
+	st := cfg.Store
+	if st == nil {
+		st = NewVersionedStore()
+	}
+	e := &Enclave{
+		measurement: cfg.Measurement,
+		meter:       m,
+		costs:       cfg.Costs,
+		store:       st,
+		sealer:      NewSealer(cfg.MachineSecret, cfg.Measurement),
+		disabled:    cfg.Disabled,
+	}
+	if !e.disabled {
+		m.Charge(e.costs.Init)
+	}
+	return e
+}
+
+// EnterCall charges one trusted-call transition. Every TEE* function in
+// the trusted components calls it exactly once on entry.
+func (e *Enclave) EnterCall() {
+	e.calls++
+	if !e.disabled {
+		e.meter.Charge(e.costs.Ecall)
+	}
+}
+
+// Calls returns the number of trusted calls made so far (used by the
+// overhead-profiling experiments).
+func (e *Enclave) Calls() uint64 { return e.calls }
+
+// Measurement returns the enclave's code identity.
+func (e *Enclave) Measurement() Measurement { return e.measurement }
+
+// Meter exposes the enclave's meter so trusted components can charge
+// internal work (e.g. counter device latency).
+func (e *Enclave) Meter() types.Meter { return e.meter }
+
+// Seal encrypts and authenticates blob under the enclave's sealing key
+// and writes it to untrusted storage under name. Freshness is NOT
+// guaranteed: the store may later return any previously sealed version.
+func (e *Enclave) Seal(name string, blob []byte) {
+	e.store.Put(name, e.sealer.Seal(blob))
+}
+
+// Unseal reads name from untrusted storage and decrypts it. It returns
+// false if nothing was stored or the blob fails authentication (i.e.
+// was forged or corrupted — the adversary can replay but not forge).
+func (e *Enclave) Unseal(name string) ([]byte, bool) {
+	sealed := e.store.Get(name)
+	if sealed == nil {
+		return nil, false
+	}
+	return e.sealer.Unseal(sealed)
+}
+
+// Store returns the enclave's untrusted storage, through which tests
+// and the fault harness mount rollback attacks.
+func (e *Enclave) Store() SealedStore { return e.store }
+
+// Attest produces an attestation report binding data (e.g. a public
+// key generated inside the enclave) to the enclave's measurement. Peers
+// verify it with VerifyReport. This stands in for SGX remote
+// attestation, which the paper uses to build the PKI without a trusted
+// third party (Sec. 4.5).
+func (e *Enclave) Attest(data []byte) Report {
+	return Report{Measurement: e.measurement, Data: append([]byte(nil), data...)}
+}
+
+// Report is a (modelled) remote-attestation report.
+type Report struct {
+	Measurement Measurement
+	Data        []byte
+}
+
+// VerifyReport checks that a report was produced by an enclave with the
+// expected measurement.
+func VerifyReport(r Report, expected Measurement) bool {
+	return r.Measurement == expected
+}

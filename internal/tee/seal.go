@@ -1,0 +1,126 @@
+package tee
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Sealer implements SGX-style sealing: authenticated encryption under a
+// key derived from the machine secret and the enclave measurement, so
+// only the same enclave code on the same machine can unseal.
+type Sealer struct {
+	aead  cipher.AEAD
+	nonce uint64
+}
+
+// NewSealer derives a sealing key from the machine secret and the
+// enclave measurement.
+func NewSealer(machineSecret [32]byte, m Measurement) *Sealer {
+	material := sha256.New()
+	material.Write([]byte("seal-key-v1"))
+	material.Write(machineSecret[:])
+	material.Write(m[:])
+	var key [32]byte
+	copy(key[:], material.Sum(nil))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("tee: aes: " + err.Error())
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		panic("tee: gcm: " + err.Error())
+	}
+	return &Sealer{aead: aead}
+}
+
+// Seal encrypts and authenticates blob. Each call uses a fresh nonce.
+func (s *Sealer) Seal(blob []byte) []byte {
+	s.nonce++
+	nonce := make([]byte, s.aead.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], s.nonce)
+	out := make([]byte, 0, len(nonce)+len(blob)+s.aead.Overhead())
+	out = append(out, nonce...)
+	return s.aead.Seal(out, nonce, blob, nil)
+}
+
+// Unseal authenticates and decrypts a sealed blob. It returns false on
+// any tampering; replayed (stale but genuine) blobs decrypt fine —
+// that is exactly the freshness gap rollback attacks exploit.
+func (s *Sealer) Unseal(sealed []byte) ([]byte, bool) {
+	ns := s.aead.NonceSize()
+	if len(sealed) < ns {
+		return nil, false
+	}
+	plain, err := s.aead.Open(nil, sealed[:ns], sealed[ns:], nil)
+	if err != nil {
+		return nil, false
+	}
+	return plain, true
+}
+
+// SealedStore is untrusted storage for sealed blobs. The operating
+// system (and hence the adversary, Sec. 3.1) controls it completely.
+type SealedStore interface {
+	// Put stores a sealed blob under name.
+	Put(name string, sealed []byte)
+	// Get returns the blob the OS chooses to serve for name — the
+	// latest one if honest, possibly a stale version if adversarial —
+	// or nil if nothing is served.
+	Get(name string) []byte
+}
+
+// VersionedStore keeps every version ever written and can be switched
+// into adversarial modes that serve stale versions or nothing at all.
+// It is the rollback-attack vehicle used by tests and the fault
+// harness.
+type VersionedStore struct {
+	versions map[string][][]byte
+	// serve maps a name to the version index to serve; -1 means latest,
+	// -2 means serve nothing (state wiped).
+	serve map[string]int
+}
+
+// NewVersionedStore returns an honest store (serves latest versions).
+func NewVersionedStore() *VersionedStore {
+	return &VersionedStore{versions: make(map[string][][]byte), serve: make(map[string]int)}
+}
+
+// Put implements SealedStore.
+func (s *VersionedStore) Put(name string, sealed []byte) {
+	s.versions[name] = append(s.versions[name], append([]byte(nil), sealed...))
+}
+
+// Get implements SealedStore.
+func (s *VersionedStore) Get(name string) []byte {
+	vs := s.versions[name]
+	if len(vs) == 0 {
+		return nil
+	}
+	idx, ok := s.serve[name]
+	if !ok {
+		return vs[len(vs)-1]
+	}
+	if idx == -2 {
+		return nil
+	}
+	if idx < 0 || idx >= len(vs) {
+		return vs[len(vs)-1]
+	}
+	return vs[idx]
+}
+
+// Versions returns how many versions of name have been written.
+func (s *VersionedStore) Versions(name string) int { return len(s.versions[name]) }
+
+// RollBackTo makes the store serve version index (0-based) for name —
+// the rollback attack of Sec. 2.1.
+func (s *VersionedStore) RollBackTo(name string, index int) { s.serve[name] = index }
+
+// Wipe makes the store serve nothing for name, modelling a reset to a
+// pristine state.
+func (s *VersionedStore) Wipe(name string) { s.serve[name] = -2 }
+
+// Honest restores honest behaviour for name (serve the latest version).
+func (s *VersionedStore) Honest(name string) { delete(s.serve, name) }

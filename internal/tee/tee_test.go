@@ -1,0 +1,183 @@
+package tee
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"achilles/internal/types"
+)
+
+type meterRec struct{ total time.Duration }
+
+func (m *meterRec) Charge(d time.Duration) { m.total += d }
+
+func newTestEnclave(m types.Meter) *Enclave {
+	return New(Config{
+		Measurement:   types.HashBytes([]byte("test-enclave")),
+		MachineSecret: [32]byte{1, 2, 3},
+		Meter:         m,
+		Costs:         CallCosts{Ecall: 5 * time.Microsecond, Init: 10 * time.Millisecond},
+	})
+}
+
+func TestEnclaveInitAndCallCosts(t *testing.T) {
+	var m meterRec
+	e := newTestEnclave(&m)
+	if m.total != 10*time.Millisecond {
+		t.Fatalf("init charged %v", m.total)
+	}
+	e.EnterCall()
+	e.EnterCall()
+	if m.total != 10*time.Millisecond+10*time.Microsecond {
+		t.Fatalf("calls charged %v", m.total)
+	}
+	if e.Calls() != 2 {
+		t.Fatalf("call count = %d", e.Calls())
+	}
+}
+
+func TestDisabledEnclaveChargesNothing(t *testing.T) {
+	var m meterRec
+	e := New(Config{Disabled: true, Meter: &m, Costs: DefaultCallCosts()})
+	e.EnterCall()
+	if m.total != 0 {
+		t.Fatalf("disabled enclave charged %v", m.total)
+	}
+	if e.Calls() != 1 {
+		t.Fatal("call counting must still work when disabled")
+	}
+}
+
+func TestSealUnsealRoundtrip(t *testing.T) {
+	e := newTestEnclave(nil)
+	e.Seal("state", []byte("hello"))
+	got, ok := e.Unseal("state")
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("unseal = %q, %v", got, ok)
+	}
+	if _, ok := e.Unseal("missing"); ok {
+		t.Fatal("unseal of missing name succeeded")
+	}
+}
+
+func TestSealRejectsTampering(t *testing.T) {
+	e := newTestEnclave(nil)
+	e.Seal("state", []byte("hello"))
+	st := e.Store().(*VersionedStore)
+	// Corrupt the stored blob: authentication must fail.
+	blob := st.Get("state")
+	blob[len(blob)-1] ^= 0xff
+	st.Put("state", blob)
+	if _, ok := e.Unseal("state"); ok {
+		t.Fatal("tampered blob unsealed successfully")
+	}
+}
+
+func TestSealCrossEnclaveIsolation(t *testing.T) {
+	// A different machine secret or measurement must not unseal.
+	store := NewVersionedStore()
+	a := New(Config{Measurement: types.HashBytes([]byte("A")), MachineSecret: [32]byte{1}, Store: store})
+	a.Seal("state", []byte("secret"))
+
+	b := New(Config{Measurement: types.HashBytes([]byte("B")), MachineSecret: [32]byte{1}, Store: store})
+	if _, ok := b.Unseal("state"); ok {
+		t.Fatal("different measurement unsealed the blob")
+	}
+	c := New(Config{Measurement: types.HashBytes([]byte("A")), MachineSecret: [32]byte{2}, Store: store})
+	if _, ok := c.Unseal("state"); ok {
+		t.Fatal("different machine unsealed the blob")
+	}
+	// Same measurement + machine, fresh enclave instance: must unseal
+	// (that is the whole point of sealing).
+	d := New(Config{Measurement: types.HashBytes([]byte("A")), MachineSecret: [32]byte{1}, Store: store})
+	got, ok := d.Unseal("state")
+	if !ok || !bytes.Equal(got, []byte("secret")) {
+		t.Fatal("reincarnated enclave failed to unseal own state")
+	}
+}
+
+// TestRollbackAttack demonstrates the freshness gap: a replayed stale
+// version unseals fine — exactly what Achilles must tolerate.
+func TestRollbackAttack(t *testing.T) {
+	e := newTestEnclave(nil)
+	e.Seal("ctr", []byte("v1"))
+	e.Seal("ctr", []byte("v2"))
+	e.Seal("ctr", []byte("v3"))
+	st := e.Store().(*VersionedStore)
+	if st.Versions("ctr") != 3 {
+		t.Fatalf("versions = %d", st.Versions("ctr"))
+	}
+	// Honest store serves the latest.
+	got, _ := e.Unseal("ctr")
+	if !bytes.Equal(got, []byte("v3")) {
+		t.Fatalf("honest store served %q", got)
+	}
+	// Adversary rolls back to the first version: it still authenticates.
+	st.RollBackTo("ctr", 0)
+	got, ok := e.Unseal("ctr")
+	if !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("rolled-back store served %q ok=%v", got, ok)
+	}
+	// Wipe: nothing is served.
+	st.Wipe("ctr")
+	if _, ok := e.Unseal("ctr"); ok {
+		t.Fatal("wiped store served data")
+	}
+	// Honest again.
+	st.Honest("ctr")
+	got, _ = e.Unseal("ctr")
+	if !bytes.Equal(got, []byte("v3")) {
+		t.Fatalf("restored store served %q", got)
+	}
+	// Out-of-range override falls back to latest.
+	st.RollBackTo("ctr", 99)
+	got, _ = e.Unseal("ctr")
+	if !bytes.Equal(got, []byte("v3")) {
+		t.Fatalf("out-of-range rollback served %q", got)
+	}
+}
+
+// TestSealerProperty: seal/unseal roundtrips for arbitrary blobs, and
+// every sealed output differs (fresh nonces).
+func TestSealerProperty(t *testing.T) {
+	s := NewSealer([32]byte{9}, types.HashBytes([]byte("m")))
+	prev := map[string]bool{}
+	f := func(blob []byte) bool {
+		sealed := s.Seal(blob)
+		if prev[string(sealed)] {
+			return false // nonce reuse
+		}
+		prev[string(sealed)] = true
+		out, ok := s.Unseal(sealed)
+		return ok && bytes.Equal(out, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsealGarbage(t *testing.T) {
+	s := NewSealer([32]byte{1}, Measurement{})
+	if _, ok := s.Unseal([]byte("short")); ok {
+		t.Fatal("short blob unsealed")
+	}
+	if _, ok := s.Unseal(make([]byte, 64)); ok {
+		t.Fatal("garbage unsealed")
+	}
+}
+
+func TestAttestation(t *testing.T) {
+	e := newTestEnclave(nil)
+	rep := e.Attest([]byte("pubkey-bytes"))
+	if !VerifyReport(rep, e.Measurement()) {
+		t.Fatal("own report rejected")
+	}
+	if VerifyReport(rep, types.HashBytes([]byte("other-code"))) {
+		t.Fatal("report verified against wrong measurement")
+	}
+	if !bytes.Equal(rep.Data, []byte("pubkey-bytes")) {
+		t.Fatal("report data mangled")
+	}
+}

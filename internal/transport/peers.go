@@ -1,0 +1,39 @@
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"achilles/internal/types"
+)
+
+// ParsePeers parses a peer list of the form "0=host:port,1=host:port".
+func ParsePeers(s string) (map[types.NodeID]string, error) {
+	peers := make(map[types.NodeID]string)
+	if strings.TrimSpace(s) == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("transport: bad peer entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("transport: bad peer id %q: %v", kv[0], err)
+		}
+		peers[types.NodeID(id)] = kv[1]
+	}
+	return peers, nil
+}
+
+// LocalPeers returns a peer map for n nodes on 127.0.0.1 starting at
+// basePort — convenient for examples and tests.
+func LocalPeers(n, basePort int) map[types.NodeID]string {
+	peers := make(map[types.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		peers[types.NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+	}
+	return peers
+}

@@ -1,0 +1,394 @@
+// Package transport is the live-network runtime: it drives the same
+// protocol replicas the simulator runs, but over real TCP connections
+// (stdlib net) with length-prefixed gob frames — the deployment path
+// used by cmd/achilles-node, cmd/achilles-client and the examples.
+//
+// Concurrency model: all replica callbacks run on a single event-loop
+// goroutine per Runtime, matching the single-threaded contract of
+// protocol.Env. Reader and writer goroutines only move frames between
+// sockets and the event channel.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// MaxFrameSize bounds a single message frame (16 MiB).
+const MaxFrameSize = 16 << 20
+
+// frame is the wire envelope.
+type frame struct {
+	From types.NodeID
+	Msg  types.Message
+}
+
+// RegisterMessages registers concrete message types with gob. Each
+// protocol package's messages must be registered before use; the
+// common types are registered here.
+func RegisterMessages(msgs ...types.Message) {
+	for _, m := range msgs {
+		gob.Register(m)
+	}
+}
+
+// Hello is the connection handshake: the first frame on every dialed
+// connection carries it so the acceptor learns the sender's identity.
+type Hello struct{}
+
+// Type implements types.Message.
+func (*Hello) Type() string { return "transport/hello" }
+
+// Size implements types.Message.
+func (*Hello) Size() int { return 4 }
+
+func init() {
+	RegisterMessages(
+		&Hello{},
+		&types.ClientRequest{},
+		&types.ClientReply{},
+		&types.BlockRequest{},
+		&types.BlockResponse{},
+	)
+}
+
+// writeFrame encodes and writes one length-prefixed frame.
+func writeFrame(w io.Writer, f *frame) error {
+	var payload frameBuffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(f); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload.buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.buf)
+	return err
+}
+
+type frameBuffer struct{ buf []byte }
+
+func (b *frameBuffer) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+// Config configures a live runtime.
+type Config struct {
+	// Self is this process's identity.
+	Self types.NodeID
+	// Listen is the local listen address ("" for client-only runtimes
+	// that never accept connections).
+	Listen string
+	// Peers maps consensus node identities to their dial addresses.
+	Peers map[types.NodeID]string
+	// OnCommit observes commits (may be nil).
+	OnCommit func(b *types.Block, cc *types.CommitCert)
+	// Logf receives runtime diagnostics (may be nil).
+	Logf func(format string, args ...any)
+	// DialRetry is the reconnect backoff (default 500 ms).
+	DialRetry time.Duration
+}
+
+// Runtime drives one replica over TCP.
+type Runtime struct {
+	cfg     Config
+	replica protocol.Replica
+
+	start    time.Time
+	events   chan func()
+	done     chan struct{}
+	closing  sync.Once
+	listener net.Listener
+
+	mu       sync.Mutex
+	outbound map[types.NodeID]chan *frame
+	inbound  map[types.NodeID]net.Conn // reply routes for clients
+}
+
+// New creates a runtime for the replica.
+func New(cfg Config, r protocol.Replica) *Runtime {
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 500 * time.Millisecond
+	}
+	return &Runtime{
+		cfg:      cfg,
+		replica:  r,
+		events:   make(chan func(), 4096),
+		done:     make(chan struct{}),
+		outbound: make(map[types.NodeID]chan *frame),
+		inbound:  make(map[types.NodeID]net.Conn),
+	}
+}
+
+// Start begins listening, dialing and the event loop. It returns once
+// the listener is bound (or immediately for client-only runtimes).
+func (rt *Runtime) Start() error {
+	rt.start = time.Now()
+	if rt.cfg.Listen != "" {
+		ln, err := net.Listen("tcp", rt.cfg.Listen)
+		if err != nil {
+			return err
+		}
+		rt.listener = ln
+		go rt.acceptLoop(ln)
+	}
+	for id, addr := range rt.cfg.Peers {
+		if id == rt.cfg.Self {
+			continue
+		}
+		rt.ensureDialer(id, addr)
+	}
+	go rt.eventLoop()
+	rt.events <- func() { rt.replica.Init(rt) }
+	return nil
+}
+
+// Addr returns the bound listen address (for tests using port 0).
+func (rt *Runtime) Addr() string {
+	if rt.listener == nil {
+		return ""
+	}
+	return rt.listener.Addr().String()
+}
+
+// Stop shuts the runtime down.
+func (rt *Runtime) Stop() {
+	rt.closing.Do(func() {
+		close(rt.done)
+		if rt.listener != nil {
+			rt.listener.Close()
+		}
+	})
+}
+
+func (rt *Runtime) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+func (rt *Runtime) eventLoop() {
+	for {
+		select {
+		case <-rt.done:
+			return
+		case fn := <-rt.events:
+			fn()
+		}
+	}
+}
+
+func (rt *Runtime) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-rt.done:
+				return
+			default:
+			}
+			rt.logf("accept: %v", err)
+			return
+		}
+		go rt.readLoop(conn)
+	}
+}
+
+// readLoop receives frames from one connection and feeds the event
+// loop. The first frame identifies the sender; client connections are
+// remembered as reply routes.
+func (rt *Runtime) readLoop(conn net.Conn) {
+	defer conn.Close()
+	first := true
+	for {
+		f, err := readFrameConn(conn)
+		if err != nil {
+			return
+		}
+		if first {
+			first = false
+			if f.From.IsClient() {
+				rt.mu.Lock()
+				rt.inbound[f.From] = conn
+				rt.mu.Unlock()
+			}
+		}
+		from, msg := f.From, f.Msg
+		if msg == nil {
+			continue
+		}
+		if _, isHello := msg.(*Hello); isHello {
+			continue
+		}
+		select {
+		case rt.events <- func() { rt.replica.OnMessage(from, msg) }:
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+// readFrameConn adapts readFrame to a net.Conn.
+func readFrameConn(conn net.Conn) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, errors.New("transport: oversized frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(&sliceReader{buf: buf}).Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+type sliceReader struct{ buf []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// ensureDialer starts (once) the writer goroutine that owns the
+// outbound connection to a peer, reconnecting with backoff.
+func (rt *Runtime) ensureDialer(id types.NodeID, addr string) chan *frame {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if ch, ok := rt.outbound[id]; ok {
+		return ch
+	}
+	ch := make(chan *frame, 1024)
+	rt.outbound[id] = ch
+	go rt.writeLoop(addr, ch)
+	return ch
+}
+
+func (rt *Runtime) writeLoop(addr string, ch chan *frame) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case f := <-ch:
+			for conn == nil {
+				c, err := net.Dial("tcp", addr)
+				if err != nil {
+					select {
+					case <-rt.done:
+						return
+					case <-time.After(rt.cfg.DialRetry):
+						continue
+					}
+				}
+				conn = c
+				// Handshake identifies us to the acceptor.
+				if err := writeFrame(conn, &frame{From: rt.cfg.Self, Msg: &Hello{}}); err != nil {
+					conn.Close()
+					conn = nil
+					continue
+				}
+				// Connections are bidirectional: replies (e.g. to
+				// clients, which do not listen) come back on the
+				// dialed socket.
+				go rt.readLoop(conn)
+			}
+			if err := writeFrame(conn, f); err != nil {
+				rt.logf("write to %s: %v", addr, err)
+				conn.Close()
+				conn = nil
+			}
+		}
+	}
+}
+
+// --- protocol.Env -------------------------------------------------------
+
+var _ protocol.Env = (*Runtime)(nil)
+
+// Charge implements types.Meter; real operations consume real time, so
+// modelled charges are ignored.
+func (rt *Runtime) Charge(time.Duration) {}
+
+// Now implements protocol.Env.
+func (rt *Runtime) Now() types.Time { return time.Since(rt.start) }
+
+// Send implements protocol.Env.
+func (rt *Runtime) Send(to types.NodeID, msg types.Message) {
+	f := &frame{From: rt.cfg.Self, Msg: msg}
+	if addr, ok := rt.cfg.Peers[to]; ok {
+		ch := rt.ensureDialer(to, addr)
+		select {
+		case ch <- f:
+		default:
+			rt.logf("send queue to %v full; dropping %s", to, msg.Type())
+		}
+		return
+	}
+	// Reply route: a client that connected to us.
+	rt.mu.Lock()
+	conn := rt.inbound[to]
+	rt.mu.Unlock()
+	if conn == nil {
+		rt.logf("no route to %v for %s", to, msg.Type())
+		return
+	}
+	if err := writeFrame(conn, f); err != nil {
+		rt.logf("reply to %v: %v", to, err)
+	}
+}
+
+// Broadcast implements protocol.Env.
+func (rt *Runtime) Broadcast(msg types.Message) {
+	for id := range rt.cfg.Peers {
+		if id != rt.cfg.Self {
+			rt.Send(id, msg)
+		}
+	}
+}
+
+// SetTimer implements protocol.Env.
+func (rt *Runtime) SetTimer(d time.Duration, id types.TimerID) {
+	time.AfterFunc(d, func() {
+		select {
+		case rt.events <- func() { rt.replica.OnTimer(id) }:
+		case <-rt.done:
+		}
+	})
+}
+
+// Commit implements protocol.Env.
+func (rt *Runtime) Commit(b *types.Block, cc *types.CommitCert) {
+	if rt.cfg.OnCommit != nil {
+		rt.cfg.OnCommit(b, cc)
+	}
+}
+
+// Logf implements protocol.Env.
+func (rt *Runtime) Logf(format string, args ...any) { rt.logf(format, args...) }

@@ -1,0 +1,131 @@
+package transport_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"achilles/internal/client"
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/protocol"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+)
+
+func registerAchilles() {
+	transport.RegisterMessages(
+		&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
+		&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
+	)
+}
+
+// TestLiveClusterCommits runs a real 3-node Achilles cluster over TCP
+// on localhost, drives it with a live client and checks that the
+// client's transactions are confirmed with certified replies.
+func TestLiveClusterCommits(t *testing.T) {
+	registerAchilles()
+	const n = 3
+	scheme := crypto.ECDSAScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		p, pub := scheme.KeyPair(99, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+
+	// Bind listeners on port 0 first so we know the addresses.
+	peers := map[types.NodeID]string{}
+	listeners := make([]*transport.Runtime, 0, n)
+	var commits atomic.Uint64
+
+	// Two-phase startup: create runtimes with fixed ports chosen by a
+	// throwaway bind.
+	basePeers := transport.LocalPeers(n, 23731)
+	for id, addr := range basePeers {
+		peers[id] = addr
+	}
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		var secret [32]byte
+		secret[0] = byte(i)
+		rep := core.New(core.Config{
+			Config: protocol.Config{
+				Self: id, N: n, F: 1,
+				BatchSize: 16, PayloadSize: 8,
+				BaseTimeout: 150 * time.Millisecond, Seed: 99,
+			},
+			Scheme:        scheme,
+			Ring:          ring,
+			Priv:          privs[i],
+			MachineSecret: secret,
+		})
+		rt := transport.New(transport.Config{
+			Self:   id,
+			Listen: peers[id],
+			Peers:  peers,
+			OnCommit: func(b *types.Block, cc *types.CommitCert) {
+				if cc == nil || len(cc.Signers) < 2 {
+					t.Errorf("commit without quorum certificate")
+				}
+				commits.Add(1)
+			},
+		}, rep)
+		if err := rt.Start(); err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		listeners = append(listeners, rt)
+	}
+	defer func() {
+		for _, rt := range listeners {
+			rt.Stop()
+		}
+	}()
+
+	cl := client.New(client.Config{
+		Self:        types.ClientIDBase,
+		Nodes:       n,
+		F:           1,
+		Rate:        400,
+		PayloadSize: 8,
+		Tick:        10 * time.Millisecond,
+	})
+	crt := transport.New(transport.Config{Self: types.ClientIDBase, Peers: peers}, cl)
+	if err := crt.Start(); err != nil {
+		t.Fatalf("start client: %v", err)
+	}
+	defer crt.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cl.Completed() >= 50 && commits.Load() >= 3 {
+			t.Logf("live cluster: %d confirmed txs, %d commits, mean latency %v",
+				cl.Completed(), commits.Load(), cl.MeanLatency())
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("live cluster made no progress: confirmed=%d commits=%d", cl.Completed(), commits.Load())
+}
+
+// TestParsePeers exercises the peer-list parser.
+func TestParsePeers(t *testing.T) {
+	m, err := transport.ParsePeers("0=a:1, 1=b:2,2=c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[1] != "b:2" {
+		t.Fatalf("bad parse: %v", m)
+	}
+	if _, err := transport.ParsePeers("nonsense"); err == nil {
+		t.Fatal("expected error for malformed list")
+	}
+	if _, err := transport.ParsePeers("x=y:1"); err == nil {
+		t.Fatal("expected error for non-numeric id")
+	}
+	empty, err := transport.ParsePeers("  ")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty list should parse: %v %v", empty, err)
+	}
+}

@@ -1,0 +1,207 @@
+package types
+
+import "encoding/binary"
+
+// Signature is an opaque signature produced by a node's trusted
+// component. Its format depends on the crypto scheme in use (ECDSA or
+// the fast simulation scheme).
+type Signature []byte
+
+// SigSize is the nominal wire size of a single signature (ECDSA P-256,
+// ASN.1 encoded, ~71 B; rounded for accounting).
+const SigSize = 72
+
+// CertKind tags the certificate families of Sec. 4.2 plus the recovery
+// certificates of Sec. 4.5.
+type CertKind uint8
+
+const (
+	// KindProp tags block certificates ⟨PROP, h, v⟩σ.
+	KindProp CertKind = iota + 1
+	// KindStore tags store certificates ⟨COMMIT, h, v⟩σ.
+	KindStore
+	// KindDecide tags commitment certificates ⟨DECIDE, h, v⟩σ⃗.
+	KindDecide
+	// KindAcc tags accumulator certificates ⟨ACC, h, v, id⃗⟩σ.
+	KindAcc
+	// KindNewView tags view certificates ⟨NEW-VIEW, h, v, v'⟩σ.
+	KindNewView
+	// KindRecoveryReq tags recovery requests ⟨REQ, non⟩σ.
+	KindRecoveryReq
+	// KindRecoveryRpy tags recovery replies ⟨RPY, preph, prepv, vi, k, non⟩σ.
+	KindRecoveryRpy
+	// KindPrepare tags Damysus/OneShot prepare-phase votes.
+	KindPrepare
+)
+
+func (k CertKind) String() string {
+	switch k {
+	case KindProp:
+		return "PROP"
+	case KindStore:
+		return "COMMIT"
+	case KindDecide:
+		return "DECIDE"
+	case KindAcc:
+		return "ACC"
+	case KindNewView:
+		return "NEW-VIEW"
+	case KindRecoveryReq:
+		return "REQ"
+	case KindRecoveryRpy:
+		return "RPY"
+	case KindPrepare:
+		return "PREPARE"
+	}
+	return "UNKNOWN"
+}
+
+// BlockCert is the block certificate φ_b = ⟨PROP, h, v⟩σ created by the
+// leader's CHECKER in the COMMIT phase; it proves the leader proposed
+// exactly one block for view v.
+type BlockCert struct {
+	Hash   Hash
+	View   View
+	Signer NodeID
+	Sig    Signature
+}
+
+// WireSize returns the certificate's size on the wire.
+func (c *BlockCert) WireSize() int { return 32 + 8 + 4 + SigSize }
+
+// StoreCert is the store certificate φ_s = ⟨COMMIT, h, v⟩σ a node's
+// CHECKER emits after storing the leader's block.
+type StoreCert struct {
+	Hash   Hash
+	View   View
+	Signer NodeID
+	Sig    Signature
+}
+
+// WireSize returns the certificate's size on the wire.
+func (c *StoreCert) WireSize() int { return 32 + 8 + 4 + SigSize }
+
+// CommitCert is the commitment certificate φ_c = ⟨DECIDE, h, v⟩σ⃗f+1:
+// f+1 store certificates combined by the leader. At least one signer is
+// correct and therefore holds the block.
+type CommitCert struct {
+	Hash    Hash
+	View    View
+	Signers []NodeID
+	Sigs    []Signature
+}
+
+// WireSize returns the certificate's size on the wire.
+func (c *CommitCert) WireSize() int { return 32 + 8 + len(c.Signers)*(4+SigSize) }
+
+// AccCert is the accumulator certificate acc = ⟨ACC, h, v, id⃗⟩σ binding
+// the leader to extend the stored block with the highest view among the
+// f+1 view certificates passed to TEEaccum. CurView records the view
+// the accumulator was generated for, which TEEprepare checks against
+// its own view counter (Algorithm 2, line 8).
+type AccCert struct {
+	Hash    Hash // hash of the parent block to extend
+	View    View // view at which the parent block was produced
+	CurView View // view the accumulator authorizes a proposal for
+	IDs     []NodeID
+	Signer  NodeID
+	Sig     Signature
+}
+
+// WireSize returns the certificate's size on the wire.
+func (c *AccCert) WireSize() int { return 32 + 8 + 8 + len(c.IDs)*4 + 4 + SigSize }
+
+// ViewCert is the view certificate φ_v = ⟨NEW-VIEW, h, v, v'⟩σ emitted
+// by TEEview when a node enters view v'; (h, v) identify its latest
+// stored block. v' prevents stale certificates from being replayed.
+type ViewCert struct {
+	PrepHash Hash
+	PrepView View
+	CurView  View
+	Signer   NodeID
+	Sig      Signature
+}
+
+// WireSize returns the certificate's size on the wire.
+func (c *ViewCert) WireSize() int { return 32 + 8 + 8 + 4 + SigSize }
+
+// RecoveryReq is φ_req = ⟨REQ, non⟩σ sent by a rebooting node
+// (Algorithm 3). The nonce prevents replay of old recovery replies.
+type RecoveryReq struct {
+	Nonce  uint64
+	Signer NodeID
+	Sig    Signature
+}
+
+// WireSize returns the certificate's size on the wire.
+func (c *RecoveryReq) WireSize() int { return 8 + 4 + SigSize }
+
+// RecoveryRpy is φ_rpy = ⟨RPY, preph, prepv, vi, k, non⟩σ: a peer's
+// CHECKER attests its current view and latest stored block to the
+// recovering node k.
+type RecoveryRpy struct {
+	PrepHash Hash
+	PrepView View
+	CurView  View
+	Target   NodeID
+	Nonce    uint64
+	Signer   NodeID
+	Sig      Signature
+}
+
+// WireSize returns the certificate's size on the wire.
+func (c *RecoveryRpy) WireSize() int { return 32 + 8 + 8 + 4 + 8 + 4 + SigSize }
+
+// --- deterministic signing payloads -----------------------------------
+//
+// Every certificate signs a fixed binary layout: kind byte, then the
+// certificate fields in order. These functions are the single source of
+// truth for what each signature covers; both signing (inside trusted
+// components) and verification use them.
+
+func payload(kind CertKind, h Hash, words ...uint64) []byte {
+	b := make([]byte, 0, 1+32+8*len(words))
+	b = append(b, byte(kind))
+	b = append(b, h[:]...)
+	var w [8]byte
+	for _, v := range words {
+		binary.BigEndian.PutUint64(w[:], v)
+		b = append(b, w[:]...)
+	}
+	return b
+}
+
+// BlockCertPayload returns the bytes signed in a block certificate.
+func BlockCertPayload(h Hash, v View) []byte { return payload(KindProp, h, uint64(v)) }
+
+// StoreCertPayload returns the bytes signed in a store certificate.
+func StoreCertPayload(h Hash, v View) []byte { return payload(KindStore, h, uint64(v)) }
+
+// PrepareCertPayload returns the bytes signed in a Damysus/OneShot
+// prepare vote.
+func PrepareCertPayload(h Hash, v View) []byte { return payload(KindPrepare, h, uint64(v)) }
+
+// AccCertPayload returns the bytes signed in an accumulator
+// certificate.
+func AccCertPayload(h Hash, v, cur View, ids []NodeID) []byte {
+	b := payload(KindAcc, h, uint64(v), uint64(cur))
+	var w [4]byte
+	for _, id := range ids {
+		binary.BigEndian.PutUint32(w[:], uint32(id))
+		b = append(b, w[:]...)
+	}
+	return b
+}
+
+// ViewCertPayload returns the bytes signed in a view certificate.
+func ViewCertPayload(h Hash, v, cur View) []byte {
+	return payload(KindNewView, h, uint64(v), uint64(cur))
+}
+
+// RecoveryReqPayload returns the bytes signed in a recovery request.
+func RecoveryReqPayload(nonce uint64) []byte { return payload(KindRecoveryReq, ZeroHash, nonce) }
+
+// RecoveryRpyPayload returns the bytes signed in a recovery reply.
+func RecoveryRpyPayload(h Hash, prepv, cur View, target NodeID, nonce uint64) []byte {
+	return payload(KindRecoveryRpy, h, uint64(prepv), uint64(cur), uint64(target), nonce)
+}

@@ -1,0 +1,102 @@
+package types
+
+// Message is the envelope delivered between nodes by either runtime.
+// Concrete message types live in the protocol packages (each protocol
+// has its own wire vocabulary); this package defines only the messages
+// shared by every protocol: client traffic and block synchronization.
+type Message interface {
+	// Type returns a short, stable name used for logging, metrics and
+	// live-transport registration.
+	Type() string
+	// Size returns the message's approximate wire size in bytes. The
+	// simulator uses it for NIC serialization and bandwidth modelling.
+	Size() int
+}
+
+// ClientRequest carries a batch of transactions from a client to a
+// consensus node.
+type ClientRequest struct {
+	Txs []Transaction
+}
+
+// Type implements Message.
+func (*ClientRequest) Type() string { return "client-request" }
+
+// Size implements Message.
+func (m *ClientRequest) Size() int {
+	s := 4
+	for i := range m.Txs {
+		s += m.Txs[i].WireSize()
+	}
+	return s
+}
+
+// ClientReply notifies a client that its transactions committed. With
+// reply responsiveness (Sec. 6.1) a single reply carrying a commitment
+// certificate suffices for the client to accept the result.
+type ClientReply struct {
+	Block  Hash
+	View   View
+	Height Height
+	// TxKeys identifies the client's transactions contained in the
+	// committed block.
+	TxKeys []TxKey
+	// Certified is true when the reply carries a commitment certificate
+	// the client can verify on its own (Achilles, FlexiBFT); false when
+	// the client must collect f+1 matching replies (Damysus, OneShot).
+	Certified bool
+	From      NodeID
+}
+
+// Type implements Message.
+func (*ClientReply) Type() string { return "client-reply" }
+
+// Size implements Message.
+func (m *ClientReply) Size() int { return 32 + 8 + 8 + 1 + 4 + len(m.TxKeys)*8 }
+
+// BlockRequest asks a peer for the block with the given hash (block
+// synchronization, Sec. 4.4).
+type BlockRequest struct {
+	Hash Hash
+	From NodeID
+}
+
+// Type implements Message.
+func (*BlockRequest) Type() string { return "block-request" }
+
+// Size implements Message.
+func (m *BlockRequest) Size() int { return 32 + 4 }
+
+// BlockResponse returns the requested block (and transitively lets the
+// requester walk the chain toward genesis).
+type BlockResponse struct {
+	Block *Block
+}
+
+// Type implements Message.
+func (*BlockResponse) Type() string { return "block-response" }
+
+// Size implements Message.
+func (m *BlockResponse) Size() int { return m.Block.WireSize() }
+
+// TimerID identifies a pending timer; protocols typically encode the
+// view the timer belongs to so stale firings can be ignored.
+type TimerID struct {
+	Kind int
+	View View
+}
+
+// Common timer kinds. Individual protocols may define more starting at
+// TimerProtocolBase.
+const (
+	// TimerViewChange fires when a view makes no progress and triggers
+	// the pacemaker.
+	TimerViewChange = iota
+	// TimerRecoveryRetry fires when a recovering node failed to gather
+	// f+1 usable recovery replies in time.
+	TimerRecoveryRetry
+	// TimerClientTick paces open-loop client workload generation.
+	TimerClientTick
+	// TimerProtocolBase is the first protocol-private timer kind.
+	TimerProtocolBase
+)

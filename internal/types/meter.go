@@ -1,0 +1,23 @@
+package types
+
+import "time"
+
+// Meter accounts for CPU or device time consumed by an operation. Under
+// the discrete-event simulator, Charge advances the executing node's
+// virtual clock; under the live runtime it can sleep or be a no-op
+// (real operations already consume real time).
+//
+// Trusted components, crypto services and persistent counters all take
+// a Meter so that their modelled costs (ecall overhead, signature
+// generation, counter write latency) show up in measured latencies and
+// throughput exactly as the paper's Sec. 5 describes.
+type Meter interface {
+	Charge(d time.Duration)
+}
+
+// NopMeter discards all charges. Useful for tests that only check
+// functional behaviour.
+type NopMeter struct{}
+
+// Charge implements Meter.
+func (NopMeter) Charge(time.Duration) {}

@@ -1,0 +1,213 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDRanges(t *testing.T) {
+	if NodeID(0).IsClient() || NodeID(100).IsClient() {
+		t.Fatal("consensus ids must not be clients")
+	}
+	if !ClientIDBase.IsClient() || !(ClientIDBase + 5).IsClient() {
+		t.Fatal("client ids must be clients")
+	}
+	if !SyntheticIDBase.IsSynthetic() {
+		t.Fatal("synthetic base must be synthetic")
+	}
+	if ClientIDBase.IsSynthetic() {
+		t.Fatal("regular clients are not synthetic")
+	}
+	if got := NodeID(3).String(); got != "p3" {
+		t.Fatalf("node string = %q", got)
+	}
+	if got := (ClientIDBase + 2).String(); got != "c2" {
+		t.Fatalf("client string = %q", got)
+	}
+}
+
+func TestQuorums(t *testing.T) {
+	if Quorum(3) != 4 {
+		t.Fatalf("Quorum(3) = %d", Quorum(3))
+	}
+	if QuorumBFT(3) != 7 {
+		t.Fatalf("QuorumBFT(3) = %d", QuorumBFT(3))
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	n := 5
+	seen := map[NodeID]int{}
+	for v := View(0); v < View(10*n); v++ {
+		seen[LeaderForView(v, n)]++
+	}
+	if len(seen) != n {
+		t.Fatalf("rotation did not cover all nodes: %v", seen)
+	}
+	for id, c := range seen {
+		if c != 10 {
+			t.Fatalf("leader %v elected %d times, want 10", id, c)
+		}
+	}
+}
+
+func TestBlockHashDeterministic(t *testing.T) {
+	mk := func() *Block {
+		return &Block{
+			Txs:      []Transaction{{Client: 7, Seq: 1, Payload: []byte("abc")}},
+			Op:       []byte{1, 2, 3},
+			Parent:   HashBytes([]byte("parent")),
+			View:     9,
+			Height:   4,
+			Proposer: 2,
+			Proposed: 12345, // must NOT affect the hash
+		}
+	}
+	a, b := mk(), mk()
+	b.Proposed = 999999
+	if a.Hash() != b.Hash() {
+		t.Fatal("timestamps must not affect block hashes")
+	}
+	// Any content change must change the hash.
+	c := mk()
+	c.Txs[0].Payload = []byte("abd")
+	if a.Hash() == c.Hash() {
+		t.Fatal("payload change did not change hash")
+	}
+	d := mk()
+	d.View = 10
+	if a.Hash() == d.Hash() {
+		t.Fatal("view change did not change hash")
+	}
+	e := mk()
+	e.Parent = HashBytes([]byte("other"))
+	if a.Hash() == e.Hash() {
+		t.Fatal("parent change did not change hash")
+	}
+}
+
+func TestBlockHashCaching(t *testing.T) {
+	b := GenesisBlock()
+	h1 := b.Hash()
+	h2 := b.Hash()
+	if h1 != h2 {
+		t.Fatal("hash must be stable across calls")
+	}
+}
+
+// TestBlockHashCollisionFree drives random block contents through the
+// hash and checks injectivity on the sample (property-based).
+func TestBlockHashCollisionFree(t *testing.T) {
+	seen := make(map[Hash][]byte)
+	f := func(payload []byte, view uint32, height uint16) bool {
+		b := &Block{
+			Txs:    []Transaction{{Client: 1, Seq: 1, Payload: payload}},
+			View:   View(view),
+			Height: Height(height),
+		}
+		h := b.Hash()
+		key := append(append([]byte{}, payload...), byte(view), byte(view>>8), byte(height))
+		if prev, ok := seen[h]; ok {
+			return bytes.Equal(prev, key)
+		}
+		seen[h] = key
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	tx := Transaction{Client: 1, Seq: 2, Payload: make([]byte, 256)}
+	if got := tx.WireSize(); got != 256+TxMetadataSize {
+		t.Fatalf("tx wire size = %d", got)
+	}
+	b := &Block{Txs: []Transaction{tx, tx}, Op: make([]byte, 32)}
+	if b.WireSize() <= 2*tx.WireSize() {
+		t.Fatalf("block wire size too small: %d", b.WireSize())
+	}
+	cc := &CommitCert{Signers: make([]NodeID, 3), Sigs: make([]Signature, 3)}
+	if cc.WireSize() != 32+8+3*(4+SigSize) {
+		t.Fatalf("commit cert wire size = %d", cc.WireSize())
+	}
+}
+
+// TestCertPayloadsDistinct checks that the signing payloads of
+// different certificate kinds can never collide, even for identical
+// fields — the foundation of domain separation between PROP, COMMIT,
+// PREPARE and the rest.
+func TestCertPayloadsDistinct(t *testing.T) {
+	h := HashBytes([]byte("block"))
+	v := View(7)
+	payloads := map[string][]byte{
+		"block":   BlockCertPayload(h, v),
+		"store":   StoreCertPayload(h, v),
+		"prepare": PrepareCertPayload(h, v),
+		"view":    ViewCertPayload(h, v, v),
+		"acc":     AccCertPayload(h, v, v, []NodeID{1, 2}),
+		"req":     RecoveryReqPayload(7),
+		"rpy":     RecoveryRpyPayload(h, v, v, 1, 7),
+	}
+	for a, pa := range payloads {
+		for b, pb := range payloads {
+			if a != b && bytes.Equal(pa, pb) {
+				t.Fatalf("payloads %s and %s collide", a, b)
+			}
+		}
+	}
+}
+
+// TestCertPayloadFieldSensitivity: every field of a payload must
+// influence the signed bytes.
+func TestCertPayloadFieldSensitivity(t *testing.T) {
+	h1, h2 := HashBytes([]byte("a")), HashBytes([]byte("b"))
+	if bytes.Equal(BlockCertPayload(h1, 1), BlockCertPayload(h2, 1)) {
+		t.Fatal("hash not covered")
+	}
+	if bytes.Equal(BlockCertPayload(h1, 1), BlockCertPayload(h1, 2)) {
+		t.Fatal("view not covered")
+	}
+	if bytes.Equal(ViewCertPayload(h1, 1, 5), ViewCertPayload(h1, 1, 6)) {
+		t.Fatal("current view not covered in view cert")
+	}
+	if bytes.Equal(AccCertPayload(h1, 1, 2, []NodeID{1}), AccCertPayload(h1, 1, 2, []NodeID{2})) {
+		t.Fatal("ids not covered in acc cert")
+	}
+	if bytes.Equal(RecoveryRpyPayload(h1, 1, 2, 3, 4), RecoveryRpyPayload(h1, 1, 2, 3, 5)) {
+		t.Fatal("nonce not covered in recovery reply")
+	}
+	if bytes.Equal(RecoveryRpyPayload(h1, 1, 2, 3, 4), RecoveryRpyPayload(h1, 1, 2, 9, 4)) {
+		t.Fatal("target not covered in recovery reply")
+	}
+}
+
+func TestGenesis(t *testing.T) {
+	g := GenesisBlock()
+	if g.Height != 0 || !g.Parent.IsZero() {
+		t.Fatalf("bad genesis: %+v", g)
+	}
+	if g.Hash() != GenesisBlock().Hash() {
+		t.Fatal("genesis hash must be stable")
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	req := &ClientRequest{Txs: []Transaction{{Payload: make([]byte, 100)}}}
+	if req.Size() <= 100 {
+		t.Fatalf("client request size = %d", req.Size())
+	}
+	if req.Type() != "client-request" {
+		t.Fatalf("type = %q", req.Type())
+	}
+	rep := &ClientReply{TxKeys: make([]TxKey, 4)}
+	if rep.Size() <= 0 || rep.Type() != "client-reply" {
+		t.Fatalf("bad reply metadata")
+	}
+	br := &BlockRequest{}
+	bp := &BlockResponse{Block: GenesisBlock()}
+	if br.Size() <= 0 || bp.Size() <= 0 {
+		t.Fatal("sync message sizes must be positive")
+	}
+}
