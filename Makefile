@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test check soak bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate: everything must build, vet clean, and pass the race
+# detector. -short skips the live TCP soaks (see `soak`).
+check: build vet
+	$(GO) test -race -short ./...
+
+test:
+	$(GO) test ./...
+
+# Live TCP soaks over the netchaos fault-injection layer, including
+# the killed-and-rolled-back replica recovery scenario.
+soak:
+	$(GO) test -race -run 'TestLiveRecoverySoak|TestLiveClusterCommits|TestReconnectAfterPeerRestart' ./internal/transport
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

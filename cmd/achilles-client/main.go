@@ -10,6 +10,8 @@ import (
 
 	"achilles/internal/client"
 	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/netchaos"
 	"achilles/internal/transport"
 	"achilles/internal/types"
 )
@@ -21,7 +23,9 @@ func main() {
 		rate      = flag.Float64("rate", 1000, "offered transactions per second")
 		payload   = flag.Int("payload", 256, "payload bytes per transaction")
 		duration  = flag.Duration("duration", 30*time.Second, "run duration")
+		seed      = flag.Int64("seed", 1, "deterministic key seed (must match the nodes')")
 	)
+	newChaos := netchaos.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -33,6 +37,15 @@ func main() {
 		&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
 	)
 
+	// Clients hold no ring key (they dial with an unsigned Hello) but
+	// carry the ring so the deployment stays consistent with the nodes.
+	scheme := crypto.ECDSAScheme{}
+	ring := crypto.NewKeyRing()
+	for i := 0; i < len(peers); i++ {
+		_, pub := scheme.KeyPair(*seed, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+	}
+
 	self := types.ClientIDBase + types.NodeID(*idx)
 	cl := client.New(client.Config{
 		Self:        self,
@@ -41,7 +54,12 @@ func main() {
 		Rate:        *rate,
 		PayloadSize: *payload,
 	})
-	rt := transport.New(transport.Config{Self: self, Peers: peers}, cl)
+	tcfg := transport.Config{Self: self, Peers: peers, Scheme: scheme, Ring: ring}
+	if chaos := newChaos(nil); chaos != nil {
+		tcfg.Dial = chaos.Dialer("client")
+		log.Printf("achilles-client: netchaos fault injection enabled")
+	}
+	rt := transport.New(tcfg, cl)
 	if err := rt.Start(); err != nil {
 		log.Fatalf("achilles-client: %v", err)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"achilles/internal/core"
 	"achilles/internal/crypto"
+	"achilles/internal/netchaos"
 	"achilles/internal/protocol"
 	"achilles/internal/transport"
 	"achilles/internal/types"
@@ -41,6 +42,7 @@ func main() {
 		recover_  = flag.Bool("recover", false, "start in recovery mode (after a reboot)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
+	newChaos := netchaos.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -91,16 +93,26 @@ func main() {
 	if *verbose {
 		logf = func(format string, args ...any) { log.Printf("[p%d] %s", *id, fmt.Sprintf(format, args...)) }
 	}
-	rt := transport.New(transport.Config{
+	tcfg := transport.Config{
 		Self:   self,
 		Listen: listen,
 		Peers:  peers,
+		Scheme: scheme,
+		Ring:   ring,
+		Priv:   priv,
 		Logf:   logf,
 		OnCommit: func(b *types.Block, _ *types.CommitCert) {
 			committed.Add(1)
 			txs.Add(uint64(len(b.Txs)))
 		},
-	}, rep)
+	}
+	chaos := newChaos(logf)
+	if chaos != nil {
+		tcfg.Dial = chaos.Dialer(listen)
+		tcfg.WrapAccepted = chaos.WrapAccepted(listen)
+		log.Printf("achilles-node %d: netchaos fault injection enabled", *id)
+	}
+	rt := transport.New(tcfg, rep)
 	if err := rt.Start(); err != nil {
 		log.Fatalf("achilles-node: %v", err)
 	}
@@ -120,6 +132,11 @@ func main() {
 		case <-sig:
 			log.Printf("shutting down")
 			rt.Stop()
+			if chaos != nil {
+				st := chaos.Stats()
+				log.Printf("netchaos: writes=%d drops=%d resets=%d denies=%d dials=%d denied-dials=%d",
+					st.Writes, st.Drops, st.Resets, st.Denies, st.Dials, st.DialsDenied)
+			}
 			return
 		}
 	}

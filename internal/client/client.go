@@ -9,6 +9,7 @@
 package client
 
 import (
+	"sync"
 	"time"
 
 	"achilles/internal/protocol"
@@ -51,9 +52,14 @@ type Client struct {
 	created map[uint32]types.Time
 	acks    map[uint32]int
 
+	// mu guards the fields below: the live transport delivers
+	// OnMessage/OnTimer on its event loop while callers poll the stat
+	// accessors from other goroutines.
+	mu        sync.Mutex
 	completed uint64
 	totalLat  time.Duration
 	maxLat    time.Duration
+	inFlight  int
 }
 
 // New creates a client.
@@ -110,6 +116,9 @@ func (c *Client) OnTimer(id types.TimerID) {
 		})
 		c.created[c.seq] = now
 	}
+	c.mu.Lock()
+	c.inFlight = len(c.created)
+	c.mu.Unlock()
 	c.env.Broadcast(&types.ClientRequest{Txs: txs})
 }
 
@@ -139,20 +148,29 @@ func (c *Client) OnMessage(from types.NodeID, msg types.Message) {
 		delete(c.created, k.Seq)
 		delete(c.acks, k.Seq)
 		lat := now - start
+		c.mu.Lock()
 		c.completed++
 		c.totalLat += lat
 		if lat > c.maxLat {
 			c.maxLat = lat
 		}
+		c.inFlight = len(c.created)
+		c.mu.Unlock()
 	}
 }
 
 // Completed returns the number of confirmed transactions.
-func (c *Client) Completed() uint64 { return c.completed }
+func (c *Client) Completed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed
+}
 
 // MeanLatency returns the mean end-to-end latency of confirmed
 // transactions.
 func (c *Client) MeanLatency() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.completed == 0 {
 		return 0
 	}
@@ -160,14 +178,24 @@ func (c *Client) MeanLatency() time.Duration {
 }
 
 // MaxLatency returns the largest observed end-to-end latency.
-func (c *Client) MaxLatency() time.Duration { return c.maxLat }
+func (c *Client) MaxLatency() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxLat
+}
 
 // InFlight returns the number of unconfirmed transactions.
-func (c *Client) InFlight() int { return len(c.created) }
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inFlight
+}
 
 // ResetStats clears latency/throughput accounting (e.g. after warmup)
 // while keeping in-flight state.
 func (c *Client) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.completed = 0
 	c.totalLat = 0
 	c.maxLat = 0

@@ -108,7 +108,7 @@ type Replica struct {
 
 	stashedProposals map[types.View]*MsgProposal
 	stashedCCs       []*types.CommitCert
-	inflightSync     map[types.Hash]bool
+	inflightSync     map[types.Hash]int
 
 	recovering bool
 	recEpoch   types.View // distinguishes retry timers
@@ -150,7 +150,7 @@ func New(cfg Config) *Replica {
 		viewCerts:        make(map[types.View]map[types.NodeID]*types.ViewCert),
 		votes:            make(map[types.NodeID]*types.StoreCert),
 		stashedProposals: make(map[types.View]*MsgProposal),
-		inflightSync:     make(map[types.Hash]bool),
+		inflightSync:     make(map[types.Hash]int),
 		recReplies:       make(map[types.NodeID]*MsgRecoveryRpy),
 		recoveryPending:  make(map[types.NodeID]*pendingRecovery),
 	}
@@ -235,7 +235,7 @@ func (r *Replica) enterNextView() {
 	r.decided = false
 	// Forget stale sync requests; anything still needed will be
 	// re-requested (possibly from a different peer).
-	r.inflightSync = make(map[types.Hash]bool)
+	r.inflightSync = make(map[types.Hash]int)
 	delete(r.viewCerts, r.view-2)
 	delete(r.stashedProposals, r.view-1)
 	r.armViewTimer()
@@ -607,11 +607,23 @@ func (r *Replica) replyClients(b *types.Block, cc *types.CommitCert) {
 
 // --- block synchronization ---------------------------------------------
 
+// syncRetryBudget is how many duplicate triggers (e.g. successive
+// DECIDEs naming the same missing ancestor) are absorbed before a
+// block request is re-sent. Over lossy links a request or response
+// frame can vanish; without a bounded budget the in-flight marker
+// would suppress re-requests until the next view change, wedging
+// catch-up behind an exponentially backed-off view timer.
+const syncRetryBudget = 4
+
 func (r *Replica) requestBlock(h types.Hash, from types.NodeID) {
-	if r.inflightSync[h] || from == r.cfg.Self || h.IsZero() {
+	if from == r.cfg.Self || h.IsZero() {
 		return
 	}
-	r.inflightSync[h] = true
+	if r.inflightSync[h] > 0 {
+		r.inflightSync[h]--
+		return
+	}
+	r.inflightSync[h] = syncRetryBudget
 	r.env.Send(from, &types.BlockRequest{Hash: h, From: r.cfg.Self})
 }
 
@@ -629,7 +641,7 @@ func (r *Replica) onBlockResponse(from types.NodeID, m *types.BlockResponse) {
 		return
 	}
 	h := m.Block.Hash()
-	if !r.inflightSync[h] {
+	if r.inflightSync[h] == 0 {
 		return
 	}
 	delete(r.inflightSync, h)

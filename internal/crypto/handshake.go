@@ -1,0 +1,27 @@
+package crypto
+
+import (
+	"encoding/binary"
+
+	"achilles/internal/types"
+)
+
+// handshakeMagic domain-separates transport handshake signatures from
+// every other signed payload in the system (certificates, recovery
+// messages), so a Hello signature can never be replayed as consensus
+// evidence or vice versa.
+const handshakeMagic = "achilles-transport-hello-v1"
+
+// HandshakePayload is the canonical byte encoding of a transport
+// handshake: the dialing node's identity and a strictly increasing
+// per-process nonce. The live transport signs it with the node's
+// private key so an acceptor can authenticate who is on the other end
+// of a TCP connection before attributing consensus messages to them
+// (the PKI of Sec. 3.1 extended to the deployment path).
+func HandshakePayload(id types.NodeID, nonce uint64) []byte {
+	buf := make([]byte, 0, len(handshakeMagic)+12)
+	buf = append(buf, handshakeMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(id))
+	buf = binary.BigEndian.AppendUint64(buf, nonce)
+	return buf
+}

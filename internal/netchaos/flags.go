@@ -1,0 +1,36 @@
+package netchaos
+
+import "flag"
+
+// AddFlags registers the standard chaos flags on fs (as used by
+// achilles-node and achilles-client) and returns a constructor that
+// builds the configured Chaos layer after flag parsing. The
+// constructor returns nil when no fault dimension is enabled, so
+// callers can leave the transport's Dial/WrapAccepted hooks unset and
+// take the plain-TCP path.
+func AddFlags(fs *flag.FlagSet) func(logf func(string, ...any)) *Chaos {
+	var (
+		seed    = fs.Int64("chaos-seed", 1, "netchaos: deterministic fault seed")
+		latency = fs.Duration("chaos-latency", 0, "netchaos: added one-way latency per frame")
+		jitter  = fs.Duration("chaos-jitter", 0, "netchaos: uniform ± jitter on top of latency")
+		drop    = fs.Float64("chaos-drop", 0, "netchaos: probability of silently dropping a frame")
+		reset   = fs.Float64("chaos-reset", 0, "netchaos: probability of resetting the connection on a write")
+		bw      = fs.Int64("chaos-bw", 0, "netchaos: bandwidth cap in bytes/sec (0 = unlimited)")
+		chunk   = fs.Int("chaos-chunk", 0, "netchaos: max bytes per underlying write (0 = whole frame)")
+	)
+	return func(logf func(string, ...any)) *Chaos {
+		if *latency == 0 && *jitter == 0 && *drop == 0 && *reset == 0 && *bw == 0 && *chunk == 0 {
+			return nil
+		}
+		return New(Config{
+			Seed:          *seed,
+			Latency:       *latency,
+			Jitter:        *jitter,
+			DropRate:      *drop,
+			ResetRate:     *reset,
+			BandwidthBps:  *bw,
+			MaxWriteChunk: *chunk,
+			Logf:          logf,
+		})
+	}
+}

@@ -1,0 +1,387 @@
+// Package netchaos is the live-path analogue of the NetEm network
+// emulation the paper's testbed uses (Sec. 5.1): an in-process fault
+// injector that wraps real net.Conn / net.Listener values and applies
+// seeded, deterministic faults to traffic crossing them — added
+// latency and jitter, probabilistic frame drops, bandwidth caps,
+// connection resets, slow/partial writes, and per-peer-pair partitions.
+//
+// The simulator (internal/sim) models networks for the benchmarks;
+// netchaos stresses the *deployment* path: cmd/achilles-node takes
+// -chaos-* flags, and the live soak tests in internal/transport run a
+// real TCP cluster behind this layer to validate recovery (Algorithm 3)
+// over real sockets.
+//
+// Determinism: every fault decision is drawn from a per-connection PRNG
+// derived from (Config.Seed, connection label, per-label connection
+// index), and decisions within a connection are serialized. The same
+// seed and the same per-connection call sequence therefore produce the
+// same drop/reset/delay decisions, independent of wall-clock timing —
+// mirroring the seeded determinism of the simulator.
+//
+// Scope notes: faults are injected on the write side (every byte a
+// wrapped endpoint sends passes through them); reads pass through
+// untouched except for partition enforcement. Frame drops assume the
+// writer issues one Write call per application message (the transport's
+// writeFrame does), so dropping a whole Write never corrupts the
+// stream framing.
+package netchaos
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Chaos injector. The zero value injects
+// nothing (all traffic passes unmodified).
+type Config struct {
+	// Seed roots every per-connection PRNG; runs with the same seed
+	// make the same decisions.
+	Seed int64
+	// Latency is added one-way delay per write.
+	Latency time.Duration
+	// Jitter adds a uniform ±Jitter to Latency.
+	Jitter time.Duration
+	// DropRate is the probability a write is silently discarded
+	// (reported as successful to the writer, never delivered) — message
+	// loss as the application observes it.
+	DropRate float64
+	// ResetRate is the probability a write instead tears the connection
+	// down (the writer sees a reset error, the peer an EOF).
+	ResetRate float64
+	// BandwidthBps caps throughput: each write is additionally delayed
+	// by len/BandwidthBps seconds. 0 means unlimited.
+	BandwidthBps int64
+	// MaxWriteChunk splits writes into chunks of at most this many
+	// bytes, spreading the write's delay across them — slow partial
+	// writes. 0 disables chunking.
+	MaxWriteChunk int
+	// Observe, when non-nil, receives every fault decision
+	// synchronously (used by the determinism tests and for tracing).
+	Observe func(Event)
+	// Logf receives diagnostics (may be nil).
+	Logf func(format string, args ...any)
+}
+
+// Kind classifies a fault decision.
+type Kind string
+
+// Decision kinds reported through Config.Observe.
+const (
+	KindPass  Kind = "pass"  // write delivered (Delay holds the injected latency)
+	KindDrop  Kind = "drop"  // write silently discarded
+	KindReset Kind = "reset" // connection torn down
+	KindDeny  Kind = "deny"  // blocked by a partition rule
+)
+
+// Event records one fault decision on one connection.
+type Event struct {
+	// Conn is the connection label ("self→remote" for dialed,
+	// "self←remote" for accepted connections).
+	Conn string
+	// Seq is the per-connection write sequence number.
+	Seq uint64
+	// Kind is the decision.
+	Kind Kind
+	// Delay is the injected latency (KindPass only).
+	Delay time.Duration
+	// Bytes is the write size.
+	Bytes int
+}
+
+// Stats are aggregate counters across all connections of a Chaos.
+type Stats struct {
+	Dials       uint64
+	DialsDenied uint64
+	Writes      uint64
+	Drops       uint64
+	Resets      uint64
+	Denies      uint64
+	BytesOut    uint64
+	TotalDelay  time.Duration
+}
+
+// ErrPartitioned is returned for traffic blocked by a partition rule.
+var ErrPartitioned = errors.New("netchaos: partitioned")
+
+// ErrReset is returned by writes that drew a connection reset.
+var ErrReset = errors.New("netchaos: connection reset by fault injection")
+
+// Chaos injects faults into connections it wraps. One Chaos is shared
+// by every endpoint of a test cluster so partition rules can name any
+// peer pair.
+type Chaos struct {
+	cfg Config
+
+	mu    sync.Mutex
+	deny  map[string]bool // pairKey(a,b) → blocked
+	seq   map[string]int  // connections opened per label
+	stats Stats
+}
+
+// New creates a fault injector.
+func New(cfg Config) *Chaos {
+	return &Chaos{cfg: cfg, deny: make(map[string]bool), seq: make(map[string]int)}
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Partition blocks all traffic between endpoints a and b (their labels:
+// for the transport these are listen addresses). Dials between them
+// fail; established connections error on their next read or write, as
+// if the link went dark. Symmetric.
+func (c *Chaos) Partition(a, b string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deny[pairKey(a, b)] = true
+}
+
+// Heal removes the partition between a and b.
+func (c *Chaos) Heal(a, b string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.deny, pairKey(a, b))
+}
+
+// HealAll removes every partition rule.
+func (c *Chaos) HealAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deny = make(map[string]bool)
+}
+
+// Partitioned reports whether traffic between a and b is blocked.
+func (c *Chaos) Partitioned(a, b string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deny[pairKey(a, b)]
+}
+
+// Stats returns a snapshot of the aggregate fault counters.
+func (c *Chaos) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Chaos) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Chaos) observe(ev Event) {
+	if c.cfg.Observe != nil {
+		c.cfg.Observe(ev)
+	}
+}
+
+// Dialer returns a dial function for the endpoint labelled self
+// (pluggable into transport.Config.Dial). Dialed connections are
+// labelled "self→addr" and partition rules match the (self, addr) pair.
+func (c *Chaos) Dialer(self string) func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		c.mu.Lock()
+		c.stats.Dials++
+		denied := c.deny[pairKey(self, addr)]
+		if denied {
+			c.stats.DialsDenied++
+		}
+		c.mu.Unlock()
+		if denied {
+			return nil, ErrPartitioned
+		}
+		raw, err := net.DialTimeout(network, addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return c.Wrap(raw, self+"→"+addr, self, addr), nil
+	}
+}
+
+// WrapAccepted returns a wrapper for accepted connections (pluggable
+// into transport.Config.WrapAccepted). Accepted connections carry the
+// remote's ephemeral address, so partition rules (which name listen
+// addresses) do not match them; latency, drops, resets and bandwidth
+// faults still apply. Partitions are fully enforced on the dial side,
+// which both directions of every transport peer pair cross.
+func (c *Chaos) WrapAccepted(self string) func(net.Conn) net.Conn {
+	return func(conn net.Conn) net.Conn {
+		remote := conn.RemoteAddr().String()
+		return c.Wrap(conn, self+"←"+remote, self, remote)
+	}
+}
+
+// Wrap wraps an arbitrary connection with fault injection under the
+// given label; a and b are the endpoint names checked against
+// partition rules on every read and write.
+func (c *Chaos) Wrap(raw net.Conn, label, a, b string) net.Conn {
+	c.mu.Lock()
+	idx := c.seq[label]
+	c.seq[label] = idx + 1
+	c.mu.Unlock()
+	// Per-connection PRNG derived from (seed, label, index): decisions
+	// depend only on the seed and the connection's own call sequence.
+	var material [8 + 8]byte
+	binary.BigEndian.PutUint64(material[:8], uint64(c.cfg.Seed))
+	binary.BigEndian.PutUint64(material[8:], uint64(idx))
+	h := sha256.New()
+	h.Write(material[:])
+	h.Write([]byte(label))
+	sum := h.Sum(nil)
+	src := rand.NewSource(int64(binary.BigEndian.Uint64(sum[:8])))
+	return &conn{Conn: raw, chaos: c, label: label, a: a, b: b, rng: rand.New(src)}
+}
+
+// conn is a fault-injecting net.Conn.
+type conn struct {
+	net.Conn
+	chaos *Chaos
+	label string
+	a, b  string
+
+	mu     sync.Mutex // serializes writes and fault decisions
+	rng    *rand.Rand
+	seq    uint64
+	broken error // sticky failure (reset or partition)
+}
+
+// Write implements net.Conn, applying the fault schedule.
+func (cn *conn) Write(p []byte) (int, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.broken != nil {
+		return 0, cn.broken
+	}
+	cfg := &cn.chaos.cfg
+	seq := cn.seq
+	cn.seq++
+	if cn.chaos.Partitioned(cn.a, cn.b) {
+		cn.fail(ErrPartitioned)
+		cn.chaos.count(func(s *Stats) { s.Denies++ })
+		cn.chaos.observe(Event{Conn: cn.label, Seq: seq, Kind: KindDeny, Bytes: len(p)})
+		return 0, ErrPartitioned
+	}
+	// Draw every decision in a fixed order so the PRNG stream stays
+	// aligned across runs regardless of which faults are enabled.
+	resetDraw := cn.rng.Float64()
+	dropDraw := cn.rng.Float64()
+	jitterDraw := cn.rng.Float64()
+	if cfg.ResetRate > 0 && resetDraw < cfg.ResetRate {
+		cn.fail(ErrReset)
+		cn.chaos.count(func(s *Stats) { s.Resets++ })
+		cn.chaos.observe(Event{Conn: cn.label, Seq: seq, Kind: KindReset, Bytes: len(p)})
+		cn.chaos.logf("netchaos: %s reset at write %d", cn.label, seq)
+		return 0, ErrReset
+	}
+	if cfg.DropRate > 0 && dropDraw < cfg.DropRate {
+		cn.chaos.count(func(s *Stats) { s.Drops++ })
+		cn.chaos.observe(Event{Conn: cn.label, Seq: seq, Kind: KindDrop, Bytes: len(p)})
+		return len(p), nil
+	}
+	delay := cfg.Latency
+	if cfg.Jitter > 0 {
+		delay += time.Duration((2*jitterDraw - 1) * float64(cfg.Jitter))
+	}
+	if cfg.BandwidthBps > 0 {
+		delay += time.Duration(float64(len(p)) / float64(cfg.BandwidthBps) * float64(time.Second))
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	cn.chaos.count(func(s *Stats) {
+		s.Writes++
+		s.BytesOut += uint64(len(p))
+		s.TotalDelay += delay
+	})
+	cn.chaos.observe(Event{Conn: cn.label, Seq: seq, Kind: KindPass, Delay: delay, Bytes: len(p)})
+	chunk := cfg.MaxWriteChunk
+	if chunk <= 0 || chunk >= len(p) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return cn.Conn.Write(p)
+	}
+	// Slow partial writes: deliver in chunks, spreading the delay.
+	chunks := (len(p) + chunk - 1) / chunk
+	per := delay / time.Duration(chunks)
+	written := 0
+	for written < len(p) {
+		end := written + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if per > 0 {
+			time.Sleep(per)
+		}
+		n, err := cn.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Read implements net.Conn; reads pass through except under partition.
+func (cn *conn) Read(p []byte) (int, error) {
+	cn.mu.Lock()
+	if cn.broken != nil {
+		err := cn.broken
+		cn.mu.Unlock()
+		return 0, err
+	}
+	cn.mu.Unlock()
+	if cn.chaos.Partitioned(cn.a, cn.b) {
+		cn.mu.Lock()
+		cn.fail(ErrPartitioned)
+		cn.mu.Unlock()
+		return 0, ErrPartitioned
+	}
+	return cn.Conn.Read(p)
+}
+
+// fail marks the connection permanently broken and closes the
+// underlying socket so the peer observes the failure too. Callers hold
+// cn.mu.
+func (cn *conn) fail(err error) {
+	if cn.broken == nil {
+		cn.broken = err
+		cn.Conn.Close()
+	}
+}
+
+func (c *Chaos) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Listener wraps ln so accepted connections pass through the injector,
+// labelled for the endpoint self.
+func (c *Chaos) Listener(self string, ln net.Listener) net.Listener {
+	return &listener{Listener: ln, wrap: c.WrapAccepted(self)}
+}
+
+type listener struct {
+	net.Listener
+	wrap func(net.Conn) net.Conn
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.wrap(conn), nil
+}

@@ -1,0 +1,220 @@
+package netchaos
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// nullConn is a sink net.Conn for decision-sequence tests.
+type nullConn struct{ closed bool }
+
+func (c *nullConn) Read(p []byte) (int, error)         { return 0, nil }
+func (c *nullConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *nullConn) Close() error                       { c.closed = true; return nil }
+func (c *nullConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *nullConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *nullConn) SetDeadline(t time.Time) error      { return nil }
+func (c *nullConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *nullConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// decisionTrace runs a fixed write schedule through a fresh Chaos and
+// returns the observed decision sequence.
+func decisionTrace(seed int64, writes int) []Event {
+	var events []Event
+	c := New(Config{
+		Seed:     seed,
+		Latency:  200 * time.Microsecond,
+		Jitter:   100 * time.Microsecond,
+		DropRate: 0.3,
+		// ResetRate deliberately 0 here: a reset breaks the connection
+		// and would cut the schedule short.
+		Observe: func(ev Event) { events = append(events, ev) },
+	})
+	conn := c.Wrap(&nullConn{}, "a→b", "a", "b")
+	buf := make([]byte, 64)
+	for i := 0; i < writes; i++ {
+		conn.Write(buf)
+	}
+	return events
+}
+
+// TestChaosDeterminism mirrors TestClusterDeterminism for the live
+// path: the same seed and write schedule must produce the identical
+// drop/delay decision sequence, and a different seed a different one.
+func TestChaosDeterminism(t *testing.T) {
+	a := decisionTrace(99, 400)
+	b := decisionTrace(99, 400)
+	if len(a) != 400 {
+		t.Fatalf("expected 400 decisions, got %d", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault decisions")
+	}
+	c := decisionTrace(100, 400)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault decisions")
+	}
+	var drops int
+	for _, ev := range a {
+		switch ev.Kind {
+		case KindDrop:
+			drops++
+		case KindPass:
+			if ev.Delay < 100*time.Microsecond || ev.Delay > 300*time.Microsecond {
+				t.Fatalf("delay %v outside latency±jitter", ev.Delay)
+			}
+		default:
+			t.Fatalf("unexpected decision %q", ev.Kind)
+		}
+	}
+	// 30% of 400 with generous slack.
+	if drops < 60 || drops > 180 {
+		t.Fatalf("drop rate wildly off: %d/400", drops)
+	}
+}
+
+// TestChaosConnIndexDecorrelates checks that successive connections
+// under the same label get distinct decision streams (reconnects do
+// not replay the previous connection's schedule).
+func TestChaosConnIndexDecorrelates(t *testing.T) {
+	var events []Event
+	c := New(Config{Seed: 7, DropRate: 0.5, Observe: func(ev Event) { events = append(events, ev) }})
+	buf := make([]byte, 8)
+	first := c.Wrap(&nullConn{}, "x", "a", "b")
+	for i := 0; i < 100; i++ {
+		first.Write(buf)
+	}
+	firstTrace := append([]Event(nil), events...)
+	events = nil
+	second := c.Wrap(&nullConn{}, "x", "a", "b")
+	for i := 0; i < 100; i++ {
+		second.Write(buf)
+	}
+	if reflect.DeepEqual(firstTrace, events) {
+		t.Fatal("reconnected conn replayed the previous decision stream")
+	}
+}
+
+// TestChaosReset checks that a reset decision breaks the connection
+// permanently and closes the underlying socket.
+func TestChaosReset(t *testing.T) {
+	raw := &nullConn{}
+	c := New(Config{Seed: 3, ResetRate: 1})
+	conn := c.Wrap(raw, "r", "a", "b")
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got %v", err)
+	}
+	if !raw.closed {
+		t.Fatal("underlying conn not closed on reset")
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("reset not sticky: %v", err)
+	}
+	if st := c.Stats(); st.Resets != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestChaosPartition partitions a live TCP pair: dials fail, existing
+// connections break, healing restores connectivity.
+func TestChaosPartition(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 64)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	addr := ln.Addr().String()
+	c := New(Config{Seed: 1})
+	dial := c.Dialer("self")
+
+	conn, err := dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatalf("write before partition: %v", err)
+	}
+
+	c.Partition("self", addr)
+	if _, err := conn.Write([]byte("blocked")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("existing conn survived partition: %v", err)
+	}
+	if _, err := dial("tcp", addr); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial crossed partition: %v", err)
+	}
+
+	c.Heal("self", addr)
+	conn2, err := dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, err := conn2.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	conn2.Close()
+	if st := c.Stats(); st.DialsDenied != 1 || st.Denies != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestChaosBandwidthAndChunking checks that bandwidth caps slow
+// delivery and chunked writes still deliver every byte in order.
+func TestChaosBandwidthAndChunking(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := New(Config{Seed: 5, BandwidthBps: 64 << 10, MaxWriteChunk: 16})
+	wrapped := c.Wrap(a, "bw", "a", "b")
+
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Write(payload)
+		done <- err
+	}()
+	got := make([]byte, len(payload))
+	for off := 0; off < len(got); {
+		n, err := b.Read(got[off:])
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		off += n
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// 256 B at 64 KiB/s ≈ 3.9 ms minimum.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("bandwidth cap not applied: %v", elapsed)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d corrupted across chunked write", i)
+		}
+	}
+}

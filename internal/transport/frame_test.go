@@ -17,7 +17,7 @@ func TestFrameRoundtrip(t *testing.T) {
 			{Client: types.ClientIDBase, Seq: 3, Payload: []byte("hello")},
 		}},
 	}
-	if err := writeFrame(&buf, in); err != nil {
+	if err := WriteFrame(&buf, in.From, in.Msg); err != nil {
 		t.Fatal(err)
 	}
 	out, err := readFrameFromBytes(buf.Bytes())
@@ -43,7 +43,8 @@ func readFrameFromBytes(raw []byte) (*frame, error) {
 		a.Write(raw)
 	}()
 	b.SetReadDeadline(time.Now().Add(time.Second))
-	return readFrameConn(b)
+	f, _, err := readFrameConn(b)
+	return f, err
 }
 
 func TestFrameRejectsOversize(t *testing.T) {
@@ -55,7 +56,7 @@ func TestFrameRejectsOversize(t *testing.T) {
 
 func TestFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, &frame{From: 1, Msg: &Hello{}}); err != nil {
+	if err := WriteFrame(&buf, 1, &Hello{From: 1}); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()[:buf.Len()-2]
@@ -65,7 +66,7 @@ func TestFrameTruncated(t *testing.T) {
 		a.Close()
 	}()
 	defer b.Close()
-	if _, err := readFrameConn(b); err == nil {
+	if _, _, err := readFrameConn(b); err == nil {
 		t.Fatal("truncated frame accepted")
 	}
 }
@@ -97,7 +98,7 @@ func TestBlockMessageRoundtrip(t *testing.T) {
 	}
 	wantHash := blk.Hash()
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, &frame{From: 1, Msg: &types.BlockResponse{Block: blk}}); err != nil {
+	if err := WriteFrame(&buf, 1, &types.BlockResponse{Block: blk}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := readFrameFromBytes(buf.Bytes())

@@ -7,6 +7,27 @@
 // goroutine per Runtime, matching the single-threaded contract of
 // protocol.Env. Reader and writer goroutines only move frames between
 // sockets and the event channel.
+//
+// Hardening (mirroring what the paper's salticidae deployment gets from
+// its secure channels, Sec. 3.1/5.1):
+//
+//   - the first frame on every accepted connection must be a valid
+//     Hello; replica Hellos carry an ECDSA signature over a monotonic
+//     nonce, so an acceptor cannot be spoofed into mis-attributing
+//     consensus traffic, and every later frame is attributed to the
+//     authenticated connection identity rather than its claimed sender;
+//   - dialers reconnect with jittered exponential backoff (capped),
+//     send periodic keepalive pings, and acceptors enforce read
+//     deadlines so dead connections are reaped;
+//   - the newest authenticated connection per peer supersedes stale
+//     ones, and reply routes are evicted when their connection dies;
+//   - Stop drains outbound queues before tearing writers down;
+//   - per-peer counters (sends, drops, reconnects, bytes) are exposed
+//     through Stats().
+//
+// Fault injection: Config.Dial and Config.WrapAccepted accept hooks
+// (see internal/netchaos) that stand in for the NetEm fault injection
+// of the paper's testbed on the live path.
 package transport
 
 import (
@@ -14,10 +35,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"achilles/internal/crypto"
 	"achilles/internal/protocol"
 	"achilles/internal/types"
 )
@@ -41,18 +65,42 @@ func RegisterMessages(msgs ...types.Message) {
 }
 
 // Hello is the connection handshake: the first frame on every dialed
-// connection carries it so the acceptor learns the sender's identity.
-type Hello struct{}
+// connection carries it so the acceptor learns — and, for replica
+// connections, cryptographically verifies — the sender's identity.
+type Hello struct {
+	// From is the dialer's identity; it must match the frame envelope.
+	From types.NodeID
+	// Nonce increases strictly across a process's connections (it is
+	// derived from wall time), ordering connections from the same peer
+	// so the acceptor can reject stale or replayed handshakes and let
+	// the newest connection supersede older ones.
+	Nonce uint64
+	// Sig signs crypto.HandshakePayload(From, Nonce) with the dialer's
+	// private key. Empty for clients (which hold no ring key) and in
+	// unauthenticated deployments (no Ring configured).
+	Sig types.Signature
+}
 
 // Type implements types.Message.
 func (*Hello) Type() string { return "transport/hello" }
 
 // Size implements types.Message.
-func (*Hello) Size() int { return 4 }
+func (*Hello) Size() int { return 4 + 8 + 72 }
+
+// Ping is the keepalive frame dialers send on idle connections so
+// acceptors' read deadlines are refreshed.
+type Ping struct{}
+
+// Type implements types.Message.
+func (*Ping) Type() string { return "transport/ping" }
+
+// Size implements types.Message.
+func (*Ping) Size() int { return 1 }
 
 func init() {
 	RegisterMessages(
 		&Hello{},
+		&Ping{},
 		&types.ClientRequest{},
 		&types.ClientReply{},
 		&types.BlockRequest{},
@@ -60,19 +108,28 @@ func init() {
 	)
 }
 
-// writeFrame encodes and writes one length-prefixed frame.
-func writeFrame(w io.Writer, f *frame) error {
-	var payload frameBuffer
-	enc := gob.NewEncoder(&payload)
-	if err := enc.Encode(f); err != nil {
+// encodeFrame encodes one length-prefixed frame into a single buffer,
+// so the transport issues exactly one Write per frame. Besides saving
+// a syscall, this is what lets a fault injector drop a whole frame
+// without corrupting the stream framing.
+func encodeFrame(f *frame) ([]byte, error) {
+	buf := frameBuffer{buf: make([]byte, 4, 512)}
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(buf.buf[:4], uint32(len(buf.buf)-4))
+	return buf.buf, nil
+}
+
+// WriteFrame writes one length-prefixed frame carrying msg attributed
+// to from. It is the transport's wire format, exported for tooling and
+// tests that speak the protocol over raw connections.
+func WriteFrame(w io.Writer, from types.NodeID, msg types.Message) error {
+	b, err := encodeFrame(&frame{From: from, Msg: msg})
+	if err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload.buf)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload.buf)
+	_, err = w.Write(b)
 	return err
 }
 
@@ -96,8 +153,68 @@ type Config struct {
 	OnCommit func(b *types.Block, cc *types.CommitCert)
 	// Logf receives runtime diagnostics (may be nil).
 	Logf func(format string, args ...any)
-	// DialRetry is the reconnect backoff (default 500 ms).
-	DialRetry time.Duration
+
+	// Scheme and Priv sign this node's Hello handshakes; Ring lets the
+	// acceptor verify peers'. All three nil yields an unauthenticated
+	// transport (examples, clients). With a Ring set, connections
+	// claiming a replica identity must present a valid signature.
+	Scheme crypto.Scheme
+	Priv   crypto.PrivateKey
+	Ring   *crypto.KeyRing
+
+	// Dial overrides the dialer — the netchaos fault-injection hook.
+	// nil uses net.DialTimeout.
+	Dial func(network, addr string) (net.Conn, error)
+	// WrapAccepted wraps accepted connections (fault injection). nil
+	// is the identity.
+	WrapAccepted func(net.Conn) net.Conn
+
+	// DialRetry is the initial reconnect backoff (default 100 ms). It
+	// grows exponentially with ±50% jitter up to DialRetryMax
+	// (default 3 s).
+	DialRetry    time.Duration
+	DialRetryMax time.Duration
+	// KeepAlive is the idle ping period on dialed connections
+	// (default 1 s; negative disables).
+	KeepAlive time.Duration
+	// ReadTimeout reaps accepted connections idle longer than this
+	// (default 4×KeepAlive; negative disables).
+	ReadTimeout time.Duration
+	// DrainTimeout bounds how long Stop waits for outbound queues to
+	// flush (default 500 ms).
+	DrainTimeout time.Duration
+}
+
+// PeerStats is a snapshot of per-peer transport counters.
+type PeerStats struct {
+	// Sent counts frames written to the peer; BytesSent their size.
+	Sent, BytesSent uint64
+	// SendDrops counts frames lost locally: queue overflow or a write
+	// that failed mid-connection.
+	SendDrops uint64
+	// Received counts frames read from the peer; BytesReceived their
+	// size; ReceiveDrops frames discarded (mis-attributed senders).
+	Received, BytesReceived, ReceiveDrops uint64
+	// Reconnects counts established outbound connections beyond the
+	// first.
+	Reconnects uint64
+}
+
+// peerStats is the internal, atomically-updated form.
+type peerStats struct {
+	sent, bytesSent, sendDrops            atomic.Uint64
+	received, bytesReceived, receiveDrops atomic.Uint64
+	connects                              atomic.Uint64
+	logMu                                 sync.Mutex
+	droppedSinceLog                       uint64
+	lastDropLog                           time.Time
+}
+
+// route is an identified inbound connection: the reply path for
+// clients, and the supersession/eviction record for replica peers.
+type route struct {
+	conn  net.Conn
+	nonce uint64
 }
 
 // Runtime drives one replica over TCP.
@@ -107,27 +224,53 @@ type Runtime struct {
 
 	start    time.Time
 	events   chan func()
-	done     chan struct{}
+	stopping chan struct{} // soft stop: writers drain their queues
+	done     chan struct{} // hard stop: event loop and readers exit
 	closing  sync.Once
 	listener net.Listener
+	writers  sync.WaitGroup
 
-	mu       sync.Mutex
-	outbound map[types.NodeID]chan *frame
-	inbound  map[types.NodeID]net.Conn // reply routes for clients
+	helloNonce atomic.Uint64
+
+	mu        sync.Mutex
+	stopped   bool
+	outbound  map[types.NodeID]chan *frame
+	routes    map[types.NodeID]*route
+	lastHello map[types.NodeID]uint64
+	stats     map[types.NodeID]*peerStats
 }
 
 // New creates a runtime for the replica.
 func New(cfg Config, r protocol.Replica) *Runtime {
 	if cfg.DialRetry == 0 {
-		cfg.DialRetry = 500 * time.Millisecond
+		cfg.DialRetry = 100 * time.Millisecond
+	}
+	if cfg.DialRetryMax == 0 {
+		cfg.DialRetryMax = 3 * time.Second
+	}
+	if cfg.KeepAlive == 0 {
+		cfg.KeepAlive = time.Second
+	}
+	if cfg.ReadTimeout == 0 {
+		if cfg.KeepAlive > 0 {
+			cfg.ReadTimeout = 4 * cfg.KeepAlive
+		} else {
+			cfg.ReadTimeout = 4 * time.Second
+		}
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 500 * time.Millisecond
 	}
 	return &Runtime{
-		cfg:      cfg,
-		replica:  r,
-		events:   make(chan func(), 4096),
-		done:     make(chan struct{}),
-		outbound: make(map[types.NodeID]chan *frame),
-		inbound:  make(map[types.NodeID]net.Conn),
+		cfg:       cfg,
+		replica:   r,
+		events:    make(chan func(), 4096),
+		stopping:  make(chan struct{}),
+		done:      make(chan struct{}),
+		outbound:  make(map[types.NodeID]chan *frame),
+		routes:    make(map[types.NodeID]*route),
+		lastHello: make(map[types.NodeID]uint64),
+		stats:     make(map[types.NodeID]*peerStats),
 	}
 }
 
@@ -162,14 +305,77 @@ func (rt *Runtime) Addr() string {
 	return rt.listener.Addr().String()
 }
 
-// Stop shuts the runtime down.
+// Stop shuts the runtime down gracefully: the listener closes
+// immediately, writers get up to DrainTimeout to flush queued frames
+// over their existing connections, then everything tears down.
 func (rt *Runtime) Stop() {
 	rt.closing.Do(func() {
-		close(rt.done)
+		rt.mu.Lock()
+		rt.stopped = true
+		rt.mu.Unlock()
+		close(rt.stopping)
 		if rt.listener != nil {
 			rt.listener.Close()
 		}
+		flushed := make(chan struct{})
+		go func() {
+			rt.writers.Wait()
+			close(flushed)
+		}()
+		select {
+		case <-flushed:
+		case <-time.After(rt.cfg.DrainTimeout + 100*time.Millisecond):
+		}
+		close(rt.done)
+		rt.mu.Lock()
+		for _, r := range rt.routes {
+			r.conn.Close()
+		}
+		rt.mu.Unlock()
 	})
+}
+
+// Stats returns a snapshot of the per-peer transport counters.
+func (rt *Runtime) Stats() map[types.NodeID]PeerStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[types.NodeID]PeerStats, len(rt.stats))
+	for id, st := range rt.stats {
+		connects := st.connects.Load()
+		var reconnects uint64
+		if connects > 1 {
+			reconnects = connects - 1
+		}
+		out[id] = PeerStats{
+			Sent:          st.sent.Load(),
+			BytesSent:     st.bytesSent.Load(),
+			SendDrops:     st.sendDrops.Load(),
+			Received:      st.received.Load(),
+			BytesReceived: st.bytesReceived.Load(),
+			ReceiveDrops:  st.receiveDrops.Load(),
+			Reconnects:    reconnects,
+		}
+	}
+	return out
+}
+
+// ActiveRoutes returns the number of live identified inbound
+// connections (client reply routes and accepted peer connections).
+func (rt *Runtime) ActiveRoutes() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.routes)
+}
+
+func (rt *Runtime) statsFor(id types.NodeID) *peerStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := rt.stats[id]
+	if st == nil {
+		st = &peerStats{}
+		rt.stats[id] = st
+	}
+	return st
 }
 
 func (rt *Runtime) logf(format string, args ...any) {
@@ -189,48 +395,183 @@ func (rt *Runtime) eventLoop() {
 	}
 }
 
+// acceptLoop accepts connections until the listener closes. Transient
+// accept errors (EMFILE, ECONNABORTED, ...) are retried with capped
+// backoff instead of abandoning the listener.
 func (rt *Runtime) acceptLoop(ln net.Listener) {
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			select {
+			case <-rt.stopping:
+				return
 			case <-rt.done:
 				return
 			default:
 			}
-			rt.logf("accept: %v", err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			rt.logf("accept: %v (retrying in %v)", err, backoff)
+			select {
+			case <-rt.done:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
-		go rt.readLoop(conn)
+		backoff = 0
+		if rt.cfg.WrapAccepted != nil {
+			conn = rt.cfg.WrapAccepted(conn)
+		}
+		go rt.readLoop(conn, 0, true)
+	}
+}
+
+// nextNonce returns a handshake nonce that increases strictly across
+// this process's connections and across process restarts (it is
+// anchored to wall time).
+func (rt *Runtime) nextNonce() uint64 {
+	for {
+		now := uint64(time.Now().UnixNano())
+		prev := rt.helloNonce.Load()
+		n := now
+		if n <= prev {
+			n = prev + 1
+		}
+		if rt.helloNonce.CompareAndSwap(prev, n) {
+			return n
+		}
+	}
+}
+
+// helloFrame builds this node's signed handshake frame.
+func (rt *Runtime) helloFrame() *frame {
+	h := &Hello{From: rt.cfg.Self, Nonce: rt.nextNonce()}
+	if rt.cfg.Scheme != nil && rt.cfg.Priv != nil {
+		h.Sig = rt.cfg.Scheme.Sign(rt.cfg.Priv, crypto.HandshakePayload(h.From, h.Nonce))
+	}
+	return &frame{From: rt.cfg.Self, Msg: h}
+}
+
+// authenticateHello validates an accepted connection's handshake.
+// Replica identities must present a valid signature when a Ring is
+// configured; client identities hold no ring key and are accepted on
+// their word (they can only receive replies, never inject consensus
+// traffic attributed to a replica).
+func (rt *Runtime) authenticateHello(h *Hello) bool {
+	if h.From == rt.cfg.Self {
+		return false
+	}
+	if h.From.IsClient() {
+		return true
+	}
+	if rt.cfg.Ring == nil || rt.cfg.Scheme == nil {
+		return true
+	}
+	pk := rt.cfg.Ring.Get(h.From)
+	if pk == nil {
+		return false
+	}
+	return rt.cfg.Scheme.Verify(pk, crypto.HandshakePayload(h.From, h.Nonce), h.Sig)
+}
+
+// registerRoute installs an identified inbound connection, enforcing
+// handshake-nonce monotonicity (stale or replayed handshakes are
+// rejected) and connection supersession (the newest connection per
+// peer wins; the stale one is closed).
+func (rt *Runtime) registerRoute(id types.NodeID, conn net.Conn, nonce uint64) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if nonce <= rt.lastHello[id] {
+		return false
+	}
+	rt.lastHello[id] = nonce
+	if old := rt.routes[id]; old != nil && old.conn != conn {
+		old.conn.Close()
+	}
+	rt.routes[id] = &route{conn: conn, nonce: nonce}
+	return true
+}
+
+// dropRoute evicts a dead inbound connection's reply route, unless a
+// newer connection already superseded it.
+func (rt *Runtime) dropRoute(id types.NodeID, conn net.Conn) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if r := rt.routes[id]; r != nil && r.conn == conn {
+		delete(rt.routes, id)
 	}
 }
 
 // readLoop receives frames from one connection and feeds the event
-// loop. The first frame identifies the sender; client connections are
-// remembered as reply routes.
-func (rt *Runtime) readLoop(conn net.Conn) {
-	defer conn.Close()
-	first := true
+// loop. Accepted connections must open with a valid Hello, which binds
+// the connection to an identity; dialed connections are bound to the
+// peer they were dialed to. Frames claiming any other sender are
+// discarded, so message attribution follows the (authenticated)
+// connection, not the envelope.
+func (rt *Runtime) readLoop(conn net.Conn, expect types.NodeID, accepted bool) {
+	identity := expect
+	registered := false
+	var st *peerStats
+	defer func() {
+		conn.Close()
+		if registered {
+			rt.dropRoute(identity, conn)
+		}
+	}()
+	awaitHello := accepted
 	for {
-		f, err := readFrameConn(conn)
+		if accepted && rt.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(rt.cfg.ReadTimeout))
+		}
+		f, n, err := readFrameConn(conn)
 		if err != nil {
 			return
 		}
-		if first {
-			first = false
-			if f.From.IsClient() {
-				rt.mu.Lock()
-				rt.inbound[f.From] = conn
-				rt.mu.Unlock()
+		if awaitHello {
+			awaitHello = false
+			h, ok := f.Msg.(*Hello)
+			if !ok {
+				rt.logf("rejecting %v: first frame %s is not a handshake", conn.RemoteAddr(), frameType(f))
+				return
 			}
-		}
-		from, msg := f.From, f.Msg
-		if msg == nil {
+			if f.From != h.From || !rt.authenticateHello(h) {
+				rt.logf("rejecting %v: invalid handshake for %v", conn.RemoteAddr(), h.From)
+				return
+			}
+			if !rt.registerRoute(h.From, conn, h.Nonce) {
+				rt.logf("rejecting %v: stale handshake for %v", conn.RemoteAddr(), h.From)
+				return
+			}
+			identity = h.From
+			registered = true
 			continue
 		}
-		if _, isHello := msg.(*Hello); isHello {
+		if st == nil {
+			st = rt.statsFor(identity)
+		}
+		st.received.Add(1)
+		st.bytesReceived.Add(uint64(n))
+		if f.Msg == nil {
 			continue
 		}
+		switch f.Msg.(type) {
+		case *Hello, *Ping: // keepalive / duplicate handshake: deadline already refreshed
+			continue
+		}
+		if f.From != identity {
+			st.receiveDrops.Add(1)
+			rt.logf("dropping %s from %v claiming to be %v", f.Msg.Type(), identity, f.From)
+			continue
+		}
+		from, msg := identity, f.Msg
 		select {
 		case rt.events <- func() { rt.replica.OnMessage(from, msg) }:
 		case <-rt.done:
@@ -239,25 +580,33 @@ func (rt *Runtime) readLoop(conn net.Conn) {
 	}
 }
 
-// readFrameConn adapts readFrame to a net.Conn.
-func readFrameConn(conn net.Conn) (*frame, error) {
+func frameType(f *frame) string {
+	if f.Msg == nil {
+		return "<nil>"
+	}
+	return f.Msg.Type()
+}
+
+// readFrameConn reads one length-prefixed frame, returning its wire
+// size alongside.
+func readFrameConn(conn net.Conn) (*frame, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, errors.New("transport: oversized frame")
+		return nil, 0, errors.New("transport: oversized frame")
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(conn, buf); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var f frame
 	if err := gob.NewDecoder(&sliceReader{buf: buf}).Decode(&f); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return &f, nil
+	return &f, int(n) + 4, nil
 }
 
 type sliceReader struct{ buf []byte }
@@ -281,49 +630,121 @@ func (rt *Runtime) ensureDialer(id types.NodeID, addr string) chan *frame {
 	}
 	ch := make(chan *frame, 1024)
 	rt.outbound[id] = ch
-	go rt.writeLoop(addr, ch)
+	if !rt.stopped {
+		rt.writers.Add(1)
+		go rt.writeLoop(id, addr, ch)
+	}
 	return ch
 }
 
-func (rt *Runtime) writeLoop(addr string, ch chan *frame) {
+func (rt *Runtime) dial(addr string) (net.Conn, error) {
+	if rt.cfg.Dial != nil {
+		return rt.cfg.Dial("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, 2*time.Second)
+}
+
+// writeLoop owns the outbound connection to one peer: it dials with
+// jittered exponential backoff, handshakes, keeps the connection alive
+// with pings, and on Stop drains its queue before exiting.
+func (rt *Runtime) writeLoop(id types.NodeID, addr string, ch chan *frame) {
+	defer rt.writers.Done()
+	st := rt.statsFor(id)
 	var conn net.Conn
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
-	for {
-		select {
-		case <-rt.done:
+
+	// write sends one frame on the current connection; on failure the
+	// connection is dropped (the frame is lost — consensus protocols
+	// tolerate message loss, and the next send reconnects).
+	write := func(f *frame) {
+		b, err := encodeFrame(f)
+		if err != nil {
+			rt.logf("encode %s: %v", frameType(f), err)
 			return
-		case f := <-ch:
-			for conn == nil {
-				c, err := net.Dial("tcp", addr)
-				if err != nil {
-					select {
-					case <-rt.done:
-						return
-					case <-time.After(rt.cfg.DialRetry):
-						continue
+		}
+		if _, err := conn.Write(b); err != nil {
+			rt.logf("write to %v (%s): %v", id, addr, err)
+			conn.Close()
+			conn = nil
+			st.sendDrops.Add(1)
+			return
+		}
+		st.sent.Add(1)
+		st.bytesSent.Add(uint64(len(b)))
+	}
+
+	// connect dials until it succeeds and the handshake is written, or
+	// the runtime begins stopping.
+	connect := func() bool {
+		backoff := rt.cfg.DialRetry
+		for {
+			c, err := rt.dial(addr)
+			if err == nil {
+				hb, herr := encodeFrame(rt.helloFrame())
+				if herr == nil {
+					if _, werr := c.Write(hb); werr == nil {
+						conn = c
+						st.connects.Add(1)
+						// Connections are bidirectional: replies (e.g.
+						// to clients, which do not listen) come back on
+						// the dialed socket.
+						go rt.readLoop(c, id, false)
+						return true
 					}
 				}
-				conn = c
-				// Handshake identifies us to the acceptor.
-				if err := writeFrame(conn, &frame{From: rt.cfg.Self, Msg: &Hello{}}); err != nil {
-					conn.Close()
-					conn = nil
-					continue
+				c.Close()
+			}
+			// Jittered exponential backoff: uniform in [b/2, b].
+			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			select {
+			case <-rt.stopping:
+				return false
+			case <-time.After(d):
+			}
+			if backoff *= 2; backoff > rt.cfg.DialRetryMax {
+				backoff = rt.cfg.DialRetryMax
+			}
+		}
+	}
+
+	keepAlive := rt.cfg.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = time.Hour * 24 * 365
+	}
+	ping := time.NewTicker(keepAlive)
+	defer ping.Stop()
+
+	for {
+		select {
+		case <-rt.stopping:
+			// Drain: flush whatever is queued over the existing
+			// connection (no redialing) within the drain budget.
+			deadline := time.NewTimer(rt.cfg.DrainTimeout)
+			defer deadline.Stop()
+			for conn != nil {
+				select {
+				case f := <-ch:
+					write(f)
+				case <-deadline.C:
+					return
+				default:
+					return
 				}
-				// Connections are bidirectional: replies (e.g. to
-				// clients, which do not listen) come back on the
-				// dialed socket.
-				go rt.readLoop(conn)
 			}
-			if err := writeFrame(conn, f); err != nil {
-				rt.logf("write to %s: %v", addr, err)
-				conn.Close()
-				conn = nil
+			return
+		case <-ping.C:
+			if conn != nil {
+				write(&frame{From: rt.cfg.Self, Msg: &Ping{}})
 			}
+		case f := <-ch:
+			if conn == nil && !connect() {
+				return
+			}
+			write(f)
 		}
 	}
 }
@@ -342,26 +763,57 @@ func (rt *Runtime) Now() types.Time { return time.Since(rt.start) }
 // Send implements protocol.Env.
 func (rt *Runtime) Send(to types.NodeID, msg types.Message) {
 	f := &frame{From: rt.cfg.Self, Msg: msg}
-	if addr, ok := rt.cfg.Peers[to]; ok {
+	if addr, ok := rt.cfg.Peers[to]; ok && to != rt.cfg.Self {
 		ch := rt.ensureDialer(to, addr)
 		select {
 		case ch <- f:
 		default:
-			rt.logf("send queue to %v full; dropping %s", to, msg.Type())
+			rt.noteSendDrop(to, msg)
 		}
 		return
 	}
 	// Reply route: a client that connected to us.
 	rt.mu.Lock()
-	conn := rt.inbound[to]
+	r := rt.routes[to]
 	rt.mu.Unlock()
-	if conn == nil {
+	if r == nil {
 		rt.logf("no route to %v for %s", to, msg.Type())
 		return
 	}
-	if err := writeFrame(conn, f); err != nil {
-		rt.logf("reply to %v: %v", to, err)
+	b, err := encodeFrame(f)
+	if err != nil {
+		rt.logf("encode %s: %v", msg.Type(), err)
+		return
 	}
+	st := rt.statsFor(to)
+	if _, err := r.conn.Write(b); err != nil {
+		rt.logf("reply to %v: %v", to, err)
+		st.sendDrops.Add(1)
+		// Force eviction through the connection's readLoop.
+		r.conn.Close()
+		return
+	}
+	st.sent.Add(1)
+	st.bytesSent.Add(uint64(len(b)))
+}
+
+// noteSendDrop counts a frame lost to a full outbound queue, logging
+// at most once per second per peer instead of once per frame.
+func (rt *Runtime) noteSendDrop(to types.NodeID, msg types.Message) {
+	st := rt.statsFor(to)
+	st.sendDrops.Add(1)
+	st.logMu.Lock()
+	st.droppedSinceLog++
+	now := time.Now()
+	if now.Sub(st.lastDropLog) < time.Second {
+		st.logMu.Unlock()
+		return
+	}
+	n := st.droppedSinceLog
+	st.droppedSinceLog = 0
+	st.lastDropLog = now
+	st.logMu.Unlock()
+	rt.logf("send queue to %v full; dropped %d frames (last: %s)", to, n, msg.Type())
 }
 
 // Broadcast implements protocol.Env.

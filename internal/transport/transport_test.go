@@ -65,6 +65,9 @@ func TestLiveClusterCommits(t *testing.T) {
 			Self:   id,
 			Listen: peers[id],
 			Peers:  peers,
+			Scheme: scheme,
+			Ring:   ring,
+			Priv:   privs[i],
 			OnCommit: func(b *types.Block, cc *types.CommitCert) {
 				if cc == nil || len(cc.Signers) < 2 {
 					t.Errorf("commit without quorum certificate")
@@ -91,7 +94,9 @@ func TestLiveClusterCommits(t *testing.T) {
 		PayloadSize: 8,
 		Tick:        10 * time.Millisecond,
 	})
-	crt := transport.New(transport.Config{Self: types.ClientIDBase, Peers: peers}, cl)
+	// The client dials with an unsigned Hello (clients hold no ring
+	// key); the nodes still require signatures from replica identities.
+	crt := transport.New(transport.Config{Self: types.ClientIDBase, Peers: peers, Scheme: scheme, Ring: ring}, cl)
 	if err := crt.Start(); err != nil {
 		t.Fatalf("start client: %v", err)
 	}
