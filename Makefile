@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak bench clean
+.PHONY: all build vet test check soak bench bench-json metrics-demo clean
 
 all: check
 
@@ -19,12 +19,23 @@ test:
 	$(GO) test ./...
 
 # Live TCP soaks over the netchaos fault-injection layer, including
-# the killed-and-rolled-back replica recovery scenario.
+# the killed-and-rolled-back replica recovery scenario (both run with
+# the admin/metrics endpoint enabled) and the admin scrape test.
 soak:
-	$(GO) test -race -run 'TestLiveRecoverySoak|TestLiveClusterCommits|TestReconnectAfterPeerRestart' ./internal/transport
+	$(GO) test -race -run 'TestLiveRecoverySoak|TestLiveClusterCommits|TestReconnectAfterPeerRestart|TestLiveAdminEndpoints' ./internal/transport
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Machine-readable benchmark artifact (quick windows): per-protocol
+# throughput, mean/p50/p99 latency and message complexity.
+bench-json:
+	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -json BENCH_achilles.json
+
+# Boot a local 3-node cluster with the admin endpoint on node 0,
+# scrape /metrics and /status, then tear everything down.
+metrics-demo: build
+	./scripts/metrics-demo.sh
 
 clean:
 	$(GO) clean ./...

@@ -9,28 +9,47 @@
 //	achilles-bench -fig 5              # Fig. 5 (counter-latency sweep)
 //	achilles-bench -table 1            # Table 1 ... -table 4
 //	achilles-bench -quick -all         # short measurement windows
+//	achilles-bench -quick -all -json BENCH_achilles.json
 //
 // Output is the same rows/series the paper reports: one line per data
 // point with protocol, parameters, throughput (K TPS) and latency (ms).
+// With -json, every figure/table that ran is additionally written to a
+// machine-readable document (throughput, mean/p50/p99 latency and
+// message complexity per protocol and data point).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"achilles/internal/harness"
 	"achilles/internal/sim"
 )
 
+// report is the schema of the -json output document.
+type report struct {
+	GeneratedBy string                      `json:"generated_by"`
+	GeneratedAt string                      `json:"generated_at"`
+	Quick       bool                        `json:"quick"`
+	Figures     map[string][]harness.ExpRow `json:"figures,omitempty"`
+	Table1      []harness.Table1Row         `json:"table1,omitempty"`
+	Table2      []harness.Table2Row         `json:"table2,omitempty"`
+	Table3      []harness.ExpRow            `json:"table3,omitempty"`
+	Table4      []harness.Table4Row         `json:"table4,omitempty"`
+}
+
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 3ab|3cd|3ef|3gh|3ij|3kl|4|5")
-		table  = flag.Int("table", 0, "table to regenerate: 1|2|3|4")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "short measurement windows")
-		faults = flag.String("faults", "1,2,4,10,20,30", "comma-separated f values for Fig. 3a-3d")
+		fig      = flag.String("fig", "", "figure to regenerate: 3ab|3cd|3ef|3gh|3ij|3kl|4|5")
+		table    = flag.Int("table", 0, "table to regenerate: 1|2|3|4")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "short measurement windows")
+		faults   = flag.String("faults", "1,2,4,10,20,30", "comma-separated f values for Fig. 3a-3d")
+		jsonPath = flag.String("json", "", "also write the results of everything that ran as JSON to this path (e.g. BENCH_achilles.json)")
 	)
 	flag.Parse()
 
@@ -44,49 +63,67 @@ func main() {
 		os.Exit(2)
 	}
 
+	rep := report{
+		GeneratedBy: "achilles-bench",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       *quick,
+		Figures:     map[string][]harness.ExpRow{},
+	}
+
 	ran := false
 	runFig := func(name string) {
 		ran = true
+		var title string
+		var rows []harness.ExpRow
 		switch name {
 		case "3ab":
-			harness.PrintRows(os.Stdout, "Fig. 3a/3b — WAN, batch 400, payload 256 B, varying f", harness.Fig3Faults(sim.WANModel(), fs, d))
+			title = "Fig. 3a/3b — WAN, batch 400, payload 256 B, varying f"
+			rows = harness.Fig3Faults(sim.WANModel(), fs, d)
 		case "3cd":
-			harness.PrintRows(os.Stdout, "Fig. 3c/3d — LAN, batch 400, payload 256 B, varying f", harness.Fig3Faults(sim.LANModel(), fs, d))
+			title = "Fig. 3c/3d — LAN, batch 400, payload 256 B, varying f"
+			rows = harness.Fig3Faults(sim.LANModel(), fs, d)
 		case "3ef":
-			harness.PrintRows(os.Stdout, "Fig. 3e/3f — WAN, f=10, batch 400, varying payload", harness.Fig3Payload(sim.WANModel(), []int{0, 256, 512}, d))
+			title = "Fig. 3e/3f — WAN, f=10, batch 400, varying payload"
+			rows = harness.Fig3Payload(sim.WANModel(), []int{0, 256, 512}, d)
 		case "3gh":
-			harness.PrintRows(os.Stdout, "Fig. 3g/3h — LAN, f=10, batch 400, varying payload", harness.Fig3Payload(sim.LANModel(), []int{0, 256, 512}, d))
+			title = "Fig. 3g/3h — LAN, f=10, batch 400, varying payload"
+			rows = harness.Fig3Payload(sim.LANModel(), []int{0, 256, 512}, d)
 		case "3ij":
-			harness.PrintRows(os.Stdout, "Fig. 3i/3j — WAN, f=10, payload 256 B, varying batch", harness.Fig3Batch(sim.WANModel(), []int{200, 400, 600}, d))
+			title = "Fig. 3i/3j — WAN, f=10, payload 256 B, varying batch"
+			rows = harness.Fig3Batch(sim.WANModel(), []int{200, 400, 600}, d)
 		case "3kl":
-			harness.PrintRows(os.Stdout, "Fig. 3k/3l — LAN, f=10, payload 256 B, varying batch", harness.Fig3Batch(sim.LANModel(), []int{200, 400, 600}, d))
+			title = "Fig. 3k/3l — LAN, f=10, payload 256 B, varying batch"
+			rows = harness.Fig3Batch(sim.LANModel(), []int{200, 400, 600}, d)
 		case "4":
+			title = "Fig. 4 — LAN, f=10: e2e latency vs achieved throughput under increasing offered load"
 			offered := []float64{1000, 2000, 4000, 8000, 16000, 32000, 64000}
-			fmt.Println("== Fig. 4 — LAN, f=10: e2e latency vs achieved throughput under increasing offered load ==")
 			for _, p := range []harness.ProtocolKind{harness.Achilles, harness.DamysusR, harness.FlexiBFT, harness.OneShotR} {
-				for _, r := range harness.Fig4LoadSweep(p, offered, d) {
-					fmt.Println(r)
-				}
+				rows = append(rows, harness.Fig4LoadSweep(p, offered, d)...)
 			}
 		case "5":
-			harness.PrintRows(os.Stdout, "Fig. 5 — LAN, f=10: baselines vs counter write latency", harness.Fig5CounterSweep([]int{0, 10, 20, 40, 80}, d))
+			title = "Fig. 5 — LAN, f=10: baselines vs counter write latency"
+			rows = harness.Fig5CounterSweep([]int{0, 10, 20, 40, 80}, d)
 		default:
 			fmt.Fprintf(os.Stderr, "achilles-bench: unknown figure %q\n", name)
 			os.Exit(2)
 		}
+		harness.PrintRows(os.Stdout, title, rows)
+		rep.Figures[name] = rows
 	}
 	runTable := func(n int) {
 		ran = true
 		switch n {
 		case 1:
 			fmt.Println("== Table 1 — protocol comparison (static design + measured message complexity) ==")
-			for _, r := range harness.Table1(d) {
+			rep.Table1 = harness.Table1(d)
+			for _, r := range rep.Table1 {
 				fmt.Printf("%-10s threshold=%-5s rollbackRes=%-5v counters=%-7s complexity=%-6s steps=%-7s replyRes=%-5v msgs/block@f=2: %6.1f  @f=4: %6.1f\n",
 					r.Protocol, r.Threshold, r.RollbackRes, r.Counters, r.Complexity, r.Steps, r.ReplyRes, r.MsgsAtF2, r.MsgsAtF4)
 			}
 		case 2:
 			fmt.Println("== Table 2 — recovery overhead breakdown in LAN ==")
 			rows := harness.Table2Recovery([]int{3, 5, 9, 21, 41, 61}, d)
+			rep.Table2 = rows
 			fmt.Printf("%-16s", "Nodes")
 			for _, r := range rows {
 				fmt.Printf("%8d", r.Nodes)
@@ -105,10 +142,12 @@ func main() {
 			}
 			fmt.Println()
 		case 3:
-			harness.PrintRows(os.Stdout, "Table 3 — overhead profiling in LAN (Achilles vs Achilles-C vs BRaft)", harness.Table3Overhead([]int{2, 4, 10}, d))
+			rep.Table3 = harness.Table3Overhead([]int{2, 4, 10}, d)
+			harness.PrintRows(os.Stdout, "Table 3 — overhead profiling in LAN (Achilles vs Achilles-C vs BRaft)", rep.Table3)
 		case 4:
 			fmt.Println("== Table 4 — persistent counter write/read latency (ms) ==")
-			for _, r := range harness.Table4Counters() {
+			rep.Table4 = harness.Table4Counters()
+			for _, r := range rep.Table4 {
 				fmt.Printf("%-14s write=%6.1f read=%6.1f\n", r.Name, r.WriteMS, r.ReadMS)
 			}
 		default:
@@ -133,6 +172,20 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "achilles-bench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "achilles-bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 

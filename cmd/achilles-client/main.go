@@ -5,13 +5,14 @@ package main
 
 import (
 	"flag"
-	"log"
+	"os"
 	"time"
 
 	"achilles/internal/client"
 	"achilles/internal/core"
 	"achilles/internal/crypto"
 	"achilles/internal/netchaos"
+	"achilles/internal/obs"
 	"achilles/internal/transport"
 	"achilles/internal/types"
 )
@@ -24,13 +25,21 @@ func main() {
 		payload   = flag.Int("payload", 256, "payload bytes per transaction")
 		duration  = flag.Duration("duration", 30*time.Second, "run duration")
 		seed      = flag.Int64("seed", 1, "deterministic key seed (must match the nodes')")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	newChaos := netchaos.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)).
+		With("client", *idx).Component("client")
+	fatalf := func(format string, args ...any) {
+		logger.Errorf(format, args...)
+		os.Exit(1)
+	}
+
 	peers, err := transport.ParsePeers(*peersFlag)
 	if err != nil {
-		log.Fatalf("achilles-client: %v", err)
+		fatalf("bad -peers: %v", err)
 	}
 	transport.RegisterMessages(
 		&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
@@ -54,17 +63,17 @@ func main() {
 		Rate:        *rate,
 		PayloadSize: *payload,
 	})
-	tcfg := transport.Config{Self: self, Peers: peers, Scheme: scheme, Ring: ring}
-	if chaos := newChaos(nil); chaos != nil {
+	tcfg := transport.Config{Self: self, Peers: peers, Scheme: scheme, Ring: ring, Log: logger}
+	if chaos := newChaos(logger.Component("netchaos").Logf); chaos != nil {
 		tcfg.Dial = chaos.Dialer("client")
-		log.Printf("achilles-client: netchaos fault injection enabled")
+		logger.Infof("netchaos fault injection enabled")
 	}
 	rt := transport.New(tcfg, cl)
 	if err := rt.Start(); err != nil {
-		log.Fatalf("achilles-client: %v", err)
+		fatalf("start: %v", err)
 	}
 	defer rt.Stop()
-	log.Printf("client %v offering %.0f tx/s to %d nodes", self, *rate, len(peers))
+	logger.Infof("client %v offering %.0f tx/s to %d nodes", self, *rate, len(peers))
 
 	deadline := time.After(*duration)
 	tick := time.NewTicker(time.Second)
@@ -74,11 +83,11 @@ func main() {
 		select {
 		case <-tick.C:
 			done := cl.Completed()
-			log.Printf("confirmed/s=%d total=%d mean-latency=%v in-flight=%d",
+			logger.Infof("confirmed/s=%d total=%d mean-latency=%v in-flight=%d",
 				done-last, done, cl.MeanLatency(), cl.InFlight())
 			last = done
 		case <-deadline:
-			log.Printf("done: confirmed=%d mean-latency=%v max-latency=%v",
+			logger.Infof("done: confirmed=%d mean-latency=%v max-latency=%v",
 				cl.Completed(), cl.MeanLatency(), cl.MaxLatency())
 			return
 		}

@@ -10,21 +10,25 @@
 // Keys are derived deterministically from -seed for all peers, which
 // stands in for the remote-attestation-based PKI of the real system
 // (Sec. 4.5); every node must use the same -seed.
+//
+// With -admin-addr set, the node serves its admin/debug endpoints:
+// /metrics (Prometheus), /status (JSON), /healthz, /trace and
+// /debug/pprof/.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"achilles/internal/admin"
 	"achilles/internal/core"
 	"achilles/internal/crypto"
 	"achilles/internal/netchaos"
+	"achilles/internal/obs"
 	"achilles/internal/protocol"
 	"achilles/internal/transport"
 	"achilles/internal/types"
@@ -40,20 +44,33 @@ func main() {
 		timeout   = flag.Duration("timeout", 500*time.Millisecond, "base view timeout")
 		synthetic = flag.Bool("synthetic", false, "saturate blocks with generated transactions")
 		recover_  = flag.Bool("recover", false, "start in recovery mode (after a reboot)")
-		verbose   = flag.Bool("v", false, "verbose logging")
+		adminAddr = flag.String("admin-addr", "", "serve admin endpoints (/metrics /status /healthz /trace /debug/pprof) on host:port")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose   = flag.Bool("v", false, "verbose logging (same as -log-level debug)")
 	)
 	newChaos := netchaos.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	level := obs.ParseLevel(*logLevel)
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("node", *id)
+	mainLog := logger.Component("main")
+	fatalf := func(format string, args ...any) {
+		mainLog.Errorf(format, args...)
+		os.Exit(1)
+	}
+
 	peers, err := transport.ParsePeers(*peersFlag)
 	if err != nil {
-		log.Fatalf("achilles-node: %v", err)
+		fatalf("bad -peers: %v", err)
 	}
 	n := len(peers)
 	self := types.NodeID(*id)
 	listen, ok := peers[self]
 	if !ok {
-		log.Fatalf("achilles-node: id %d not in peer list", *id)
+		fatalf("id %d not in peer list", *id)
 	}
 
 	transport.RegisterMessages(
@@ -72,6 +89,9 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(4096)
+
 	var secret [32]byte
 	secret[0] = byte(self)
 	rep := core.New(core.Config{
@@ -86,13 +106,11 @@ func main() {
 		MachineSecret:     secret,
 		Recovering:        *recover_,
 		SyntheticWorkload: *synthetic,
+		Obs:               reg,
+		Trace:             tracer,
 	})
 
 	var committed, txs atomic.Uint64
-	logf := func(string, ...any) {}
-	if *verbose {
-		logf = func(format string, args ...any) { log.Printf("[p%d] %s", *id, fmt.Sprintf(format, args...)) }
-	}
 	tcfg := transport.Config{
 		Self:   self,
 		Listen: listen,
@@ -100,23 +118,40 @@ func main() {
 		Scheme: scheme,
 		Ring:   ring,
 		Priv:   priv,
-		Logf:   logf,
+		Log:    logger,
 		OnCommit: func(b *types.Block, _ *types.CommitCert) {
 			committed.Add(1)
 			txs.Add(uint64(len(b.Txs)))
 		},
 	}
-	chaos := newChaos(logf)
+	chaosLog := logger.Component("netchaos")
+	chaos := newChaos(chaosLog.Logf)
 	if chaos != nil {
 		tcfg.Dial = chaos.Dialer(listen)
 		tcfg.WrapAccepted = chaos.WrapAccepted(listen)
-		log.Printf("achilles-node %d: netchaos fault injection enabled", *id)
+		mainLog.Infof("netchaos fault injection enabled")
 	}
 	rt := transport.New(tcfg, rep)
 	if err := rt.Start(); err != nil {
-		log.Fatalf("achilles-node: %v", err)
+		fatalf("start: %v", err)
 	}
-	log.Printf("achilles-node %d listening on %s (n=%d f=%d)", *id, listen, n, (n-1)/2)
+	mainLog.Infof("listening on %s (n=%d f=%d)", listen, n, (n-1)/2)
+
+	if *adminAddr != "" {
+		srv, err := admin.Start(*adminAddr, admin.Config{
+			Registry: reg,
+			Tracer:   tracer,
+			Logger:   logger.Component("admin"),
+			Replica:  rep,
+			Runtime:  rt,
+			Chaos:    chaos,
+		})
+		if err != nil {
+			fatalf("admin server: %v", err)
+		}
+		defer srv.Close()
+		mainLog.Infof("admin endpoints on http://%s/metrics", srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -126,15 +161,17 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
+			st := rep.Status()
 			cur := txs.Load()
-			log.Printf("height=%d committed-tx/s=%d total-tx=%d", committed.Load(), cur-lastTxs, cur)
+			mainLog.With("view", st.View, "height", st.Height).
+				Infof("committed-blocks=%d committed-tx/s=%d total-tx=%d", committed.Load(), cur-lastTxs, cur)
 			lastTxs = cur
 		case <-sig:
-			log.Printf("shutting down")
+			mainLog.Infof("shutting down")
 			rt.Stop()
 			if chaos != nil {
 				st := chaos.Stats()
-				log.Printf("netchaos: writes=%d drops=%d resets=%d denies=%d dials=%d denied-dials=%d",
+				mainLog.Infof("netchaos: writes=%d drops=%d resets=%d denies=%d dials=%d denied-dials=%d",
 					st.Writes, st.Drops, st.Resets, st.Denies, st.Dials, st.DialsDenied)
 			}
 			return

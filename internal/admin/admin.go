@@ -1,0 +1,100 @@
+// Package admin composes a live node's observability state — the
+// consensus replica, the TCP transport, and the optional fault
+// injector — into the obs admin HTTP server. It exists so
+// cmd/achilles-node and the live-cluster tests wire /metrics, /status
+// and /healthz identically.
+package admin
+
+import (
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/netchaos"
+	"achilles/internal/obs"
+	"achilles/internal/transport"
+)
+
+// Config wires one node's components into the admin endpoint. Replica,
+// Runtime and Chaos may each be nil; their sections are simply absent.
+type Config struct {
+	// Registry backs /metrics; the transport and chaos collectors are
+	// registered on it by Start.
+	Registry *obs.Registry
+	// Tracer backs /trace.
+	Tracer *obs.Tracer
+	// Logger receives admin-server diagnostics.
+	Logger *obs.Logger
+	// Replica contributes the consensus section of /status and the
+	// /healthz verdict.
+	Replica *core.Replica
+	// Runtime contributes per-peer transport stats to /status and
+	// achilles_transport_* metrics.
+	Runtime *transport.Runtime
+	// Chaos contributes achilles_netchaos_* metrics when fault
+	// injection is enabled.
+	Chaos *netchaos.Chaos
+	// MaxCommitLag is the catch-up lag past which /healthz flips to 503
+	// once the replica has committed at least one block (0 defaults to
+	// 10s). Recovery also reports unhealthy: a recovering node is alive
+	// but must not serve consensus reads.
+	MaxCommitLag time.Duration
+}
+
+// Start registers the collect-at-scrape metric families and serves the
+// admin endpoints on addr ("host:port"; port 0 allocates).
+func Start(addr string, cfg Config) (*obs.AdminServer, error) {
+	if cfg.MaxCommitLag == 0 {
+		cfg.MaxCommitLag = 10 * time.Second
+	}
+	cfg.Runtime.RegisterMetrics(cfg.Registry)
+	cfg.Chaos.RegisterMetrics(cfg.Registry)
+	return obs.StartAdmin(addr, obs.AdminConfig{
+		Registry: cfg.Registry,
+		Tracer:   cfg.Tracer,
+		Logger:   cfg.Logger,
+		Status:   func() any { return statusDoc(cfg) },
+		Health:   func() obs.Health { return health(cfg) },
+	})
+}
+
+// statusDoc builds the /status document: consensus position, per-peer
+// transport counters, and chaos stats when enabled.
+func statusDoc(cfg Config) any {
+	doc := map[string]any{}
+	if cfg.Replica != nil {
+		doc["consensus"] = cfg.Replica.Status()
+	}
+	if cfg.Runtime != nil {
+		doc["peers"] = cfg.Runtime.Stats()
+		doc["active_routes"] = cfg.Runtime.ActiveRoutes()
+	}
+	if cfg.Chaos != nil {
+		doc["netchaos"] = cfg.Chaos.Stats()
+	}
+	return doc
+}
+
+// health derives the /healthz verdict from the replica's snapshot:
+// unhealthy while recovering, and unhealthy when the replica has
+// stopped committing for longer than MaxCommitLag (catch-up lag).
+func health(cfg Config) obs.Health {
+	if cfg.Replica == nil {
+		return obs.Health{OK: true}
+	}
+	st := cfg.Replica.Status()
+	h := obs.Health{OK: true, Detail: map[string]any{
+		"view":                    st.View,
+		"height":                  st.Height,
+		"recovering":              st.Recovering,
+		"last_commit_ago_seconds": st.LastCommitAgoSeconds,
+	}}
+	switch {
+	case st.Recovering:
+		h.OK = false
+		h.Detail["reason"] = "recovering"
+	case st.LastCommitAgoSeconds > cfg.MaxCommitLag.Seconds():
+		h.OK = false
+		h.Detail["reason"] = "commit lag"
+	}
+	return h
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
+	"achilles/internal/obs"
 	"achilles/internal/types"
 )
 
@@ -48,6 +50,9 @@ func (r *Replica) startRecovery() {
 	r.recEpoch++
 	r.recNonce = req.Nonce
 	r.recReplies = make(map[types.NodeID]*MsgRecoveryRpy)
+	r.m.recoveryAttempts.Inc()
+	r.trace.Emit(obs.TraceRecoveryStart, uint64(r.view), r.obsHeight.Load(),
+		fmt.Sprintf("epoch=%d", r.recEpoch))
 	r.env.Broadcast(&MsgRecoveryReq{Req: req})
 	base := r.cfg.RecoveryRetry
 	delay := base/2 + time.Duration(uint64(r.recEpoch)%8)*base/8
@@ -69,6 +74,7 @@ func (r *Replica) onRecoveryReq(from types.NodeID, m *MsgRecoveryReq) {
 	if !r.cfg.DisableReReply {
 		r.recoveryPending[from] = &pendingRecovery{req: m.Req, remaining: 8}
 	}
+	r.m.recoveryServed.Inc()
 	r.env.Send(from, &MsgRecoveryRpy{Rpy: rpy, Block: r.prebBlock, BC: r.prebBC, CC: r.prebCC})
 }
 
@@ -108,6 +114,9 @@ func (r *Replica) onRecoveryRpy(from types.NodeID, m *MsgRecoveryRpy) {
 		return
 	}
 	r.recReplies[from] = m
+	r.m.recoveryReplies.Inc()
+	r.trace.Emit(obs.TraceRecoveryReply, uint64(rpy.CurView), r.obsHeight.Load(),
+		fmt.Sprintf("from=%d", from))
 	r.tryFinishRecovery()
 }
 
@@ -165,6 +174,12 @@ func (r *Replica) tryFinishRecovery() {
 	r.recovering = false
 	r.recoverEndAt = r.env.Now()
 	r.view = vc.CurView
+	r.obsRecovering.Store(false)
+	r.obsRecoverNanos.Store(int64(r.recoverEndAt - r.initEndAt))
+	r.obsView.Store(uint64(r.view))
+	r.m.recoveriesDone.Inc()
+	r.trace.Emit(obs.TraceRecoveryDone, uint64(r.view), r.obsHeight.Load(),
+		fmt.Sprintf("epoch=%d", r.recEpoch))
 	r.votes = make(map[types.NodeID]*types.StoreCert)
 	r.voteHash = types.ZeroHash
 	r.decided = false

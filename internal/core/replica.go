@@ -8,6 +8,7 @@ package core
 
 import (
 	"bytes"
+	"sync/atomic"
 	"time"
 
 	"achilles/internal/core/accum"
@@ -15,6 +16,7 @@ import (
 	"achilles/internal/crypto"
 	"achilles/internal/ledger"
 	"achilles/internal/mempool"
+	"achilles/internal/obs"
 	"achilles/internal/protocol"
 	"achilles/internal/statemachine"
 	"achilles/internal/tee"
@@ -76,6 +78,12 @@ type Config struct {
 	// DisableReReply ablates the view-advance recovery re-replies
 	// (recovery.go), leaving only nonce-fresh retry rounds.
 	DisableReReply bool
+	// Obs is the metrics registry consensus series are registered on
+	// (nil disables metrics; see obs.go for the series).
+	Obs *obs.Registry
+	// Trace receives protocol events (propose/vote/commit/view-change/
+	// recovery/ecall); nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // Replica is an Achilles consensus node.
@@ -125,6 +133,19 @@ type Replica struct {
 	bootAt       types.Time
 	initEndAt    types.Time
 	recoverEndAt types.Time
+
+	// Observability (obs.go). The atomics mirror event-loop state so
+	// metric scrapers and /status never touch it directly.
+	m     metrics
+	trace *obs.Tracer
+
+	obsEnv          atomic.Value // protocol.Env, stored once in Init
+	obsView         atomic.Uint64
+	obsHeight       atomic.Uint64
+	obsRecovering   atomic.Bool
+	obsLastCommit   atomic.Int64 // env nanos of the latest commit
+	obsInitNanos    atomic.Int64
+	obsRecoverNanos atomic.Int64
 }
 
 // pendingRecovery remembers a peer's recovery request for view-advance
@@ -147,6 +168,8 @@ func New(cfg Config) *Replica {
 	}
 	return &Replica{
 		cfg:              cfg,
+		m:                newMetrics(cfg.Obs),
+		trace:            cfg.Trace,
 		viewCerts:        make(map[types.View]map[types.NodeID]*types.ViewCert),
 		votes:            make(map[types.NodeID]*types.StoreCert),
 		stashedProposals: make(map[types.View]*MsgProposal),
@@ -172,6 +195,7 @@ func (r *Replica) enclaveCrypto() crypto.Costs {
 // Init implements protocol.Replica.
 func (r *Replica) Init(env protocol.Env) {
 	r.env = env
+	r.obsEnv.Store(env)
 	r.bootAt = env.Now()
 	r.store = ledger.NewStore()
 	if r.cfg.SyntheticWorkload {
@@ -188,6 +212,7 @@ func (r *Replica) Init(env protocol.Env) {
 		Costs:         r.cfg.TEECosts,
 		Store:         r.cfg.SealedStore,
 		Disabled:      r.cfg.TEEDisabled,
+		Observe:       r.traceEcall(),
 	})
 	// The untrusted host verifies with native-speed crypto; trusted
 	// components sign/verify at in-enclave speed.
@@ -211,9 +236,12 @@ func (r *Replica) Init(env protocol.Env) {
 	// initialization cost the paper's Table 2 reports).
 	env.Charge(time.Duration(r.cfg.N-1) * r.cfg.ConnSetupPerPeer)
 	r.initEndAt = env.Now()
+	r.obsInitNanos.Store(int64(r.initEndAt - r.bootAt))
+	r.registerCollectors(r.cfg.Obs)
 
 	if r.cfg.Recovering {
 		r.recovering = true
+		r.obsRecovering.Store(true)
 		r.startRecovery()
 		return
 	}
@@ -230,6 +258,8 @@ func (r *Replica) enterNextView() {
 		return
 	}
 	r.view = vc.CurView
+	r.obsView.Store(uint64(r.view))
+	r.trace.Emit(obs.TraceNewView, uint64(r.view), uint64(r.obsHeight.Load()), "")
 	r.votes = make(map[types.NodeID]*types.StoreCert)
 	r.voteHash = types.ZeroHash
 	r.decided = false
@@ -312,6 +342,8 @@ func (r *Replica) OnTimer(id types.TimerID) {
 		// order and the view still made no progress.
 		if r.cfg.SyntheticWorkload || r.pool.Len() > 0 {
 			r.pm.Expired()
+			r.m.viewTimeouts.Inc()
+			r.trace.Emit(obs.TraceViewChange, uint64(r.view), r.obsHeight.Load(), "timeout")
 			r.env.Logf("view %d timed out (failures=%d)", r.view, r.pm.Failures())
 		}
 		r.enterNextView()
@@ -436,6 +468,7 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 	r.store.Add(b)
 	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
 	r.voteHash = b.Hash()
+	r.trace.Emit(obs.TracePropose, uint64(b.View), uint64(b.Height), shortHash(r.voteHash))
 	r.env.Broadcast(&MsgProposal{Block: b, BC: bc})
 	// Vote for our own block.
 	sc, err := r.chk.TEEstore(bc)
@@ -489,6 +522,7 @@ func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
 	}
 	r.store.Add(b)
 	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
+	r.trace.Emit(obs.TraceVote, uint64(bc.View), uint64(b.Height), shortHash(bc.Hash))
 	r.deliverOrSend(r.cfg.Leader(bc.View), &MsgVote{SC: sc})
 }
 
@@ -567,11 +601,23 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 	if r.lastCC == nil || cc.View > r.lastCC.View {
 		r.lastCC = cc
 	}
+	now := r.env.Now()
 	for _, nb := range newly {
 		r.env.Commit(nb, cc)
 		r.pool.MarkCommitted(nb.Txs)
 		r.replyClients(nb, cc)
+		r.m.commits.Inc()
+		r.m.committedTxs.Add(uint64(len(nb.Txs)))
+		// Latency only for self-proposed blocks: on the live path every
+		// process measures time on its own clock, so cross-node
+		// (Proposed, committed) pairs are skewed and meaningless.
+		if nb.Proposer == r.cfg.Self {
+			r.m.commitLatency.ObserveDuration(time.Duration(now - nb.Proposed))
+		}
 	}
+	r.obsHeight.Store(uint64(r.store.CommittedHeight()))
+	r.obsLastCommit.Store(int64(now))
+	r.trace.Emit(obs.TraceCommit, uint64(cc.View), uint64(b.Height), shortHash(cc.Hash))
 	if cc.View >= r.view {
 		r.pm.Progress()
 		r.enterNextView()
@@ -619,10 +665,18 @@ func (r *Replica) requestBlock(h types.Hash, from types.NodeID) {
 	if from == r.cfg.Self || h.IsZero() {
 		return
 	}
-	if r.inflightSync[h] > 0 {
-		r.inflightSync[h]--
-		return
+	if budget, inflight := r.inflightSync[h]; inflight {
+		if budget > 0 {
+			r.inflightSync[h] = budget - 1
+			return
+		}
+		// Budget exhausted: the request or its response likely vanished
+		// on a lossy link; re-send rather than wedge behind the view
+		// timer.
+		r.m.syncRerequests.Inc()
 	}
+	r.m.syncRequests.Inc()
+	r.trace.Emit(obs.TraceBlockSync, uint64(r.view), r.obsHeight.Load(), shortHash(h))
 	r.inflightSync[h] = syncRetryBudget
 	r.env.Send(from, &types.BlockRequest{Hash: h, From: r.cfg.Self})
 }

@@ -17,18 +17,21 @@ import (
 // figure of the paper (DESIGN.md §4). Each runner returns plain rows;
 // cmd/achilles-bench and bench_test.go format them.
 
-// ExpRow is one data point of a figure or table.
+// ExpRow is one data point of a figure or table. The json tags define
+// the machine-readable schema of achilles-bench -json.
 type ExpRow struct {
-	Protocol  string
-	F         int
-	Nodes     int
-	Batch     int
-	Payload   int
-	Net       string
-	TPSk      float64 // throughput in K TPS
-	LatencyMS float64 // commit latency (or e2e for Fig. 4) in ms
-	MsgsPerBl float64
-	Extra     string
+	Protocol  string  `json:"protocol"`
+	F         int     `json:"f"`
+	Nodes     int     `json:"nodes"`
+	Batch     int     `json:"batch"`
+	Payload   int     `json:"payload"`
+	Net       string  `json:"net"`
+	TPSk      float64 `json:"tps_k"`      // throughput in K TPS
+	LatencyMS float64 `json:"latency_ms"` // commit latency (or e2e for Fig. 4) in ms
+	P50MS     float64 `json:"p50_ms,omitempty"`
+	P99MS     float64 `json:"p99_ms,omitempty"`
+	MsgsPerBl float64 `json:"msgs_per_block"`
+	Extra     string  `json:"extra,omitempty"`
 }
 
 func (r ExpRow) String() string {
@@ -80,6 +83,8 @@ func runPoint(p ProtocolKind, f, batch, payload int, net sim.NetworkModel, spec 
 		Protocol: string(p), F: f, Nodes: c.N, Batch: batch, Payload: payload,
 		Net: netName(net), TPSk: res.ThroughputTPS / 1000,
 		LatencyMS: float64(res.MeanLatency) / float64(time.Millisecond),
+		P50MS:     float64(res.P50Latency) / float64(time.Millisecond),
+		P99MS:     float64(res.P99Latency) / float64(time.Millisecond),
 		MsgsPerBl: res.MsgsPerBlock,
 	}
 }
@@ -187,15 +192,15 @@ func Fig4LoadSweep(p ProtocolKind, offered []float64, d Durations) []ExpRow {
 // empirically measured message counts at two cluster sizes, which
 // exhibit the O(n) vs O(n²) communication complexity.
 type Table1Row struct {
-	Protocol    string
-	Threshold   string
-	RollbackRes bool
-	Counters    string
-	Complexity  string
-	Steps       string
-	ReplyRes    bool
-	MsgsAtF2    float64
-	MsgsAtF4    float64
+	Protocol    string  `json:"protocol"`
+	Threshold   string  `json:"threshold"`
+	RollbackRes bool    `json:"rollback_resilient"`
+	Counters    string  `json:"counters"`
+	Complexity  string  `json:"complexity"`
+	Steps       string  `json:"steps"`
+	ReplyRes    bool    `json:"reply_resilient"`
+	MsgsAtF2    float64 `json:"msgs_per_block_f2"`
+	MsgsAtF4    float64 `json:"msgs_per_block_f4"`
 }
 
 // Table1 reproduces Table 1. The static columns restate each
@@ -223,10 +228,10 @@ func Table1(d Durations) []Table1Row {
 
 // Table2Row is one column of Table 2 (recovery overhead breakdown).
 type Table2Row struct {
-	Nodes      int
-	InitMS     float64
-	RecoveryMS float64
-	TotalMS    float64
+	Nodes      int     `json:"nodes"`
+	InitMS     float64 `json:"init_ms"`
+	RecoveryMS float64 `json:"recovery_ms"`
+	TotalMS    float64 `json:"total_ms"`
 }
 
 // Table2Recovery reproduces Table 2: a node's trusted components are
@@ -294,9 +299,9 @@ func Table3Overhead(fs []int, d Durations) []ExpRow {
 
 // Table4Row is one counter device of Table 4.
 type Table4Row struct {
-	Name    string
-	WriteMS float64
-	ReadMS  float64
+	Name    string  `json:"name"`
+	WriteMS float64 `json:"write_ms"`
+	ReadMS  float64 `json:"read_ms"`
 }
 
 // Table4Counters reproduces Table 4 by measuring each counter device's

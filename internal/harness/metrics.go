@@ -2,9 +2,9 @@ package harness
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
+	"achilles/internal/obs"
 	"achilles/internal/sim"
 	"achilles/internal/types"
 )
@@ -112,15 +112,8 @@ func (m *Metrics) Summarize(window time.Duration, msgs, bytes uint64) Result {
 		r.ThroughputTPS = float64(m.txs) / window.Seconds()
 	}
 	if len(m.latencies) > 0 {
-		ls := append([]time.Duration(nil), m.latencies...)
-		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-		var sum time.Duration
-		for _, l := range ls {
-			sum += l
-		}
-		r.MeanLatency = sum / time.Duration(len(ls))
-		r.P50Latency = ls[len(ls)/2]
-		r.P99Latency = ls[len(ls)*99/100]
+		s := obs.SummarizeDurations(m.latencies)
+		r.MeanLatency, r.P50Latency, r.P99Latency = s.Mean, s.P50, s.P99
 	}
 	if m.blocks > 0 {
 		r.MsgsPerBlock = float64(msgs) / float64(m.blocks)

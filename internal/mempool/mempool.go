@@ -8,11 +8,29 @@
 package mempool
 
 import (
+	"sync/atomic"
+
 	"achilles/internal/types"
 )
 
+// Stats is a point-in-time snapshot of a pool's admission counters.
+type Stats struct {
+	// Depth is the number of queued client transactions right now.
+	Depth int
+	// Accepted counts client transactions admitted to the queue.
+	Accepted uint64
+	// Duplicates counts client transactions rejected as already
+	// pending or already committed.
+	Duplicates uint64
+	// Synthetic counts generated transactions handed out in batches.
+	Synthetic uint64
+	// CommittedTxs counts client transactions marked committed.
+	CommittedTxs uint64
+}
+
 // Pool is a per-node transaction pool. It is not safe for concurrent
-// use; runtimes are single-threaded per node.
+// use; runtimes are single-threaded per node. The admission counters
+// are atomics so metric scrapers may call Stats from other goroutines.
 type Pool struct {
 	queue   []types.Transaction
 	pending map[types.TxKey]bool
@@ -24,6 +42,12 @@ type Pool struct {
 	self        types.NodeID
 	nextSeq     uint32
 	payload     []byte
+
+	depth        atomic.Int64
+	accepted     atomic.Uint64
+	duplicates   atomic.Uint64
+	genSynthetic atomic.Uint64
+	committedTxs atomic.Uint64
 }
 
 // New returns an empty pool fed only by client requests.
@@ -53,11 +77,14 @@ func (p *Pool) Add(txs []types.Transaction) {
 	for _, tx := range txs {
 		k := tx.Key()
 		if p.pending[k] || p.done[k] {
+			p.duplicates.Add(1)
 			continue
 		}
 		p.pending[k] = true
 		p.queue = append(p.queue, tx)
+		p.accepted.Add(1)
 	}
+	p.depth.Store(int64(len(p.queue)))
 }
 
 // Len returns the number of queued client transactions (an upper
@@ -90,6 +117,7 @@ func (p *Pool) NextBatch(n int, now types.Time) []types.Transaction {
 	if p.synthetic {
 		for len(batch) < n {
 			p.nextSeq++
+			p.genSynthetic.Add(1)
 			batch = append(batch, types.Transaction{
 				Client:  p.self + types.SyntheticIDBase,
 				Seq:     p.nextSeq,
@@ -98,6 +126,7 @@ func (p *Pool) NextBatch(n int, now types.Time) []types.Transaction {
 			})
 		}
 	}
+	p.depth.Store(int64(len(p.queue)))
 	return batch
 }
 
@@ -112,5 +141,18 @@ func (p *Pool) MarkCommitted(txs []types.Transaction) {
 		k := txs[i].Key()
 		delete(p.pending, k)
 		p.done[k] = true
+		p.committedTxs.Add(1)
+	}
+}
+
+// Stats returns the pool's admission counters. Safe to call from any
+// goroutine.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Depth:        int(p.depth.Load()),
+		Accepted:     p.accepted.Load(),
+		Duplicates:   p.duplicates.Load(),
+		Synthetic:    p.genSynthetic.Load(),
+		CommittedTxs: p.committedTxs.Load(),
 	}
 }

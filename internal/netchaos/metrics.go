@@ -1,0 +1,37 @@
+package netchaos
+
+import (
+	"achilles/internal/obs"
+)
+
+// RegisterMetrics exposes the injector's aggregate fault counters on
+// reg as achilles_netchaos_* series, collected at scrape time from
+// Stats. Nil receiver or registry is a no-op.
+func (c *Chaos) RegisterMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.Func("achilles_netchaos_events_total",
+		"Fault-injection decisions by kind (pass/drop/reset/deny/dial/dial_denied).",
+		obs.KindCounter, func() []obs.Sample {
+			s := c.Stats()
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("kind", "pass")}, Value: float64(s.Writes)},
+				{Labels: []obs.Label{obs.L("kind", "drop")}, Value: float64(s.Drops)},
+				{Labels: []obs.Label{obs.L("kind", "reset")}, Value: float64(s.Resets)},
+				{Labels: []obs.Label{obs.L("kind", "deny")}, Value: float64(s.Denies)},
+				{Labels: []obs.Label{obs.L("kind", "dial")}, Value: float64(s.Dials)},
+				{Labels: []obs.Label{obs.L("kind", "dial_denied")}, Value: float64(s.DialsDenied)},
+			}
+		})
+	reg.Func("achilles_netchaos_bytes_out_total",
+		"Bytes passed through the injector on the write side.",
+		obs.KindCounter, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(c.Stats().BytesOut)}}
+		})
+	reg.Func("achilles_netchaos_injected_delay_seconds_total",
+		"Total artificial latency injected into writes.",
+		obs.KindCounter, func() []obs.Sample {
+			return []obs.Sample{{Value: c.Stats().TotalDelay.Seconds()}}
+		})
+}

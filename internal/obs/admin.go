@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Health is the /healthz verdict.
+type Health struct {
+	// OK selects the HTTP status: 200 when true, 503 when false.
+	OK bool `json:"ok"`
+	// Detail carries liveness context (recovery state, catch-up lag).
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// AdminConfig wires an AdminServer to a process's observability state.
+// Registry and Tracer may be nil (the endpoints serve empty bodies);
+// Status and Health may be nil (generic fallbacks are served).
+type AdminConfig struct {
+	// Registry backs /metrics (Prometheus text) and the metrics part
+	// of /status.
+	Registry *Registry
+	// Tracer backs /trace.
+	Tracer *Tracer
+	// Status produces the JSON document for /status.
+	Status func() any
+	// Health produces the /healthz verdict.
+	Health func() Health
+	// Logger receives server diagnostics.
+	Logger *Logger
+}
+
+// AdminServer is the opt-in admin/debug HTTP server: /metrics,
+// /status, /healthz, /trace, and the net/http/pprof handlers under
+// /debug/pprof/.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartAdmin binds addr (host:port; port 0 allocates) and serves the
+// admin endpoints until Close.
+func StartAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		var doc any
+		if cfg.Status != nil {
+			doc = cfg.Status()
+		} else {
+			doc = map[string]any{"metrics": cfg.Registry.Snapshot()}
+		}
+		writeJSON(w, http.StatusOK, doc)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{OK: true}
+		if cfg.Health != nil {
+			h = cfg.Health()
+		}
+		code := http.StatusOK
+		if !h.OK {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				max = v
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"total":  cfg.Tracer.Seq(),
+			"events": cfg.Tracer.Dump(max),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &AdminServer{ln: ln, srv: srv}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			cfg.Logger.Errorf("admin server: %v", err)
+		}
+	}()
+	cfg.Logger.Infof("admin server listening on %s", ln.Addr())
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *AdminServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server immediately.
+func (s *AdminServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "demo").Add(9)
+	tr := NewTracer(16)
+	tr.Emit(TraceCommit, 4, 3, "h=ff")
+	healthy := true
+	srv, err := StartAdmin("127.0.0.1:0", AdminConfig{
+		Registry: reg,
+		Tracer:   tr,
+		Status:   func() any { return map[string]any{"role": "replica", "height": 3} },
+		Health: func() Health {
+			return Health{OK: healthy, Detail: map[string]any{"lag_ms": 5}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "demo_total 9") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/status")
+	if code != 200 {
+		t.Fatalf("/status code %d", code)
+	}
+	var status map[string]any
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if status["role"] != "replica" || status["height"].(float64) != 3 {
+		t.Fatalf("/status doc = %v", status)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, `"ok": true`) {
+		t.Fatalf("/healthz healthy: %d %s", code, body)
+	}
+	healthy = false
+	code, _ = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz unhealthy code = %d", code)
+	}
+
+	code, body = get(t, base+"/trace?n=10")
+	if code != 200 {
+		t.Fatalf("/trace code %d", code)
+	}
+	var trace struct {
+		Total  uint64       `json:"total"`
+		Events []TraceEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if trace.Total != 1 || len(trace.Events) != 1 || trace.Events[0].Kind != TraceCommit {
+		t.Fatalf("/trace doc = %+v", trace)
+	}
+
+	code, body = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Fatalf("pprof cmdline: %d", code)
+	}
+}
+
+func TestAdminServerDefaults(t *testing.T) {
+	// Nil registry/tracer/status/health must serve sane fallbacks.
+	srv, err := StartAdmin("127.0.0.1:0", AdminConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/metrics"); code != 200 {
+		t.Fatalf("/metrics code %d", code)
+	}
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Fatalf("/healthz code %d", code)
+	}
+	if code, _ := get(t, base+"/status"); code != 200 {
+		t.Fatalf("/status code %d", code)
+	}
+	if code, _ := get(t, base+"/trace"); code != 200 {
+		t.Fatalf("/trace code %d", code)
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Log levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel parses "debug", "info", "warn" or "error" (default info).
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// loggerCore is the shared state behind a tree of derived Loggers: one
+// sink, one level, one rate-limiter table.
+type loggerCore struct {
+	mu      sync.Mutex
+	w       io.Writer
+	sink    func(line string) // exclusive with w
+	level   atomic.Int32
+	addTime bool
+
+	limMu sync.Mutex
+	lim   map[string]*limEntry
+}
+
+type limEntry struct {
+	last       time.Time
+	suppressed uint64
+}
+
+// Logger is a leveled structured logger emitting one key=value line
+// per event: `ts=... level=info node=0 component=core msg="..."`.
+// Derive per-component loggers with With/Component; derived loggers
+// share the sink, level and rate-limiter state. A nil *Logger
+// discards everything.
+type Logger struct {
+	core   *loggerCore
+	fields string // pre-rendered " k=v k=v" suffix
+}
+
+// NewLogger creates a logger writing key=value lines (with timestamps)
+// to w at the given minimum level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	c := &loggerCore{w: w, addTime: true, lim: make(map[string]*limEntry)}
+	c.level.Store(int32(level))
+	return &Logger{core: c}
+}
+
+// NewFuncLogger creates a logger that hands finished lines (without
+// timestamps — legacy sinks add their own) to fn. It adapts the
+// printf-style Logf sinks used by transport.Config and protocol.Env.
+func NewFuncLogger(fn func(format string, args ...any), level Level) *Logger {
+	if fn == nil {
+		return nil
+	}
+	c := &loggerCore{sink: func(line string) { fn("%s", line) }, lim: make(map[string]*limEntry)}
+	c.level.Store(int32(level))
+	return &Logger{core: c}
+}
+
+// SetLevel changes the minimum level of this logger and everything
+// derived from it.
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.core.level.Store(int32(level))
+	}
+}
+
+// Enabled reports whether a message at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.core.level.Load()
+}
+
+// With returns a derived logger whose lines carry the additional
+// key=value pairs (given as alternating key, value arguments).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(l.fields)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v=%s", kv[i], formatLogValue(kv[i+1]))
+	}
+	return &Logger{core: l.core, fields: b.String()}
+}
+
+// Component returns a derived logger tagged component=name.
+func (l *Logger) Component(name string) *Logger { return l.With("component", name) }
+
+func formatLogValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+func (l *Logger) emit(level Level, extra string, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	if l.core.addTime {
+		b.WriteString("ts=")
+		b.WriteString(time.Now().Format("2006-01-02T15:04:05.000Z07:00"))
+		b.WriteByte(' ')
+	}
+	b.WriteString("level=")
+	b.WriteString(level.String())
+	b.WriteString(l.fields)
+	b.WriteString(" msg=")
+	fmt.Fprintf(&b, "%q", fmt.Sprintf(format, args...))
+	b.WriteString(extra)
+	line := b.String()
+	c := l.core
+	if c.sink != nil {
+		c.sink(line)
+		return
+	}
+	c.mu.Lock()
+	fmt.Fprintln(c.w, line)
+	c.mu.Unlock()
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.emit(LevelDebug, "", format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.emit(LevelInfo, "", format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.emit(LevelWarn, "", format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.emit(LevelError, "", format, args...) }
+
+// Logf logs at info level; it satisfies printf-style logging contracts
+// (protocol.Env.Logf, transport.Config.Logf).
+func (l *Logger) Logf(format string, args ...any) { l.emit(LevelInfo, "", format, args...) }
+
+// Limitf logs at most once per period per key; suppressed events are
+// counted and reported as a suppressed=N field on the next emitted
+// line. This replaces hand-rolled throttles on noisy paths (e.g. the
+// transport's queue-full drops).
+func (l *Logger) Limitf(level Level, key string, period time.Duration, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	c := l.core
+	c.limMu.Lock()
+	e := c.lim[key]
+	if e == nil {
+		e = &limEntry{}
+		c.lim[key] = e
+	}
+	now := time.Now()
+	if !e.last.IsZero() && now.Sub(e.last) < period {
+		e.suppressed++
+		c.limMu.Unlock()
+		return
+	}
+	suppressed := e.suppressed
+	e.suppressed = 0
+	e.last = now
+	c.limMu.Unlock()
+	extra := ""
+	if suppressed > 0 {
+		extra = fmt.Sprintf(" suppressed=%d", suppressed)
+	}
+	l.emit(level, extra, format, args...)
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestLoggerFieldsAndLevels(t *testing.T) {
+	var buf syncBuf
+	l := NewLogger(&buf, LevelInfo).With("node", 3).Component("core")
+	l.Debugf("hidden")
+	l.Infof("view %d timed out", 7)
+	l.Errorf("boom")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug line emitted at info level")
+	}
+	if !strings.Contains(out, `level=info node=3 component=core msg="view 7 timed out"`) {
+		t.Fatalf("line format wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "level=error") {
+		t.Fatalf("error line missing:\n%s", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatal("SetLevel did not propagate")
+	}
+}
+
+func TestLoggerValueQuoting(t *testing.T) {
+	var buf syncBuf
+	NewLogger(&buf, LevelInfo).With("addr", "host with space").Infof("x")
+	if !strings.Contains(buf.String(), `addr="host with space"`) {
+		t.Fatalf("value not quoted:\n%s", buf.String())
+	}
+}
+
+func TestLoggerRateLimit(t *testing.T) {
+	var buf syncBuf
+	l := NewLogger(&buf, LevelInfo)
+	for i := 0; i < 10; i++ {
+		l.Limitf(LevelWarn, "k", time.Hour, "queue full")
+	}
+	out := buf.String()
+	if n := strings.Count(out, "queue full"); n != 1 {
+		t.Fatalf("limited line emitted %d times:\n%s", n, out)
+	}
+	// A different key is limited independently.
+	l.Limitf(LevelWarn, "k2", time.Hour, "other")
+	if !strings.Contains(buf.String(), "other") {
+		t.Fatal("independent key suppressed")
+	}
+	// After the period, the suppressed count is reported.
+	c := l.core
+	c.limMu.Lock()
+	c.lim["k"].last = time.Now().Add(-2 * time.Hour)
+	c.limMu.Unlock()
+	l.Limitf(LevelWarn, "k", time.Hour, "queue full")
+	if !strings.Contains(buf.String(), "suppressed=9") {
+		t.Fatalf("suppressed count missing:\n%s", buf.String())
+	}
+}
+
+func TestFuncLoggerAndParseLevel(t *testing.T) {
+	var lines []string
+	l := NewFuncLogger(func(format string, args ...any) {
+		lines = append(lines, strings.TrimSpace(strings.ReplaceAll(format, "%s", "")+args[0].(string)))
+	}, LevelInfo)
+	l.With("node", 1).Infof("hello %s", "world")
+	if len(lines) != 1 || !strings.Contains(lines[0], `msg="hello world"`) {
+		t.Fatalf("func logger lines = %v", lines)
+	}
+	if ParseLevel("DEBUG") != LevelDebug || ParseLevel("warn") != LevelWarn ||
+		ParseLevel("error") != LevelError || ParseLevel("bogus") != LevelInfo {
+		t.Fatal("ParseLevel wrong")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf syncBuf
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ll := l.With("g", i)
+			for j := 0; j < 200; j++ {
+				ll.Infof("m%d", j)
+				ll.Limitf(LevelInfo, "shared", time.Millisecond, "lim")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !strings.Contains(buf.String(), "m199") {
+		t.Fatal("concurrent logging lost lines")
+	}
+}

@@ -1,0 +1,592 @@
+// Package obs is the runtime observability layer: a dependency-free
+// (stdlib-only) metrics registry with Prometheus text exposition and
+// JSON snapshots, a leveled key=value logger with built-in rate
+// limiting, a bounded ring-buffer protocol-event tracer, and the admin
+// HTTP server that exposes all of it (/metrics, /status, /healthz,
+// /trace, pprof).
+//
+// Every type tolerates a nil receiver: a component handed a nil
+// *Registry (or a nil *Counter, *Logger, *Tracer, ...) simply records
+// nothing. Instrumentation call sites therefore never need nil checks,
+// and observability stays strictly opt-in on the hot paths.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind uint8
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name=value metric label.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefLatencyBuckets are the default histogram bounds for latencies in
+// seconds (500µs .. 10s), chosen to straddle the paper's LAN/WAN commit
+// and recovery latencies.
+var DefLatencyBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// histogramReservoir bounds the raw-sample ring kept per histogram for
+// p50/p99 estimation in JSON snapshots.
+const histogramReservoir = 512
+
+// Histogram is a fixed-bucket histogram of float64 observations. The
+// buckets feed Prometheus exposition (cumulative, with +Inf); a bounded
+// ring of recent raw samples additionally feeds the JSON snapshot's
+// mean/p50/p99 summary.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+
+	mu     sync.Mutex
+	recent []float64
+	next   int
+	filled bool
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	h.mu.Lock()
+	if len(h.recent) < histogramReservoir {
+		h.recent = append(h.recent, v)
+	} else {
+		h.recent[h.next] = v
+		h.filled = true
+	}
+	h.next = (h.next + 1) % histogramReservoir
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// recentSamples copies the raw-sample reservoir.
+func (h *Histogram) recentSamples() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.recent...)
+}
+
+// Summary computes mean/p50/p99 over the histogram's recent-sample
+// reservoir (up to the last 512 observations) using the shared
+// percentile helper.
+func (h *Histogram) Summary() Summary {
+	if h == nil {
+		return Summary{}
+	}
+	return SummarizeFloats(h.recentSamples())
+}
+
+// Sample is one dynamically collected metric value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// family is one metric family: a name, help text, kind, and either
+// static instruments or a collection function.
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	mu      sync.Mutex
+	metrics map[string]any // labelsKey -> *Counter | *Gauge | *Histogram
+	labels  map[string][]Label
+	order   []string
+
+	collect func() []Sample // nil for static families
+}
+
+// Registry holds metric families. The zero value is not usable; create
+// with NewRegistry. A nil *Registry is a valid no-op sink: all
+// instrument constructors return nil instruments.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(escapeLabelValue(l.Value))
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// format: backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// getFamily returns (creating if needed) the family for name. It
+// panics on kind mismatch — that is a programming error, not a runtime
+// condition.
+func (r *Registry) getFamily(name, help string, kind Kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		metrics: make(map[string]any),
+		labels:  make(map[string][]Label),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func (f *family) instrument(labels []Label, make func() any) any {
+	key := labelsKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[key]; ok {
+		return m
+	}
+	m := make()
+	f.metrics[key] = m
+	f.labels[key] = append([]Label(nil), labels...)
+	f.order = append(f.order, key)
+	return m
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Repeated calls with the same name and labels return the same
+// instrument. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindCounter)
+	return f.instrument(labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindGauge)
+	return f.instrument(labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, creating it on
+// first use with the given bucket upper bounds (nil uses
+// DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	f := r.getFamily(name, help, KindHistogram)
+	return f.instrument(labels, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// Func registers (or replaces) a dynamically collected family: fn is
+// invoked at scrape time and returns the family's current samples.
+// Used for surfacing pre-existing atomic counters (transport peer
+// stats, enclave call counts, chaos fault counters) without mirroring
+// writes into the registry.
+func (r *Registry) Func(name, help string, kind Kind, fn func() []Sample) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, kind)
+	f.mu.Lock()
+	f.collect = fn
+	f.mu.Unlock()
+}
+
+// samples returns the family's current samples (static or collected).
+func (f *family) samples() []Sample {
+	f.mu.Lock()
+	collect := f.collect
+	if collect == nil {
+		out := make([]Sample, 0, len(f.order))
+		for _, key := range f.order {
+			var v float64
+			switch m := f.metrics[key].(type) {
+			case *Counter:
+				v = float64(m.Value())
+			case *Gauge:
+				v = m.Value()
+			}
+			out = append(out, Sample{Labels: f.labels[key], Value: v})
+		}
+		f.mu.Unlock()
+		return out
+	}
+	f.mu.Unlock()
+	return collect()
+}
+
+// Value looks up the current value of a counter or gauge (static or
+// func-collected). The bool reports whether the sample exists.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok || f.kind == KindHistogram {
+		return 0, false
+	}
+	want := labelsKey(labels)
+	for _, s := range f.samples() {
+		if labelsKey(s.Labels) == want {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.kind == KindHistogram {
+			f.writeHistograms(&b)
+			continue
+		}
+		for _, s := range f.samples() {
+			b.WriteString(f.name)
+			writeLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistograms emits the cumulative _bucket/_sum/_count series for
+// every histogram in the family.
+func (f *family) writeHistograms(b *strings.Builder) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	for _, key := range keys {
+		f.mu.Lock()
+		h, _ := f.metrics[key].(*Histogram)
+		labels := f.labels[key]
+		f.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, labels, L("le", formatFloat(bound)))
+			fmt.Fprintf(b, " %d\n", cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, labels, L("le", "+Inf"))
+		fmt.Fprintf(b, " %d\n", cum)
+		b.WriteString(f.name)
+		b.WriteString("_sum")
+		writeLabels(b, labels)
+		fmt.Fprintf(b, " %s\n", formatFloat(h.Sum()))
+		b.WriteString(f.name)
+		b.WriteString("_count")
+		writeLabels(b, labels)
+		fmt.Fprintf(b, " %d\n", h.Count())
+	}
+}
+
+// Snapshot returns the registry as a JSON-marshallable map: family
+// name -> samples (with labels) for counters/gauges, or a summary
+// object (count/sum/mean/p50/p99/buckets) for histograms.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		if f.kind == KindHistogram {
+			out[name] = f.snapshotHistograms()
+			continue
+		}
+		samples := f.samples()
+		if len(samples) == 1 && len(samples[0].Labels) == 0 {
+			out[name] = samples[0].Value
+			continue
+		}
+		rows := make([]map[string]any, 0, len(samples))
+		for _, s := range samples {
+			m := map[string]any{"value": s.Value}
+			if len(s.Labels) > 0 {
+				ls := make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					ls[l.Name] = l.Value
+				}
+				m["labels"] = ls
+			}
+			rows = append(rows, m)
+		}
+		out[name] = rows
+	}
+	return out
+}
+
+func (f *family) snapshotHistograms() any {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	rows := make([]map[string]any, 0, len(keys))
+	for _, key := range keys {
+		f.mu.Lock()
+		h, _ := f.metrics[key].(*Histogram)
+		labels := f.labels[key]
+		f.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		sum := h.Summary()
+		m := map[string]any{
+			"count": h.Count(),
+			"sum":   h.Sum(),
+			"mean":  sum.Mean,
+			"p50":   sum.P50,
+			"p99":   sum.P99,
+		}
+		if len(labels) > 0 {
+			ls := make(map[string]string, len(labels))
+			for _, l := range labels {
+				ls[l.Name] = l.Value
+			}
+			m["labels"] = ls
+		}
+		rows = append(rows, m)
+	}
+	if len(rows) == 1 {
+		return rows[0]
+	}
+	return rows
+}

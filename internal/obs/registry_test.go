@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("test_total", "a counter") != c {
+		t.Fatal("counter not deduplicated")
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	if v, ok := r.Value("test_total"); !ok || v != 5 {
+		t.Fatalf("Value lookup = %v %v", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatal("missing metric reported present")
+	}
+}
+
+func TestNilRegistryAndInstrumentsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	g := r.Gauge("y", "")
+	g.Set(1)
+	h := r.Histogram("z", "", nil)
+	h.Observe(1)
+	r.Func("f", "", KindCounter, func() []Sample { return nil })
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	var l *Logger
+	l.Infof("dropped")
+	l.With("a", 1).Limitf(LevelWarn, "k", time.Second, "dropped")
+	var tr *Tracer
+	tr.Emit("x", 0, 0, "")
+	if tr.Dump(0) != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer returned events")
+	}
+}
+
+// TestRegistryConcurrency exercises parallel writers plus a concurrent
+// scraper under the race detector.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var writers sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			c := r.Counter("conc_total", "", L("w", string(rune('a'+i))))
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_seconds", "", nil)
+			for j := 0; j < 2000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+			r.Snapshot()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "conc_total") || !strings.Contains(out, "conc_seconds_count 16000") {
+		t.Fatalf("missing series after concurrent writes:\n%s", out)
+	}
+	if v, ok := r.Value("conc_gauge"); !ok || v != 16000 {
+		t.Fatalf("gauge after concurrency = %v %v", v, ok)
+	}
+}
+
+func TestPrometheusExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fam_total", "counts things", L("peer", "1")).Add(3)
+	r.Counter("fam_total", "counts things", L("peer", "2")).Add(7)
+	r.Gauge("weird", "label escaping", L("path", "a\\b\"c\nd")).Set(1)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP fam_total counts things",
+		"# TYPE fam_total counter",
+		`fam_total{peer="1"} 3`,
+		`fam_total{peer="2"} 7`,
+		`weird{path="a\\b\"c\nd"} 1`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative (non-decreasing).
+	if strings.Index(out, `le="0.1"} 1`) > strings.Index(out, `le="1"} 2`) {
+		t.Error("bucket order wrong")
+	}
+}
+
+func TestRegistryFuncFamilies(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.Func("dyn_total", "dynamic", KindCounter, func() []Sample {
+		n++
+		return []Sample{{Labels: []Label{L("peer", "7")}, Value: float64(n)}}
+	})
+	if v, ok := r.Value("dyn_total", L("peer", "7")); !ok || v != 1 {
+		t.Fatalf("func value = %v %v", v, ok)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `dyn_total{peer="7"} 2`) {
+		t.Fatalf("func family not collected at scrape:\n%s", sb.String())
+	}
+	// Re-registering replaces the collector (safe across node restarts).
+	r.Func("dyn_total", "dynamic", KindCounter, func() []Sample {
+		return []Sample{{Value: 42}}
+	})
+	if v, ok := r.Value("dyn_total"); !ok || v != 42 {
+		t.Fatalf("replaced func value = %v %v", v, ok)
+	}
+}
+
+func TestHistogramSnapshotSummary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("s_seconds", "", nil)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	sum := h.Summary()
+	if sum.P50 < sum.Mean/2 || sum.P99 < sum.P50 || sum.P99 != 100 {
+		t.Fatalf("summary inconsistent: %+v", sum)
+	}
+	snap := r.Snapshot()
+	doc, ok := snap["s_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot shape: %#v", snap["s_seconds"])
+	}
+	if doc["count"].(uint64) != 100 {
+		t.Fatalf("snapshot count = %v", doc["count"])
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// This file holds the one latency-summary implementation shared by the
+// simulation harness (internal/harness Summarize) and the obs
+// histogram snapshots, so percentile math — including its empty- and
+// one-element edge cases — lives in exactly one place.
+
+// PercentileIndex returns the index of the pct-th percentile in a
+// sorted slice of length n, clamped to [0, n-1]. It returns 0 for
+// n <= 0 (callers must still skip empty slices before indexing).
+func PercentileIndex(n, pct int) int {
+	if n <= 0 {
+		return 0
+	}
+	i := n * pct / 100
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Summary is a mean/p50/p99 summary of float64 observations.
+type Summary struct {
+	Mean, P50, P99 float64
+}
+
+// SummarizeFloats computes mean/p50/p99 of vs. It does not modify vs
+// and returns the zero Summary for an empty slice.
+func SummarizeFloats(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Mean: sum / float64(len(sorted)),
+		P50:  sorted[PercentileIndex(len(sorted), 50)],
+		P99:  sorted[PercentileIndex(len(sorted), 99)],
+	}
+}
+
+// DurationSummary is a mean/p50/p99 summary of durations.
+type DurationSummary struct {
+	Mean, P50, P99 time.Duration
+}
+
+// SummarizeDurations computes mean/p50/p99 of ds. It does not modify
+// ds and returns the zero DurationSummary for an empty slice.
+func SummarizeDurations(ds []time.Duration) DurationSummary {
+	if len(ds) == 0 {
+		return DurationSummary{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return DurationSummary{
+		Mean: sum / time.Duration(len(sorted)),
+		P50:  sorted[PercentileIndex(len(sorted), 50)],
+		P99:  sorted[PercentileIndex(len(sorted), 99)],
+	}
+}

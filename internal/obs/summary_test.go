@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileIndexGuards(t *testing.T) {
+	// Empty: index 0 (callers skip empty slices before indexing).
+	if PercentileIndex(0, 50) != 0 || PercentileIndex(0, 99) != 0 {
+		t.Fatal("empty slice index not clamped to 0")
+	}
+	// One element: both percentiles must resolve to index 0.
+	if PercentileIndex(1, 50) != 0 || PercentileIndex(1, 99) != 0 {
+		t.Fatal("one-element index not 0")
+	}
+	// p100 on any n must stay in bounds.
+	if PercentileIndex(10, 100) != 9 {
+		t.Fatalf("p100 index = %d", PercentileIndex(10, 100))
+	}
+	if PercentileIndex(100, 99) != 99 {
+		t.Fatalf("p99 of 100 = %d", PercentileIndex(100, 99))
+	}
+}
+
+func TestSummarizeDurationsEdgeCases(t *testing.T) {
+	if s := SummarizeDurations(nil); s != (DurationSummary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	one := SummarizeDurations([]time.Duration{7 * time.Millisecond})
+	if one.Mean != 7*time.Millisecond || one.P50 != 7*time.Millisecond || one.P99 != 7*time.Millisecond {
+		t.Fatalf("one-element summary = %+v", one)
+	}
+	// Input order must not matter and the input must not be mutated.
+	in := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	s := SummarizeDurations(in)
+	if s.Mean != 20*time.Millisecond || s.P50 != 20*time.Millisecond || s.P99 != 30*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+	if in[0] != 30*time.Millisecond {
+		t.Fatal("input slice mutated")
+	}
+}
+
+func TestSummarizeFloats(t *testing.T) {
+	if s := SummarizeFloats(nil); s != (Summary{}) {
+		t.Fatalf("empty = %+v", s)
+	}
+	if s := SummarizeFloats([]float64{5}); s.Mean != 5 || s.P50 != 5 || s.P99 != 5 {
+		t.Fatalf("one element = %+v", s)
+	}
+	vs := make([]float64, 100)
+	for i := range vs {
+		vs[i] = float64(i + 1)
+	}
+	s := SummarizeFloats(vs)
+	if s.Mean != 50.5 || s.P50 != 51 || s.P99 != 100 {
+		t.Fatalf("100 elements = %+v", s)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Standard protocol-event kinds emitted by the Achilles replica and
+// trusted components. The tracer itself accepts any string.
+const (
+	TracePropose       = "propose"
+	TraceVote          = "vote"
+	TraceCommit        = "commit"
+	TraceViewChange    = "view-change"
+	TraceNewView       = "new-view"
+	TraceBlockSync     = "block-sync"
+	TraceRecoveryStart = "recovery-start"
+	TraceRecoveryReply = "recovery-reply"
+	TraceRecoveryDone  = "recovery-done"
+	TraceEcall         = "ecall"
+)
+
+// TraceEvent is one recorded protocol event.
+type TraceEvent struct {
+	// Seq increases by one per recorded event (including overwritten
+	// ones), so gaps after ring wraparound are detectable.
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock record time.
+	At time.Time `json:"at"`
+	// Kind classifies the event (propose, vote, commit, view-change,
+	// recovery-*, ecall, ...).
+	Kind string `json:"kind"`
+	// View and Height locate the event in the protocol when known.
+	View   uint64 `json:"view,omitempty"`
+	Height uint64 `json:"height,omitempty"`
+	// Detail carries event-specific context (hash prefix, peer, ecall
+	// function name, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of protocol events, dumpable on
+// demand through the admin server's /trace endpoint. A nil *Tracer
+// records nothing. Safe for concurrent use.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int
+	seq  uint64
+}
+
+// NewTracer creates a tracer keeping the most recent capacity events
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Emit records one event, overwriting the oldest once full.
+func (t *Tracer) Emit(kind string, view, height uint64, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	ev := TraceEvent{Seq: t.seq, At: time.Now(), Kind: kind, View: view, Height: height, Detail: detail}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Seq returns the total number of events ever recorded.
+func (t *Tracer) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dump returns the buffered events in chronological order. With
+// max > 0 only the most recent max events are returned.
+func (t *Tracer) Dump(max int) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TraceEvent, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		out = append(out, t.buf...)
+	} else {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	}
+	t.mu.Unlock()
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

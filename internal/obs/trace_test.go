@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 1; i <= 40; i++ {
+		tr.Emit(TraceCommit, uint64(i), uint64(i), fmt.Sprintf("e%d", i))
+	}
+	if tr.Seq() != 40 {
+		t.Fatalf("seq = %d", tr.Seq())
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	evs := tr.Dump(0)
+	if len(evs) != 16 {
+		t.Fatalf("dump len = %d", len(evs))
+	}
+	// Chronological order, holding the most recent 16 events (25..40).
+	for i, ev := range evs {
+		if want := uint64(25 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	// Max-limited dump returns the most recent events only.
+	last4 := tr.Dump(4)
+	if len(last4) != 4 || last4[3].Seq != 40 || last4[0].Seq != 37 {
+		t.Fatalf("limited dump wrong: %+v", last4)
+	}
+}
+
+func TestTracerBelowCapacity(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Emit(TracePropose, 3, 2, "h=abc")
+	tr.Emit(TraceVote, 3, 2, "")
+	evs := tr.Dump(0)
+	if len(evs) != 2 || evs[0].Kind != TracePropose || evs[1].Kind != TraceVote {
+		t.Fatalf("dump = %+v", evs)
+	}
+	if evs[0].View != 3 || evs[0].Height != 2 || evs[0].Detail != "h=abc" {
+		t.Fatalf("event fields lost: %+v", evs[0])
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(32)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				tr.Emit(TraceEcall, 0, 0, "TEEstore")
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if tr.Seq() != 2000 || tr.Len() != 32 {
+		t.Fatalf("seq=%d len=%d", tr.Seq(), tr.Len())
+	}
+}

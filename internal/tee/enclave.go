@@ -17,6 +17,8 @@
 package tee
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"achilles/internal/types"
@@ -44,15 +46,30 @@ type Measurement = types.Hash
 // Enclave is the host handle to a trusted execution environment.
 // Trusted components embed an *Enclave and call EnterCall at the top of
 // every trusted function; the enclave charges the transition cost and
-// tracks call counts for the overhead profiling experiments.
+// tracks call counts for the overhead profiling experiments and the
+// runtime metrics (ecall counts and modelled-cost totals are what the
+// paper's Sec. 5.4 overhead breakdown is built from).
+//
+// All counters are atomic: trusted calls run on the node's event-loop
+// goroutine while metric scrapers read concurrently.
 type Enclave struct {
 	measurement Measurement
 	meter       types.Meter
 	costs       CallCosts
 	store       SealedStore
 	sealer      *Sealer
-	calls       uint64
 	disabled    bool
+	observe     func(fn string)
+
+	calls     atomic.Uint64
+	costNanos atomic.Int64
+
+	callsMu    sync.Mutex
+	callsByFn  map[string]*atomic.Uint64
+	fnOrder    []string
+	seals      atomic.Uint64
+	unseals    atomic.Uint64
+	unsealFail atomic.Uint64
 }
 
 // Config configures an enclave.
@@ -75,6 +92,9 @@ type Config struct {
 	// outside SGX (Sec. 5.4). Integrity bookkeeping still works so the
 	// same code runs unmodified.
 	Disabled bool
+	// Observe, when non-nil, receives the name of every trusted
+	// function entered (used to feed the protocol event tracer).
+	Observe func(fn string)
 }
 
 // New creates an enclave and charges its initialization cost.
@@ -94,25 +114,72 @@ func New(cfg Config) *Enclave {
 		store:       st,
 		sealer:      NewSealer(cfg.MachineSecret, cfg.Measurement),
 		disabled:    cfg.Disabled,
+		observe:     cfg.Observe,
+		callsByFn:   make(map[string]*atomic.Uint64),
 	}
 	if !e.disabled {
 		m.Charge(e.costs.Init)
+		e.costNanos.Add(int64(e.costs.Init))
 	}
 	return e
 }
 
-// EnterCall charges one trusted-call transition. Every TEE* function in
-// the trusted components calls it exactly once on entry.
-func (e *Enclave) EnterCall() {
-	e.calls++
+// EnterCall charges one trusted-call transition attributed to the
+// named trusted function. Every TEE* function in the trusted
+// components calls it exactly once on entry.
+func (e *Enclave) EnterCall(fn string) {
+	e.calls.Add(1)
+	e.fnCounter(fn).Add(1)
 	if !e.disabled {
 		e.meter.Charge(e.costs.Ecall)
+		e.costNanos.Add(int64(e.costs.Ecall))
 	}
+	if e.observe != nil {
+		e.observe(fn)
+	}
+}
+
+func (e *Enclave) fnCounter(fn string) *atomic.Uint64 {
+	e.callsMu.Lock()
+	defer e.callsMu.Unlock()
+	c := e.callsByFn[fn]
+	if c == nil {
+		c = &atomic.Uint64{}
+		e.callsByFn[fn] = c
+		e.fnOrder = append(e.fnOrder, fn)
+	}
+	return c
 }
 
 // Calls returns the number of trusted calls made so far (used by the
 // overhead-profiling experiments).
-func (e *Enclave) Calls() uint64 { return e.calls }
+func (e *Enclave) Calls() uint64 { return e.calls.Load() }
+
+// CallCounts returns the per-trusted-function call counts, in first-
+// call order.
+func (e *Enclave) CallCounts() (fns []string, counts []uint64) {
+	e.callsMu.Lock()
+	defer e.callsMu.Unlock()
+	fns = append([]string(nil), e.fnOrder...)
+	counts = make([]uint64, len(fns))
+	for i, fn := range fns {
+		counts[i] = e.callsByFn[fn].Load()
+	}
+	return fns, counts
+}
+
+// ModelledCost returns the total enclave cost (initialization plus
+// transitions) charged to the meter so far — the modelled share of the
+// paper's SGX overhead (Sec. 5.4).
+func (e *Enclave) ModelledCost() time.Duration { return time.Duration(e.costNanos.Load()) }
+
+// SealStats returns the number of Seal calls, Unseal calls, and Unseal
+// failures (forged or corrupted blobs — rollback *detection* is
+// impossible here, which is exactly the gap Achilles' recovery
+// protocol closes; failures indicate tampering beyond replay).
+func (e *Enclave) SealStats() (seals, unseals, unsealFailures uint64) {
+	return e.seals.Load(), e.unseals.Load(), e.unsealFail.Load()
+}
 
 // Measurement returns the enclave's code identity.
 func (e *Enclave) Measurement() Measurement { return e.measurement }
@@ -125,6 +192,7 @@ func (e *Enclave) Meter() types.Meter { return e.meter }
 // and writes it to untrusted storage under name. Freshness is NOT
 // guaranteed: the store may later return any previously sealed version.
 func (e *Enclave) Seal(name string, blob []byte) {
+	e.seals.Add(1)
 	e.store.Put(name, e.sealer.Seal(blob))
 }
 
@@ -132,11 +200,17 @@ func (e *Enclave) Seal(name string, blob []byte) {
 // false if nothing was stored or the blob fails authentication (i.e.
 // was forged or corrupted — the adversary can replay but not forge).
 func (e *Enclave) Unseal(name string) ([]byte, bool) {
+	e.unseals.Add(1)
 	sealed := e.store.Get(name)
 	if sealed == nil {
+		e.unsealFail.Add(1)
 		return nil, false
 	}
-	return e.sealer.Unseal(sealed)
+	blob, ok := e.sealer.Unseal(sealed)
+	if !ok {
+		e.unsealFail.Add(1)
+	}
+	return blob, ok
 }
 
 // Store returns the enclave's untrusted storage, through which tests

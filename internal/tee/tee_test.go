@@ -28,20 +28,28 @@ func TestEnclaveInitAndCallCosts(t *testing.T) {
 	if m.total != 10*time.Millisecond {
 		t.Fatalf("init charged %v", m.total)
 	}
-	e.EnterCall()
-	e.EnterCall()
+	e.EnterCall("TEEprepare")
+	e.EnterCall("TEEstore")
 	if m.total != 10*time.Millisecond+10*time.Microsecond {
 		t.Fatalf("calls charged %v", m.total)
 	}
 	if e.Calls() != 2 {
 		t.Fatalf("call count = %d", e.Calls())
 	}
+	fns, counts := e.CallCounts()
+	if len(fns) != 2 || fns[0] != "TEEprepare" || fns[1] != "TEEstore" ||
+		counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("per-fn counts = %v %v", fns, counts)
+	}
+	if e.ModelledCost() != 10*time.Millisecond+10*time.Microsecond {
+		t.Fatalf("modelled cost = %v", e.ModelledCost())
+	}
 }
 
 func TestDisabledEnclaveChargesNothing(t *testing.T) {
 	var m meterRec
 	e := New(Config{Disabled: true, Meter: &m, Costs: DefaultCallCosts()})
-	e.EnterCall()
+	e.EnterCall("TEEprepare")
 	if m.total != 0 {
 		t.Fatalf("disabled enclave charged %v", m.total)
 	}
@@ -59,6 +67,9 @@ func TestSealUnsealRoundtrip(t *testing.T) {
 	}
 	if _, ok := e.Unseal("missing"); ok {
 		t.Fatal("unseal of missing name succeeded")
+	}
+	if seals, unseals, fails := e.SealStats(); seals != 1 || unseals != 2 || fails != 1 {
+		t.Fatalf("seal stats = %d %d %d", seals, unseals, fails)
 	}
 }
 

@@ -1,14 +1,17 @@
 package transport_test
 
 import (
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"achilles/internal/admin"
 	"achilles/internal/core"
 	"achilles/internal/crypto"
 	"achilles/internal/netchaos"
+	"achilles/internal/obs"
 	"achilles/internal/protocol"
 	"achilles/internal/tee"
 	"achilles/internal/transport"
@@ -86,9 +89,20 @@ func TestLiveRecoverySoak(t *testing.T) {
 		stores[i] = tee.NewVersionedStore()
 	}
 
+	// The victim carries the observability stack across both of its
+	// incarnations: the admin server scrapes the same registry before
+	// and after the crash, exercising collector re-registration.
+	vicReg := obs.NewRegistry()
+	vicTracer := obs.NewTracer(1024)
+
 	newReplica := func(id types.NodeID, recovering bool) *core.Replica {
 		var secret [32]byte
 		secret[0] = byte(id)
+		var reg *obs.Registry
+		var tracer *obs.Tracer
+		if id == victim {
+			reg, tracer = vicReg, vicTracer
+		}
 		return core.New(core.Config{
 			Config: protocol.Config{
 				Self: id, N: n, F: f,
@@ -102,6 +116,8 @@ func TestLiveRecoverySoak(t *testing.T) {
 			SealedStore:       stores[id],
 			Recovering:        recovering,
 			SyntheticWorkload: true,
+			Obs:               reg,
+			Trace:             tracer,
 		})
 	}
 	startRuntime := func(id types.NodeID, rep *core.Replica, label string) *transport.Runtime {
@@ -182,6 +198,21 @@ func TestLiveRecoverySoak(t *testing.T) {
 	rep2 := newReplica(victim, true)
 	runtimes[victim] = startRuntime(victim, rep2, "p1'")
 
+	// The recovering incarnation serves the admin endpoints; /healthz
+	// must report 503 until recovery completes and commits resume.
+	srv, err := admin.Start("127.0.0.1:0", admin.Config{
+		Registry: vicReg,
+		Tracer:   vicTracer,
+		Replica:  rep2,
+		Runtime:  runtimes[victim],
+		Chaos:    chaos,
+	})
+	if err != nil {
+		t.Fatalf("admin start: %v", err)
+	}
+	defer srv.Close()
+	adminBase := "http://" + srv.Addr()
+
 	// Phase 4: recovery completes (a recovering replica never commits,
 	// so post-restart commits imply TEErecover succeeded) and the
 	// cluster — victim included — keeps committing fresh blocks.
@@ -191,6 +222,36 @@ func TestLiveRecoverySoak(t *testing.T) {
 
 	if len(safety.violations) != 0 {
 		t.Fatalf("safety violations at: %v", safety.violations)
+	}
+
+	// The victim's metrics must record the completed recovery, and a
+	// caught-up, committing node must report healthy.
+	code, body := httpGet(t, adminBase+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if v, ok := metricValue(body, "achilles_recovery_attempts_total"); !ok || v < 1 {
+		t.Errorf("/metrics: achilles_recovery_attempts_total = %v (present=%v), want >= 1", v, ok)
+	}
+	if v, ok := metricValue(body, "achilles_recoveries_completed_total"); !ok || v < 1 {
+		t.Errorf("/metrics: achilles_recoveries_completed_total = %v (present=%v), want >= 1", v, ok)
+	}
+	if v, ok := metricValue(body, "achilles_recovering"); !ok || v != 0 {
+		t.Errorf("/metrics: achilles_recovering = %v (present=%v), want 0 after recovery", v, ok)
+	}
+	if v, ok := metricValue(body, "achilles_recovery_last_seconds"); !ok || v <= 0 {
+		t.Errorf("/metrics: achilles_recovery_last_seconds = %v (present=%v), want > 0", v, ok)
+	}
+	healthDeadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body = httpGet(t, adminBase+"/healthz")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(healthDeadline) {
+			t.Fatalf("/healthz: still %d after recovery: %s", code, body)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 	st := chaos.Stats()
 	if st.Drops == 0 {

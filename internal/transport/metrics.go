@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"achilles/internal/obs"
+	"achilles/internal/types"
+)
+
+// Self returns this runtime's node identity.
+func (rt *Runtime) Self() types.NodeID { return rt.cfg.Self }
+
+// RegisterMetrics exposes the runtime's per-peer transport counters on
+// reg as achilles_transport_* series, collected from Stats() at scrape
+// time so no write mirroring happens on the hot path. Re-registering
+// (e.g. after a node restart in a soak test) replaces the collectors,
+// so the newest runtime wins. Nil receiver or registry is a no-op.
+func (rt *Runtime) RegisterMetrics(reg *obs.Registry) {
+	if rt == nil || reg == nil {
+		return
+	}
+	perPeer := func(pick func(PeerStats) uint64) func() []obs.Sample {
+		return func() []obs.Sample {
+			stats := rt.Stats()
+			ids := make([]types.NodeID, 0, len(stats))
+			for id := range stats {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			out := make([]obs.Sample, 0, len(ids))
+			for _, id := range ids {
+				out = append(out, obs.Sample{
+					Labels: []obs.Label{obs.L("peer", fmt.Sprintf("%v", id))},
+					Value:  float64(pick(stats[id])),
+				})
+			}
+			return out
+		}
+	}
+	reg.Func("achilles_transport_frames_sent_total",
+		"Frames written per peer.", obs.KindCounter,
+		perPeer(func(s PeerStats) uint64 { return s.Sent }))
+	reg.Func("achilles_transport_bytes_sent_total",
+		"Frame bytes written per peer.", obs.KindCounter,
+		perPeer(func(s PeerStats) uint64 { return s.BytesSent }))
+	reg.Func("achilles_transport_send_drops_total",
+		"Frames lost locally per peer (queue overflow or failed write).", obs.KindCounter,
+		perPeer(func(s PeerStats) uint64 { return s.SendDrops }))
+	reg.Func("achilles_transport_frames_received_total",
+		"Frames read per peer.", obs.KindCounter,
+		perPeer(func(s PeerStats) uint64 { return s.Received }))
+	reg.Func("achilles_transport_bytes_received_total",
+		"Frame bytes read per peer.", obs.KindCounter,
+		perPeer(func(s PeerStats) uint64 { return s.BytesReceived }))
+	reg.Func("achilles_transport_receive_drops_total",
+		"Frames discarded per peer (mis-attributed senders).", obs.KindCounter,
+		perPeer(func(s PeerStats) uint64 { return s.ReceiveDrops }))
+	reg.Func("achilles_transport_reconnects_total",
+		"Outbound connections established beyond the first, per peer.", obs.KindCounter,
+		perPeer(func(s PeerStats) uint64 { return s.Reconnects }))
+	reg.Func("achilles_transport_active_routes",
+		"Live identified inbound connections (client reply routes and accepted peers).",
+		obs.KindGauge, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(rt.ActiveRoutes())}}
+		})
+}

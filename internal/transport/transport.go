@@ -34,6 +34,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"net"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"achilles/internal/crypto"
+	"achilles/internal/obs"
 	"achilles/internal/protocol"
 	"achilles/internal/types"
 )
@@ -151,7 +153,11 @@ type Config struct {
 	Peers map[types.NodeID]string
 	// OnCommit observes commits (may be nil).
 	OnCommit func(b *types.Block, cc *types.CommitCert)
-	// Logf receives runtime diagnostics (may be nil).
+	// Log receives runtime diagnostics as structured lines. When nil,
+	// Logf (below) is adapted instead; both nil silences the transport.
+	Log *obs.Logger
+	// Logf is the legacy printf diagnostics sink (may be nil). Ignored
+	// when Log is set.
 	Logf func(format string, args ...any)
 
 	// Scheme and Priv sign this node's Hello handshakes; Ring lets the
@@ -205,9 +211,6 @@ type peerStats struct {
 	sent, bytesSent, sendDrops            atomic.Uint64
 	received, bytesReceived, receiveDrops atomic.Uint64
 	connects                              atomic.Uint64
-	logMu                                 sync.Mutex
-	droppedSinceLog                       uint64
-	lastDropLog                           time.Time
 }
 
 // route is an identified inbound connection: the reply path for
@@ -221,6 +224,7 @@ type route struct {
 type Runtime struct {
 	cfg     Config
 	replica protocol.Replica
+	log     *obs.Logger
 
 	start    time.Time
 	events   chan func()
@@ -261,8 +265,13 @@ func New(cfg Config, r protocol.Replica) *Runtime {
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = 500 * time.Millisecond
 	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.NewFuncLogger(cfg.Logf, obs.LevelDebug)
+	}
 	return &Runtime{
 		cfg:       cfg,
+		log:       log.Component("transport"),
 		replica:   r,
 		events:    make(chan func(), 4096),
 		stopping:  make(chan struct{}),
@@ -379,9 +388,7 @@ func (rt *Runtime) statsFor(id types.NodeID) *peerStats {
 }
 
 func (rt *Runtime) logf(format string, args ...any) {
-	if rt.cfg.Logf != nil {
-		rt.cfg.Logf(format, args...)
-	}
+	rt.log.Infof(format, args...)
 }
 
 func (rt *Runtime) eventLoop() {
@@ -798,22 +805,12 @@ func (rt *Runtime) Send(to types.NodeID, msg types.Message) {
 }
 
 // noteSendDrop counts a frame lost to a full outbound queue, logging
-// at most once per second per peer instead of once per frame.
+// at most once per second per peer (the logger reports how many lines
+// were suppressed in between).
 func (rt *Runtime) noteSendDrop(to types.NodeID, msg types.Message) {
-	st := rt.statsFor(to)
-	st.sendDrops.Add(1)
-	st.logMu.Lock()
-	st.droppedSinceLog++
-	now := time.Now()
-	if now.Sub(st.lastDropLog) < time.Second {
-		st.logMu.Unlock()
-		return
-	}
-	n := st.droppedSinceLog
-	st.droppedSinceLog = 0
-	st.lastDropLog = now
-	st.logMu.Unlock()
-	rt.logf("send queue to %v full; dropped %d frames (last: %s)", to, n, msg.Type())
+	rt.statsFor(to).sendDrops.Add(1)
+	rt.log.Limitf(obs.LevelWarn, fmt.Sprintf("queuefull:%v", to), time.Second,
+		"send queue to %v full; dropping frames (last: %s)", to, msg.Type())
 }
 
 // Broadcast implements protocol.Env.
