@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak bench bench-json metrics-demo clean
+.PHONY: all build vet test check soak fuzz fuzz-smoke bench bench-json metrics-demo clean
 
 all: check
 
@@ -23,6 +23,22 @@ test:
 # the admin/metrics endpoint enabled) and the admin scrape test.
 soak:
 	$(GO) test -race -run 'TestLiveRecoverySoak|TestLiveClusterCommits|TestReconnectAfterPeerRestart|TestLiveAdminEndpoints' ./internal/transport
+
+# Adversarial invariant-checking fuzzer (internal/adversary): 500
+# seeded scenarios mixing active Byzantine replicas, crash/reboot with
+# sealed-storage rollback, and pre-GST network faults, plus a
+# weakened-checker sweep where the invariants must catch the attack,
+# plus coverage-guided fuzzing of the wire-frame decoder.
+fuzz: build
+	$(GO) run ./cmd/achilles-sim -fuzz -seeds 500
+	$(GO) run ./cmd/achilles-sim -fuzz -seeds 50 -fuzz-weaken
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=60s -run '^$$' ./internal/transport
+
+# Quick CI variant of the above.
+fuzz-smoke: build
+	$(GO) run ./cmd/achilles-sim -fuzz -seeds 50
+	$(GO) run ./cmd/achilles-sim -fuzz -seeds 10 -fuzz-weaken
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=30s -run '^$$' ./internal/transport
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

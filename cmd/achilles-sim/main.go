@@ -8,6 +8,14 @@
 //	achilles-sim -protocol Achilles -f 10 -net lan
 //	achilles-sim -protocol Damysus-R -f 4 -net wan -counter 40ms
 //	achilles-sim -protocol Achilles -f 2 -crash 1 -crash-at 500ms -reboot-at 700ms
+//
+// With -fuzz it instead sweeps seeded adversarial scenarios — active
+// Byzantine replicas, crash/reboot with sealed-storage rollback, and
+// pre-GST network faults — checking the safety and liveness invariants
+// of internal/adversary after every event:
+//
+//	achilles-sim -fuzz -seeds 500
+//	achilles-sim -fuzz -seeds 50 -seed-base 7000 -fuzz-weaken
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"achilles/internal/adversary"
 	"achilles/internal/core"
 	"achilles/internal/harness"
 	"achilles/internal/sim"
@@ -40,8 +49,18 @@ func main() {
 		crashAt   = flag.Duration("crash-at", 500*time.Millisecond, "crash time")
 		rebootAt  = flag.Duration("reboot-at", 700*time.Millisecond, "reboot time (Achilles recovers via Sec. 4.5)")
 		debug     = flag.Bool("debug", false, "print per-node protocol logs")
+
+		fuzz       = flag.Bool("fuzz", false, "run the adversarial invariant-checking fuzzer instead of a single measurement")
+		seeds      = flag.Int("seeds", 100, "number of seeded scenarios to sweep (-fuzz)")
+		seedBase   = flag.Int64("seed-base", 0, "first scenario seed (-fuzz)")
+		fuzzWeaken = flag.Bool("fuzz-weaken", false, "plant a weakened checker in every scenario; the invariants must catch the attack (-fuzz)")
 	)
 	flag.Parse()
+
+	if *fuzz {
+		runFuzz(*seeds, *seedBase, *fuzzWeaken)
+		return
+	}
 
 	var model sim.NetworkModel
 	switch strings.ToLower(*netFlag) {
@@ -92,4 +111,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("safety: all nodes committed identical chains")
+}
+
+// runFuzz sweeps seeded adversarial scenarios and exits non-zero on
+// the first batch containing an invariant failure, printing a
+// minimized reproducer for each.
+func runFuzz(seeds int, base int64, weaken bool) {
+	mode := "adversarial scenarios (honest trusted components)"
+	if weaken {
+		mode = "weakened-checker scenarios (invariants must catch the attack)"
+	}
+	fmt.Printf("fuzz: %d %s, seeds %d..%d\n", seeds, mode, base, base+int64(seeds)-1)
+	start := time.Now()
+	failures := 0
+	report := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	const stride = 50
+	for done := 0; done < seeds; done += stride {
+		batch := stride
+		if rest := seeds - done; rest < batch {
+			batch = rest
+		}
+		failures += adversary.Sweep(base+int64(done), batch, weaken, report)
+		fmt.Printf("fuzz: %d/%d scenarios, %d failures, %v elapsed\n",
+			done+batch, seeds, failures, time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		fmt.Printf("fuzz: FAILED (%d of %d scenarios)\n", failures, seeds)
+		os.Exit(1)
+	}
+	fmt.Printf("fuzz: OK (%d scenarios, zero invariant violations)\n", seeds)
 }

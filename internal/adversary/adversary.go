@@ -1,0 +1,445 @@
+// Package adversary implements active Byzantine replica behaviors for
+// the Achilles protocol and the invariant-checking fuzz driver that
+// exercises them (DESIGN.md §8). A Byzantine node here is an
+// *unmodified* replica wrapped by a host-level attacker: the wrapper
+// owns the network interface (it intercepts everything the inner
+// replica sends and everything delivered to it) and the untrusted
+// parts of the host, exactly the power the paper's threat model grants
+// the adversary (Sec. 3.1). The trusted components stay honest unless
+// a test deliberately weakens them (checker.Config.UnsafeWeaken), in
+// which case the fuzz invariants must catch the resulting equivocation
+// — that is the suite's self-test.
+//
+// The wrapper plugs into both runtimes unchanged: it implements
+// protocol.Replica, so the deterministic simulator (internal/sim, via
+// harness.ClusterConfig.Wrap) and the live TCP transport
+// (internal/transport) drive it like any other replica.
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"achilles/internal/core"
+	"achilles/internal/protocol"
+	"achilles/internal/statemachine"
+	"achilles/internal/types"
+)
+
+// Behavior is a bitmask of active attacks a Byzantine replica runs.
+type Behavior uint32
+
+const (
+	// Equivocate makes the node, when leader, propose two different
+	// blocks for the same view to disjoint halves of the cluster and
+	// try to drive both to commitment. With an honest checker the
+	// second block certificate cannot be produced (TEEprepare's flag)
+	// and the node falls back to forging one, which honest checkers
+	// reject in TEEstore; with a weakened checker the attack goes
+	// through and the safety invariants must fire.
+	Equivocate Behavior = 1 << iota
+	// LieRecovery corrupts the node's recovery replies: inflated views
+	// under garbage signatures, inconsistent attachments, replayed
+	// stale replies, or silence.
+	LieRecovery
+	// ViewSpam floods upcoming leaders with forged NEW-VIEW
+	// certificates carrying inflated prepared views.
+	ViewSpam
+	// Withhold silently drops a fraction of the node's own votes and
+	// view certificates.
+	Withhold
+	// Replay re-sends stale recorded messages (old proposals, votes,
+	// decides, new-views) to random peers.
+	Replay
+)
+
+// All is every behavior at once.
+const All = Equivocate | LieRecovery | ViewSpam | Withhold | Replay
+
+func (b Behavior) String() string {
+	if b == 0 {
+		return "honest"
+	}
+	names := []struct {
+		bit  Behavior
+		name string
+	}{
+		{Equivocate, "equivocate"}, {LieRecovery, "lie-recovery"},
+		{ViewSpam, "view-spam"}, {Withhold, "withhold"}, {Replay, "replay"},
+	}
+	out := ""
+	for _, n := range names {
+		if b&n.bit == 0 {
+			continue
+		}
+		if out != "" {
+			out += "+"
+		}
+		out += n.name
+	}
+	return out
+}
+
+// Config parameterizes one Byzantine replica.
+type Config struct {
+	// Self is the Byzantine node's identity; N the cluster size.
+	Self types.NodeID
+	N    int
+	// Behaviors selects the active attacks.
+	Behaviors Behavior
+	// Seed makes the attacker's choices deterministic.
+	Seed int64
+	// Weakened records that this node's checker was built with
+	// UnsafeWeaken (the equivocation attack then expects TEEprepare to
+	// sign the twin block instead of falling back to forgery).
+	Weakened bool
+}
+
+// Replica wraps an unmodified core.Replica with host-level Byzantine
+// behavior. It implements protocol.Replica.
+type Replica struct {
+	cfg   Config
+	inner *core.Replica
+	env   protocol.Env
+	rng   *rand.Rand
+	mach  *statemachine.DigestMachine
+
+	// halfA/halfB partition the other nodes for split-brain attacks.
+	halfA, halfB []types.NodeID
+
+	// Equivocation round state (one round at a time).
+	eqBudget  int
+	eqActive  bool
+	eqValid   bool // twin certificate was genuinely signed (weakened checker)
+	eqView    types.View
+	origHash  types.Hash
+	twinHash  types.Hash
+	twinVotes map[types.NodeID]*types.StoreCert
+	twinSelf  *types.StoreCert
+	twinDone  bool
+
+	spamBudget   int
+	replayBudget int
+	sent         []types.Message
+	pastReplies  []*core.MsgRecoveryRpy
+}
+
+// New wraps inner (which must be an Achilles *core.Replica) with the
+// configured Byzantine behaviors.
+func New(cfg Config, inner protocol.Replica) *Replica {
+	cr, ok := inner.(*core.Replica)
+	if !ok {
+		panic("adversary: inner replica is not an Achilles core.Replica")
+	}
+	a := &Replica{
+		cfg:          cfg,
+		inner:        cr,
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.Self)+1)*0x9e3779b97f4a7c)),
+		mach:         statemachine.NewDigestMachine(nil, 0),
+		eqBudget:     4,
+		spamBudget:   40,
+		replayBudget: 64,
+		twinVotes:    make(map[types.NodeID]*types.StoreCert),
+	}
+	others := make([]types.NodeID, 0, cfg.N-1)
+	for i := 0; i < cfg.N; i++ {
+		if id := types.NodeID(i); id != cfg.Self {
+			others = append(others, id)
+		}
+	}
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
+	a.halfA = others[:(len(others)+1)/2]
+	a.halfB = others[(len(others)+1)/2:]
+	return a
+}
+
+// Inner returns the wrapped honest replica.
+func (a *Replica) Inner() *core.Replica { return a.inner }
+
+// byzEnv is the environment the inner replica sees: all output flows
+// through the attacker.
+type byzEnv struct {
+	protocol.Env
+	a *Replica
+}
+
+func (e *byzEnv) Broadcast(msg types.Message) { e.a.outBroadcast(msg) }
+
+func (e *byzEnv) Send(to types.NodeID, msg types.Message) { e.a.outSend(to, msg) }
+
+// Init implements protocol.Replica.
+func (a *Replica) Init(env protocol.Env) {
+	a.env = env
+	a.inner.Init(&byzEnv{Env: env, a: a})
+}
+
+// OnMessage implements protocol.Replica.
+func (a *Replica) OnMessage(from types.NodeID, msg types.Message) {
+	a.maybeMischief()
+	// Harvest votes for the twin block of an active equivocation round:
+	// the inner replica only accepts votes for its own (first) block, so
+	// the attacker assembles the twin's commitment certificate itself.
+	if v, ok := msg.(*core.MsgVote); ok && a.eqActive && a.eqValid && v.SC != nil &&
+		v.SC.Hash == a.twinHash && v.SC.Signer == from {
+		a.twinVotes[from] = v.SC
+		a.tryCommitTwin()
+		return
+	}
+	a.inner.OnMessage(from, msg)
+}
+
+// OnTimer implements protocol.Replica.
+func (a *Replica) OnTimer(id types.TimerID) {
+	a.maybeMischief()
+	a.inner.OnTimer(id)
+}
+
+// --- outbound interception --------------------------------------------
+
+func (a *Replica) outBroadcast(msg types.Message) {
+	a.record(msg)
+	switch m := msg.(type) {
+	case *core.MsgProposal:
+		if a.cfg.Behaviors&Equivocate != 0 && a.eqBudget > 0 {
+			a.equivocate(m)
+			return
+		}
+	case *core.MsgDecide:
+		// During a successful equivocation round, confine the real
+		// block's commitment certificate to half A so the halves commit
+		// conflicting blocks.
+		if a.eqActive && a.eqValid && m.CC != nil && m.CC.Hash == a.origHash {
+			a.sendTo(a.halfA, m)
+			return
+		}
+	}
+	if a.cfg.Behaviors&Withhold != 0 {
+		for _, id := range append(append([]types.NodeID(nil), a.halfA...), a.halfB...) {
+			if a.withholds(msg) {
+				continue
+			}
+			a.env.Send(id, msg)
+		}
+		return
+	}
+	a.env.Broadcast(msg)
+}
+
+func (a *Replica) outSend(to types.NodeID, msg types.Message) {
+	a.record(msg)
+	if m, ok := msg.(*core.MsgRecoveryRpy); ok && a.cfg.Behaviors&LieRecovery != 0 {
+		a.lieRecovery(to, m)
+		return
+	}
+	if a.withholds(msg) {
+		return
+	}
+	a.env.Send(to, msg)
+}
+
+// withholds decides whether to silently drop one of the node's own
+// votes or view certificates (never proposals or decides: withholding
+// those is modelled by the pre-GST link faults instead).
+func (a *Replica) withholds(msg types.Message) bool {
+	if a.cfg.Behaviors&Withhold == 0 {
+		return false
+	}
+	switch msg.(type) {
+	case *core.MsgVote, *core.MsgNewView:
+		return a.rng.Float64() < 0.3
+	}
+	return false
+}
+
+// record keeps a bounded ring of sent messages for the replay attack.
+func (a *Replica) record(msg types.Message) {
+	if a.cfg.Behaviors&Replay == 0 {
+		return
+	}
+	if len(a.sent) >= 32 {
+		copy(a.sent, a.sent[1:])
+		a.sent = a.sent[:31]
+	}
+	a.sent = append(a.sent, msg)
+}
+
+// --- equivocation ------------------------------------------------------
+
+// equivocate intercepts the inner leader's proposal broadcast and
+// mounts the split-brain attack: block A to half A, a twin block B for
+// the same (view, height) to half B.
+func (a *Replica) equivocate(orig *core.MsgProposal) {
+	a.eqBudget--
+	a.eqActive = true
+	a.eqValid = false
+	a.eqView = orig.Block.View
+	a.origHash = orig.Block.Hash()
+	a.twinVotes = make(map[types.NodeID]*types.StoreCert)
+	a.twinSelf = nil
+	a.twinDone = false
+
+	twin := a.makeTwin(orig.Block)
+	a.twinHash = twin.Hash()
+	bc, err := a.inner.Checker().TEEprepare(twin, twin.Hash(), nil, nil)
+	if err != nil {
+		// Honest checker: the proposal flag blocks a second certificate
+		// for this view (Lemma 1). Fall back to forging one; honest
+		// peers' TEEstore must reject it.
+		bc = &types.BlockCert{Hash: twin.Hash(), View: twin.View, Signer: a.cfg.Self, Sig: a.garbageSig()}
+	} else {
+		a.eqValid = true
+		// Vote for the twin ourselves: TEEstore accepts a validly
+		// signed certificate at the current view, so the twin's quorum
+		// is our store certificate plus half B's votes.
+		if sc, serr := a.inner.Checker().TEEstore(bc); serr == nil {
+			a.twinSelf = sc
+		}
+	}
+	a.sendTo(a.halfA, orig)
+	a.sendTo(a.halfB, &core.MsgProposal{Block: twin, BC: bc})
+}
+
+// makeTwin builds a second block for the same slot as b with different
+// contents but honest execution results, so honest backups' body
+// validation passes and only the trusted components stand between the
+// twin and commitment.
+func (a *Replica) makeTwin(b *types.Block) *types.Block {
+	txs := append([]types.Transaction(nil), b.Txs...)
+	if len(txs) > 1 {
+		txs = txs[:len(txs)-1]
+	} else {
+		txs = append(txs, types.Transaction{
+			Client:  types.ClientIDBase + types.NodeID(a.rng.Intn(1<<16)),
+			Seq:     uint32(a.rng.Intn(1 << 30)),
+			Payload: []byte("twin"),
+		})
+	}
+	var parentOp []byte
+	if parent := a.inner.Ledger().Get(b.Parent); parent != nil {
+		parentOp = parent.Op
+	}
+	return &types.Block{
+		Txs:      txs,
+		Op:       a.mach.Execute(parentOp, txs),
+		Parent:   b.Parent,
+		View:     b.View,
+		Height:   b.Height,
+		Proposer: b.Proposer,
+		Proposed: b.Proposed,
+	}
+}
+
+// tryCommitTwin assembles and releases the twin's commitment
+// certificate once f half-B votes plus our own store certificate form
+// a quorum.
+func (a *Replica) tryCommitTwin() {
+	if a.twinDone || a.twinSelf == nil {
+		return
+	}
+	quorum := len(a.halfB) + 1 // f+1 in a 2f+1 cluster
+	if len(a.twinVotes)+1 < quorum {
+		return
+	}
+	signers := []types.NodeID{a.cfg.Self}
+	sigs := []types.Signature{a.twinSelf.Sig}
+	ids := make([]types.NodeID, 0, len(a.twinVotes))
+	for id := range a.twinVotes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if len(signers) == quorum {
+			break
+		}
+		signers = append(signers, id)
+		sigs = append(sigs, a.twinVotes[id].Sig)
+	}
+	a.twinDone = true
+	a.sendTo(a.halfB, &core.MsgDecide{CC: &types.CommitCert{
+		Hash: a.twinHash, View: a.eqView, Signers: signers, Sigs: sigs,
+	}})
+}
+
+// --- lying recovery replies -------------------------------------------
+
+// lieRecovery replaces an honest recovery reply with one of the
+// paper's §2/§4.5 forgery vectors. The recovering node's host-side
+// validation plus TEErecover must reject every one of them.
+func (a *Replica) lieRecovery(to types.NodeID, m *core.MsgRecoveryRpy) {
+	a.pastReplies = append(a.pastReplies, m)
+	if len(a.pastReplies) > 16 {
+		a.pastReplies = a.pastReplies[1:]
+	}
+	switch a.rng.Intn(5) {
+	case 0: // silence
+		return
+	case 1: // inflated view under a garbage signature
+		rpy := *m.Rpy
+		rpy.CurView += types.View(50 + a.rng.Intn(1000))
+		rpy.Sig = a.garbageSig()
+		a.env.Send(to, &core.MsgRecoveryRpy{Rpy: &rpy})
+	case 2: // honest attestation, forged block attachment
+		blk := &types.Block{
+			Txs:      []types.Transaction{{Client: types.ClientIDBase, Seq: 1, Payload: []byte("lie")}},
+			Op:       []byte("lie"),
+			Parent:   m.Rpy.PrepHash,
+			View:     m.Rpy.PrepView,
+			Height:   1,
+			Proposer: a.cfg.Self,
+		}
+		a.env.Send(to, &core.MsgRecoveryRpy{Rpy: m.Rpy, Block: blk, BC: m.BC, CC: m.CC})
+	case 3: // replay a stale recorded reply (old nonce or old target)
+		old := a.pastReplies[a.rng.Intn(len(a.pastReplies))]
+		a.env.Send(to, old)
+	default: // mismatched certificate attachment
+		bc := &types.BlockCert{Hash: m.Rpy.PrepHash, View: m.Rpy.PrepView + 1, Signer: a.cfg.Self, Sig: a.garbageSig()}
+		a.env.Send(to, &core.MsgRecoveryRpy{Rpy: m.Rpy, Block: m.Block, BC: bc})
+	}
+}
+
+// --- spam and replay ---------------------------------------------------
+
+// maybeMischief runs the low-intensity background attacks, paced by
+// the node's own deterministic coin so runs stay reproducible.
+func (a *Replica) maybeMischief() {
+	if a.env == nil {
+		return
+	}
+	if a.cfg.Behaviors&ViewSpam != 0 && a.spamBudget > 0 && a.rng.Float64() < 0.08 {
+		a.spamBudget--
+		target := a.inner.View() + types.View(a.rng.Intn(4))
+		var h types.Hash
+		a.rng.Read(h[:])
+		vc := &types.ViewCert{
+			PrepHash: h,
+			PrepView: target + types.View(100+a.rng.Intn(1000)),
+			CurView:  target,
+			Signer:   a.cfg.Self,
+			Sig:      a.garbageSig(),
+		}
+		a.env.Send(types.LeaderForView(target, a.cfg.N), &core.MsgNewView{VC: vc})
+	}
+	if a.cfg.Behaviors&Replay != 0 && a.replayBudget > 0 && len(a.sent) > 0 && a.rng.Float64() < 0.06 {
+		a.replayBudget--
+		msg := a.sent[a.rng.Intn(len(a.sent))]
+		to := types.NodeID(a.rng.Intn(a.cfg.N))
+		if to == a.cfg.Self {
+			to = types.NodeID((int(to) + 1) % a.cfg.N)
+		}
+		a.env.Send(to, msg)
+	}
+}
+
+// --- helpers -----------------------------------------------------------
+
+func (a *Replica) sendTo(ids []types.NodeID, msg types.Message) {
+	for _, id := range ids {
+		a.env.Send(id, msg)
+	}
+}
+
+func (a *Replica) garbageSig() types.Signature {
+	sig := make([]byte, 71)
+	a.rng.Read(sig)
+	return sig
+}

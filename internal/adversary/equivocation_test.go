@@ -1,0 +1,350 @@
+package adversary
+
+import (
+	"errors"
+	"testing"
+
+	"achilles/internal/core/accum"
+	"achilles/internal/core/checker"
+	"achilles/internal/crypto"
+	"achilles/internal/damysus"
+	"achilles/internal/flexibft"
+	"achilles/internal/oneshot"
+	"achilles/internal/tee"
+	"achilles/internal/types"
+)
+
+// This file sweeps the classic equivocation vectors — same-view double
+// sign, view regression, and justification-certificate replay —
+// against every trusted component in the repository: Achilles' CHECKER
+// and ACCUMULATOR, the Damysus and OneShot checkers, and FlexiBFT's
+// sequencer. Each vector must be rejected by the component itself,
+// with no help from host-side code.
+
+const (
+	eqNodes  = 5
+	eqQuorum = 3 // f+1 with f=2
+)
+
+type trustedFixture struct {
+	svcs    []*crypto.Service
+	genesis *types.Block
+}
+
+func newTrustedFixture(t *testing.T) *trustedFixture {
+	t.Helper()
+	scheme := crypto.FastScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, eqNodes)
+	for i := 0; i < eqNodes; i++ {
+		p, pub := scheme.KeyPair(1, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+	fx := &trustedFixture{genesis: types.GenesisBlock()}
+	for i := 0; i < eqNodes; i++ {
+		fx.svcs = append(fx.svcs,
+			crypto.NewService(scheme, ring, privs[i], types.NodeID(i), nil, crypto.Costs{}))
+	}
+	return fx
+}
+
+func eqLeaderOf(v types.View) types.NodeID { return types.LeaderForView(v, eqNodes) }
+
+func (fx *trustedFixture) enclave(tag string) *tee.Enclave {
+	return tee.New(tee.Config{Measurement: types.HashBytes([]byte(tag))})
+}
+
+// blockIn builds a block extending parent in view v with contents
+// derived from tag, so two tags give two conflicting blocks for the
+// same slot.
+func (fx *trustedFixture) blockIn(parent *types.Block, v types.View, proposer types.NodeID, tag string) *types.Block {
+	return &types.Block{
+		Txs:      []types.Transaction{{Client: 1, Seq: uint32(v), Payload: []byte(tag)}},
+		Op:       []byte(tag),
+		Parent:   parent.Hash(),
+		View:     v,
+		Height:   parent.Height + 1,
+		Proposer: proposer,
+	}
+}
+
+// accFor signs an accumulator certificate: leader asserts parent (at
+// prepared view pv) is the highest prepared block among quorum view
+// certificates for view v.
+func (fx *trustedFixture) accFor(leader types.NodeID, parent types.Hash, pv, v types.View) *types.AccCert {
+	ids := []types.NodeID{0, 1, 2}
+	sig := fx.svcs[leader].Sign(types.AccCertPayload(parent, pv, v, ids))
+	return &types.AccCert{Hash: parent, View: pv, CurView: v, IDs: ids, Signer: leader, Sig: sig}
+}
+
+// ccFor signs a quorum commitment certificate for (hash, view).
+func (fx *trustedFixture) ccFor(hash types.Hash, v types.View) *types.CommitCert {
+	signers := []types.NodeID{0, 1, 2}
+	sigs := make([]types.Signature, len(signers))
+	for i, id := range signers {
+		sigs[i] = fx.svcs[id].Sign(types.StoreCertPayload(hash, v))
+	}
+	return &types.CommitCert{Hash: hash, View: v, Signers: signers, Sigs: sigs}
+}
+
+// --- Achilles CHECKER --------------------------------------------------
+
+func (fx *trustedFixture) achillesChecker(id types.NodeID) *checker.Checker {
+	return checker.New(checker.Config{
+		Enclave:     fx.enclave("achilles"),
+		Service:     fx.svcs[id],
+		LeaderOf:    eqLeaderOf,
+		Quorum:      eqQuorum,
+		GenesisHash: fx.genesis.Hash(),
+		NonceSeed:   uint64(id),
+	})
+}
+
+func TestAchillesCheckerRejectsEquivocation(t *testing.T) {
+	fx := newTrustedFixture(t)
+	leader := eqLeaderOf(1)
+	c := fx.achillesChecker(leader)
+	if _, err := c.TEEview(); err != nil {
+		t.Fatal(err)
+	}
+	acc := fx.accFor(leader, fx.genesis.Hash(), 0, 1)
+	a := fx.blockIn(fx.genesis, 1, leader, "a")
+	if _, err := c.TEEprepare(a, a.Hash(), acc, nil); err != nil {
+		t.Fatalf("honest proposal rejected: %v", err)
+	}
+
+	// Same-view double sign: a second block for view 1.
+	b := fx.blockIn(fx.genesis, 1, leader, "b")
+	if _, err := c.TEEprepare(b, b.Hash(), acc, nil); !errors.Is(err, checker.ErrAlreadyProposed) {
+		t.Fatalf("double sign in one view: err = %v, want ErrAlreadyProposed", err)
+	}
+
+	// Accumulator replay: the view-1 certificate reused to justify a
+	// proposal in view 2.
+	if _, err := c.TEEview(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := fx.blockIn(fx.genesis, 2, leader, "c")
+	if _, err := c.TEEprepare(c2, c2.Hash(), acc, nil); !errors.Is(err, checker.ErrWrongView) {
+		t.Fatalf("replayed accumulator certificate: err = %v, want ErrWrongView", err)
+	}
+
+	// Commitment-certificate replay on the fast path: a CC for view 0
+	// cannot justify a view-2 proposal (fast path needs view vi-1).
+	cc := fx.ccFor(fx.genesis.Hash(), 0)
+	if _, err := c.TEEprepare(c2, c2.Hash(), nil, cc); !errors.Is(err, checker.ErrWrongView) {
+		t.Fatalf("replayed commitment certificate: err = %v, want ErrWrongView", err)
+	}
+}
+
+func TestAchillesCheckerRejectsVoteRegression(t *testing.T) {
+	fx := newTrustedFixture(t)
+	voter := types.NodeID(3)
+	c := fx.achillesChecker(voter)
+	leaderSvc := fx.svcs[eqLeaderOf(1)]
+
+	// Advance the voter's checker to view 2, then offer a leader
+	// certificate for view 1: voting would contradict the view change.
+	if _, err := c.TEEview(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TEEview(); err != nil {
+		t.Fatal(err)
+	}
+	h := types.HashBytes([]byte("old"))
+	bc := &types.BlockCert{
+		Hash: h, View: 1, Signer: eqLeaderOf(1),
+		Sig: leaderSvc.Sign(types.BlockCertPayload(h, 1)),
+	}
+	if _, err := c.TEEstore(bc); !errors.Is(err, checker.ErrStale) {
+		t.Fatalf("vote for a past view: err = %v, want ErrStale", err)
+	}
+
+	// Forged leader certificate for the current view.
+	h2 := types.HashBytes([]byte("forged"))
+	forged := &types.BlockCert{Hash: h2, View: 2, Signer: eqLeaderOf(2), Sig: []byte("garbage")}
+	if _, err := c.TEEstore(forged); !errors.Is(err, checker.ErrBadCertificate) {
+		t.Fatalf("forged block certificate: err = %v, want ErrBadCertificate", err)
+	}
+}
+
+// --- Achilles ACCUMULATOR ----------------------------------------------
+
+func TestAccumulatorRejectsReplayVectors(t *testing.T) {
+	fx := newTrustedFixture(t)
+	acc := accum.New(fx.enclave("accum"), fx.svcs[1], eqQuorum)
+	vc := func(id types.NodeID, pv, v types.View, tag string) *types.ViewCert {
+		h := types.HashBytes([]byte(tag))
+		sig := fx.svcs[id].Sign(types.ViewCertPayload(h, pv, v))
+		return &types.ViewCert{PrepHash: h, PrepView: pv, CurView: v, Signer: id, Sig: sig}
+	}
+
+	best := vc(0, 5, 9, "best")
+	// Replay amplification: the same signer's certificate counted twice
+	// to fake a quorum.
+	dup := []*types.ViewCert{best, vc(2, 1, 9, "x"), vc(2, 1, 9, "x")}
+	if _, err := acc.TEEaccum(best, dup); !errors.Is(err, accum.ErrDuplicate) {
+		t.Fatalf("duplicate signer: err = %v, want ErrDuplicate", err)
+	}
+	// Cross-view replay: a certificate from an older view mixed in.
+	stale := []*types.ViewCert{best, vc(2, 1, 9, "x"), vc(3, 1, 8, "old")}
+	if _, err := acc.TEEaccum(best, stale); !errors.Is(err, accum.ErrViewMismatch) {
+		t.Fatalf("stale view certificate: err = %v, want ErrViewMismatch", err)
+	}
+	// Suppression: claiming a lower prepared block than the quorum holds
+	// (would let a Byzantine leader discard a prepared block).
+	low := vc(1, 2, 9, "low")
+	if _, err := acc.TEEaccum(low, []*types.ViewCert{low, best, vc(2, 1, 9, "x")}); !errors.Is(err, accum.ErrNotHighest) {
+		t.Fatalf("suppressed prepared block: err = %v, want ErrNotHighest", err)
+	}
+	// Forged member certificate.
+	forged := &types.ViewCert{PrepHash: types.HashBytes([]byte("f")), PrepView: 1, CurView: 9, Signer: 4, Sig: []byte("bad")}
+	if _, err := acc.TEEaccum(best, []*types.ViewCert{best, vc(2, 1, 9, "x"), forged}); !errors.Is(err, accum.ErrBadSignature) {
+		t.Fatalf("forged view certificate: err = %v, want ErrBadSignature", err)
+	}
+}
+
+// --- Damysus checker ---------------------------------------------------
+
+func (fx *trustedFixture) damysusChecker(id types.NodeID) *damysus.Checker {
+	return damysus.NewChecker(damysus.CheckerConfig{
+		Enclave:     fx.enclave("damysus"),
+		Service:     fx.svcs[id],
+		LeaderOf:    eqLeaderOf,
+		Quorum:      eqQuorum,
+		GenesisHash: fx.genesis.Hash(),
+	})
+}
+
+func TestDamysusCheckerRejectsEquivocation(t *testing.T) {
+	fx := newTrustedFixture(t)
+	leader := eqLeaderOf(1)
+	c := fx.damysusChecker(leader)
+	if _, err := c.TEEnewview(); err != nil {
+		t.Fatal(err)
+	}
+	acc := fx.accFor(leader, fx.genesis.Hash(), 0, 1)
+	a := fx.blockIn(fx.genesis, 1, leader, "a")
+	if _, err := c.TEEprepare(a, a.Hash(), acc); err != nil {
+		t.Fatalf("honest proposal rejected: %v", err)
+	}
+	// Same-view double sign.
+	b := fx.blockIn(fx.genesis, 1, leader, "b")
+	if _, err := c.TEEprepare(b, b.Hash(), acc); !errors.Is(err, damysus.ErrAlreadyProposed) {
+		t.Fatalf("double sign: err = %v, want ErrAlreadyProposed", err)
+	}
+	// Accumulator replay in the next view.
+	if _, err := c.TEEnewview(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := fx.blockIn(fx.genesis, 2, leader, "c")
+	if _, err := c.TEEprepare(c2, c2.Hash(), acc); !errors.Is(err, damysus.ErrWrongView) {
+		t.Fatalf("replayed accumulator: err = %v, want ErrWrongView", err)
+	}
+}
+
+func TestDamysusVoteRejectsRegression(t *testing.T) {
+	fx := newTrustedFixture(t)
+	voter := types.NodeID(3)
+	c := fx.damysusChecker(voter)
+	for i := 0; i < 2; i++ {
+		if _, err := c.TEEnewview(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := types.HashBytes([]byte("old"))
+	bc := &types.BlockCert{
+		Hash: h, View: 1, Signer: eqLeaderOf(1),
+		Sig: fx.svcs[eqLeaderOf(1)].Sign(types.BlockCertPayload(h, 1)),
+	}
+	if _, err := c.TEEvotePrepare(bc); !errors.Is(err, damysus.ErrStale) {
+		t.Fatalf("prepare vote for a past view: err = %v, want ErrStale", err)
+	}
+}
+
+// --- OneShot checker ---------------------------------------------------
+
+func (fx *trustedFixture) oneshotChecker(id types.NodeID) *oneshot.Checker {
+	return oneshot.NewChecker(oneshot.CheckerConfig{
+		Enclave:     fx.enclave("oneshot"),
+		Service:     fx.svcs[id],
+		LeaderOf:    eqLeaderOf,
+		Quorum:      eqQuorum,
+		GenesisHash: fx.genesis.Hash(),
+	})
+}
+
+func TestOneShotCheckerRejectsEquivocation(t *testing.T) {
+	fx := newTrustedFixture(t)
+	leader := eqLeaderOf(1)
+	c := fx.oneshotChecker(leader)
+	if _, err := c.TEEnewview(); err != nil {
+		t.Fatal(err)
+	}
+	acc := fx.accFor(leader, fx.genesis.Hash(), 0, 1)
+	a := fx.blockIn(fx.genesis, 1, leader, "a")
+	if _, err := c.TEEprepareSlow(a, a.Hash(), acc); err != nil {
+		t.Fatalf("honest slow-path proposal rejected: %v", err)
+	}
+	// Double sign across the two prepare paths: the flag must cover
+	// both, or a leader could certify one block per path.
+	b := fx.blockIn(fx.genesis, 1, leader, "b")
+	cc := fx.ccFor(fx.genesis.Hash(), 0)
+	if _, err := c.TEEprepareFast(b, b.Hash(), cc); !errors.Is(err, oneshot.ErrAlreadyProposed) {
+		t.Fatalf("cross-path double sign: err = %v, want ErrAlreadyProposed", err)
+	}
+	if _, err := c.TEEprepareSlow(b, b.Hash(), acc); !errors.Is(err, oneshot.ErrAlreadyProposed) {
+		t.Fatalf("slow-path double sign: err = %v, want ErrAlreadyProposed", err)
+	}
+	// Commitment-certificate replay: a CC for view 0 justifying a
+	// view-3 fast-path proposal.
+	for i := 0; i < 2; i++ {
+		if _, err := c.TEEnewview(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := fx.blockIn(fx.genesis, 3, leader, "d")
+	if _, err := c.TEEprepareFast(d, d.Hash(), cc); !errors.Is(err, oneshot.ErrWrongView) {
+		t.Fatalf("replayed commitment certificate: err = %v, want ErrWrongView", err)
+	}
+}
+
+func TestOneShotVoteRejectsRegression(t *testing.T) {
+	fx := newTrustedFixture(t)
+	voter := types.NodeID(3)
+	c := fx.oneshotChecker(voter)
+	for i := 0; i < 2; i++ {
+		if _, err := c.TEEnewview(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := types.HashBytes([]byte("old"))
+	bc := &types.BlockCert{
+		Hash: h, View: 1, Signer: eqLeaderOf(1),
+		Sig: fx.svcs[eqLeaderOf(1)].Sign(types.PrepareCertPayload(h, 1)),
+	}
+	if _, err := c.TEEvotePrepare(bc); !errors.Is(err, oneshot.ErrStale) {
+		t.Fatalf("prepare vote for a past view: err = %v, want ErrStale", err)
+	}
+}
+
+// --- FlexiBFT sequencer ------------------------------------------------
+
+func TestFlexiBFTSequencerRejectsEquivocation(t *testing.T) {
+	fx := newTrustedFixture(t)
+	seq := flexibft.NewSequencer(fx.enclave("flexi"), fx.svcs[0], nil)
+	a := fx.blockIn(fx.genesis, 0, 0, "a")
+	if _, err := seq.TEEorder(a, a.Hash(), 5); err != nil {
+		t.Fatalf("honest order rejected: %v", err)
+	}
+	// Same-sequence double sign: a second block for slot 5.
+	b := fx.blockIn(fx.genesis, 0, 0, "b")
+	if _, err := seq.TEEorder(b, b.Hash(), 5); !errors.Is(err, flexibft.ErrSeqUsed) {
+		t.Fatalf("double sign at one sequence number: err = %v, want ErrSeqUsed", err)
+	}
+	// Sequence regression: rewinding to an earlier slot.
+	if _, err := seq.TEEorder(b, b.Hash(), 3); !errors.Is(err, flexibft.ErrSeqUsed) {
+		t.Fatalf("sequence regression: err = %v, want ErrSeqUsed", err)
+	}
+}

@@ -1,0 +1,342 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"achilles/internal/harness"
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// Scenario is one fully-deterministic fuzz case: every choice — who is
+// Byzantine and how, who crashes when, what happens to the victim's
+// sealed storage, which links drop messages before GST — is derived
+// from Seed, so the struct itself is the reproducer.
+type Scenario struct {
+	Seed int64
+	F    int
+	// Byz maps Byzantine nodes to their active behaviors.
+	Byz map[types.NodeID]Behavior
+	// Weaken lists nodes whose checker equivocation guards are disabled
+	// (the suite's self-test: the invariants must then fire).
+	Weaken map[types.NodeID]bool
+	// Victim crashes at CrashAt and reboots recovering at RebootAt;
+	// -1 disables the crash. Rollback is applied to the victim's sealed
+	// storage while it is down: "" (honest), "stale" (serve the first
+	// version of every blob), or "wipe" (serve nothing).
+	Victim            types.NodeID
+	CrashAt, RebootAt time.Duration
+	Rollback          string
+	// Network faults, active only before GST: each link message drops
+	// with probability DropP, and an optional partition splits the
+	// cluster in two over [PartFrom, PartTo).
+	DropP            float64
+	Partition        bool
+	PartFrom, PartTo time.Duration
+	GST              time.Duration
+	Horizon          time.Duration
+}
+
+// RandomScenario derives a scenario from seed. With weaken set, the
+// scenario plants one weakened equivocating node and keeps the network
+// clean so the attack reliably reaches a split commit.
+func RandomScenario(seed int64, weaken bool) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	s := Scenario{
+		Seed:   seed,
+		F:      1 + rng.Intn(2),
+		Byz:    make(map[types.NodeID]Behavior),
+		Weaken: make(map[types.NodeID]bool),
+		Victim: -1,
+		GST:    700*time.Millisecond + time.Duration(rng.Intn(500))*time.Millisecond,
+	}
+	// Post-GST window: enough for the pacemaker backoff built up during
+	// the chaotic pre-GST phase (multi-second timeouts after repeated
+	// failures) to expire and view synchronization to reconverge the
+	// cluster, with slack for recovery to finish on top.
+	s.Horizon = s.GST + 6*time.Second
+	n := 2*s.F + 1
+
+	if weaken {
+		// One compromised-TEE node mounting the split-brain attack on an
+		// otherwise clean run: the safety invariant must catch it.
+		id := types.NodeID(rng.Intn(n))
+		s.Byz[id] = Equivocate
+		s.Weaken[id] = true
+		return s
+	}
+
+	// The paper's fault budget: Byzantine nodes plus the crashed node
+	// together stay within f, so recovery quorums always exist.
+	budget := s.F
+	if rng.Float64() < 0.5 {
+		s.Victim = types.NodeID(rng.Intn(n))
+		s.CrashAt = 100*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond
+		s.RebootAt = s.CrashAt + 100*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond
+		s.Rollback = []string{"", "stale", "wipe"}[rng.Intn(3)]
+		budget--
+	}
+	byzCount := rng.Intn(budget + 1)
+	perm := rng.Perm(n)
+	for _, p := range perm {
+		if byzCount == 0 {
+			break
+		}
+		if id := types.NodeID(p); id != s.Victim {
+			s.Byz[id] = Behavior(1 + rng.Intn(int(All)))
+			byzCount--
+		}
+	}
+	s.DropP = rng.Float64() * 0.2
+	if rng.Float64() < 0.3 {
+		s.Partition = true
+		s.PartFrom = time.Duration(rng.Intn(int(s.GST / 2)))
+		s.PartTo = s.PartFrom + time.Duration(rng.Intn(int(s.GST-s.PartFrom)))
+	}
+	return s
+}
+
+// String renders the scenario as a one-stanza reproducer.
+func (s Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d f=%d n=%d", s.Seed, s.F, 2*s.F+1)
+	ids := make([]types.NodeID, 0, len(s.Byz))
+	for id := range s.Byz {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, " byz[%v]=%v", id, s.Byz[id])
+		if s.Weaken[id] {
+			fmt.Fprintf(&b, "(weakened-checker)")
+		}
+	}
+	if s.Victim >= 0 {
+		fmt.Fprintf(&b, " crash[%v]@%v reboot@%v", s.Victim, s.CrashAt, s.RebootAt)
+		if s.Rollback != "" {
+			fmt.Fprintf(&b, " rollback=%s", s.Rollback)
+		}
+	}
+	if s.DropP > 0 {
+		fmt.Fprintf(&b, " drop=%.3f", s.DropP)
+	}
+	if s.Partition {
+		fmt.Fprintf(&b, " partition=[%v,%v)", s.PartFrom, s.PartTo)
+	}
+	fmt.Fprintf(&b, " gst=%v horizon=%v", s.GST, s.Horizon)
+	return b.String()
+}
+
+// ExpectViolation reports whether the scenario plants a fault the
+// protocol is not designed to survive (a weakened trusted component),
+// so a safety violation is the *expected* outcome.
+func (s Scenario) ExpectViolation() bool { return len(s.Weaken) > 0 }
+
+// Result summarizes one scenario run.
+type Result struct {
+	// Safety lists safety-invariant violations (empty is a pass unless
+	// the scenario expects one).
+	Safety []string
+	// Liveness lists post-GST progress failures.
+	Liveness []string
+	// MaxHeight is the highest honest commit; HeightAtGST the same at
+	// GST.
+	MaxHeight   types.Height
+	HeightAtGST types.Height
+}
+
+// Failed reports whether the run violates the scenario's expectations:
+// an unexpected safety violation, a liveness failure, or — for
+// weakened scenarios — the invariants *failing to catch* the attack.
+func (r Result) Failed(s Scenario) bool {
+	if s.ExpectViolation() {
+		return len(r.Safety) == 0
+	}
+	return len(r.Safety) > 0 || len(r.Liveness) > 0
+}
+
+// Run executes the scenario on a simulated Achilles cluster and checks
+// every invariant.
+func (s Scenario) Run() Result {
+	n := 2*s.F + 1
+	inv := NewInvariants(n)
+	for id := range s.Byz {
+		inv.Exempt(id)
+	}
+	for id := range s.Weaken {
+		inv.Exempt(id)
+	}
+	cfg := harness.ClusterConfig{
+		Protocol:      harness.Achilles,
+		F:             s.F,
+		BatchSize:     16,
+		PayloadSize:   8,
+		Seed:          s.Seed,
+		Synthetic:     true,
+		Observer:      inv,
+		WeakenChecker: s.Weaken,
+	}
+	cfg.Wrap = func(id types.NodeID, recovering bool, r protocol.Replica) protocol.Replica {
+		b, ok := s.Byz[id]
+		if !ok {
+			return r
+		}
+		return New(Config{Self: id, N: n, Behaviors: b, Seed: s.Seed, Weakened: s.Weaken[id]}, r)
+	}
+	c := harness.NewCluster(cfg)
+	eng := c.Engine
+	eng.OnCommit = inv.OnCommit
+
+	// Pre-GST network faults: seeded drops plus an optional partition
+	// splitting {0..n/2} from the rest.
+	chaos := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	half := n / 2
+	eng.SetLinkFilter(func(from, to types.NodeID, msg types.Message) bool {
+		now := eng.Now()
+		if now >= s.GST {
+			return true
+		}
+		if s.Partition && now >= s.PartFrom && now < s.PartTo &&
+			(int(from) <= half) != (int(to) <= half) {
+			return false
+		}
+		return chaos.Float64() >= s.DropP
+	})
+
+	var res Result
+	if s.Victim >= 0 {
+		c.CrashReboot(s.Victim, s.CrashAt, s.RebootAt)
+		eng.At(s.CrashAt, func() { inv.NodeCrashed(s.Victim) })
+		if s.Rollback != "" {
+			st := c.SealedStore(s.Victim)
+			mid := s.CrashAt + (s.RebootAt-s.CrashAt)/2
+			eng.At(mid, func() {
+				if s.Rollback == "wipe" {
+					st.WipeAll()
+				} else {
+					st.RollBackAll(0)
+				}
+			})
+		}
+	}
+	eng.At(s.GST, func() { res.HeightAtGST = inv.MaxHeight() })
+
+	eng.Start()
+	eng.Run(types.Time(s.Horizon))
+
+	res.Safety = inv.Violations()
+	res.MaxHeight = inv.MaxHeight()
+	if len(res.Safety) == 0 && !s.ExpectViolation() {
+		// Liveness after GST: the honest cluster keeps committing, and a
+		// crashed node finishes recovery and rejoins the chain.
+		if res.MaxHeight < res.HeightAtGST+2 {
+			res.Liveness = append(res.Liveness,
+				fmt.Sprintf("no progress after GST: height %d at GST, %d at horizon", res.HeightAtGST, res.MaxHeight))
+		}
+		if s.Victim >= 0 {
+			if cr, ok := eng.Replica(s.Victim).(interface{ Recovering() bool }); ok && cr.Recovering() {
+				res.Liveness = append(res.Liveness,
+					fmt.Sprintf("node %v still recovering at horizon", s.Victim))
+			}
+			if inv.HeightOf(s.Victim) == 0 {
+				res.Liveness = append(res.Liveness,
+					fmt.Sprintf("node %v committed nothing after reboot", s.Victim))
+			}
+		}
+	}
+	return res
+}
+
+// Minimize greedily simplifies a failing scenario while the failure
+// persists, and returns the smallest variant found together with its
+// result. Each candidate clears one ingredient; a candidate is kept
+// only if the run still fails the same way.
+func Minimize(s Scenario, r Result) (Scenario, Result) {
+	simplify := []func(*Scenario){
+		func(c *Scenario) { c.DropP = 0 },
+		func(c *Scenario) { c.Partition = false },
+		func(c *Scenario) { c.Rollback = "" },
+		func(c *Scenario) { c.Victim = -1; c.Rollback = "" },
+	}
+	ids := make([]types.NodeID, 0, len(s.Byz))
+	for id := range s.Byz {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		id := id
+		// Try removing the node entirely, then each behavior bit.
+		simplify = append(simplify, func(c *Scenario) {
+			if !c.Weaken[id] {
+				delete(c.Byz, id)
+			}
+		})
+		for _, bit := range []Behavior{Replay, Withhold, ViewSpam, LieRecovery} {
+			bit := bit
+			simplify = append(simplify, func(c *Scenario) {
+				if b, ok := c.Byz[id]; ok && b&bit != 0 && b != bit {
+					c.Byz[id] = b &^ bit
+				}
+			})
+		}
+	}
+	best, bestRes := s, r
+	for _, f := range simplify {
+		cand := best.clone()
+		f(&cand)
+		if cand.equal(best) {
+			continue
+		}
+		if cr := cand.Run(); cr.Failed(cand) {
+			best, bestRes = cand, cr
+		}
+	}
+	return best, bestRes
+}
+
+func (s Scenario) clone() Scenario {
+	c := s
+	c.Byz = make(map[types.NodeID]Behavior, len(s.Byz))
+	for id, b := range s.Byz {
+		c.Byz[id] = b
+	}
+	c.Weaken = make(map[types.NodeID]bool, len(s.Weaken))
+	for id, w := range s.Weaken {
+		c.Weaken[id] = w
+	}
+	return c
+}
+
+func (s Scenario) equal(o Scenario) bool { return s.String() == o.String() }
+
+// Sweep runs count seeded scenarios starting at base and reports each
+// failure (minimized) through report. It returns the number of
+// failures. With weaken set every scenario plants a weakened checker
+// and a *caught* attack counts as success.
+func Sweep(base int64, count int, weaken bool, report func(format string, args ...any)) int {
+	failures := 0
+	for i := 0; i < count; i++ {
+		s := RandomScenario(base+int64(i), weaken)
+		r := s.Run()
+		if !r.Failed(s) {
+			continue
+		}
+		failures++
+		ms, mr := Minimize(s, r)
+		report("FAIL seed %d\n  scenario:  %s\n  minimized: %s", s.Seed, s, ms)
+		if len(mr.Safety) == 0 && ms.ExpectViolation() {
+			report("  weakened checker escaped detection")
+		}
+		for _, v := range mr.Safety {
+			report("  safety: %s", v)
+		}
+		for _, v := range mr.Liveness {
+			report("  liveness: %s", v)
+		}
+	}
+	return failures
+}

@@ -1,0 +1,228 @@
+package adversary
+
+import (
+	"fmt"
+	"sync"
+
+	"achilles/internal/sim"
+	"achilles/internal/types"
+)
+
+// Invariants machine-checks the paper's safety properties after every
+// observable event of a run: every certificate signed inside a checker
+// (core.StateObserver), every commit (sim.Engine.OnCommit or
+// harness.Metrics), and every recovery. It is deliberately redundant
+// with the protocol's own defenses — when a test weakens a trusted
+// component, these checks are what must still catch the resulting
+// equivocation and print a reproducer.
+//
+// All methods are safe for concurrent use so the same checker works on
+// the live TCP path, where replicas run on separate goroutines.
+type Invariants struct {
+	mu       sync.Mutex
+	n        int
+	exempt   map[types.NodeID]bool // Byzantine/weakened nodes: their own signatures may conflict
+	genesis  types.Hash
+	failures []string
+
+	// Signed views, kept across reboots: a view signed in any
+	// incarnation must never be re-signed with a different hash, and
+	// recovery must land strictly above all of them (Theorem 2).
+	proposed  map[types.NodeID]map[types.View]types.Hash
+	voted     map[types.NodeID]map[types.View]types.Hash
+	maxSigned map[types.NodeID]types.View
+
+	// Per-incarnation state, reset by NodeCrashed.
+	lastAttested map[types.NodeID]types.View
+	commitHeight map[types.NodeID]types.Height
+	commitHash   map[types.NodeID]types.Hash
+
+	// Global agreement among honest nodes.
+	byHeight  map[types.Height]types.Hash
+	maxHeight types.Height
+	heights   map[types.NodeID]types.Height
+}
+
+// NewInvariants returns a checker for an n-node cluster.
+func NewInvariants(n int) *Invariants {
+	return &Invariants{
+		n:            n,
+		exempt:       make(map[types.NodeID]bool),
+		genesis:      types.GenesisBlock().Hash(),
+		proposed:     make(map[types.NodeID]map[types.View]types.Hash),
+		voted:        make(map[types.NodeID]map[types.View]types.Hash),
+		maxSigned:    make(map[types.NodeID]types.View),
+		lastAttested: make(map[types.NodeID]types.View),
+		commitHeight: make(map[types.NodeID]types.Height),
+		commitHash:   make(map[types.NodeID]types.Hash),
+		byHeight:     make(map[types.Height]types.Hash),
+		heights:      make(map[types.NodeID]types.Height),
+	}
+}
+
+// Exempt marks a node as Byzantine or deliberately weakened: its own
+// signatures may equivocate and its commits don't count toward honest
+// agreement. The commits it *causes* on honest nodes still do — that
+// is how a successful equivocation attack is detected.
+func (inv *Invariants) Exempt(id types.NodeID) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.exempt[id] = true
+}
+
+// NodeCrashed resets a node's per-incarnation state (attestation floor
+// and commit cursor — a rebooted node legitimately recommits its chain
+// from height 1). Signed-view history survives: no incarnation may
+// contradict it.
+func (inv *Invariants) NodeCrashed(id types.NodeID) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	delete(inv.lastAttested, id)
+	delete(inv.commitHeight, id)
+	delete(inv.commitHash, id)
+}
+
+func (inv *Invariants) failf(format string, args ...any) {
+	inv.failures = append(inv.failures, fmt.Sprintf(format, args...))
+}
+
+// Violations returns every invariant violation recorded so far.
+func (inv *Invariants) Violations() []string {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return append([]string(nil), inv.failures...)
+}
+
+// MaxHeight returns the highest height committed by any honest node.
+func (inv *Invariants) MaxHeight() types.Height {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.maxHeight
+}
+
+// HeightOf returns the given node's latest committed height in its
+// current incarnation.
+func (inv *Invariants) HeightOf(id types.NodeID) types.Height {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.commitHeight[id]
+}
+
+func (inv *Invariants) recordSigned(kind string, m map[types.NodeID]map[types.View]types.Hash,
+	node types.NodeID, view types.View, hash types.Hash) {
+	views := m[node]
+	if views == nil {
+		views = make(map[types.View]types.Hash)
+		m[node] = views
+	}
+	// Re-signing the same hash at the same view is legitimate (duplicate
+	// proposal delivery re-runs TEEstore); a different hash is the
+	// equivocation Lemma 1 forbids.
+	if prev, ok := views[view]; ok && prev != hash && !inv.exempt[node] {
+		inv.failf("equivocation: node %v signed two %ss in view %d (%x vs %x)",
+			node, kind, view, prev[:4], hash[:4])
+	}
+	views[view] = hash
+	if view > inv.maxSigned[node] {
+		inv.maxSigned[node] = view
+	}
+}
+
+// ObservePropose implements core.StateObserver.
+func (inv *Invariants) ObservePropose(node types.NodeID, view types.View, hash types.Hash) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.recordSigned("proposal", inv.proposed, node, view, hash)
+}
+
+// ObserveVote implements core.StateObserver.
+func (inv *Invariants) ObserveVote(node types.NodeID, view types.View, hash types.Hash) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.recordSigned("vote", inv.voted, node, view, hash)
+}
+
+// ObserveReplyAttested implements core.StateObserver.
+func (inv *Invariants) ObserveReplyAttested(node types.NodeID, curView, prepView types.View) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if prepView > curView {
+		inv.failf("attestation: node %v attested prepView %d above curView %d", node, prepView, curView)
+	}
+	if last, ok := inv.lastAttested[node]; ok && curView < last {
+		inv.failf("attestation regression: node %v attested curView %d after %d in the same incarnation",
+			node, curView, last)
+	}
+	inv.lastAttested[node] = curView
+}
+
+// ObserveRecovered implements core.StateObserver: the Algorithm 3
+// postcondition plus the cross-reboot no-equivocation bound.
+func (inv *Invariants) ObserveRecovered(node types.NodeID, newView, leaderView types.View, leader types.NodeID) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if newView != leaderView+2 {
+		inv.failf("recovery: node %v recovered to view %d, want leaderView %d + 2", node, newView, leaderView)
+	}
+	if want := types.LeaderForView(leaderView, inv.n); leader != want {
+		inv.failf("recovery: node %v justified by %v, who does not lead view %d (leader %v)",
+			node, leader, leaderView, want)
+	}
+	// Theorem 2: the recovered view lies strictly above every view the
+	// node ever signed in, so no pre-crash signature can be contradicted.
+	if max, ok := inv.maxSigned[node]; ok && newView <= max {
+		inv.failf("rollback window: node %v recovered to view %d at or below its last signed view %d",
+			node, newView, max)
+	}
+}
+
+// OnCommit feeds a commit into the checker; wire it to
+// sim.Engine.OnCommit (or call it from a live-path commit hook).
+func (inv *Invariants) OnCommit(rec sim.CommitRecord) {
+	inv.ObserveCommit(rec.Node, rec.Block)
+}
+
+// ObserveCommit checks a single (node, block) commit: consecutive
+// heights with parent linkage per incarnation, and — across honest
+// nodes — a single agreed block per height.
+func (inv *Invariants) ObserveCommit(node types.NodeID, b *types.Block) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	h := b.Hash()
+	prevH, started := inv.commitHeight[node]
+	if !started {
+		if b.Height != 1 {
+			inv.failf("commit order: node %v started its chain at height %d", node, b.Height)
+		}
+		if b.Parent != inv.genesis {
+			inv.failf("commit order: node %v's first block does not extend genesis", node)
+		}
+	} else {
+		if b.Height != prevH+1 {
+			inv.failf("commit order: node %v committed height %d after %d", node, b.Height, prevH)
+		}
+		if b.Parent != inv.commitHash[node] {
+			inv.failf("chain break: node %v committed height %d whose parent is not its height-%d block",
+				node, b.Height, prevH)
+		}
+	}
+	inv.commitHeight[node] = b.Height
+	inv.commitHash[node] = h
+	if inv.exempt[node] {
+		return
+	}
+	if agreed, ok := inv.byHeight[b.Height]; ok {
+		if agreed != h {
+			inv.failf("SAFETY: conflicting commits at height %d (%x vs %x, second by node %v)",
+				b.Height, agreed[:4], h[:4], node)
+		}
+	} else {
+		inv.byHeight[b.Height] = h
+	}
+	if b.Height > inv.maxHeight {
+		inv.maxHeight = b.Height
+	}
+	if b.Height > inv.heights[node] {
+		inv.heights[node] = b.Height
+	}
+}

@@ -1,0 +1,153 @@
+package adversary_test
+
+import (
+	"encoding/binary"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"achilles/internal/adversary"
+	"achilles/internal/client"
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/protocol"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+)
+
+// TestLiveClusterSurvivesAdversary runs a real 3-node Achilles cluster
+// over TCP on localhost with node 2 wrapped in the full Byzantine
+// behavior suite, while raw connections blast garbage, truncated and
+// oversized frames at every listener. The honest majority must keep
+// committing and confirming client transactions.
+func TestLiveClusterSurvivesAdversary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster in -short mode")
+	}
+	transport.RegisterMessages(
+		&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
+		&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
+	)
+
+	const (
+		n   = 3
+		byz = types.NodeID(2)
+	)
+	scheme := crypto.ECDSAScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		p, pub := scheme.KeyPair(41, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+
+	peers := transport.LocalPeers(n, 24531)
+	var commits atomic.Uint64
+	runtimes := make([]*transport.Runtime, 0, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		var secret [32]byte
+		secret[0] = byte(i)
+		var rep protocol.Replica = core.New(core.Config{
+			Config: protocol.Config{
+				Self: id, N: n, F: 1,
+				BatchSize: 16, PayloadSize: 8,
+				BaseTimeout: 150 * time.Millisecond, Seed: 41,
+			},
+			Scheme:        scheme,
+			Ring:          ring,
+			Priv:          privs[i],
+			MachineSecret: secret,
+		})
+		if id == byz {
+			rep = adversary.New(adversary.Config{
+				Self: id, N: n, Behaviors: adversary.All, Seed: 41,
+			}, rep)
+		}
+		cfg := transport.Config{
+			Self:   id,
+			Listen: peers[id],
+			Peers:  peers,
+			Scheme: scheme,
+			Ring:   ring,
+			Priv:   privs[i],
+		}
+		if id != byz {
+			cfg.OnCommit = func(b *types.Block, cc *types.CommitCert) {
+				if cc == nil || len(cc.Signers) < 2 {
+					t.Errorf("commit without quorum certificate")
+				}
+				commits.Add(1)
+			}
+		}
+		rt := transport.New(cfg, rep)
+		if err := rt.Start(); err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		runtimes = append(runtimes, rt)
+	}
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+	}()
+
+	// Wire-level chaos on every listener: pure garbage, a frame header
+	// that promises more bytes than arrive, and an oversized length
+	// prefix. None of these hold a replica identity, so at worst they
+	// burn one accepted connection each.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		junk := [][]byte{
+			[]byte("GET / HTTP/1.1\r\n\r\n"),
+			{0x00, 0x00, 0x03, 0xe8, 0x01, 0x02}, // claims 1000 bytes, sends 2
+			{0xff, 0xff, 0xff, 0xff},             // oversized length prefix
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 64)
+		junk = append(junk, append(hdr[:], make([]byte, 64)...)) // 64 zero bytes of "gob"
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			addr := peers[types.NodeID(i%n)]
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err == nil {
+				conn.Write(junk[i%len(junk)])
+				conn.Close()
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	cl := client.New(client.Config{
+		Self:        types.ClientIDBase,
+		Nodes:       n,
+		F:           1,
+		Rate:        400,
+		PayloadSize: 8,
+		Tick:        10 * time.Millisecond,
+	})
+	crt := transport.New(transport.Config{Self: types.ClientIDBase, Peers: peers, Scheme: scheme, Ring: ring}, cl)
+	if err := crt.Start(); err != nil {
+		t.Fatalf("start client: %v", err)
+	}
+	defer crt.Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cl.Completed() >= 50 && commits.Load() >= 3 {
+			t.Logf("adversarial live cluster: %d confirmed txs, %d commits, mean latency %v",
+				cl.Completed(), commits.Load(), cl.MeanLatency())
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("cluster stalled under adversary: confirmed=%d commits=%d",
+		cl.Completed(), commits.Load())
+}

@@ -57,10 +57,11 @@ type Checker struct {
 	prpv types.View
 	prph types.Hash
 
-	recovering bool
-	lastNonce  uint64
-	nonceState [32]byte
-	hasNonce   bool
+	recovering   bool
+	lastNonce    uint64
+	nonceState   [32]byte
+	hasNonce     bool
+	unsafeWeaken bool
 
 	// Memo of the last quorum-verified commitment certificate: the
 	// same certificate typically flows through TEEstoreCommit and the
@@ -95,6 +96,12 @@ type Config struct {
 	// NonceSeed makes recovery nonce generation deterministic per
 	// enclave instance for reproducible simulations.
 	NonceSeed uint64
+	// UnsafeWeaken disables TEEprepare's equivocation guards (the
+	// proposal flag and the parent-justification check), modeling a
+	// compromised enclave. It exists solely so the adversarial fuzz
+	// harness can prove the safety invariants detect a broken checker;
+	// it must never be set in production configurations.
+	UnsafeWeaken bool
 }
 
 // New creates a checker with genesis state (vi=0, flag=0,
@@ -111,8 +118,9 @@ func New(cfg Config) *Checker {
 		vi:         0,
 		prpv:       0,
 		prph:       cfg.GenesisHash,
-		recovering: cfg.Recovering,
-		nonceState: ns,
+		recovering:   cfg.Recovering,
+		nonceState:   ns,
+		unsafeWeaken: cfg.UnsafeWeaken,
 	}
 }
 
@@ -143,7 +151,7 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, c
 	if c.recovering {
 		return nil, ErrRecovering
 	}
-	if c.flag {
+	if c.flag && !c.unsafeWeaken {
 		return nil, ErrAlreadyProposed
 	}
 	if b.Hash() != h {
@@ -168,7 +176,9 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, c
 			return nil, ErrWrongView
 		}
 	default:
-		return nil, ErrBadCertificate
+		if !c.unsafeWeaken {
+			return nil, ErrBadCertificate
+		}
 	}
 	c.flag = true
 	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi))
@@ -295,7 +305,8 @@ func (c *Checker) TEEreply(req *types.RecoveryReq) (*types.RecoveryRpy, error) {
 // highest view v' among replies, and must be signed by the leader of
 // v' — the one node guaranteed to know about any in-flight proposal
 // for v' (see the five-node attack in Sec. 4.5). The checker adopts
-// the leader's stored block and jumps to view v'+2: it cannot send
+// the highest prepared state among the replies and jumps to view
+// v'+2: it cannot send
 // anything for v' (it may have sent messages there before the reboot)
 // nor for v'+1 (the new-view optimization may already have carried a
 // node into v'+1 while the leader of v' was still in v'; Lemma 1).
@@ -339,7 +350,23 @@ func (c *Checker) TEErecover(leaderRpy *types.RecoveryRpy, replies []*types.Reco
 	}
 	c.vi = leaderRpy.CurView + 2
 	c.flag = false
+	// Adopt the highest prepared state across the whole quorum, not the
+	// leader reply's. If a block committed at view w while this node was
+	// in the commit quorum, any f+1 distinct replies with views at most
+	// v' include at least one of the other voters (the nodes excluded
+	// for CurView > v' number at most f-1 < f+1 voters), so the maximum
+	// here is >= w and the recovered attestation cannot roll the
+	// prepared block back below a commit this node participated in.
+	// Taking only the leader's prepared state re-opens exactly that
+	// rollback: a leader that never saw the committed block hands back
+	// a stale (prpv, prph), and the recovered node's view certificates
+	// then let an accumulator quorum certify a conflicting sibling.
 	c.prpv, c.prph = leaderRpy.PrepView, leaderRpy.PrepHash
+	for _, r := range replies {
+		if r.PrepView > c.prpv {
+			c.prpv, c.prph = r.PrepView, r.PrepHash
+		}
+	}
 	c.recovering = false
 	c.hasNonce = false
 	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))

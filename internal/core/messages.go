@@ -1,6 +1,14 @@
 package core
 
-import "achilles/internal/types"
+import (
+	"fmt"
+
+	"achilles/internal/types"
+)
+
+// errWire builds structural-validation errors for the Achilles
+// messages; all wrap types.ErrWire so the transport can classify them.
+func errWire(msg string) error { return fmt.Errorf("%w: %s", types.ErrWire, msg) }
 
 // MsgNewView carries a node's view certificate to the new leader, and
 // optionally the commitment certificate of the previous view enabling
@@ -25,6 +33,21 @@ func (m *MsgNewView) Size() int {
 	return s
 }
 
+// ValidateWire implements types.WireValidator: the view certificate is
+// mandatory, the commitment certificate optional (fast path only).
+func (m *MsgNewView) ValidateWire() error {
+	if m.VC == nil {
+		return errWire("new-view: missing view certificate")
+	}
+	if err := m.VC.ValidateWire(); err != nil {
+		return err
+	}
+	if m.CC != nil {
+		return m.CC.ValidateWire()
+	}
+	return nil
+}
+
 // MsgProposal is the leader's block with its block certificate
 // (COMMIT phase, Algorithm 1 lines 18-23).
 type MsgProposal struct {
@@ -38,6 +61,19 @@ func (*MsgProposal) Type() string { return "achilles/proposal" }
 // Size implements types.Message.
 func (m *MsgProposal) Size() int { return m.Block.WireSize() + m.BC.WireSize() }
 
+// ValidateWire implements types.WireValidator: a proposal without a
+// block or certificate is meaningless, and the certificate must cover
+// the attached block.
+func (m *MsgProposal) ValidateWire() error {
+	if m.Block == nil || m.BC == nil {
+		return errWire("proposal: missing block or block certificate")
+	}
+	if err := m.Block.ValidateWire(); err != nil {
+		return err
+	}
+	return m.BC.ValidateWire()
+}
+
 // MsgVote carries a backup's store certificate to the leader.
 type MsgVote struct {
 	SC *types.StoreCert
@@ -48,6 +84,14 @@ func (*MsgVote) Type() string { return "achilles/vote" }
 
 // Size implements types.Message.
 func (m *MsgVote) Size() int { return m.SC.WireSize() }
+
+// ValidateWire implements types.WireValidator.
+func (m *MsgVote) ValidateWire() error {
+	if m.SC == nil {
+		return errWire("vote: missing store certificate")
+	}
+	return m.SC.ValidateWire()
+}
 
 // MsgDecide broadcasts the commitment certificate (DECIDE phase).
 type MsgDecide struct {
@@ -60,6 +104,14 @@ func (*MsgDecide) Type() string { return "achilles/decide" }
 // Size implements types.Message.
 func (m *MsgDecide) Size() int { return m.CC.WireSize() }
 
+// ValidateWire implements types.WireValidator.
+func (m *MsgDecide) ValidateWire() error {
+	if m.CC == nil {
+		return errWire("decide: missing commitment certificate")
+	}
+	return m.CC.ValidateWire()
+}
+
 // MsgRecoveryReq is a rebooting node's recovery request (Algorithm 3).
 type MsgRecoveryReq struct {
 	Req *types.RecoveryReq
@@ -70,6 +122,14 @@ func (*MsgRecoveryReq) Type() string { return "achilles/recovery-req" }
 
 // Size implements types.Message.
 func (m *MsgRecoveryReq) Size() int { return m.Req.WireSize() }
+
+// ValidateWire implements types.WireValidator.
+func (m *MsgRecoveryReq) ValidateWire() error {
+	if m.Req == nil {
+		return errWire("recovery-req: missing request")
+	}
+	return m.Req.ValidateWire()
+}
 
 // MsgRecoveryRpy is a peer's recovery reply: the TEE-signed state
 // attestation plus the latest stored block and its certificates
@@ -83,6 +143,32 @@ type MsgRecoveryRpy struct {
 
 // Type implements types.Message.
 func (*MsgRecoveryRpy) Type() string { return "achilles/recovery-rpy" }
+
+// ValidateWire implements types.WireValidator: the attestation is
+// mandatory; block and certificates are optional attachments whose
+// consistency with the attestation is checked by the recovery driver.
+func (m *MsgRecoveryRpy) ValidateWire() error {
+	if m.Rpy == nil {
+		return errWire("recovery-rpy: missing attestation")
+	}
+	if err := m.Rpy.ValidateWire(); err != nil {
+		return err
+	}
+	if m.Block != nil {
+		if err := m.Block.ValidateWire(); err != nil {
+			return err
+		}
+	}
+	if m.BC != nil {
+		if err := m.BC.ValidateWire(); err != nil {
+			return err
+		}
+	}
+	if m.CC != nil {
+		return m.CC.ValidateWire()
+	}
+	return nil
+}
 
 // Size implements types.Message.
 func (m *MsgRecoveryRpy) Size() int {

@@ -31,6 +31,10 @@ type metrics struct {
 	recoveryReplies  *obs.Counter
 	recoveryServed   *obs.Counter
 	recoveriesDone   *obs.Counter
+
+	badViewCerts     *obs.Counter
+	recoveryRejected *obs.Counter
+	viewJumps        *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -56,6 +60,12 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Recovery replies served to recovering peers."),
 		recoveriesDone: reg.Counter("achilles_recoveries_completed_total",
 			"Recovery protocol completions (TEErecover accepted)."),
+		badViewCerts: reg.Counter("achilles_bad_view_certs_total",
+			"NEW-VIEW certificates evicted for failing signature verification."),
+		recoveryRejected: reg.Counter("achilles_recovery_replies_rejected_total",
+			"Recovery replies rejected (bad signature or inconsistent attachments)."),
+		viewJumps: reg.Counter("achilles_view_jumps_total",
+			"View synchronization jumps (f+1 verified claims of a higher view)."),
 	}
 }
 

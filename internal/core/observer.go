@@ -1,0 +1,54 @@
+package core
+
+import "achilles/internal/types"
+
+// StateObserver receives the attested state transitions of a replica's
+// trusted components as they happen: every certificate the checker
+// signs (proposals and votes), every recovery reply it attests, and
+// every completed recovery. The adversary fuzz harness
+// (internal/adversary) implements it to machine-check the paper's
+// safety invariants — per-(node, view) signature uniqueness, the
+// cross-reboot no-equivocation bound, and the Algorithm 3
+// postcondition — after every event.
+//
+// Callbacks run synchronously on the replica's event loop; they must
+// not call back into the replica. A nil observer disables observation
+// at zero cost.
+type StateObserver interface {
+	// ObservePropose fires after TEEprepare signs a block certificate:
+	// this node proposed block hash in view.
+	ObservePropose(node types.NodeID, view types.View, hash types.Hash)
+	// ObserveVote fires after TEEstore signs a store certificate: this
+	// node voted for block hash in view.
+	ObserveVote(node types.NodeID, view types.View, hash types.Hash)
+	// ObserveReplyAttested fires after TEEreply attests this node's
+	// checker state (curView, prepView) to a recovering peer.
+	ObserveReplyAttested(node types.NodeID, curView, prepView types.View)
+	// ObserveRecovered fires after TEErecover accepts: the node rejoined
+	// at newView, justified by the reply of leader for leaderView.
+	ObserveRecovered(node types.NodeID, newView, leaderView types.View, leader types.NodeID)
+}
+
+func (r *Replica) observePropose(view types.View, hash types.Hash) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObservePropose(r.cfg.Self, view, hash)
+	}
+}
+
+func (r *Replica) observeVote(view types.View, hash types.Hash) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveVote(r.cfg.Self, view, hash)
+	}
+}
+
+func (r *Replica) observeReplyAttested(rpy *types.RecoveryRpy) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveReplyAttested(r.cfg.Self, rpy.CurView, rpy.PrepView)
+	}
+}
+
+func (r *Replica) observeRecovered(newView, leaderView types.View, leader types.NodeID) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveRecovered(r.cfg.Self, newView, leaderView, leader)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"achilles/internal/obs"
@@ -54,8 +55,15 @@ func (r *Replica) startRecovery() {
 	r.trace.Emit(obs.TraceRecoveryStart, uint64(r.view), r.obsHeight.Load(),
 		fmt.Sprintf("epoch=%d", r.recEpoch))
 	r.env.Broadcast(&MsgRecoveryReq{Req: req})
+	// Bounded exponential backoff: the retry period doubles every four
+	// attempts and caps at 4x the base, so a victim facing f lying (or
+	// silent) peers neither floods the cluster with requests nor waits
+	// unboundedly once honest replies become available. The stagger term
+	// keeps retries from phase-locking onto stalled view windows (see
+	// the package comment).
 	base := r.cfg.RecoveryRetry
-	delay := base/2 + time.Duration(uint64(r.recEpoch)%8)*base/8
+	mult := time.Duration(1) << min(uint64(r.recEpoch)/4, 2)
+	delay := base*mult/2 + time.Duration(uint64(r.recEpoch)%8)*base/8
 	r.env.SetTimer(delay, types.TimerID{Kind: types.TimerRecoveryRetry, View: r.recEpoch})
 }
 
@@ -72,9 +80,16 @@ func (r *Replica) onRecoveryReq(from types.NodeID, m *MsgRecoveryReq) {
 		return
 	}
 	if !r.cfg.DisableReReply {
-		r.recoveryPending[from] = &pendingRecovery{req: m.Req, remaining: 8}
+		// A fresh nonce supersedes the pending entry; a replayed request
+		// with the nonce we are already serving must not reset the
+		// re-reply budget, or a replay loop turns each stored request
+		// into an unbounded reply amplifier.
+		if p, ok := r.recoveryPending[from]; !ok || p.req.Nonce != m.Req.Nonce {
+			r.recoveryPending[from] = &pendingRecovery{req: m.Req, remaining: 8}
+		}
 	}
 	r.m.recoveryServed.Inc()
+	r.observeReplyAttested(rpy)
 	r.env.Send(from, &MsgRecoveryRpy{Rpy: rpy, Block: r.prebBlock, BC: r.prebBC, CC: r.prebCC})
 }
 
@@ -84,7 +99,16 @@ func (r *Replica) refreshRecoveryReplies() {
 	if len(r.recoveryPending) == 0 || r.recovering {
 		return
 	}
-	for id, p := range r.recoveryPending {
+	// Iterate in node order: the simulator draws per-send link latency
+	// from its seeded rng, so map-order sends would make otherwise
+	// identical runs diverge.
+	ids := make([]types.NodeID, 0, len(r.recoveryPending))
+	for id := range r.recoveryPending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := r.recoveryPending[id]
 		p.remaining--
 		if p.remaining <= 0 {
 			delete(r.recoveryPending, id)
@@ -94,6 +118,7 @@ func (r *Replica) refreshRecoveryReplies() {
 			delete(r.recoveryPending, id)
 			continue
 		}
+		r.observeReplyAttested(rpy)
 		r.env.Send(id, &MsgRecoveryRpy{Rpy: rpy, Block: r.prebBlock, BC: r.prebBC, CC: r.prebCC})
 	}
 }
@@ -108,10 +133,38 @@ func (r *Replica) onRecoveryRpy(from types.NodeID, m *MsgRecoveryRpy) {
 	if rpy.Signer != from || rpy.Target != r.cfg.Self || rpy.Nonce != r.recNonce {
 		return
 	}
-	// The attached block must match the attested (view, hash) unless
-	// the peer's latest block is genesis.
-	if m.Block != nil && m.Block.Hash() != rpy.PrepHash {
+	// Verify the attestation signature on the host before storing the
+	// reply: TEErecover would reject a forged reply anyway, but only
+	// after it has displaced an honest one in recReplies — f lying
+	// peers could otherwise keep the reply set permanently unusable.
+	if !r.svc.Verify(rpy.Signer,
+		types.RecoveryRpyPayload(rpy.PrepHash, rpy.PrepView, rpy.CurView, rpy.Target, rpy.Nonce),
+		rpy.Sig) {
+		r.m.recoveryRejected.Inc()
+		r.env.Logf("recovery reply from %d rejected: bad attestation signature", from)
 		return
+	}
+	// The attachments ⟨b, φ_b, φ_c⟩ must be consistent with the attested
+	// (prepv, preph): a peer cannot pair an honest attestation with a
+	// forged block or certificate.
+	if m.Block != nil && m.Block.Hash() != rpy.PrepHash {
+		r.m.recoveryRejected.Inc()
+		return
+	}
+	if bc := m.BC; bc != nil {
+		if m.Block == nil || bc.Hash != rpy.PrepHash || bc.View != rpy.PrepView ||
+			bc.Signer != r.cfg.Leader(bc.View) ||
+			!r.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+			r.m.recoveryRejected.Inc()
+			return
+		}
+	}
+	if cc := m.CC; cc != nil {
+		if len(cc.Signers) < r.cfg.Quorum() ||
+			!r.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+			r.m.recoveryRejected.Inc()
+			return
+		}
 	}
 	r.recReplies[from] = m
 	r.m.recoveryReplies.Inc()
@@ -127,33 +180,58 @@ func (r *Replica) tryFinishRecovery() {
 	if len(r.recReplies) < r.cfg.Quorum() {
 		return
 	}
-	// The highest-view reply must come from that view's leader
-	// (Sec. 4.5); find the best reply satisfying it, then ensure no
-	// reply exceeds its view.
+	// The highest-view reply handed to TEErecover must come from that
+	// view's leader (Sec. 4.5). Rather than requiring the global maximum
+	// over everything received — which lets a single reply with an
+	// inflated view stall recovery forever — pick the best leader-backed
+	// reply and build the quorum only from replies at or below its view.
+	// This is safe by quorum intersection: if this node ever voted in a
+	// view w, then f+1 peers (minus itself, f non-victim nodes) were at
+	// view >= w-1, so any f+1 distinct repliers include one of them and
+	// the best leader-backed view is >= w-1, putting the recovered view
+	// leaderView+2 strictly above w.
 	var leaderMsg *MsgRecoveryRpy
-	var maxView types.View
 	for _, m := range r.recReplies {
-		if m.Rpy.CurView > maxView {
-			maxView = m.Rpy.CurView
-		}
 		if r.cfg.Leader(m.Rpy.CurView) == m.Rpy.Signer {
 			if leaderMsg == nil || m.Rpy.CurView > leaderMsg.Rpy.CurView {
 				leaderMsg = m
 			}
 		}
 	}
-	if leaderMsg == nil || leaderMsg.Rpy.CurView < maxView {
+	if leaderMsg == nil {
 		// No usable leader reply yet; wait for more replies or retry.
 		return
 	}
-	replies := make([]*types.RecoveryRpy, 0, r.cfg.Quorum())
-	replies = append(replies, leaderMsg.Rpy)
-	for _, m := range r.recReplies {
-		if len(replies) == r.cfg.Quorum() {
+	// Fill the quorum in node order so the reply set handed to
+	// TEErecover — and everything downstream of it — is a pure function
+	// of the replies received, not of map iteration order.
+	froms := make([]types.NodeID, 0, len(r.recReplies))
+	for id := range r.recReplies {
+		froms = append(froms, id)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	handed := make([]*MsgRecoveryRpy, 0, r.cfg.Quorum())
+	handed = append(handed, leaderMsg)
+	for _, id := range froms {
+		if len(handed) == r.cfg.Quorum() {
 			break
 		}
-		if m != leaderMsg {
-			replies = append(replies, m.Rpy)
+		if m := r.recReplies[id]; m != leaderMsg && m.Rpy.CurView <= leaderMsg.Rpy.CurView {
+			handed = append(handed, m)
+		}
+	}
+	if len(handed) < r.cfg.Quorum() {
+		return
+	}
+	replies := make([]*types.RecoveryRpy, len(handed))
+	// TEErecover adopts the highest prepared state among the replies;
+	// adopt the matching reply's block attachments as preb ⟨b, φ_b, φ_c⟩
+	// so the host-side stored block agrees with the attestation.
+	prepMsg := handed[0]
+	for i, m := range handed {
+		replies[i] = m.Rpy
+		if m.Rpy.PrepView > prepMsg.Rpy.PrepView {
+			prepMsg = m
 		}
 	}
 	vc, err := r.chk.TEErecover(leaderMsg.Rpy, replies)
@@ -161,13 +239,12 @@ func (r *Replica) tryFinishRecovery() {
 		r.env.Logf("TEErecover rejected: %v", err)
 		return
 	}
-	// Adopt the leader's stored block as preb ⟨b, φ_b, φ_c⟩.
-	if b := leaderMsg.Block; b != nil {
+	if b := prepMsg.Block; b != nil {
 		r.store.Add(b)
 		r.prebBlock = b
-		r.prebBC = leaderMsg.BC
+		r.prebBC = prepMsg.BC
 		r.prebCC = nil
-		if cc := leaderMsg.CC; cc != nil && cc.Hash == b.Hash() {
+		if cc := prepMsg.CC; cc != nil && cc.Hash == b.Hash() {
 			r.prebCC = cc
 		}
 	}
@@ -178,6 +255,7 @@ func (r *Replica) tryFinishRecovery() {
 	r.obsRecoverNanos.Store(int64(r.recoverEndAt - r.initEndAt))
 	r.obsView.Store(uint64(r.view))
 	r.m.recoveriesDone.Inc()
+	r.observeRecovered(vc.CurView, leaderMsg.Rpy.CurView, leaderMsg.Rpy.Signer)
 	r.trace.Emit(obs.TraceRecoveryDone, uint64(r.view), r.obsHeight.Load(),
 		fmt.Sprintf("epoch=%d", r.recEpoch))
 	r.votes = make(map[types.NodeID]*types.StoreCert)

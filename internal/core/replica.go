@@ -8,6 +8,7 @@ package core
 
 import (
 	"bytes"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -84,6 +85,15 @@ type Config struct {
 	// Trace receives protocol events (propose/vote/commit/view-change/
 	// recovery/ecall); nil disables tracing.
 	Trace *obs.Tracer
+	// Observer receives attested trusted-component transitions
+	// (observer.go); nil disables observation. Used by the adversary
+	// fuzz harness to machine-check safety invariants after every event.
+	Observer StateObserver
+	// UnsafeWeakenChecker disables the checker's equivocation guards
+	// (checker.Config.UnsafeWeaken). Never set outside adversarial
+	// testing: it exists so the fuzz harness can prove its safety
+	// invariants actually catch a broken TEE.
+	UnsafeWeakenChecker bool
 }
 
 // Replica is an Achilles consensus node.
@@ -113,6 +123,13 @@ type Replica struct {
 	votes     map[types.NodeID]*types.StoreCert // for our proposal in the current view
 	voteHash  types.Hash
 	decided   bool // CC formed for current view's proposal
+
+	// viewClaims records, per peer, the highest view attested by a
+	// signature-verified view certificate. When f+1 nodes (counting
+	// ourselves) claim views at or above some v > view, at least one of
+	// them is correct, so jumping to v is safe view synchronization
+	// (maybeSyncViews).
+	viewClaims map[types.NodeID]types.View
 
 	stashedProposals map[types.View]*MsgProposal
 	stashedCCs       []*types.CommitCert
@@ -171,6 +188,7 @@ func New(cfg Config) *Replica {
 		m:                newMetrics(cfg.Obs),
 		trace:            cfg.Trace,
 		viewCerts:        make(map[types.View]map[types.NodeID]*types.ViewCert),
+		viewClaims:       make(map[types.NodeID]types.View),
 		votes:            make(map[types.NodeID]*types.StoreCert),
 		stashedProposals: make(map[types.View]*MsgProposal),
 		inflightSync:     make(map[types.Hash]int),
@@ -224,8 +242,9 @@ func (r *Replica) Init(env protocol.Env) {
 		LeaderOf:    r.cfg.Leader,
 		Quorum:      r.cfg.Quorum(),
 		GenesisHash: r.store.Genesis().Hash(),
-		Recovering:  r.cfg.Recovering,
-		NonceSeed:   uint64(r.cfg.Seed)<<16 ^ uint64(r.cfg.Self),
+		Recovering:   r.cfg.Recovering,
+		NonceSeed:    uint64(r.cfg.Seed)<<16 ^ uint64(r.cfg.Self),
+		UnsafeWeaken: r.cfg.UnsafeWeakenChecker,
 	})
 	r.acc = accum.New(r.enclave, teeSvc, r.cfg.Quorum())
 	r.pm = protocol.Pacemaker{Base: r.cfg.BaseTimeout, MaxShift: 10}
@@ -273,7 +292,20 @@ func (r *Replica) enterNextView() {
 	if r.lastCC != nil && r.lastCC.View == r.view-1 {
 		msg.CC = r.lastCC
 	}
-	r.deliverOrSend(r.cfg.Leader(r.view), msg)
+	if r.pm.Failures() >= 2 {
+		// Desynchronized: repeated timeouts mean the cluster's views
+		// have drifted apart, and the linear leader-only announcement
+		// cannot re-align nodes whose views leapfrog each other (the
+		// laggard's certificate always arrives at a leader that has
+		// already moved on). Announce to everyone so all nodes learn
+		// each other's views and laggards can jump (maybeSyncViews).
+		r.env.Broadcast(msg)
+		if r.cfg.IsLeader(r.view) {
+			r.OnMessage(r.cfg.Self, msg)
+		}
+	} else {
+		r.deliverOrSend(r.cfg.Leader(r.view), msg)
+	}
 	// Refresh outstanding recovery replies now that our view moved.
 	r.refreshRecoveryReplies()
 	// A proposal for this view may already be waiting.
@@ -379,8 +411,75 @@ func (r *Replica) onNewView(from types.NodeID, m *MsgNewView) {
 			}
 			set[vc.Signer] = vc
 		}
+		// Track the peer's attested view for synchronization. Verify
+		// the signature before believing a claim — forged certificates
+		// must not move anyone's view.
+		if vc.Signer != r.cfg.Self && vc.CurView > r.viewClaims[vc.Signer] &&
+			vc.CurView > r.view && r.verifyViewCert(vc) {
+			r.viewClaims[vc.Signer] = vc.CurView
+			r.maybeSyncViews()
+			if vc.CurView > r.view && r.pm.Failures() > 1 {
+				// Still behind the claimant after any quorum jump, and
+				// deep in backoff. One verified higher claim is not
+				// enough to jump (f of them could be adversarial), but
+				// it is proof this node lags the cluster: dampen the
+				// backoff and re-arm the view timer so it catches up at
+				// base pace instead of waiting out a multi-second
+				// timeout the rest of the cluster has already left.
+				r.pm.CatchUp()
+				r.env.SetTimer(r.pm.Timeout(),
+					types.TimerID{Kind: types.TimerViewChange, View: r.view})
+			}
+		}
 	}
 	r.tryPropose()
+}
+
+// maybeSyncViews jumps this node forward when f+1 nodes (itself
+// included) verifiably claim views at or above some v > view: at least
+// one of the claimants is correct, so view v is genuinely underway and
+// stepping one timeout at a time would only prolong the outage.
+// Advancing our own checker is always safe — TEEview is monotone and
+// signs nothing about past views — so this is purely a liveness
+// mechanism; a lone Byzantine node spinning its checker far ahead
+// cannot form the f+1 quorum and drags nobody.
+func (r *Replica) maybeSyncViews() {
+	if r.recovering {
+		return
+	}
+	claims := []types.View{r.view}
+	for id, v := range r.viewClaims {
+		if id != r.cfg.Self {
+			claims = append(claims, v)
+		}
+	}
+	if len(claims) < r.cfg.Quorum() {
+		return
+	}
+	sort.Slice(claims, func(i, j int) bool { return claims[i] > claims[j] })
+	target := claims[r.cfg.Quorum()-1]
+	if target <= r.view {
+		return
+	}
+	r.env.Logf("view sync: jumping from view %d to %d (quorum-backed)", r.view, target)
+	r.m.viewJumps.Inc()
+	for r.chk.View() < target-1 {
+		if _, err := r.chk.TEEview(); err != nil {
+			return
+		}
+	}
+	// Drop per-view state for the views being skipped.
+	for v := range r.viewCerts {
+		if v < target {
+			delete(r.viewCerts, v)
+		}
+	}
+	for v := range r.stashedProposals {
+		if v < target {
+			delete(r.stashedProposals, v)
+		}
+	}
+	r.enterNextView()
 }
 
 // tryPropose attempts to propose in the current view, via the fast
@@ -404,37 +503,81 @@ func (r *Replica) tryPropose() {
 			r.requestBlock(missing, r.cfg.Leader(r.lastCC.View))
 		}
 	}
-	// Accumulator path: f+1 view certificates for this view.
-	set := r.viewCerts[r.view]
-	if len(set) < r.cfg.Quorum() {
-		return
-	}
-	var best *types.ViewCert
-	for _, vc := range set {
-		if best == nil || vc.PrepView > best.PrepView {
-			best = vc
+	// Accumulator path: f+1 view certificates for this view. View
+	// certificates are verified on use (evicting forgeries) rather than
+	// trusted as stored: a Byzantine peer can inject a NEW-VIEW with an
+	// inflated PrepView and a garbage signature, and if it were blindly
+	// selected as "best" every TEEaccum attempt for the view would fail,
+	// stalling the leader until the view times out.
+	for {
+		set := r.viewCerts[r.view]
+		if len(set) < r.cfg.Quorum() {
+			return
 		}
-	}
-	if ok, missing := r.store.HasAncestry(best.PrepHash); !ok {
-		r.requestBlock(missing, best.Signer)
-		return
-	}
-	certs := make([]*types.ViewCert, 0, r.cfg.Quorum())
-	certs = append(certs, best)
-	for _, vc := range set {
-		if len(certs) == r.cfg.Quorum() {
-			break
+		// Walk the set in signer order (ties on PrepView are common once
+		// NEW-VIEWs are broadcast during desync): which certificate wins
+		// must be a function of the set, not of map iteration order, or
+		// identical seeded runs diverge.
+		signers := make([]types.NodeID, 0, len(set))
+		for id := range set {
+			signers = append(signers, id)
 		}
-		if vc != best {
+		sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
+		var best *types.ViewCert
+		for _, id := range signers {
+			if vc := set[id]; best == nil || vc.PrepView > best.PrepView {
+				best = vc
+			}
+		}
+		if !r.verifyViewCert(best) {
+			delete(set, best.Signer)
+			continue
+		}
+		if ok, missing := r.store.HasAncestry(best.PrepHash); !ok {
+			r.requestBlock(missing, best.Signer)
+			return
+		}
+		certs := make([]*types.ViewCert, 0, r.cfg.Quorum())
+		certs = append(certs, best)
+		for _, id := range signers {
+			if len(certs) == r.cfg.Quorum() {
+				break
+			}
+			vc, ok := set[id]
+			if !ok || vc == best {
+				continue
+			}
+			if !r.verifyViewCert(vc) {
+				delete(set, id)
+				continue
+			}
 			certs = append(certs, vc)
 		}
-	}
-	acc, err := r.acc.TEEaccum(best, certs)
-	if err != nil {
-		r.env.Logf("TEEaccum failed: %v", err)
+		if len(certs) < r.cfg.Quorum() {
+			// Forgeries were evicted mid-selection; re-check the quorum.
+			continue
+		}
+		acc, err := r.acc.TEEaccum(best, certs)
+		if err != nil {
+			r.env.Logf("TEEaccum failed: %v", err)
+			return
+		}
+		r.propose(acc.Hash, acc, nil)
 		return
 	}
-	r.propose(acc.Hash, acc, nil)
+}
+
+// verifyViewCert checks a view certificate's signature host-side (our
+// own certificates need no re-verification).
+func (r *Replica) verifyViewCert(vc *types.ViewCert) bool {
+	if vc.Signer == r.cfg.Self {
+		return true
+	}
+	if r.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
+		return true
+	}
+	r.m.badViewCerts.Inc()
+	return false
 }
 
 func (r *Replica) haveQuorumCerts() bool {
@@ -468,6 +611,7 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 	r.store.Add(b)
 	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
 	r.voteHash = b.Hash()
+	r.observePropose(bc.View, bc.Hash)
 	r.trace.Emit(obs.TracePropose, uint64(b.View), uint64(b.Height), shortHash(r.voteHash))
 	r.env.Broadcast(&MsgProposal{Block: b, BC: bc})
 	// Vote for our own block.
@@ -475,6 +619,7 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 	if err != nil {
 		return
 	}
+	r.observeVote(sc.View, sc.Hash)
 	r.onVote(r.cfg.Self, &MsgVote{SC: sc})
 }
 
@@ -522,6 +667,7 @@ func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
 	}
 	r.store.Add(b)
 	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
+	r.observeVote(sc.View, sc.Hash)
 	r.trace.Emit(obs.TraceVote, uint64(bc.View), uint64(b.Height), shortHash(bc.Hash))
 	r.deliverOrSend(r.cfg.Leader(bc.View), &MsgVote{SC: sc})
 }

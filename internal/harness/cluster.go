@@ -107,7 +107,19 @@ type ClusterConfig struct {
 	// Achilles replicas (ablation studies).
 	AblateFastPath bool
 	AblateReReply  bool
-	Debug          io.Writer
+	// Observer receives the attested state transitions of every
+	// Achilles replica (internal/adversary uses it for invariant
+	// checking); nil disables observation.
+	Observer core.StateObserver
+	// WeakenChecker disables the listed nodes' checker equivocation
+	// guards (checker.Config.UnsafeWeaken) so adversarial tests can
+	// prove a broken TEE is caught. Never set outside such tests.
+	WeakenChecker map[types.NodeID]bool
+	// Wrap, if set, wraps every replica the cluster builds (including
+	// post-reboot incarnations); internal/adversary injects Byzantine
+	// behavior through it.
+	Wrap  func(id types.NodeID, recovering bool, r protocol.Replica) protocol.Replica
+	Debug io.Writer
 }
 
 func (c *ClusterConfig) fill() {
@@ -205,6 +217,14 @@ func (c *Cluster) SealedStore(id types.NodeID) *tee.VersionedStore { return c.se
 // BuildReplica constructs a replica for node id. recovering marks a
 // post-reboot incarnation that must run the recovery protocol first.
 func (c *Cluster) BuildReplica(id types.NodeID, recovering bool) protocol.Replica {
+	r := c.buildReplica(id, recovering)
+	if c.Config.Wrap != nil {
+		r = c.Config.Wrap(id, recovering, r)
+	}
+	return r
+}
+
+func (c *Cluster) buildReplica(id types.NodeID, recovering bool) protocol.Replica {
 	cfg := c.Config
 	base := protocol.Config{
 		Self:        id,
@@ -237,6 +257,8 @@ func (c *Cluster) BuildReplica(id types.NodeID, recovering bool) protocol.Replic
 			SyntheticWorkload:   cfg.Synthetic,
 			DisableFastPath:     cfg.AblateFastPath,
 			DisableReReply:      cfg.AblateReReply,
+			Observer:            cfg.Observer,
+			UnsafeWeakenChecker: cfg.WeakenChecker[id],
 		})
 	case Damysus, DamysusR:
 		return damysus.New(damysus.Config{

@@ -114,5 +114,18 @@ func (p *Pacemaker) Progress() { p.failures = 0 }
 // Expired records a view timeout, growing the backoff.
 func (p *Pacemaker) Expired() { p.failures++ }
 
+// CatchUp dampens the backoff to a single failure. Called on verified
+// evidence (a TEE-signed view certificate) that a peer is already in a
+// higher view: this node is provably behind, and waiting out a
+// multi-second backoff before stepping toward the cluster only
+// prolongs the outage. The worst an adversary can force by spinning
+// its own trusted component forward is base-rate view stepping, which
+// is the protocol's normal no-backoff cadence.
+func (p *Pacemaker) CatchUp() {
+	if p.failures > 1 {
+		p.failures = 1
+	}
+}
+
 // Failures returns the number of consecutive expired views.
 func (p *Pacemaker) Failures() uint { return p.failures }

@@ -5,6 +5,7 @@ import (
 	"crypto/cipher"
 	"crypto/sha256"
 	"encoding/binary"
+	"sort"
 )
 
 // Sealer implements SGX-style sealing: authenticated encryption under a
@@ -124,3 +125,31 @@ func (s *VersionedStore) Wipe(name string) { s.serve[name] = -2 }
 
 // Honest restores honest behaviour for name (serve the latest version).
 func (s *VersionedStore) Honest(name string) { delete(s.serve, name) }
+
+// Names returns every name ever written, sorted, so scripted
+// adversaries can attack blobs without knowing the naming scheme.
+func (s *VersionedStore) Names() []string {
+	out := make([]string, 0, len(s.versions))
+	for name := range s.versions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RollBackAll makes the store serve version index for every blob
+// written so far (clamped per blob by Get's bounds handling): the
+// whole-disk snapshot restore of Sec. 2.1.
+func (s *VersionedStore) RollBackAll(index int) {
+	for _, name := range s.Names() {
+		s.serve[name] = index
+	}
+}
+
+// WipeAll makes the store serve nothing for any blob written so far,
+// modelling a full disk reset.
+func (s *VersionedStore) WipeAll() {
+	for _, name := range s.Names() {
+		s.serve[name] = -2
+	}
+}

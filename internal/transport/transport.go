@@ -31,11 +31,8 @@
 package transport
 
 import (
-	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -47,24 +44,6 @@ import (
 	"achilles/internal/protocol"
 	"achilles/internal/types"
 )
-
-// MaxFrameSize bounds a single message frame (16 MiB).
-const MaxFrameSize = 16 << 20
-
-// frame is the wire envelope.
-type frame struct {
-	From types.NodeID
-	Msg  types.Message
-}
-
-// RegisterMessages registers concrete message types with gob. Each
-// protocol package's messages must be registered before use; the
-// common types are registered here.
-func RegisterMessages(msgs ...types.Message) {
-	for _, m := range msgs {
-		gob.Register(m)
-	}
-}
 
 // Hello is the connection handshake: the first frame on every dialed
 // connection carries it so the acceptor learns — and, for replica
@@ -108,38 +87,6 @@ func init() {
 		&types.BlockRequest{},
 		&types.BlockResponse{},
 	)
-}
-
-// encodeFrame encodes one length-prefixed frame into a single buffer,
-// so the transport issues exactly one Write per frame. Besides saving
-// a syscall, this is what lets a fault injector drop a whole frame
-// without corrupting the stream framing.
-func encodeFrame(f *frame) ([]byte, error) {
-	buf := frameBuffer{buf: make([]byte, 4, 512)}
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-		return nil, err
-	}
-	binary.BigEndian.PutUint32(buf.buf[:4], uint32(len(buf.buf)-4))
-	return buf.buf, nil
-}
-
-// WriteFrame writes one length-prefixed frame carrying msg attributed
-// to from. It is the transport's wire format, exported for tooling and
-// tests that speak the protocol over raw connections.
-func WriteFrame(w io.Writer, from types.NodeID, msg types.Message) error {
-	b, err := encodeFrame(&frame{From: from, Msg: msg})
-	if err != nil {
-		return err
-	}
-	_, err = w.Write(b)
-	return err
-}
-
-type frameBuffer struct{ buf []byte }
-
-func (b *frameBuffer) Write(p []byte) (int, error) {
-	b.buf = append(b.buf, p...)
-	return len(p), nil
 }
 
 // Config configures a live runtime.
@@ -540,6 +487,21 @@ func (rt *Runtime) readLoop(conn net.Conn, expect types.NodeID, accepted bool) {
 		}
 		f, n, err := readFrameConn(conn)
 		if err != nil {
+			// A malformed-but-fully-framed body from an authenticated
+			// peer is dropped without killing the connection: an attacker
+			// gains nothing, and an honest peer's stream survives a
+			// corrupted message. Anything else — including garbage during
+			// the handshake — poisons the connection.
+			if errors.Is(err, ErrBadFrame) && registered {
+				if st == nil {
+					st = rt.statsFor(identity)
+				}
+				st.receiveDrops.Add(1)
+				st.bytesReceived.Add(uint64(n))
+				rt.log.Limitf(obs.LevelWarn, fmt.Sprintf("badframe:%v", identity), time.Second,
+					"dropping malformed frame from %v: %v", identity, err)
+				continue
+			}
 			return
 		}
 		if awaitHello {
@@ -585,46 +547,6 @@ func (rt *Runtime) readLoop(conn net.Conn, expect types.NodeID, accepted bool) {
 			return
 		}
 	}
-}
-
-func frameType(f *frame) string {
-	if f.Msg == nil {
-		return "<nil>"
-	}
-	return f.Msg.Type()
-}
-
-// readFrameConn reads one length-prefixed frame, returning its wire
-// size alongside.
-func readFrameConn(conn net.Conn) (*frame, int, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, 0, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return nil, 0, errors.New("transport: oversized frame")
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(conn, buf); err != nil {
-		return nil, 0, err
-	}
-	var f frame
-	if err := gob.NewDecoder(&sliceReader{buf: buf}).Decode(&f); err != nil {
-		return nil, 0, err
-	}
-	return &f, int(n) + 4, nil
-}
-
-type sliceReader struct{ buf []byte }
-
-func (r *sliceReader) Read(p []byte) (int, error) {
-	if len(r.buf) == 0 {
-		return 0, io.EOF
-	}
-	n := copy(p, r.buf)
-	r.buf = r.buf[n:]
-	return n, nil
 }
 
 // ensureDialer starts (once) the writer goroutine that owns the

@@ -1,0 +1,68 @@
+package types
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func validSig() Signature { return bytes.Repeat([]byte{0xcd}, 71) }
+
+func TestValidateWireAcceptsWellFormed(t *testing.T) {
+	h := HashBytes([]byte("wf"))
+	sig := validSig()
+	ok := []WireValidator{
+		&BlockCert{Hash: h, View: 1, Signer: 0, Sig: sig},
+		&StoreCert{Hash: h, View: 1, Signer: 3, Sig: sig},
+		&CommitCert{Hash: h, View: 1, Signers: []NodeID{0, 1}, Sigs: []Signature{sig, sig}},
+		&AccCert{Hash: h, View: 1, CurView: 2, IDs: []NodeID{0, 1}, Signer: 2, Sig: sig},
+		&ViewCert{PrepHash: h, PrepView: 1, CurView: 2, Signer: 1, Sig: sig},
+		&RecoveryReq{Nonce: 9, Signer: 1, Sig: sig},
+		&RecoveryRpy{PrepHash: h, PrepView: 1, CurView: 2, Target: 0, Nonce: 9, Signer: 1, Sig: sig},
+		&Block{Txs: []Transaction{{Client: ClientIDBase, Seq: 1, Payload: []byte("p")}}, Parent: h, View: 1, Height: 1},
+		&ClientRequest{Txs: []Transaction{{Client: ClientIDBase, Seq: 1}}},
+		&ClientReply{Block: h, From: 1},
+		&BlockRequest{Hash: h, From: 0},
+		&BlockResponse{Block: GenesisBlock()},
+	}
+	for _, v := range ok {
+		if err := v.ValidateWire(); err != nil {
+			t.Errorf("%T rejected: %v", v, err)
+		}
+	}
+}
+
+func TestValidateWireRejectsMalformed(t *testing.T) {
+	h := HashBytes([]byte("bad"))
+	sig := validSig()
+	bad := []struct {
+		name string
+		v    WireValidator
+	}{
+		{"empty signature", &BlockCert{Hash: h, Sig: nil}},
+		{"oversized signature", &StoreCert{Hash: h, Sig: bytes.Repeat([]byte{1}, MaxWireSig+1)}},
+		{"negative signer", &StoreCert{Hash: h, Signer: -1, Sig: sig}},
+		{"commit cert no signers", &CommitCert{Hash: h}},
+		{"commit cert list mismatch", &CommitCert{Hash: h, Signers: []NodeID{0, 1}, Sigs: []Signature{sig}}},
+		{"commit cert too many signers", &CommitCert{Hash: h,
+			Signers: make([]NodeID, MaxWireSigners+1), Sigs: make([]Signature, MaxWireSigners+1)}},
+		{"acc cert no ids", &AccCert{Hash: h, Signer: 0, Sig: sig}},
+		{"view cert prep above cur", &ViewCert{PrepView: 5, CurView: 2, Sig: sig}},
+		{"recovery rpy prep above cur", &RecoveryRpy{PrepView: 5, CurView: 2, Sig: sig}},
+		{"oversized tx payload", &Block{Txs: []Transaction{{Payload: make([]byte, MaxWireTxPayload+1)}}}},
+		{"oversized op", &Block{Op: make([]byte, MaxWireOp+1)}},
+		{"implausible proposer", &Block{Proposer: -2}},
+		{"empty client batch", &ClientRequest{}},
+		{"block response without block", &BlockResponse{}},
+	}
+	for _, tc := range bad {
+		err := tc.v.ValidateWire()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrWire) {
+			t.Errorf("%s: error %v does not wrap ErrWire", tc.name, err)
+		}
+	}
+}
