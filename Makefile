@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak fuzz fuzz-smoke bench bench-json metrics-demo clean
+.PHONY: all build vet test check soak soak-pooled fuzz fuzz-smoke bench bench-json bench-sched metrics-demo clean
 
 all: check
 
@@ -24,6 +24,11 @@ test:
 soak:
 	$(GO) test -race -run 'TestLiveRecoverySoak|TestLiveClusterCommits|TestReconnectAfterPeerRestart|TestLiveAdminEndpoints' ./internal/transport
 
+# Live n=5 cluster on the Pooled scheduler (ingress verify pool +
+# cert cache + async execute/egress) under netchaos, race-enabled.
+soak-pooled:
+	$(GO) test -race -run 'TestLivePooledSoak' ./internal/transport
+
 # Adversarial invariant-checking fuzzer (internal/adversary): 500
 # seeded scenarios mixing active Byzantine replicas, crash/reboot with
 # sealed-storage rollback, and pre-GST network faults, plus a
@@ -44,9 +49,15 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 # Machine-readable benchmark artifact (quick windows): per-protocol
-# throughput, mean/p50/p99 latency and message complexity.
+# throughput, mean/p50/p99 latency and message complexity, plus the
+# live sync-vs-pooled scheduler ablation.
 bench-json:
-	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -json BENCH_achilles.json
+	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -json BENCH_achilles.json
+
+# Live loopback TCP scheduler ablation only (full windows): saturated
+# n=5 throughput under -sched sync vs -sched pooled.
+bench-sched:
+	$(GO) run ./cmd/achilles-bench -sched-ablation
 
 # Boot a local 3-node cluster with the admin endpoint on node 0,
 # scrape /metrics and /status, then tear everything down.

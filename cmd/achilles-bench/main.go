@@ -40,6 +40,9 @@ type report struct {
 	Table2      []harness.Table2Row         `json:"table2,omitempty"`
 	Table3      []harness.ExpRow            `json:"table3,omitempty"`
 	Table4      []harness.Table4Row         `json:"table4,omitempty"`
+	// SchedAblation is the one live (non-simulated) experiment: a real
+	// loopback TCP cluster measured under each hot-path scheduler.
+	SchedAblation []harness.SchedAblationRow `json:"sched_ablation,omitempty"`
 }
 
 func main() {
@@ -50,6 +53,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "short measurement windows")
 		faults   = flag.String("faults", "1,2,4,10,20,30", "comma-separated f values for Fig. 3a-3d")
 		jsonPath = flag.String("json", "", "also write the results of everything that ran as JSON to this path (e.g. BENCH_achilles.json)")
+		ablation = flag.Bool("sched-ablation", false, "measure a live loopback TCP cluster under the sync and pooled hot-path schedulers")
 	)
 	flag.Parse()
 
@@ -168,6 +172,13 @@ func main() {
 		runFig(strings.ToLower(*fig))
 	case *table != 0:
 		runTable(*table)
+	}
+	if *ablation {
+		ran = true
+		rows := harness.SchedAblation(5, 24871, d)
+		harness.PrintSchedRows(os.Stdout,
+			"Scheduler ablation — live loopback TCP, n=5, ECDSA, saturated synthetic load", rows)
+		rep.SchedAblation = rows
 	}
 	if !ran {
 		flag.Usage()

@@ -27,9 +27,11 @@ import (
 	"achilles/internal/admin"
 	"achilles/internal/core"
 	"achilles/internal/crypto"
+	"achilles/internal/mempool"
 	"achilles/internal/netchaos"
 	"achilles/internal/obs"
 	"achilles/internal/protocol"
+	"achilles/internal/sched"
 	"achilles/internal/transport"
 	"achilles/internal/types"
 )
@@ -44,6 +46,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 500*time.Millisecond, "base view timeout")
 		synthetic = flag.Bool("synthetic", false, "saturate blocks with generated transactions")
 		recover_  = flag.Bool("recover", false, "start in recovery mode (after a reboot)")
+		schedName = flag.String("sched", "sync", "hot-path scheduler: sync (inline, single-threaded) or pooled (ingress verify pool + async execute/egress)")
+		schedWork = flag.Int("sched-workers", 0, "verify-pool workers for -sched pooled (0 = GOMAXPROCS)")
+		retain    = flag.Uint64("retain-heights", 1024, "committed block bodies retained below the head before pruning; a rebooted empty node can only catch up by replay while peers still hold the bodies it missed")
 		adminAddr = flag.String("admin-addr", "", "serve admin endpoints (/metrics /status /healthz /trace /debug/pprof) on host:port")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		verbose   = flag.Bool("v", false, "verbose logging (same as -log-level debug)")
@@ -92,20 +97,62 @@ func main() {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(4096)
 
+	pcfg := protocol.Config{
+		Self: self, N: n, F: (n - 1) / 2,
+		BatchSize: *batch, PayloadSize: *payload,
+		BaseTimeout: *timeout, Seed: *seed,
+	}
+
+	// The transaction pool is built here (rather than inside the
+	// replica) so the pooled scheduler's ingress stage can share it for
+	// staged batch admission.
+	var txpool *mempool.Pool
+	if *synthetic {
+		txpool = mempool.NewSynthetic(self, *payload)
+	} else {
+		txpool = mempool.New()
+	}
+
+	// Hot-path scheduler selection. The live path never charges the
+	// modelled clock, so the verified-cert cache is safe here (the
+	// simulator must not use one; see core.Config.CertCache).
+	var (
+		hotSched sched.Scheduler
+		cache    *crypto.CertCache
+	)
+	switch *schedName {
+	case "sync":
+		hotSched = sched.NewSync()
+	case "pooled":
+		cache = crypto.NewCertCache(crypto.DefaultCertCacheSize)
+		cache.RegisterMetrics(reg)
+		verifier := core.NewVerifier(scheme, ring, pcfg, cache)
+		verifier.SetMempool(txpool)
+		pooled := sched.NewPooled(sched.Options{
+			Workers: *schedWork,
+			Verify:  verifier.PreVerify,
+			Obs:     reg,
+		})
+		verifier.SetBatchRunner(pooled.RunBatch)
+		hotSched = pooled
+	default:
+		fatalf("unknown -sched %q (want sync or pooled)", *schedName)
+	}
+
 	var secret [32]byte
 	secret[0] = byte(self)
 	rep := core.New(core.Config{
-		Config: protocol.Config{
-			Self: self, N: n, F: (n - 1) / 2,
-			BatchSize: *batch, PayloadSize: *payload,
-			BaseTimeout: *timeout, Seed: *seed,
-		},
+		Config:            pcfg,
 		Scheme:            scheme,
 		Ring:              ring,
 		Priv:              priv,
 		MachineSecret:     secret,
 		Recovering:        *recover_,
 		SyntheticWorkload: *synthetic,
+		Sched:             hotSched,
+		CertCache:         cache,
+		Pool:              txpool,
+		RetainHeights:     *retain,
 		Obs:               reg,
 		Trace:             tracer,
 	})
@@ -118,6 +165,7 @@ func main() {
 		Scheme: scheme,
 		Ring:   ring,
 		Priv:   priv,
+		Sched:  hotSched,
 		Log:    logger,
 		OnCommit: func(b *types.Block, _ *types.CommitCert) {
 			committed.Add(1)
@@ -135,7 +183,7 @@ func main() {
 	if err := rt.Start(); err != nil {
 		fatalf("start: %v", err)
 	}
-	mainLog.Infof("listening on %s (n=%d f=%d)", listen, n, (n-1)/2)
+	mainLog.Infof("listening on %s (n=%d f=%d sched=%s)", listen, n, (n-1)/2, hotSched.Name())
 
 	if *adminAddr != "" {
 		srv, err := admin.Start(*adminAddr, admin.Config{

@@ -111,13 +111,13 @@ func New(cfg Config) *Checker {
 	binary.BigEndian.PutUint64(ns[:8], cfg.NonceSeed)
 	ns = sha256.Sum256(ns[:])
 	return &Checker{
-		enc:        cfg.Enclave,
-		svc:        cfg.Service,
-		leaderOf:   cfg.LeaderOf,
-		quorum:     cfg.Quorum,
-		vi:         0,
-		prpv:       0,
-		prph:       cfg.GenesisHash,
+		enc:          cfg.Enclave,
+		svc:          cfg.Service,
+		leaderOf:     cfg.LeaderOf,
+		quorum:       cfg.Quorum,
+		vi:           0,
+		prpv:         0,
+		prph:         cfg.GenesisHash,
 		recovering:   cfg.Recovering,
 		nonceState:   ns,
 		unsafeWeaken: cfg.UnsafeWeaken,

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/types"
+)
+
+// TestClusterLivenessUnderStashFlood runs a healthy cluster while a
+// Byzantine peer hammers one replica with future-view proposals and
+// commitment certificates for unknown blocks — the two message shapes
+// that park in the bounded stashes. The flooded replica must keep
+// committing in lockstep with the rest of the cluster.
+func TestClusterLivenessUnderStashFlood(t *testing.T) {
+	m := newMiniNet(t, 5, 2, true)
+	m.start()
+	base := len(m.commitsAt(0))
+	if base == 0 {
+		t.Fatal("cluster did not commit before the flood")
+	}
+
+	victim := m.reps[0]
+	for round := 0; round < 5; round++ {
+		// 40 junk future-view proposals plus 40 junk quorum-sized CCs
+		// per round, from the (Byzantine) highest node id.
+		view := victim.View()
+		for i := 1; i <= 40; i++ {
+			var parent types.Hash
+			parent[0], parent[1], parent[2] = 0xad, byte(round), byte(i)
+			b := &types.Block{
+				Parent:   parent,
+				View:     view + types.View(i),
+				Height:   2,
+				Proposer: types.LeaderForView(view+types.View(i), 5),
+			}
+			victim.OnMessage(4, &core.MsgProposal{
+				Block: b,
+				BC: &types.BlockCert{
+					Hash:   b.Hash(),
+					View:   b.View,
+					Signer: b.Proposer,
+					Sig:    make(types.Signature, 8),
+				},
+			})
+			var fake types.Hash
+			fake[0], fake[1], fake[2] = 0xcc, byte(round), byte(i)
+			victim.OnMessage(4, &core.MsgDecide{CC: &types.CommitCert{
+				Hash:    fake,
+				View:    view,
+				Signers: []types.NodeID{1, 2, 3},
+				Sigs:    make([]types.Signature, 3),
+			}})
+		}
+		m.flush()
+	}
+
+	c0 := m.commitsAt(0)
+	if len(c0) <= base {
+		t.Fatalf("flooded replica stopped committing: %d then, %d now", base, len(c0))
+	}
+	// Safety: the flooded replica's chain prefix matches a clean peer's.
+	c1 := m.commitsAt(1)
+	prefix := len(c0)
+	if len(c1) < prefix {
+		prefix = len(c1)
+	}
+	for i := 0; i < prefix; i++ {
+		if c0[i].Hash() != c1[i].Hash() {
+			t.Fatalf("commit divergence at index %d under flood", i)
+		}
+	}
+	// None of the junk ever committed.
+	for _, b := range c0[base:] {
+		if b.Parent[0] == 0xad {
+			t.Fatalf("junk proposal committed at height %d", b.Height)
+		}
+	}
+}

@@ -35,6 +35,7 @@ type metrics struct {
 	badViewCerts     *obs.Counter
 	recoveryRejected *obs.Counter
 	viewJumps        *obs.Counter
+	stashDrops       *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -66,6 +67,8 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Recovery replies rejected (bad signature or inconsistent attachments)."),
 		viewJumps: reg.Counter("achilles_view_jumps_total",
 			"View synchronization jumps (f+1 verified claims of a higher view)."),
+		stashDrops: reg.Counter("achilles_stash_drops_total",
+			"Stashed proposals/certificates dropped or evicted at the stash bounds."),
 	}
 }
 
@@ -141,6 +144,13 @@ func (r *Replica) registerCollectors(reg *obs.Registry) {
 		obs.KindCounter, func() []obs.Sample {
 			_, _, f := enc.SealStats()
 			return []obs.Sample{{Value: float64(f)}}
+		})
+
+	store := r.store
+	reg.Func("achilles_ledger_retained_bodies",
+		"Block bodies currently retained by the ledger (committed head back to the prune horizon).",
+		obs.KindGauge, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(store.Bodies())}}
 		})
 
 	pool := r.pool

@@ -4,11 +4,22 @@
 // synchronization, client interaction, and the rollback-resilient
 // recovery protocol (Algorithm 3) on top of the CHECKER and
 // ACCUMULATOR trusted components.
+//
+// The hot path is organized as a staged pipeline (see internal/sched
+// and DESIGN.md "Concurrency model"):
+//
+//   - verify.go holds the stateless half: signature and certificate
+//     checks that are pure functions of the PKI ring, runnable on
+//     ingress worker goroutines before a message reaches the loop;
+//   - steps.go holds the state-mutating step functions, which must run
+//     single-threaded on the consensus goroutine (protocol.Env
+//     contract);
+//   - post-commit observer work and client-reply egress are handed to
+//     the configured scheduler, which runs them inline (Sync) or on
+//     ordered workers off the consensus goroutine (Pooled).
 package core
 
 import (
-	"bytes"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +30,7 @@ import (
 	"achilles/internal/mempool"
 	"achilles/internal/obs"
 	"achilles/internal/protocol"
+	"achilles/internal/sched"
 	"achilles/internal/statemachine"
 	"achilles/internal/tee"
 	"achilles/internal/types"
@@ -79,6 +91,33 @@ type Config struct {
 	// DisableReReply ablates the view-advance recovery re-replies
 	// (recovery.go), leaving only nonce-fresh retry rounds.
 	DisableReReply bool
+	// Sched coordinates the staged hot path. The replica submits
+	// post-commit observer work to its Execute stage and client replies
+	// to its Egress stage; the live runtime additionally routes inbound
+	// frames through its Ingress stage. nil defaults to sched.NewSync()
+	// — every stage inline, bit-exact with the historical
+	// single-threaded replica — which is what the simulator, harness
+	// and fuzzer use. The live node passes the same scheduler instance
+	// here and to transport.Config.Sched.
+	Sched sched.Scheduler
+	// CertCache is the verified-signature cache shared with the
+	// ingress verify stage (core.Verifier): signatures the verify pool
+	// already checked become cache hits in the consensus handlers and
+	// the modelled trusted components. Live path only — a cache hit
+	// skips the metered Charge, which on the simulator would shift
+	// virtual time and break deterministic replay, so harness/sim
+	// leave it nil.
+	CertCache *crypto.CertCache
+	// Pool injects an externally constructed mempool. The live node
+	// shares it with the ingress stage (core.Verifier), which stages
+	// client transactions off-loop for batched admission. nil creates
+	// a pool from SyntheticWorkload.
+	Pool *mempool.Pool
+	// RetainHeights bounds how many committed block bodies below the
+	// committed head are retained; older bodies are pruned periodically
+	// (certificate verification never needs them again). 0 defaults to
+	// 1024.
+	RetainHeights uint64
 	// Obs is the metrics registry consensus series are registered on
 	// (nil disables metrics; see obs.go for the series).
 	Obs *obs.Registry
@@ -96,10 +135,25 @@ type Config struct {
 	UnsafeWeakenChecker bool
 }
 
+// Bounds on the stash maps a Byzantine peer can write into. Honest
+// desynchronization stashes at most a handful of entries (the next few
+// views' proposals while a DECIDE is in flight, a couple of
+// certificates while ancestors sync); the caps only bite under attack.
+const (
+	// maxStashedProposals bounds stashedProposals across all views.
+	// Insertion prefers nearer views: those are the ones enterNextView
+	// will actually replay.
+	maxStashedProposals = 16
+	// maxStashedCCs bounds stashedCCs (eviction drops the oldest
+	// entry; duplicates are kept — see stashCC).
+	maxStashedCCs = 64
+)
+
 // Replica is an Achilles consensus node.
 type Replica struct {
-	cfg Config
-	env protocol.Env
+	cfg   Config
+	env   protocol.Env
+	sched sched.Scheduler
 
 	svc     *crypto.Service
 	enclave *tee.Enclave
@@ -183,8 +237,15 @@ func New(cfg Config) *Replica {
 	if cfg.ConnSetupPerPeer == 0 {
 		cfg.ConnSetupPerPeer = 100 * time.Microsecond
 	}
+	if cfg.Sched == nil {
+		cfg.Sched = sched.NewSync()
+	}
+	if cfg.RetainHeights == 0 {
+		cfg.RetainHeights = 1024
+	}
 	return &Replica{
 		cfg:              cfg,
+		sched:            cfg.Sched,
 		m:                newMetrics(cfg.Obs),
 		trace:            cfg.Trace,
 		viewCerts:        make(map[types.View]map[types.NodeID]*types.ViewCert),
@@ -216,9 +277,12 @@ func (r *Replica) Init(env protocol.Env) {
 	r.obsEnv.Store(env)
 	r.bootAt = env.Now()
 	r.store = ledger.NewStore()
-	if r.cfg.SyntheticWorkload {
+	switch {
+	case r.cfg.Pool != nil:
+		r.pool = r.cfg.Pool
+	case r.cfg.SyntheticWorkload:
 		r.pool = mempool.NewSynthetic(r.cfg.Self, r.cfg.PayloadSize)
-	} else {
+	default:
 		r.pool = mempool.New()
 	}
 	r.machine = statemachine.NewDigestMachine(env, r.cfg.ExecCostPerTx)
@@ -236,12 +300,21 @@ func (r *Replica) Init(env protocol.Env) {
 	// components sign/verify at in-enclave speed.
 	r.svc = crypto.NewService(r.cfg.Scheme, r.cfg.Ring, nil, r.cfg.Self, env, r.cfg.CryptoCosts)
 	teeSvc := crypto.NewService(r.cfg.Scheme, r.cfg.Ring, r.cfg.Priv, r.cfg.Self, env, r.enclaveCrypto())
+	if r.cfg.CertCache != nil {
+		// Share the ingress stage's verified-signature cache so the
+		// handlers' (and modelled trusted components') re-checks of
+		// pre-verified certificates cost a digest instead of an ECDSA
+		// operation. See DESIGN.md "Concurrency model" for why this is
+		// sound and what a real enclave would do instead.
+		r.svc.SetCache(r.cfg.CertCache)
+		teeSvc.SetCache(r.cfg.CertCache)
+	}
 	r.chk = checker.New(checker.Config{
-		Enclave:     r.enclave,
-		Service:     teeSvc,
-		LeaderOf:    r.cfg.Leader,
-		Quorum:      r.cfg.Quorum(),
-		GenesisHash: r.store.Genesis().Hash(),
+		Enclave:      r.enclave,
+		Service:      teeSvc,
+		LeaderOf:     r.cfg.Leader,
+		Quorum:       r.cfg.Quorum(),
+		GenesisHash:  r.store.Genesis().Hash(),
 		Recovering:   r.cfg.Recovering,
 		NonceSeed:    uint64(r.cfg.Seed)<<16 ^ uint64(r.cfg.Self),
 		UnsafeWeaken: r.cfg.UnsafeWeakenChecker,
@@ -266,612 +339,6 @@ func (r *Replica) Init(env protocol.Env) {
 	}
 	// Bootstrap: enter view 1 and announce to its leader.
 	r.enterNextView()
-}
-
-// enterNextView advances the checker one view and sends the resulting
-// view certificate (plus the last commitment certificate, enabling the
-// fast path) to the new leader.
-func (r *Replica) enterNextView() {
-	vc, err := r.chk.TEEview()
-	if err != nil {
-		return
-	}
-	r.view = vc.CurView
-	r.obsView.Store(uint64(r.view))
-	r.trace.Emit(obs.TraceNewView, uint64(r.view), uint64(r.obsHeight.Load()), "")
-	r.votes = make(map[types.NodeID]*types.StoreCert)
-	r.voteHash = types.ZeroHash
-	r.decided = false
-	// Forget stale sync requests; anything still needed will be
-	// re-requested (possibly from a different peer).
-	r.inflightSync = make(map[types.Hash]int)
-	delete(r.viewCerts, r.view-2)
-	delete(r.stashedProposals, r.view-1)
-	r.armViewTimer()
-	msg := &MsgNewView{VC: vc}
-	if r.lastCC != nil && r.lastCC.View == r.view-1 {
-		msg.CC = r.lastCC
-	}
-	if r.pm.Failures() >= 2 {
-		// Desynchronized: repeated timeouts mean the cluster's views
-		// have drifted apart, and the linear leader-only announcement
-		// cannot re-align nodes whose views leapfrog each other (the
-		// laggard's certificate always arrives at a leader that has
-		// already moved on). Announce to everyone so all nodes learn
-		// each other's views and laggards can jump (maybeSyncViews).
-		r.env.Broadcast(msg)
-		if r.cfg.IsLeader(r.view) {
-			r.OnMessage(r.cfg.Self, msg)
-		}
-	} else {
-		r.deliverOrSend(r.cfg.Leader(r.view), msg)
-	}
-	// Refresh outstanding recovery replies now that our view moved.
-	r.refreshRecoveryReplies()
-	// A proposal for this view may already be waiting.
-	if m, ok := r.stashedProposals[r.view]; ok {
-		delete(r.stashedProposals, r.view)
-		r.onProposal(m.BC.Signer, m)
-	}
-}
-
-func (r *Replica) armViewTimer() {
-	r.env.SetTimer(r.pm.Timeout(), types.TimerID{Kind: types.TimerViewChange, View: r.view})
-}
-
-// deliverOrSend routes a message, short-circuiting self-addressed
-// traffic (a node does not use the network to talk to itself).
-func (r *Replica) deliverOrSend(to types.NodeID, msg types.Message) {
-	if to == r.cfg.Self {
-		r.OnMessage(to, msg)
-		return
-	}
-	r.env.Send(to, msg)
-}
-
-// OnMessage implements protocol.Replica.
-func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
-	if len(r.recoveryPending) > 0 && from != r.cfg.Self {
-		// Any non-recovery message from a peer means it rejoined.
-		if _, isReq := msg.(*MsgRecoveryReq); !isReq {
-			delete(r.recoveryPending, from)
-		}
-	}
-	switch m := msg.(type) {
-	case *MsgRecoveryReq:
-		r.onRecoveryReq(from, m)
-	case *MsgRecoveryRpy:
-		r.onRecoveryRpy(from, m)
-	case *MsgNewView:
-		r.onNewView(from, m)
-	case *MsgProposal:
-		r.onProposal(from, m)
-	case *MsgVote:
-		r.onVote(from, m)
-	case *MsgDecide:
-		r.onDecide(from, m)
-	case *types.BlockRequest:
-		r.onBlockRequest(from, m)
-	case *types.BlockResponse:
-		r.onBlockResponse(from, m)
-	case *types.ClientRequest:
-		if !r.recovering {
-			r.pool.Add(m.Txs)
-			r.tryPropose()
-		}
-	}
-}
-
-// OnTimer implements protocol.Replica.
-func (r *Replica) OnTimer(id types.TimerID) {
-	switch id.Kind {
-	case types.TimerViewChange:
-		if r.recovering || id.View != r.view {
-			return
-		}
-		// A view that expired with an empty mempool is idle rotation,
-		// not a failure: the backoff only grows when there was work to
-		// order and the view still made no progress.
-		if r.cfg.SyntheticWorkload || r.pool.Len() > 0 {
-			r.pm.Expired()
-			r.m.viewTimeouts.Inc()
-			r.trace.Emit(obs.TraceViewChange, uint64(r.view), r.obsHeight.Load(), "timeout")
-			r.env.Logf("view %d timed out (failures=%d)", r.view, r.pm.Failures())
-		}
-		r.enterNextView()
-	case types.TimerRecoveryRetry:
-		if !r.recovering || id.View != r.recEpoch {
-			return
-		}
-		r.startRecovery()
-	}
-}
-
-// --- normal-case operations -------------------------------------------
-
-func (r *Replica) onNewView(from types.NodeID, m *MsgNewView) {
-	if r.recovering {
-		return
-	}
-	if m.CC != nil {
-		r.handleCC(m.CC, from)
-	}
-	if m.VC != nil {
-		vc := m.VC
-		if vc.Signer != from && from != r.cfg.Self {
-			return
-		}
-		// Window-bound acceptance keeps Byzantine senders from growing
-		// the map with certificates for views far in the future.
-		if vc.CurView >= r.view && vc.CurView < r.view+64 {
-			set := r.viewCerts[vc.CurView]
-			if set == nil {
-				set = make(map[types.NodeID]*types.ViewCert)
-				r.viewCerts[vc.CurView] = set
-			}
-			set[vc.Signer] = vc
-		}
-		// Track the peer's attested view for synchronization. Verify
-		// the signature before believing a claim — forged certificates
-		// must not move anyone's view.
-		if vc.Signer != r.cfg.Self && vc.CurView > r.viewClaims[vc.Signer] &&
-			vc.CurView > r.view && r.verifyViewCert(vc) {
-			r.viewClaims[vc.Signer] = vc.CurView
-			r.maybeSyncViews()
-			if vc.CurView > r.view && r.pm.Failures() > 1 {
-				// Still behind the claimant after any quorum jump, and
-				// deep in backoff. One verified higher claim is not
-				// enough to jump (f of them could be adversarial), but
-				// it is proof this node lags the cluster: dampen the
-				// backoff and re-arm the view timer so it catches up at
-				// base pace instead of waiting out a multi-second
-				// timeout the rest of the cluster has already left.
-				r.pm.CatchUp()
-				r.env.SetTimer(r.pm.Timeout(),
-					types.TimerID{Kind: types.TimerViewChange, View: r.view})
-			}
-		}
-	}
-	r.tryPropose()
-}
-
-// maybeSyncViews jumps this node forward when f+1 nodes (itself
-// included) verifiably claim views at or above some v > view: at least
-// one of the claimants is correct, so view v is genuinely underway and
-// stepping one timeout at a time would only prolong the outage.
-// Advancing our own checker is always safe — TEEview is monotone and
-// signs nothing about past views — so this is purely a liveness
-// mechanism; a lone Byzantine node spinning its checker far ahead
-// cannot form the f+1 quorum and drags nobody.
-func (r *Replica) maybeSyncViews() {
-	if r.recovering {
-		return
-	}
-	claims := []types.View{r.view}
-	for id, v := range r.viewClaims {
-		if id != r.cfg.Self {
-			claims = append(claims, v)
-		}
-	}
-	if len(claims) < r.cfg.Quorum() {
-		return
-	}
-	sort.Slice(claims, func(i, j int) bool { return claims[i] > claims[j] })
-	target := claims[r.cfg.Quorum()-1]
-	if target <= r.view {
-		return
-	}
-	r.env.Logf("view sync: jumping from view %d to %d (quorum-backed)", r.view, target)
-	r.m.viewJumps.Inc()
-	for r.chk.View() < target-1 {
-		if _, err := r.chk.TEEview(); err != nil {
-			return
-		}
-	}
-	// Drop per-view state for the views being skipped.
-	for v := range r.viewCerts {
-		if v < target {
-			delete(r.viewCerts, v)
-		}
-	}
-	for v := range r.stashedProposals {
-		if v < target {
-			delete(r.stashedProposals, v)
-		}
-	}
-	r.enterNextView()
-}
-
-// tryPropose attempts to propose in the current view, via the fast
-// path (commitment certificate for view-1) or the accumulator path
-// (f+1 view certificates for the current view).
-func (r *Replica) tryPropose() {
-	if r.recovering || !r.cfg.IsLeader(r.view) || r.chk.Proposed() {
-		return
-	}
-	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
-		// Nothing to order; wait for client traffic (the view advances
-		// by timeout while idle).
-		return
-	}
-	// Fast path: extend the block committed in the previous view.
-	if !r.cfg.DisableFastPath && r.lastCC != nil && r.lastCC.View == r.view-1 {
-		if ok, missing := r.store.HasAncestry(r.lastCC.Hash); ok {
-			r.propose(r.lastCC.Hash, nil, r.lastCC)
-			return
-		} else {
-			r.requestBlock(missing, r.cfg.Leader(r.lastCC.View))
-		}
-	}
-	// Accumulator path: f+1 view certificates for this view. View
-	// certificates are verified on use (evicting forgeries) rather than
-	// trusted as stored: a Byzantine peer can inject a NEW-VIEW with an
-	// inflated PrepView and a garbage signature, and if it were blindly
-	// selected as "best" every TEEaccum attempt for the view would fail,
-	// stalling the leader until the view times out.
-	for {
-		set := r.viewCerts[r.view]
-		if len(set) < r.cfg.Quorum() {
-			return
-		}
-		// Walk the set in signer order (ties on PrepView are common once
-		// NEW-VIEWs are broadcast during desync): which certificate wins
-		// must be a function of the set, not of map iteration order, or
-		// identical seeded runs diverge.
-		signers := make([]types.NodeID, 0, len(set))
-		for id := range set {
-			signers = append(signers, id)
-		}
-		sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
-		var best *types.ViewCert
-		for _, id := range signers {
-			if vc := set[id]; best == nil || vc.PrepView > best.PrepView {
-				best = vc
-			}
-		}
-		if !r.verifyViewCert(best) {
-			delete(set, best.Signer)
-			continue
-		}
-		if ok, missing := r.store.HasAncestry(best.PrepHash); !ok {
-			r.requestBlock(missing, best.Signer)
-			return
-		}
-		certs := make([]*types.ViewCert, 0, r.cfg.Quorum())
-		certs = append(certs, best)
-		for _, id := range signers {
-			if len(certs) == r.cfg.Quorum() {
-				break
-			}
-			vc, ok := set[id]
-			if !ok || vc == best {
-				continue
-			}
-			if !r.verifyViewCert(vc) {
-				delete(set, id)
-				continue
-			}
-			certs = append(certs, vc)
-		}
-		if len(certs) < r.cfg.Quorum() {
-			// Forgeries were evicted mid-selection; re-check the quorum.
-			continue
-		}
-		acc, err := r.acc.TEEaccum(best, certs)
-		if err != nil {
-			r.env.Logf("TEEaccum failed: %v", err)
-			return
-		}
-		r.propose(acc.Hash, acc, nil)
-		return
-	}
-}
-
-// verifyViewCert checks a view certificate's signature host-side (our
-// own certificates need no re-verification).
-func (r *Replica) verifyViewCert(vc *types.ViewCert) bool {
-	if vc.Signer == r.cfg.Self {
-		return true
-	}
-	if r.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
-		return true
-	}
-	r.m.badViewCerts.Inc()
-	return false
-}
-
-func (r *Replica) haveQuorumCerts() bool {
-	return len(r.viewCerts[r.view]) >= r.cfg.Quorum()
-}
-
-// propose creates, certifies and broadcasts a block extending
-// parentHash, justified by exactly one of acc and cc (Algorithm 1,
-// propose function).
-func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.CommitCert) {
-	parent := r.store.Get(parentHash)
-	if parent == nil {
-		return
-	}
-	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
-	op := r.machine.Execute(parent.Op, txs)
-	b := &types.Block{
-		Txs:      txs,
-		Op:       op,
-		Parent:   parentHash,
-		View:     r.view,
-		Height:   parent.Height + 1,
-		Proposer: r.cfg.Self,
-		Proposed: r.env.Now(),
-	}
-	bc, err := r.chk.TEEprepare(b, b.Hash(), acc, cc)
-	if err != nil {
-		r.env.Logf("TEEprepare failed: %v", err)
-		return
-	}
-	r.store.Add(b)
-	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
-	r.voteHash = b.Hash()
-	r.observePropose(bc.View, bc.Hash)
-	r.trace.Emit(obs.TracePropose, uint64(b.View), uint64(b.Height), shortHash(r.voteHash))
-	r.env.Broadcast(&MsgProposal{Block: b, BC: bc})
-	// Vote for our own block.
-	sc, err := r.chk.TEEstore(bc)
-	if err != nil {
-		return
-	}
-	r.observeVote(sc.View, sc.Hash)
-	r.onVote(r.cfg.Self, &MsgVote{SC: sc})
-}
-
-func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
-	if r.recovering {
-		return
-	}
-	b, bc := m.Block, m.BC
-	if b == nil || bc == nil || b.Hash() != bc.Hash || b.View != bc.View {
-		return
-	}
-	if bc.Signer != r.cfg.Leader(bc.View) || b.Proposer != bc.Signer {
-		return
-	}
-	switch {
-	case bc.View < r.view:
-		return
-	case bc.View > r.view:
-		// We have not advanced yet (the DECIDE that moves us is in
-		// flight); keep the proposal for when we do. The window is
-		// bounded to keep Byzantine leaders from exhausting memory.
-		if bc.View < r.view+64 {
-			r.stashedProposals[bc.View] = m
-		}
-		return
-	}
-	// Block validity (Sec. 4.4): ancestry available and execution
-	// results correct.
-	if ok, missing := r.store.HasAncestry(b.Parent); !ok {
-		r.requestBlock(missing, from)
-		r.stashedProposals[bc.View] = m
-		return
-	}
-	parent := r.store.Get(b.Parent)
-	if parent == nil || b.Height != parent.Height+1 {
-		return
-	}
-	if op := r.machine.Execute(parent.Op, b.Txs); !bytes.Equal(op, b.Op) {
-		r.env.Logf("proposal with invalid execution results from %v", from)
-		return
-	}
-	sc, err := r.chk.TEEstore(bc)
-	if err != nil {
-		return
-	}
-	r.store.Add(b)
-	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
-	r.observeVote(sc.View, sc.Hash)
-	r.trace.Emit(obs.TraceVote, uint64(bc.View), uint64(b.Height), shortHash(bc.Hash))
-	r.deliverOrSend(r.cfg.Leader(bc.View), &MsgVote{SC: sc})
-}
-
-func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
-	if r.recovering {
-		return
-	}
-	sc := m.SC
-	if sc == nil || sc.Signer != from || sc.View != r.view || !r.cfg.IsLeader(r.view) || r.decided {
-		return
-	}
-	if r.voteHash.IsZero() || sc.Hash != r.voteHash || r.votes[sc.Signer] != nil {
-		return
-	}
-	// Our own store certificate needs no re-verification; peers' do.
-	if sc.Signer != r.cfg.Self &&
-		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View), sc.Sig) {
-		return
-	}
-	r.votes[sc.Signer] = sc
-	if len(r.votes) < r.cfg.Quorum() {
-		return
-	}
-	r.decided = true
-	signers := make([]types.NodeID, 0, len(r.votes))
-	sigs := make([]types.Signature, 0, len(r.votes))
-	for id, v := range r.votes {
-		signers = append(signers, id)
-		sigs = append(sigs, v.Sig)
-	}
-	cc := &types.CommitCert{Hash: sc.Hash, View: sc.View, Signers: signers, Sigs: sigs}
-	r.env.Broadcast(&MsgDecide{CC: cc})
-	r.handleCC(cc, r.cfg.Self)
-}
-
-func (r *Replica) onDecide(from types.NodeID, m *MsgDecide) {
-	if r.recovering || m.CC == nil {
-		return
-	}
-	r.handleCC(m.CC, from)
-}
-
-// handleCC processes a commitment certificate: it verifies it, commits
-// the certified block (and uncommitted ancestors, per the chained
-// commit rule), replies to clients, and advances into the next view.
-func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
-	if r.store.IsCommitted(cc.Hash) {
-		return
-	}
-	if len(cc.Signers) < r.cfg.Quorum() {
-		return
-	}
-	// No host-side signature check here: TEEstoreCommit verifies the
-	// certificate inside the enclave before any state changes, and the
-	// ledger only commits after it succeeds.
-	if ok, missing := r.store.HasAncestry(cc.Hash); !ok {
-		r.requestBlock(missing, from)
-		if len(r.stashedCCs) < 64 {
-			r.stashedCCs = append(r.stashedCCs, cc)
-		}
-		return
-	}
-	if err := r.chk.TEEstoreCommit(cc); err != nil {
-		return
-	}
-	newly, err := r.store.Commit(cc.Hash)
-	if err != nil {
-		r.env.Logf("SAFETY ALARM: %v", err)
-		return
-	}
-	b := r.store.Get(cc.Hash)
-	r.prebBlock, r.prebCC = b, cc
-	if r.prebBC != nil && r.prebBC.Hash != cc.Hash {
-		r.prebBC = nil
-	}
-	if r.lastCC == nil || cc.View > r.lastCC.View {
-		r.lastCC = cc
-	}
-	now := r.env.Now()
-	for _, nb := range newly {
-		r.env.Commit(nb, cc)
-		r.pool.MarkCommitted(nb.Txs)
-		r.replyClients(nb, cc)
-		r.m.commits.Inc()
-		r.m.committedTxs.Add(uint64(len(nb.Txs)))
-		// Latency only for self-proposed blocks: on the live path every
-		// process measures time on its own clock, so cross-node
-		// (Proposed, committed) pairs are skewed and meaningless.
-		if nb.Proposer == r.cfg.Self {
-			r.m.commitLatency.ObserveDuration(time.Duration(now - nb.Proposed))
-		}
-	}
-	r.obsHeight.Store(uint64(r.store.CommittedHeight()))
-	r.obsLastCommit.Store(int64(now))
-	r.trace.Emit(obs.TraceCommit, uint64(cc.View), uint64(b.Height), shortHash(cc.Hash))
-	if cc.View >= r.view {
-		r.pm.Progress()
-		r.enterNextView()
-	}
-	// Periodically drop old block bodies.
-	if r.store.CommittedHeight()%256 == 0 && r.store.CommittedHeight() > 1024 {
-		r.store.PruneBefore(r.store.CommittedHeight() - 1024)
-	}
-}
-
-// replyClients sends one certified reply per real client with
-// transactions in the committed block (reply responsiveness, Sec. 6.1:
-// a single verifiable reply suffices).
-func (r *Replica) replyClients(b *types.Block, cc *types.CommitCert) {
-	var perClient map[types.NodeID][]types.TxKey
-	for i := range b.Txs {
-		c := b.Txs[i].Client
-		if c.IsSynthetic() || !c.IsClient() {
-			continue
-		}
-		if perClient == nil {
-			perClient = make(map[types.NodeID][]types.TxKey)
-		}
-		perClient[c] = append(perClient[c], b.Txs[i].Key())
-	}
-	for c, keys := range perClient {
-		r.env.Send(c, &types.ClientReply{
-			Block: b.Hash(), View: cc.View, Height: b.Height,
-			TxKeys: keys, Certified: true, From: r.cfg.Self,
-		})
-	}
-}
-
-// --- block synchronization ---------------------------------------------
-
-// syncRetryBudget is how many duplicate triggers (e.g. successive
-// DECIDEs naming the same missing ancestor) are absorbed before a
-// block request is re-sent. Over lossy links a request or response
-// frame can vanish; without a bounded budget the in-flight marker
-// would suppress re-requests until the next view change, wedging
-// catch-up behind an exponentially backed-off view timer.
-const syncRetryBudget = 4
-
-func (r *Replica) requestBlock(h types.Hash, from types.NodeID) {
-	if from == r.cfg.Self || h.IsZero() {
-		return
-	}
-	if budget, inflight := r.inflightSync[h]; inflight {
-		if budget > 0 {
-			r.inflightSync[h] = budget - 1
-			return
-		}
-		// Budget exhausted: the request or its response likely vanished
-		// on a lossy link; re-send rather than wedge behind the view
-		// timer.
-		r.m.syncRerequests.Inc()
-	}
-	r.m.syncRequests.Inc()
-	r.trace.Emit(obs.TraceBlockSync, uint64(r.view), r.obsHeight.Load(), shortHash(h))
-	r.inflightSync[h] = syncRetryBudget
-	r.env.Send(from, &types.BlockRequest{Hash: h, From: r.cfg.Self})
-}
-
-func (r *Replica) onBlockRequest(from types.NodeID, m *types.BlockRequest) {
-	if r.recovering {
-		return
-	}
-	if b := r.store.Get(m.Hash); b != nil {
-		r.env.Send(from, &types.BlockResponse{Block: b})
-	}
-}
-
-func (r *Replica) onBlockResponse(from types.NodeID, m *types.BlockResponse) {
-	if m.Block == nil {
-		return
-	}
-	h := m.Block.Hash()
-	if r.inflightSync[h] == 0 {
-		return
-	}
-	delete(r.inflightSync, h)
-	r.store.Add(m.Block)
-	// Continue walking toward the committed chain if needed.
-	if ok, missing := r.store.HasAncestry(h); !ok {
-		r.requestBlock(missing, from)
-	}
-	r.resumeStashed(from)
-}
-
-// resumeStashed retries work that was blocked on missing ancestors.
-func (r *Replica) resumeStashed(from types.NodeID) {
-	if r.recovering {
-		return
-	}
-	if len(r.stashedCCs) > 0 {
-		ccs := r.stashedCCs
-		r.stashedCCs = nil
-		for _, cc := range ccs {
-			if !r.store.IsCommitted(cc.Hash) {
-				r.handleCC(cc, from)
-			}
-		}
-	}
-	if m, ok := r.stashedProposals[r.view]; ok {
-		delete(r.stashedProposals, r.view)
-		r.onProposal(m.BC.Signer, m)
-	}
-	r.tryPropose()
 }
 
 // View returns the replica's current view (for tests and metrics).

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/crypto"
+	"achilles/internal/obs"
+	"achilles/internal/protocol"
+	"achilles/internal/protocol/protocoltest"
+	"achilles/internal/types"
+)
+
+// newStashReplica builds a single replica with a recording env — a
+// white-box target for adversarial message floods. n=5/f=2, so quorum
+// is 3 and the round-robin leader of view v is v%5.
+func newStashReplica(t *testing.T) (*Replica, *protocoltest.Env, *obs.Registry) {
+	t.Helper()
+	scheme := crypto.FastScheme{}
+	ring := crypto.NewKeyRing()
+	var priv crypto.PrivateKey
+	for i := 0; i < 5; i++ {
+		p, pub := scheme.KeyPair(9, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		if i == 0 {
+			priv = p
+		}
+	}
+	reg := obs.NewRegistry()
+	r := New(Config{
+		Config: protocol.Config{
+			Self: 0, N: 5, F: 2,
+			BatchSize: 8, PayloadSize: 4,
+			BaseTimeout: 100 * time.Millisecond, Seed: 9,
+		},
+		Scheme: scheme,
+		Ring:   ring,
+		Priv:   priv,
+		Obs:    reg,
+	})
+	env := &protocoltest.Env{}
+	r.Init(env)
+	env.Reset()
+	return r, env, reg
+}
+
+// junkProposal crafts a proposal that passes onProposal's stateless
+// shape checks (hash link, leader-of-view proposer) but references an
+// unknown parent, so it can only ever be stashed — the shape of a
+// Byzantine future-view flood.
+func junkProposal(v types.View, tag byte) *MsgProposal {
+	var parent types.Hash
+	parent[0], parent[1] = 0xba, tag
+	b := &types.Block{
+		Parent:   parent,
+		View:     v,
+		Height:   3,
+		Proposer: types.LeaderForView(v, 5),
+	}
+	return &MsgProposal{
+		Block: b,
+		BC: &types.BlockCert{
+			Hash:   b.Hash(),
+			View:   v,
+			Signer: b.Proposer,
+			Sig:    make(types.Signature, 8),
+		},
+	}
+}
+
+// TestStashedProposalsBounded floods a replica with well-formed
+// future-view proposals (the signature is never checked before the
+// stash — TEEstore only runs once the view arrives) and asserts the
+// stash stays within maxStashedProposals, keeps the views nearest to
+// the current one, and counts every eviction.
+func TestStashedProposalsBounded(t *testing.T) {
+	r, _, reg := newStashReplica(t)
+	base := r.view
+
+	// Flood in descending view order so every insert past the cap
+	// exercises the evict-farthest branch.
+	for i := 63; i >= 1; i-- {
+		r.OnMessage(4, junkProposal(base+types.View(i), byte(i)))
+	}
+	if got := len(r.stashedProposals); got != maxStashedProposals {
+		t.Fatalf("stashedProposals = %d, want %d", got, maxStashedProposals)
+	}
+	for i := 1; i <= maxStashedProposals; i++ {
+		if _, ok := r.stashedProposals[base+types.View(i)]; !ok {
+			t.Errorf("nearest view %d missing from stash", base+types.View(i))
+		}
+	}
+	wantDrops := uint64(63 - maxStashedProposals)
+	if got := r.m.stashDrops.Value(); got != wantDrops {
+		t.Fatalf("stashDrops = %d, want %d", got, wantDrops)
+	}
+
+	// Farther than everything held: dropped outright.
+	r.OnMessage(4, junkProposal(base+40, 0xff))
+	if got := len(r.stashedProposals); got != maxStashedProposals {
+		t.Fatalf("stash grew past cap: %d", got)
+	}
+	if got := r.m.stashDrops.Value(); got != wantDrops+1 {
+		t.Fatalf("stashDrops after far candidate = %d, want %d", got, wantDrops+1)
+	}
+
+	// Same-view arrival replaces in place without counting a drop.
+	repl := junkProposal(base+5, 0xaa)
+	r.OnMessage(4, repl)
+	if got := len(r.stashedProposals); got != maxStashedProposals {
+		t.Fatalf("same-view replace changed stash size: %d", got)
+	}
+	if r.stashedProposals[base+5] != repl {
+		t.Errorf("same-view arrival did not replace the stashed proposal")
+	}
+	if got := r.m.stashDrops.Value(); got != wantDrops+1 {
+		t.Fatalf("stashDrops after replace = %d, want %d", got, wantDrops+1)
+	}
+
+	// The drop counter is live on the metrics registry.
+	if v, ok := reg.Value("achilles_stash_drops_total"); !ok || v != float64(wantDrops+1) {
+		t.Errorf("achilles_stash_drops_total = %v (ok=%v), want %d", v, ok, wantDrops+1)
+	}
+}
+
+// TestStashedCCsBounded floods a replica with quorum-sized commitment
+// certificates for unknown blocks (handleCC stashes before any
+// signature check — TEEstoreCommit only runs once ancestry is local)
+// and asserts the stash stays within maxStashedCCs, evicting oldest
+// first.
+func TestStashedCCsBounded(t *testing.T) {
+	r, env, _ := newStashReplica(t)
+
+	const flood = 200
+	mkHash := func(i int) types.Hash {
+		var h types.Hash
+		h[0], h[1], h[2] = 0xcc, byte(i), byte(i>>8)
+		return h
+	}
+	for i := 0; i < flood; i++ {
+		cc := &types.CommitCert{
+			Hash:    mkHash(i),
+			View:    r.view,
+			Signers: []types.NodeID{1, 2, 3},
+			Sigs:    make([]types.Signature, 3),
+		}
+		r.OnMessage(4, &MsgDecide{CC: cc})
+	}
+	if got := len(r.stashedCCs); got != maxStashedCCs {
+		t.Fatalf("stashedCCs = %d, want %d", got, maxStashedCCs)
+	}
+	// Oldest-first eviction: the survivors are the newest 64.
+	if want := mkHash(flood - maxStashedCCs); r.stashedCCs[0].Hash != want {
+		t.Errorf("stashedCCs[0].Hash = %x, want oldest survivor %x", r.stashedCCs[0].Hash[:4], want[:4])
+	}
+	if want := mkHash(flood - 1); r.stashedCCs[maxStashedCCs-1].Hash != want {
+		t.Errorf("stashedCCs tail = %x, want newest %x", r.stashedCCs[maxStashedCCs-1].Hash[:4], want[:4])
+	}
+	if got, want := r.m.stashDrops.Value(), uint64(flood-maxStashedCCs); got != want {
+		t.Fatalf("stashDrops = %d, want %d", got, want)
+	}
+	// Each stashed certificate triggered (at most) a block-sync
+	// request, never a commit.
+	if len(env.Commits) != 0 {
+		t.Fatalf("junk certificates committed %d blocks", len(env.Commits))
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+// This file holds the stateless half of the replica hot path:
+// signature and certificate verification that is a pure function of
+// the PKI key ring and the message bytes. Nothing here reads or writes
+// consensus state, which is what lets the pooled scheduler
+// (internal/sched) run PreVerify on ingress worker goroutines before a
+// message ever reaches the consensus loop. Results land in the shared
+// crypto.CertCache; when the consensus-goroutine handlers (steps.go,
+// recovery.go) and the modelled trusted components re-request the same
+// checks, they hit the cache and pay a digest instead of an ECDSA
+// verification.
+
+import (
+	"achilles/internal/crypto"
+	"achilles/internal/mempool"
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// verifyViewCert checks a view certificate's signature host-side (our
+// own certificates need no re-verification).
+func (r *Replica) verifyViewCert(vc *types.ViewCert) bool {
+	if vc.Signer == r.cfg.Self {
+		return true
+	}
+	if r.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
+		return true
+	}
+	r.m.badViewCerts.Inc()
+	return false
+}
+
+// Verifier is the ingress-stage pre-verifier: it speculatively runs
+// the signature and quorum-certificate checks a message will need,
+// warming the shared CertCache (and the block-hash memo), so the
+// consensus goroutine's own checks become cache hits. It holds no
+// replica state and is safe for concurrent use from any number of
+// verify-pool workers; sched.Options.Verify is its intended mount
+// point.
+//
+// Pre-verification is strictly an optimization: the consensus handlers
+// (and the trusted components) re-check everything, and only successful
+// verifications are ever cached, so a forged or garbled message costs
+// the attacker a failed check here and another there — it can never
+// make the loop accept anything it would not have accepted inline.
+type Verifier struct {
+	cfg      protocol.Config
+	svc      *crypto.Service
+	pool     *mempool.Pool
+	runBatch func(tasks []func())
+}
+
+// NewVerifier builds a pre-verifier over the node's PKI ring and the
+// cache it shares with the replica (core.Config.CertCache). The
+// internal crypto service is unmetered: pre-verification happens off
+// the consensus goroutine on the live path, where Charge is a no-op
+// anyway, and the simulator never constructs a Verifier.
+func NewVerifier(scheme crypto.Scheme, ring *crypto.KeyRing, cfg protocol.Config, cache *crypto.CertCache) *Verifier {
+	svc := crypto.NewService(scheme, ring, nil, cfg.Self, nil, crypto.Costs{})
+	svc.SetCache(cache)
+	return &Verifier{cfg: cfg, svc: svc}
+}
+
+// SetBatchRunner installs the fan-out hook used for quorum
+// certificates (sched.Pooled.RunBatch): the certificate's f+1 member
+// checks run concurrently instead of sequentially. nil keeps them
+// sequential.
+func (v *Verifier) SetBatchRunner(run func(tasks []func())) { v.runBatch = run }
+
+// SetMempool connects the live node's shared transaction pool: client
+// requests are staged into it off-loop (batch admission) and the
+// consensus-goroutine handler drains the staging buffer in one step.
+func (v *Verifier) SetMempool(p *mempool.Pool) { v.pool = p }
+
+// PreVerify inspects one decoded inbound message and runs the
+// stateless checks its consensus handler will repeat. Unknown or
+// unverifiable messages pass through untouched — PreVerify never
+// filters, it only warms caches.
+func (v *Verifier) PreVerify(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *MsgProposal:
+		if m.Block == nil || m.BC == nil {
+			return
+		}
+		// Warm the block-hash memo (the handler hashes the block first
+		// thing) and check the leader's block certificate, which
+		// TEEprepare/TEEstore will re-verify through the cache.
+		m.Block.Hash()
+		v.svc.Verify(m.BC.Signer, types.BlockCertPayload(m.BC.Hash, m.BC.View), m.BC.Sig)
+	case *MsgVote:
+		// Deliberately not pre-verified. The leader stops checking
+		// votes at quorum (onVote drops late votes before the
+		// signature check), so pre-verifying every arrival does
+		// strictly more ECDSA work than the inline path. The cache
+		// still collapses the leader's double check — onVote's host
+		// verification marks each store-cert signature, so the
+		// enclave's TEEstoreCommit quorum re-check hits.
+	case *MsgDecide:
+		if m.CC != nil {
+			v.preVerifyCC(m.CC)
+		}
+	case *MsgNewView:
+		// The view certificate is deliberately not pre-verified:
+		// the accumulator verifies certificates on use and stops at
+		// quorum, so most views never need every arriving VC checked
+		// (and a forged one must be re-judged on use anyway — see
+		// maybeSyncViews). The riding commitment certificate IS
+		// pre-verified: if this node already committed it the probe
+		// hits the whole-quorum digest and costs one hash; if not
+		// (we are behind), warming it off-loop is exactly what the
+		// ingress stage is for.
+		if m.CC != nil {
+			v.preVerifyCC(m.CC)
+		}
+	case *MsgRecoveryRpy:
+		if m.Rpy == nil {
+			return
+		}
+		rpy := m.Rpy
+		v.svc.Verify(rpy.Signer,
+			types.RecoveryRpyPayload(rpy.PrepHash, rpy.PrepView, rpy.CurView, rpy.Target, rpy.Nonce),
+			rpy.Sig)
+		if m.Block != nil {
+			m.Block.Hash()
+		}
+		if m.BC != nil {
+			v.svc.Verify(m.BC.Signer, types.BlockCertPayload(m.BC.Hash, m.BC.View), m.BC.Sig)
+		}
+		if m.CC != nil {
+			v.preVerifyCC(m.CC)
+		}
+	case *types.ClientRequest:
+		if v.pool != nil {
+			v.pool.Stage(m.Txs)
+		}
+	}
+}
+
+// preVerifyCC checks a commitment certificate's f+1 member signatures,
+// fanned out over the batch runner when one is installed, and records
+// the whole-certificate digest so the enclave's TEEstoreCommit check
+// becomes a single cache probe.
+func (v *Verifier) preVerifyCC(cc *types.CommitCert) {
+	v.svc.VerifyQuorumBatch(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs, v.runBatch)
+}

@@ -1,0 +1,187 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"achilles/internal/obs"
+	"achilles/internal/types"
+)
+
+// CertCache remembers signature verifications that already succeeded,
+// keyed by a digest over (signing payload, signer, signature bytes).
+// Achilles re-checks the same certificates at every hop — a commitment
+// certificate is verified by the DECIDE handler, again when it rides a
+// NEW-VIEW, and again inside the checker — and with real ECDSA each
+// re-check costs a full point multiplication. A hit is sound no matter
+// which goroutine verified first: entries are inserted only after a
+// successful verification, and the key covers the exact bytes that
+// were checked.
+//
+// The cache is bounded (FIFO eviction) and safe for concurrent use, so
+// the live runtime can share one instance between the ingress verify
+// pool and the consensus goroutine's Services. It must stay nil on the
+// simulator path: a hit skips the metered Charge, which would shift
+// virtual time and break deterministic replay.
+//
+// A nil *CertCache is valid and caches nothing, mirroring the obs
+// package's nil-receiver idiom.
+type CertCache struct {
+	mu   sync.Mutex
+	set  map[types.Hash]struct{}
+	ring []types.Hash // insertion order, for FIFO eviction
+	next int          // ring slot the next insert overwrites
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// DefaultCertCacheSize bounds the cache at roughly one busy view's
+// worth of certificates times a generous safety margin; at ~32 bytes a
+// key the worst case is a few hundred KiB.
+const DefaultCertCacheSize = 8192
+
+// NewCertCache returns a cache bounded to capacity entries (<=0 uses
+// DefaultCertCacheSize).
+func NewCertCache(capacity int) *CertCache {
+	if capacity <= 0 {
+		capacity = DefaultCertCacheSize
+	}
+	return &CertCache{
+		set:  make(map[types.Hash]struct{}, capacity),
+		ring: make([]types.Hash, 0, capacity),
+	}
+}
+
+// CacheKey digests one verification: the signer, the signed payload
+// and the signature presented for it.
+func CacheKey(id types.NodeID, msg []byte, sig types.Signature) types.Hash {
+	h := sha256.New()
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], uint32(id))
+	h.Write(idb[:])
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], uint64(len(msg)))
+	h.Write(lenb[:])
+	h.Write(msg)
+	h.Write(sig)
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// quorumCacheKey digests a whole quorum certificate check (shared
+// payload, all signers, all signatures) so a certificate seen before
+// costs one hash, not f+1 map probes.
+func quorumCacheKey(signers []types.NodeID, msg []byte, sigs []types.Signature) types.Hash {
+	h := sha256.New()
+	h.Write([]byte("quorum"))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(len(msg)))
+	h.Write(b[:])
+	h.Write(msg)
+	for i, id := range signers {
+		binary.BigEndian.PutUint32(b[:4], uint32(id))
+		h.Write(b[:4])
+		h.Write(sigs[i])
+	}
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Seen reports whether key was marked verified, counting a hit or miss.
+func (c *CertCache) Seen(key types.Hash) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	_, ok := c.set[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ok
+}
+
+// Mark records a successful verification. Call it only after the
+// signature actually verified.
+func (c *CertCache) Mark(key types.Hash) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.set[key]; ok {
+		return
+	}
+	if len(c.ring) < cap(c.ring) {
+		c.ring = append(c.ring, key)
+	} else {
+		old := c.ring[c.next]
+		delete(c.set, old)
+		c.ring[c.next] = key
+		c.next = (c.next + 1) % len(c.ring)
+		c.evictions.Add(1)
+	}
+	c.set[key] = struct{}{}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Size      int
+	Capacity  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// RegisterMetrics exposes the cache counters on a metrics registry
+// (hits/misses/evictions as counters, size and capacity as gauges).
+// Nil cache or nil registry registers nothing.
+func (c *CertCache) RegisterMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.Func("achilles_certcache_checks_total",
+		"Signature-cache probes by outcome.", obs.KindCounter, func() []obs.Sample {
+			st := c.Stats()
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("outcome", "hit")}, Value: float64(st.Hits)},
+				{Labels: []obs.Label{obs.L("outcome", "miss")}, Value: float64(st.Misses)},
+			}
+		})
+	reg.Func("achilles_certcache_evictions_total",
+		"Verified-signature cache entries evicted (FIFO bound).", obs.KindCounter,
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(c.Stats().Evictions)}}
+		})
+	reg.Func("achilles_certcache_entries",
+		"Verified-signature cache entries resident.", obs.KindGauge,
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(c.Stats().Size)}}
+		})
+}
+
+// Stats snapshots the cache. Safe to call from any goroutine; a nil
+// cache reports zeros.
+func (c *CertCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	size, capacity := len(c.set), cap(c.ring)
+	c.mu.Unlock()
+	return CacheStats{
+		Size:      size,
+		Capacity:  capacity,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

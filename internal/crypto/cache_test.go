@@ -1,0 +1,226 @@
+package crypto
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"achilles/internal/types"
+)
+
+// countingMeter counts Charge calls so tests can see which
+// verifications were cache hits (hits skip the charge). Atomic because
+// the VerifyQuorumBatch fan-out charges from worker goroutines.
+type countingMeter struct{ n atomic.Int64 }
+
+func (m *countingMeter) Charge(time.Duration) { m.n.Add(1) }
+func (m *countingMeter) charges() int         { return int(m.n.Load()) }
+
+func testService(t *testing.T, cache *CertCache) (*Service, *countingMeter) {
+	t.Helper()
+	scheme := FastScheme{}
+	ring := NewKeyRing()
+	for i := 0; i < 5; i++ {
+		_, pub := scheme.KeyPair(7, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+	}
+	priv, _ := scheme.KeyPair(7, 0)
+	meter := &countingMeter{}
+	svc := NewService(scheme, ring, priv, 0, meter, Costs{Verify: time.Microsecond})
+	svc.SetCache(cache)
+	return svc, meter
+}
+
+func signAs(t *testing.T, id types.NodeID, msg []byte) types.Signature {
+	t.Helper()
+	scheme := FastScheme{}
+	priv, _ := scheme.KeyPair(7, id)
+	return scheme.Sign(priv, msg)
+}
+
+func TestCertCacheHitSkipsReverification(t *testing.T) {
+	cache := NewCertCache(16)
+	svc, meter := testService(t, cache)
+	msg := []byte("payload")
+	sig := signAs(t, 1, msg)
+
+	if !svc.Verify(1, msg, sig) {
+		t.Fatal("first verify failed")
+	}
+	if meter.charges() != 1 {
+		t.Fatalf("first verify charged %d times, want 1", meter.charges())
+	}
+	if !svc.Verify(1, msg, sig) {
+		t.Fatal("cached verify failed")
+	}
+	if meter.charges() != 1 {
+		t.Fatalf("cached verify re-charged (charges=%d)", meter.charges())
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+}
+
+func TestCertCacheNeverCachesFailures(t *testing.T) {
+	cache := NewCertCache(16)
+	svc, _ := testService(t, cache)
+	msg := []byte("payload")
+	bad := signAs(t, 2, msg) // signed by the wrong node
+
+	for i := 0; i < 2; i++ {
+		if svc.Verify(1, msg, bad) {
+			t.Fatal("forged signature verified")
+		}
+	}
+	if st := cache.Stats(); st.Size != 0 || st.Hits != 0 {
+		t.Fatalf("failure polluted the cache: %+v", st)
+	}
+}
+
+func TestCertCacheKeyCoversAllInputs(t *testing.T) {
+	msg := []byte("payload")
+	sig := signAs(t, 1, msg)
+	base := CacheKey(1, msg, sig)
+	if CacheKey(2, msg, sig) == base {
+		t.Fatal("key ignores signer")
+	}
+	if CacheKey(1, []byte("payloae"), sig) == base {
+		t.Fatal("key ignores message")
+	}
+	other := append(types.Signature{}, sig...)
+	other[0] ^= 1
+	if CacheKey(1, msg, other) == base {
+		t.Fatal("key ignores signature bytes")
+	}
+}
+
+func TestCertCacheEviction(t *testing.T) {
+	cache := NewCertCache(4)
+	keys := make([]types.Hash, 6)
+	for i := range keys {
+		keys[i] = CacheKey(types.NodeID(i), []byte{byte(i)}, types.Signature{byte(i)})
+		cache.Mark(keys[i])
+	}
+	st := cache.Stats()
+	if st.Size != 4 {
+		t.Fatalf("size = %d, want capacity 4", st.Size)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	// FIFO: the two oldest entries are gone, the four newest remain.
+	for i, key := range keys {
+		want := i >= 2
+		if got := cache.Seen(key); got != want {
+			t.Fatalf("Seen(keys[%d]) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCertCacheNilIsInert(t *testing.T) {
+	var cache *CertCache
+	if cache.Seen(types.Hash{1}) {
+		t.Fatal("nil cache reported a hit")
+	}
+	cache.Mark(types.Hash{1}) // must not panic
+	if st := cache.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestVerifyQuorumCachesWholeCertificate(t *testing.T) {
+	cache := NewCertCache(64)
+	svc, meter := testService(t, cache)
+	msg := []byte("decide")
+	signers := []types.NodeID{0, 1, 2}
+	sigs := make([]types.Signature, len(signers))
+	for i, id := range signers {
+		sigs[i] = signAs(t, id, msg)
+	}
+
+	if !svc.VerifyQuorum(signers, msg, sigs) {
+		t.Fatal("quorum verify failed")
+	}
+	first := meter.charges()
+	if first != len(signers) {
+		t.Fatalf("first pass charged %d, want %d", first, len(signers))
+	}
+	if !svc.VerifyQuorum(signers, msg, sigs) {
+		t.Fatal("cached quorum verify failed")
+	}
+	if meter.charges() != first {
+		t.Fatalf("cached quorum pass charged %d more verifications", meter.charges()-first)
+	}
+
+	// Duplicate signers must fail and never be marked.
+	dup := []types.NodeID{0, 0, 2}
+	if svc.VerifyQuorum(dup, msg, []types.Signature{sigs[0], sigs[0], sigs[2]}) {
+		t.Fatal("duplicate signers accepted")
+	}
+	if svc.VerifyQuorum(dup, msg, []types.Signature{sigs[0], sigs[0], sigs[2]}) {
+		t.Fatal("duplicate signers accepted on retry")
+	}
+}
+
+func TestVerifyQuorumBatchFansOut(t *testing.T) {
+	svc, _ := testService(t, nil)
+	msg := []byte("decide")
+	signers := []types.NodeID{0, 1, 2, 3}
+	sigs := make([]types.Signature, len(signers))
+	for i, id := range signers {
+		sigs[i] = signAs(t, id, msg)
+	}
+	var ran int
+	run := func(tasks []func()) {
+		var wg sync.WaitGroup
+		for _, task := range tasks {
+			wg.Add(1)
+			go func(fn func()) { defer wg.Done(); fn() }(task)
+		}
+		wg.Wait()
+		ran = len(tasks)
+	}
+	if !svc.VerifyQuorumBatch(signers, msg, sigs, run) {
+		t.Fatal("batched quorum verify failed")
+	}
+	if ran != len(signers) {
+		t.Fatalf("fan-out ran %d tasks, want %d", ran, len(signers))
+	}
+	// One bad member fails the whole certificate.
+	bad := append(types.Signature{}, sigs[3]...)
+	bad[0] ^= 1
+	if svc.VerifyQuorumBatch(signers, msg, []types.Signature{sigs[0], sigs[1], sigs[2], bad}, run) {
+		t.Fatal("batched quorum verify accepted a bad member")
+	}
+}
+
+// TestCertCacheConcurrent exercises the cache from many goroutines;
+// run under -race it proves the shared-between-stages usage is sound.
+func TestCertCacheConcurrent(t *testing.T) {
+	cache := NewCertCache(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			svc, _ := testService(t, cache)
+			for i := 0; i < 200; i++ {
+				id := types.NodeID(i % 5)
+				msg := []byte(fmt.Sprintf("msg-%d", i%32))
+				sig := signAs(t, id, msg)
+				if !svc.Verify(id, msg, sig) {
+					t.Errorf("goroutine %d: verify %d failed", g, i)
+					return
+				}
+				cache.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("no concurrent hits recorded: %+v", st)
+	}
+}

@@ -86,6 +86,7 @@ type Service struct {
 	self   types.NodeID
 	meter  types.Meter
 	costs  Costs
+	cache  *CertCache
 }
 
 // NewService returns a metered signing service for node self.
@@ -95,6 +96,18 @@ func NewService(scheme Scheme, ring *KeyRing, priv PrivateKey, self types.NodeID
 	}
 	return &Service{scheme: scheme, ring: ring, priv: priv, self: self, meter: meter, costs: costs}
 }
+
+// SetCache attaches a verified-signature cache: verifications that hit
+// it return immediately without charging the modelled cost. Live-path
+// only — on the simulator the skipped Charge would shift virtual time
+// and break deterministic replay, so sim Services must keep cache nil.
+// The same cache may be shared by several Services (e.g. the ingress
+// verify pool's and the consensus goroutine's) as long as they use the
+// same key ring.
+func (s *Service) SetCache(c *CertCache) { s.cache = c }
+
+// Cache returns the attached verified-signature cache (nil when none).
+func (s *Service) Cache() *CertCache { return s.cache }
 
 // Self returns the node identity the service signs for.
 func (s *Service) Self() types.NodeID { return s.self }
@@ -112,6 +125,21 @@ func (s *Service) Sign(msg []byte) types.Signature {
 // Verify checks a signature attributed to node id, charging the
 // modelled verification cost.
 func (s *Service) Verify(id types.NodeID, msg []byte, sig types.Signature) bool {
+	if s.cache != nil {
+		key := CacheKey(id, msg, sig)
+		if s.cache.Seen(key) {
+			return true
+		}
+		ok := s.verifyUncached(id, msg, sig)
+		if ok {
+			s.cache.Mark(key)
+		}
+		return ok
+	}
+	return s.verifyUncached(id, msg, sig)
+}
+
+func (s *Service) verifyUncached(id types.NodeID, msg []byte, sig types.Signature) bool {
 	s.meter.Charge(s.costs.Verify)
 	pk := s.ring.Get(id)
 	if pk == nil {
@@ -126,20 +154,63 @@ func (s *Service) Verify(id types.NodeID, msg []byte, sig types.Signature) bool 
 // checks quorum size. Cost is linear in the number of signatures, which
 // is what makes certificate verification O(f) in the latency model.
 func (s *Service) VerifyQuorum(signers []types.NodeID, msg []byte, sigs []types.Signature) bool {
+	return s.VerifyQuorumBatch(signers, msg, sigs, nil)
+}
+
+// VerifyQuorumBatch is VerifyQuorum with an optional fan-out hook: when
+// run is non-nil the per-signer checks are handed to it as independent
+// tasks (the pooled scheduler executes them on spare verify workers and
+// returns when all are done), turning certificate verification latency
+// from f+1 sequential ECDSA operations into roughly one. A nil run
+// verifies sequentially, which is the simulator's metered path.
+//
+// With a cache attached, a certificate that fully verified before hits
+// a single whole-quorum digest and costs one hash instead of f+1
+// signature checks; the whole-quorum entry is only marked after every
+// member verified and the signer set proved distinct, so a hit implies
+// the complete check passed.
+func (s *Service) VerifyQuorumBatch(signers []types.NodeID, msg []byte, sigs []types.Signature, run func(tasks []func())) bool {
 	if len(signers) != len(sigs) || len(signers) == 0 {
 		return false
 	}
+	var qkey types.Hash
+	if s.cache != nil {
+		qkey = quorumCacheKey(signers, msg, sigs)
+		if s.cache.Seen(qkey) {
+			return true
+		}
+	}
 	seen := make(map[types.NodeID]bool, len(signers))
-	for i, id := range signers {
+	for _, id := range signers {
 		if seen[id] {
 			return false
 		}
 		seen[id] = true
-		if !s.Verify(id, msg, sigs[i]) {
-			return false
+	}
+	ok := true
+	if run != nil && len(signers) > 1 {
+		results := make([]bool, len(signers))
+		tasks := make([]func(), len(signers))
+		for i := range signers {
+			i := i
+			tasks[i] = func() { results[i] = s.Verify(signers[i], msg, sigs[i]) }
+		}
+		run(tasks)
+		for _, r := range results {
+			ok = ok && r
+		}
+	} else {
+		for i, id := range signers {
+			if !s.Verify(id, msg, sigs[i]) {
+				ok = false
+				break
+			}
 		}
 	}
-	return true
+	if ok && s.cache != nil {
+		s.cache.Mark(qkey)
+	}
+	return ok
 }
 
 // DistinctIDs reports whether ids contains no duplicates.

@@ -17,6 +17,7 @@ import (
 	"achilles/internal/oneshot"
 	"achilles/internal/protocol"
 	"achilles/internal/raft"
+	"achilles/internal/sched"
 	"achilles/internal/sim"
 	"achilles/internal/tee"
 	"achilles/internal/tee/counter"
@@ -242,7 +243,12 @@ func (c *Cluster) buildReplica(id types.NodeID, recovering bool) protocol.Replic
 	switch cfg.Protocol {
 	case Achilles, AchillesC:
 		return core.New(core.Config{
-			Config:              base,
+			Config: base,
+			// The simulator's determinism depends on every stage running
+			// inline in program order and on every verification charging
+			// the virtual clock: pin the inline scheduler and no cache.
+			Sched: sched.NewSync(),
+
 			Scheme:              cfg.Scheme,
 			Ring:                c.ring,
 			Priv:                c.privs[id],

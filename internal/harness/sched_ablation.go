@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/mempool"
+	"achilles/internal/protocol"
+	"achilles/internal/sched"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+)
+
+// SchedAblationRow is one scheduler configuration's measured saturated
+// throughput on a live loopback TCP cluster.
+type SchedAblationRow struct {
+	Sched      string  `json:"sched"`
+	Nodes      int     `json:"nodes"`
+	Batch      int     `json:"batch"`
+	Payload    int     `json:"payload"`
+	WindowMS   float64 `json:"window_ms"`
+	Blocks     uint64  `json:"blocks"`
+	Txs        uint64  `json:"txs"`
+	TPSk       float64 `json:"tps_k"`
+	BlocksPerS float64 `json:"blocks_per_s"`
+	CacheHits  uint64  `json:"cache_hits"`
+}
+
+var ablationRegisterOnce sync.Once
+
+// SchedAblation measures the live hot path end to end under the two
+// schedulers achilles-node ships: Sync (inline single-threaded stages,
+// no verified-cert cache — the historical behavior) and Pooled
+// (ingress verify pool + cert cache + async execute/egress). Unlike
+// every other experiment in this package it does NOT run on the
+// simulator: it boots a real n-node TCP loopback cluster per
+// configuration with real ECDSA signatures and synthetic load, warms
+// it up, and counts commits on one node over the measurement window.
+// basePort spaces the two clusters apart so lingering TIME_WAIT
+// sockets from the first run cannot collide with the second.
+func SchedAblation(n, basePort int, d Durations) []SchedAblationRow {
+	ablationRegisterOnce.Do(func() {
+		transport.RegisterMessages(
+			&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
+			&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
+		)
+	})
+	rows := make([]SchedAblationRow, 0, 2)
+	for i, name := range []string{"sync", "pooled"} {
+		rows = append(rows, runSchedConfig(name, n, basePort+100*i, d))
+	}
+	return rows
+}
+
+func runSchedConfig(schedName string, n, basePort int, d Durations) SchedAblationRow {
+	const (
+		batch   = 64
+		payload = 64
+		seed    = 77
+	)
+	f := (n - 1) / 2
+	scheme := crypto.ECDSAScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		p, pub := scheme.KeyPair(seed, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+	peers := transport.LocalPeers(n, basePort)
+
+	var blocks, txs atomic.Uint64
+	caches := make([]*crypto.CertCache, 0, n)
+	runtimes := make([]*transport.Runtime, 0, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		pcfg := protocol.Config{
+			Self: id, N: n, F: f,
+			BatchSize: batch, PayloadSize: payload,
+			BaseTimeout: 500 * time.Millisecond, Seed: seed,
+		}
+		txpool := mempool.NewSynthetic(id, payload)
+
+		// Mirror achilles-node's -sched wiring exactly: sync is the
+		// bare inline scheduler, pooled adds the pre-verifier and the
+		// shared verified-cert cache.
+		var (
+			hot   sched.Scheduler
+			cache *crypto.CertCache
+		)
+		switch schedName {
+		case "pooled":
+			cache = crypto.NewCertCache(crypto.DefaultCertCacheSize)
+			caches = append(caches, cache)
+			verifier := core.NewVerifier(scheme, ring, pcfg, cache)
+			verifier.SetMempool(txpool)
+			pooled := sched.NewPooled(sched.Options{Verify: verifier.PreVerify})
+			verifier.SetBatchRunner(pooled.RunBatch)
+			hot = pooled
+		default:
+			hot = sched.NewSync()
+		}
+
+		var secret [32]byte
+		secret[0] = byte(id)
+		rep := core.New(core.Config{
+			Config:            pcfg,
+			Scheme:            scheme,
+			Ring:              ring,
+			Priv:              privs[id],
+			MachineSecret:     secret,
+			SyntheticWorkload: true,
+			Sched:             hot,
+			CertCache:         cache,
+			Pool:              txpool,
+		})
+		tcfg := transport.Config{
+			Self:   id,
+			Listen: peers[id],
+			Peers:  peers,
+			Scheme: scheme,
+			Ring:   ring,
+			Priv:   privs[id],
+			Sched:  hot,
+		}
+		if id == 0 {
+			tcfg.OnCommit = func(b *types.Block, _ *types.CommitCert) {
+				blocks.Add(1)
+				txs.Add(uint64(len(b.Txs)))
+			}
+		}
+		rt := transport.New(tcfg, rep)
+		if err := rt.Start(); err != nil {
+			panic(fmt.Sprintf("sched ablation: start node %v (%s): %v", id, schedName, err))
+		}
+		runtimes = append(runtimes, rt)
+	}
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+	}()
+
+	// Warm up until the cluster actually commits, then for the
+	// configured warmup on top (connection setup on a cold loopback
+	// cluster can outlast a short -quick warmup).
+	deadline := time.Now().Add(15 * time.Second)
+	for blocks.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(d.Warmup)
+
+	b0, t0 := blocks.Load(), txs.Load()
+	start := time.Now()
+	time.Sleep(d.Window)
+	elapsed := time.Since(start)
+	db, dt := blocks.Load()-b0, txs.Load()-t0
+
+	var hits uint64
+	for _, c := range caches {
+		hits += c.Stats().Hits
+	}
+	return SchedAblationRow{
+		Sched:      schedName,
+		Nodes:      n,
+		Batch:      batch,
+		Payload:    payload,
+		WindowMS:   float64(elapsed.Milliseconds()),
+		Blocks:     db,
+		Txs:        dt,
+		TPSk:       float64(dt) / elapsed.Seconds() / 1000,
+		BlocksPerS: float64(db) / elapsed.Seconds(),
+		CacheHits:  hits,
+	}
+}
+
+// PrintSchedRows renders scheduler-ablation rows in the same style as
+// PrintRows.
+func PrintSchedRows(w io.Writer, title string, rows []SchedAblationRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "sched=%-7s n=%-3d batch=%-4d payload=%-4d window=%6.0fms blocks=%-5d tps=%7.2fK blocks/s=%6.1f cache-hits=%d\n",
+			r.Sched, r.Nodes, r.Batch, r.Payload, r.WindowMS, r.Blocks, r.TPSk, r.BlocksPerS, r.CacheHits)
+	}
+}

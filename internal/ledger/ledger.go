@@ -7,6 +7,7 @@ package ledger
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"achilles/internal/types"
 )
@@ -26,6 +27,11 @@ type Store struct {
 	committed map[types.Hash]bool
 	head      *types.Block // tip of the committed chain
 	genesis   *types.Block
+
+	// bodies mirrors len(blocks) so metric scrapers can read the
+	// retained-body count without touching the map (which the consensus
+	// goroutine mutates).
+	bodies atomic.Int64
 }
 
 // NewStore returns a store containing only the genesis block, which is
@@ -38,6 +44,7 @@ func NewStore() *Store {
 		head:      g,
 		genesis:   g,
 	}
+	s.bodies.Store(1)
 	return s
 }
 
@@ -51,7 +58,13 @@ func (s *Store) Head() *types.Block { return s.head }
 func (s *Store) CommittedHeight() types.Height { return s.head.Height }
 
 // Add inserts a block body. Adding the same block twice is a no-op.
-func (s *Store) Add(b *types.Block) { s.blocks[b.Hash()] = b }
+func (s *Store) Add(b *types.Block) {
+	h := b.Hash()
+	if _, ok := s.blocks[h]; !ok {
+		s.bodies.Add(1)
+	}
+	s.blocks[h] = b
+}
 
 // Get returns the block with hash h, or nil if the body is unknown.
 func (s *Store) Get(h types.Hash) *types.Block { return s.blocks[h] }
@@ -61,6 +74,10 @@ func (s *Store) Has(h types.Hash) bool { return s.blocks[h] != nil }
 
 // Len returns the number of stored block bodies.
 func (s *Store) Len() int { return len(s.blocks) }
+
+// Bodies returns the number of stored block bodies without touching
+// the block map. Safe to call from any goroutine (metric collectors).
+func (s *Store) Bodies() int { return int(s.bodies.Load()) }
 
 // IsCommitted reports whether the block with hash h has been committed.
 func (s *Store) IsCommitted(h types.Hash) bool { return s.committed[h] }
@@ -138,6 +155,7 @@ func (s *Store) PruneBefore(keep types.Height) {
 		// walks terminate on it); only the body is dropped.
 		if b.Height < keep && s.committed[h] && b != s.head {
 			delete(s.blocks, h)
+			s.bodies.Add(-1)
 		}
 	}
 }

@@ -8,6 +8,7 @@
 package mempool
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"achilles/internal/types"
@@ -26,15 +27,29 @@ type Stats struct {
 	Synthetic uint64
 	// CommittedTxs counts client transactions marked committed.
 	CommittedTxs uint64
+	// StagedDepth is the number of transactions sitting in the staging
+	// buffer (admitted off-loop, not yet drained onto the queue).
+	StagedDepth int
+	// Staged counts transactions ever placed in the staging buffer.
+	Staged uint64
 }
 
-// Pool is a per-node transaction pool. It is not safe for concurrent
-// use; runtimes are single-threaded per node. The admission counters
-// are atomics so metric scrapers may call Stats from other goroutines.
+// Pool is a per-node transaction pool. The queue and dedup maps are
+// not safe for concurrent use — Add, Len, NextBatch, MarkCommitted and
+// DrainStaged must stay on the consensus goroutine. Stage is the one
+// concurrent entry point: ingress workers park transactions in a
+// mutex-guarded staging buffer, and the consensus goroutine admits
+// them in one batch via DrainStaged. The admission counters are
+// atomics so metric scrapers may call Stats from other goroutines.
 type Pool struct {
 	queue   []types.Transaction
 	pending map[types.TxKey]bool
 	done    map[types.TxKey]bool
+
+	// staging buffer: written by ingress workers, drained on the
+	// consensus goroutine.
+	stagedMu sync.Mutex
+	staged   []types.Transaction
 
 	// synthetic configuration
 	synthetic   bool
@@ -44,6 +59,8 @@ type Pool struct {
 	payload     []byte
 
 	depth        atomic.Int64
+	stagedDepth  atomic.Int64
+	stagedTotal  atomic.Uint64
 	accepted     atomic.Uint64
 	duplicates   atomic.Uint64
 	genSynthetic atomic.Uint64
@@ -85,6 +102,39 @@ func (p *Pool) Add(txs []types.Transaction) {
 		p.accepted.Add(1)
 	}
 	p.depth.Store(int64(len(p.queue)))
+}
+
+// Stage parks client transactions for later batched admission. Safe
+// for concurrent use — this is how the ingress verify stage hands
+// transactions to the consensus goroutine without touching the dedup
+// maps. Duplicates are not filtered here; DrainStaged routes staged
+// transactions through Add, which dedups as always.
+func (p *Pool) Stage(txs []types.Transaction) {
+	if len(txs) == 0 {
+		return
+	}
+	p.stagedMu.Lock()
+	p.staged = append(p.staged, txs...)
+	depth := len(p.staged)
+	p.stagedMu.Unlock()
+	p.stagedDepth.Store(int64(depth))
+	p.stagedTotal.Add(uint64(len(txs)))
+}
+
+// DrainStaged admits everything in the staging buffer through Add and
+// returns how many transactions were staged (pre-dedup). Must be
+// called from the consensus goroutine, like Add.
+func (p *Pool) DrainStaged() int {
+	p.stagedMu.Lock()
+	txs := p.staged
+	p.staged = nil
+	p.stagedMu.Unlock()
+	p.stagedDepth.Store(0)
+	if len(txs) == 0 {
+		return 0
+	}
+	p.Add(txs)
+	return len(txs)
 }
 
 // Len returns the number of queued client transactions (an upper
@@ -154,5 +204,7 @@ func (p *Pool) Stats() Stats {
 		Duplicates:   p.duplicates.Load(),
 		Synthetic:    p.genSynthetic.Load(),
 		CommittedTxs: p.committedTxs.Load(),
+		StagedDepth:  int(p.stagedDepth.Load()),
+		Staged:       p.stagedTotal.Load(),
 	}
 }

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"achilles/internal/obs"
+	"achilles/internal/types"
+)
+
+// Options configures a Pooled scheduler.
+type Options struct {
+	// Workers is the verify-pool size (default: GOMAXPROCS, min 2).
+	Workers int
+	// VerifyQueue, ExecuteQueue and EgressQueue bound the stage queues
+	// (defaults 1024 / 256 / 1024). The verify and execute queues apply
+	// backpressure when full — submitters block — while the egress
+	// queue sheds (replies are best-effort; clients retransmit).
+	VerifyQueue  int
+	ExecuteQueue int
+	EgressQueue  int
+	// Verify, when set, runs on a worker goroutine for every ingress
+	// message before its step is delivered to the consensus loop. It
+	// must be stateless and safe for concurrent use (core.Verifier).
+	Verify func(from types.NodeID, msg types.Message)
+	// Obs registers the per-stage depth gauges, task counters and
+	// queue-wait histograms (nil disables).
+	Obs *obs.Registry
+}
+
+// Pooled is the live-path scheduler: a verify worker pool runs
+// stateless signature/cert checks on decoded frames before they enter
+// the consensus loop, and two single-worker stages run post-commit
+// execution and client-reply egress off the consensus goroutine. Order
+// within the execute and egress stages is submission order; ingress
+// messages may be delivered out of order across workers, which the
+// consensus handlers already tolerate (the network reorders too).
+type Pooled struct {
+	opts    Options
+	deliver func(step func())
+
+	verifyQ chan verifyTask
+	execQ   chan timedTask
+	egressQ chan timedTask
+	quit    chan struct{}
+	stop    sync.Once
+
+	ingressTasks *obs.Counter
+	executeTasks *obs.Counter
+	egressTasks  *obs.Counter
+	egressShed   *obs.Counter
+	verifyWait   *obs.Histogram
+	executeWait  *obs.Histogram
+	egressWait   *obs.Histogram
+}
+
+type verifyTask struct {
+	from types.NodeID
+	msg  types.Message
+	step func()
+	at   time.Time
+}
+
+type timedTask struct {
+	fn func()
+	at time.Time
+}
+
+// NewPooled returns a started pooled scheduler.
+func NewPooled(opts Options) *Pooled {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 2 {
+		opts.Workers = 2
+	}
+	if opts.VerifyQueue <= 0 {
+		opts.VerifyQueue = 1024
+	}
+	if opts.ExecuteQueue <= 0 {
+		opts.ExecuteQueue = 256
+	}
+	if opts.EgressQueue <= 0 {
+		opts.EgressQueue = 1024
+	}
+	p := &Pooled{
+		opts:    opts,
+		verifyQ: make(chan verifyTask, opts.VerifyQueue),
+		execQ:   make(chan timedTask, opts.ExecuteQueue),
+		egressQ: make(chan timedTask, opts.EgressQueue),
+		quit:    make(chan struct{}),
+	}
+	p.register(opts.Obs)
+	for i := 0; i < opts.Workers; i++ {
+		go p.verifyWorker()
+	}
+	go p.serialWorker(p.execQ, p.executeWait)
+	go p.serialWorker(p.egressQ, p.egressWait)
+	return p
+}
+
+func (p *Pooled) register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.ingressTasks = reg.Counter("achilles_sched_tasks_total",
+		"Tasks accepted per pipeline stage.", obs.L("stage", "verify"))
+	p.executeTasks = reg.Counter("achilles_sched_tasks_total",
+		"Tasks accepted per pipeline stage.", obs.L("stage", "execute"))
+	p.egressTasks = reg.Counter("achilles_sched_tasks_total",
+		"Tasks accepted per pipeline stage.", obs.L("stage", "egress"))
+	p.egressShed = reg.Counter("achilles_sched_egress_shed_total",
+		"Egress tasks dropped because the reply queue was full.")
+	p.verifyWait = reg.Histogram("achilles_sched_stage_wait_seconds",
+		"Queue wait per pipeline stage (enqueue to start of work).",
+		nil, obs.L("stage", "verify"))
+	p.executeWait = reg.Histogram("achilles_sched_stage_wait_seconds",
+		"Queue wait per pipeline stage (enqueue to start of work).",
+		nil, obs.L("stage", "execute"))
+	p.egressWait = reg.Histogram("achilles_sched_stage_wait_seconds",
+		"Queue wait per pipeline stage (enqueue to start of work).",
+		nil, obs.L("stage", "egress"))
+	reg.Func("achilles_sched_queue_depth",
+		"Queued tasks per pipeline stage.", obs.KindGauge, func() []obs.Sample {
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("stage", "verify")}, Value: float64(len(p.verifyQ))},
+				{Labels: []obs.Label{obs.L("stage", "execute")}, Value: float64(len(p.execQ))},
+				{Labels: []obs.Label{obs.L("stage", "egress")}, Value: float64(len(p.egressQ))},
+			}
+		})
+}
+
+// Name implements Scheduler.
+func (p *Pooled) Name() string { return "pooled" }
+
+// Bind implements Scheduler. Must be called before traffic flows.
+func (p *Pooled) Bind(deliver func(step func())) { p.deliver = deliver }
+
+// Ingress implements Scheduler: the message is queued for the verify
+// pool, blocking when the pool is saturated. That blocking is the
+// backpressure path — it slows the peer's readLoop (and, through TCP
+// flow control, the peer) instead of silently dropping frames.
+func (p *Pooled) Ingress(from types.NodeID, msg types.Message, step func()) {
+	select {
+	case p.verifyQ <- verifyTask{from: from, msg: msg, step: step, at: time.Now()}:
+		p.ingressTasks.Inc()
+	case <-p.quit:
+	}
+}
+
+func (p *Pooled) verifyWorker() {
+	for {
+		select {
+		case t := <-p.verifyQ:
+			p.verifyWait.ObserveDuration(time.Since(t.at))
+			if p.opts.Verify != nil {
+				p.opts.Verify(t.from, t.msg)
+			}
+			if d := p.deliver; d != nil {
+				d(t.step)
+			}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// RunBatch executes tasks concurrently and returns when all have
+// finished. It is the fan-out hook behind
+// crypto.Service.VerifyQuorumBatch: a quorum certificate's f+1
+// signature checks become parallel instead of sequential. Tasks run on
+// fresh goroutines rather than the verify pool — batches are small,
+// the spawn cost is noise next to an ECDSA verification, and a pool
+// worker fanning out through the pool it runs on could deadlock at
+// saturation or strand tasks at shutdown.
+func (p *Pooled) RunBatch(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range tasks[1:] {
+		fn := fn
+		wg.Add(1)
+		go func() { defer wg.Done(); fn() }()
+	}
+	tasks[0]()
+	wg.Wait()
+}
+
+// Execute implements Scheduler: ordered, blocking when full (commit
+// observers must not be lost while running).
+func (p *Pooled) Execute(fn func()) {
+	select {
+	case p.execQ <- timedTask{fn: fn, at: time.Now()}:
+		p.executeTasks.Inc()
+	case <-p.quit:
+	}
+}
+
+// Egress implements Scheduler: ordered, shedding when full. A slow or
+// dead client connection must never apply backpressure to consensus;
+// clients retransmit and pick the reply up from another replica.
+func (p *Pooled) Egress(fn func()) {
+	select {
+	case p.egressQ <- timedTask{fn: fn, at: time.Now()}:
+		p.egressTasks.Inc()
+	case <-p.quit:
+	default:
+		p.egressShed.Inc()
+	}
+}
+
+func (p *Pooled) serialWorker(q chan timedTask, wait *obs.Histogram) {
+	for {
+		select {
+		case t := <-q:
+			wait.ObserveDuration(time.Since(t.at))
+			t.fn()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Stop implements Scheduler: it signals the workers to exit and
+// unblocks pending submitters; later submissions are dropped. It does
+// not wait for in-flight tasks — an egress task blocked in a socket
+// write to a dead peer must not wedge shutdown (the owning runtime
+// unblocks such writes by closing the connections, exactly as it does
+// for its own writer goroutines).
+func (p *Pooled) Stop() {
+	p.stop.Do(func() { close(p.quit) })
+}
+
+var _ Scheduler = (*Pooled)(nil)

@@ -1,0 +1,98 @@
+// Package sched coordinates the replica hot path as explicit stages:
+//
+//	ingress verify ──▶ consensus step ──▶ execute
+//	                                  └─▶ egress (client replies)
+//
+// A Scheduler decides where each stage runs. Two implementations share
+// the interface:
+//
+//   - Sync runs every stage inline on the caller's goroutine, in
+//     program order — bit-exact with the historical single-threaded
+//     replica. The simulator, the fuzzer and every metered experiment
+//     pin it, because their determinism depends on call order and on
+//     every verification charging the virtual clock.
+//   - Pooled (pooled.go) runs ingress verification on a worker pool,
+//     and execute/egress on single ordered workers, so a multi-core
+//     live node is no longer limited to one core's worth of ECDSA.
+//
+// Only stateless work moves off the consensus goroutine. Signature and
+// quorum-certificate checks are pure functions of (payload, signer,
+// signature) against an immutable key ring, so the verify pool can run
+// them early and record the results in a crypto.CertCache; the
+// consensus stage re-requests the same checks and hits the cache. All
+// state mutation — CHECKER calls, ledger writes, mempool admission,
+// pacemaker — stays on the consensus goroutine (see DESIGN.md,
+// "Concurrency model").
+package sched
+
+import (
+	"achilles/internal/types"
+)
+
+// Scheduler coordinates the staged replica hot path.
+type Scheduler interface {
+	// Name identifies the implementation ("sync", "pooled").
+	Name() string
+	// Bind installs the consensus-stage sink: deliver enqueues a step
+	// function onto the single-threaded consensus loop. The runtime
+	// that owns the loop calls Bind exactly once before traffic flows.
+	Bind(deliver func(step func()))
+	// Ingress accepts one decoded inbound message and eventually hands
+	// step to the bound deliver. Implementations may first run
+	// stateless verification (on the caller's or a worker's goroutine)
+	// and may block for backpressure when the verify stage is
+	// saturated; they must never drop step while the scheduler is
+	// running.
+	Ingress(from types.NodeID, msg types.Message, step func())
+	// Execute schedules post-commit work (commit observers, state
+	// machine side effects) in submission order, off the consensus
+	// goroutine when the implementation allows.
+	Execute(fn func())
+	// Egress schedules reply traffic in submission order. Egress work
+	// is best-effort: an implementation overwhelmed by a slow client
+	// may shed it rather than stall consensus.
+	Egress(fn func())
+	// Stop tears the scheduler down. Work submitted after Stop may be
+	// dropped; Stop itself must not block on in-flight submissions.
+	Stop()
+}
+
+// Sync is the inline scheduler: every stage runs immediately on the
+// calling goroutine, preserving the exact call order of the
+// pre-pipeline replica. It is the only scheduler whose behavior is
+// bit-for-bit deterministic under the simulator, and the default
+// wherever no scheduler is configured.
+type Sync struct {
+	deliver func(step func())
+}
+
+// NewSync returns an inline scheduler.
+func NewSync() *Sync { return &Sync{} }
+
+// Name implements Scheduler.
+func (s *Sync) Name() string { return "sync" }
+
+// Bind implements Scheduler.
+func (s *Sync) Bind(deliver func(step func())) { s.deliver = deliver }
+
+// Ingress implements Scheduler: the step goes straight to the
+// consensus loop with no pre-verification (the consensus handlers do
+// all checking inline, charging the meter as always).
+func (s *Sync) Ingress(_ types.NodeID, _ types.Message, step func()) {
+	if s.deliver != nil {
+		s.deliver(step)
+		return
+	}
+	step()
+}
+
+// Execute implements Scheduler (inline).
+func (s *Sync) Execute(fn func()) { fn() }
+
+// Egress implements Scheduler (inline).
+func (s *Sync) Egress(fn func()) { fn() }
+
+// Stop implements Scheduler.
+func (s *Sync) Stop() {}
+
+var _ Scheduler = (*Sync)(nil)

@@ -42,6 +42,7 @@ import (
 	"achilles/internal/crypto"
 	"achilles/internal/obs"
 	"achilles/internal/protocol"
+	"achilles/internal/sched"
 	"achilles/internal/types"
 )
 
@@ -115,6 +116,16 @@ type Config struct {
 	Priv   crypto.PrivateKey
 	Ring   *crypto.KeyRing
 
+	// Sched stages inbound frames through the replica hot-path pipeline
+	// (internal/sched): decoded frames enter Sched.Ingress, which may
+	// pre-verify them on worker goroutines before delivering the
+	// consensus step to the event loop. nil defaults to sched.NewSync()
+	// — frames go straight to the event loop, exactly the historical
+	// behavior. The live node passes the same scheduler instance here
+	// and to core.Config.Sched; the runtime takes ownership and stops
+	// it on Stop.
+	Sched sched.Scheduler
+
 	// Dial overrides the dialer — the netchaos fault-injection hook.
 	// nil uses net.DialTimeout.
 	Dial func(network, addr string) (net.Conn, error)
@@ -172,6 +183,7 @@ type Runtime struct {
 	cfg     Config
 	replica protocol.Replica
 	log     *obs.Logger
+	sched   sched.Scheduler
 
 	start    time.Time
 	events   chan func()
@@ -216,10 +228,14 @@ func New(cfg Config, r protocol.Replica) *Runtime {
 	if log == nil {
 		log = obs.NewFuncLogger(cfg.Logf, obs.LevelDebug)
 	}
-	return &Runtime{
+	if cfg.Sched == nil {
+		cfg.Sched = sched.NewSync()
+	}
+	rt := &Runtime{
 		cfg:       cfg,
 		log:       log.Component("transport"),
 		replica:   r,
+		sched:     cfg.Sched,
 		events:    make(chan func(), 4096),
 		stopping:  make(chan struct{}),
 		done:      make(chan struct{}),
@@ -228,6 +244,17 @@ func New(cfg Config, r protocol.Replica) *Runtime {
 		lastHello: make(map[types.NodeID]uint64),
 		stats:     make(map[types.NodeID]*peerStats),
 	}
+	// The scheduler's consensus-stage sink is the event loop: delivered
+	// steps run single-threaded, in delivery order, like every other
+	// event. Dropping the step once the runtime is done matches the
+	// historical readLoop behavior.
+	rt.sched.Bind(func(step func()) {
+		select {
+		case rt.events <- step:
+		case <-rt.done:
+		}
+	})
+	return rt
 }
 
 // Start begins listening, dialing and the event loop. It returns once
@@ -288,6 +315,9 @@ func (rt *Runtime) Stop() {
 			r.conn.Close()
 		}
 		rt.mu.Unlock()
+		// Stop the pipeline last: closed connections have already
+		// unblocked any egress task stuck in a socket write.
+		rt.sched.Stop()
 	})
 }
 
@@ -541,10 +571,16 @@ func (rt *Runtime) readLoop(conn net.Conn, expect types.NodeID, accepted bool) {
 			continue
 		}
 		from, msg := identity, f.Msg
+		// Hand the decoded frame to the ingress stage. Under Sync this
+		// enqueues the step directly (the historical path); under Pooled
+		// it blocks while the verify pool is saturated — backpressure
+		// that slows this peer's reader instead of silently dropping
+		// frames.
+		rt.sched.Ingress(from, msg, func() { rt.replica.OnMessage(from, msg) })
 		select {
-		case rt.events <- func() { rt.replica.OnMessage(from, msg) }:
 		case <-rt.done:
 			return
+		default:
 		}
 	}
 }
