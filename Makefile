@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak soak-pooled fuzz fuzz-smoke bench bench-json bench-sched metrics-demo clean
+.PHONY: all build vet test check soak soak-pooled soak-overload fuzz fuzz-smoke bench bench-json bench-sched bench-open-loop metrics-demo clean
 
 all: check
 
@@ -29,6 +29,15 @@ soak:
 soak-pooled:
 	$(GO) test -race -run 'TestLivePooledSoak' ./internal/transport
 
+# Open-loop overload soak: live n=3 pooled cluster behind the netchaos
+# WAN profile (40 ms RTT), offered ~2x its measured saturation by
+# >10,000 client sessions over a bounded connection pool; asserts
+# bounded p99, flat goroutines/heap (via a real /metrics scrape),
+# request-accounting conservation and engaged admission control.
+# Fixed seed, ~45 s wall clock including the saturation probe.
+soak-overload:
+	$(GO) test -run 'TestLiveOverloadSoak' -timeout 300s -count=1 -v ./internal/harness
+
 # Adversarial invariant-checking fuzzer (internal/adversary): 500
 # seeded scenarios mixing active Byzantine replicas, crash/reboot with
 # sealed-storage rollback, and pre-GST network faults, plus a
@@ -50,14 +59,21 @@ bench:
 
 # Machine-readable benchmark artifact (quick windows): per-protocol
 # throughput, mean/p50/p99 latency and message complexity, plus the
-# live sync-vs-pooled scheduler ablation.
+# live sync-vs-pooled scheduler ablation and the live open-loop
+# overload rows (WAN profile, 1x/2x saturation).
 bench-json:
-	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -json BENCH_achilles.json
+	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -json BENCH_achilles.json
 
 # Live loopback TCP scheduler ablation only (full windows): saturated
 # n=5 throughput under -sched sync vs -sched pooled.
 bench-sched:
 	$(GO) run ./cmd/achilles-bench -sched-ablation
+
+# Live open-loop overload rows only (full windows): n=3 pooled cluster
+# with mempool admission control behind the netchaos WAN profile,
+# offered 1x and 2x its measured saturation.
+bench-open-loop:
+	$(GO) run ./cmd/achilles-bench -open-loop
 
 # Boot a local 3-node cluster with the admin endpoint on node 0,
 # scrape /metrics and /status, then tear everything down.

@@ -40,9 +40,13 @@ type report struct {
 	Table2      []harness.Table2Row         `json:"table2,omitempty"`
 	Table3      []harness.ExpRow            `json:"table3,omitempty"`
 	Table4      []harness.Table4Row         `json:"table4,omitempty"`
-	// SchedAblation is the one live (non-simulated) experiment: a real
+	// SchedAblation is a live (non-simulated) experiment: a real
 	// loopback TCP cluster measured under each hot-path scheduler.
 	SchedAblation []harness.SchedAblationRow `json:"sched_ablation,omitempty"`
+	// OpenLoop is the live open-loop overload measurement (-open-loop):
+	// offered vs admitted vs committed rate under a WAN profile, the
+	// live analogue of the paper's Fig. 3 WAN row.
+	OpenLoop []harness.OpenLoopRow `json:"open_loop,omitempty"`
 }
 
 func main() {
@@ -54,6 +58,10 @@ func main() {
 		faults   = flag.String("faults", "1,2,4,10,20,30", "comma-separated f values for Fig. 3a-3d")
 		jsonPath = flag.String("json", "", "also write the results of everything that ran as JSON to this path (e.g. BENCH_achilles.json)")
 		ablation = flag.Bool("sched-ablation", false, "measure a live loopback TCP cluster under the sync and pooled hot-path schedulers")
+		openLoop = flag.Bool("open-loop", false, "measure open-loop overload on a live loopback cluster behind a WAN profile: offered vs admitted vs committed rate at multiples of saturation")
+		olSess   = flag.Int("ol-sessions", 10000, "open-loop client-session population (-open-loop)")
+		olConns  = flag.Int("ol-conns", 16, "open-loop generator connection-pool size (-open-loop)")
+		olLAN    = flag.Bool("ol-lan", false, "run -open-loop without the WAN latency profile")
 	)
 	flag.Parse()
 
@@ -179,6 +187,17 @@ func main() {
 		harness.PrintSchedRows(os.Stdout,
 			"Scheduler ablation — live loopback TCP, n=5, ECDSA, saturated synthetic load", rows)
 		rep.SchedAblation = rows
+	}
+	if *openLoop {
+		ran = true
+		rows := harness.OpenLoopLive(harness.OpenLoopConfig{
+			Sessions: *olSess,
+			Conns:    *olConns,
+			WAN:      !*olLAN,
+		}, d)
+		harness.PrintOpenLoopRows(os.Stdout,
+			"Open-loop overload — live loopback TCP, n=3, pooled scheduler, mempool admission control", rows)
+		rep.OpenLoop = rows
 	}
 	if !ran {
 		flag.Usage()

@@ -87,8 +87,10 @@ func main() {
 				done-last, done, cl.MeanLatency(), cl.InFlight())
 			last = done
 		case <-deadline:
-			logger.Infof("done: confirmed=%d mean-latency=%v max-latency=%v",
-				cl.Completed(), cl.MeanLatency(), cl.MaxLatency())
+			st := cl.Stats()
+			logger.Infof("done: confirmed=%d mean-latency=%v max-latency=%v retries=%d rejected-full=%d rejected-rate=%d",
+				cl.Completed(), cl.MeanLatency(), cl.MaxLatency(),
+				st.Retries, st.RejectedFull, st.RejectedRate)
 			return
 		}
 	}

@@ -1,0 +1,123 @@
+// Command achilles-load drives a running Achilles cluster with
+// open-loop load: Poisson arrivals at a fixed offered rate, independent
+// of how fast the cluster responds, from a large population of logical
+// client sessions multiplexed over a bounded connection pool.
+//
+// Against a local three-node cluster (started as in achilles-node's
+// doc comment, with admission bounds set):
+//
+//	achilles-load -peers "0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002" \
+//	    -rate 20000 -sessions 10000 -conns 16 -duration 30s
+//
+// Unlike achilles-client (closed-loop: a fixed window of outstanding
+// requests, retried on RETRY-AFTER), this generator never slows down
+// and never retries — a transaction rejected by every node counts as an
+// admission drop, one unconfirmed past -request-timeout as a timeout.
+// That makes the printed report a direct measurement of the cluster's
+// overload contract: offered vs committed rate, rejection counts by
+// reason, and commit-latency percentiles.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"achilles/internal/loadgen"
+	"achilles/internal/netchaos"
+	"achilles/internal/obs"
+	"achilles/internal/transport"
+)
+
+func main() {
+	var (
+		peersFlag = flag.String("peers", "0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002", "peer list id=host:port,...")
+		rate      = flag.Float64("rate", 1000, "offered load, transactions per second (Poisson arrivals)")
+		sessions  = flag.Int("sessions", 10000, "logical client-session population")
+		conns     = flag.Int("conns", 16, "connection-pool size (each is one client identity)")
+		seed      = flag.Int64("seed", 1, "arrival-schedule seed")
+		payload   = flag.Int("payload", 64, "payload bytes per transaction")
+		duration  = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
+		reqTO     = flag.Duration("request-timeout", 10*time.Second, "abandon a request unconfirmed after this long")
+		interval  = flag.Duration("report-every", time.Second, "progress-report interval (0 = none)")
+		jsonPath  = flag.String("json", "", "write the final report as JSON to this path")
+		logLevel  = flag.String("log-level", "warn", "log level: debug, info, warn, error")
+	)
+	newChaos := netchaos.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)).With("cmd", "load")
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "achilles-load: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		fatalf("bad -peers: %v", err)
+	}
+
+	cfg := loadgen.Config{
+		Peers:       peers,
+		Rate:        *rate,
+		Sessions:    *sessions,
+		Conns:       *conns,
+		Seed:        *seed,
+		PayloadSize: *payload,
+		Timeout:     *reqTO,
+		Log:         logger,
+	}
+	if chaos := newChaos(logger.Component("netchaos").Logf); chaos != nil {
+		cfg.Dial = chaos.Dialer("achilles-load")
+	}
+
+	gen := loadgen.New(cfg)
+	if err := gen.Start(); err != nil {
+		fatalf("start: %v", err)
+	}
+	fmt.Printf("offering %.0f tx/s from %d sessions over %d connections to %d nodes\n",
+		*rate, *sessions, *conns, len(peers))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var stopAt <-chan time.Time
+	if *duration > 0 {
+		stopAt = time.After(*duration)
+	}
+	var tick <-chan time.Time
+	if *interval > 0 {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		tick = t.C
+	}
+loop:
+	for {
+		select {
+		case <-tick:
+			fmt.Println(gen.Report())
+		case <-stopAt:
+			break loop
+		case <-sig:
+			break loop
+		}
+	}
+	gen.Stop()
+
+	r := gen.Report()
+	fmt.Printf("final: %s\n", r)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fatalf("write %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

@@ -49,6 +49,10 @@ func main() {
 		schedName = flag.String("sched", "sync", "hot-path scheduler: sync (inline, single-threaded) or pooled (ingress verify pool + async execute/egress)")
 		schedWork = flag.Int("sched-workers", 0, "verify-pool workers for -sched pooled (0 = GOMAXPROCS)")
 		retain    = flag.Uint64("retain-heights", 1024, "committed block bodies retained below the head before pruning; a rebooted empty node can only catch up by replay while peers still hold the bodies it missed")
+		mpDepth   = flag.Int("mempool-depth", 0, "admission depth bound: reject client transactions once the pool holds this many (0 = unbounded, legacy behavior)")
+		clRate    = flag.Float64("client-rate", 0, "per-client admitted transactions per second, enforced by a token bucket (0 = unlimited)")
+		clBurst   = flag.Int("client-burst", 0, "token-bucket burst for -client-rate (0 = library default)")
+		raDelay   = flag.Duration("retry-after", 0, "suggested backoff carried on RETRY-AFTER rejections (0 = library default)")
 		adminAddr = flag.String("admin-addr", "", "serve admin endpoints (/metrics /status /healthz /trace /debug/pprof) on host:port")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		verbose   = flag.Bool("v", false, "verbose logging (same as -log-level debug)")
@@ -113,12 +117,24 @@ func main() {
 		txpool = mempool.New()
 	}
 
+	// Mempool admission control: zero values leave the pool unbounded
+	// (the historical behavior); any bound set turns on reject-not-block
+	// overload handling with RETRY-AFTER responses to clients.
+	admCfg := mempool.AdmissionConfig{
+		MaxDepth:    *mpDepth,
+		ClientRate:  *clRate,
+		ClientBurst: *clBurst,
+		RetryAfter:  *raDelay,
+	}
+
 	// Hot-path scheduler selection. The live path never charges the
 	// modelled clock, so the verified-cert cache is safe here (the
 	// simulator must not use one; see core.Config.CertCache).
 	var (
 		hotSched sched.Scheduler
 		cache    *crypto.CertCache
+		verifier *core.Verifier
+		pooled   *sched.Pooled
 	)
 	switch *schedName {
 	case "sync":
@@ -126,9 +142,9 @@ func main() {
 	case "pooled":
 		cache = crypto.NewCertCache(crypto.DefaultCertCacheSize)
 		cache.RegisterMetrics(reg)
-		verifier := core.NewVerifier(scheme, ring, pcfg, cache)
+		verifier = core.NewVerifier(scheme, ring, pcfg, cache)
 		verifier.SetMempool(txpool)
-		pooled := sched.NewPooled(sched.Options{
+		pooled = sched.NewPooled(sched.Options{
 			Workers: *schedWork,
 			Verify:  verifier.PreVerify,
 			Obs:     reg,
@@ -152,6 +168,7 @@ func main() {
 		Sched:             hotSched,
 		CertCache:         cache,
 		Pool:              txpool,
+		Admission:         admCfg,
 		RetainHeights:     *retain,
 		Obs:               reg,
 		Trace:             tracer,
@@ -180,6 +197,16 @@ func main() {
 		mainLog.Infof("netchaos fault injection enabled")
 	}
 	rt := transport.New(tcfg, rep)
+	if verifier != nil {
+		// Staged admission needs the runtime clock for its token
+		// buckets, and routes RETRY-AFTER rejections through the ordered
+		// egress stage so they serialize with ordinary client replies.
+		// Both must be wired before Start (ingress workers read them).
+		verifier.SetClock(rt.Now)
+		verifier.SetBackpressure(func(client types.NodeID, m *types.ClientRetry) {
+			pooled.Egress(func() { rt.Send(client, m) })
+		})
+	}
 	if err := rt.Start(); err != nil {
 		fatalf("start: %v", err)
 	}

@@ -6,9 +6,17 @@
 // Clients run as simulator nodes, so the client↔node communication
 // steps are part of measured latency exactly as in the paper's
 // end-to-end numbers (Fig. 4).
+//
+// Clients understand admission-control backpressure: a node that
+// refuses a submission answers with types.ClientRetry, and the client
+// retransmits after a jittered exponential backoff seeded for
+// deterministic replay. Rejections are accounted separately from
+// completions and timeouts in Stats.
 package client
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -38,25 +46,74 @@ type Config struct {
 	// open-loop client keeps submitting regardless, which is what
 	// saturates the system in Fig. 4.
 	MaxInFlight int
+	// RetryBase is the backoff floor for RETRY-AFTER retransmissions;
+	// the node's own hint is used when larger. Zero defaults to 50 ms.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff. Zero defaults to 2 s.
+	RetryMax time.Duration
+	// Timeout abandons a transaction still unconfirmed after this long
+	// (counted in Stats.TimedOut). Zero keeps transactions in flight
+	// forever — the historical behavior.
+	Timeout time.Duration
+	// Seed drives the backoff jitter; runs with the same seed replay
+	// the same retry schedule. Zero derives a seed from Self.
+	Seed int64
+}
+
+// Stats separates the client's outcomes: completions, backpressure
+// rejections (retried — these are flow control, not failures), and
+// hard losses (timeouts).
+type Stats struct {
+	// Submitted counts first-time submissions (not retransmissions).
+	Submitted uint64
+	// Completed counts confirmed transactions.
+	Completed uint64
+	// Retries counts retransmissions triggered by RETRY-AFTER.
+	Retries uint64
+	// RejectedFull / RejectedRate count RETRY-AFTER responses by
+	// reason (depth bound vs. per-client rate limit). One transaction
+	// may be counted several times if several nodes refuse it.
+	RejectedFull uint64
+	RejectedRate uint64
+	// TimedOut counts transactions abandoned after Config.Timeout.
+	TimedOut uint64
+	// InFlight is the number of currently unconfirmed transactions.
+	InFlight int
+	// MeanLatency / MaxLatency summarize confirmed end-to-end latency.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+}
+
+// pendingTx tracks one unconfirmed transaction.
+type pendingTx struct {
+	created  types.Time
+	retryAt  types.Time // when > 0, retransmit once now >= retryAt
+	attempts int        // RETRY-AFTER rounds so far
 }
 
 // Client is an open-loop workload generator.
 type Client struct {
 	cfg Config
 	env protocol.Env
+	rng *rand.Rand
 
 	payload []byte
 	seq     uint32
 	carry   float64
 
-	created map[uint32]types.Time
-	acks    map[uint32]int
+	reqs map[uint32]*pendingTx
+	acks map[uint32]int
 
 	// mu guards the fields below: the live transport delivers
 	// OnMessage/OnTimer on its event loop while callers poll the stat
 	// accessors from other goroutines.
 	mu        sync.Mutex
+	submitted uint64
 	completed uint64
+	retries   uint64
+	rejFull   uint64
+	rejRate   uint64
+	timedOut  uint64
 	totalLat  time.Duration
 	maxLat    time.Duration
 	inFlight  int
@@ -67,10 +124,21 @@ func New(cfg Config) *Client {
 	if cfg.Tick == 0 {
 		cfg.Tick = 5 * time.Millisecond
 	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Self)
+	}
 	c := &Client{
 		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
 		payload: make([]byte, cfg.PayloadSize),
-		created: make(map[uint32]types.Time),
+		reqs:    make(map[uint32]*pendingTx),
 		acks:    make(map[uint32]int),
 	}
 	for i := range c.payload {
@@ -95,16 +163,18 @@ func (c *Client) OnTimer(id types.TimerID) {
 		return
 	}
 	c.armTick()
+	now := c.env.Now()
+	c.expire(now)
+	c.flushRetries(now)
 	c.carry += c.cfg.Rate * c.cfg.Tick.Seconds()
 	n := int(c.carry)
 	if n <= 0 {
 		return
 	}
 	c.carry -= float64(n)
-	if c.cfg.MaxInFlight > 0 && len(c.created) >= c.cfg.MaxInFlight {
+	if c.cfg.MaxInFlight > 0 && len(c.reqs) >= c.cfg.MaxInFlight {
 		return
 	}
-	now := c.env.Now()
 	txs := make([]types.Transaction, 0, n)
 	for i := 0; i < n; i++ {
 		c.seq++
@@ -114,20 +184,102 @@ func (c *Client) OnTimer(id types.TimerID) {
 			Payload: c.payload,
 			Created: now,
 		})
-		c.created[c.seq] = now
+		c.reqs[c.seq] = &pendingTx{created: now}
 	}
 	c.mu.Lock()
-	c.inFlight = len(c.created)
+	c.submitted += uint64(len(txs))
+	c.inFlight = len(c.reqs)
 	c.mu.Unlock()
 	c.env.Broadcast(&types.ClientRequest{Txs: txs})
 }
 
-// OnMessage implements protocol.Replica.
-func (c *Client) OnMessage(from types.NodeID, msg types.Message) {
-	m, ok := msg.(*types.ClientReply)
-	if !ok {
+// expire abandons transactions past the configured timeout.
+func (c *Client) expire(now types.Time) {
+	if c.cfg.Timeout <= 0 {
 		return
 	}
+	var dropped uint64
+	for seq, p := range c.reqs {
+		if now-p.created >= c.cfg.Timeout {
+			delete(c.reqs, seq)
+			delete(c.acks, seq)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		c.mu.Lock()
+		c.timedOut += dropped
+		c.inFlight = len(c.reqs)
+		c.mu.Unlock()
+	}
+}
+
+// flushRetries rebroadcasts every transaction whose backoff elapsed.
+// Due sequence numbers are sorted so the batch layout is a function of
+// state, not of map iteration order (deterministic replay).
+func (c *Client) flushRetries(now types.Time) {
+	var due []uint32
+	for seq, p := range c.reqs {
+		if p.retryAt > 0 && now >= p.retryAt {
+			due = append(due, seq)
+		}
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	txs := make([]types.Transaction, 0, len(due))
+	for _, seq := range due {
+		p := c.reqs[seq]
+		p.retryAt = 0
+		// Keep the original Created stamp: end-to-end latency includes
+		// the backoff the system imposed.
+		txs = append(txs, types.Transaction{
+			Client:  c.cfg.Self,
+			Seq:     seq,
+			Payload: c.payload,
+			Created: p.created,
+		})
+	}
+	c.mu.Lock()
+	c.retries += uint64(len(txs))
+	c.mu.Unlock()
+	c.env.Broadcast(&types.ClientRequest{Txs: txs})
+}
+
+// backoff returns the jittered exponential delay for the given retry
+// round, respecting the node's hint as a floor for the base delay.
+func (c *Client) backoff(hint types.Time, attempts int) time.Duration {
+	base := c.cfg.RetryBase
+	if d := time.Duration(hint); d > base {
+		base = d
+	}
+	for i := 1; i < attempts; i++ {
+		base *= 2
+		if base >= c.cfg.RetryMax {
+			base = c.cfg.RetryMax
+			break
+		}
+	}
+	if base > c.cfg.RetryMax {
+		base = c.cfg.RetryMax
+	}
+	// Uniform jitter in [0.5, 1.5)×base spreads synchronized clients
+	// so a rejected burst does not retry as a burst.
+	return base/2 + time.Duration(c.rng.Int63n(int64(base)))
+}
+
+// OnMessage implements protocol.Replica.
+func (c *Client) OnMessage(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *types.ClientReply:
+		c.onReply(m)
+	case *types.ClientRetry:
+		c.onRetry(m)
+	}
+}
+
+func (c *Client) onReply(m *types.ClientReply) {
 	need := 1
 	if !m.Certified {
 		need = c.cfg.F + 1
@@ -137,7 +289,7 @@ func (c *Client) OnMessage(from types.NodeID, msg types.Message) {
 		if k.Client != c.cfg.Self {
 			continue
 		}
-		start, pending := c.created[k.Seq]
+		p, pending := c.reqs[k.Seq]
 		if !pending {
 			continue
 		}
@@ -145,18 +297,73 @@ func (c *Client) OnMessage(from types.NodeID, msg types.Message) {
 		if c.acks[k.Seq] < need {
 			continue
 		}
-		delete(c.created, k.Seq)
+		delete(c.reqs, k.Seq)
 		delete(c.acks, k.Seq)
-		lat := now - start
+		lat := now - p.created
 		c.mu.Lock()
 		c.completed++
 		c.totalLat += lat
 		if lat > c.maxLat {
 			c.maxLat = lat
 		}
-		c.inFlight = len(c.created)
+		c.inFlight = len(c.reqs)
 		c.mu.Unlock()
 	}
+}
+
+// onRetry arms a backoff retransmission for each refused transaction
+// still pending. A transaction already waiting out a backoff is not
+// re-armed (several nodes may refuse the same broadcast), but every
+// rejection is counted so Stats separates flow control from failures.
+func (c *Client) onRetry(m *types.ClientRetry) {
+	now := c.env.Now()
+	var full, rate uint64
+	for _, k := range m.TxKeys {
+		if k.Client != c.cfg.Self {
+			continue
+		}
+		p, pending := c.reqs[k.Seq]
+		if !pending {
+			continue
+		}
+		switch m.Reason {
+		case types.RetryRateLimited:
+			rate++
+		default:
+			full++
+		}
+		if p.retryAt > 0 {
+			continue
+		}
+		p.attempts++
+		p.retryAt = now + types.Time(c.backoff(m.RetryAfter, p.attempts))
+	}
+	if full > 0 || rate > 0 {
+		c.mu.Lock()
+		c.rejFull += full
+		c.rejRate += rate
+		c.mu.Unlock()
+	}
+}
+
+// Stats returns the client's outcome counters. Safe from any goroutine.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Submitted:    c.submitted,
+		Completed:    c.completed,
+		Retries:      c.retries,
+		RejectedFull: c.rejFull,
+		RejectedRate: c.rejRate,
+		TimedOut:     c.timedOut,
+		InFlight:     c.inFlight,
+		MaxLatency:   c.maxLat,
+	}
+	if c.completed > 0 {
+		s.MeanLatency = c.totalLat / time.Duration(c.completed)
+	}
+	return s
 }
 
 // Completed returns the number of confirmed transactions.
@@ -196,7 +403,12 @@ func (c *Client) InFlight() int {
 func (c *Client) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.submitted = 0
 	c.completed = 0
+	c.retries = 0
+	c.rejFull = 0
+	c.rejRate = 0
+	c.timedOut = 0
 	c.totalLat = 0
 	c.maxLat = 0
 }

@@ -1,0 +1,201 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/protocol/protocoltest"
+	"achilles/internal/types"
+)
+
+// lastRequestTxs returns the transactions of the most recent broadcast
+// ClientRequest, or nil.
+func lastRequestTxs(env *protocoltest.Env) []types.Transaction {
+	var txs []types.Transaction
+	for _, b := range env.Broadcasts() {
+		if req, ok := b.(*types.ClientRequest); ok {
+			txs = req.Txs
+		}
+	}
+	return txs
+}
+
+func TestRetryAfterRearmsAndRetransmits(t *testing.T) {
+	c, env := newClient(100, 1) // 1 tx per 10ms tick
+	tick(c, env)
+	created := env.Now() - 10*time.Millisecond // stamped before Advance? taken from tx below
+	first := lastRequestTxs(env)
+	if len(first) != 1 {
+		t.Fatalf("submitted %d txs", len(first))
+	}
+	created = first[0].Created
+	key := first[0].Key()
+
+	c.OnMessage(0, &types.ClientRetry{
+		TxKeys: []types.TxKey{key}, RetryAfter: 20 * time.Millisecond,
+		Reason: types.RetryPoolFull, From: 0,
+	})
+	s := c.Stats()
+	if s.RejectedFull != 1 || s.RejectedRate != 0 {
+		t.Fatalf("rejection counts = %+v", s)
+	}
+	if s.Retries != 0 {
+		t.Fatal("retransmitted before backoff elapsed")
+	}
+	// The jittered backoff is in [0.5, 1.5)×max(hint, RetryBase); with
+	// the 50ms default base it is below 75ms, so after 100ms of ticks
+	// the retry must have flushed.
+	env.Sends = nil
+	for i := 0; i < 10; i++ {
+		tick(c, env)
+	}
+	s = c.Stats()
+	if s.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", s.Retries)
+	}
+	// The retransmission reuses the sequence number and the original
+	// creation stamp (latency includes the imposed backoff).
+	var retx *types.Transaction
+	for _, b := range env.Broadcasts() {
+		if req, ok := b.(*types.ClientRequest); ok {
+			for i := range req.Txs {
+				if req.Txs[i].Seq == key.Seq {
+					retx = &req.Txs[i]
+				}
+			}
+		}
+	}
+	if retx == nil {
+		t.Fatal("refused tx was not retransmitted")
+	}
+	if retx.Created != created {
+		t.Fatalf("retransmission reset Created: %v != %v", retx.Created, created)
+	}
+	// Completion after the retry counts once, as a completion (the
+	// open-loop client kept offering fresh txs during the backoff, so
+	// only the refused tx's outcome is asserted).
+	before := c.InFlight()
+	c.OnMessage(0, &types.ClientReply{Certified: true, TxKeys: []types.TxKey{key}})
+	s = c.Stats()
+	if s.Completed != 1 || s.InFlight != before-1 {
+		t.Fatalf("stats after completion = %+v", s)
+	}
+}
+
+func TestDuplicateRetriesCountButArmOnce(t *testing.T) {
+	c, env := newClient(100, 1)
+	tick(c, env)
+	key := lastRequestTxs(env)[0].Key()
+	// Three nodes refuse the same broadcast: three rejections counted,
+	// one backoff armed.
+	for node := 0; node < 3; node++ {
+		c.OnMessage(types.NodeID(node), &types.ClientRetry{
+			TxKeys: []types.TxKey{key}, RetryAfter: 10 * time.Millisecond,
+			Reason: types.RetryRateLimited, From: types.NodeID(node),
+		})
+	}
+	s := c.Stats()
+	if s.RejectedRate != 3 {
+		t.Fatalf("rejected-rate = %d, want 3", s.RejectedRate)
+	}
+	for i := 0; i < 10; i++ {
+		tick(c, env)
+	}
+	if got := c.Stats().Retries; got != 1 {
+		t.Fatalf("retries = %d, want exactly 1", got)
+	}
+}
+
+func TestRetryForUnknownTxIgnored(t *testing.T) {
+	c, env := newClient(100, 1)
+	tick(c, env)
+	c.OnMessage(0, &types.ClientRetry{
+		TxKeys: []types.TxKey{{Client: c.cfg.Self, Seq: 999}},
+		Reason: types.RetryPoolFull,
+	})
+	c.OnMessage(0, &types.ClientRetry{
+		TxKeys: []types.TxKey{{Client: c.cfg.Self + 1, Seq: 1}},
+		Reason: types.RetryPoolFull,
+	})
+	s := c.Stats()
+	if s.RejectedFull != 0 || s.RejectedRate != 0 {
+		t.Fatalf("counted rejections for unknown/foreign txs: %+v", s)
+	}
+}
+
+func TestTimeoutCountsSeparately(t *testing.T) {
+	c := New(Config{
+		Self: types.ClientIDBase, Nodes: 3, F: 1,
+		Rate: 100, Tick: 10 * time.Millisecond,
+		Timeout: 50 * time.Millisecond,
+	})
+	env := &protocoltest.Env{}
+	c.Init(env)
+	tick(c, env)
+	if c.InFlight() != 1 {
+		t.Fatalf("in flight = %d", c.InFlight())
+	}
+	// Refuse it so a retry is armed, then let the timeout expire: the
+	// transaction is abandoned and counted as timed out, not completed,
+	// and the armed retry dies with it.
+	key := lastRequestTxs(env)[0].Key()
+	c.OnMessage(0, &types.ClientRetry{TxKeys: []types.TxKey{key}, Reason: types.RetryPoolFull})
+	env.Advance(60 * time.Millisecond)
+	env.Sends = nil
+	for i := 0; i < 30; i++ {
+		tick(c, env)
+	}
+	s := c.Stats()
+	if s.TimedOut == 0 {
+		t.Fatal("timeout not counted")
+	}
+	if s.Completed != 0 {
+		t.Fatalf("timed-out tx counted as completed: %+v", s)
+	}
+	for _, b := range env.Broadcasts() {
+		if req, ok := b.(*types.ClientRequest); ok {
+			for i := range req.Txs {
+				if req.Txs[i].Seq == key.Seq {
+					t.Fatal("abandoned tx was retransmitted")
+				}
+			}
+		}
+	}
+	// A late reply for the abandoned tx must not count.
+	c.OnMessage(0, &types.ClientReply{Certified: true, TxKeys: []types.TxKey{key}})
+	if c.Stats().Completed != 0 {
+		t.Fatal("late reply for abandoned tx counted")
+	}
+}
+
+func TestBackoffDeterministicAcrossSeeds(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		c := New(Config{
+			Self: types.ClientIDBase, Nodes: 3, F: 1,
+			Rate: 100, Tick: 10 * time.Millisecond, Seed: seed,
+		})
+		env := &protocoltest.Env{}
+		c.Init(env)
+		var out []time.Duration
+		for i := 1; i <= 5; i++ {
+			out = append(out, c.backoff(20*time.Millisecond, i))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	diff := run(8)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}

@@ -36,6 +36,7 @@ type metrics struct {
 	recoveryRejected *obs.Counter
 	viewJumps        *obs.Counter
 	stashDrops       *obs.Counter
+	admissionRetries *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -69,6 +70,8 @@ func newMetrics(reg *obs.Registry) metrics {
 			"View synchronization jumps (f+1 verified claims of a higher view)."),
 		stashDrops: reg.Counter("achilles_stash_drops_total",
 			"Stashed proposals/certificates dropped or evicted at the stash bounds."),
+		admissionRetries: reg.Counter("achilles_admission_retries_sent_total",
+			"Client transactions answered with RETRY-AFTER backpressure from the inline admission path."),
 	}
 }
 
@@ -176,6 +179,25 @@ func (r *Replica) registerCollectors(reg *obs.Registry) {
 		"Synthetic transactions generated into batches.", obs.KindCounter,
 		func() []obs.Sample {
 			return []obs.Sample{{Value: float64(pool.Stats().Synthetic)}}
+		})
+	reg.Func("achilles_mempool_rejected_total",
+		"Client transactions refused at admission, by reason.", obs.KindCounter,
+		func() []obs.Sample {
+			s := pool.Stats()
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("reason", "full")}, Value: float64(s.RejectedFull)},
+				{Labels: []obs.Label{obs.L("reason", "rate")}, Value: float64(s.RejectedRate)},
+			}
+		})
+	reg.Func("achilles_mempool_requeued_total",
+		"Client transactions re-admitted through the priority lane after a failed proposal.",
+		obs.KindCounter, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(pool.Stats().Requeued)}}
+		})
+	reg.Func("achilles_mempool_prio_depth",
+		"Transactions waiting in the mempool priority lane.", obs.KindGauge,
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(pool.Stats().PrioDepth)}}
 		})
 }
 

@@ -113,6 +113,13 @@ type Config struct {
 	// client transactions off-loop for batched admission. nil creates
 	// a pool from SyntheticWorkload.
 	Pool *mempool.Pool
+	// Admission bounds what the pool accepts from clients (depth bound
+	// and per-client token buckets); rejected submissions are answered
+	// with types.ClientRetry backpressure. The zero value disables
+	// admission control — the historical accept-everything behavior the
+	// golden tests pin. Applied to the pool (injected or constructed)
+	// during Init.
+	Admission mempool.AdmissionConfig
 	// RetainHeights bounds how many committed block bodies below the
 	// committed head are retained; older bodies are pruned periodically
 	// (certificate verification never needs them again). 0 defaults to
@@ -188,6 +195,13 @@ type Replica struct {
 	stashedProposals map[types.View]*MsgProposal
 	stashedCCs       []*types.CommitCert
 	inflightSync     map[types.Hash]int
+
+	// proposedTxs holds the real client transactions of our latest
+	// proposal. If the view times out before that block commits, they
+	// are requeued through the mempool's priority lane — admitted work
+	// must survive a failed leader slot instead of relying solely on
+	// client retransmission (which admission control may now refuse).
+	proposedTxs []types.Transaction
 
 	recovering bool
 	recEpoch   types.View // distinguishes retry timers
@@ -284,6 +298,9 @@ func (r *Replica) Init(env protocol.Env) {
 		r.pool = mempool.NewSynthetic(r.cfg.Self, r.cfg.PayloadSize)
 	default:
 		r.pool = mempool.New()
+	}
+	if r.cfg.Admission.Enabled() {
+		r.pool.SetAdmission(r.cfg.Admission)
 	}
 	r.machine = statemachine.NewDigestMachine(env, r.cfg.ExecCostPerTx)
 

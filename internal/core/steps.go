@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"achilles/internal/mempool"
 	"achilles/internal/obs"
 	"achilles/internal/types"
 )
@@ -115,18 +116,73 @@ func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
 	case *types.ClientRequest:
 		if !r.recovering {
 			// On the pooled live path the ingress stage staged this
-			// message's transactions off-loop (core.Verifier); draining
-			// admits everything staged so far in one batch. A message
-			// whose transactions were already drained by an earlier step
-			// falls through to Add, where the dedup maps drop them. On
-			// the inline path nothing ever stages, so DrainStaged is
-			// always 0 and the behavior is exactly the historical Add.
+			// message's transactions off-loop (core.Verifier), applying
+			// admission there; draining admits everything staged so far
+			// in one batch. A message whose transactions were already
+			// drained by an earlier step falls through to Add, where the
+			// dedup maps drop them. On the inline path nothing ever
+			// stages, so DrainStaged is always 0 and the behavior is the
+			// historical Add — now with admission control when
+			// configured, answering rejections with explicit RETRY-AFTER
+			// backpressure instead of silent queue growth.
 			if r.pool.DrainStaged() == 0 {
-				r.pool.Add(m.Txs)
+				res := r.pool.Add(m.Txs, r.env.Now())
+				if res.Rejected() > 0 {
+					r.sendRetries(res)
+				}
 			}
 			r.tryPropose()
 		}
 	}
+}
+
+// sendRetries surfaces admission rejections to the affected clients as
+// types.ClientRetry messages, grouped per client and reason. The sends
+// ride the egress stage like every other client-bound message, so they
+// serialize with replyClients and never block the consensus goroutine.
+func (r *Replica) sendRetries(res mempool.AdmitResult) {
+	r.m.admissionRetries.Add(uint64(res.Rejected()))
+	full := groupByClient(res.RejectedFull)
+	rate := groupByClient(res.RejectedRate)
+	after, self := res.RetryAfter, r.cfg.Self
+	r.sched.Egress(func() {
+		for _, c := range sortedClients(full) {
+			r.env.Send(c, &types.ClientRetry{
+				TxKeys: full[c], RetryAfter: after, Reason: types.RetryPoolFull, From: self,
+			})
+		}
+		for _, c := range sortedClients(rate) {
+			r.env.Send(c, &types.ClientRetry{
+				TxKeys: rate[c], RetryAfter: after, Reason: types.RetryRateLimited, From: self,
+			})
+		}
+	})
+}
+
+// groupByClient buckets rejected transaction keys by their client so
+// each client receives one ClientRetry per reason.
+func groupByClient(keys []types.TxKey) map[types.NodeID][]types.TxKey {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make(map[types.NodeID][]types.TxKey)
+	for _, k := range keys {
+		out[k.Client] = append(out[k.Client], k)
+	}
+	return out
+}
+
+// sortedClients returns a per-client map's keys in ascending order.
+// Client-bound sends must happen in a deterministic order: the
+// simulator draws per-send network jitter from one seeded rng, so send
+// order is part of the replayable schedule (map iteration is not).
+func sortedClients(m map[types.NodeID][]types.TxKey) []types.NodeID {
+	ids := make([]types.NodeID, 0, len(m))
+	for c := range m {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // OnTimer implements protocol.Replica.
@@ -144,6 +200,16 @@ func (r *Replica) OnTimer(id types.TimerID) {
 			r.m.viewTimeouts.Inc()
 			r.trace.Emit(obs.TraceViewChange, uint64(r.view), r.obsHeight.Load(), "timeout")
 			r.env.Logf("view %d timed out (failures=%d)", r.view, r.pm.Failures())
+		}
+		// Our latest proposal missed its view: requeue its client
+		// transactions through the priority lane (Requeue skips any that
+		// committed meanwhile). Should the timed-out block still commit
+		// later via the accumulator path, the dedup maps and the done-set
+		// skip in NextBatch keep the duplicates off the chain, exactly as
+		// they do for client retransmissions.
+		if len(r.proposedTxs) > 0 {
+			r.pool.Requeue(r.proposedTxs)
+			r.proposedTxs = nil
 		}
 		r.enterNextView()
 	case types.TimerRecoveryRetry:
@@ -347,6 +413,12 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 		return
 	}
 	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
+	r.proposedTxs = r.proposedTxs[:0]
+	for i := range txs {
+		if !txs[i].Client.IsSynthetic() {
+			r.proposedTxs = append(r.proposedTxs, txs[i])
+		}
+	}
 	op := r.machine.Execute(parent.Op, txs)
 	b := &types.Block{
 		Txs:      txs,
@@ -602,10 +674,10 @@ func (r *Replica) replyClients(b *types.Block, cc *types.CommitCert) {
 		}
 		perClient[c] = append(perClient[c], b.Txs[i].Key())
 	}
-	for c, keys := range perClient {
+	for _, c := range sortedClients(perClient) {
 		r.env.Send(c, &types.ClientReply{
 			Block: b.Hash(), View: cc.View, Height: b.Height,
-			TxKeys: keys, Certified: true, From: r.cfg.Self,
+			TxKeys: perClient[c], Certified: true, From: r.cfg.Self,
 		})
 	}
 }

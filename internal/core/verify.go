@@ -49,6 +49,8 @@ type Verifier struct {
 	svc      *crypto.Service
 	pool     *mempool.Pool
 	runBatch func(tasks []func())
+	clock    func() types.Time
+	reject   func(client types.NodeID, m *types.ClientRetry)
 }
 
 // NewVerifier builds a pre-verifier over the node's PKI ring and the
@@ -72,6 +74,23 @@ func (v *Verifier) SetBatchRunner(run func(tasks []func())) { v.runBatch = run }
 // requests are staged into it off-loop (batch admission) and the
 // consensus-goroutine handler drains the staging buffer in one step.
 func (v *Verifier) SetMempool(p *mempool.Pool) { v.pool = p }
+
+// SetClock installs the runtime clock the staged admission path feeds
+// to the pool's token buckets (transport.Runtime.Now on the live node).
+// Without a clock, staged admission sees time zero — harmless when
+// admission control is disabled, wrong when it is not, so the live node
+// always wires this alongside SetBackpressure.
+func (v *Verifier) SetClock(now func() types.Time) { v.clock = now }
+
+// SetBackpressure installs the rejection sink: when staged admission
+// refuses transactions, send is called once per affected client with
+// the RETRY-AFTER response to deliver. The live node routes it through
+// the scheduler's egress stage so rejection replies serialize with
+// ordinary client replies. send runs on ingress worker goroutines and
+// must be safe for concurrent use.
+func (v *Verifier) SetBackpressure(send func(client types.NodeID, m *types.ClientRetry)) {
+	v.reject = send
+}
 
 // PreVerify inspects one decoded inbound message and runs the
 // stateless checks its consensus handler will repeat. Unknown or
@@ -132,8 +151,57 @@ func (v *Verifier) PreVerify(from types.NodeID, msg types.Message) {
 		}
 	case *types.ClientRequest:
 		if v.pool != nil {
-			v.pool.Stage(m.Txs)
+			now := types.Time(0)
+			if v.clock != nil {
+				now = v.clock()
+			}
+			res := v.pool.Stage(m.Txs, now)
+			if res.Rejected() > 0 {
+				if v.reject != nil {
+					v.sendRetries(res)
+				}
+				// Trim the refused transactions out of the message:
+				// staged admission already judged (and answered) them,
+				// and the consensus step's fallback Add — taken when the
+				// staging buffer comes up empty — must not re-run
+				// admission on the same transactions. A second judgment
+				// could re-reject (a duplicate RETRY-AFTER from this
+				// node, which clients would miscount as another replica
+				// refusing) or re-admit without a token.
+				rejected := make(map[types.TxKey]struct{}, res.Rejected())
+				for _, k := range res.RejectedFull {
+					rejected[k] = struct{}{}
+				}
+				for _, k := range res.RejectedRate {
+					rejected[k] = struct{}{}
+				}
+				kept := m.Txs[:0]
+				for _, tx := range m.Txs {
+					if _, ok := rejected[tx.Key()]; !ok {
+						kept = append(kept, tx)
+					}
+				}
+				m.Txs = kept
+			}
 		}
+	}
+}
+
+// sendRetries fans staged-admission rejections out to the configured
+// backpressure sink, one ClientRetry per affected client and reason,
+// in client order (see sortedClients).
+func (v *Verifier) sendRetries(res mempool.AdmitResult) {
+	full := groupByClient(res.RejectedFull)
+	for _, c := range sortedClients(full) {
+		v.reject(c, &types.ClientRetry{
+			TxKeys: full[c], RetryAfter: res.RetryAfter, Reason: types.RetryPoolFull, From: v.cfg.Self,
+		})
+	}
+	rate := groupByClient(res.RejectedRate)
+	for _, c := range sortedClients(rate) {
+		v.reject(c, &types.ClientRetry{
+			TxKeys: rate[c], RetryAfter: res.RetryAfter, Reason: types.RetryRateLimited, From: v.cfg.Self,
+		})
 	}
 }
 

@@ -182,7 +182,7 @@ func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
 	case *types.BlockResponse:
 		r.onBlockResponse(from, m)
 	case *types.ClientRequest:
-		r.pool.Add(m.Txs)
+		r.pool.Add(m.Txs, r.env.Now())
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"achilles/internal/crypto"
 	"achilles/internal/damysus"
 	"achilles/internal/flexibft"
+	"achilles/internal/mempool"
 	"achilles/internal/oneshot"
 	"achilles/internal/protocol"
 	"achilles/internal/raft"
@@ -100,6 +101,11 @@ type ClusterConfig struct {
 	// Synthetic saturates every block with generated transactions; set
 	// false when driving the cluster with real clients (Fig. 4).
 	Synthetic bool
+	// Admission enables mempool admission control on the Achilles
+	// replicas (depth bound, per-client rate limits, RETRY-AFTER
+	// backpressure). The zero value disables it — the historical
+	// behavior every golden test pins.
+	Admission mempool.AdmissionConfig
 	// Scheme overrides the signature scheme (default: FastScheme with
 	// ECDSA-calibrated costs; see DESIGN.md §2).
 	Scheme crypto.Scheme
@@ -243,7 +249,8 @@ func (c *Cluster) buildReplica(id types.NodeID, recovering bool) protocol.Replic
 	switch cfg.Protocol {
 	case Achilles, AchillesC:
 		return core.New(core.Config{
-			Config: base,
+			Config:    base,
+			Admission: cfg.Admission,
 			// The simulator's determinism depends on every stage running
 			// inline in program order and on every verification charging
 			// the virtual clock: pin the inline scheduler and no cache.

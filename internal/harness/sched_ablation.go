@@ -10,6 +10,7 @@ import (
 	"achilles/internal/core"
 	"achilles/internal/crypto"
 	"achilles/internal/mempool"
+	"achilles/internal/netchaos"
 	"achilles/internal/protocol"
 	"achilles/internal/sched"
 	"achilles/internal/transport"
@@ -33,6 +34,18 @@ type SchedAblationRow struct {
 
 var ablationRegisterOnce sync.Once
 
+// registerLiveMessages registers the consensus message set with the
+// transport codec, once per process. Every live-cluster entry point
+// (scheduler ablation, open-loop runs) calls it before booting nodes.
+func registerLiveMessages() {
+	ablationRegisterOnce.Do(func() {
+		transport.RegisterMessages(
+			&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
+			&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
+		)
+	})
+}
+
 // SchedAblation measures the live hot path end to end under the two
 // schedulers achilles-node ships: Sync (inline single-threaded stages,
 // no verified-cert cache — the historical behavior) and Pooled
@@ -44,20 +57,20 @@ var ablationRegisterOnce sync.Once
 // basePort spaces the two clusters apart so lingering TIME_WAIT
 // sockets from the first run cannot collide with the second.
 func SchedAblation(n, basePort int, d Durations) []SchedAblationRow {
-	ablationRegisterOnce.Do(func() {
-		transport.RegisterMessages(
-			&core.MsgNewView{}, &core.MsgProposal{}, &core.MsgVote{},
-			&core.MsgDecide{}, &core.MsgRecoveryReq{}, &core.MsgRecoveryRpy{},
-		)
-	})
+	registerLiveMessages()
 	rows := make([]SchedAblationRow, 0, 2)
 	for i, name := range []string{"sync", "pooled"} {
-		rows = append(rows, runSchedConfig(name, n, basePort+100*i, d))
+		rows = append(rows, runSchedConfig(name, n, basePort+100*i, d, nil))
 	}
 	return rows
 }
 
-func runSchedConfig(schedName string, n, basePort int, d Durations) SchedAblationRow {
+// runSchedConfig boots one live loopback cluster under the named
+// scheduler and measures its saturated synthetic throughput. A non-nil
+// chaos wraps every link, so the measurement reflects the same network
+// profile as whatever the caller compares it against.
+func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netchaos.Chaos) SchedAblationRow {
+	registerLiveMessages()
 	const (
 		batch   = 64
 		payload = 64
@@ -127,6 +140,10 @@ func runSchedConfig(schedName string, n, basePort int, d Durations) SchedAblatio
 			Ring:   ring,
 			Priv:   privs[id],
 			Sched:  hot,
+		}
+		if chaos != nil {
+			tcfg.Dial = chaos.Dialer(peers[id])
+			tcfg.WrapAccepted = chaos.WrapAccepted(peers[id])
 		}
 		if id == 0 {
 			tcfg.OnCommit = func(b *types.Block, _ *types.CommitCert) {

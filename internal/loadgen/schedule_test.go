@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"achilles/internal/types"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := NewSchedule(42, 10000, 5000)
+	b := NewSchedule(42, 10000, 5000)
+	for i := 0; i < 10000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("arrival %d diverged: %+v != %+v", i, x, y)
+		}
+		if x.Session < 0 || x.Session >= 5000 {
+			t.Fatalf("session %d out of range", x.Session)
+		}
+	}
+	if Fingerprint(42, 10000, 5000, 1000) != Fingerprint(42, 10000, 5000, 1000) {
+		t.Fatal("fingerprint not reproducible")
+	}
+	if Fingerprint(42, 10000, 5000, 1000) == Fingerprint(43, 10000, 5000, 1000) {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+func TestScheduleMonotoneAndRateShaped(t *testing.T) {
+	const rate = 50000.0
+	s := NewSchedule(7, rate, 100)
+	var last types.Time
+	n := 100000
+	for i := 0; i < n; i++ {
+		a := s.Next()
+		if a.At < last {
+			t.Fatalf("arrival %d went backwards: %v < %v", i, a.At, last)
+		}
+		last = a.At
+	}
+	// n arrivals at rate r should span about n/r seconds (law of large
+	// numbers; 5% tolerance at n=100k is generous).
+	want := float64(n) / rate
+	got := last.Seconds()
+	if got < want*0.95 || got > want*1.05 {
+		t.Fatalf("span = %.3fs, want about %.3fs", got, want)
+	}
+}
+
+func TestTakeUntilLosesNothing(t *testing.T) {
+	ref := NewSchedule(9, 1000, 10)
+	var all []Arrival
+	for i := 0; i < 500; i++ {
+		all = append(all, ref.Next())
+	}
+	s := NewSchedule(9, 1000, 10)
+	var got []Arrival
+	for cut := types.Time(0); len(got) < 500; cut += 20 * time.Millisecond {
+		got = s.TakeUntil(got, cut)
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("TakeUntil diverged at %d: %+v != %+v", i, got[i], all[i])
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"math/bits"
+
+	"time"
+
+	"achilles/internal/protocol"
+	"achilles/internal/types"
+)
+
+// SimConfig parameterizes a simulator-side open-loop client.
+type SimConfig struct {
+	// Self is the client's node identity (>= types.ClientIDBase).
+	Self types.NodeID
+	// Rate is this client's offered load in transactions per second.
+	Rate float64
+	// Sessions is the logical session population multiplexed onto this
+	// identity; arrivals are attributed to sessions for accounting but
+	// all carry Self as the transaction's client (replies route by
+	// client identity).
+	Sessions int
+	// Seed drives the arrival schedule. Zero derives a seed from Self.
+	Seed int64
+	// PayloadSize is the per-transaction payload in bytes.
+	PayloadSize int
+	// Tick is the submission granularity; zero defaults to 5 ms.
+	Tick time.Duration
+}
+
+// SimStats is a simulator client's outcome accounting. Everything is a
+// pure function of (seed, cluster seed), which the determinism tests
+// exploit: two runs with the same seeds must produce identical stats.
+type SimStats struct {
+	// Offered counts scheduled submissions that went out.
+	Offered uint64
+	// Committed counts certified commit confirmations.
+	Committed uint64
+	// RejectedFull / RejectedRate count RETRY-AFTER responses by reason.
+	// One transaction may be counted once per refusing node.
+	RejectedFull uint64
+	RejectedRate uint64
+	// Dropped counts transactions refused by every node (the open-loop
+	// client does not retry; a refused transaction is an admission drop).
+	Dropped uint64
+	// Fingerprint folds the exact submitted arrival sequence
+	// (virtual time, session, sequence number) into a hash.
+	Fingerprint uint64
+}
+
+// SimClient is an open-loop generator for the deterministic simulator:
+// it submits transactions on its Schedule's Poisson arrivals and never
+// retries — rejected transactions are counted as drops, which is the
+// honest open-loop reading of admission control (offered load does not
+// bend to backpressure).
+type SimClient struct {
+	cfg     SimConfig
+	env     protocol.Env
+	sched   *Schedule
+	payload []byte
+
+	seq     uint32
+	due     []Arrival
+	session map[uint32]int32
+	rejects map[uint32]uint64
+	nodes   int
+
+	stats SimStats
+}
+
+// NewSimClient builds a simulator client over nodes consensus nodes.
+func NewSimClient(cfg SimConfig, nodes int) *SimClient {
+	if cfg.Tick == 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Self)
+	}
+	c := &SimClient{
+		cfg:     cfg,
+		sched:   NewSchedule(seed, cfg.Rate, cfg.Sessions),
+		payload: make([]byte, cfg.PayloadSize),
+		session: make(map[uint32]int32),
+		rejects: make(map[uint32]uint64),
+		nodes:   nodes,
+	}
+	c.stats.Fingerprint = fnvOffset
+	for i := range c.payload {
+		c.payload[i] = byte(i * 13)
+	}
+	return c
+}
+
+// Init implements protocol.Replica.
+func (c *SimClient) Init(env protocol.Env) {
+	c.env = env
+	c.armTick()
+}
+
+func (c *SimClient) armTick() {
+	c.env.SetTimer(c.cfg.Tick, types.TimerID{Kind: types.TimerClientTick})
+}
+
+// OnTimer implements protocol.Replica: submit every arrival the
+// schedule placed at or before the current virtual time.
+func (c *SimClient) OnTimer(id types.TimerID) {
+	if id.Kind != types.TimerClientTick {
+		return
+	}
+	c.armTick()
+	now := c.env.Now()
+	c.due = c.sched.TakeUntil(c.due[:0], now)
+	if len(c.due) == 0 {
+		return
+	}
+	txs := make([]types.Transaction, 0, len(c.due))
+	for _, a := range c.due {
+		c.seq++
+		c.session[c.seq] = int32(a.Session)
+		txs = append(txs, types.Transaction{
+			Client:  c.cfg.Self,
+			Seq:     c.seq,
+			Payload: c.payload,
+			Created: a.At,
+		})
+		c.stats.Fingerprint = fnvMix(c.stats.Fingerprint, uint64(a.At))
+		c.stats.Fingerprint = fnvMix(c.stats.Fingerprint, uint64(a.Session))
+		c.stats.Fingerprint = fnvMix(c.stats.Fingerprint, uint64(c.seq))
+	}
+	c.stats.Offered += uint64(len(txs))
+	c.env.Broadcast(&types.ClientRequest{Txs: txs})
+}
+
+// OnMessage implements protocol.Replica.
+func (c *SimClient) OnMessage(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *types.ClientReply:
+		if !m.Certified {
+			return
+		}
+		for _, k := range m.TxKeys {
+			if k.Client != c.cfg.Self {
+				continue
+			}
+			if _, ok := c.session[k.Seq]; !ok {
+				continue
+			}
+			delete(c.session, k.Seq)
+			delete(c.rejects, k.Seq)
+			c.stats.Committed++
+		}
+	case *types.ClientRetry:
+		for _, k := range m.TxKeys {
+			if k.Client != c.cfg.Self {
+				continue
+			}
+			if _, ok := c.session[k.Seq]; !ok {
+				continue
+			}
+			if m.Reason == types.RetryRateLimited {
+				c.stats.RejectedRate++
+			} else {
+				c.stats.RejectedFull++
+			}
+			// A transaction refused by every node is an admission drop;
+			// one some node admitted can still commit, so it stays
+			// pending until then. Refusals are tracked per distinct
+			// node (one bit each) — a node may answer twice for the
+			// same transaction.
+			c.rejects[k.Seq] |= uint64(1) << (uint64(from) & 63)
+			if bits.OnesCount64(c.rejects[k.Seq]) >= c.nodes {
+				delete(c.session, k.Seq)
+				delete(c.rejects, k.Seq)
+				c.stats.Dropped++
+			}
+		}
+	}
+}
+
+// Stats returns the client's accounting. Simulator-only: not safe
+// concurrently with event delivery.
+func (c *SimClient) Stats() SimStats { return c.stats }
+
+var _ protocol.Replica = (*SimClient)(nil)

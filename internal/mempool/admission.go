@@ -1,0 +1,166 @@
+package mempool
+
+import (
+	"time"
+
+	"achilles/internal/types"
+)
+
+// AdmissionConfig bounds what a pool accepts from clients. The zero
+// value disables admission control entirely, preserving the historical
+// accept-everything behavior the simulator's golden tests pin.
+//
+// Admission is reject-not-block: a transaction that does not fit is
+// refused immediately with a retry hint, never queued behind a full
+// pool. Internal traffic (requeued proposals, synthetic top-up) bypasses
+// admission via the priority lane.
+type AdmissionConfig struct {
+	// MaxDepth bounds the number of queued client transactions
+	// (ordinary queue + staging buffer; the priority lane is exempt).
+	// Zero means unbounded.
+	MaxDepth int
+	// ClientRate is the sustained per-client admission rate in
+	// transactions per second. Zero disables rate limiting.
+	ClientRate float64
+	// ClientBurst is the token-bucket capacity per client. Values below
+	// 1 are treated as 1 when rate limiting is enabled.
+	ClientBurst int
+	// MaxClients bounds the number of tracked token buckets. When the
+	// table is full and an unknown client arrives, the whole table is
+	// reset — crude, but deterministic and memory-bounded. Defaults to
+	// 65536.
+	MaxClients int
+	// RetryAfter is the backoff hint attached to depth-bound
+	// rejections. Defaults to 50ms.
+	RetryAfter time.Duration
+}
+
+// Enabled reports whether the configuration imposes any limit.
+func (c AdmissionConfig) Enabled() bool { return c.MaxDepth > 0 || c.ClientRate > 0 }
+
+// DefaultRetryAfter is the depth-rejection backoff hint used when the
+// configuration does not specify one.
+const DefaultRetryAfter = 50 * time.Millisecond
+
+// AdmitResult reports the outcome of one Add or Stage call under
+// admission control. With admission disabled every transaction is
+// either admitted or a duplicate.
+type AdmitResult struct {
+	// Admitted counts transactions accepted into the pool.
+	Admitted int
+	// Duplicates counts transactions dropped as already pending or
+	// already committed (Add only; Stage cannot consult the dedup maps).
+	Duplicates int
+	// RejectedFull holds the keys refused because the pool was at
+	// MaxDepth.
+	RejectedFull []types.TxKey
+	// RejectedRate holds the keys refused by the per-client token
+	// bucket.
+	RejectedRate []types.TxKey
+	// RetryAfter is the largest backoff hint among the rejections —
+	// how long the slowest-recovering client should wait before
+	// retransmitting. Zero when nothing was rejected.
+	RetryAfter time.Duration
+}
+
+// Rejected returns the total number of refused transactions.
+func (r AdmitResult) Rejected() int { return len(r.RejectedFull) + len(r.RejectedRate) }
+
+// bucket is a per-client token bucket. Refill is computed lazily from
+// the caller-supplied clock, so the same admission decisions replay
+// deterministically under the simulator's virtual time.
+type bucket struct {
+	tokens float64
+	last   types.Time
+}
+
+// admission holds the mutable limiter state. Its mutex makes admit
+// callable from concurrent ingress workers (Stage) as well as the
+// consensus goroutine (Add).
+type admission struct {
+	cfg     AdmissionConfig
+	buckets map[types.NodeID]*bucket
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.ClientRate > 0 && cfg.ClientBurst < 1 {
+		cfg.ClientBurst = 1
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 65536
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	return &admission{cfg: cfg, buckets: make(map[types.NodeID]*bucket)}
+}
+
+// takeToken charges one token from the client's bucket, reporting
+// whether the transaction may pass and, if not, how long until the next
+// token accrues. Caller holds the pool's admission lock.
+func (a *admission) takeToken(client types.NodeID, now types.Time) (bool, time.Duration) {
+	if a.cfg.ClientRate <= 0 {
+		return true, 0
+	}
+	b := a.buckets[client]
+	if b == nil {
+		if len(a.buckets) >= a.cfg.MaxClients {
+			a.buckets = make(map[types.NodeID]*bucket)
+		}
+		b = &bucket{tokens: float64(a.cfg.ClientBurst), last: now}
+		a.buckets[client] = b
+	}
+	elapsed := now - b.last
+	if elapsed < 0 {
+		// Clock skew (live restarts, test clocks): never refill
+		// negatively, and re-anchor so the bucket is not starved by a
+		// clock that stepped backwards.
+		elapsed = 0
+	}
+	b.last = now
+	b.tokens += elapsed.Seconds() * a.cfg.ClientRate
+	if max := float64(a.cfg.ClientBurst); b.tokens > max {
+		b.tokens = max
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / a.cfg.ClientRate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// filter applies admission to txs given the pool's current depth,
+// splitting admitted transactions from rejections. depth is the queued
+// client-transaction count at call time; the loop charges each
+// admitted transaction against it so a burst cannot overshoot
+// MaxDepth. Caller holds the pool's admission lock.
+func (a *admission) filter(txs []types.Transaction, depth int, now types.Time) ([]types.Transaction, AdmitResult) {
+	admitted := txs[:0:0]
+	var res AdmitResult
+	for i := range txs {
+		tx := txs[i]
+		if a.cfg.MaxDepth > 0 && depth >= a.cfg.MaxDepth {
+			res.RejectedFull = append(res.RejectedFull, tx.Key())
+			if a.cfg.RetryAfter > res.RetryAfter {
+				res.RetryAfter = a.cfg.RetryAfter
+			}
+			continue
+		}
+		ok, wait := a.takeToken(tx.Client, now)
+		if !ok {
+			res.RejectedRate = append(res.RejectedRate, tx.Key())
+			if wait > res.RetryAfter {
+				res.RetryAfter = wait
+			}
+			continue
+		}
+		admitted = append(admitted, tx)
+		depth++
+	}
+	res.Admitted = len(admitted)
+	return admitted, res
+}

@@ -5,6 +5,14 @@
 // (client, seq)) and an optional synthetic generator that models a
 // saturated system — the setting under which the paper measures
 // throughput and commit latency (Sec. 5.1).
+//
+// A pool may additionally enforce admission control (admission.go):
+// bounded depth and per-client token buckets with reject-not-block
+// semantics, so that overload surfaces to clients as explicit
+// RETRY-AFTER backpressure rather than unbounded queues. A separate
+// priority lane carries consensus-critical transactions (requeued
+// in-flight proposals) past admission and ahead of ordinary client
+// traffic.
 package mempool
 
 import (
@@ -16,7 +24,8 @@ import (
 
 // Stats is a point-in-time snapshot of a pool's admission counters.
 type Stats struct {
-	// Depth is the number of queued client transactions right now.
+	// Depth is the number of queued client transactions right now
+	// (ordinary queue plus priority lane).
 	Depth int
 	// Accepted counts client transactions admitted to the queue.
 	Accepted uint64
@@ -32,17 +41,30 @@ type Stats struct {
 	StagedDepth int
 	// Staged counts transactions ever placed in the staging buffer.
 	Staged uint64
+	// RejectedFull counts transactions refused because the pool was at
+	// its configured depth bound.
+	RejectedFull uint64
+	// RejectedRate counts transactions refused by a per-client token
+	// bucket.
+	RejectedRate uint64
+	// Requeued counts transactions re-admitted through the priority
+	// lane after a failed proposal.
+	Requeued uint64
+	// PrioDepth is the number of transactions waiting in the priority
+	// lane right now.
+	PrioDepth int
 }
 
 // Pool is a per-node transaction pool. The queue and dedup maps are
-// not safe for concurrent use — Add, Len, NextBatch, MarkCommitted and
-// DrainStaged must stay on the consensus goroutine. Stage is the one
-// concurrent entry point: ingress workers park transactions in a
-// mutex-guarded staging buffer, and the consensus goroutine admits
-// them in one batch via DrainStaged. The admission counters are
+// not safe for concurrent use — Add, Len, NextBatch, MarkCommitted,
+// Requeue and DrainStaged must stay on the consensus goroutine. Stage
+// is the one concurrent entry point: ingress workers park transactions
+// in a mutex-guarded staging buffer, and the consensus goroutine
+// admits them in one batch via DrainStaged. The admission counters are
 // atomics so metric scrapers may call Stats from other goroutines.
 type Pool struct {
 	queue   []types.Transaction
+	prio    []types.Transaction
 	pending map[types.TxKey]bool
 	done    map[types.TxKey]bool
 
@@ -50,6 +72,12 @@ type Pool struct {
 	// consensus goroutine.
 	stagedMu sync.Mutex
 	staged   []types.Transaction
+
+	// admission limiter; nil when admission control is disabled. admMu
+	// serializes limiter access between Stage (ingress workers) and Add
+	// (consensus goroutine).
+	admMu sync.Mutex
+	adm   *admission
 
 	// synthetic configuration
 	synthetic   bool
@@ -59,12 +87,16 @@ type Pool struct {
 	payload     []byte
 
 	depth        atomic.Int64
+	prioDepth    atomic.Int64
 	stagedDepth  atomic.Int64
 	stagedTotal  atomic.Uint64
 	accepted     atomic.Uint64
 	duplicates   atomic.Uint64
 	genSynthetic atomic.Uint64
 	committedTxs atomic.Uint64
+	rejectedFull atomic.Uint64
+	rejectedRate atomic.Uint64
+	requeued     atomic.Uint64
 }
 
 // New returns an empty pool fed only by client requests.
@@ -88,42 +120,95 @@ func NewSynthetic(self types.NodeID, payloadSize int) *Pool {
 	return p
 }
 
+// SetAdmission installs (or, with a zero config, removes) admission
+// control. Call before traffic flows; the limiter itself is safe for
+// concurrent use afterwards.
+func (p *Pool) SetAdmission(cfg AdmissionConfig) {
+	p.admMu.Lock()
+	defer p.admMu.Unlock()
+	if !cfg.Enabled() {
+		p.adm = nil
+		return
+	}
+	p.adm = newAdmission(cfg)
+}
+
+// admit runs txs through the limiter against the current total depth
+// (queue + staging). Returns the admitted subset and the outcome tally.
+func (p *Pool) admit(txs []types.Transaction, now types.Time) ([]types.Transaction, AdmitResult) {
+	p.admMu.Lock()
+	defer p.admMu.Unlock()
+	if p.adm == nil {
+		return txs, AdmitResult{Admitted: len(txs)}
+	}
+	depth := int(p.depth.Load()) + int(p.stagedDepth.Load())
+	admitted, res := p.adm.filter(txs, depth, now)
+	p.rejectedFull.Add(uint64(len(res.RejectedFull)))
+	p.rejectedRate.Add(uint64(len(res.RejectedRate)))
+	return admitted, res
+}
+
 // Add enqueues client transactions, dropping duplicates and
-// transactions that already committed.
-func (p *Pool) Add(txs []types.Transaction) {
+// transactions that already committed, and applying admission control
+// when configured. now feeds the token buckets; pass the runtime clock
+// (virtual time under the simulator) so decisions replay
+// deterministically.
+func (p *Pool) Add(txs []types.Transaction, now types.Time) AdmitResult {
+	admitted, res := p.admit(txs, now)
+	dups := p.enqueue(admitted)
+	res.Admitted -= dups
+	res.Duplicates = dups
+	return res
+}
+
+// enqueue appends transactions to the ordinary queue with
+// deduplication. Consensus goroutine only. Returns the duplicate count.
+func (p *Pool) enqueue(txs []types.Transaction) int {
+	dups := 0
 	for _, tx := range txs {
 		k := tx.Key()
 		if p.pending[k] || p.done[k] {
 			p.duplicates.Add(1)
+			dups++
 			continue
 		}
 		p.pending[k] = true
 		p.queue = append(p.queue, tx)
 		p.accepted.Add(1)
 	}
-	p.depth.Store(int64(len(p.queue)))
+	p.depth.Store(int64(len(p.queue) + len(p.prio)))
+	return dups
 }
 
 // Stage parks client transactions for later batched admission. Safe
 // for concurrent use — this is how the ingress verify stage hands
 // transactions to the consensus goroutine without touching the dedup
-// maps. Duplicates are not filtered here; DrainStaged routes staged
-// transactions through Add, which dedups as always.
-func (p *Pool) Stage(txs []types.Transaction) {
+// maps. Admission control applies here (the staging buffer counts
+// toward MaxDepth) so overload is refused on the ingress worker, before
+// it can swamp the consensus loop. Duplicates are not filtered here;
+// DrainStaged inserts staged transactions with dedup as always.
+func (p *Pool) Stage(txs []types.Transaction, now types.Time) AdmitResult {
 	if len(txs) == 0 {
-		return
+		return AdmitResult{}
+	}
+	admitted, res := p.admit(txs, now)
+	if len(admitted) == 0 {
+		return res
 	}
 	p.stagedMu.Lock()
-	p.staged = append(p.staged, txs...)
+	p.staged = append(p.staged, admitted...)
 	depth := len(p.staged)
 	p.stagedMu.Unlock()
 	p.stagedDepth.Store(int64(depth))
-	p.stagedTotal.Add(uint64(len(txs)))
+	p.stagedTotal.Add(uint64(len(admitted)))
+	return res
 }
 
-// DrainStaged admits everything in the staging buffer through Add and
-// returns how many transactions were staged (pre-dedup). Must be
-// called from the consensus goroutine, like Add.
+// DrainStaged moves everything in the staging buffer onto the queue
+// (with dedup) and returns how many transactions were staged
+// (pre-dedup). Must be called from the consensus goroutine, like Add.
+// Staged transactions already passed admission, so they are not charged
+// a second time.
 func (p *Pool) DrainStaged() int {
 	p.stagedMu.Lock()
 	txs := p.staged
@@ -133,24 +218,57 @@ func (p *Pool) DrainStaged() int {
 	if len(txs) == 0 {
 		return 0
 	}
-	p.Add(txs)
+	p.enqueue(txs)
 	return len(txs)
+}
+
+// Requeue re-admits transactions from a proposal that failed to commit
+// (view change fired before the block was ordered) through the
+// priority lane: ahead of ordinary client traffic and exempt from
+// admission, because these transactions were already admitted once and
+// dropping them now would turn backpressure into loss. Synthetic and
+// already-committed transactions are skipped. Consensus goroutine only.
+func (p *Pool) Requeue(txs []types.Transaction) {
+	for i := range txs {
+		if txs[i].Client.IsSynthetic() {
+			continue
+		}
+		if p.done[txs[i].Key()] {
+			continue
+		}
+		p.prio = append(p.prio, txs[i])
+		p.requeued.Add(1)
+	}
+	p.prioDepth.Store(int64(len(p.prio)))
+	p.depth.Store(int64(len(p.queue) + len(p.prio)))
 }
 
 // Len returns the number of queued client transactions (an upper
 // bound: entries that committed elsewhere are dropped lazily when a
 // batch is assembled).
-func (p *Pool) Len() int { return len(p.queue) }
+func (p *Pool) Len() int { return len(p.queue) + len(p.prio) }
 
-// NextBatch returns up to n transactions for a new block, preferring
-// queued client transactions and topping up from the synthetic
-// generator when enabled. Transactions are NOT removed until
-// MarkCommitted is called, but repeated NextBatch calls return fresh
-// synthetic transactions so pipelined proposers do not duplicate.
-// Client transactions returned here are removed from the queue; if the
-// block fails to commit they will be retransmitted by the client.
+// NextBatch returns up to n transactions for a new block, draining the
+// priority lane first, then queued client transactions, topping up
+// from the synthetic generator when enabled. Transactions are NOT
+// removed until MarkCommitted is called, but repeated NextBatch calls
+// return fresh synthetic transactions so pipelined proposers do not
+// duplicate. Client transactions returned here are removed from the
+// queue; if the block fails to commit they will be retransmitted by
+// the client (or requeued by the proposer via Requeue).
 func (p *Pool) NextBatch(n int, now types.Time) []types.Transaction {
 	batch := make([]types.Transaction, 0, n)
+	// Drain the priority lane first: requeued proposal remnants must
+	// reach a block before fresh client traffic.
+	for len(batch) < n && len(p.prio) > 0 {
+		tx := p.prio[0]
+		p.prio = p.prio[1:]
+		if p.done[tx.Key()] {
+			delete(p.pending, tx.Key())
+			continue
+		}
+		batch = append(batch, tx)
+	}
 	// Pop client transactions, skipping any that committed since they
 	// were queued: with rotating leaders every node holds every
 	// broadcast transaction, and without this check leaders would
@@ -176,7 +294,8 @@ func (p *Pool) NextBatch(n int, now types.Time) []types.Transaction {
 			})
 		}
 	}
-	p.depth.Store(int64(len(p.queue)))
+	p.prioDepth.Store(int64(len(p.prio)))
+	p.depth.Store(int64(len(p.queue) + len(p.prio)))
 	return batch
 }
 
@@ -206,5 +325,9 @@ func (p *Pool) Stats() Stats {
 		CommittedTxs: p.committedTxs.Load(),
 		StagedDepth:  int(p.stagedDepth.Load()),
 		Staged:       p.stagedTotal.Load(),
+		RejectedFull: p.rejectedFull.Load(),
+		RejectedRate: p.rejectedRate.Load(),
+		Requeued:     p.requeued.Load(),
+		PrioDepth:    int(p.prioDepth.Load()),
 	}
 }

@@ -12,7 +12,7 @@ func tx(client types.NodeID, seq uint32) types.Transaction {
 
 func TestAddAndBatch(t *testing.T) {
 	p := New()
-	p.Add([]types.Transaction{tx(types.ClientIDBase, 1), tx(types.ClientIDBase, 2)})
+	p.Add([]types.Transaction{tx(types.ClientIDBase, 1), tx(types.ClientIDBase, 2)}, 0)
 	if p.Len() != 2 {
 		t.Fatalf("len = %d", p.Len())
 	}
@@ -28,11 +28,11 @@ func TestAddAndBatch(t *testing.T) {
 func TestDeduplication(t *testing.T) {
 	p := New()
 	a := tx(types.ClientIDBase, 1)
-	p.Add([]types.Transaction{a, a})
+	p.Add([]types.Transaction{a, a}, 0)
 	if p.Len() != 1 {
 		t.Fatalf("duplicate enqueued: len = %d", p.Len())
 	}
-	p.Add([]types.Transaction{a})
+	p.Add([]types.Transaction{a}, 0)
 	if p.Len() != 1 {
 		t.Fatal("re-add of pending tx enqueued")
 	}
@@ -41,11 +41,11 @@ func TestDeduplication(t *testing.T) {
 func TestCommittedNotReadded(t *testing.T) {
 	p := New()
 	a := tx(types.ClientIDBase, 1)
-	p.Add([]types.Transaction{a})
+	p.Add([]types.Transaction{a}, 0)
 	batch := p.NextBatch(1, 0)
 	p.MarkCommitted(batch)
 	// A client retransmission of a committed tx must be dropped.
-	p.Add([]types.Transaction{a})
+	p.Add([]types.Transaction{a}, 0)
 	if p.Len() != 0 {
 		t.Fatal("committed tx re-enqueued")
 	}
@@ -54,7 +54,7 @@ func TestCommittedNotReadded(t *testing.T) {
 func TestBatchRespectsLimit(t *testing.T) {
 	p := New()
 	for i := uint32(0); i < 10; i++ {
-		p.Add([]types.Transaction{tx(types.ClientIDBase, i)})
+		p.Add([]types.Transaction{tx(types.ClientIDBase, i)}, 0)
 	}
 	batch := p.NextBatch(4, 0)
 	if len(batch) != 4 || p.Len() != 6 {
@@ -96,7 +96,7 @@ func TestSyntheticFill(t *testing.T) {
 func TestSyntheticPrefersClientTxs(t *testing.T) {
 	p := NewSynthetic(3, 16)
 	real := tx(types.ClientIDBase, 9)
-	p.Add([]types.Transaction{real})
+	p.Add([]types.Transaction{real}, 0)
 	batch := p.NextBatch(5, 0)
 	if len(batch) != 5 {
 		t.Fatalf("batch = %d", len(batch))

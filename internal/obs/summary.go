@@ -14,10 +14,17 @@ import (
 // sorted slice of length n, clamped to [0, n-1]. It returns 0 for
 // n <= 0 (callers must still skip empty slices before indexing).
 func PercentileIndex(n, pct int) int {
+	return QuantileIndex(n, pct, 100)
+}
+
+// QuantileIndex returns the index of the num/den quantile in a sorted
+// slice of length n, clamped to [0, n-1] — the per-mille generalization
+// of PercentileIndex (QuantileIndex(n, 999, 1000) is p999).
+func QuantileIndex(n, num, den int) int {
 	if n <= 0 {
 		return 0
 	}
-	i := n * pct / 100
+	i := n * num / den
 	if i >= n {
 		i = n - 1
 	}
@@ -51,13 +58,13 @@ func SummarizeFloats(vs []float64) Summary {
 	}
 }
 
-// DurationSummary is a mean/p50/p99 summary of durations.
+// DurationSummary is a mean/p50/p99/p999 summary of durations.
 type DurationSummary struct {
-	Mean, P50, P99 time.Duration
+	Mean, P50, P99, P999 time.Duration
 }
 
-// SummarizeDurations computes mean/p50/p99 of ds. It does not modify
-// ds and returns the zero DurationSummary for an empty slice.
+// SummarizeDurations computes mean/p50/p99/p999 of ds. It does not
+// modify ds and returns the zero DurationSummary for an empty slice.
 func SummarizeDurations(ds []time.Duration) DurationSummary {
 	if len(ds) == 0 {
 		return DurationSummary{}
@@ -72,5 +79,6 @@ func SummarizeDurations(ds []time.Duration) DurationSummary {
 		Mean: sum / time.Duration(len(sorted)),
 		P50:  sorted[PercentileIndex(len(sorted), 50)],
 		P99:  sorted[PercentileIndex(len(sorted), 99)],
+		P999: sorted[QuantileIndex(len(sorted), 999, 1000)],
 	}
 }

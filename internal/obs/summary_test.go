@@ -28,7 +28,7 @@ func TestSummarizeDurationsEdgeCases(t *testing.T) {
 		t.Fatalf("empty summary = %+v", s)
 	}
 	one := SummarizeDurations([]time.Duration{7 * time.Millisecond})
-	if one.Mean != 7*time.Millisecond || one.P50 != 7*time.Millisecond || one.P99 != 7*time.Millisecond {
+	if one.Mean != 7*time.Millisecond || one.P50 != 7*time.Millisecond || one.P99 != 7*time.Millisecond || one.P999 != 7*time.Millisecond {
 		t.Fatalf("one-element summary = %+v", one)
 	}
 	// Input order must not matter and the input must not be mutated.
@@ -39,6 +39,27 @@ func TestSummarizeDurationsEdgeCases(t *testing.T) {
 	}
 	if in[0] != 30*time.Millisecond {
 		t.Fatal("input slice mutated")
+	}
+	// On a large sample p999 must resolve above p99.
+	big := make([]time.Duration, 2000)
+	for i := range big {
+		big[i] = time.Duration(i+1) * time.Microsecond
+	}
+	bs := SummarizeDurations(big)
+	if bs.P999 != 1999*time.Microsecond || bs.P999 <= bs.P99 {
+		t.Fatalf("p999 = %v (p99 = %v)", bs.P999, bs.P99)
+	}
+}
+
+func TestQuantileIndex(t *testing.T) {
+	if QuantileIndex(0, 999, 1000) != 0 || QuantileIndex(1, 999, 1000) != 0 {
+		t.Fatal("small-n quantile index not clamped")
+	}
+	if QuantileIndex(1000, 999, 1000) != 999 {
+		t.Fatalf("p999 of 1000 = %d", QuantileIndex(1000, 999, 1000))
+	}
+	if QuantileIndex(10, 1000, 1000) != 9 {
+		t.Fatal("p1000 out of bounds")
 	}
 }
 

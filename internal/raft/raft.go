@@ -239,7 +239,7 @@ func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
 	case *MsgAppendReply:
 		r.onAppendReply(from, m)
 	case *types.ClientRequest:
-		r.pool.Add(m.Txs)
+		r.pool.Add(m.Txs, r.env.Now())
 		if r.role == leader {
 			r.tryReplicate()
 		}

@@ -38,7 +38,7 @@ type Options struct {
 // consensus handlers already tolerate (the network reorders too).
 type Pooled struct {
 	opts    Options
-	deliver func(step func())
+	deliver func(lane Lane, step func())
 
 	verifyQ chan verifyTask
 	execQ   chan timedTask
@@ -135,7 +135,7 @@ func (p *Pooled) register(reg *obs.Registry) {
 func (p *Pooled) Name() string { return "pooled" }
 
 // Bind implements Scheduler. Must be called before traffic flows.
-func (p *Pooled) Bind(deliver func(step func())) { p.deliver = deliver }
+func (p *Pooled) Bind(deliver func(lane Lane, step func())) { p.deliver = deliver }
 
 // Ingress implements Scheduler: the message is queued for the verify
 // pool, blocking when the pool is saturated. That blocking is the
@@ -158,7 +158,7 @@ func (p *Pooled) verifyWorker() {
 				p.opts.Verify(t.from, t.msg)
 			}
 			if d := p.deliver; d != nil {
-				d(t.step)
+				d(LaneFor(t.msg), t.step)
 			}
 		case <-p.quit:
 			return

@@ -29,14 +29,38 @@ import (
 	"achilles/internal/types"
 )
 
+// Lane classifies a delivered consensus step by traffic class, so the
+// runtime that owns the consensus loop can prioritize protocol progress
+// over bulk client submissions when both queues are hot (overload must
+// degrade client admission, never consensus liveness or recovery).
+type Lane uint8
+
+const (
+	// LaneConsensus carries protocol traffic: proposals, votes,
+	// decides, view changes, recovery, block sync, timers.
+	LaneConsensus Lane = iota
+	// LaneClient carries client transaction submissions.
+	LaneClient
+)
+
+// LaneFor returns the delivery lane for an inbound message. Everything
+// except client submissions is consensus-critical.
+func LaneFor(msg types.Message) Lane {
+	if _, ok := msg.(*types.ClientRequest); ok {
+		return LaneClient
+	}
+	return LaneConsensus
+}
+
 // Scheduler coordinates the staged replica hot path.
 type Scheduler interface {
 	// Name identifies the implementation ("sync", "pooled").
 	Name() string
 	// Bind installs the consensus-stage sink: deliver enqueues a step
-	// function onto the single-threaded consensus loop. The runtime
-	// that owns the loop calls Bind exactly once before traffic flows.
-	Bind(deliver func(step func()))
+	// function onto the single-threaded consensus loop, tagged with the
+	// traffic lane the step belongs to. The runtime that owns the loop
+	// calls Bind exactly once before traffic flows.
+	Bind(deliver func(lane Lane, step func()))
 	// Ingress accepts one decoded inbound message and eventually hands
 	// step to the bound deliver. Implementations may first run
 	// stateless verification (on the caller's or a worker's goroutine)
@@ -63,7 +87,7 @@ type Scheduler interface {
 // bit-for-bit deterministic under the simulator, and the default
 // wherever no scheduler is configured.
 type Sync struct {
-	deliver func(step func())
+	deliver func(lane Lane, step func())
 }
 
 // NewSync returns an inline scheduler.
@@ -73,14 +97,14 @@ func NewSync() *Sync { return &Sync{} }
 func (s *Sync) Name() string { return "sync" }
 
 // Bind implements Scheduler.
-func (s *Sync) Bind(deliver func(step func())) { s.deliver = deliver }
+func (s *Sync) Bind(deliver func(lane Lane, step func())) { s.deliver = deliver }
 
 // Ingress implements Scheduler: the step goes straight to the
 // consensus loop with no pre-verification (the consensus handlers do
 // all checking inline, charging the meter as always).
-func (s *Sync) Ingress(_ types.NodeID, _ types.Message, step func()) {
+func (s *Sync) Ingress(_ types.NodeID, msg types.Message, step func()) {
 	if s.deliver != nil {
-		s.deliver(step)
+		s.deliver(LaneFor(msg), step)
 		return
 	}
 	step()

@@ -19,7 +19,7 @@ func (m *fakeMsg) Size() int    { return 8 }
 func TestSyncRunsEverythingInline(t *testing.T) {
 	s := NewSync()
 	var order []string
-	s.Bind(func(step func()) {
+	s.Bind(func(_ Lane, step func()) {
 		order = append(order, "deliver")
 		step()
 	})
@@ -48,7 +48,7 @@ func TestPooledVerifiesBeforeDelivering(t *testing.T) {
 		},
 	})
 	defer p.Stop()
-	p.Bind(func(step func()) { step() })
+	p.Bind(func(_ Lane, step func()) { step() })
 	for i := 0; i < 32; i++ {
 		i := i
 		p.Ingress(types.NodeID(i%3), &fakeMsg{n: i}, func() { delivered <- i })
@@ -152,7 +152,7 @@ func TestPooledStopUnblocksSubmitters(t *testing.T) {
 	p := NewPooled(Options{Workers: 2, VerifyQueue: 2})
 	block := make(chan struct{})
 	defer close(block)
-	p.Bind(func(step func()) { step() })
+	p.Bind(func(_ Lane, step func()) { step() })
 	// Wedge the workers and saturate the queue from a helper goroutine
 	// (it blocks once pool and queue are full — that is the
 	// backpressure under test).
@@ -182,7 +182,7 @@ func TestPooledStopUnblocksSubmitters(t *testing.T) {
 func TestPooledConcurrentSubmitters(t *testing.T) {
 	reg := obs.NewRegistry()
 	p := NewPooled(Options{Workers: 4, Obs: reg, Verify: func(types.NodeID, types.Message) {}})
-	p.Bind(func(step func()) { step() })
+	p.Bind(func(_ Lane, step func()) { step() })
 	var wg sync.WaitGroup
 	var steps atomic.Int64
 	for g := 0; g < 6; g++ {

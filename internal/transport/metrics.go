@@ -64,4 +64,14 @@ func (rt *Runtime) RegisterMetrics(reg *obs.Registry) {
 		obs.KindGauge, func() []obs.Sample {
 			return []obs.Sample{{Value: float64(rt.ActiveRoutes())}}
 		})
+	reg.Func("achilles_transport_client_lane_drops_total",
+		"Client-lane consensus steps shed because the bulk event queue was full.",
+		obs.KindCounter, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(rt.ClientLaneDrops())}}
+		})
+	reg.Func("achilles_transport_client_lane_depth",
+		"Queued client-lane consensus steps.",
+		obs.KindGauge, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(len(rt.bulk))}}
+		})
 }

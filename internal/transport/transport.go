@@ -85,6 +85,7 @@ func init() {
 		&Ping{},
 		&types.ClientRequest{},
 		&types.ClientReply{},
+		&types.ClientRetry{},
 		&types.BlockRequest{},
 		&types.BlockResponse{},
 	)
@@ -147,6 +148,24 @@ type Config struct {
 	// DrainTimeout bounds how long Stop waits for outbound queues to
 	// flush (default 500 ms).
 	DrainTimeout time.Duration
+
+	// ClientQueue bounds the client-lane event queue (default 4096).
+	// Consensus, recovery and timer events travel a separate priority
+	// queue that the event loop always drains first; client submission
+	// steps that find the client lane full are dropped (counted in
+	// ClientLaneDrops) rather than allowed to starve consensus. On the
+	// pooled path the transactions were already staged into the mempool
+	// by the ingress verifier, so a dropped step costs only a little
+	// batching latency, never an admitted transaction.
+	ClientQueue int
+
+	// ReplyQueue bounds each client route's outbound reply queue
+	// (default 1024). Replies to a client whose connection cannot keep
+	// up are dropped (counted in that client's SendDrops) rather than
+	// allowed to block the sender — the BFT client contract already
+	// tolerates lost replies (any one certified reply confirms a
+	// commit, and unconfirmed requests are retried or timed out).
+	ReplyQueue int
 }
 
 // PeerStats is a snapshot of per-peer transport counters.
@@ -173,9 +192,25 @@ type peerStats struct {
 
 // route is an identified inbound connection: the reply path for
 // clients, and the supersession/eviction record for replica peers.
+// Client routes own a bounded reply queue drained by a dedicated
+// writer goroutine (replyLoop), so a slow client socket can never
+// stall the goroutine sending the reply — under WAN-shaped latency a
+// synchronous reply write would block the scheduler's ordered egress
+// stage, and consensus broadcasts behind it (priority inversion).
 type route struct {
-	conn  net.Conn
-	nonce uint64
+	conn   net.Conn
+	nonce  uint64
+	ch     chan *frame // nil for peer routes (peers are written via dialers)
+	closed bool        // guarded by Runtime.mu; ch closed exactly once
+}
+
+// closeRouteLocked closes a route's reply queue exactly once. Caller
+// holds Runtime.mu.
+func closeRouteLocked(r *route) {
+	if r.ch != nil && !r.closed {
+		r.closed = true
+		close(r.ch)
+	}
 }
 
 // Runtime drives one replica over TCP.
@@ -187,13 +222,16 @@ type Runtime struct {
 
 	start    time.Time
 	events   chan func()
+	bulk     chan func() // client-lane steps; drained only when events is empty
 	stopping chan struct{} // soft stop: writers drain their queues
 	done     chan struct{} // hard stop: event loop and readers exit
 	closing  sync.Once
 	listener net.Listener
 	writers  sync.WaitGroup
+	repliers sync.WaitGroup
 
 	helloNonce atomic.Uint64
+	laneDrops  atomic.Uint64
 
 	mu        sync.Mutex
 	stopped   bool
@@ -231,12 +269,19 @@ func New(cfg Config, r protocol.Replica) *Runtime {
 	if cfg.Sched == nil {
 		cfg.Sched = sched.NewSync()
 	}
+	if cfg.ClientQueue <= 0 {
+		cfg.ClientQueue = 4096
+	}
+	if cfg.ReplyQueue <= 0 {
+		cfg.ReplyQueue = 1024
+	}
 	rt := &Runtime{
 		cfg:       cfg,
 		log:       log.Component("transport"),
 		replica:   r,
 		sched:     cfg.Sched,
 		events:    make(chan func(), 4096),
+		bulk:      make(chan func(), cfg.ClientQueue),
 		stopping:  make(chan struct{}),
 		done:      make(chan struct{}),
 		outbound:  make(map[types.NodeID]chan *frame),
@@ -245,10 +290,24 @@ func New(cfg Config, r protocol.Replica) *Runtime {
 		stats:     make(map[types.NodeID]*peerStats),
 	}
 	// The scheduler's consensus-stage sink is the event loop: delivered
-	// steps run single-threaded, in delivery order, like every other
-	// event. Dropping the step once the runtime is done matches the
-	// historical readLoop behavior.
-	rt.sched.Bind(func(step func()) {
+	// steps run single-threaded, in delivery order within a lane, like
+	// every other event. Consensus-lane steps block the submitter when
+	// the queue is full (backpressure through the reader, exactly the
+	// historical behavior); client-lane steps are shed instead, because
+	// a flood of submissions must never be able to wedge the loop that
+	// keeps consensus and recovery alive. Dropping the step once the
+	// runtime is done matches the historical readLoop behavior.
+	rt.sched.Bind(func(lane sched.Lane, step func()) {
+		if lane == sched.LaneClient {
+			select {
+			case rt.bulk <- step:
+			default:
+				rt.laneDrops.Add(1)
+				rt.log.Limitf(obs.LevelWarn, "clientlane", time.Second,
+					"client lane full; shedding submission steps")
+			}
+			return
+		}
 		select {
 		case rt.events <- step:
 		case <-rt.done:
@@ -256,6 +315,10 @@ func New(cfg Config, r protocol.Replica) *Runtime {
 	})
 	return rt
 }
+
+// ClientLaneDrops reports how many client-lane steps were shed because
+// the bulk event queue was full.
+func (rt *Runtime) ClientLaneDrops() uint64 { return rt.laneDrops.Load() }
 
 // Start begins listening, dialing and the event loop. It returns once
 // the listener is bound (or immediately for client-only runtimes).
@@ -313,8 +376,10 @@ func (rt *Runtime) Stop() {
 		rt.mu.Lock()
 		for _, r := range rt.routes {
 			r.conn.Close()
+			closeRouteLocked(r)
 		}
 		rt.mu.Unlock()
+		rt.repliers.Wait()
 		// Stop the pipeline last: closed connections have already
 		// unblocked any egress task stuck in a socket write.
 		rt.sched.Stop()
@@ -370,10 +435,23 @@ func (rt *Runtime) logf(format string, args ...any) {
 
 func (rt *Runtime) eventLoop() {
 	for {
+		// Priority drain: run every pending consensus-lane event before
+		// touching the client lane, so bulk submissions can delay client
+		// admission but never protocol progress or recovery.
 		select {
 		case <-rt.done:
 			return
 		case fn := <-rt.events:
+			fn()
+			continue
+		default:
+		}
+		select {
+		case <-rt.done:
+			return
+		case fn := <-rt.events:
+			fn()
+		case fn := <-rt.bulk:
 			fn()
 		}
 	}
@@ -479,9 +557,49 @@ func (rt *Runtime) registerRoute(id types.NodeID, conn net.Conn, nonce uint64) b
 	rt.lastHello[id] = nonce
 	if old := rt.routes[id]; old != nil && old.conn != conn {
 		old.conn.Close()
+		closeRouteLocked(old)
 	}
-	rt.routes[id] = &route{conn: conn, nonce: nonce}
+	r := &route{conn: conn, nonce: nonce}
+	if _, isPeer := rt.cfg.Peers[id]; !isPeer && !rt.stopped {
+		// Client route: replies go through a bounded queue and a
+		// dedicated writer, never a synchronous socket write on the
+		// sender's goroutine.
+		r.ch = make(chan *frame, rt.cfg.ReplyQueue)
+		rt.repliers.Add(1)
+		go rt.replyLoop(id, conn, r.ch)
+	}
+	rt.routes[id] = r
 	return true
+}
+
+// replyLoop drains one client route's reply queue onto its socket.
+// After a write failure the connection is closed (its readLoop evicts
+// the route, which closes ch) and anything still queued is dropped.
+func (rt *Runtime) replyLoop(id types.NodeID, conn net.Conn, ch chan *frame) {
+	defer rt.repliers.Done()
+	st := rt.statsFor(id)
+	dead := false
+	for f := range ch {
+		if dead {
+			st.sendDrops.Add(1)
+			continue
+		}
+		b, err := encodeFrame(f)
+		if err != nil {
+			rt.logf("encode %s: %v", frameType(f), err)
+			continue
+		}
+		if _, err := conn.Write(b); err != nil {
+			rt.logf("reply to %v: %v", id, err)
+			st.sendDrops.Add(1)
+			// Force eviction through the connection's readLoop.
+			conn.Close()
+			dead = true
+			continue
+		}
+		st.sent.Add(1)
+		st.bytesSent.Add(uint64(len(b)))
+	}
 }
 
 // dropRoute evicts a dead inbound connection's reply route, unless a
@@ -490,6 +608,7 @@ func (rt *Runtime) dropRoute(id types.NodeID, conn net.Conn) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if r := rt.routes[id]; r != nil && r.conn == conn {
+		closeRouteLocked(r)
 		delete(rt.routes, id)
 	}
 }
@@ -737,29 +856,28 @@ func (rt *Runtime) Send(to types.NodeID, msg types.Message) {
 		}
 		return
 	}
-	// Reply route: a client that connected to us.
+	// Reply route: a client that connected to us. The enqueue happens
+	// under mu so the route cannot be closed between the check and the
+	// send; it is non-blocking, so the lock is held O(1).
 	rt.mu.Lock()
 	r := rt.routes[to]
+	queued, dropped := false, false
+	if r != nil && r.ch != nil && !r.closed {
+		select {
+		case r.ch <- f:
+			queued = true
+		default:
+			dropped = true
+		}
+	}
 	rt.mu.Unlock()
-	if r == nil {
+	switch {
+	case queued:
+	case dropped:
+		rt.noteSendDrop(to, msg)
+	default:
 		rt.logf("no route to %v for %s", to, msg.Type())
-		return
 	}
-	b, err := encodeFrame(f)
-	if err != nil {
-		rt.logf("encode %s: %v", msg.Type(), err)
-		return
-	}
-	st := rt.statsFor(to)
-	if _, err := r.conn.Write(b); err != nil {
-		rt.logf("reply to %v: %v", to, err)
-		st.sendDrops.Add(1)
-		// Force eviction through the connection's readLoop.
-		r.conn.Close()
-		return
-	}
-	st.sent.Add(1)
-	st.bytesSent.Add(uint64(len(b)))
 }
 
 // noteSendDrop counts a frame lost to a full outbound queue, logging

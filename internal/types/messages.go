@@ -54,6 +54,48 @@ func (*ClientReply) Type() string { return "client-reply" }
 // Size implements Message.
 func (m *ClientReply) Size() int { return 32 + 8 + 8 + 1 + 4 + len(m.TxKeys)*8 }
 
+// RetryReason says why a node refused a client submission.
+type RetryReason uint8
+
+const (
+	// RetryPoolFull: the node's mempool was at its configured depth
+	// bound.
+	RetryPoolFull RetryReason = iota
+	// RetryRateLimited: the client exceeded its per-client admission
+	// rate.
+	RetryRateLimited
+)
+
+func (r RetryReason) String() string {
+	switch r {
+	case RetryPoolFull:
+		return "pool-full"
+	case RetryRateLimited:
+		return "rate-limited"
+	}
+	return "unknown"
+}
+
+// ClientRetry is the explicit RETRY-AFTER backpressure signal: the node
+// refused the listed transactions at admission (mempool depth bound or
+// per-client rate limit) and the client should retransmit after the
+// hinted backoff instead of treating the submission as silently lost.
+type ClientRetry struct {
+	// TxKeys identifies the refused transactions.
+	TxKeys []TxKey
+	// RetryAfter is the node's backoff hint.
+	RetryAfter Time
+	// Reason says which admission limit refused the transactions.
+	Reason RetryReason
+	From   NodeID
+}
+
+// Type implements Message.
+func (*ClientRetry) Type() string { return "client-retry" }
+
+// Size implements Message.
+func (m *ClientRetry) Size() int { return 8 + 1 + 4 + len(m.TxKeys)*8 }
+
 // BlockRequest asks a peer for the block with the given hash (block
 // synchronization, Sec. 4.4).
 type BlockRequest struct {
