@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak soak-pooled soak-overload fuzz fuzz-smoke bench bench-json bench-sched bench-open-loop metrics-demo clean
+.PHONY: all build vet test check soak soak-pooled soak-overload soak-crash fuzz fuzz-smoke bench bench-json bench-sched bench-open-loop bench-durability metrics-demo clean
 
 all: check
 
@@ -38,6 +38,16 @@ soak-pooled:
 soak-overload:
 	$(GO) test -run 'TestLiveOverloadSoak' -timeout 300s -count=1 -v ./internal/harness
 
+# Crash-restart soak: live n=3 cluster where every node persists
+# commits through the WAL-backed durable ledger; one node is killed
+# and rebooted six times under the seeded storage-fault injector
+# (abrupt kill, kill mid-append, torn final record, deleted index,
+# clean shutdown, flipped bit -> detected corruption -> wipe ->
+# snapshot-transfer rebuild past the pruning horizon). Asserts every
+# incarnation restores a tip the cluster agrees on and commits again.
+soak-crash:
+	$(GO) test -run 'TestAchillesCrashRestartSoak' -timeout 300s -count=1 -v ./internal/harness
+
 # Adversarial invariant-checking fuzzer (internal/adversary): 500
 # seeded scenarios mixing active Byzantine replicas, crash/reboot with
 # sealed-storage rollback, and pre-GST network faults, plus a
@@ -47,22 +57,25 @@ fuzz: build
 	$(GO) run ./cmd/achilles-sim -fuzz -seeds 500
 	$(GO) run ./cmd/achilles-sim -fuzz -seeds 50 -fuzz-weaken
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=60s -run '^$$' ./internal/transport
+	$(GO) test -fuzz=FuzzWALRecord -fuzztime=60s -run '^$$' ./internal/wal
 
 # Quick CI variant of the above.
 fuzz-smoke: build
 	$(GO) run ./cmd/achilles-sim -fuzz -seeds 50
 	$(GO) run ./cmd/achilles-sim -fuzz -seeds 10 -fuzz-weaken
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=30s -run '^$$' ./internal/transport
+	$(GO) test -fuzz=FuzzWALRecord -fuzztime=30s -run '^$$' ./internal/wal
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 # Machine-readable benchmark artifact (quick windows): per-protocol
 # throughput, mean/p50/p99 latency and message complexity, plus the
-# live sync-vs-pooled scheduler ablation and the live open-loop
-# overload rows (WAN profile, 1x/2x saturation).
+# live sync-vs-pooled scheduler ablation, the live open-loop
+# overload rows (WAN profile, 1x/2x saturation) and the durability
+# table (WAL fsync policies + cold-restart cost).
 bench-json:
-	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -json BENCH_achilles.json
+	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -durability -json BENCH_achilles.json
 
 # Live loopback TCP scheduler ablation only (full windows): saturated
 # n=5 throughput under -sched sync vs -sched pooled.
@@ -74,6 +87,12 @@ bench-sched:
 # offered 1x and 2x its measured saturation.
 bench-open-loop:
 	$(GO) run ./cmd/achilles-bench -open-loop
+
+# Durability rows only (full windows): committed throughput per WAL
+# fsync policy (vs the in-memory baseline) and cold-restart cost from
+# snapshot+suffix vs a full WAL replay, on a live loopback cluster.
+bench-durability:
+	$(GO) run ./cmd/achilles-bench -durability
 
 # Boot a local 3-node cluster with the admin endpoint on node 0,
 # scrape /metrics and /status, then tear everything down.

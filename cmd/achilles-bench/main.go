@@ -47,6 +47,10 @@ type report struct {
 	// offered vs admitted vs committed rate under a WAN profile, the
 	// live analogue of the paper's Fig. 3 WAN row.
 	OpenLoop []harness.OpenLoopRow `json:"open_loop,omitempty"`
+	// Durability is the live durability bench (-durability): commit
+	// throughput per WAL fsync policy against the in-memory baseline,
+	// and cold-restart cost from snapshot+suffix vs full WAL replay.
+	Durability []harness.DurabilityRow `json:"durability,omitempty"`
 }
 
 func main() {
@@ -62,6 +66,7 @@ func main() {
 		olSess   = flag.Int("ol-sessions", 10000, "open-loop client-session population (-open-loop)")
 		olConns  = flag.Int("ol-conns", 16, "open-loop generator connection-pool size (-open-loop)")
 		olLAN    = flag.Bool("ol-lan", false, "run -open-loop without the WAN latency profile")
+		durab    = flag.Bool("durability", false, "measure commit throughput per WAL fsync policy and cold-restart cost (snapshot+suffix vs full replay) on a live loopback cluster")
 	)
 	flag.Parse()
 
@@ -199,13 +204,41 @@ func main() {
 			"Open-loop overload — live loopback TCP, n=3, pooled scheduler, mempool admission control", rows)
 		rep.OpenLoop = rows
 	}
+	if *durab {
+		ran = true
+		rows := harness.DurabilityBench(0, d)
+		harness.PrintDurabilityRows(os.Stdout,
+			"Durability — live loopback TCP, n=3, saturated synthetic load, WAL fsync policies and cold-restart cost", rows)
+		rep.Durability = rows
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
+		// Merge-on-write: sections that ran replace their keys in an
+		// existing document, sections that did not are preserved — so a
+		// -durability-only run extends BENCH_achilles.json instead of
+		// discarding every previously generated figure.
+		doc := map[string]json.RawMessage{}
+		if old, err := os.ReadFile(*jsonPath); err == nil {
+			if err := json.Unmarshal(old, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "achilles-bench: existing %s is not JSON (%v); refusing to overwrite\n", *jsonPath, err)
+				os.Exit(1)
+			}
+		}
+		fresh, err := json.Marshal(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "achilles-bench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		var freshDoc map[string]json.RawMessage
+		json.Unmarshal(fresh, &freshDoc)
+		for k, v := range freshDoc {
+			doc[k] = v
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "achilles-bench: marshal: %v\n", err)
 			os.Exit(1)

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -27,13 +29,16 @@ import (
 	"achilles/internal/admin"
 	"achilles/internal/core"
 	"achilles/internal/crypto"
+	"achilles/internal/ledger"
 	"achilles/internal/mempool"
 	"achilles/internal/netchaos"
 	"achilles/internal/obs"
 	"achilles/internal/protocol"
 	"achilles/internal/sched"
+	"achilles/internal/tee"
 	"achilles/internal/transport"
 	"achilles/internal/types"
+	"achilles/internal/wal"
 )
 
 func main() {
@@ -46,6 +51,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 500*time.Millisecond, "base view timeout")
 		synthetic = flag.Bool("synthetic", false, "saturate blocks with generated transactions")
 		recover_  = flag.Bool("recover", false, "start in recovery mode (after a reboot)")
+		dataDir   = flag.String("data-dir", "", "durable data directory (WAL, snapshots, sealed state); empty runs in-memory")
+		fsyncPol  = flag.String("fsync", "batch", "WAL fsync policy: always (every append), batch (group commit), none (OS decides)")
+		snapEvery = flag.Uint64("snapshot-interval", 512, "state snapshot every this many committed heights (with -data-dir)")
 		schedName = flag.String("sched", "sync", "hot-path scheduler: sync (inline, single-threaded) or pooled (ingress verify pool + async execute/egress)")
 		schedWork = flag.Int("sched-workers", 0, "verify-pool workers for -sched pooled (0 = GOMAXPROCS)")
 		retain    = flag.Uint64("retain-heights", 1024, "committed block bodies retained below the head before pruning; a rebooted empty node can only catch up by replay while peers still hold the bodies it missed")
@@ -155,6 +163,44 @@ func main() {
 		fatalf("unknown -sched %q (want sync or pooled)", *schedName)
 	}
 
+	// Durable storage: with -data-dir the node opens a WAL-backed ledger
+	// (restart restores committed state locally instead of replaying the
+	// network) and keeps its enclave-sealed state on disk beside it.
+	// Corruption of previously durable state is a refuse-to-start error:
+	// silently dropping committed records would be a rollback.
+	var (
+		durable     *ledger.Durable
+		sealedStore tee.SealedStore
+	)
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsyncPol)
+		if err != nil {
+			fatalf("bad -fsync: %v", err)
+		}
+		ds, err := tee.NewDirStore(filepath.Join(*dataDir, "sealed"))
+		if err != nil {
+			fatalf("sealed store: %v", err)
+		}
+		sealedStore = ds
+		durable, err = ledger.OpenDurable(ledger.DurableOptions{
+			Dir:              *dataDir,
+			Fsync:            policy,
+			SnapshotInterval: types.Height(*snapEvery),
+			Obs:              reg,
+		})
+		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				fatalf("data directory %s is corrupted: %v\n(wipe the directory to rebuild this node from the cluster via snapshot transfer)", *dataDir, err)
+			}
+			fatalf("open data directory: %v", err)
+		}
+		rec := durable.Recovered()
+		if h, _ := rec.Tip(); h > 0 {
+			mainLog.Infof("durable state: committed height %d on disk (snapshot + %d WAL records, torn %d bytes)",
+				h, len(rec.Commits), rec.WalInfo.TornBytes)
+		}
+	}
+
 	var secret [32]byte
 	secret[0] = byte(self)
 	rep := core.New(core.Config{
@@ -163,6 +209,7 @@ func main() {
 		Ring:              ring,
 		Priv:              priv,
 		MachineSecret:     secret,
+		SealedStore:       sealedStore,
 		Recovering:        *recover_,
 		SyntheticWorkload: *synthetic,
 		Sched:             hotSched,
@@ -170,6 +217,7 @@ func main() {
 		Pool:              txpool,
 		Admission:         admCfg,
 		RetainHeights:     *retain,
+		Durable:           durable,
 		Obs:               reg,
 		Trace:             tracer,
 	})
@@ -242,8 +290,18 @@ func main() {
 				Infof("committed-blocks=%d committed-tx/s=%d total-tx=%d", committed.Load(), cur-lastTxs, cur)
 			lastTxs = cur
 		case <-sig:
+			// Graceful shutdown: stop the transport and scheduler stages
+			// first (no more commits arrive), then flush and close the
+			// WAL so every acknowledged commit is on disk before exit.
 			mainLog.Infof("shutting down")
 			rt.Stop()
+			if durable != nil {
+				if err := durable.Close(); err != nil {
+					mainLog.Errorf("closing data directory: %v", err)
+					os.Exit(1)
+				}
+				mainLog.Infof("data directory flushed and closed")
+			}
 			if chaos != nil {
 				st := chaos.Stats()
 				mainLog.Infof("netchaos: writes=%d drops=%d resets=%d denies=%d dials=%d denied-dials=%d",

@@ -82,6 +82,29 @@ func (inv *Invariants) NodeCrashed(id types.NodeID) {
 	delete(inv.commitHash, id)
 }
 
+// NodeRestored seeds a rebooted node's commit cursor at (height, hash):
+// the node restored its committed chain locally (snapshot + WAL replay
+// or an installed remote snapshot) instead of recommitting from height
+// 1, so its next observed commit must extend exactly this state. The
+// restored tip itself is checked against honest agreement — a node
+// restoring a block the cluster never committed at that height is a
+// safety violation, not a fresh start.
+func (inv *Invariants) NodeRestored(id types.NodeID, height types.Height, hash types.Hash) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if height == 0 {
+		delete(inv.commitHeight, id)
+		delete(inv.commitHash, id)
+		return
+	}
+	if agreed, ok := inv.byHeight[height]; ok && agreed != hash && !inv.exempt[id] {
+		inv.failf("SAFETY: node %v restored height %d as %x but honest nodes committed %x",
+			id, height, hash[:4], agreed[:4])
+	}
+	inv.commitHeight[id] = height
+	inv.commitHash[id] = hash
+}
+
 func (inv *Invariants) failf(format string, args ...any) {
 	inv.failures = append(inv.failures, fmt.Sprintf(format, args...))
 }

@@ -37,6 +37,16 @@ type metrics struct {
 	viewJumps        *obs.Counter
 	stashDrops       *obs.Counter
 	admissionRetries *obs.Counter
+
+	restoredBlocks     *obs.Counter
+	walErrors          *obs.Counter
+	snapshotsWritten   *obs.Counter
+	pastHorizonReplies *obs.Counter
+	snapshotFetches    *obs.Counter
+	snapshotsServed    *obs.Counter
+	snapshotsInstalled *obs.Counter
+	snapshotsRejected  *obs.Counter
+	durableRollbacks   *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -72,6 +82,24 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Stashed proposals/certificates dropped or evicted at the stash bounds."),
 		admissionRetries: reg.Counter("achilles_admission_retries_sent_total",
 			"Client transactions answered with RETRY-AFTER backpressure from the inline admission path."),
+		restoredBlocks: reg.Counter("achilles_restored_blocks_total",
+			"Committed blocks restored from the local snapshot + WAL at boot."),
+		walErrors: reg.Counter("achilles_wal_errors_total",
+			"Failed durable appends (the replica keeps running in-memory)."),
+		snapshotsWritten: reg.Counter("achilles_snapshots_written_total",
+			"State snapshots checkpointed to the data directory."),
+		pastHorizonReplies: reg.Counter("achilles_past_horizon_replies_total",
+			"Block-sync requests answered with a typed past-pruning-horizon signal."),
+		snapshotFetches: reg.Counter("achilles_snapshot_fetches_total",
+			"Snapshot transfers started to catch up past a peer's pruning horizon."),
+		snapshotsServed: reg.Counter("achilles_snapshots_served_total",
+			"Snapshot transfers served to catching-up peers."),
+		snapshotsInstalled: reg.Counter("achilles_snapshots_installed_total",
+			"Remotely fetched snapshots verified and installed."),
+		snapshotsRejected: reg.Counter("achilles_snapshots_rejected_total",
+			"Fetched snapshots rejected (bad encoding, stale height, or invalid certificate)."),
+		durableRollbacks: reg.Counter("achilles_durable_rollbacks_total",
+			"Boots where the on-disk ledger was behind the enclave-sealed durable marker (disk rollback detected; local state discarded)."),
 	}
 }
 

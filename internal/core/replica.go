@@ -125,6 +125,16 @@ type Config struct {
 	// (certificate verification never needs them again). 0 defaults to
 	// 1024.
 	RetainHeights uint64
+	// PruneInterval is how often (in committed heights) the retention
+	// horizon is enforced. 0 defaults to 256; tests shrink it so pruning
+	// and the past-horizon catch-up path trigger at small heights.
+	PruneInterval uint64
+	// Durable is the node's persistence handle (WAL + snapshots). The
+	// replica restores its ledger and state machine from it during Init,
+	// appends every commit to it, and checkpoints snapshots on the
+	// configured interval. nil keeps the replica purely in-memory — the
+	// simulator and historical behavior.
+	Durable *ledger.Durable
 	// Obs is the metrics registry consensus series are registered on
 	// (nil disables metrics; see obs.go for the series).
 	Obs *obs.Registry
@@ -196,6 +206,14 @@ type Replica struct {
 	stashedCCs       []*types.CommitCert
 	inflightSync     map[types.Hash]int
 
+	// Snapshot transfer (snapshot.go): the single in-flight fetch, its
+	// epoch (distinguishes stale retry timers), how often each peer has
+	// been served, and the durable incarnation for the sealed marker.
+	snapFetch      *snapFetch
+	snapEpoch      uint64
+	snapServed     map[types.NodeID]types.Height
+	durIncarnation uint64
+
 	// proposedTxs holds the real client transactions of our latest
 	// proposal. If the view times out before that block commits, they
 	// are requeued through the mempool's priority lane — admitted work
@@ -227,6 +245,8 @@ type Replica struct {
 	obsEnv          atomic.Value // protocol.Env, stored once in Init
 	obsView         atomic.Uint64
 	obsHeight       atomic.Uint64
+	obsSnapInstalls atomic.Uint64
+	obsRestored     atomic.Uint64 // committed height restored from disk at boot
 	obsRecovering   atomic.Bool
 	obsLastCommit   atomic.Int64 // env nanos of the latest commit
 	obsInitNanos    atomic.Int64
@@ -257,6 +277,9 @@ func New(cfg Config) *Replica {
 	if cfg.RetainHeights == 0 {
 		cfg.RetainHeights = 1024
 	}
+	if cfg.PruneInterval == 0 {
+		cfg.PruneInterval = 256
+	}
 	return &Replica{
 		cfg:              cfg,
 		sched:            cfg.Sched,
@@ -267,6 +290,7 @@ func New(cfg Config) *Replica {
 		votes:            make(map[types.NodeID]*types.StoreCert),
 		stashedProposals: make(map[types.View]*MsgProposal),
 		inflightSync:     make(map[types.Hash]int),
+		snapServed:       make(map[types.NodeID]types.Height),
 		recReplies:       make(map[types.NodeID]*MsgRecoveryRpy),
 		recoveryPending:  make(map[types.NodeID]*pendingRecovery),
 	}
@@ -317,6 +341,18 @@ func (r *Replica) Init(env protocol.Env) {
 	// components sign/verify at in-enclave speed.
 	r.svc = crypto.NewService(r.cfg.Scheme, r.cfg.Ring, nil, r.cfg.Self, env, r.cfg.CryptoCosts)
 	teeSvc := crypto.NewService(r.cfg.Scheme, r.cfg.Ring, r.cfg.Priv, r.cfg.Self, env, r.enclaveCrypto())
+	// A node with durable state on disk (or an enclave-sealed durable
+	// marker attesting there should be some) is by definition rebooting,
+	// so it must run the recovery protocol before participating even if
+	// the operator forgot to say so: the checker's state died with the
+	// old process regardless of what the ledger remembers.
+	marker, hasMarker := r.unsealDurableMarker()
+	mustRecover := r.cfg.Recovering
+	if r.cfg.Durable != nil {
+		if h, _ := r.cfg.Durable.Recovered().Tip(); h > 0 || hasMarker {
+			mustRecover = true
+		}
+	}
 	if r.cfg.CertCache != nil {
 		// Share the ingress stage's verified-signature cache so the
 		// handlers' (and modelled trusted components') re-checks of
@@ -332,7 +368,7 @@ func (r *Replica) Init(env protocol.Env) {
 		LeaderOf:     r.cfg.Leader,
 		Quorum:       r.cfg.Quorum(),
 		GenesisHash:  r.store.Genesis().Hash(),
-		Recovering:   r.cfg.Recovering,
+		Recovering:   mustRecover,
 		NonceSeed:    uint64(r.cfg.Seed)<<16 ^ uint64(r.cfg.Self),
 		UnsafeWeaken: r.cfg.UnsafeWeakenChecker,
 	})
@@ -340,6 +376,7 @@ func (r *Replica) Init(env protocol.Env) {
 	r.pm = protocol.Pacemaker{Base: r.cfg.BaseTimeout, MaxShift: 10}
 
 	r.prebBlock = r.store.Genesis()
+	r.restoreDurable(marker, hasMarker)
 
 	// Re-establish the secure channels to every peer (part of the
 	// initialization cost the paper's Table 2 reports).
@@ -348,7 +385,7 @@ func (r *Replica) Init(env protocol.Env) {
 	r.obsInitNanos.Store(int64(r.initEndAt - r.bootAt))
 	r.registerCollectors(r.cfg.Obs)
 
-	if r.cfg.Recovering {
+	if mustRecover {
 		r.recovering = true
 		r.obsRecovering.Store(true)
 		r.startRecovery()
@@ -387,3 +424,11 @@ func (r *Replica) Checker() *checker.Checker { return r.chk }
 
 // Enclave exposes the enclave host handle (tests, overhead profiling).
 func (r *Replica) Enclave() *tee.Enclave { return r.enclave }
+
+// SnapshotsInstalled returns how many remotely fetched snapshots this
+// replica has verified and installed (tests).
+func (r *Replica) SnapshotsInstalled() uint64 { return r.obsSnapInstalls.Load() }
+
+// RestoredHeight returns the committed height this incarnation restored
+// from its data directory at boot (0 when nothing was restored).
+func (r *Replica) RestoredHeight() types.Height { return types.Height(r.obsRestored.Load()) }

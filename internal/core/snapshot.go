@@ -1,0 +1,268 @@
+package core
+
+// This file implements snapshot transfer: the catch-up path for a node
+// whose missing blocks lie past its peers' pruning horizon. Block sync
+// (steps.go) walks the chain backwards body by body; once a peer
+// answers that a committed block's body is pruned (BlockUnavailable
+// with PastHorizon), walking further is pointless — no correct peer
+// retains it — so the requester fetches the peer's committed state as
+// a whole: tip block, commit certificate and serialized state machine,
+// chunked into SnapshotChunk frames. Installation is gated exactly
+// like a restored disk: the certificate's quorum must verify, and the
+// checker re-verifies it in-enclave (TEEstoreCommit) before any state
+// is adopted.
+
+import (
+	"fmt"
+
+	"achilles/internal/ledger"
+	"achilles/internal/obs"
+	"achilles/internal/types"
+)
+
+const (
+	// snapChunkBytes is the serving-side chunk size. It stays well under
+	// types.MaxWireSnapChunk so transfers survive the wire bounds with
+	// headroom.
+	snapChunkBytes = 256 << 10
+	// maxSnapshotBytes bounds a fetched snapshot's reassembled size —
+	// a Byzantine server cannot balloon the requester's memory.
+	maxSnapshotBytes = 64 << 20
+)
+
+// snapFetch is the single in-flight snapshot transfer.
+type snapFetch struct {
+	epoch  uint64
+	from   types.NodeID
+	hash   types.Hash
+	height types.Height
+	total  uint32
+	chunks [][]byte
+	got    int
+	bytes  int
+}
+
+// onBlockUnavailable handles a peer's typed past-pruning-horizon
+// answer to one of our block requests. Before the snapshot path
+// existed this situation wedged the node until the view timer fired;
+// now it pivots block sync into a snapshot fetch.
+func (r *Replica) onBlockUnavailable(from types.NodeID, m *types.BlockUnavailable) {
+	if r.recovering || !m.PastHorizon || m.From != from {
+		return
+	}
+	// Only believe the signal if we actually asked this peer for this
+	// block and its claimed committed height is ahead of ours — an
+	// unsolicited frame must not be able to start transfers.
+	if _, asked := r.inflightSync[m.Hash]; !asked {
+		return
+	}
+	if m.Height <= r.store.CommittedHeight() {
+		return
+	}
+	r.trace.Emit(obs.TraceSnapshot, uint64(r.view), uint64(r.store.CommittedHeight()),
+		fmt.Sprintf("past-horizon from=%d height=%d", from, m.Height))
+	r.startSnapshotFetch(from)
+}
+
+// startSnapshotFetch begins (or restarts) the single in-flight
+// snapshot transfer from the given peer.
+func (r *Replica) startSnapshotFetch(from types.NodeID) {
+	if r.snapFetch != nil || from == r.cfg.Self {
+		return
+	}
+	r.snapEpoch++
+	r.snapFetch = &snapFetch{epoch: r.snapEpoch, from: from}
+	r.m.snapshotFetches.Inc()
+	r.env.Send(from, &types.SnapshotRequest{From: r.cfg.Self})
+	// The retry timer rotates to the next peer if the transfer stalls
+	// (server crashed, frames lost, or the server turned out to have
+	// nothing useful).
+	r.env.SetTimer(2*r.cfg.BaseTimeout,
+		types.TimerID{Kind: types.TimerSnapshotRetry, View: types.View(r.snapEpoch)})
+}
+
+// onSnapshotRetry rotates a stalled snapshot fetch to the next peer.
+func (r *Replica) onSnapshotRetry(id types.TimerID) {
+	sf := r.snapFetch
+	if sf == nil || uint64(id.View) != sf.epoch {
+		return
+	}
+	r.abandonSnapshotFetch("stalled")
+}
+
+// abandonSnapshotFetch drops the in-flight transfer and retries from
+// the next peer in ring order.
+func (r *Replica) abandonSnapshotFetch(why string) {
+	sf := r.snapFetch
+	if sf == nil {
+		return
+	}
+	r.snapFetch = nil
+	next := types.NodeID((int(sf.from) + 1) % r.cfg.N)
+	if next == r.cfg.Self {
+		next = types.NodeID((int(next) + 1) % r.cfg.N)
+	}
+	r.env.Logf("snapshot fetch from %d %s; retrying from %d", sf.from, why, next)
+	r.startSnapshotFetch(next)
+}
+
+// onSnapshotRequest serves this node's committed state to a
+// catching-up peer. The snapshot is built from live state — tip block,
+// the certificate that committed it, and the state machine — so the
+// server needs no disk. Each peer is served at most once per committed
+// height, bounding the amplification a request-replaying peer can get.
+func (r *Replica) onSnapshotRequest(from types.NodeID, m *types.SnapshotRequest) {
+	if r.recovering || from == r.cfg.Self || m.From != from {
+		return
+	}
+	head := r.store.Head()
+	cc := r.lastCC
+	if head.Height == 0 || cc == nil || cc.Hash != head.Hash() {
+		// Nothing committed, or the tip's certificate is not at hand;
+		// the requester's retry will rotate to another peer.
+		return
+	}
+	if r.snapServed[from] >= head.Height {
+		return
+	}
+	r.snapServed[from] = head.Height
+	s := &ledger.Snapshot{Height: head.Height, Block: head, CC: cc, Machine: r.machine.Snapshot()}
+	data, err := s.Encode()
+	if err != nil {
+		r.env.Logf("snapshot encode failed: %v", err)
+		return
+	}
+	total := uint32((len(data) + snapChunkBytes - 1) / snapChunkBytes)
+	if total == 0 {
+		total = 1
+	}
+	if total > types.MaxWireSnapChunks {
+		r.env.Logf("snapshot of %d bytes exceeds the wire bounds; not serving", len(data))
+		return
+	}
+	r.m.snapshotsServed.Inc()
+	r.trace.Emit(obs.TraceSnapshot, uint64(r.view), uint64(head.Height),
+		fmt.Sprintf("serve to=%d bytes=%d", from, len(data)))
+	hash := head.Hash()
+	for i := uint32(0); i < total; i++ {
+		lo := int(i) * snapChunkBytes
+		hi := min(lo+snapChunkBytes, len(data))
+		r.env.Send(from, &types.SnapshotChunk{
+			Hash: hash, Height: head.Height, Total: total, Index: i,
+			Data: data[lo:hi], From: r.cfg.Self,
+		})
+	}
+}
+
+// onSnapshotChunk reassembles the in-flight transfer and installs the
+// snapshot once complete.
+func (r *Replica) onSnapshotChunk(from types.NodeID, m *types.SnapshotChunk) {
+	sf := r.snapFetch
+	if r.recovering || sf == nil || from != sf.from || m.From != from {
+		return
+	}
+	if sf.total == 0 {
+		sf.hash, sf.height, sf.total = m.Hash, m.Height, m.Total
+		sf.chunks = make([][]byte, m.Total)
+	}
+	if m.Hash != sf.hash || m.Total != sf.total || m.Index >= sf.total {
+		return
+	}
+	if sf.chunks[m.Index] != nil {
+		return
+	}
+	if sf.bytes+len(m.Data) > maxSnapshotBytes {
+		r.m.snapshotsRejected.Inc()
+		r.abandonSnapshotFetch("exceeded the size bound")
+		return
+	}
+	sf.chunks[m.Index] = m.Data
+	sf.got++
+	sf.bytes += len(m.Data)
+	if sf.got == int(sf.total) {
+		r.finishSnapshotFetch(sf)
+	}
+}
+
+// finishSnapshotFetch verifies and installs a fully reassembled
+// snapshot. Failure rotates to the next peer; success bootstraps the
+// ledger at the snapshot tip and rejoins the protocol from there.
+func (r *Replica) finishSnapshotFetch(sf *snapFetch) {
+	data := make([]byte, 0, sf.bytes)
+	for _, c := range sf.chunks {
+		data = append(data, c...)
+	}
+	reject := func(why string, args ...any) {
+		r.m.snapshotsRejected.Inc()
+		r.abandonSnapshotFetch(fmt.Sprintf("rejected: "+why, args...))
+	}
+	s, err := ledger.DecodeSnapshot(data)
+	if err != nil {
+		reject("%v", err)
+		return
+	}
+	if s.Block.Hash() != sf.hash || s.Height != sf.height {
+		reject("content disagrees with the announced tip")
+		return
+	}
+	if s.Height <= r.store.CommittedHeight() {
+		reject("height %d not beyond our committed %d", s.Height, r.store.CommittedHeight())
+		return
+	}
+	if !r.verifyRestoredCC(s.CC) {
+		reject("commit certificate quorum does not verify")
+		return
+	}
+	// The checker re-verifies the certificate in-enclave and advances
+	// (prepv, preph, vi) on it — the same trust step a DECIDE takes.
+	if err := r.chk.TEEstoreCommit(s.CC); err != nil {
+		reject("checker refused the certificate: %v", err)
+		return
+	}
+	if err := r.machine.Restore(s.Machine); err != nil {
+		reject("machine state rejected: %v", err)
+		return
+	}
+	if err := r.store.Bootstrap(s.Block); err != nil {
+		reject("%v", err)
+		return
+	}
+	r.snapFetch = nil
+	r.snapEpoch++ // invalidate the pending retry timer
+	r.prebBlock, r.prebBC, r.prebCC = s.Block, nil, s.CC
+	if r.lastCC == nil || s.CC.View > r.lastCC.View {
+		r.lastCC = s.CC
+	}
+	r.obsHeight.Store(uint64(r.store.CommittedHeight()))
+	r.obsSnapInstalls.Add(1)
+	r.m.snapshotsInstalled.Inc()
+	r.trace.Emit(obs.TraceSnapshot, uint64(s.CC.View), uint64(s.Height),
+		fmt.Sprintf("installed from=%d", sf.from))
+	r.env.Logf("snapshot installed: committed height %d from node %d", s.Height, sf.from)
+	if d := r.cfg.Durable; d != nil {
+		if err := d.InstallSnapshot(s); err != nil {
+			r.m.walErrors.Inc()
+			r.env.Logf("persisting installed snapshot failed: %v", err)
+		} else {
+			r.sealDurableMarker(s.Height)
+		}
+	}
+	// Certificates stashed for blocks at or below the installed state
+	// can never be replayed (their bodies are past the server's
+	// horizon too); keeping them would loop block sync forever.
+	kept := r.stashedCCs[:0]
+	for _, cc := range r.stashedCCs {
+		if cc.View > s.CC.View {
+			kept = append(kept, cc)
+		}
+	}
+	r.stashedCCs = kept
+	// Outstanding block-sync markers point below the horizon; drop
+	// them so future sync starts fresh from the new tip.
+	r.inflightSync = make(map[types.Hash]int)
+	if s.CC.View >= r.view {
+		r.pm.Progress()
+		r.enterNextView()
+	}
+	r.resumeStashed(sf.from)
+}

@@ -113,6 +113,12 @@ func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
 		r.onBlockRequest(from, m)
 	case *types.BlockResponse:
 		r.onBlockResponse(from, m)
+	case *types.BlockUnavailable:
+		r.onBlockUnavailable(from, m)
+	case *types.SnapshotRequest:
+		r.onSnapshotRequest(from, m)
+	case *types.SnapshotChunk:
+		r.onSnapshotChunk(from, m)
 	case *types.ClientRequest:
 		if !r.recovering {
 			// On the pooled live path the ingress stage staged this
@@ -217,6 +223,8 @@ func (r *Replica) OnTimer(id types.TimerID) {
 			return
 		}
 		r.startRecovery()
+	case types.TimerSnapshotRetry:
+		r.onSnapshotRetry(id)
 	}
 }
 
@@ -626,6 +634,11 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 	r.obsHeight.Store(uint64(r.store.CommittedHeight()))
 	r.obsLastCommit.Store(int64(now))
 	r.trace.Emit(obs.TraceCommit, uint64(cc.View), uint64(b.Height), shortHash(cc.Hash))
+	// Durability rides after the in-memory commit: WAL-append the batch
+	// and checkpoint a snapshot when the interval elapsed (both no-ops
+	// without a configured Durable).
+	r.persistCommits(newly, cc)
+	r.maybeSnapshot(b, cc)
 	if cc.View >= r.view {
 		r.pm.Progress()
 		r.enterNextView()
@@ -633,7 +646,8 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 	// Periodically drop old block bodies past the retention horizon
 	// (certificate verification never needs them again).
 	retain := types.Height(r.cfg.RetainHeights)
-	if r.store.CommittedHeight()%256 == 0 && r.store.CommittedHeight() > retain {
+	interval := types.Height(r.cfg.PruneInterval)
+	if r.store.CommittedHeight()%interval == 0 && r.store.CommittedHeight() > retain {
 		r.store.PruneBefore(r.store.CommittedHeight() - retain)
 	}
 }
@@ -718,6 +732,18 @@ func (r *Replica) onBlockRequest(from types.NodeID, m *types.BlockRequest) {
 	}
 	if b := r.store.Get(m.Hash); b != nil {
 		r.env.Send(from, &types.BlockResponse{Block: b})
+		return
+	}
+	if r.store.IsCommitted(m.Hash) {
+		// Committed but the body is pruned: the requester is past our
+		// retention horizon and block sync cannot serve it. Answer with
+		// the typed signal so it pivots to a snapshot fetch instead of
+		// wedging until its view timer fires.
+		r.m.pastHorizonReplies.Inc()
+		r.env.Send(from, &types.BlockUnavailable{
+			Hash: m.Hash, PastHorizon: true,
+			Height: r.store.CommittedHeight(), From: r.cfg.Self,
+		})
 	}
 }
 

@@ -109,6 +109,12 @@ type ClusterConfig struct {
 	// Scheme overrides the signature scheme (default: FastScheme with
 	// ECDSA-calibrated costs; see DESIGN.md §2).
 	Scheme crypto.Scheme
+	// RetainHeights and PruneInterval bound and pace block-body pruning
+	// on the Achilles replicas (core.Config fields of the same names;
+	// zero keeps the defaults). Tests shrink both so the past-horizon
+	// snapshot catch-up path triggers at simulation-sized heights.
+	RetainHeights uint64
+	PruneInterval uint64
 	// AblateFastPath and AblateReReply switch off, respectively, the
 	// new-view fast path and the recovery re-reply refinement in the
 	// Achilles replicas (ablation studies).
@@ -270,6 +276,8 @@ func (c *Cluster) buildReplica(id types.NodeID, recovering bool) protocol.Replic
 			SyntheticWorkload:   cfg.Synthetic,
 			DisableFastPath:     cfg.AblateFastPath,
 			DisableReReply:      cfg.AblateReReply,
+			RetainHeights:       cfg.RetainHeights,
+			PruneInterval:       cfg.PruneInterval,
 			Observer:            cfg.Observer,
 			UnsafeWeakenChecker: cfg.WeakenChecker[id],
 		})

@@ -1,0 +1,240 @@
+package harness
+
+// Durability bench: what the WAL costs on the commit path, and what
+// the snapshot buys on the restart path. Each row boots a real 3-node
+// loopback TCP cluster with every node persisting commits through the
+// durable ledger under one fsync policy (plus an in-memory baseline),
+// measures saturated synthetic throughput, shuts down cleanly and then
+// cold-restarts node 0's data directory twice: once the normal way
+// (newest snapshot + WAL suffix) and once with snapshots ignored (a
+// full replay of the retained WAL). The gap between those two numbers
+// is the restart cost the snapshot interval amortizes; the gap between
+// fsync policies is the price of each durability contract.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/ledger"
+	"achilles/internal/protocol"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+	"achilles/internal/wal"
+)
+
+// DurabilityRow is one durability measurement.
+type DurabilityRow struct {
+	// Mode is "memory" (no durable layer) or "fsync=<policy>".
+	Mode     string  `json:"mode"`
+	Nodes    int     `json:"nodes"`
+	WindowMS float64 `json:"window_ms"`
+	// TPSk is committed transactions (K/s); BlocksPerSec committed
+	// blocks, both measured at node 0 over the window.
+	TPSk         float64 `json:"tps_k"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	// Height and WALMB are node 0's committed height and retained WAL
+	// size at shutdown (the WAL is kept whole for the replay row).
+	Height uint64  `json:"height"`
+	WALMB  float64 `json:"wal_mb"`
+	// SnapRestoreMS is the cold restart from the newest snapshot plus
+	// the WAL suffix; ReplayRestoreMS rebuilds the same state by
+	// replaying the full WAL with snapshots ignored. Both restore to
+	// RestoredHeight. Zero in memory mode (nothing to restore).
+	SnapRestoreMS   float64 `json:"snap_restore_ms"`
+	ReplayRestoreMS float64 `json:"replay_restore_ms"`
+	RestoredHeight  uint64  `json:"restored_height"`
+}
+
+func (r DurabilityRow) String() string {
+	s := fmt.Sprintf("%-12s n=%d tps=%7.1fk blocks/s=%7.0f height=%-6d wal=%6.1fMB",
+		r.Mode, r.Nodes, r.TPSk, r.BlocksPerSec, r.Height, r.WALMB)
+	if r.Mode != "memory" {
+		s += fmt.Sprintf(" restore: snapshot+suffix=%6.1fms full-replay=%7.1fms (height %d)",
+			r.SnapRestoreMS, r.ReplayRestoreMS, r.RestoredHeight)
+	}
+	return s
+}
+
+// PrintDurabilityRows renders durability rows like PrintRows.
+func PrintDurabilityRows(w io.Writer, title string, rows []DurabilityRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}
+
+// durabilityModes are the bench's four configurations, in the order
+// they appear in the output table.
+var durabilityModes = []struct {
+	name    string
+	durable bool
+	policy  wal.Policy
+}{
+	{"memory", false, wal.PolicyNone},
+	{"fsync=none", true, wal.PolicyNone},
+	{"fsync=batch", true, wal.PolicyBatch},
+	{"fsync=always", true, wal.PolicyAlways},
+}
+
+// DurabilityBench measures every durability mode. basePort spaces the
+// clusters; pass 0 for the default.
+func DurabilityBench(basePort int, d Durations) []DurabilityRow {
+	registerLiveMessages()
+	if basePort == 0 {
+		basePort = 25371
+	}
+	rows := make([]DurabilityRow, 0, len(durabilityModes))
+	for i, m := range durabilityModes {
+		rows = append(rows, durabilityPoint(m.name, m.durable, m.policy, basePort+100*i, d))
+	}
+	return rows
+}
+
+// durabilityPoint runs one live cluster under one durability mode.
+func durabilityPoint(mode string, durable bool, policy wal.Policy, basePort int, d Durations) DurabilityRow {
+	const (
+		n = 3
+		f = 1
+	)
+	scheme := crypto.ECDSAScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		p, pub := scheme.KeyPair(olSeed, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+	peers := transport.LocalPeers(n, basePort)
+
+	dir, err := os.MkdirTemp("", "achilles-durability-")
+	if err != nil {
+		panic(fmt.Sprintf("durability: tempdir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	// KeepWAL retains the full commit history past snapshot truncation
+	// so the replay row has a whole log to rebuild from; the snapshot
+	// interval is short enough that several snapshots exist by shutdown.
+	durOpts := func(id types.NodeID) ledger.DurableOptions {
+		return ledger.DurableOptions{
+			Dir:              fmt.Sprintf("%s/node-%d", dir, id),
+			Fsync:            policy,
+			SnapshotInterval: 64,
+			KeepWAL:          true,
+		}
+	}
+
+	var blocks, txs atomic.Uint64
+	reps := make([]*core.Replica, n)
+	durables := make([]*ledger.Durable, n)
+	runtimes := make([]*transport.Runtime, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		var nodeDur *ledger.Durable
+		if durable {
+			nodeDur, err = ledger.OpenDurable(durOpts(id))
+			if err != nil {
+				panic(fmt.Sprintf("durability: open node %d: %v", id, err))
+			}
+		}
+		durables[i] = nodeDur
+		var secret [32]byte
+		secret[0] = byte(id)
+		reps[i] = core.New(core.Config{
+			Config: protocol.Config{
+				Self: id, N: n, F: f,
+				BatchSize: olBatch, PayloadSize: olPayload,
+				BaseTimeout: 500 * time.Millisecond, Seed: olSeed,
+			},
+			Scheme:            scheme,
+			Ring:              ring,
+			Priv:              privs[id],
+			MachineSecret:     secret,
+			SyntheticWorkload: true,
+			Durable:           nodeDur,
+		})
+		tcfg := transport.Config{
+			Self:   id,
+			Listen: peers[id],
+			Peers:  peers,
+			Scheme: scheme,
+			Ring:   ring,
+			Priv:   privs[id],
+		}
+		if id == 0 {
+			tcfg.OnCommit = func(b *types.Block, _ *types.CommitCert) {
+				blocks.Add(1)
+				txs.Add(uint64(len(b.Txs)))
+			}
+		}
+		rt := transport.New(tcfg, reps[i])
+		if err := rt.Start(); err != nil {
+			panic(fmt.Sprintf("durability: start node %v (%s): %v", id, mode, err))
+		}
+		runtimes[i] = rt
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for blocks.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(d.Warmup)
+	b0, t0 := blocks.Load(), txs.Load()
+	start := time.Now()
+	time.Sleep(d.Window)
+	elapsed := time.Since(start)
+	db, dt := blocks.Load()-b0, txs.Load()-t0
+	for _, rt := range runtimes {
+		rt.Stop()
+	}
+
+	row := DurabilityRow{
+		Mode:         mode,
+		Nodes:        n,
+		WindowMS:     float64(elapsed.Milliseconds()),
+		TPSk:         float64(dt) / elapsed.Seconds() / 1000,
+		BlocksPerSec: float64(db) / elapsed.Seconds(),
+		Height:       uint64(reps[0].Ledger().CommittedHeight()),
+	}
+	if !durable {
+		return row
+	}
+	row.WALMB = float64(durables[0].Log().SizeBytes()) / (1 << 20)
+	for _, nd := range durables {
+		if err := nd.Close(); err != nil {
+			panic(fmt.Sprintf("durability: close (%s): %v", mode, err))
+		}
+	}
+
+	// Cold-restart node 0's directory: the production path (newest
+	// snapshot + WAL suffix) against a full replay of the same log.
+	snapMS, snapH := timeRestore(durOpts(0))
+	replayOpts := durOpts(0)
+	replayOpts.IgnoreSnapshots = true
+	replayMS, replayH := timeRestore(replayOpts)
+	if snapH != replayH {
+		panic(fmt.Sprintf("durability: snapshot restore reached height %d but full replay %d", snapH, replayH))
+	}
+	row.SnapRestoreMS = snapMS
+	row.ReplayRestoreMS = replayMS
+	row.RestoredHeight = uint64(snapH)
+	return row
+}
+
+// timeRestore measures one cold OpenDurable and reports the restored
+// tip height.
+func timeRestore(opts ledger.DurableOptions) (float64, types.Height) {
+	start := time.Now()
+	nd, err := ledger.OpenDurable(opts)
+	if err != nil {
+		panic(fmt.Sprintf("durability: cold restart: %v", err))
+	}
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	h, _ := nd.Recovered().Tip()
+	nd.Abort()
+	return ms, h
+}

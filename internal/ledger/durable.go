@@ -1,0 +1,473 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"achilles/internal/obs"
+	"achilles/internal/types"
+	"achilles/internal/wal"
+)
+
+// This file implements the durable layer under the ledger: every
+// committed block is appended to a WAL as a self-contained record, and
+// the state machine is periodically checkpointed into a snapshot file
+// so a restart replays only the WAL suffix written since. The layer is
+// strictly structural — it decodes, chains and bounds what it reads —
+// while certificate verification stays with the consensus core, which
+// refuses to adopt any restored state whose commit certificates do not
+// carry a valid quorum.
+
+// recCommit tags a WAL record holding one committed block.
+const recCommit = byte(1)
+
+// snapKeep is how many snapshot generations are retained; the WAL is
+// pruned only below the oldest retained one, so a damaged newest
+// snapshot still leaves a usable (snapshot, suffix) pair.
+const snapKeep = 2
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+// CommitRecord is one durably logged commit. CC is the commit
+// certificate that committed this block; it is carried only on the
+// last block of each commit batch (ancestors committed transitively by
+// the same certificate have it nil), mirroring how certificates
+// justify chained commits on the live path.
+type CommitRecord struct {
+	Block *types.Block
+	CC    *types.CommitCert
+}
+
+// Snapshot is a checkpoint of the committed state: the tip block, the
+// certificate that committed it, the serialized state machine, and
+// the WAL position it covers. The same encoding is written to disk
+// and chunked over the wire for catch-up past a pruning horizon.
+type Snapshot struct {
+	Height  types.Height
+	Block   *types.Block
+	CC      *types.CommitCert
+	Machine []byte
+	// WalSeq is the sequence number of the last WAL record whose
+	// effects the snapshot includes; restart replays from WalSeq+1.
+	WalSeq uint64
+}
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("ledger: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses and structurally validates a snapshot blob.
+// It checks internal consistency (block present, certificate bound to
+// the block, heights agree) but NOT certificate signatures — the
+// consensus core must verify the quorum before adopting the state.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ledger: decoding snapshot: %w", err)
+	}
+	if s.Block == nil || s.CC == nil {
+		return nil, errors.New("ledger: snapshot missing block or certificate")
+	}
+	if s.Height != s.Block.Height || s.Height == 0 {
+		return nil, fmt.Errorf("ledger: snapshot height %d disagrees with block height %d",
+			s.Height, s.Block.Height)
+	}
+	if s.CC.Hash != s.Block.Hash() {
+		return nil, errors.New("ledger: snapshot certificate does not certify its block")
+	}
+	return &s, nil
+}
+
+// Recovered is what OpenDurable reconstructed from disk.
+type Recovered struct {
+	// Snapshot is the newest intact snapshot, nil if none.
+	Snapshot *Snapshot
+	// Commits is the chained WAL suffix after the snapshot, in chain
+	// order. Records past the last one carrying a certificate are
+	// included; the core only adopts certificate-covered prefixes.
+	Commits []CommitRecord
+	// BadSnapshots counts snapshot files that failed to decode and
+	// were skipped in favor of an older generation.
+	BadSnapshots int
+	// WalInfo reports what the WAL open found and repaired.
+	WalInfo wal.OpenInfo
+}
+
+// Tip returns the height and hash of the newest restored block
+// (zero values when nothing was recovered).
+func (r *Recovered) Tip() (types.Height, types.Hash) {
+	if n := len(r.Commits); n > 0 {
+		b := r.Commits[n-1].Block
+		return b.Height, b.Hash()
+	}
+	if r.Snapshot != nil {
+		return r.Snapshot.Height, r.Snapshot.Block.Hash()
+	}
+	return 0, types.ZeroHash
+}
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Dir is the data directory (WAL segments + snapshots).
+	Dir string
+	// Fsync is the WAL flush policy.
+	Fsync wal.Policy
+	// SegmentBytes overrides the WAL segment size (0 = default).
+	SegmentBytes int64
+	// SnapshotInterval takes a snapshot every this many committed
+	// heights (0 = 512).
+	SnapshotInterval types.Height
+	// KeepWAL disables WAL pruning at snapshots, retaining the full
+	// commit history (the durability bench replays it).
+	KeepWAL bool
+	// IgnoreSnapshots makes OpenDurable rebuild purely from the WAL,
+	// as if no snapshot existed (bench: full-replay restart cost).
+	IgnoreSnapshots bool
+	// Obs, if set, registers wal_* and snapshot_* metrics.
+	Obs *obs.Registry
+}
+
+// Durable is the ledger's persistence handle: an open WAL plus
+// snapshot management. Methods are safe for concurrent use, though
+// the consensus core drives them from a single goroutine.
+type Durable struct {
+	mu       sync.Mutex
+	log      *wal.Log
+	dir      string
+	interval types.Height
+	keepWAL  bool
+
+	rec         *Recovered
+	lastSeq     uint64 // WAL seq of the newest commit record
+	snapHeight  types.Height
+	snapSeq     uint64 // WalSeq of the newest snapshot
+	prevSnapSeq uint64 // WalSeq of the previous retained snapshot
+
+	obsHeight atomic.Int64
+	obsBytes  atomic.Int64
+	obsUnix   atomic.Int64
+}
+
+// OpenDurable opens the data directory, repairs a torn WAL tail,
+// loads the newest intact snapshot and chains the WAL suffix after
+// it. Corruption of previously durable state fails with wal.ErrCorrupt.
+func OpenDurable(opts DurableOptions) (*Durable, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("ledger: DurableOptions.Dir is required")
+	}
+	interval := opts.SnapshotInterval
+	if interval == 0 {
+		interval = 512
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:          filepath.Join(opts.Dir, "wal"),
+		Policy:       opts.Fsync,
+		SegmentBytes: opts.SegmentBytes,
+		Obs:          opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{log: log, dir: opts.Dir, interval: interval, keepWAL: opts.KeepWAL}
+	d.registerMetrics(opts.Obs)
+
+	rec := &Recovered{WalInfo: log.Info()}
+	if !opts.IgnoreSnapshots {
+		rec.Snapshot, rec.BadSnapshots, err = loadNewestSnapshot(opts.Dir)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	from := uint64(1)
+	base := types.GenesisBlock()
+	if rec.Snapshot != nil {
+		from = rec.Snapshot.WalSeq + 1
+		base = rec.Snapshot.Block
+		d.snapHeight = rec.Snapshot.Height
+		d.snapSeq = rec.Snapshot.WalSeq
+		d.obsHeight.Store(int64(rec.Snapshot.Height))
+	}
+	tip := base
+	err = log.Replay(from, func(seq uint64, payload []byte) error {
+		cr, derr := decodeCommitRecord(payload)
+		if derr != nil {
+			return fmt.Errorf("%w: WAL seq %d: %v", wal.ErrCorrupt, seq, derr)
+		}
+		if cr.Block.Height <= tip.Height {
+			// Records overlapping the snapshot's coverage (written
+			// before an installed snapshot advanced the tip) are stale.
+			return nil
+		}
+		if cr.Block.Parent != tip.Hash() || cr.Block.Height != tip.Height+1 {
+			return fmt.Errorf("%w: WAL seq %d: block %d does not chain from restored tip %d",
+				wal.ErrCorrupt, seq, cr.Block.Height, tip.Height)
+		}
+		tip = cr.Block
+		rec.Commits = append(rec.Commits, cr)
+		d.lastSeq = seq
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if d.lastSeq == 0 {
+		d.lastSeq = log.LastSeq()
+	}
+	d.rec = rec
+	return d, nil
+}
+
+// Recovered returns what OpenDurable reconstructed.
+func (d *Durable) Recovered() *Recovered {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rec
+}
+
+// AppendCommit durably logs one committed block. cc must be set on
+// the final block of each commit batch and nil on its ancestors.
+func (d *Durable) AppendCommit(b *types.Block, cc *types.CommitCert) error {
+	payload, err := encodeCommitRecord(CommitRecord{Block: b, CC: cc})
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seq, err := d.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	d.lastSeq = seq
+	return nil
+}
+
+// MaybeSnapshot checkpoints (head, cc, machine()) if at least the
+// configured interval of heights has passed since the last snapshot.
+// Returns whether a snapshot was written.
+func (d *Durable) MaybeSnapshot(head *types.Block, cc *types.CommitCert, machine func() []byte) (bool, error) {
+	d.mu.Lock()
+	due := head != nil && cc != nil && head.Height >= d.snapHeight+d.interval
+	d.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	if err := d.WriteSnapshot(head, cc, machine()); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// WriteSnapshot checkpoints the given committed tip unconditionally.
+// The WAL is synced first so the snapshot never claims coverage of
+// records that could still be torn away by a crash.
+func (d *Durable) WriteSnapshot(head *types.Block, cc *types.CommitCert, machine []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	s := &Snapshot{Height: head.Height, Block: head, CC: cc, Machine: machine, WalSeq: d.lastSeq}
+	return d.installLocked(s)
+}
+
+// InstallSnapshot persists a remotely transferred (and already
+// verified) snapshot. Local WAL records become stale — the snapshot
+// claims coverage of everything logged so far, so a restart restores
+// from it and replays only records appended afterwards.
+func (d *Durable) InstallSnapshot(s *Snapshot) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	cp := *s
+	cp.WalSeq = d.lastSeq
+	return d.installLocked(&cp)
+}
+
+func (d *Durable) installLocked(s *Snapshot) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s%016x%s", snapPrefix, uint64(s.Height), snapSuffix)
+	tmp := filepath.Join(d.dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if f, err := os.Open(tmp); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	d.prevSnapSeq, d.snapSeq = d.snapSeq, s.WalSeq
+	d.snapHeight = s.Height
+	d.obsHeight.Store(int64(s.Height))
+	d.obsBytes.Store(int64(len(data)))
+	d.obsUnix.Store(time.Now().Unix())
+	d.gcLocked()
+	if !d.keepWAL {
+		// Keep the WAL back to the previous retained snapshot so a
+		// damaged newest snapshot still leaves a recoverable pair.
+		if err := d.log.TruncateBefore(d.prevSnapSeq + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gcLocked removes snapshot generations beyond snapKeep.
+func (d *Durable) gcLocked() {
+	names, _ := listSnapshots(d.dir)
+	for i := 0; i+snapKeep < len(names); i++ {
+		os.Remove(filepath.Join(d.dir, names[i]))
+	}
+}
+
+// Sync flushes the WAL to stable storage.
+func (d *Durable) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Sync()
+}
+
+// Close flushes and closes the WAL.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Close()
+}
+
+// Abort drops the durable layer without flushing — the crash-test
+// equivalent of kill -9.
+func (d *Durable) Abort() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log.Abort()
+}
+
+// Log exposes the underlying WAL (tests and fault injection).
+func (d *Durable) Log() *wal.Log { return d.log }
+
+// WALDir returns the WAL directory under the data dir.
+func (d *Durable) WALDir() string { return d.log.Dir() }
+
+// SnapshotHeight returns the height of the newest snapshot.
+func (d *Durable) SnapshotHeight() types.Height {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapHeight
+}
+
+func (d *Durable) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("snapshot_height", "Height of the newest state snapshot.", obs.KindGauge,
+		func() []obs.Sample { return []obs.Sample{{Value: float64(d.obsHeight.Load())}} })
+	reg.Func("snapshot_bytes", "Encoded size of the newest state snapshot.", obs.KindGauge,
+		func() []obs.Sample { return []obs.Sample{{Value: float64(d.obsBytes.Load())}} })
+	reg.Func("snapshot_age_seconds", "Seconds since the newest snapshot was written.", obs.KindGauge,
+		func() []obs.Sample {
+			at := d.obsUnix.Load()
+			if at == 0 {
+				return []obs.Sample{{Value: -1}}
+			}
+			return []obs.Sample{{Value: float64(time.Now().Unix() - at)}}
+		})
+}
+
+func encodeCommitRecord(cr CommitRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(recCommit)
+	if err := gob.NewEncoder(&buf).Encode(&cr); err != nil {
+		return nil, fmt.Errorf("ledger: encoding commit record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCommitRecord(payload []byte) (CommitRecord, error) {
+	var cr CommitRecord
+	if len(payload) == 0 || payload[0] != recCommit {
+		return cr, errors.New("unknown record kind")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&cr); err != nil {
+		return cr, err
+	}
+	if cr.Block == nil {
+		return cr, errors.New("commit record without block")
+	}
+	if cr.CC != nil && cr.CC.Hash != cr.Block.Hash() {
+		return cr, errors.New("commit record certificate does not certify its block")
+	}
+	return cr, nil
+}
+
+// loadNewestSnapshot returns the newest snapshot that decodes, along
+// with how many newer generations were skipped as unreadable.
+func loadNewestSnapshot(dir string) (*Snapshot, int, error) {
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	bad := 0
+	for i := len(names) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(filepath.Join(dir, names[i]))
+		if rerr != nil {
+			bad++
+			continue
+		}
+		s, derr := DecodeSnapshot(data)
+		if derr != nil {
+			bad++
+			continue
+		}
+		return s, bad, nil
+	}
+	return nil, bad, nil
+}
+
+func listSnapshots(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !strings.HasPrefix(n, snapPrefix) || !strings.HasSuffix(n, snapSuffix) || e.IsDir() {
+			continue
+		}
+		if _, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, snapPrefix), snapSuffix), 16, 64); perr != nil {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}

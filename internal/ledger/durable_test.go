@@ -1,0 +1,315 @@
+package ledger
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"achilles/internal/types"
+	"achilles/internal/wal"
+)
+
+// durableChain builds a linear committed chain with a certificate on
+// every block (each "batch" is a single block here).
+func durableChain(n int) ([]*types.Block, []*types.CommitCert) {
+	parent := types.GenesisBlock()
+	blocks := make([]*types.Block, 0, n)
+	certs := make([]*types.CommitCert, 0, n)
+	for i := 0; i < n; i++ {
+		b := &types.Block{
+			Txs:    []types.Transaction{{Client: 9, Seq: uint32(i), Payload: []byte{byte(i)}}},
+			Op:     []byte{byte(i), 0xaa},
+			Parent: parent.Hash(),
+			View:   types.View(i + 1),
+			Height: parent.Height + 1,
+		}
+		blocks = append(blocks, b)
+		certs = append(certs, &types.CommitCert{
+			Hash: b.Hash(), View: b.View, Signers: []types.NodeID{0, 1}, Sigs: make([]types.Signature, 2),
+		})
+		parent = b
+	}
+	return blocks, certs
+}
+
+func appendChain(t *testing.T, d *Durable, blocks []*types.Block, certs []*types.CommitCert) {
+	t.Helper()
+	for i, b := range blocks {
+		if err := d.AppendCommit(b, certs[i]); err != nil {
+			t.Fatalf("AppendCommit %d: %v", i, err)
+		}
+	}
+}
+
+func TestDurableRestartFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{Dir: dir, Fsync: wal.PolicyAlways})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	blocks, certs := durableChain(7)
+	appendChain(t, d, blocks, certs)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2, err := OpenDurable(DurableOptions{Dir: dir, Fsync: wal.PolicyAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovered()
+	if rec.Snapshot != nil {
+		t.Fatal("unexpected snapshot")
+	}
+	if len(rec.Commits) != 7 {
+		t.Fatalf("recovered %d commits, want 7", len(rec.Commits))
+	}
+	h, hash := rec.Tip()
+	if h != 7 || hash != blocks[6].Hash() {
+		t.Fatalf("tip = (%d, %v), want (7, %v)", h, hash, blocks[6].Hash())
+	}
+	for i, cr := range rec.Commits {
+		if cr.Block.Hash() != blocks[i].Hash() || cr.CC == nil || cr.CC.Hash != blocks[i].Hash() {
+			t.Fatalf("commit %d does not round-trip", i)
+		}
+	}
+}
+
+func TestDurableSnapshotPlusSuffix(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{Dir: dir, Fsync: wal.PolicyAlways, SnapshotInterval: 5})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	blocks, certs := durableChain(12)
+	var snaps int
+	for i := range blocks {
+		if err := d.AppendCommit(blocks[i], certs[i]); err != nil {
+			t.Fatal(err)
+		}
+		wrote, err := d.MaybeSnapshot(blocks[i], certs[i], func() []byte { return []byte("machine") })
+		if err != nil {
+			t.Fatalf("MaybeSnapshot: %v", err)
+		}
+		if wrote {
+			snaps++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("wrote %d snapshots, want 2 (heights 5 and 10)", snaps)
+	}
+	if d.SnapshotHeight() != 10 {
+		t.Fatalf("SnapshotHeight = %d", d.SnapshotHeight())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(DurableOptions{Dir: dir, Fsync: wal.PolicyAlways, SnapshotInterval: 5})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovered()
+	if rec.Snapshot == nil || rec.Snapshot.Height != 10 {
+		t.Fatalf("snapshot = %+v, want height 10", rec.Snapshot)
+	}
+	if string(rec.Snapshot.Machine) != "machine" {
+		t.Fatalf("machine state lost: %q", rec.Snapshot.Machine)
+	}
+	if len(rec.Commits) != 2 {
+		t.Fatalf("suffix has %d commits, want 2 (heights 11, 12)", len(rec.Commits))
+	}
+	if h, hash := rec.Tip(); h != 12 || hash != blocks[11].Hash() {
+		t.Fatalf("tip = (%d, %v)", h, hash)
+	}
+}
+
+func TestDurableIgnoreSnapshotsReplaysAll(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{
+		Dir: dir, Fsync: wal.PolicyAlways, SnapshotInterval: 4, KeepWAL: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, certs := durableChain(10)
+	for i := range blocks {
+		if err := d.AppendCommit(blocks[i], certs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.MaybeSnapshot(blocks[i], certs[i], func() []byte { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(DurableOptions{Dir: dir, IgnoreSnapshots: true, KeepWAL: true})
+	if err != nil {
+		t.Fatalf("reopen ignoring snapshots: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovered()
+	if rec.Snapshot != nil || len(rec.Commits) != 10 {
+		t.Fatalf("full replay got snapshot=%v commits=%d, want nil/10", rec.Snapshot, len(rec.Commits))
+	}
+}
+
+func TestDurableCorruptNewestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{Dir: dir, Fsync: wal.PolicyAlways, SnapshotInterval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, certs := durableChain(9)
+	for i := range blocks {
+		if err := d.AppendCommit(blocks[i], certs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.MaybeSnapshot(blocks[i], certs[i], func() []byte { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the newest snapshot (height 8); the height-4 generation
+	// plus the retained WAL suffix must still restore the full chain.
+	names, err := listSnapshots(dir)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("snapshots on disk: %v (%v)", names, err)
+	}
+	if err := corruptFile(dir, names[1]); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(DurableOptions{Dir: dir, SnapshotInterval: 4})
+	if err != nil {
+		t.Fatalf("reopen with damaged newest snapshot: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovered()
+	if rec.BadSnapshots != 1 {
+		t.Fatalf("BadSnapshots = %d, want 1", rec.BadSnapshots)
+	}
+	if rec.Snapshot == nil || rec.Snapshot.Height != 4 {
+		t.Fatalf("fallback snapshot = %+v, want height 4", rec.Snapshot)
+	}
+	if h, _ := rec.Tip(); h != 9 {
+		t.Fatalf("tip height = %d, want 9 (suffix replayed)", h)
+	}
+}
+
+func TestDurableBitFlipInWALIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{Dir: dir, Fsync: wal.PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, certs := durableChain(6)
+	appendChain(t, d, blocks, certs)
+	d.Abort()
+	inj := wal.NewInjector(11)
+	if _, err := inj.FlipBit(d.WALDir()); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if err := inj.RemoveIndex(d.WALDir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(DurableOptions{Dir: dir}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("reopen after bit flip: err=%v, want wal.ErrCorrupt", err)
+	}
+}
+
+func TestDurableTornFinalCommitDropped(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{Dir: dir, Fsync: wal.PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, certs := durableChain(5)
+	appendChain(t, d, blocks, certs)
+	d.Abort()
+	if _, err := wal.NewInjector(13).TearFinalRecord(d.WALDir()); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovered()
+	if len(rec.Commits) != 4 {
+		t.Fatalf("recovered %d commits, want 4 (torn fifth dropped)", len(rec.Commits))
+	}
+	if rec.WalInfo.TornBytes == 0 {
+		t.Fatal("WalInfo does not report the torn tail")
+	}
+}
+
+func TestSnapshotDecodeRejectsInconsistency(t *testing.T) {
+	blocks, certs := durableChain(2)
+	good := &Snapshot{Height: 2, Block: blocks[1], CC: certs[1], WalSeq: 2}
+	data, err := good.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(data); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	for _, s := range []*Snapshot{
+		{Height: 2, Block: blocks[1], CC: certs[0], WalSeq: 2}, // cert of another block
+		{Height: 1, Block: blocks[1], CC: certs[1], WalSeq: 2}, // height mismatch
+		{Height: 2, Block: nil, CC: certs[1], WalSeq: 2},       // no block
+		{Height: 2, Block: blocks[1], CC: nil, WalSeq: 2},      // no cert
+	} {
+		data, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSnapshot(data); err == nil {
+			t.Fatalf("inconsistent snapshot %+v accepted", s)
+		}
+	}
+	if _, err := DecodeSnapshot([]byte("junk")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	s := NewStore()
+	blocks, _ := durableChain(4)
+	if err := s.Bootstrap(blocks[3]); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if s.CommittedHeight() != 4 || !s.IsCommitted(blocks[3].Hash()) {
+		t.Fatalf("bootstrap did not install the head")
+	}
+	// Ancestry walks terminate at the bootstrapped block.
+	child := &types.Block{Parent: blocks[3].Hash(), Height: 5, View: 9}
+	s.Add(child)
+	if ok, _ := s.HasAncestry(child.Hash()); !ok {
+		t.Fatal("ancestry does not terminate at bootstrapped head")
+	}
+	if _, err := s.Commit(child.Hash()); err != nil {
+		t.Fatalf("commit above bootstrapped head: %v", err)
+	}
+	// Never backwards.
+	if err := s.Bootstrap(blocks[0]); err == nil {
+		t.Fatal("Bootstrap accepted a head below the committed tip")
+	}
+}
+
+func corruptFile(dir, name string) error {
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for i := range data {
+		data[i] ^= 0x5a
+	}
+	return os.WriteFile(path, data, 0o644)
+}

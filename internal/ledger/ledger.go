@@ -146,6 +146,27 @@ func (s *Store) Commit(h types.Hash) ([]*types.Block, error) {
 	return path, nil
 }
 
+// Bootstrap installs head as the committed tip without requiring its
+// ancestry: the caller vouches for it with a verified commit
+// certificate (snapshot restore and snapshot transfer). It refuses to
+// move the committed chain backwards. Ancestry walks terminate at the
+// bootstrapped block exactly as they terminate at any committed
+// marker, so later commits chain off it normally; blocks below it are
+// simply past this node's horizon.
+func (s *Store) Bootstrap(head *types.Block) error {
+	if head == nil {
+		return errors.New("ledger: bootstrap with nil head")
+	}
+	if head.Height <= s.head.Height {
+		return fmt.Errorf("%w: bootstrap height %d at or below committed head %d",
+			ErrConflict, head.Height, s.head.Height)
+	}
+	s.Add(head)
+	s.committed[head.Hash()] = true
+	s.head = head
+	return nil
+}
+
 // PruneBefore drops block bodies strictly below height keep that are
 // already committed, bounding memory in long runs. Certificate
 // verification never needs pruned bodies again.

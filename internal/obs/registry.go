@@ -115,6 +115,13 @@ var DefLatencyBuckets = []float64{
 	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
 }
 
+// DefFsyncBuckets are histogram bounds for storage-flush latencies in
+// seconds (20µs .. 1s): fsyncs on local disks sit one to two orders of
+// magnitude below the network latencies DefLatencyBuckets resolves.
+var DefFsyncBuckets = []float64{
+	.00002, .00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, 1,
+}
+
 // histogramReservoir bounds the raw-sample ring kept per histogram for
 // p50/p99 estimation in JSON snapshots.
 const histogramReservoir = 512

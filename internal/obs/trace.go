@@ -14,6 +14,7 @@ const (
 	TraceViewChange    = "view-change"
 	TraceNewView       = "new-view"
 	TraceBlockSync     = "block-sync"
+	TraceSnapshot      = "snapshot"
 	TraceRecoveryStart = "recovery-start"
 	TraceRecoveryReply = "recovery-reply"
 	TraceRecoveryDone  = "recovery-done"

@@ -7,6 +7,8 @@ package statemachine
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
+	"sort"
 	"time"
 
 	"achilles/internal/types"
@@ -19,6 +21,14 @@ type Machine interface {
 	// must be deterministic: every correct node obtains identical op
 	// bytes for identical inputs.
 	Execute(parentOp []byte, txs []types.Transaction) []byte
+	// Snapshot serializes the machine's application state. The
+	// encoding must be deterministic (identical states produce
+	// identical bytes) so snapshots can be integrity-checked across
+	// nodes. Stateless machines return nil.
+	Snapshot() []byte
+	// Restore replaces the machine's state with a previously taken
+	// Snapshot. A nil snapshot resets to the initial state.
+	Restore(snap []byte) error
 }
 
 // DigestMachine is the default machine used by the consensus
@@ -55,6 +65,14 @@ func (m *DigestMachine) Execute(parentOp []byte, txs []types.Transaction) []byte
 	}
 	return h.Sum(nil)
 }
+
+// Snapshot implements Machine. The digest machine keeps no state of
+// its own — the op digest lives in the blocks — so its snapshot is
+// empty.
+func (m *DigestMachine) Snapshot() []byte { return nil }
+
+// Restore implements Machine.
+func (m *DigestMachine) Restore(snap []byte) error { return nil }
 
 // KVMachine is a replicated key-value store used by the examples: a
 // realistic application on top of the consensus API. Commands are
@@ -110,6 +128,63 @@ func (m *KVMachine) Execute(parentOp []byte, txs []types.Transaction) []byte {
 // Apply applies a single committed command to the store. Replication
 // layers call it from their commit callbacks (apply-at-commit SMR).
 func (m *KVMachine) Apply(cmd []byte) { m.apply(cmd) }
+
+// Snapshot implements Machine: keys in sorted order, each key and
+// value length-prefixed with a uvarint, preceded by the entry count.
+// Sorting makes the encoding canonical.
+func (m *KVMachine) Snapshot() []byte {
+	keys := make([]string, 0, len(m.state))
+	for k := range m.state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		v := m.state[k]
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// Restore implements Machine.
+func (m *KVMachine) Restore(snap []byte) error {
+	state := make(map[string]string)
+	if len(snap) > 0 {
+		n, used := binary.Uvarint(snap)
+		if used <= 0 {
+			return errors.New("statemachine: bad kv snapshot header")
+		}
+		rest := snap[used:]
+		for i := uint64(0); i < n; i++ {
+			var k, v string
+			var err error
+			if k, rest, err = readLenPrefixed(rest); err != nil {
+				return err
+			}
+			if v, rest, err = readLenPrefixed(rest); err != nil {
+				return err
+			}
+			state[k] = v
+		}
+		if len(rest) != 0 {
+			return errors.New("statemachine: trailing bytes in kv snapshot")
+		}
+	}
+	m.state = state
+	return nil
+}
+
+func readLenPrefixed(b []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 || uint64(len(b)-used) < n {
+		return "", nil, errors.New("statemachine: truncated kv snapshot")
+	}
+	return string(b[used : used+int(n)]), b[used+int(n):], nil
+}
 
 func (m *KVMachine) apply(cmd []byte) {
 	if len(cmd) == 0 {

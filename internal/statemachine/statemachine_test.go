@@ -121,3 +121,63 @@ func TestKVCommandEncoding(t *testing.T) {
 		t.Fatalf("value with '=' mangled: %q", v)
 	}
 }
+
+func TestKVSnapshotRestoreRoundTrip(t *testing.T) {
+	m := NewKVMachine(nil)
+	m.Apply(SetCommand("a", "1"))
+	m.Apply(SetCommand("b", "x=y"))
+	m.Apply(SetCommand("dead", "gone"))
+	m.Apply(DeleteCommand("dead"))
+	snap := m.Snapshot()
+
+	r := NewKVMachine(nil)
+	r.Apply(SetCommand("stale", "junk"))
+	if err := r.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if r.Size() != 2 {
+		t.Fatalf("restored %d keys, want 2", r.Size())
+	}
+	if v, _ := r.Get("b"); v != "x=y" {
+		t.Fatalf("restored b = %q", v)
+	}
+	if _, ok := r.Get("stale"); ok {
+		t.Fatal("Restore kept pre-existing state")
+	}
+	if !bytes.Equal(r.Snapshot(), snap) {
+		t.Fatal("snapshot encoding is not canonical across restore")
+	}
+}
+
+func TestKVSnapshotDeterministicOrder(t *testing.T) {
+	a, b := NewKVMachine(nil), NewKVMachine(nil)
+	a.Apply(SetCommand("k1", "v1"))
+	a.Apply(SetCommand("k2", "v2"))
+	b.Apply(SetCommand("k2", "v2"))
+	b.Apply(SetCommand("k1", "v1"))
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("snapshot depends on insertion order")
+	}
+}
+
+func TestKVRestoreRejectsGarbage(t *testing.T) {
+	m := NewKVMachine(nil)
+	for _, bad := range [][]byte{{0xff}, {2, 1, 'a'}, append(NewKVMachine(nil).Snapshot(), 'x')} {
+		if err := m.Restore(bad); err == nil {
+			t.Fatalf("Restore accepted garbage %v", bad)
+		}
+	}
+	if err := m.Restore(nil); err != nil {
+		t.Fatalf("Restore(nil): %v", err)
+	}
+}
+
+func TestDigestMachineSnapshotStateless(t *testing.T) {
+	m := NewDigestMachine(nil, 0)
+	if m.Snapshot() != nil {
+		t.Fatal("digest machine snapshot not empty")
+	}
+	if err := m.Restore([]byte("anything")); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+}

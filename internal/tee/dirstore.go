@@ -1,0 +1,70 @@
+package tee
+
+import (
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// DirStore is an on-disk SealedStore: one file per blob name under a
+// directory, written atomically (tmp + rename) so a crash mid-Put
+// leaves either the old version or the new one, never a torn file.
+// It is the live node's default store (under -data-dir), giving sealed
+// state — e.g. the durable marker — the same lifetime as the WAL.
+//
+// Like every SealedStore it is untrusted storage: the interface has no
+// error returns because the adversary (the OS) may drop or roll back
+// writes anyway, and all consumers already tolerate Get returning
+// stale data or nothing. I/O failures are therefore swallowed but
+// counted, so the host can still surface a broken disk.
+type DirStore struct {
+	dir  string
+	errs atomic.Uint64
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path maps a blob name to a file path. Names are escaped so callers
+// may use arbitrary strings without traversal or separator issues.
+func (s *DirStore) path(name string) string {
+	return filepath.Join(s.dir, url.PathEscape(name)+".sealed")
+}
+
+// Put implements SealedStore.
+func (s *DirStore) Put(name string, sealed []byte) {
+	p := s.path(name)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, sealed, 0o600); err != nil {
+		s.errs.Add(1)
+		return
+	}
+	if f, err := os.Open(tmp); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		s.errs.Add(1)
+	}
+}
+
+// Get implements SealedStore.
+func (s *DirStore) Get(name string) []byte {
+	data, err := os.ReadFile(s.path(name))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// Errors returns how many Put operations failed on I/O.
+func (s *DirStore) Errors() uint64 { return s.errs.Load() }
+
+// Dir returns the backing directory.
+func (s *DirStore) Dir() string { return s.dir }

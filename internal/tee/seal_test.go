@@ -1,0 +1,139 @@
+package tee
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"achilles/internal/types"
+)
+
+func testMeasurement(tag string) Measurement {
+	return Measurement(types.HashBytes([]byte(tag)))
+}
+
+func TestSealerRoundTrip(t *testing.T) {
+	var secret [32]byte
+	secret[0] = 7
+	s := NewSealer(secret, testMeasurement("m"))
+	blob := []byte("checker state v1")
+	sealed := s.Seal(blob)
+	got, ok := s.Unseal(sealed)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("round trip failed: ok=%v got=%q", ok, got)
+	}
+}
+
+func TestSealerRejectsTruncated(t *testing.T) {
+	var secret [32]byte
+	s := NewSealer(secret, testMeasurement("m"))
+	sealed := s.Seal([]byte("some sealed state"))
+	for _, n := range []int{0, 1, len(sealed) / 2, len(sealed) - 1} {
+		if _, ok := s.Unseal(sealed[:n]); ok {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestSealerRejectsBitFlips(t *testing.T) {
+	var secret [32]byte
+	s := NewSealer(secret, testMeasurement("m"))
+	sealed := s.Seal([]byte("some sealed state"))
+	// Flip one bit at a time across the whole blob — nonce, ciphertext
+	// and tag alike; GCM must reject every variant.
+	for i := range sealed {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 1 << uint(i%8)
+		if _, ok := s.Unseal(tampered); ok {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestSealerRejectsWrongMeasurementAndMachine(t *testing.T) {
+	var secretA, secretB [32]byte
+	secretA[0], secretB[0] = 1, 2
+	sealer := NewSealer(secretA, testMeasurement("enclave-a"))
+	sealed := sealer.Seal([]byte("bound to enclave-a on machine-a"))
+	// Different enclave code on the same machine.
+	if _, ok := NewSealer(secretA, testMeasurement("enclave-b")).Unseal(sealed); ok {
+		t.Fatal("different measurement unsealed the blob")
+	}
+	// Same enclave code on a different machine.
+	if _, ok := NewSealer(secretB, testMeasurement("enclave-a")).Unseal(sealed); ok {
+		t.Fatal("different machine secret unsealed the blob")
+	}
+	// The original identity still can.
+	if _, ok := NewSealer(secretA, testMeasurement("enclave-a")).Unseal(sealed); !ok {
+		t.Fatal("matching sealer failed to unseal")
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(filepath.Join(dir, "sealed"))
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	if got := st.Get("missing"); got != nil {
+		t.Fatalf("Get on empty store = %q", got)
+	}
+	st.Put("achilles-durable-marker", []byte("v1"))
+	st.Put("weird/name with spaces", []byte("v2"))
+	if got := st.Get("achilles-durable-marker"); !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("Get = %q", got)
+	}
+	if got := st.Get("weird/name with spaces"); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("escaped name Get = %q", got)
+	}
+	// Overwrite serves the latest version.
+	st.Put("achilles-durable-marker", []byte("v3"))
+	if got := st.Get("achilles-durable-marker"); !bytes.Equal(got, []byte("v3")) {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	// A second store over the same directory sees everything — the
+	// reboot-survival property the live node depends on.
+	st2, err := NewDirStore(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Get("achilles-durable-marker"); !bytes.Equal(got, []byte("v3")) {
+		t.Fatalf("reopened store Get = %q", got)
+	}
+	if st.Errors() != 0 {
+		t.Fatalf("Errors = %d", st.Errors())
+	}
+}
+
+func TestDirStoreBacksEnclaveSealing(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var secret [32]byte
+	secret[0] = 9
+	cfg := Config{Measurement: testMeasurement("m"), MachineSecret: secret, Store: st, Disabled: true}
+	e := New(cfg)
+	e.Seal("state", []byte("incarnation 1"))
+
+	// A rebooted enclave (same code, same machine) over the same
+	// directory unseals what the previous incarnation sealed.
+	e2 := New(cfg)
+	got, ok := e2.Unseal("state")
+	if !ok || !bytes.Equal(got, []byte("incarnation 1")) {
+		t.Fatalf("reboot unseal: ok=%v got=%q", ok, got)
+	}
+
+	// On-disk tampering is detected.
+	raw := st.Get("state")
+	raw[len(raw)-1] ^= 0xff
+	st.Put("state", raw)
+	if _, ok := e2.Unseal("state"); ok {
+		t.Fatal("tampered on-disk blob unsealed")
+	}
+	_, _, fails := e2.SealStats()
+	if fails == 0 {
+		t.Fatal("unseal failure not counted")
+	}
+}

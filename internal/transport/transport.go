@@ -88,6 +88,9 @@ func init() {
 		&types.ClientRetry{},
 		&types.BlockRequest{},
 		&types.BlockResponse{},
+		&types.BlockUnavailable{},
+		&types.SnapshotRequest{},
+		&types.SnapshotChunk{},
 	)
 }
 
@@ -222,7 +225,7 @@ type Runtime struct {
 
 	start    time.Time
 	events   chan func()
-	bulk     chan func() // client-lane steps; drained only when events is empty
+	bulk     chan func()   // client-lane steps; drained only when events is empty
 	stopping chan struct{} // soft stop: writers drain their queues
 	done     chan struct{} // hard stop: event loop and readers exit
 	closing  sync.Once

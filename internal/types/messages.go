@@ -121,6 +121,56 @@ func (*BlockResponse) Type() string { return "block-response" }
 // Size implements Message.
 func (m *BlockResponse) Size() int { return m.Block.WireSize() }
 
+// BlockUnavailable answers a BlockRequest whose block body was pruned.
+// PastHorizon marks the typed "past pruning horizon" case: the block
+// is committed but its body is gone, so the requester cannot block-sync
+// through it and must fetch a snapshot instead (Height tells it how far
+// ahead the responder's committed chain is).
+type BlockUnavailable struct {
+	Hash        Hash
+	PastHorizon bool
+	Height      Height
+	From        NodeID
+}
+
+// Type implements Message.
+func (*BlockUnavailable) Type() string { return "block-unavailable" }
+
+// Size implements Message.
+func (m *BlockUnavailable) Size() int { return 32 + 1 + 8 + 4 }
+
+// SnapshotRequest asks a peer for a snapshot of its committed state:
+// the tip block, the commit certificate proving it, and the serialized
+// state machine, chunked into SnapshotChunk frames.
+type SnapshotRequest struct {
+	From NodeID
+}
+
+// Type implements Message.
+func (*SnapshotRequest) Type() string { return "snapshot-request" }
+
+// Size implements Message.
+func (m *SnapshotRequest) Size() int { return 4 }
+
+// SnapshotChunk carries one chunk of an encoded ledger snapshot.
+// Hash names the snapshot's tip block so interleaved transfers from
+// different heights cannot be spliced together; Index/Total sequence
+// the chunks.
+type SnapshotChunk struct {
+	Hash   Hash
+	Height Height
+	Total  uint32
+	Index  uint32
+	Data   []byte
+	From   NodeID
+}
+
+// Type implements Message.
+func (*SnapshotChunk) Type() string { return "snapshot-chunk" }
+
+// Size implements Message.
+func (m *SnapshotChunk) Size() int { return 32 + 8 + 4 + 4 + len(m.Data) + 4 }
+
 // TimerID identifies a pending timer; protocols typically encode the
 // view the timer belongs to so stale firings can be ignored.
 type TimerID struct {
@@ -139,6 +189,9 @@ const (
 	TimerRecoveryRetry
 	// TimerClientTick paces open-loop client workload generation.
 	TimerClientTick
+	// TimerSnapshotRetry fires when a snapshot transfer stalled and the
+	// fetcher should retry from the next peer.
+	TimerSnapshotRetry
 	// TimerProtocolBase is the first protocol-private timer kind.
 	TimerProtocolBase
 )

@@ -42,6 +42,11 @@ const (
 	MaxWireOp = 1 << 20
 	// MaxWireTxKeys bounds the transaction keys in one client reply.
 	MaxWireTxKeys = 1 << 16
+	// MaxWireSnapChunk bounds one snapshot-transfer chunk's data.
+	MaxWireSnapChunk = 1 << 20
+	// MaxWireSnapChunks bounds the chunk count of one snapshot
+	// transfer (together with MaxWireSnapChunk: 1 GiB of snapshot).
+	MaxWireSnapChunks = 1 << 10
 )
 
 // WireValidator is implemented by messages (and their nested
@@ -246,4 +251,43 @@ func (m *BlockResponse) ValidateWire() error {
 		return wireErr("block response: missing block")
 	}
 	return m.Block.ValidateWire()
+}
+
+// ValidateWire implements WireValidator.
+func (m *BlockUnavailable) ValidateWire() error {
+	if m == nil {
+		return wireErr("block unavailable: nil")
+	}
+	if m.PastHorizon && m.Height == 0 {
+		return wireErr("block unavailable: past horizon at height 0")
+	}
+	return checkSigner("block unavailable", m.From)
+}
+
+// ValidateWire implements WireValidator.
+func (m *SnapshotRequest) ValidateWire() error {
+	if m == nil {
+		return wireErr("snapshot request: nil")
+	}
+	return checkSigner("snapshot request", m.From)
+}
+
+// ValidateWire implements WireValidator.
+func (m *SnapshotChunk) ValidateWire() error {
+	if m == nil {
+		return wireErr("snapshot chunk: nil")
+	}
+	if m.Total == 0 || m.Total > MaxWireSnapChunks {
+		return wireErr("snapshot chunk: %d chunks (max %d)", m.Total, MaxWireSnapChunks)
+	}
+	if m.Index >= m.Total {
+		return wireErr("snapshot chunk: index %d of %d", m.Index, m.Total)
+	}
+	if len(m.Data) > MaxWireSnapChunk {
+		return wireErr("snapshot chunk: %d data bytes (max %d)", len(m.Data), MaxWireSnapChunk)
+	}
+	if m.Height == 0 {
+		return wireErr("snapshot chunk: height 0")
+	}
+	return checkSigner("snapshot chunk", m.From)
 }

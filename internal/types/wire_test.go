@@ -24,6 +24,9 @@ func TestValidateWireAcceptsWellFormed(t *testing.T) {
 		&ClientReply{Block: h, From: 1},
 		&BlockRequest{Hash: h, From: 0},
 		&BlockResponse{Block: GenesisBlock()},
+		&BlockUnavailable{Hash: h, PastHorizon: true, Height: 7, From: 2},
+		&SnapshotRequest{From: 1},
+		&SnapshotChunk{Hash: h, Height: 7, Total: 4, Index: 3, Data: []byte("chunk"), From: 2},
 	}
 	for _, v := range ok {
 		if err := v.ValidateWire(); err != nil {
@@ -54,6 +57,15 @@ func TestValidateWireRejectsMalformed(t *testing.T) {
 		{"implausible proposer", &Block{Proposer: -2}},
 		{"empty client batch", &ClientRequest{}},
 		{"block response without block", &BlockResponse{}},
+		{"past horizon at height 0", &BlockUnavailable{Hash: h, PastHorizon: true, From: 0}},
+		{"block unavailable bad signer", &BlockUnavailable{Hash: h, From: -1}},
+		{"snapshot request bad signer", &SnapshotRequest{From: -1}},
+		{"snapshot chunk zero total", &SnapshotChunk{Hash: h, Height: 1, Index: 0, From: 0}},
+		{"snapshot chunk index out of range", &SnapshotChunk{Hash: h, Height: 1, Total: 2, Index: 2, From: 0}},
+		{"snapshot chunk too many chunks", &SnapshotChunk{Hash: h, Height: 1, Total: MaxWireSnapChunks + 1, From: 0}},
+		{"snapshot chunk oversized data", &SnapshotChunk{Hash: h, Height: 1, Total: 1,
+			Data: make([]byte, MaxWireSnapChunk+1), From: 0}},
+		{"snapshot chunk height 0", &SnapshotChunk{Hash: h, Total: 1, From: 0}},
 	}
 	for _, tc := range bad {
 		err := tc.v.ValidateWire()

@@ -1,0 +1,161 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Injector is a seeded crash-fault injector for WAL directories,
+// modeled after internal/netchaos: every fault it mounts is a
+// deterministic function of the seed, so a failing soak prints a
+// reproducer. It covers the four storage failure modes the recovery
+// path must survive or detect: a process killed mid-append, a torn
+// final record, a bit-flipped (silently corrupted) committed record,
+// and a deleted segment index.
+type Injector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewInjector returns an injector with the given seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// KillMidAppend arms l so that its next Append persists only a random
+// prefix of the frame and then fails with ErrInjectedCrash — the
+// storage-level equivalent of kill -9 between write() and fsync().
+func (in *Injector) KillMidAppend(l *Log) {
+	in.mu.Lock()
+	frac := 0.05 + 0.9*in.rng.Float64()
+	in.mu.Unlock()
+	l.mu.Lock()
+	l.killFrac = frac
+	l.mu.Unlock()
+}
+
+// TearFinalRecord truncates the last segment of the (closed) log in
+// dir somewhere inside its final record, emulating a crash that tore
+// the newest write. Returns how many bytes were cut; 0 if the last
+// segment holds no complete record to tear.
+func (in *Injector) TearFinalRecord(dir string) (int64, error) {
+	name, data, err := lastSegment(dir)
+	if err != nil || name == "" {
+		return 0, err
+	}
+	// Walk to the final record's start.
+	off, last := 0, -1
+	for off < len(data) {
+		_, consumed, derr := decodeRecord(data[off:])
+		if derr != nil {
+			break
+		}
+		last = off
+		off += consumed
+	}
+	if last < 0 {
+		return 0, nil
+	}
+	span := off - last
+	in.mu.Lock()
+	newLen := last + 1 + in.rng.Intn(span-1)
+	in.mu.Unlock()
+	path := filepath.Join(dir, name)
+	if err := os.Truncate(path, int64(newLen)); err != nil {
+		return 0, fmt.Errorf("wal: tear: %w", err)
+	}
+	return int64(len(data) - newLen), nil
+}
+
+// FlipBit flips one random bit inside the payload of a committed
+// record, preferring a sealed segment (guaranteed-interior damage).
+// When only the active segment exists it targets a non-final record,
+// so Open must classify the damage as corruption, never a torn tail.
+// Returns the damaged file's base name.
+func (in *Injector) FlipBit(dir string) (string, error) {
+	names, err := listSegments(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(names) == 0 {
+		return "", errors.New("wal: flip: no segments")
+	}
+	name := names[len(names)-1]
+	interiorOnly := true
+	if len(names) > 1 {
+		in.mu.Lock()
+		name = names[in.rng.Intn(len(names)-1)]
+		in.mu.Unlock()
+		interiorOnly = false
+	}
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("wal: flip: %w", err)
+	}
+	// Collect payload extents of each record.
+	type span struct{ start, len int }
+	var spans []span
+	off := 0
+	for off < len(data) {
+		payload, consumed, derr := decodeRecord(data[off:])
+		if derr != nil {
+			break
+		}
+		if len(payload) > 0 {
+			spans = append(spans, span{off + recordHeader, len(payload)})
+		}
+		off += consumed
+	}
+	if interiorOnly && len(spans) > 1 {
+		spans = spans[:len(spans)-1]
+	}
+	if len(spans) == 0 {
+		return "", errors.New("wal: flip: no record payload to damage")
+	}
+	in.mu.Lock()
+	s := spans[in.rng.Intn(len(spans))]
+	pos := s.start + in.rng.Intn(s.len)
+	bit := uint(in.rng.Intn(8))
+	in.mu.Unlock()
+	data[pos] ^= 1 << bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("wal: flip: %w", err)
+	}
+	return name, nil
+}
+
+// RemoveIndex deletes the segment index, forcing the next Open to
+// rebuild record counts by scanning.
+func (in *Injector) RemoveIndex(dir string) error {
+	err := os.Remove(filepath.Join(dir, indexName))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// lastSegment returns the newest segment's name and contents ("" if
+// the directory holds none).
+func lastSegment(dir string) (string, []byte, error) {
+	names, err := listSegments(dir)
+	if err != nil || len(names) == 0 {
+		return "", nil, err
+	}
+	name := names[len(names)-1]
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return "", nil, fmt.Errorf("wal: %w", err)
+	}
+	return name, data, nil
+}
+
+// corruptRecordLen is a tiny helper for tests asserting frame layout.
+func corruptRecordLen(data []byte, at int) {
+	binary.BigEndian.PutUint32(data[at:], MaxRecordBytes+1)
+}

@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Record framing: [4B big-endian payload length][4B CRC32-Castagnoli
+// over the payload][payload]. The length is bounded by MaxRecordBytes
+// so a damaged length field cannot make the scanner swallow the rest
+// of the segment as one giant record.
+const recordHeader = 8
+
+// MaxRecordBytes bounds a single WAL record's payload.
+const MaxRecordBytes = 16 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Internal scan classifications. Only ErrCorrupt escapes the package;
+// the others feed the torn-tail policy in scanSegment.
+var (
+	errShort  = errors.New("wal: record extends past end of segment")
+	errLength = errors.New("wal: implausible record length")
+	errCRC    = errors.New("wal: record checksum mismatch")
+)
+
+// appendRecord appends one framed record to buf and returns it.
+func appendRecord(buf, payload []byte) []byte {
+	var hdr [recordHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// decodeRecord parses the record at the head of b. On success it
+// returns the payload (aliasing b) and the total bytes consumed. On
+// failure, consumed is the full extent of the damaged record when that
+// extent is known (errCRC) and 0 otherwise.
+func decodeRecord(b []byte) (payload []byte, consumed int, err error) {
+	if len(b) < recordHeader {
+		return nil, 0, errShort
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > MaxRecordBytes {
+		return nil, 0, errLength
+	}
+	total := recordHeader + int(n)
+	if len(b) < total {
+		return nil, 0, errShort
+	}
+	payload = b[recordHeader:total]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(b[4:8]) {
+		return nil, total, errCRC
+	}
+	return payload, total, nil
+}
