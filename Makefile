@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak soak-pooled soak-overload soak-crash fuzz fuzz-smoke bench bench-json bench-sched bench-open-loop bench-durability metrics-demo clean
+.PHONY: all build vet test check soak soak-pooled soak-overload soak-crash soak-flight fuzz fuzz-smoke bench bench-json bench-sched bench-open-loop bench-durability bench-trace metrics-demo clean
 
 all: check
 
@@ -48,6 +48,14 @@ soak-overload:
 soak-crash:
 	$(GO) test -run 'TestAchillesCrashRestartSoak' -timeout 300s -count=1 -v ./internal/harness
 
+# Flight-recorder soak: live n=3 cluster with every trace sampled;
+# every node drops its votes to stall quorum assembly, each node's
+# view timeout must produce a bounded, parseable anomaly dump whose
+# spans correlate across nodes by trace ID at the stalled height, and
+# liveness must resume once the drop lifts. Race-enabled.
+soak-flight:
+	$(GO) test -race -run 'TestFlightRecorderLiveSoak' -timeout 120s -count=1 -v ./internal/harness
+
 # Adversarial invariant-checking fuzzer (internal/adversary): 500
 # seeded scenarios mixing active Byzantine replicas, crash/reboot with
 # sealed-storage rollback, and pre-GST network faults, plus a
@@ -72,10 +80,12 @@ bench:
 # Machine-readable benchmark artifact (quick windows): per-protocol
 # throughput, mean/p50/p99 latency and message complexity, plus the
 # live sync-vs-pooled scheduler ablation, the live open-loop
-# overload rows (WAN profile, 1x/2x saturation) and the durability
-# table (WAL fsync policies + cold-restart cost).
+# overload rows (WAN profile, 1x/2x saturation), the durability
+# table (WAL fsync policies + cold-restart cost) and the trace
+# breakdown (per-stage attribution, critical-path coverage, sampling
+# overhead).
 bench-json:
-	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -durability -json BENCH_achilles.json
+	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -durability -trace-breakdown -json BENCH_achilles.json
 
 # Live loopback TCP scheduler ablation only (full windows): saturated
 # n=5 throughput under -sched sync vs -sched pooled.
@@ -93,6 +103,13 @@ bench-open-loop:
 # snapshot+suffix vs a full WAL replay, on a live loopback cluster.
 bench-durability:
 	$(GO) run ./cmd/achilles-bench -durability
+
+# Trace-breakdown rows only (full windows): per-stage span latency
+# attribution merged across a live n=3 cluster with every trace
+# sampled, critical-path coverage of end-to-end commit latency, and
+# the committed-throughput cost of default 1/64 sampling vs disabled.
+bench-trace:
+	$(GO) run ./cmd/achilles-bench -trace-breakdown -json BENCH_achilles.json
 
 # Boot a local 3-node cluster with the admin endpoint on node 0,
 # scrape /metrics and /status, then tear everything down.

@@ -51,6 +51,11 @@ type report struct {
 	// throughput per WAL fsync policy against the in-memory baseline,
 	// and cold-restart cost from snapshot+suffix vs full WAL replay.
 	Durability []harness.DurabilityRow `json:"durability,omitempty"`
+	// TraceBreakdown is the live causal-tracing bench
+	// (-trace-breakdown): per-stage latency attribution merged across
+	// all nodes, critical-path coverage of end-to-end commit latency,
+	// and the throughput cost of default sampling vs tracing disabled.
+	TraceBreakdown *harness.TraceBreakdownReport `json:"trace_breakdown,omitempty"`
 }
 
 func main() {
@@ -67,6 +72,7 @@ func main() {
 		olConns  = flag.Int("ol-conns", 16, "open-loop generator connection-pool size (-open-loop)")
 		olLAN    = flag.Bool("ol-lan", false, "run -open-loop without the WAN latency profile")
 		durab    = flag.Bool("durability", false, "measure commit throughput per WAL fsync policy and cold-restart cost (snapshot+suffix vs full replay) on a live loopback cluster")
+		traceBD  = flag.Bool("trace-breakdown", false, "measure per-stage span latency attribution, critical-path coverage of e2e commit latency and sampling overhead on a live loopback cluster")
 	)
 	flag.Parse()
 
@@ -210,6 +216,13 @@ func main() {
 		harness.PrintDurabilityRows(os.Stdout,
 			"Durability — live loopback TCP, n=3, saturated synthetic load, WAL fsync policies and cold-restart cost", rows)
 		rep.Durability = rows
+	}
+	if *traceBD {
+		ran = true
+		bd := harness.TraceBreakdown(3, 26371, d)
+		harness.PrintTraceBreakdown(os.Stdout,
+			"Trace breakdown — live loopback TCP, n=3, pooled scheduler, every trace sampled", bd)
+		rep.TraceBreakdown = &bd
 	}
 	if !ran {
 		flag.Usage()

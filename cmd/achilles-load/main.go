@@ -45,6 +45,8 @@ func main() {
 		reqTO     = flag.Duration("request-timeout", 10*time.Second, "abandon a request unconfirmed after this long")
 		interval  = flag.Duration("report-every", time.Second, "progress-report interval (0 = none)")
 		jsonPath  = flag.String("json", "", "write the final report as JSON to this path")
+		adminAddr = flag.String("admin-addr", "", "serve the generator's own /metrics /healthz /spans on host:port")
+		traceSamp = flag.Int("trace-sample", 64, "causal tracing: sample one in N submission batches (0 disables)")
 		logLevel  = flag.String("log-level", "warn", "log level: debug, info, warn, error")
 	)
 	newChaos := netchaos.AddFlags(flag.CommandLine)
@@ -61,6 +63,19 @@ func main() {
 		fatalf("bad -peers: %v", err)
 	}
 
+	// The generator keeps its own registry and span tracer: a load run
+	// is a measurement process in its own right, and -admin-addr makes
+	// its offered/committed accounting scrapeable alongside the nodes'.
+	reg := obs.NewRegistry()
+	var spans *obs.SpanTracer
+	if *traceSamp > 0 {
+		spans = obs.NewSpanTracer(obs.SpanConfig{
+			SampleEvery: *traceSamp,
+			Node:        1 << 20, // disjoint from replica node IDs
+			Registry:    reg,
+		})
+	}
+
 	cfg := loadgen.Config{
 		Peers:       peers,
 		Rate:        *rate,
@@ -70,6 +85,8 @@ func main() {
 		PayloadSize: *payload,
 		Timeout:     *reqTO,
 		Log:         logger,
+		Obs:         reg,
+		Spans:       spans,
 	}
 	if chaos := newChaos(logger.Component("netchaos").Logf); chaos != nil {
 		cfg.Dial = chaos.Dialer("achilles-load")
@@ -78,6 +95,31 @@ func main() {
 	gen := loadgen.New(cfg)
 	if err := gen.Start(); err != nil {
 		fatalf("start: %v", err)
+	}
+	if *adminAddr != "" {
+		srv, err := obs.StartAdmin(*adminAddr, obs.AdminConfig{
+			Registry: reg,
+			Spans:    spans,
+			Logger:   logger.Component("admin"),
+			Status:   func() any { return gen.Report() },
+			Health: func() obs.Health {
+				// The generator is healthy while it can still confirm
+				// commits: unconfirmed-forever load means the cluster (or
+				// the connections) are down, which a soak should notice.
+				r := gen.Report()
+				ok := r.Offered == 0 || r.Committed > 0 || r.Elapsed < *reqTO
+				return obs.Health{OK: ok, Detail: map[string]any{
+					"offered":     r.Offered,
+					"committed":   r.Committed,
+					"outstanding": r.Outstanding,
+				}}
+			},
+		})
+		if err != nil {
+			fatalf("admin server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("admin endpoints on http://%s/metrics\n", srv.Addr())
 	}
 	fmt.Printf("offering %.0f tx/s from %d sessions over %d connections to %d nodes\n",
 		*rate, *sessions, *conns, len(peers))

@@ -19,6 +19,7 @@ package main
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,7 +62,8 @@ func main() {
 		clRate    = flag.Float64("client-rate", 0, "per-client admitted transactions per second, enforced by a token bucket (0 = unlimited)")
 		clBurst   = flag.Int("client-burst", 0, "token-bucket burst for -client-rate (0 = library default)")
 		raDelay   = flag.Duration("retry-after", 0, "suggested backoff carried on RETRY-AFTER rejections (0 = library default)")
-		adminAddr = flag.String("admin-addr", "", "serve admin endpoints (/metrics /status /healthz /trace /debug/pprof) on host:port")
+		adminAddr = flag.String("admin-addr", "", "serve admin endpoints (/metrics /status /healthz /trace /spans /debug/pprof) on host:port")
+		traceSamp = flag.Int("trace-sample", 64, "causal tracing: sample one in N traces (0 disables span tracing)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		verbose   = flag.Bool("v", false, "verbose logging (same as -log-level debug)")
 	)
@@ -108,6 +110,14 @@ func main() {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(4096)
+	var spans *obs.SpanTracer
+	if *traceSamp > 0 {
+		spans = obs.NewSpanTracer(obs.SpanConfig{
+			SampleEvery: *traceSamp,
+			Node:        uint64(self),
+			Registry:    reg,
+		})
+	}
 
 	pcfg := protocol.Config{
 		Self: self, N: n, F: (n - 1) / 2,
@@ -156,6 +166,7 @@ func main() {
 			Workers: *schedWork,
 			Verify:  verifier.PreVerify,
 			Obs:     reg,
+			Spans:   spans,
 		})
 		verifier.SetBatchRunner(pooled.RunBatch)
 		hotSched = pooled
@@ -201,9 +212,35 @@ func main() {
 		}
 	}
 
+	// Anomaly flight recorder: dumps land under the data directory so
+	// they survive the process (no -data-dir, no recorder). rep is
+	// declared first so the Status hook can capture it; the recorder
+	// never fires before Init completes.
+	var rep *core.Replica
+	var flight *obs.FlightRecorder
+	if *dataDir != "" {
+		flight, err = obs.NewFlightRecorder(obs.FlightConfig{
+			Dir:      filepath.Join(*dataDir, "flight"),
+			Node:     fmt.Sprintf("node-%d", self),
+			Registry: reg,
+			Tracer:   tracer,
+			Spans:    spans,
+			Logger:   logger.Component("flight"),
+			Status: func() any {
+				if rep == nil {
+					return nil
+				}
+				return rep.Status()
+			},
+		})
+		if err != nil {
+			fatalf("flight recorder: %v", err)
+		}
+	}
+
 	var secret [32]byte
 	secret[0] = byte(self)
-	rep := core.New(core.Config{
+	rep = core.New(core.Config{
 		Config:            pcfg,
 		Scheme:            scheme,
 		Ring:              ring,
@@ -220,6 +257,8 @@ func main() {
 		Durable:           durable,
 		Obs:               reg,
 		Trace:             tracer,
+		Spans:             spans,
+		Flight:            flight,
 	})
 
 	var committed, txs atomic.Uint64
@@ -264,6 +303,7 @@ func main() {
 		srv, err := admin.Start(*adminAddr, admin.Config{
 			Registry: reg,
 			Tracer:   tracer,
+			Spans:    spans,
 			Logger:   logger.Component("admin"),
 			Replica:  rep,
 			Runtime:  rt,
@@ -289,6 +329,13 @@ func main() {
 			mainLog.With("view", st.View, "height", st.Height).
 				Infof("committed-blocks=%d committed-tx/s=%d total-tx=%d", committed.Load(), cur-lastTxs, cur)
 			lastTxs = cur
+			// Commit-stall anomaly: the node committed before but has
+			// stopped for longer than the health lag bound. The recorder's
+			// own rate limit keeps a long outage from flooding the disk.
+			if flight != nil && !st.Recovering && st.LastCommitAgoSeconds > 10 {
+				flight.Trigger("commit-stall", st.View, st.Height,
+					fmt.Sprintf("last_commit_ago=%.1fs", st.LastCommitAgoSeconds))
+			}
 		case <-sig:
 			// Graceful shutdown: stop the transport and scheduler stages
 			// first (no more commits arrive), then flush and close the

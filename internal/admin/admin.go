@@ -22,6 +22,8 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer backs /trace.
 	Tracer *obs.Tracer
+	// Spans backs /spans (nil serves an empty snapshot).
+	Spans *obs.SpanTracer
 	// Logger receives admin-server diagnostics.
 	Logger *obs.Logger
 	// Replica contributes the consensus section of /status and the
@@ -51,6 +53,7 @@ func Start(addr string, cfg Config) (*obs.AdminServer, error) {
 	return obs.StartAdmin(addr, obs.AdminConfig{
 		Registry: cfg.Registry,
 		Tracer:   cfg.Tracer,
+		Spans:    cfg.Spans,
 		Logger:   cfg.Logger,
 		Status:   func() any { return statusDoc(cfg) },
 		Health:   func() obs.Health { return health(cfg) },

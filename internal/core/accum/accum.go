@@ -44,7 +44,7 @@ func New(enc *tee.Enclave, svc *crypto.Service, quorum int) *Accumulator {
 // The resulting certificate ⟨ACC, h, v, id⃗⟩σ authorizes exactly one
 // parent choice for the leader's proposal in view best.CurView.
 func (a *Accumulator) TEEaccum(best *types.ViewCert, all []*types.ViewCert) (*types.AccCert, error) {
-	a.enc.EnterCall("TEEaccum")
+	defer a.enc.EnterCall("TEEaccum")()
 	if len(all) < a.quorum {
 		return nil, ErrTooFew
 	}

@@ -147,7 +147,7 @@ func (c *Checker) Recovering() bool { return c.recovering }
 // optimization). The returned block certificate ⟨PROP, H(b), vi⟩σ is
 // the only one this checker will ever produce for view vi.
 func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, cc *types.CommitCert) (*types.BlockCert, error) {
-	c.enc.EnterCall("TEEprepare")
+	defer c.enc.EnterCall("TEEprepare")()
 	if c.recovering {
 		return nil, ErrRecovering
 	}
@@ -190,7 +190,7 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, c
 // ⟨COMMIT, h, v⟩σ (Algorithm 2, lines 16-20). The host must have
 // validated the block body (ancestry and execution results) first.
 func (c *Checker) TEEstore(bc *types.BlockCert) (*types.StoreCert, error) {
-	c.enc.EnterCall("TEEstore")
+	defer c.enc.EnterCall("TEEstore")()
 	if c.recovering {
 		return nil, ErrRecovering
 	}
@@ -219,7 +219,7 @@ func (c *Checker) TEEstore(bc *types.BlockCert) (*types.StoreCert, error) {
 // It is the checker-side half of the catch-up path a node takes when a
 // DECIDE for a view above its own arrives.
 func (c *Checker) TEEstoreCommit(cc *types.CommitCert) error {
-	c.enc.EnterCall("TEEstoreCommit")
+	defer c.enc.EnterCall("TEEstoreCommit")()
 	if c.recovering {
 		return ErrRecovering
 	}
@@ -255,7 +255,7 @@ func (c *Checker) verifyCC(cc *types.CommitCert) bool {
 // TEEview enters the next view and returns the view certificate
 // ⟨NEW-VIEW, preph, prepv, vi⟩σ (Algorithm 2, lines 27-29).
 func (c *Checker) TEEview() (*types.ViewCert, error) {
-	c.enc.EnterCall("TEEview")
+	defer c.enc.EnterCall("TEEview")()
 	if c.recovering {
 		return nil, ErrRecovering
 	}
@@ -269,7 +269,7 @@ func (c *Checker) TEEview() (*types.ViewCert, error) {
 // (Algorithm 3). The nonce is remembered so TEErecover can verify that
 // replies answer this request and not a replayed older one.
 func (c *Checker) TEErequest() (*types.RecoveryReq, error) {
-	c.enc.EnterCall("TEErequest")
+	defer c.enc.EnterCall("TEErequest")()
 	if !c.recovering {
 		return nil, ErrNotRecovering
 	}
@@ -285,7 +285,7 @@ func (c *Checker) TEErequest() (*types.RecoveryReq, error) {
 // recovering checker must not answer: it does not yet know its own
 // state.
 func (c *Checker) TEEreply(req *types.RecoveryReq) (*types.RecoveryRpy, error) {
-	c.enc.EnterCall("TEEreply")
+	defer c.enc.EnterCall("TEEreply")()
 	if c.recovering {
 		return nil, ErrRecovering
 	}
@@ -311,7 +311,7 @@ func (c *Checker) TEEreply(req *types.RecoveryReq) (*types.RecoveryRpy, error) {
 // nor for v'+1 (the new-view optimization may already have carried a
 // node into v'+1 while the leader of v' was still in v'; Lemma 1).
 func (c *Checker) TEErecover(leaderRpy *types.RecoveryRpy, replies []*types.RecoveryRpy) (*types.ViewCert, error) {
-	c.enc.EnterCall("TEErecover")
+	defer c.enc.EnterCall("TEErecover")()
 	if !c.recovering {
 		return nil, ErrNotRecovering
 	}

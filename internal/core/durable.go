@@ -26,8 +26,10 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"time"
 
 	"achilles/internal/ledger"
+	"achilles/internal/obs"
 	"achilles/internal/types"
 )
 
@@ -222,6 +224,13 @@ func (r *Replica) persistCommits(newly []*types.Block, cc *types.CommitCert) {
 	d := r.cfg.Durable
 	if d == nil || len(newly) == 0 {
 		return
+	}
+	if ctx := r.traceCtx(); ctx.Sampled {
+		t0 := time.Now()
+		tip := newly[len(newly)-1]
+		defer func() {
+			r.observeSpan(ctx, obs.StageDurable, cc.View, tip.Height, time.Since(t0), "")
+		}()
 	}
 	for _, nb := range newly {
 		var rc *types.CommitCert

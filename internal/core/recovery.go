@@ -54,6 +54,7 @@ func (r *Replica) startRecovery() {
 	r.m.recoveryAttempts.Inc()
 	r.trace.Emit(obs.TraceRecoveryStart, uint64(r.view), r.obsHeight.Load(),
 		fmt.Sprintf("epoch=%d", r.recEpoch))
+	r.flightTrigger("recovery", fmt.Sprintf("epoch=%d", r.recEpoch))
 	r.env.Broadcast(&MsgRecoveryReq{Req: req})
 	// Bounded exponential backoff: the retry period doubles every four
 	// attempts and caps at 4x the base, so a victim facing f lying (or

@@ -141,6 +141,18 @@ type Config struct {
 	// Trace receives protocol events (propose/vote/commit/view-change/
 	// recovery/ecall); nil disables tracing.
 	Trace *obs.Tracer
+	// Spans is the causal-tracing span tracer. When set, the replica
+	// mints a trace context per proposal, propagates it on outbound
+	// frames (via the transport's trace-context hook), and records the
+	// per-stage spans and critical-path breakdowns the trace-breakdown
+	// bench and /spans endpoint serve. nil disables span tracing — the
+	// hot path pays a nil check and nothing else.
+	Spans *obs.SpanTracer
+	// Flight is the anomaly flight recorder. When set, the replica
+	// triggers a dump on view timeouts and recovery entry (commit
+	// stalls are triggered by the owning process, which watches
+	// Status()). nil disables.
+	Flight *obs.FlightRecorder
 	// Observer receives attested trusted-component transitions
 	// (observer.go); nil disables observation. Used by the adversary
 	// fuzz harness to machine-check safety invariants after every event.
@@ -242,6 +254,20 @@ type Replica struct {
 	m     metrics
 	trace *obs.Tracer
 
+	// Causal tracing (spans.go). tenv is the env's optional
+	// trace-context carrier (the live transport implements it; the
+	// simulator does not, keeping deterministic replay byte-identical).
+	// The prop* fields track the replica's own in-flight proposal so the
+	// leader-path stages propose / quorum-assembly / commit tile the
+	// proposed→committed interval on the env clock.
+	tenv         traceEnv
+	propCtx      types.TraceContext
+	propHeight   types.Height
+	propStart    types.Time // block.Proposed
+	propQuorumAt types.Time // end of propose(): quorum wait starts
+	propDecideAt types.Time // quorum assembled: commit step starts
+	quorumSpan   *obs.ActiveSpan
+
 	obsEnv          atomic.Value // protocol.Env, stored once in Init
 	obsView         atomic.Uint64
 	obsHeight       atomic.Uint64
@@ -328,14 +354,19 @@ func (r *Replica) Init(env protocol.Env) {
 	}
 	r.machine = statemachine.NewDigestMachine(env, r.cfg.ExecCostPerTx)
 
+	r.tenv, _ = env.(traceEnv)
+	if r.cfg.Spans != nil {
+		r.pool.SetWaitObserver(r.mempoolWaitObserver())
+	}
 	r.enclave = tee.New(tee.Config{
-		Measurement:   types.HashBytes([]byte("achilles-trusted-components-v1")),
-		MachineSecret: r.cfg.MachineSecret,
-		Meter:         env,
-		Costs:         r.cfg.TEECosts,
-		Store:         r.cfg.SealedStore,
-		Disabled:      r.cfg.TEEDisabled,
-		Observe:       r.traceEcall(),
+		Measurement:     types.HashBytes([]byte("achilles-trusted-components-v1")),
+		MachineSecret:   r.cfg.MachineSecret,
+		Meter:           env,
+		Costs:           r.cfg.TEECosts,
+		Store:           r.cfg.SealedStore,
+		Disabled:        r.cfg.TEEDisabled,
+		Observe:         r.traceEcall(),
+		ObserveDuration: r.ecallDurationObserver(),
 	})
 	// The untrusted host verifies with native-speed crypto; trusted
 	// components sign/verify at in-enclave speed.

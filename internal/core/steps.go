@@ -13,6 +13,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"time"
 
@@ -205,6 +206,7 @@ func (r *Replica) OnTimer(id types.TimerID) {
 			r.pm.Expired()
 			r.m.viewTimeouts.Inc()
 			r.trace.Emit(obs.TraceViewChange, uint64(r.view), r.obsHeight.Load(), "timeout")
+			r.flightTrigger("view-timeout", fmt.Sprintf("failures=%d", r.pm.Failures()))
 			r.env.Logf("view %d timed out (failures=%d)", r.view, r.pm.Failures())
 		}
 		// Our latest proposal missed its view: requeue its client
@@ -420,6 +422,14 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 	if parent == nil {
 		return
 	}
+	// The proposal starts a new causal chain: mint its trace context
+	// before batch assembly so the mempool-wait observer and the
+	// broadcast frames all carry it.
+	ctx := r.mintProposalTrace()
+	var batchT0 time.Time
+	if ctx.Sampled {
+		batchT0 = time.Now()
+	}
 	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
 	r.proposedTxs = r.proposedTxs[:0]
 	for i := range txs {
@@ -428,6 +438,9 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 		}
 	}
 	op := r.machine.Execute(parent.Op, txs)
+	if ctx.Sampled {
+		r.observeSpan(ctx, obs.StageBatch, r.view, parent.Height+1, time.Since(batchT0), "")
+	}
 	b := &types.Block{
 		Txs:      txs,
 		Op:       op,
@@ -448,6 +461,9 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 	r.observePropose(bc.View, bc.Hash)
 	r.trace.Emit(obs.TracePropose, uint64(b.View), uint64(b.Height), shortHash(r.voteHash))
 	r.env.Broadcast(&MsgProposal{Block: b, BC: bc})
+	// The propose stage ends with the broadcast; quorum assembly (our
+	// own vote included) starts here.
+	r.beginProposalTrace(ctx, b)
 	// Vote for our own block.
 	sc, err := r.chk.TEEstore(bc)
 	if err != nil {
@@ -556,6 +572,7 @@ func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
 		return
 	}
 	r.decided = true
+	r.finishQuorumTrace()
 	signers := make([]types.NodeID, 0, len(r.votes))
 	sigs := make([]types.Signature, 0, len(r.votes))
 	for id, v := range r.votes {
@@ -610,6 +627,7 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 		r.lastCC = cc
 	}
 	now := r.env.Now()
+	tctx := r.traceCtx()
 	for _, nb := range newly {
 		nb, cc := nb, cc
 		// Post-commit observer work (execute stage) and client replies
@@ -619,9 +637,11 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 		// so a slow commit observer or client socket never stalls the
 		// next consensus step. MarkCommitted stays inline: the mempool's
 		// dedup maps belong to the consensus goroutine.
-		r.sched.Execute(func() { r.env.Commit(nb, cc) })
+		r.sched.Execute(r.spanWrap(tctx, obs.StageExecute, cc.View, nb.Height,
+			func() { r.env.Commit(nb, cc) }))
 		r.pool.MarkCommitted(nb.Txs)
-		r.sched.Egress(func() { r.replyClients(nb, cc) })
+		r.sched.Egress(r.spanWrap(tctx, obs.StageEgress, cc.View, nb.Height,
+			func() { r.replyClients(nb, cc) }))
 		r.m.commits.Inc()
 		r.m.committedTxs.Add(uint64(len(nb.Txs)))
 		// Latency only for self-proposed blocks: on the live path every
@@ -629,6 +649,7 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 		// (Proposed, committed) pairs are skewed and meaningless.
 		if nb.Proposer == r.cfg.Self {
 			r.m.commitLatency.ObserveDuration(time.Duration(now - nb.Proposed))
+			r.finishCommitTrace(cc, nb, now)
 		}
 	}
 	r.obsHeight.Store(uint64(r.store.CommittedHeight()))

@@ -94,7 +94,7 @@ func (c *Checker) PrepHash() types.Hash { return c.prph }
 // TEEnewview enters the next view and certifies the last *prepared*
 // block for the new leader's accumulator.
 func (c *Checker) TEEnewview() (*types.ViewCert, error) {
-	c.enc.EnterCall("TEEnewview")
+	defer c.enc.EnterCall("TEEnewview")()
 	c.vi++
 	c.flag = false
 	c.protect()
@@ -106,7 +106,7 @@ func (c *Checker) TEEnewview() (*types.ViewCert, error) {
 // accumulator certificate proves b extends the highest prepared block
 // among f+1 new-view certificates.
 func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert) (*types.BlockCert, error) {
-	c.enc.EnterCall("TEEprepare")
+	defer c.enc.EnterCall("TEEprepare")()
 	if c.flag {
 		return nil, ErrAlreadyProposed
 	}
@@ -131,7 +131,7 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert) (
 // TEEvotePrepare produces this node's PREPARE-phase vote for the
 // leader's certified block.
 func (c *Checker) TEEvotePrepare(bc *types.BlockCert) (*types.StoreCert, error) {
-	c.enc.EnterCall("TEEvotePrepare")
+	defer c.enc.EnterCall("TEEvotePrepare")()
 	if bc.Signer != c.leaderOf(bc.View) {
 		return nil, ErrBadCertificate
 	}
@@ -153,7 +153,7 @@ func (c *Checker) TEEvotePrepare(bc *types.BlockCert) (*types.StoreCert, error) 
 // TEEstorePrepared records a block certified by f+1 prepare votes as
 // the last prepared block and produces the PRE-COMMIT-phase vote.
 func (c *Checker) TEEstorePrepared(pc *types.CommitCert) (*types.StoreCert, error) {
-	c.enc.EnterCall("TEEstorePrepared")
+	defer c.enc.EnterCall("TEEstorePrepared")()
 	if len(pc.Signers) < c.quorum {
 		return nil, ErrBadCertificate
 	}
@@ -176,7 +176,7 @@ func (c *Checker) TEEstorePrepared(pc *types.CommitCert) (*types.StoreCert, erro
 // TEEcatchup adopts the state certified by a commitment certificate
 // (f+1 commit votes) — used by nodes that missed a view's phases.
 func (c *Checker) TEEcatchup(cc *types.CommitCert) error {
-	c.enc.EnterCall("TEEcatchup")
+	defer c.enc.EnterCall("TEEcatchup")()
 	if len(cc.Signers) < c.quorum {
 		return ErrBadCertificate
 	}

@@ -50,7 +50,7 @@ func NewSequencer(enc *tee.Enclave, svc *crypto.Service, ctr counter.Counter) *S
 // persistent counter write is the rollback prevention the paper's
 // Fig. 5 sweeps.
 func (s *Sequencer) TEEorder(b *types.Block, h types.Hash, seq uint64) (*types.BlockCert, error) {
-	s.enc.EnterCall("TEEorder")
+	defer s.enc.EnterCall("TEEorder")()
 	if b.Hash() != h || seq < s.next {
 		return nil, ErrSeqUsed
 	}

@@ -11,6 +11,7 @@ import (
 	"achilles/internal/crypto"
 	"achilles/internal/mempool"
 	"achilles/internal/netchaos"
+	"achilles/internal/obs"
 	"achilles/internal/protocol"
 	"achilles/internal/sched"
 	"achilles/internal/transport"
@@ -60,7 +61,8 @@ func SchedAblation(n, basePort int, d Durations) []SchedAblationRow {
 	registerLiveMessages()
 	rows := make([]SchedAblationRow, 0, 2)
 	for i, name := range []string{"sync", "pooled"} {
-		rows = append(rows, runSchedConfig(name, n, basePort+100*i, d, nil))
+		row, _ := runSchedConfig(name, n, basePort+100*i, d, nil, 0)
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -68,8 +70,12 @@ func SchedAblation(n, basePort int, d Durations) []SchedAblationRow {
 // runSchedConfig boots one live loopback cluster under the named
 // scheduler and measures its saturated synthetic throughput. A non-nil
 // chaos wraps every link, so the measurement reflects the same network
-// profile as whatever the caller compares it against.
-func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netchaos.Chaos) SchedAblationRow {
+// profile as whatever the caller compares it against. spanEvery > 0
+// additionally wires a per-node span tracer at that sampling rate
+// (1 = every trace) and returns the tracers alongside the row, so the
+// trace-breakdown bench can harvest stage attribution after the run;
+// 0 leaves tracing disabled, which is the throughput baseline.
+func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netchaos.Chaos, spanEvery int) (SchedAblationRow, []*obs.SpanTracer) {
 	registerLiveMessages()
 	const (
 		batch   = 64
@@ -90,8 +96,14 @@ func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netch
 	var blocks, txs atomic.Uint64
 	caches := make([]*crypto.CertCache, 0, n)
 	runtimes := make([]*transport.Runtime, 0, n)
+	var tracers []*obs.SpanTracer
 	for i := 0; i < n; i++ {
 		id := types.NodeID(i)
+		var spans *obs.SpanTracer
+		if spanEvery > 0 {
+			spans = obs.NewSpanTracer(obs.SpanConfig{SampleEvery: spanEvery, Node: uint64(i)})
+			tracers = append(tracers, spans)
+		}
 		pcfg := protocol.Config{
 			Self: id, N: n, F: f,
 			BatchSize: batch, PayloadSize: payload,
@@ -112,7 +124,7 @@ func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netch
 			caches = append(caches, cache)
 			verifier := core.NewVerifier(scheme, ring, pcfg, cache)
 			verifier.SetMempool(txpool)
-			pooled := sched.NewPooled(sched.Options{Verify: verifier.PreVerify})
+			pooled := sched.NewPooled(sched.Options{Verify: verifier.PreVerify, Spans: spans})
 			verifier.SetBatchRunner(pooled.RunBatch)
 			hot = pooled
 		default:
@@ -131,6 +143,7 @@ func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netch
 			Sched:             hot,
 			CertCache:         cache,
 			Pool:              txpool,
+			Spans:             spans,
 		})
 		tcfg := transport.Config{
 			Self:   id,
@@ -193,7 +206,7 @@ func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netch
 		TPSk:       float64(dt) / elapsed.Seconds() / 1000,
 		BlocksPerS: float64(db) / elapsed.Seconds(),
 		CacheHits:  hits,
-	}
+	}, tracers
 }
 
 // PrintSchedRows renders scheduler-ablation rows in the same style as

@@ -49,6 +49,15 @@ type Config struct {
 	Log *obs.Logger
 	// MaxLatencySamples caps the latency reservoir (default 1<<20).
 	MaxLatencySamples int
+	// Obs, when set, registers the generator's own metric series
+	// (achilles_load_*) — what achilles-load's -admin-addr serves.
+	Obs *obs.Registry
+	// Spans, when set, samples submissions for causal tracing: a
+	// sampled batch's trace context is stamped on its wire frames (so
+	// replica-side client-admit spans share the client's trace ID) and
+	// the client records an egress-reply span — submit to certified
+	// reply, the reply leg as the client observes it — on confirmation.
+	Spans *obs.SpanTracer
 }
 
 // Report is a generator run's outcome accounting.
@@ -96,6 +105,7 @@ type pending struct {
 	rejMask uint64 // one bit per node that refused; full mask = dropped
 	rateHit bool
 	created time.Duration
+	ctx     types.TraceContext // sampled batch's trace context (zero otherwise)
 }
 
 // conn is one pooled connection: a client-identity transport.Runtime
@@ -151,6 +161,10 @@ func (c *conn) OnMessage(from types.NodeID, msg types.Message) {
 			if len(c.lats) < cap(c.lats) {
 				c.lats = append(c.lats, now-p.created)
 			}
+			if p.ctx.Sampled {
+				c.g.cfg.Spans.Observe(p.ctx, obs.StageEgress, uint64(m.View),
+					uint64(m.Height), now-p.created, "client-confirm")
+			}
 			c.g.noteSessionCommit(int(p.session))
 		}
 		c.mu.Unlock()
@@ -189,6 +203,12 @@ func (c *conn) OnMessage(from types.NodeID, msg types.Message) {
 // per session in the batch. Called from the dispatcher goroutine.
 func (c *conn) submit(sessions []int32) {
 	now := time.Duration(c.rt.Now())
+	// One trace context per batch (zero when tracing is off): sampled
+	// batches stamp it on the outbound frames so replica-side spans
+	// correlate with this client's. The stamp window races only with
+	// inbound-reply handling on the same runtime, which can at worst
+	// strip the stamp from one frame — tolerable for sampled tracing.
+	ctx := c.g.cfg.Spans.NewTrace()
 	txs := make([]types.Transaction, len(sessions))
 	c.mu.Lock()
 	for i, s := range sessions {
@@ -199,10 +219,14 @@ func (c *conn) submit(sessions []int32) {
 			Payload: c.g.payload,
 			Created: now,
 		}
-		c.reqs[c.seq] = &pending{session: s, created: now}
+		c.reqs[c.seq] = &pending{session: s, created: now, ctx: ctx}
 	}
 	c.offered += uint64(len(txs))
 	c.mu.Unlock()
+	if ctx.ID != 0 {
+		c.rt.SetTraceContext(ctx)
+		defer c.rt.SetTraceContext(types.TraceContext{})
+	}
 	c.rt.Broadcast(&types.ClientRequest{Txs: txs})
 }
 
@@ -301,10 +325,65 @@ func (g *Generator) Start() error {
 		g.conns = append(g.conns, c)
 	}
 	g.start = time.Now()
+	g.register(g.cfg.Obs)
 	g.wg.Add(2)
 	go g.dispatch()
 	go g.reap()
 	return nil
+}
+
+// register installs the generator's metric collectors. One collector
+// per family; each scrape takes one pass over the connection pool.
+func (g *Generator) register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("achilles_load_txs_total",
+		"Generator transaction outcomes.", obs.KindCounter, func() []obs.Sample {
+			offered, commits, rejFull, rejRate, dropped, timedOut, _ := g.counters()
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("result", "offered")}, Value: float64(offered)},
+				{Labels: []obs.Label{obs.L("result", "committed")}, Value: float64(commits)},
+				{Labels: []obs.Label{obs.L("result", "rejected_full")}, Value: float64(rejFull)},
+				{Labels: []obs.Label{obs.L("result", "rejected_rate")}, Value: float64(rejRate)},
+				{Labels: []obs.Label{obs.L("result", "dropped")}, Value: float64(dropped)},
+				{Labels: []obs.Label{obs.L("result", "timed_out")}, Value: float64(timedOut)},
+			}
+		})
+	reg.Func("achilles_load_outstanding",
+		"Requests in flight (submitted, not yet confirmed or abandoned).",
+		obs.KindGauge, func() []obs.Sample {
+			_, _, _, _, _, _, outstanding := g.counters()
+			return []obs.Sample{{Value: float64(outstanding)}}
+		})
+	reg.Func("achilles_load_sessions",
+		"Distinct logical sessions that submitted / had a commit confirmed.",
+		obs.KindGauge, func() []obs.Sample {
+			g.sessMu.Lock()
+			sub, com := g.nSubmitted, g.nCommitted
+			g.sessMu.Unlock()
+			return []obs.Sample{
+				{Labels: []obs.Label{obs.L("state", "submitted")}, Value: float64(sub)},
+				{Labels: []obs.Label{obs.L("state", "committed")}, Value: float64(com)},
+			}
+		})
+}
+
+// counters sums the per-connection accounting without copying latency
+// reservoirs (Report does that; scrapes should stay cheap).
+func (g *Generator) counters() (offered, commits, rejFull, rejRate, dropped, timedOut, outstanding uint64) {
+	for _, c := range g.conns {
+		c.mu.Lock()
+		offered += c.offered
+		commits += c.commits
+		rejFull += c.rejFull
+		rejRate += c.rejRate
+		dropped += c.dropped
+		timedOut += c.timedOut
+		outstanding += uint64(len(c.reqs))
+		c.mu.Unlock()
+	}
+	return
 }
 
 // dispatch walks the arrival schedule in real time, batching arrivals

@@ -18,6 +18,7 @@ package mempool
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"achilles/internal/types"
 )
@@ -67,6 +68,14 @@ type Pool struct {
 	prio    []types.Transaction
 	pending map[types.TxKey]bool
 	done    map[types.TxKey]bool
+
+	// queue-wait observation (SetWaitObserver): queueAt mirrors queue
+	// with each entry's wall-clock enqueue time. Maintained only while
+	// an observer is installed, so the untraced path never calls
+	// time.Now (and the simulator's deterministic replay is untouched —
+	// the observed values feed metrics, never behavior).
+	waitObs func(d time.Duration)
+	queueAt []time.Time
 
 	// staging buffer: written by ingress workers, drained on the
 	// consensus goroutine.
@@ -133,6 +142,16 @@ func (p *Pool) SetAdmission(cfg AdmissionConfig) {
 	p.adm = newAdmission(cfg)
 }
 
+// SetWaitObserver installs a hook that receives, per assembled batch,
+// the queue wait of the oldest client transaction drawn (the
+// mempool-wait trace stage: the head-of-line wait bounds every other
+// transaction's). Call before traffic flows, from the goroutine that
+// owns the queue; nil removes the observer.
+func (p *Pool) SetWaitObserver(fn func(d time.Duration)) {
+	p.waitObs = fn
+	p.queueAt = nil
+}
+
 // admit runs txs through the limiter against the current total depth
 // (queue + staging). Returns the admitted subset and the outcome tally.
 func (p *Pool) admit(txs []types.Transaction, now types.Time) ([]types.Transaction, AdmitResult) {
@@ -174,6 +193,9 @@ func (p *Pool) enqueue(txs []types.Transaction) int {
 		}
 		p.pending[k] = true
 		p.queue = append(p.queue, tx)
+		if p.waitObs != nil {
+			p.queueAt = append(p.queueAt, time.Now())
+		}
 		p.accepted.Add(1)
 	}
 	p.depth.Store(int64(len(p.queue) + len(p.prio)))
@@ -273,14 +295,24 @@ func (p *Pool) NextBatch(n int, now types.Time) []types.Transaction {
 	// were queued: with rotating leaders every node holds every
 	// broadcast transaction, and without this check leaders would
 	// re-propose work that other leaders already ordered.
+	waited := false
 	for len(batch) < n && len(p.queue) > 0 {
 		tx := p.queue[0]
 		p.queue = p.queue[1:]
+		var at time.Time
+		if len(p.queueAt) > 0 {
+			at = p.queueAt[0]
+			p.queueAt = p.queueAt[1:]
+		}
 		if p.done[tx.Key()] {
 			delete(p.pending, tx.Key())
 			continue
 		}
 		batch = append(batch, tx)
+		if p.waitObs != nil && !waited && !at.IsZero() {
+			p.waitObs(time.Since(at))
+			waited = true
+		}
 	}
 	if p.synthetic {
 		for len(batch) < n {

@@ -26,6 +26,8 @@ type AdminConfig struct {
 	Registry *Registry
 	// Tracer backs /trace.
 	Tracer *Tracer
+	// Spans backs /spans (nil serves an empty snapshot).
+	Spans *SpanTracer
 	// Status produces the JSON document for /status.
 	Status func() any
 	// Health produces the /healthz verdict.
@@ -75,16 +77,39 @@ func StartAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
 		writeJSON(w, code, h)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		max := 0
-		if s := r.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil {
-				max = v
-			}
+		q := r.URL.Query()
+		max := queryInt(q.Get("n"), 0)
+		events := cfg.Tracer.Dump(0)
+		// Filters narrow before the n= cap so "the last 10 commits"
+		// composes as kind=commit&n=10.
+		if kind := q.Get("kind"); kind != "" {
+			events = filterEvents(events, func(ev TraceEvent) bool { return ev.Kind == kind })
+		}
+		if s := q.Get("height"); s != "" {
+			h := uint64(queryInt(s, -1))
+			events = filterEvents(events, func(ev TraceEvent) bool { return ev.Height == h })
+		}
+		if s := q.Get("since_seq"); s != "" {
+			since := uint64(queryInt(s, 0))
+			events = filterEvents(events, func(ev TraceEvent) bool { return ev.Seq > since })
+		}
+		if max > 0 && len(events) > max {
+			events = events[len(events)-max:]
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"total":  cfg.Tracer.Seq(),
-			"events": cfg.Tracer.Dump(max),
+			"events": events,
 		})
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		snap := cfg.Spans.SnapshotSpans(queryInt(q.Get("n"), 0))
+		if s := q.Get("height"); s != "" {
+			h := uint64(queryInt(s, -1))
+			snap.Spans = filterSpans(snap.Spans, h)
+			snap.Active = filterSpans(snap.Active, h)
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -117,6 +142,37 @@ func (s *AdminServer) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+func queryInt(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func filterEvents(events []TraceEvent, keep func(TraceEvent) bool) []TraceEvent {
+	out := events[:0:0]
+	for _, ev := range events {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func filterSpans(spans []Span, height uint64) []Span {
+	out := spans[:0:0]
+	for _, sp := range spans {
+		if sp.Height == height {
+			out = append(out, sp)
+		}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, code int, doc any) {

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The anomaly flight recorder: when something goes wrong on a live
+// node — a view timeout, recovery entry, a commit stall — the moment
+// has usually scrolled out of every scrape window by the time a human
+// looks. Trigger freezes the evidence instead: the protocol-event
+// ring, the metrics snapshot, completed and still-active spans, and
+// the process status document, dumped to one timestamped JSON file
+// under the node's data directory. Dumps are rate-limited and the
+// file count is bounded, so a flapping node cannot fill a disk.
+
+// FlightConfig wires a FlightRecorder to a process's observability
+// state. Any source may be nil; its section is simply omitted.
+type FlightConfig struct {
+	// Dir receives the dump files (created if missing). Required.
+	Dir string
+	// Node tags dumps with the owning process (file content only).
+	Node string
+	// MaxDumps bounds the files kept on disk; the oldest is removed
+	// when a new dump would exceed it (default 8).
+	MaxDumps int
+	// MinInterval is the minimum spacing between dumps; triggers
+	// inside the window are counted but not written (default 10s).
+	MinInterval time.Duration
+	// SpanMax bounds the completed spans and critical paths embedded
+	// per dump (default 256).
+	SpanMax int
+
+	Registry *Registry
+	Tracer   *Tracer
+	Spans    *SpanTracer
+	// Status produces the process status document; it must be safe to
+	// call off the consensus goroutine.
+	Status func() any
+	Logger *Logger
+}
+
+// FlightDump is the schema of one anomaly dump file.
+type FlightDump struct {
+	Reason     string         `json:"reason"`
+	At         time.Time      `json:"at"`
+	Node       string         `json:"node,omitempty"`
+	View       uint64         `json:"view"`
+	Height     uint64         `json:"height"`
+	Detail     string         `json:"detail,omitempty"`
+	Trigger    uint64         `json:"trigger"`
+	Suppressed uint64         `json:"suppressed"`
+	Status     any            `json:"status,omitempty"`
+	Metrics    map[string]any `json:"metrics,omitempty"`
+	Events     []TraceEvent   `json:"events,omitempty"`
+	Spans      SpanSnapshot   `json:"spans"`
+}
+
+// FlightRecorder writes anomaly dumps. A nil *FlightRecorder ignores
+// triggers, so instrumented code needs no enablement checks. Safe for
+// concurrent use.
+type FlightRecorder struct {
+	cfg FlightConfig
+
+	mu         sync.Mutex
+	last       time.Time
+	seq        uint64
+	suppressed uint64
+	files      []string
+}
+
+// NewFlightRecorder creates the dump directory and returns a ready
+// recorder.
+func NewFlightRecorder(cfg FlightConfig) (*FlightRecorder, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("flight recorder: empty dir")
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 8
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 10 * time.Second
+	}
+	if cfg.SpanMax <= 0 {
+		cfg.SpanMax = 256
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flight recorder: %w", err)
+	}
+	return &FlightRecorder{cfg: cfg}, nil
+}
+
+// Trigger requests an anomaly dump for reason at the given protocol
+// position. The snapshot and file write happen on a fresh goroutine so
+// a trigger on the consensus path costs one mutexed time check.
+// Triggers landing inside MinInterval of the previous dump are
+// counted into the next dump's Suppressed field instead of written.
+func (f *FlightRecorder) Trigger(reason string, view, height uint64, detail string) {
+	if f == nil {
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	if !f.last.IsZero() && now.Sub(f.last) < f.cfg.MinInterval {
+		f.suppressed++
+		f.mu.Unlock()
+		return
+	}
+	f.last = now
+	f.seq++
+	seq := f.seq
+	suppressed := f.suppressed
+	f.suppressed = 0
+	f.mu.Unlock()
+	go f.write(seq, suppressed, reason, view, height, detail, now)
+}
+
+func (f *FlightRecorder) write(seq, suppressed uint64, reason string, view, height uint64, detail string, at time.Time) {
+	doc := FlightDump{
+		Reason:     reason,
+		At:         at,
+		Node:       f.cfg.Node,
+		View:       view,
+		Height:     height,
+		Detail:     detail,
+		Trigger:    seq,
+		Suppressed: suppressed,
+		Events:     f.cfg.Tracer.Dump(0),
+		Spans:      f.cfg.Spans.SnapshotSpans(f.cfg.SpanMax),
+	}
+	if f.cfg.Status != nil {
+		doc.Status = f.cfg.Status()
+	}
+	if f.cfg.Registry != nil {
+		doc.Metrics = f.cfg.Registry.Snapshot()
+	}
+	name := fmt.Sprintf("anomaly-%04d-%s-%s.json",
+		seq, sanitizeReason(reason), at.UTC().Format("20060102T150405.000"))
+	path := filepath.Join(f.cfg.Dir, name)
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		f.cfg.Logger.Errorf("flight recorder: encode %s: %v", name, err)
+		return
+	}
+	// Write-then-rename so a concurrent reader (a soak polling the
+	// directory) never sees a half-written dump.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		f.cfg.Logger.Errorf("flight recorder: write %s: %v", name, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.cfg.Logger.Errorf("flight recorder: rename %s: %v", name, err)
+		os.Remove(tmp)
+		return
+	}
+	f.mu.Lock()
+	f.files = append(f.files, path)
+	var evict []string
+	if n := len(f.files) - f.cfg.MaxDumps; n > 0 {
+		evict = append(evict, f.files[:n]...)
+		f.files = append([]string(nil), f.files[n:]...)
+	}
+	f.mu.Unlock()
+	for _, old := range evict {
+		os.Remove(old)
+	}
+	f.cfg.Logger.Warnf("flight recorder: wrote %s (reason=%s view=%d height=%d)", path, reason, view, height)
+}
+
+// Dumps returns the dump files this recorder currently keeps, oldest
+// first.
+func (f *FlightRecorder) Dumps() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.files...)
+}
+
+// ListFlightDumps returns the anomaly dump files present under dir,
+// sorted by name (trigger order). It is the reader-side counterpart
+// for soaks and tooling that inspect another process's data dir.
+func ListFlightDumps(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "anomaly-") && strings.HasSuffix(name, ".json") {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, r := range reason {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "anomaly"
+	}
+	return b.String()
+}

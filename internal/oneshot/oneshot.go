@@ -85,7 +85,7 @@ func (c *Checker) View() types.View { return c.vi }
 // from the first certificate handled in the new view, so only
 // certificate-producing calls need rollback protection.
 func (c *Checker) TEEnewview() (*types.ViewCert, error) {
-	c.enc.EnterCall("TEEnewview")
+	defer c.enc.EnterCall("TEEnewview")()
 	c.vi++
 	c.flag = false
 	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
@@ -95,7 +95,7 @@ func (c *Checker) TEEnewview() (*types.ViewCert, error) {
 // TEEprepareFast certifies a fast-path proposal extending the block
 // committed in view vi-1 (justified by its commitment certificate).
 func (c *Checker) TEEprepareFast(b *types.Block, h types.Hash, cc *types.CommitCert) (*types.BlockCert, error) {
-	c.enc.EnterCall("TEEprepareFast")
+	defer c.enc.EnterCall("TEEprepareFast")()
 	if c.flag {
 		return nil, ErrAlreadyProposed
 	}
@@ -117,7 +117,7 @@ func (c *Checker) TEEprepareFast(b *types.Block, h types.Hash, cc *types.CommitC
 // TEEprepareSlow certifies a slow-path proposal extending the highest
 // prepared block among f+1 view certificates.
 func (c *Checker) TEEprepareSlow(b *types.Block, h types.Hash, acc *types.AccCert) (*types.BlockCert, error) {
-	c.enc.EnterCall("TEEprepareSlow")
+	defer c.enc.EnterCall("TEEprepareSlow")()
 	if c.flag {
 		return nil, ErrAlreadyProposed
 	}
@@ -143,7 +143,7 @@ func (c *Checker) TEEprepareSlow(b *types.Block, h types.Hash, acc *types.AccCer
 // one call: the previous block is committed, so one voting phase
 // suffices.
 func (c *Checker) TEEstoreFast(b *types.Block, bc *types.BlockCert, cc *types.CommitCert) (*types.StoreCert, error) {
-	c.enc.EnterCall("TEEstoreFast")
+	defer c.enc.EnterCall("TEEstoreFast")()
 	if b == nil || bc == nil || cc == nil || b.Hash() != bc.Hash {
 		return nil, ErrBadCertificate
 	}
@@ -175,7 +175,7 @@ func (c *Checker) TEEstoreFast(b *types.Block, bc *types.BlockCert, cc *types.Co
 
 // TEEvotePrepare emits the slow-path PREPARE vote.
 func (c *Checker) TEEvotePrepare(bc *types.BlockCert) (*types.StoreCert, error) {
-	c.enc.EnterCall("TEEvotePrepare")
+	defer c.enc.EnterCall("TEEvotePrepare")()
 	if bc.Signer != c.leaderOf(bc.View) {
 		return nil, ErrBadCertificate
 	}
@@ -197,7 +197,7 @@ func (c *Checker) TEEvotePrepare(bc *types.BlockCert) (*types.StoreCert, error) 
 // TEEstorePrepared stores a prepared block and emits the slow-path
 // commit vote.
 func (c *Checker) TEEstorePrepared(pc *types.CommitCert) (*types.StoreCert, error) {
-	c.enc.EnterCall("TEEstorePrepared")
+	defer c.enc.EnterCall("TEEstorePrepared")()
 	if len(pc.Signers) < c.quorum {
 		return nil, ErrBadCertificate
 	}
@@ -219,7 +219,7 @@ func (c *Checker) TEEstorePrepared(pc *types.CommitCert) (*types.StoreCert, erro
 
 // TEEcatchup adopts state certified by a commitment certificate.
 func (c *Checker) TEEcatchup(cc *types.CommitCert) error {
-	c.enc.EnterCall("TEEcatchup")
+	defer c.enc.EnterCall("TEEcatchup")()
 	if len(cc.Signers) < c.quorum {
 		return ErrBadCertificate
 	}

@@ -27,6 +27,12 @@ type Options struct {
 	// Obs registers the per-stage depth gauges, task counters and
 	// queue-wait histograms (nil disables).
 	Obs *obs.Registry
+	// Spans, when set, records a span per sampled verified frame:
+	// ingress-verify for consensus traffic, client-admit for client
+	// submissions (whose pre-verification is dominated by mempool
+	// staging). Frames arriving without a trace context are sampled
+	// locally.
+	Spans *obs.SpanTracer
 }
 
 // Pooled is the live-path scheduler: a verify worker pool runs
@@ -58,6 +64,7 @@ type Pooled struct {
 type verifyTask struct {
 	from types.NodeID
 	msg  types.Message
+	ctx  types.TraceContext
 	step func()
 	at   time.Time
 }
@@ -141,9 +148,9 @@ func (p *Pooled) Bind(deliver func(lane Lane, step func())) { p.deliver = delive
 // pool, blocking when the pool is saturated. That blocking is the
 // backpressure path — it slows the peer's readLoop (and, through TCP
 // flow control, the peer) instead of silently dropping frames.
-func (p *Pooled) Ingress(from types.NodeID, msg types.Message, step func()) {
+func (p *Pooled) Ingress(from types.NodeID, msg types.Message, ctx types.TraceContext, step func()) {
 	select {
-	case p.verifyQ <- verifyTask{from: from, msg: msg, step: step, at: time.Now()}:
+	case p.verifyQ <- verifyTask{from: from, msg: msg, ctx: ctx, step: step, at: time.Now()}:
 		p.ingressTasks.Inc()
 	case <-p.quit:
 	}
@@ -154,11 +161,29 @@ func (p *Pooled) verifyWorker() {
 		select {
 		case t := <-p.verifyQ:
 			p.verifyWait.ObserveDuration(time.Since(t.at))
+			lane := LaneFor(t.msg)
+			ctx := t.ctx
+			if ctx.ID == 0 {
+				// Untraced frame (a client that does not stamp contexts, a
+				// pre-tracing peer): sample locally so ingress cost stays
+				// attributable.
+				ctx = p.opts.Spans.NewTrace()
+			}
 			if p.opts.Verify != nil {
-				p.opts.Verify(t.from, t.msg)
+				if ctx.Sampled {
+					stage := obs.StageIngressVerify
+					if lane == LaneClient {
+						stage = obs.StageClientAdmit
+					}
+					t0 := time.Now()
+					p.opts.Verify(t.from, t.msg)
+					p.opts.Spans.Observe(ctx, stage, 0, 0, time.Since(t0), t.msg.Type())
+				} else {
+					p.opts.Verify(t.from, t.msg)
+				}
 			}
 			if d := p.deliver; d != nil {
-				d(LaneFor(t.msg), t.step)
+				d(lane, t.step)
 			}
 		case <-p.quit:
 			return

@@ -66,8 +66,10 @@ type Scheduler interface {
 	// stateless verification (on the caller's or a worker's goroutine)
 	// and may block for backpressure when the verify stage is
 	// saturated; they must never drop step while the scheduler is
-	// running.
-	Ingress(from types.NodeID, msg types.Message, step func())
+	// running. ctx is the frame's causal-tracing context (zero when
+	// untraced); implementations that meter the verify stage attribute
+	// their spans to it.
+	Ingress(from types.NodeID, msg types.Message, ctx types.TraceContext, step func())
 	// Execute schedules post-commit work (commit observers, state
 	// machine side effects) in submission order, off the consensus
 	// goroutine when the implementation allows.
@@ -102,7 +104,7 @@ func (s *Sync) Bind(deliver func(lane Lane, step func())) { s.deliver = deliver 
 // Ingress implements Scheduler: the step goes straight to the
 // consensus loop with no pre-verification (the consensus handlers do
 // all checking inline, charging the meter as always).
-func (s *Sync) Ingress(_ types.NodeID, msg types.Message, step func()) {
+func (s *Sync) Ingress(_ types.NodeID, msg types.Message, _ types.TraceContext, step func()) {
 	if s.deliver != nil {
 		s.deliver(LaneFor(msg), step)
 		return

@@ -23,7 +23,7 @@ func TestSyncRunsEverythingInline(t *testing.T) {
 		order = append(order, "deliver")
 		step()
 	})
-	s.Ingress(1, &fakeMsg{}, func() { order = append(order, "step") })
+	s.Ingress(1, &fakeMsg{}, types.TraceContext{}, func() { order = append(order, "step") })
 	s.Execute(func() { order = append(order, "execute") })
 	s.Egress(func() { order = append(order, "egress") })
 	s.Stop()
@@ -51,7 +51,7 @@ func TestPooledVerifiesBeforeDelivering(t *testing.T) {
 	p.Bind(func(_ Lane, step func()) { step() })
 	for i := 0; i < 32; i++ {
 		i := i
-		p.Ingress(types.NodeID(i%3), &fakeMsg{n: i}, func() { delivered <- i })
+		p.Ingress(types.NodeID(i%3), &fakeMsg{n: i}, types.TraceContext{}, func() { delivered <- i })
 	}
 	seen := make(map[int]bool)
 	for len(seen) < 32 {
@@ -158,13 +158,13 @@ func TestPooledStopUnblocksSubmitters(t *testing.T) {
 	// backpressure under test).
 	go func() {
 		for i := 0; i < 8; i++ {
-			p.Ingress(0, &fakeMsg{}, func() { <-block })
+			p.Ingress(0, &fakeMsg{}, types.TraceContext{}, func() { <-block })
 		}
 	}()
 	time.Sleep(100 * time.Millisecond)
 	returned := make(chan struct{})
 	go func() {
-		p.Ingress(0, &fakeMsg{}, func() {})
+		p.Ingress(0, &fakeMsg{}, types.TraceContext{}, func() {})
 		close(returned)
 	}()
 	time.Sleep(50 * time.Millisecond)
@@ -190,7 +190,7 @@ func TestPooledConcurrentSubmitters(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				p.Ingress(0, &fakeMsg{n: i}, func() { steps.Add(1) })
+				p.Ingress(0, &fakeMsg{n: i}, types.TraceContext{}, func() { steps.Add(1) })
 				p.Execute(func() {})
 				p.Egress(func() {})
 			}

@@ -60,6 +60,7 @@ type Enclave struct {
 	sealer      *Sealer
 	disabled    bool
 	observe     func(fn string)
+	observeDur  func(fn string, d time.Duration)
 
 	calls     atomic.Uint64
 	costNanos atomic.Int64
@@ -95,6 +96,11 @@ type Config struct {
 	// Observe, when non-nil, receives the name of every trusted
 	// function entered (used to feed the protocol event tracer).
 	Observe func(fn string)
+	// ObserveDuration, when non-nil, receives each trusted function's
+	// wall-clock duration when its EnterCall exit closure runs (used to
+	// feed the span tracer's tee-ecall stage). When nil, EnterCall
+	// returns a shared no-op closure and measures nothing.
+	ObserveDuration func(fn string, d time.Duration)
 }
 
 // New creates an enclave and charges its initialization cost.
@@ -115,6 +121,7 @@ func New(cfg Config) *Enclave {
 		sealer:      NewSealer(cfg.MachineSecret, cfg.Measurement),
 		disabled:    cfg.Disabled,
 		observe:     cfg.Observe,
+		observeDur:  cfg.ObserveDuration,
 		callsByFn:   make(map[string]*atomic.Uint64),
 	}
 	if !e.disabled {
@@ -124,10 +131,16 @@ func New(cfg Config) *Enclave {
 	return e
 }
 
+// noopExit is the shared exit closure returned when no duration
+// observer is installed, so the untraced hot path allocates nothing.
+var noopExit = func() {}
+
 // EnterCall charges one trusted-call transition attributed to the
-// named trusted function. Every TEE* function in the trusted
-// components calls it exactly once on entry.
-func (e *Enclave) EnterCall(fn string) {
+// named trusted function and returns the exit closure the trusted
+// function defers (`defer e.EnterCall(fn)()`). The closure stamps the
+// call's wall-clock duration into the configured ObserveDuration hook;
+// without one it is a shared no-op.
+func (e *Enclave) EnterCall(fn string) func() {
 	e.calls.Add(1)
 	e.fnCounter(fn).Add(1)
 	if !e.disabled {
@@ -137,6 +150,11 @@ func (e *Enclave) EnterCall(fn string) {
 	if e.observe != nil {
 		e.observe(fn)
 	}
+	if e.observeDur == nil {
+		return noopExit
+	}
+	t0 := time.Now()
+	return func() { e.observeDur(fn, time.Since(t0)) }
 }
 
 func (e *Enclave) fnCounter(fn string) *atomic.Uint64 {

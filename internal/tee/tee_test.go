@@ -28,8 +28,8 @@ func TestEnclaveInitAndCallCosts(t *testing.T) {
 	if m.total != 10*time.Millisecond {
 		t.Fatalf("init charged %v", m.total)
 	}
-	e.EnterCall("TEEprepare")
-	e.EnterCall("TEEstore")
+	e.EnterCall("TEEprepare")()
+	e.EnterCall("TEEstore")()
 	if m.total != 10*time.Millisecond+10*time.Microsecond {
 		t.Fatalf("calls charged %v", m.total)
 	}
@@ -49,7 +49,7 @@ func TestEnclaveInitAndCallCosts(t *testing.T) {
 func TestDisabledEnclaveChargesNothing(t *testing.T) {
 	var m meterRec
 	e := New(Config{Disabled: true, Meter: &m, Costs: DefaultCallCosts()})
-	e.EnterCall("TEEprepare")
+	e.EnterCall("TEEprepare")()
 	if m.total != 0 {
 		t.Fatalf("disabled enclave charged %v", m.total)
 	}

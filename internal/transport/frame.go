@@ -33,6 +33,10 @@ var ErrBadFrame = errors.New("transport: malformed frame")
 type frame struct {
 	From types.NodeID
 	Msg  types.Message
+	// Trace is the causal-tracing context riding this frame (zero when
+	// untraced). Gob tolerates the field's absence in either direction,
+	// so traced and untraced builds interoperate on the wire.
+	Trace types.TraceContext
 }
 
 // RegisterMessages registers concrete message types with gob. Each

@@ -235,6 +235,12 @@ type Runtime struct {
 
 	helloNonce atomic.Uint64
 	laneDrops  atomic.Uint64
+	// traceCtx is the packed types.TraceContext stamped onto outbound
+	// frames: set by the inbound step wrapper for the duration of each
+	// consensus step (so responses continue the sender's trace) and
+	// overridden through SetTraceContext when the replica mints a new
+	// trace (a leader proposing a height).
+	traceCtx atomic.Uint64
 
 	mu        sync.Mutex
 	stopped   bool
@@ -692,13 +698,19 @@ func (rt *Runtime) readLoop(conn net.Conn, expect types.NodeID, accepted bool) {
 			rt.logf("dropping %s from %v claiming to be %v", f.Msg.Type(), identity, f.From)
 			continue
 		}
-		from, msg := identity, f.Msg
+		from, msg, tc := identity, f.Msg, f.Trace
 		// Hand the decoded frame to the ingress stage. Under Sync this
 		// enqueues the step directly (the historical path); under Pooled
 		// it blocks while the verify pool is saturated — backpressure
 		// that slows this peer's reader instead of silently dropping
-		// frames.
-		rt.sched.Ingress(from, msg, func() { rt.replica.OnMessage(from, msg) })
+		// frames. The frame's trace context becomes the runtime's
+		// outbound context for the duration of the step, so whatever the
+		// handler sends (votes, decides) stays on the sender's trace.
+		rt.sched.Ingress(from, msg, tc, func() {
+			rt.traceCtx.Store(tc.Pack())
+			rt.replica.OnMessage(from, msg)
+			rt.traceCtx.Store(0)
+		})
 		select {
 		case <-rt.done:
 			return
@@ -847,9 +859,21 @@ func (rt *Runtime) Charge(time.Duration) {}
 // Now implements protocol.Env.
 func (rt *Runtime) Now() types.Time { return time.Since(rt.start) }
 
+// SetTraceContext installs the causal-tracing context stamped onto
+// subsequent outbound frames. The replica calls it when it mints a new
+// trace (proposing a height, submitting a client batch); inbound steps
+// set and clear it around every handler automatically.
+func (rt *Runtime) SetTraceContext(ctx types.TraceContext) { rt.traceCtx.Store(ctx.Pack()) }
+
+// TraceContext returns the current outbound trace context — during an
+// inbound consensus step, the context the triggering frame carried.
+func (rt *Runtime) TraceContext() types.TraceContext {
+	return types.UnpackTraceContext(rt.traceCtx.Load())
+}
+
 // Send implements protocol.Env.
 func (rt *Runtime) Send(to types.NodeID, msg types.Message) {
-	f := &frame{From: rt.cfg.Self, Msg: msg}
+	f := &frame{From: rt.cfg.Self, Msg: msg, Trace: rt.TraceContext()}
 	if addr, ok := rt.cfg.Peers[to]; ok && to != rt.cfg.Self {
 		ch := rt.ensureDialer(to, addr)
 		select {

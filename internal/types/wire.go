@@ -49,6 +49,39 @@ const (
 	MaxWireSnapChunks = 1 << 10
 )
 
+// TraceContext is the compact causal-tracing context that rides every
+// live wire frame next to the message payload: a trace identifier
+// minted by whichever process starts a traced unit of work (a leader
+// proposing a height, a load generator submitting a batch) plus the
+// sampling decision. It is unauthenticated observability metadata —
+// consensus logic never reads it, it is never signed, and a Byzantine
+// peer forging it can at worst pollute the forger's neighbours' span
+// rings — so it carries no ValidateWire of its own beyond being
+// fixed-size. The zero TraceContext means "untraced".
+type TraceContext struct {
+	// ID identifies the trace. IDs embed the minting process so they
+	// stay distinct across replicas without coordination.
+	ID uint64
+	// Sampled is the head-based sampling decision: only sampled traces
+	// record spans anywhere downstream.
+	Sampled bool
+}
+
+// Pack encodes the context into one word (bit 0 = sampled) so a
+// transport can hold its current outbound context in a single atomic.
+func (c TraceContext) Pack() uint64 {
+	v := c.ID << 1
+	if c.Sampled {
+		v |= 1
+	}
+	return v
+}
+
+// UnpackTraceContext reverses Pack.
+func UnpackTraceContext(v uint64) TraceContext {
+	return TraceContext{ID: v >> 1, Sampled: v&1 == 1}
+}
+
 // WireValidator is implemented by messages (and their nested
 // certificates) that can check their own structural integrity. The
 // live transport calls ValidateWire on every decoded frame whose
