@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak soak-pooled soak-overload soak-crash soak-flight fuzz fuzz-smoke bench bench-json bench-sched bench-open-loop bench-durability bench-trace metrics-demo clean
+.PHONY: all build vet test check soak soak-pooled soak-overload soak-crash soak-flight soak-reconfig soak-memory fuzz fuzz-smoke fuzz-reconfig bench bench-json bench-sched bench-open-loop bench-durability bench-trace bench-reconfig metrics-demo clean
 
 all: check
 
@@ -56,6 +56,23 @@ soak-crash:
 soak-flight:
 	$(GO) test -race -run 'TestFlightRecorderLiveSoak' -timeout 120s -count=1 -v ./internal/harness
 
+# Rolling-upgrade reconfiguration soak: live n=3 cluster grown to n=5
+# through chain-committed Add reconfigs, every member's ring key
+# rotated epoch by epoch (including a crash mid-epoch-change and a
+# reboot that recovers with a stale boot key), then a member evicted —
+# whose old-epoch credentials are refused by the survivors' transport.
+# Clients keep committing throughout; one-block-per-height safety is
+# cross-checked on every node.
+soak-reconfig:
+	$(GO) test -run 'TestReconfigRollingUpgradeSoak' -timeout 300s -count=1 -v ./internal/harness
+
+# Bounded-memory soak: live n=3 durable cluster held flat (heap +
+# goroutines, via runtime sampling after GC) across >=20 snapshot +
+# WAL-truncation cycles with two key rotations interleaved, asserting
+# the WAL segment population stays bounded.
+soak-memory:
+	$(GO) test -run 'TestBoundedMemorySnapshotCycles' -timeout 300s -count=1 -v ./internal/harness
+
 # Adversarial invariant-checking fuzzer (internal/adversary): 500
 # seeded scenarios mixing active Byzantine replicas, crash/reboot with
 # sealed-storage rollback, and pre-GST network faults, plus a
@@ -74,6 +91,13 @@ fuzz-smoke: build
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=30s -run '^$$' ./internal/transport
 	$(GO) test -fuzz=FuzzWALRecord -fuzztime=30s -run '^$$' ./internal/wal
 
+# Seeded fuzz sweep with chain-driven reconfigs (add/remove/rotate)
+# interleaved into every scenario alongside Byzantine replicas,
+# rollback attacks and network faults; the epoch-aware invariant
+# checker must find no safety violation.
+fuzz-reconfig: build
+	$(GO) run ./cmd/achilles-sim -fuzz -seeds 200 -reconfig
+
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
@@ -85,7 +109,7 @@ bench:
 # breakdown (per-stage attribution, critical-path coverage, sampling
 # overhead).
 bench-json:
-	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -durability -trace-breakdown -json BENCH_achilles.json
+	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -durability -trace-breakdown -reconfig -json BENCH_achilles.json
 
 # Live loopback TCP scheduler ablation only (full windows): saturated
 # n=5 throughput under -sched sync vs -sched pooled.
@@ -110,6 +134,13 @@ bench-durability:
 # the committed-throughput cost of default 1/64 sampling vs disabled.
 bench-trace:
 	$(GO) run ./cmd/achilles-bench -trace-breakdown -json BENCH_achilles.json
+
+# Reconfiguration rows only (full windows): epoch-activation latency
+# (submit -> cluster-wide activation at h+delta) and the committed-
+# throughput dip across the window, per successive key rotation on a
+# live n=3 cluster.
+bench-reconfig:
+	$(GO) run ./cmd/achilles-bench -reconfig -json BENCH_achilles.json
 
 # Boot a local 3-node cluster with the admin endpoint on node 0,
 # scrape /metrics and /status, then tear everything down.

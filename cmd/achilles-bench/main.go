@@ -56,6 +56,11 @@ type report struct {
 	// all nodes, critical-path coverage of end-to-end commit latency,
 	// and the throughput cost of default sampling vs tracing disabled.
 	TraceBreakdown *harness.TraceBreakdownReport `json:"trace_breakdown,omitempty"`
+	// Reconfig is the live chain-driven reconfiguration bench
+	// (-reconfig): epoch-activation latency (submit → cluster-wide
+	// activation at h+Δ) and the committed-throughput dip across the
+	// reconfiguration window, per successive key rotation.
+	Reconfig []harness.ReconfigRow `json:"reconfig,omitempty"`
 }
 
 func main() {
@@ -73,6 +78,8 @@ func main() {
 		olLAN    = flag.Bool("ol-lan", false, "run -open-loop without the WAN latency profile")
 		durab    = flag.Bool("durability", false, "measure commit throughput per WAL fsync policy and cold-restart cost (snapshot+suffix vs full replay) on a live loopback cluster")
 		traceBD  = flag.Bool("trace-breakdown", false, "measure per-stage span latency attribution, critical-path coverage of e2e commit latency and sampling overhead on a live loopback cluster")
+		reconfig = flag.Bool("reconfig", false, "measure chain-driven key-rotation epoch activation latency and the throughput dip across the reconfiguration window on a live loopback cluster")
+		rcRounds = flag.Int("reconfig-rotations", 3, "successive key rotations to measure (-reconfig)")
 	)
 	flag.Parse()
 
@@ -223,6 +230,13 @@ func main() {
 		harness.PrintTraceBreakdown(os.Stdout,
 			"Trace breakdown — live loopback TCP, n=3, pooled scheduler, every trace sampled", bd)
 		rep.TraceBreakdown = &bd
+	}
+	if *reconfig {
+		ran = true
+		rows := harness.ReconfigBench(3, 26571, *rcRounds, d)
+		harness.PrintReconfigRows(os.Stdout,
+			"Reconfiguration — live loopback TCP, n=3, chain-driven key rotations under saturated synthetic load", rows)
+		rep.Reconfig = rows
 	}
 	if !ran {
 		flag.Usage()

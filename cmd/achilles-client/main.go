@@ -4,8 +4,11 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"achilles/internal/client"
@@ -26,6 +29,18 @@ func main() {
 		duration  = flag.Duration("duration", 30*time.Second, "run duration")
 		seed      = flag.Int64("seed", 1, "deterministic key seed (must match the nodes')")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		// Reconfig admin commands: when one of these is set the client
+		// submits a single signed membership-change transaction instead
+		// of running the load loop. Commit-time validation on the chain
+		// is authoritative; verify activation via any node's /status.
+		joinFlag    = flag.String("join", "", "submit a reconfig: admit replica `id=host:port` (boot-seed key), then exit")
+		leaveFlag   = flag.Int("leave", -1, "submit a reconfig: evict replica id from the membership, then exit")
+		rotateFlag  = flag.Int("rotate", -1, "submit a reconfig: rotate replica id's ring key, then exit")
+		rotateEpoch = flag.Uint64("rotate-epoch", 0, "epoch that installs the rotated key (current epoch + 1; see /status)")
+		signerFlag  = flag.Int("signer", 0, "member whose ring key signs the reconfig command")
+		signerEpoch = flag.Uint64("signer-epoch", 0, "epoch of the signer's last key rotation (0 = boot key)")
+		submitTo    = flag.Int("submit-to", 0, "node the reconfig command is submitted to")
 	)
 	newChaos := netchaos.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -73,6 +88,15 @@ func main() {
 		fatalf("start: %v", err)
 	}
 	defer rt.Stop()
+
+	if *joinFlag != "" || *leaveFlag >= 0 || *rotateFlag >= 0 {
+		submitReconfig(rt, logger, fatalf, scheme, *seed, reconfigSpec{
+			join: *joinFlag, leave: *leaveFlag, rotate: *rotateFlag,
+			rotateEpoch: *rotateEpoch, signer: *signerFlag,
+			signerEpoch: *signerEpoch, to: *submitTo,
+		})
+		return
+	}
 	logger.Infof("client %v offering %.0f tx/s to %d nodes", self, *rate, len(peers))
 
 	deadline := time.After(*duration)
@@ -94,4 +118,83 @@ func main() {
 			return
 		}
 	}
+}
+
+// reconfigSpec carries the parsed admin-command flags.
+type reconfigSpec struct {
+	join                     string
+	leave, rotate            int
+	rotateEpoch, signerEpoch uint64
+	signer, to               int
+}
+
+// submitReconfig builds the signed membership-change command the flags
+// describe and delivers it to one node as an ordinary client
+// transaction. The payload is exactly what core.SubmitReconfig would
+// enqueue, so the chain-side path (commit, signature check against the
+// committing epoch's ring, activation at h+Δ) is identical whether the
+// command originates from an operator CLI or a node. It is sent to a
+// single replica on purpose: the transaction waits in that node's pool
+// until it leads, and a second copy committed through another leader
+// would be rejected at apply time as a duplicate, muddying the logs.
+func submitReconfig(rt *transport.Runtime, logger *obs.Logger, fatalf func(string, ...any),
+	scheme crypto.Scheme, seed int64, spec reconfigSpec) {
+	var (
+		op   types.ReconfigOp
+		node types.NodeID
+		key  []byte
+		addr string
+	)
+	switch {
+	case spec.join != "":
+		idStr, hostPort, ok := strings.Cut(spec.join, "=")
+		if !ok {
+			fatalf("bad -join %q: want id=host:port", spec.join)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 0 {
+			fatalf("bad -join node id %q", idStr)
+		}
+		op, node, addr = types.ReconfigAdd, types.NodeID(id), hostPort
+		// A joining replica boots with its seed-derived key, exactly as
+		// the original members did.
+		_, pub := scheme.KeyPair(seed, node)
+		key = scheme.MarshalPublic(pub)
+	case spec.leave >= 0:
+		op, node = types.ReconfigRemove, types.NodeID(spec.leave)
+	case spec.rotate >= 0:
+		if spec.rotateEpoch == 0 {
+			fatalf("-rotate requires -rotate-epoch (the epoch that installs the key: current epoch + 1)")
+		}
+		op, node = types.ReconfigRotate, types.NodeID(spec.rotate)
+		_, pub := crypto.RotationKeyPair(scheme, seed, spec.rotateEpoch, node)
+		key = scheme.MarshalPublic(pub)
+	}
+
+	signer := types.NodeID(spec.signer)
+	signerPriv, _ := scheme.KeyPair(seed, signer)
+	if spec.signerEpoch > 0 {
+		// The signer's own key was rotated earlier; the command must
+		// verify against its current ring key, not the boot key.
+		signerPriv, _ = crypto.RotationKeyPair(scheme, seed, spec.signerEpoch, signer)
+	}
+	rc := &types.Reconfig{Op: op, Node: node, Key: key, Addr: addr, Signer: signer}
+	rc.Sig = scheme.Sign(signerPriv, types.ReconfigPayload(op, node, key, addr))
+
+	// Mirror core.SubmitReconfig's transaction framing so mempool dedup
+	// treats an operator resubmission and a node-side requeue as the
+	// same transaction.
+	txPayload := rc.EncodeTx()
+	h := types.HashBytes(txPayload)
+	tx := types.Transaction{
+		Client:  rc.Signer,
+		Seq:     binary.BigEndian.Uint32(h[:4]),
+		Payload: txPayload,
+	}
+	target := types.NodeID(spec.to)
+	rt.Send(target, &types.ClientRequest{Txs: []types.Transaction{tx}})
+	logger.Infof("submitted reconfig %s(node=%v) signer=%v to node %v; watch /status for epoch activation", op, node, signer, target)
+	// Sends ride an async egress queue; give the dialer time to connect
+	// and flush before tearing the runtime down.
+	time.Sleep(3 * time.Second)
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -240,6 +241,9 @@ func main() {
 
 	var secret [32]byte
 	secret[0] = byte(self)
+	// rt is assigned before rt.Start launches the consensus goroutine,
+	// and epoch callbacks only ever fire from there.
+	var rt *transport.Runtime
 	rep = core.New(core.Config{
 		Config:            pcfg,
 		Scheme:            scheme,
@@ -259,6 +263,56 @@ func main() {
 		Trace:             tracer,
 		Spans:             spans,
 		Flight:            flight,
+		// Reconfiguration wiring: resolve our own rotated keys by the
+		// deterministic derivation convention, and rewire the transport
+		// (peer set, handshake ring, advertised epoch) on activation.
+		KeyByPub: func(pub []byte) crypto.PrivateKey {
+			if p := rotationPrivFor(scheme, *seed, self, pub); p != nil {
+				return p
+			}
+			if bytes.Equal(pub, scheme.MarshalPublic(ring.Get(self))) {
+				return priv
+			}
+			return nil
+		},
+		OnEpochChange: func(m *types.Membership, epochRing *crypto.KeyRing) {
+			if rt == nil {
+				return
+			}
+			rt.SetEpoch(uint64(m.Epoch), m.ConfigHash())
+			rt.SetRing(epochRing)
+			if verifier != nil {
+				verifier.Rekey(epochRing)
+			}
+			// If this epoch rotated OUR key, future dials must present it:
+			// peers verify handshakes against the new ring, so a Hello
+			// signed with the old key would refuse every reconnect.
+			if kb := m.Keys[self]; len(kb) > 0 {
+				if p := rotationPrivFor(scheme, *seed, self, kb); p != nil {
+					rt.SetPriv(p)
+				}
+			}
+			// Peer table: dial new members at their advertised addresses,
+			// keep original members on their boot addresses, drop evicted
+			// ones. Self is never a peer.
+			known := make(map[types.NodeID]bool)
+			for _, pid := range rt.PeerIDs() {
+				known[pid] = true
+			}
+			for _, mid := range m.Members {
+				if mid == self {
+					continue
+				}
+				if addr := m.Addrs[mid]; addr != "" {
+					rt.AddPeer(mid, addr)
+				}
+				delete(known, mid)
+			}
+			for pid := range known {
+				rt.RemovePeer(pid)
+			}
+			mainLog.Infof("epoch %d wired: n=%d quorum=%d members=%v", m.Epoch, m.N(), m.Quorum(), m.Members)
+		},
 	})
 
 	var committed, txs atomic.Uint64
@@ -283,7 +337,7 @@ func main() {
 		tcfg.WrapAccepted = chaos.WrapAccepted(listen)
 		mainLog.Infof("netchaos fault injection enabled")
 	}
-	rt := transport.New(tcfg, rep)
+	rt = transport.New(tcfg, rep)
 	if verifier != nil {
 		// Staged admission needs the runtime clock for its token
 		// buckets, and routes RETRY-AFTER rejections through the ordered
@@ -298,6 +352,38 @@ func main() {
 		fatalf("start: %v", err)
 	}
 	mainLog.Infof("listening on %s (n=%d f=%d sched=%s)", listen, n, (n-1)/2, hotSched.Name())
+
+	// A node restarting after reconfigurations restores its membership
+	// during Init (async on the event loop). Once it settles, align the
+	// transport with the restored epoch: handshake ring, advertised
+	// epoch, and — when our own key was rotated — the Hello signing key.
+	// Later activations keep this current via OnEpochChange.
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			m := rep.Membership()
+			if m == nil {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			if m.Epoch > 0 {
+				if epochRing, err := crypto.RingFromKeys(scheme, m.Keys); err == nil {
+					rt.SetRing(epochRing)
+					if verifier != nil {
+						verifier.Rekey(epochRing)
+					}
+				}
+				rt.SetEpoch(uint64(m.Epoch), m.ConfigHash())
+				if kb := m.Keys[self]; len(kb) > 0 {
+					if p := rotationPrivFor(scheme, *seed, self, kb); p != nil {
+						rt.SetPriv(p)
+					}
+				}
+				mainLog.Infof("restored epoch %d wired: n=%d members=%v", m.Epoch, m.N(), m.Members)
+			}
+			return
+		}
+	}()
 
 	if *adminAddr != "" {
 		srv, err := admin.Start(*adminAddr, admin.Config{
@@ -357,4 +443,22 @@ func main() {
 			return
 		}
 	}
+}
+
+// rotationProbeLimit bounds the epoch range searched when resolving a
+// rotated key of our own: key resolution runs only at boot and at
+// epoch activation, so a few hundred key derivations are immaterial.
+const rotationProbeLimit = 256
+
+// rotationPrivFor searches the deterministic rotation-key space
+// (crypto.RotationKeyPair, epochs 1..rotationProbeLimit) for the
+// private half matching pub; nil when no epoch's derived key matches.
+func rotationPrivFor(scheme crypto.Scheme, seed int64, id types.NodeID, pub []byte) crypto.PrivateKey {
+	for e := uint64(1); e <= rotationProbeLimit; e++ {
+		p, pk := crypto.RotationKeyPair(scheme, seed, e, id)
+		if bytes.Equal(pub, scheme.MarshalPublic(pk)) {
+			return p
+		}
+	}
+	return nil
 }

@@ -16,6 +16,7 @@
 //
 //	achilles-sim -fuzz -seeds 500
 //	achilles-sim -fuzz -seeds 50 -seed-base 7000 -fuzz-weaken
+//	achilles-sim -fuzz -seeds 50 -reconfig
 package main
 
 import (
@@ -54,11 +55,12 @@ func main() {
 		seeds      = flag.Int("seeds", 100, "number of seeded scenarios to sweep (-fuzz)")
 		seedBase   = flag.Int64("seed-base", 0, "first scenario seed (-fuzz)")
 		fuzzWeaken = flag.Bool("fuzz-weaken", false, "plant a weakened checker in every scenario; the invariants must catch the attack (-fuzz)")
+		reconfig   = flag.Bool("reconfig", false, "interleave chain-driven reconfiguration (key rotation, Byzantine eviction) with every scenario's faults (-fuzz)")
 	)
 	flag.Parse()
 
 	if *fuzz {
-		runFuzz(*seeds, *seedBase, *fuzzWeaken)
+		runFuzz(*seeds, *seedBase, *fuzzWeaken, *reconfig)
 		return
 	}
 
@@ -116,10 +118,13 @@ func main() {
 // runFuzz sweeps seeded adversarial scenarios and exits non-zero on
 // the first batch containing an invariant failure, printing a
 // minimized reproducer for each.
-func runFuzz(seeds int, base int64, weaken bool) {
+func runFuzz(seeds int, base int64, weaken, reconfig bool) {
 	mode := "adversarial scenarios (honest trusted components)"
 	if weaken {
 		mode = "weakened-checker scenarios (invariants must catch the attack)"
+	}
+	if reconfig {
+		mode += " with chain-driven reconfiguration"
 	}
 	fmt.Printf("fuzz: %d %s, seeds %d..%d\n", seeds, mode, base, base+int64(seeds)-1)
 	start := time.Now()
@@ -133,7 +138,7 @@ func runFuzz(seeds int, base int64, weaken bool) {
 		if rest := seeds - done; rest < batch {
 			batch = rest
 		}
-		failures += adversary.Sweep(base+int64(done), batch, weaken, report)
+		failures += adversary.Sweep(base+int64(done), batch, weaken, reconfig, report)
 		fmt.Printf("fuzz: %d/%d scenarios, %d failures, %v elapsed\n",
 			done+batch, seeds, failures, time.Since(start).Round(time.Millisecond))
 	}

@@ -90,7 +90,13 @@ func health(cfg Config) obs.Health {
 		"height":                  st.Height,
 		"recovering":              st.Recovering,
 		"last_commit_ago_seconds": st.LastCommitAgoSeconds,
+		"epoch":                   st.Epoch,
+		"config_hash":             st.ConfigHash,
 	}}
+	if st.PendingEpoch != 0 {
+		h.Detail["pending_epoch"] = st.PendingEpoch
+		h.Detail["pending_activate_at"] = st.PendingActivateAt
+	}
 	switch {
 	case st.Recovering:
 		h.OK = false

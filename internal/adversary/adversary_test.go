@@ -77,7 +77,7 @@ func TestLyingRecoveryRepliesTolerated(t *testing.T) {
 func TestWeakenedCheckerCaught(t *testing.T) {
 	caught := 0
 	for seed := int64(0); seed < 5; seed++ {
-		s := RandomScenario(seed, true)
+		s := RandomScenario(seed, true, false)
 		r := s.Run()
 		if len(r.Safety) == 0 {
 			t.Logf("seed %d: weakened checker not caught (scenario %s)", seed, s)
@@ -112,13 +112,55 @@ func TestFuzzSweepShort(t *testing.T) {
 	if testing.Short() {
 		count = 4
 	}
-	if n := Sweep(1000, count, false, t.Errorf); n != 0 {
+	if n := Sweep(1000, count, false, false, t.Errorf); n != 0 {
 		t.Fatalf("%d of %d fuzz scenarios failed", n, count)
 	}
 }
 
+// TestFuzzSweepReconfig interleaves chain-driven reconfiguration — an
+// honest member's key rotation and, where a Byzantine member exists,
+// its eviction — with the same seeded fault soup: zero invariant
+// failures, and the epoch-agreement invariants active throughout.
+func TestFuzzSweepReconfig(t *testing.T) {
+	count := 8
+	if testing.Short() {
+		count = 3
+	}
+	if n := Sweep(4000, count, false, true, t.Errorf); n != 0 {
+		t.Fatalf("%d of %d reconfig fuzz scenarios failed", n, count)
+	}
+}
+
+// TestReconfigScenarioActivates pins the basic reconfig path: a clean
+// scenario with a rotation and no other faults must activate epoch 1
+// and keep committing under the rotated key.
+func TestReconfigScenarioActivates(t *testing.T) {
+	s := Scenario{
+		Seed:    21,
+		F:       1,
+		Byz:     map[types.NodeID]Behavior{},
+		Weaken:  map[types.NodeID]bool{},
+		Victim:  -1,
+		GST:     300 * time.Millisecond,
+		Horizon: 4 * time.Second,
+		Reconfig: []ReconfigEvent{
+			{At: 500 * time.Millisecond, Op: types.ReconfigRotate, Node: 1, Signer: 1},
+		},
+	}
+	r := s.Run()
+	if len(r.Safety) > 0 {
+		t.Fatalf("safety violations: %v", r.Safety)
+	}
+	if len(r.Liveness) > 0 {
+		t.Fatalf("liveness failures: %v", r.Liveness)
+	}
+	if r.MaxEpoch != 1 {
+		t.Fatalf("rotation did not activate epoch 1 (max epoch %d)", r.MaxEpoch)
+	}
+}
+
 func TestScenarioStringRoundsTrip(t *testing.T) {
-	s := RandomScenario(42, false)
+	s := RandomScenario(42, false, true)
 	str := s.String()
 	if !strings.Contains(str, "seed=42") {
 		t.Fatalf("reproducer lacks seed: %s", str)

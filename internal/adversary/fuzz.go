@@ -7,8 +7,10 @@ import (
 	"strings"
 	"time"
 
+	"achilles/internal/crypto"
 	"achilles/internal/harness"
 	"achilles/internal/protocol"
+	"achilles/internal/sim"
 	"achilles/internal/types"
 )
 
@@ -39,12 +41,32 @@ type Scenario struct {
 	PartFrom, PartTo time.Duration
 	GST              time.Duration
 	Horizon          time.Duration
+	// Reconfig interleaves chain-driven reconfiguration with the faults
+	// above: each event submits a signed command (a key rotation or a
+	// member eviction) through the chain at its earliest time.
+	// Submission defers in 500ms steps while the crash victim is still
+	// recovering: a sim replica keeps no durable state, so a rotation
+	// activating mid-recovery would strand the victim behind a ring it
+	// cannot reconstruct — a deployment constraint the live soak covers
+	// with disks, not a protocol bug for the fuzzer to flag.
+	Reconfig []ReconfigEvent
+}
+
+// ReconfigEvent is one scheduled reconfiguration command.
+type ReconfigEvent struct {
+	At     time.Duration
+	Op     types.ReconfigOp
+	Node   types.NodeID // target of the rotation/eviction
+	Signer types.NodeID // member whose signature authorizes it
 }
 
 // RandomScenario derives a scenario from seed. With weaken set, the
 // scenario plants one weakened equivocating node and keeps the network
-// clean so the attack reliably reaches a split commit.
-func RandomScenario(seed int64, weaken bool) Scenario {
+// clean so the attack reliably reaches a split commit. With reconfig
+// set, the scenario additionally rotates an honest member's ring key
+// and, when a Byzantine member exists, evicts it — both through the
+// chain, interleaved with whatever faults the seed already planted.
+func RandomScenario(seed int64, weaken, reconfig bool) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	s := Scenario{
 		Seed:   seed,
@@ -97,7 +119,52 @@ func RandomScenario(seed int64, weaken bool) Scenario {
 		s.PartFrom = time.Duration(rng.Intn(int(s.GST / 2)))
 		s.PartTo = s.PartFrom + time.Duration(rng.Intn(int(s.GST-s.PartFrom)))
 	}
+	if reconfig {
+		s.planReconfigs(rng, n)
+	}
 	return s
+}
+
+// planReconfigs appends the scenario's reconfiguration events: always a
+// key rotation of one honest node (self-signed — a node rotates its own
+// key), and, when the seed planted a Byzantine member, sometimes its
+// eviction signed by the lowest honest member. Events start after GST
+// (and after the victim's reboot) and are spaced far enough apart that
+// each epoch activates before the next command commits — a second
+// reconfiguration is rejected while one is pending.
+func (s *Scenario) planReconfigs(rng *rand.Rand, n int) {
+	base := s.GST + 500*time.Millisecond
+	if s.Victim >= 0 && s.RebootAt+time.Second > base {
+		base = s.RebootAt + time.Second
+	}
+	var honest []types.NodeID
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		if _, byz := s.Byz[id]; !byz && id != s.Victim {
+			honest = append(honest, id)
+		}
+	}
+	if len(honest) == 0 {
+		return
+	}
+	tgt := honest[rng.Intn(len(honest))]
+	s.Reconfig = append(s.Reconfig, ReconfigEvent{
+		At: base, Op: types.ReconfigRotate, Node: tgt, Signer: tgt,
+	})
+	if len(s.Byz) > 0 && rng.Float64() < 0.5 {
+		ids := make([]types.NodeID, 0, len(s.Byz))
+		for id := range s.Byz {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		s.Reconfig = append(s.Reconfig, ReconfigEvent{
+			At: base + 1500*time.Millisecond, Op: types.ReconfigRemove,
+			Node: ids[rng.Intn(len(ids))], Signer: honest[0],
+		})
+	}
+	if h := s.Reconfig[len(s.Reconfig)-1].At + 3*time.Second; h > s.Horizon {
+		s.Horizon = h
+	}
 }
 
 // String renders the scenario as a one-stanza reproducer.
@@ -127,6 +194,9 @@ func (s Scenario) String() string {
 	if s.Partition {
 		fmt.Fprintf(&b, " partition=[%v,%v)", s.PartFrom, s.PartTo)
 	}
+	for _, e := range s.Reconfig {
+		fmt.Fprintf(&b, " reconfig[%s(node=%v)by=%v@%v]", e.Op, e.Node, e.Signer, e.At)
+	}
 	fmt.Fprintf(&b, " gst=%v horizon=%v", s.GST, s.Horizon)
 	return b.String()
 }
@@ -147,6 +217,8 @@ type Result struct {
 	// GST.
 	MaxHeight   types.Height
 	HeightAtGST types.Height
+	// MaxEpoch is the highest epoch any honest node activated.
+	MaxEpoch types.Epoch
 }
 
 // Failed reports whether the run violates the scenario's expectations:
@@ -224,12 +296,14 @@ func (s Scenario) Run() Result {
 		}
 	}
 	eng.At(s.GST, func() { res.HeightAtGST = inv.MaxHeight() })
+	s.scheduleReconfigs(c, eng)
 
 	eng.Start()
 	eng.Run(types.Time(s.Horizon))
 
 	res.Safety = inv.Violations()
 	res.MaxHeight = inv.MaxHeight()
+	res.MaxEpoch = inv.MaxEpoch()
 	if len(res.Safety) == 0 && !s.ExpectViolation() {
 		// Liveness after GST: the honest cluster keeps committing, and a
 		// crashed node finishes recovery and rejoins the chain.
@@ -247,8 +321,62 @@ func (s Scenario) Run() Result {
 					fmt.Sprintf("node %v committed nothing after reboot", s.Victim))
 			}
 		}
+		if len(s.Reconfig) > 0 && res.MaxEpoch == 0 {
+			res.Liveness = append(res.Liveness, "reconfiguration never activated an epoch")
+		}
 	}
 	return res
+}
+
+// reconfigurable is the slice of core.Replica the fuzzer drives
+// reconfiguration through; honest sim replicas implement all of it.
+type reconfigurable interface {
+	SubmitReconfig(*types.Reconfig) error
+	StageRotationKey(types.Epoch, crypto.PrivateKey, []byte)
+	Membership() *types.Membership
+	Recovering() bool
+}
+
+// scheduleReconfigs arms the scenario's reconfiguration events on the
+// engine: at each event's time (deferred while the crash victim is
+// still recovering) the signer's replica stages any rotated private
+// key and submits the signed command for ordering through the chain.
+func (s Scenario) scheduleReconfigs(c *harness.Cluster, eng *sim.Engine) {
+	scheme := c.Config.Scheme
+	for i, ev := range s.Reconfig {
+		ev := ev
+		var key []byte
+		var rotPriv crypto.PrivateKey
+		if ev.Op == types.ReconfigRotate {
+			// A deterministic fresh keypair: the seed offset keeps it
+			// distinct from every boot key of the same node.
+			p, pub := scheme.KeyPair(s.Seed+0x7ea0+int64(i), ev.Node)
+			rotPriv, key = p, scheme.MarshalPublic(pub)
+		}
+		payload := types.ReconfigPayload(ev.Op, ev.Node, key, "")
+		rc := &types.Reconfig{
+			Op: ev.Op, Node: ev.Node, Key: key, Signer: ev.Signer,
+			Sig: scheme.Sign(c.PrivateKey(ev.Signer), payload),
+		}
+		var fire func()
+		fire = func() {
+			if s.Victim >= 0 {
+				if vr, ok := eng.Replica(s.Victim).(interface{ Recovering() bool }); ok && vr.Recovering() {
+					eng.At(eng.Now()+types.Time(500*time.Millisecond), fire)
+					return
+				}
+			}
+			sub, ok := eng.Replica(ev.Signer).(reconfigurable)
+			if !ok || sub.Recovering() {
+				return
+			}
+			if rotPriv != nil {
+				sub.StageRotationKey(sub.Membership().Epoch+1, rotPriv, key)
+			}
+			_ = sub.SubmitReconfig(rc)
+		}
+		eng.At(types.Time(ev.At), fire)
+	}
 }
 
 // Minimize greedily simplifies a failing scenario while the failure
@@ -261,6 +389,15 @@ func Minimize(s Scenario, r Result) (Scenario, Result) {
 		func(c *Scenario) { c.Partition = false },
 		func(c *Scenario) { c.Rollback = "" },
 		func(c *Scenario) { c.Victim = -1; c.Rollback = "" },
+		func(c *Scenario) { c.Reconfig = nil },
+	}
+	for i := range s.Reconfig {
+		i := i
+		simplify = append(simplify, func(c *Scenario) {
+			if i < len(c.Reconfig) {
+				c.Reconfig = append(append([]ReconfigEvent(nil), c.Reconfig[:i]...), c.Reconfig[i+1:]...)
+			}
+		})
 	}
 	ids := make([]types.NodeID, 0, len(s.Byz))
 	for id := range s.Byz {
@@ -308,6 +445,7 @@ func (s Scenario) clone() Scenario {
 	for id, w := range s.Weaken {
 		c.Weaken[id] = w
 	}
+	c.Reconfig = append([]ReconfigEvent(nil), s.Reconfig...)
 	return c
 }
 
@@ -316,11 +454,12 @@ func (s Scenario) equal(o Scenario) bool { return s.String() == o.String() }
 // Sweep runs count seeded scenarios starting at base and reports each
 // failure (minimized) through report. It returns the number of
 // failures. With weaken set every scenario plants a weakened checker
-// and a *caught* attack counts as success.
-func Sweep(base int64, count int, weaken bool, report func(format string, args ...any)) int {
+// and a *caught* attack counts as success; with reconfig set every
+// scenario interleaves chain-driven reconfiguration with its faults.
+func Sweep(base int64, count int, weaken, reconfig bool, report func(format string, args ...any)) int {
 	failures := 0
 	for i := 0; i < count; i++ {
-		s := RandomScenario(base+int64(i), weaken)
+		s := RandomScenario(base+int64(i), weaken, reconfig)
 		r := s.Run()
 		if !r.Failed(s) {
 			continue

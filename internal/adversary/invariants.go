@@ -41,6 +41,25 @@ type Invariants struct {
 	byHeight  map[types.Height]types.Hash
 	maxHeight types.Height
 	heights   map[types.NodeID]types.Height
+
+	// Epoch activations (chain-driven reconfiguration). Honest nodes
+	// must agree exactly on every activated epoch — config hash,
+	// deterministic activation height, member set — and activation
+	// heights must be strictly ordered across epochs, which is the "at
+	// most one active configuration per height" property in checkable
+	// form. nodeEpoch is per-incarnation: a rebooted node legitimately
+	// re-activates epochs while replaying its restored chain.
+	epochs    map[types.Epoch]*epochRecord
+	nodeEpoch map[types.NodeID]types.Epoch
+}
+
+// epochRecord pins the first honest report of an epoch's configuration;
+// every later honest report must match it exactly.
+type epochRecord struct {
+	configHash types.Hash
+	activateAt types.Height
+	members    []types.NodeID
+	by         types.NodeID
 }
 
 // NewInvariants returns a checker for an n-node cluster.
@@ -57,6 +76,8 @@ func NewInvariants(n int) *Invariants {
 		commitHash:   make(map[types.NodeID]types.Hash),
 		byHeight:     make(map[types.Height]types.Hash),
 		heights:      make(map[types.NodeID]types.Height),
+		epochs:       make(map[types.Epoch]*epochRecord),
+		nodeEpoch:    make(map[types.NodeID]types.Epoch),
 	}
 }
 
@@ -80,6 +101,7 @@ func (inv *Invariants) NodeCrashed(id types.NodeID) {
 	delete(inv.lastAttested, id)
 	delete(inv.commitHeight, id)
 	delete(inv.commitHash, id)
+	delete(inv.nodeEpoch, id)
 }
 
 // NodeRestored seeds a rebooted node's commit cursor at (height, hash):
@@ -187,7 +209,7 @@ func (inv *Invariants) ObserveRecovered(node types.NodeID, newView, leaderView t
 	if newView != leaderView+2 {
 		inv.failf("recovery: node %v recovered to view %d, want leaderView %d + 2", node, newView, leaderView)
 	}
-	if want := types.LeaderForView(leaderView, inv.n); leader != want {
+	if want := types.LeaderForView(leaderView, inv.n); leader != want && !inv.leaderPlausible(leader) {
 		inv.failf("recovery: node %v justified by %v, who does not lead view %d (leader %v)",
 			node, leader, leaderView, want)
 	}
@@ -197,6 +219,98 @@ func (inv *Invariants) ObserveRecovered(node types.NodeID, newView, leaderView t
 		inv.failf("rollback window: node %v recovered to view %d at or below its last signed view %d",
 			node, newView, max)
 	}
+}
+
+// leaderPlausible reports whether a reconfiguration has activated and
+// the claimed recovery leader belongs to some activated epoch's
+// membership. Once membership changes, the exact leader-of-view binding
+// is epoch-dependent and this checker cannot know which epoch a
+// justification ran under; it still refuses leaders that were never a
+// member of any configuration. With no epochs activated the fixed
+// round-robin check stays exact.
+func (inv *Invariants) leaderPlausible(leader types.NodeID) bool {
+	if len(inv.epochs) == 0 {
+		return false
+	}
+	for _, rec := range inv.epochs {
+		for _, m := range rec.members {
+			if m == leader {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ObserveEpochActivate implements core.EpochObserver: cross-node
+// agreement on every activated epoch's (config hash, activation height,
+// member set), per-incarnation epoch monotonicity, and strictly ordered
+// activation heights across epochs — no height lives under two
+// configurations.
+func (inv *Invariants) ObserveEpochActivate(node types.NodeID, epoch types.Epoch, at types.Height,
+	configHash types.Hash, members []types.NodeID) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if prev, ok := inv.nodeEpoch[node]; ok && epoch <= prev {
+		inv.failf("epoch regression: node %v activated epoch %d after epoch %d in the same incarnation",
+			node, epoch, prev)
+	}
+	inv.nodeEpoch[node] = epoch
+	if inv.exempt[node] {
+		return
+	}
+	if rec, ok := inv.epochs[epoch]; ok {
+		if rec.configHash != configHash {
+			inv.failf("SAFETY: epoch %d config divergence: node %v activated %x, node %v activated %x",
+				epoch, rec.by, rec.configHash[:4], node, configHash[:4])
+		}
+		if rec.activateAt != at {
+			inv.failf("SAFETY: epoch %d activation-height divergence: node %v at height %d, node %v at height %d",
+				epoch, rec.by, rec.activateAt, node, at)
+		}
+		if !equalMembers(rec.members, members) {
+			inv.failf("SAFETY: epoch %d membership divergence: node %v saw %v, node %v saw %v",
+				epoch, rec.by, rec.members, node, members)
+		}
+		return
+	}
+	for e, rec := range inv.epochs {
+		if (e < epoch && rec.activateAt >= at) || (e > epoch && rec.activateAt <= at) {
+			inv.failf("SAFETY: epochs %d and %d activate out of order (heights %d and %d): two configurations claim the same height range",
+				e, epoch, rec.activateAt, at)
+		}
+	}
+	inv.epochs[epoch] = &epochRecord{
+		configHash: configHash,
+		activateAt: at,
+		members:    append([]types.NodeID(nil), members...),
+		by:         node,
+	}
+}
+
+// MaxEpoch returns the highest epoch any honest node has activated.
+func (inv *Invariants) MaxEpoch() types.Epoch {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	var max types.Epoch
+	for e := range inv.epochs {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+func equalMembers(a, b []types.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // OnCommit feeds a commit into the checker; wire it to

@@ -28,14 +28,27 @@ var (
 // no consensus state — only keys — so nothing needs recovery after a
 // reboot (Sec. 4.3).
 type Accumulator struct {
-	enc    *tee.Enclave
-	svc    *crypto.Service
-	quorum int
+	enc      *tee.Enclave
+	svc      *crypto.Service
+	quorum   int
+	quorumFn func() int
 }
 
 // New creates an accumulator for the node behind svc.
 func New(enc *tee.Enclave, svc *crypto.Service, quorum int) *Accumulator {
 	return &Accumulator{enc: enc, svc: svc, quorum: quorum}
+}
+
+// SetQuorumFn installs an epoch-aware quorum override (see
+// checker.Config.QuorumFn for the trust argument); nil restores the
+// fixed quorum.
+func (a *Accumulator) SetQuorumFn(fn func() int) { a.quorumFn = fn }
+
+func (a *Accumulator) q() int {
+	if a.quorumFn != nil {
+		return a.quorumFn()
+	}
+	return a.quorum
 }
 
 // TEEaccum validates f+1 view certificates for the same view and
@@ -45,7 +58,7 @@ func New(enc *tee.Enclave, svc *crypto.Service, quorum int) *Accumulator {
 // parent choice for the leader's proposal in view best.CurView.
 func (a *Accumulator) TEEaccum(best *types.ViewCert, all []*types.ViewCert) (*types.AccCert, error) {
 	defer a.enc.EnterCall("TEEaccum")()
-	if len(all) < a.quorum {
+	if len(all) < a.q() {
 		return nil, ErrTooFew
 	}
 	seen := make(map[types.NodeID]bool, len(all))

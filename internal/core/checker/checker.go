@@ -50,6 +50,7 @@ type Checker struct {
 	svc      *crypto.Service
 	leaderOf func(types.View) types.NodeID
 	quorum   int
+	quorumFn func() int
 
 	// Trusted state (vi, flag) and (prepv, preph) per Sec. 4.3.
 	vi   types.View
@@ -86,6 +87,13 @@ type Config struct {
 	LeaderOf func(types.View) types.NodeID
 	// Quorum is f+1.
 	Quorum int
+	// QuorumFn, when non-nil, overrides Quorum with an epoch-aware
+	// quorum size. The authoritative epoch→configuration binding is the
+	// config hash the enclave seals at activation (tee.AdvanceEpoch);
+	// the function hands the checker the quorum of that sealed
+	// configuration so certificates are judged under the rules of the
+	// epoch the node provably runs.
+	QuorumFn func() int
 	// GenesisHash seeds (prepv, preph) = (0, H(G)).
 	GenesisHash types.Hash
 	// Recovering marks a checker created after a reboot: every trusted
@@ -115,6 +123,7 @@ func New(cfg Config) *Checker {
 		svc:          cfg.Service,
 		leaderOf:     cfg.LeaderOf,
 		quorum:       cfg.Quorum,
+		quorumFn:     cfg.QuorumFn,
 		vi:           0,
 		prpv:         0,
 		prph:         cfg.GenesisHash,
@@ -122,6 +131,15 @@ func New(cfg Config) *Checker {
 		nonceState:   ns,
 		unsafeWeaken: cfg.UnsafeWeaken,
 	}
+}
+
+// q returns the quorum in force: the epoch-aware override when
+// configured, the fixed f+1 otherwise.
+func (c *Checker) q() int {
+	if c.quorumFn != nil {
+		return c.quorumFn()
+	}
+	return c.quorum
 }
 
 // View returns the checker's current view vi.
@@ -159,7 +177,7 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, c
 	}
 	switch {
 	case acc != nil:
-		if len(acc.IDs) < c.quorum || !crypto.DistinctIDs(acc.IDs) {
+		if len(acc.IDs) < c.q() || !crypto.DistinctIDs(acc.IDs) {
 			return nil, ErrBadCertificate
 		}
 		if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
@@ -242,7 +260,7 @@ func (c *Checker) verifyCC(cc *types.CommitCert) bool {
 	if cc.Hash == c.verifiedCCHash && cc.View == c.verifiedCCView && !cc.Hash.IsZero() {
 		return true
 	}
-	if len(cc.Signers) < c.quorum {
+	if len(cc.Signers) < c.q() {
 		return false
 	}
 	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
@@ -318,7 +336,7 @@ func (c *Checker) TEErecover(leaderRpy *types.RecoveryRpy, replies []*types.Reco
 	if !c.hasNonce {
 		return nil, ErrBadNonce
 	}
-	if len(replies) < c.quorum {
+	if len(replies) < c.q() {
 		return nil, ErrBadCertificate
 	}
 	self := c.svc.Self()

@@ -26,10 +26,13 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
+	"fmt"
 	"time"
 
 	"achilles/internal/ledger"
 	"achilles/internal/obs"
+	"achilles/internal/tee"
 	"achilles/internal/types"
 )
 
@@ -47,28 +50,47 @@ type durableMarker struct {
 
 // unsealDurableMarker reads and authenticates the sealed durable
 // marker. Replica-side durable state is off (nil Durable) → no marker.
+// A marker sealed one epoch behind the enclave's current sealing key
+// is still accepted through the one-epoch unseal grace: epoch
+// activation reseals the marker under the new key, but a crash between
+// AdvanceEpoch and the reseal must not erase the rollback evidence.
 func (r *Replica) unsealDurableMarker() (durableMarker, bool) {
 	var m durableMarker
 	if r.cfg.Durable == nil {
 		return m, false
 	}
-	blob, ok := r.enclave.Unseal(durableMarkerName)
-	if !ok || len(blob) == 0 {
+	blob, err := r.enclave.UnsealE(durableMarkerName)
+	if err != nil {
+		var stale *tee.StaleEpochError
+		if !errors.As(err, &stale) {
+			return m, false
+		}
+		if blob, err = r.enclave.UnsealPrev(durableMarkerName); err != nil {
+			return m, false
+		}
+	}
+	if len(blob) == 0 {
 		return m, false
 	}
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&m); err != nil {
+	if derr := gob.NewDecoder(bytes.NewReader(blob)).Decode(&m); derr != nil {
 		return m, false
 	}
+	r.durHeight = max(r.durHeight, m.Height)
 	return m, true
 }
 
 // sealDurableMarker seals a fresh marker (new incarnation) attesting
-// snapshotted progress up to height h.
+// snapshotted progress up to height h. The attested height is monotone
+// across calls — resealing under a new epoch key must never attest
+// less progress than an earlier marker, or a disk rollback across a
+// rotation would go undetected.
 func (r *Replica) sealDurableMarker(h types.Height) {
 	d := r.cfg.Durable
 	if d == nil {
 		return
 	}
+	h = max(h, r.durHeight)
+	r.durHeight = h
 	r.durIncarnation++
 	m := durableMarker{Incarnation: r.durIncarnation, WalSeq: d.Log().LastSeq(), Height: h}
 	var buf bytes.Buffer
@@ -106,16 +128,40 @@ func (r *Replica) restoreDurable(marker durableMarker, hasMarker bool) {
 	// from a tip this node then does not have); WAL records past the
 	// last verifiable certificate are an uncovered tail and are
 	// dropped — they may have committed, but this node cannot prove it.
+	//
+	// Certificates are judged under the membership in force when they
+	// committed: the snapshot pins its epoch's membership (authenticated
+	// against the enclave-sealed config hash), and the WAL suffix
+	// re-scans committed reconfig commands batch by batch, advancing the
+	// configuration exactly as the live path did — Δ ≥ 1 guarantees each
+	// batch was certified entirely under the epoch active below it. The
+	// plan walk mutates only configuration state (membership, rings,
+	// enclave epoch), never the ledger or state machine, so a detected
+	// disk rollback still discards the ledger plan wholesale.
 	var (
 		snap    *ledger.Snapshot
 		batches []restoredBatch
 	)
 	commits := rec.Commits
 	if s := rec.Snapshot; s != nil {
-		if r.verifyRestoredCC(s.CC) {
+		ok := true
+		if s.Member != nil && s.Member.Epoch > r.member.Epoch {
+			if err := r.adoptRestoreMembership(s.Member, s.Pending); err != nil {
+				r.env.Logf("durable restore: snapshot at height %d: %v; discarding local state", s.Height, err)
+				ok = false
+			}
+		} else if s.Pending != nil && s.Pending.Epoch == r.member.Epoch+1 {
+			r.pending = s.Pending.Clone()
+			r.obsPending.Store(r.pending)
+			d.SetEpochConfig(r.member.Epoch, r.member, r.pending)
+		}
+		if ok && !r.verifyRestoredCC(s.CC) {
+			r.env.Logf("durable restore: snapshot at height %d has an unverifiable certificate; discarding local state", s.Height)
+			ok = false
+		}
+		if ok {
 			snap = s
 		} else {
-			r.env.Logf("durable restore: snapshot at height %d has an unverifiable certificate; discarding local state", s.Height)
 			commits = nil
 		}
 	}
@@ -131,6 +177,8 @@ func (r *Replica) restoreDurable(marker durableMarker, hasMarker bool) {
 			break
 		}
 		batches = append(batches, restoredBatch{blocks: buf, cc: cr.CC})
+		r.scanReconfigs(buf)
+		r.maybeActivateEpoch(cr.Block.Height)
 		buf = nil
 	}
 
@@ -147,8 +195,13 @@ func (r *Replica) restoreDurable(marker durableMarker, hasMarker bool) {
 		// restores: the data directory was rolled back (or wiped and
 		// partially refilled). Discard it entirely — a rolled-back
 		// ledger must not be served to peers — and rebuild from the
-		// cluster via recovery, block sync and snapshot transfer.
+		// cluster via recovery, block sync and snapshot transfer. The
+		// configuration learned from the verified prefix is kept: it is
+		// genuine, and resyncing needs the newest ring this node can
+		// prove.
 		r.m.durableRollbacks.Inc()
+		r.flightTrigger("durable-rollback",
+			fmt.Sprintf("sealed marker attests height %d, disk restores %d", marker.Height, adopted))
 		r.env.Logf("durable restore: disk rollback detected (sealed marker attests height %d, disk restores %d); discarding local state",
 			marker.Height, adopted)
 		r.sealDurableMarker(marker.Height)
@@ -209,7 +262,7 @@ func (r *Replica) restoreDurable(marker durableMarker, hasMarker bool) {
 // against the PKI ring with host-speed crypto (the checker re-verifies
 // in-enclave whenever the certificate is used for consensus state).
 func (r *Replica) verifyRestoredCC(cc *types.CommitCert) bool {
-	if cc == nil || len(cc.Signers) < r.cfg.Quorum() {
+	if cc == nil || len(cc.Signers) < r.quorum() {
 		return false
 	}
 	return r.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs)

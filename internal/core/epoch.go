@@ -1,0 +1,442 @@
+package core
+
+// This file implements chain-driven reconfiguration (DESIGN.md §10):
+// dynamic membership, ring-key rotation and epoch activation. A signed
+// types.Reconfig command rides the chain inside an ordinary transaction
+// payload; once the carrying block commits at height h, the next
+// epoch's configuration is scheduled and activates deterministically on
+// every replica when the committed height reaches h+Δ. Activation swaps
+// the membership (quorum size, leader rotation), rebuilds the PKI ring
+// from the new epoch's marshalled keys, rotates the verification
+// services (resetting the cert cache so old-epoch proofs die with their
+// keys), and seals the new epoch's config hash into the enclave, which
+// rotates the sealing key — old-epoch sealed blobs are refused loudly
+// from then on.
+//
+// Safety across the boundary follows from two rules: at most one
+// reconfiguration is in flight at a time (a second command is rejected
+// until the pending epoch activates), and the activation delay Δ ≥ 1
+// means the block that triggers activation — and every block at or
+// below it — is certified entirely under the old epoch's configuration.
+// Every replica therefore applies the same configuration to the same
+// heights, and the commit that crosses the boundary is never judged by
+// two different quorum rules on different nodes.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"achilles/internal/crypto"
+	"achilles/internal/obs"
+	"achilles/internal/types"
+)
+
+// defaultReconfigDelay is the Δ between a reconfig command's commit
+// height and its epoch's activation height.
+const defaultReconfigDelay = 4
+
+// reconfigDelay returns the configured activation delay Δ.
+func (r *Replica) reconfigDelay() types.Height {
+	if r.cfg.ReconfigDelay > 0 {
+		return types.Height(r.cfg.ReconfigDelay)
+	}
+	return defaultReconfigDelay
+}
+
+// quorum returns the active epoch's f+1 quorum. It replaces every
+// former protocol.Config.Quorum() call on the replica hot path; for the
+// boot membership 0..n-1 the two agree exactly.
+func (r *Replica) quorum() int { return r.member.Quorum() }
+
+// leaderOf returns the active epoch's round-robin leader of view v.
+func (r *Replica) leaderOf(v types.View) types.NodeID { return r.member.Leader(v) }
+
+// isLeader reports whether this node leads view v under the active
+// epoch. A removed (learner) node never leads.
+func (r *Replica) isLeader(v types.View) bool { return r.leaderOf(v) == r.cfg.Self }
+
+// Membership returns the active epoch's configuration (an immutable
+// snapshot; safe from any goroutine).
+func (r *Replica) Membership() *types.Membership { return r.obsMember.Load() }
+
+// PendingMembership returns the scheduled next epoch's configuration,
+// or nil when no reconfiguration is in flight (safe from any goroutine).
+func (r *Replica) PendingMembership() *types.Membership { return r.obsPending.Load() }
+
+// initMembership establishes the boot epoch's configuration before the
+// trusted components are wired. With no explicit InitialMembership the
+// boot config is the conventional contiguous set 0..N-1 keyed by the
+// configured ring — bit-identical quorum and leader behavior to the
+// fixed-membership replica.
+func (r *Replica) initMembership() {
+	m := r.cfg.InitialMembership
+	if m == nil {
+		keys := make(map[types.NodeID][]byte, r.cfg.N)
+		for _, id := range r.cfg.Ring.IDs() {
+			if int(id) < r.cfg.N {
+				keys[id] = r.cfg.Scheme.MarshalPublic(r.cfg.Ring.Get(id))
+			}
+		}
+		m = types.BootMembership(r.cfg.N, keys, nil)
+	} else {
+		m = m.Clone()
+	}
+	r.member = m
+	r.epochRings = map[types.Epoch]*crypto.KeyRing{m.Epoch: r.cfg.Ring}
+	r.obsMember.Store(m)
+	if d := r.cfg.Durable; d != nil {
+		d.SetEpochConfig(m.Epoch, m, nil)
+	}
+}
+
+// syncEnclaveEpoch reconciles the enclave's sealed epoch with the boot
+// configuration after Init restored it. A fresh enclave behind an
+// operator-supplied boot config (a joiner, or a reboot after rotation
+// onto a wiped sealed store) is advanced; an enclave AHEAD of
+// everything the node can reconstruct attests a configuration rollback
+// and is reported, loudly, to the flight recorder.
+func (r *Replica) syncEnclaveEpoch() {
+	switch {
+	case r.enclave.Epoch() < uint64(r.member.Epoch):
+		if err := r.enclave.AdvanceEpoch(uint64(r.member.Epoch), r.member.ConfigHash()); err != nil {
+			r.env.Logf("reconfig: enclave refused boot epoch %d: %v", r.member.Epoch, err)
+			r.flightTrigger("reconfig-activation-failure",
+				fmt.Sprintf("boot epoch=%d err=%v", r.member.Epoch, err))
+		}
+	case r.enclave.Epoch() > uint64(r.member.Epoch):
+		r.env.Logf("reconfig: enclave attests epoch %d but boot state reconstructs only epoch %d (configuration rollback)",
+			r.enclave.Epoch(), r.member.Epoch)
+		r.flightTrigger("reconfig-activation-failure",
+			fmt.Sprintf("enclave epoch=%d reconstructed=%d", r.enclave.Epoch(), r.member.Epoch))
+	case r.member.Epoch > 0 && r.enclave.EpochConfigHash() != r.member.ConfigHash():
+		r.env.Logf("reconfig: reconstructed epoch %d config hash %x disagrees with the enclave-sealed %x (forged or corrupt configuration)",
+			r.member.Epoch, r.member.ConfigHash(), r.enclave.EpochConfigHash())
+		r.flightTrigger("reconfig-activation-failure",
+			fmt.Sprintf("epoch=%d config hash mismatch", r.member.Epoch))
+	}
+}
+
+// stagedRotation is the private half of an announced key rotation,
+// held until the epoch carrying the matching public key activates.
+type stagedRotation struct {
+	priv crypto.PrivateKey
+	pub  []byte
+}
+
+// StageRotationKey hands the replica the private half of its own key
+// rotation before the rotation commits. When epoch `epoch` activates
+// with `pub` as this node's ring key, the replica switches its signing
+// key to priv atomically with the ring swap — a rotated node that kept
+// signing with the old key would be silently evicted by its own peers.
+// The staged key is discarded unused if the epoch activates with a
+// different key for this node. Safe to call from any goroutine.
+func (r *Replica) StageRotationKey(epoch types.Epoch, priv crypto.PrivateKey, pub []byte) {
+	r.keyMu.Lock()
+	defer r.keyMu.Unlock()
+	if r.stagedPrivs == nil {
+		r.stagedPrivs = make(map[types.Epoch]stagedRotation)
+	}
+	r.stagedPrivs[epoch] = stagedRotation{priv: priv, pub: append([]byte(nil), pub...)}
+}
+
+// takeStagedKey pops the staged rotation for an activating epoch, if
+// its public half matches what the epoch actually installed for us.
+func (r *Replica) takeStagedKey(m *types.Membership) (crypto.PrivateKey, bool) {
+	r.keyMu.Lock()
+	defer r.keyMu.Unlock()
+	sk, ok := r.stagedPrivs[m.Epoch]
+	if !ok {
+		return nil, false
+	}
+	delete(r.stagedPrivs, m.Epoch)
+	if !bytes.Equal(m.Keys[r.cfg.Self], sk.pub) {
+		return nil, false
+	}
+	return sk.priv, true
+}
+
+// adoptOwnKey re-resolves this node's signing key against the active
+// epoch's ring through the KeyByPub hook. Called at boot once the
+// restored epoch is settled, and as the fallback at activation when no
+// rotation key was staged.
+func (r *Replica) adoptOwnKey() {
+	if r.cfg.KeyByPub == nil {
+		return
+	}
+	kb, ok := r.member.Keys[r.cfg.Self]
+	if !ok || len(kb) == 0 {
+		return
+	}
+	if priv := r.cfg.KeyByPub(kb); priv != nil {
+		r.svc.RekeyPriv(priv)
+		r.teeSvc.RekeyPriv(priv)
+	}
+}
+
+// SubmitReconfig queues a signed reconfiguration command for ordering
+// through the chain (priority lane — reconfigurations must not starve
+// behind a deep client backlog). The authoritative checks — signer is a
+// member, signature verifies under the epoch the command commits in,
+// the change applies cleanly — happen at commit time on every replica;
+// this only rejects structurally hopeless commands. Safe to call from
+// any goroutine (admin endpoints, tests).
+func (r *Replica) SubmitReconfig(rc *types.Reconfig) error {
+	if rc == nil {
+		return errors.New("core: nil reconfig")
+	}
+	switch rc.Op {
+	case types.ReconfigAdd, types.ReconfigRotate:
+		if len(rc.Key) == 0 {
+			return fmt.Errorf("core: reconfig %s of node %d carries no key", rc.Op, rc.Node)
+		}
+	case types.ReconfigRemove:
+	default:
+		return fmt.Errorf("core: unknown reconfig op %d", rc.Op)
+	}
+	if len(rc.Sig) == 0 {
+		return errors.New("core: reconfig is unsigned")
+	}
+	payload := rc.EncodeTx()
+	h := types.HashBytes(payload)
+	tx := types.Transaction{
+		Client:  rc.Signer,
+		Seq:     binary.BigEndian.Uint32(h[:4]),
+		Payload: payload,
+	}
+	r.pool.Requeue([]types.Transaction{tx})
+	return nil
+}
+
+// scanReconfigs inspects freshly committed blocks for reconfig
+// commands and schedules the next epoch from the first valid one. Runs
+// on the consensus goroutine for live commits and on the Init goroutine
+// for restored batches — in both cases in deterministic chain order, so
+// every replica schedules the identical epoch at the identical height.
+func (r *Replica) scanReconfigs(blocks []*types.Block) {
+	for _, b := range blocks {
+		for i := range b.Txs {
+			p := b.Txs[i].Payload
+			if !types.IsReconfigPayload(p) {
+				continue
+			}
+			rc, ok := types.DecodeReconfigTx(p)
+			if !ok {
+				r.m.reconfigsRejected.Inc()
+				r.env.Logf("reconfig: malformed command committed at height %d; ignoring", b.Height)
+				continue
+			}
+			r.applyCommittedReconfig(rc, b.Height)
+		}
+	}
+}
+
+// applyCommittedReconfig validates one committed reconfig command under
+// the active epoch and schedules its epoch.
+func (r *Replica) applyCommittedReconfig(rc *types.Reconfig, at types.Height) {
+	reject := func(why string) {
+		r.m.reconfigsRejected.Inc()
+		r.env.Logf("reconfig: %s %s(node=%d) at height %d rejected: %s",
+			"committed", rc.Op, rc.Node, at, why)
+	}
+	if r.pending != nil {
+		reject(fmt.Sprintf("epoch %d is already pending activation at height %d",
+			r.pending.Epoch, r.pending.ActivateAt))
+		return
+	}
+	if !r.member.Contains(rc.Signer) {
+		reject(fmt.Sprintf("signer %d is not a member of epoch %d", rc.Signer, r.member.Epoch))
+		return
+	}
+	if !r.svc.Verify(rc.Signer, types.ReconfigPayload(rc.Op, rc.Node, rc.Key, rc.Addr), rc.Sig) {
+		reject(fmt.Sprintf("signature does not verify under epoch %d's ring", r.member.Epoch))
+		return
+	}
+	if len(rc.Key) > 0 {
+		if _, err := r.cfg.Scheme.UnmarshalPublic(rc.Key); err != nil {
+			reject(fmt.Sprintf("key does not decode: %v", err))
+			return
+		}
+	}
+	next, err := r.member.Apply(rc, at+r.reconfigDelay())
+	if err != nil {
+		reject(err.Error())
+		return
+	}
+	r.pending = next
+	r.obsPending.Store(next)
+	r.m.reconfigsScheduled.Inc()
+	if d := r.cfg.Durable; d != nil {
+		d.SetEpochConfig(r.member.Epoch, r.member, next)
+	}
+	r.trace.Emit(obs.TraceEpoch, uint64(r.view), uint64(at),
+		fmt.Sprintf("scheduled epoch=%d %s(node=%d) activate=%d", next.Epoch, rc.Op, rc.Node, next.ActivateAt))
+	r.env.Logf("reconfig: epoch %d scheduled by %s(node=%d) committed at height %d; activates at height %d (n=%d, quorum=%d)",
+		next.Epoch, rc.Op, rc.Node, at, next.ActivateAt, next.N(), next.Quorum())
+}
+
+// maybeActivateEpoch activates the pending epoch once the committed
+// height reaches its activation height.
+func (r *Replica) maybeActivateEpoch(committed types.Height) {
+	if r.pending != nil && committed >= r.pending.ActivateAt {
+		r.activateEpoch(committed)
+	}
+}
+
+// activateEpoch performs the epoch transition: ring rebuild, service
+// rekey (cache reset included), enclave config-hash sealing (which
+// rotates the sealing key), membership swap, and the live-node rewiring
+// callback. Failure leaves the old epoch active and fires the flight
+// recorder — a node that cannot activate is about to diverge from the
+// cluster and the evidence window matters.
+func (r *Replica) activateEpoch(committed types.Height) {
+	next := r.pending
+	r.pending = nil
+	r.obsPending.Store(nil)
+
+	fail := func(why string) {
+		r.env.Logf("reconfig: ACTIVATION FAILED for epoch %d at height %d: %s", next.Epoch, committed, why)
+		r.flightTrigger("reconfig-activation-failure",
+			fmt.Sprintf("epoch=%d height=%d %s", next.Epoch, committed, why))
+	}
+	ring, err := ringFromMembership(r.cfg.Scheme, next)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	cfgHash := next.ConfigHash()
+	if err := r.enclave.AdvanceEpoch(uint64(next.Epoch), cfgHash); err != nil {
+		fail(fmt.Sprintf("enclave refused the epoch: %v", err))
+		return
+	}
+	r.member = next
+	r.epochRings[next.Epoch] = ring
+	if priv, ok := r.takeStagedKey(next); ok {
+		r.svc.RekeyPriv(priv)
+		r.teeSvc.RekeyPriv(priv)
+	} else {
+		r.adoptOwnKey() // r.member is already the activating epoch
+	}
+	r.svc.Rekey(ring)
+	r.teeSvc.Rekey(ring)
+	r.obsMember.Store(next)
+	r.m.epochActivations.Inc()
+	// Claims and stashed state from evicted members must not outlive
+	// their epoch: a removed node's verified view claim could otherwise
+	// keep counting toward view-sync quorums sized for the new epoch.
+	for id := range r.viewClaims {
+		if !next.Contains(id) {
+			delete(r.viewClaims, id)
+		}
+	}
+	// Reseal the durable marker under the new epoch's sealing key so
+	// rollback detection survives the rotation without needing the
+	// one-epoch grace path.
+	if d := r.cfg.Durable; d != nil {
+		d.SetEpochConfig(next.Epoch, next, nil)
+		r.sealDurableMarker(r.durHeight)
+	}
+	r.trace.Emit(obs.TraceEpoch, uint64(r.view), uint64(committed),
+		fmt.Sprintf("activated epoch=%d config=%x n=%d", next.Epoch, cfgHash[:4], next.N()))
+	// The explicit activation log line (grep anchor for operators and
+	// the soak harness).
+	r.env.Logf("EPOCH-ACTIVATE: epoch %d active at height %d (config=%x, n=%d, quorum=%d, members=%v)",
+		next.Epoch, committed, cfgHash[:8], next.N(), next.Quorum(), next.Members)
+	if !next.Contains(r.cfg.Self) {
+		r.env.Logf("reconfig: this node was removed in epoch %d; continuing as a learner", next.Epoch)
+	}
+	if eo, ok := r.cfg.Observer.(EpochObserver); ok {
+		// Report the deterministic activation height, not the commit
+		// height that happened to trigger it: commit batching makes the
+		// trigger height vary per node, while ActivateAt is identical on
+		// every honest replica — which is exactly what the invariant
+		// checker's cross-node agreement test needs.
+		eo.ObserveEpochActivate(r.cfg.Self, next.Epoch, next.ActivateAt, cfgHash, next.Members)
+	}
+	if r.cfg.OnEpochChange != nil {
+		r.cfg.OnEpochChange(next.Clone(), ring)
+	}
+}
+
+// ringFromMembership builds a key ring from an epoch's marshalled keys.
+func ringFromMembership(scheme crypto.Scheme, m *types.Membership) (*crypto.KeyRing, error) {
+	ring := crypto.NewKeyRing()
+	for _, id := range m.Members {
+		kb, ok := m.Keys[id]
+		if !ok || len(kb) == 0 {
+			return nil, fmt.Errorf("epoch %d has no key for member %d", m.Epoch, id)
+		}
+		pub, err := scheme.UnmarshalPublic(kb)
+		if err != nil {
+			return nil, fmt.Errorf("epoch %d key for member %d does not decode: %v", m.Epoch, id, err)
+		}
+		ring.Add(id, pub)
+	}
+	return ring, nil
+}
+
+// adoptRestoreMembership switches the replica's active configuration to
+// a membership restored from durable state (a local or transferred
+// snapshot), rebuilding the ring and rekeying the services so restored
+// certificates are judged under the epoch that produced them.
+func (r *Replica) adoptRestoreMembership(m *types.Membership, pending *types.Membership) error {
+	m = m.Clone()
+	ring, ok := r.epochRings[m.Epoch]
+	if !ok {
+		var err error
+		ring, err = ringFromMembership(r.cfg.Scheme, m)
+		if err != nil {
+			return err
+		}
+	}
+	// The enclave-sealed config hash is the authoritative record of the
+	// epoch this node activated: a snapshot claiming the same epoch
+	// under a different configuration is forged or corrupt.
+	if r.enclave.Epoch() == uint64(m.Epoch) && uint64(m.Epoch) > 0 {
+		if got := r.enclave.EpochConfigHash(); got != m.ConfigHash() {
+			return fmt.Errorf("snapshot epoch %d config hash %x disagrees with the enclave-sealed %x",
+				m.Epoch, m.ConfigHash(), got)
+		}
+	}
+	r.member = m
+	r.epochRings[m.Epoch] = ring
+	r.svc.Rekey(ring)
+	r.teeSvc.Rekey(ring)
+	r.obsMember.Store(m)
+	if pending != nil && pending.Epoch == m.Epoch+1 {
+		r.pending = pending.Clone()
+		r.obsPending.Store(r.pending)
+	}
+	if d := r.cfg.Durable; d != nil {
+		d.SetEpochConfig(m.Epoch, m, r.pending)
+	}
+	return nil
+}
+
+// nextMemberAfter returns the next member after id in ascending ring
+// order (wrapping), skipping this node — the peer-rotation order used
+// when a snapshot fetch stalls. With the boot membership 0..n-1 this is
+// the historical (id+1) mod n rotation.
+func (r *Replica) nextMemberAfter(id types.NodeID) types.NodeID {
+	mem := r.member.Members
+	n := len(mem)
+	if n == 0 {
+		return id
+	}
+	// First member strictly greater than id, wrapping to the start.
+	start := 0
+	for i, m := range mem {
+		if m > id {
+			start = i
+			break
+		}
+	}
+	for k := 0; k < n; k++ {
+		cand := mem[(start+k)%n]
+		if cand != r.cfg.Self {
+			return cand
+		}
+	}
+	return id
+}

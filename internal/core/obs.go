@@ -47,6 +47,10 @@ type metrics struct {
 	snapshotsInstalled *obs.Counter
 	snapshotsRejected  *obs.Counter
 	durableRollbacks   *obs.Counter
+
+	reconfigsScheduled *obs.Counter
+	reconfigsRejected  *obs.Counter
+	epochActivations   *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -100,6 +104,12 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Fetched snapshots rejected (bad encoding, stale height, or invalid certificate)."),
 		durableRollbacks: reg.Counter("achilles_durable_rollbacks_total",
 			"Boots where the on-disk ledger was behind the enclave-sealed durable marker (disk rollback detected; local state discarded)."),
+		reconfigsScheduled: reg.Counter("achilles_reconfigs_scheduled_total",
+			"Committed reconfiguration transactions accepted and scheduled for activation."),
+		reconfigsRejected: reg.Counter("achilles_reconfigs_rejected_total",
+			"Committed reconfiguration transactions rejected (malformed, unauthorized, or conflicting)."),
+		epochActivations: reg.Counter("achilles_epoch_activations_total",
+			"Configuration epochs activated by this replica."),
 	}
 }
 
@@ -121,6 +131,28 @@ func (r *Replica) registerCollectors(reg *obs.Registry) {
 	reg.Func("achilles_committed_height",
 		"Height of the latest committed block.", obs.KindGauge, func() []obs.Sample {
 			return []obs.Sample{{Value: float64(r.obsHeight.Load())}}
+		})
+	reg.Func("achilles_epoch",
+		"Active configuration epoch.", obs.KindGauge, func() []obs.Sample {
+			if m := r.obsMember.Load(); m != nil {
+				return []obs.Sample{{Value: float64(m.Epoch)}}
+			}
+			return []obs.Sample{{Value: 0}}
+		})
+	reg.Func("achilles_pending_epoch",
+		"Committed-but-not-yet-active configuration epoch (0 when none pending).",
+		obs.KindGauge, func() []obs.Sample {
+			if p := r.obsPending.Load(); p != nil {
+				return []obs.Sample{{Value: float64(p.Epoch)}}
+			}
+			return []obs.Sample{{Value: 0}}
+		})
+	reg.Func("achilles_cluster_size",
+		"Members in the active configuration.", obs.KindGauge, func() []obs.Sample {
+			if m := r.obsMember.Load(); m != nil {
+				return []obs.Sample{{Value: float64(m.N())}}
+			}
+			return []obs.Sample{{Value: 0}}
 		})
 	reg.Func("achilles_recovering",
 		"1 while the replica is running the recovery protocol.", obs.KindGauge,
@@ -246,6 +278,14 @@ type Status struct {
 	// (zero until the corresponding phase completes).
 	InitSeconds     float64 `json:"init_seconds"`
 	RecoverySeconds float64 `json:"recovery_seconds"`
+	// Epoch/ConfigHash identify the active configuration; Members lists
+	// its replica IDs. PendingEpoch/PendingActivateAt describe a
+	// committed-but-not-yet-active reconfiguration (zero when none).
+	Epoch             uint64         `json:"epoch"`
+	ConfigHash        string         `json:"config_hash"`
+	Members           []types.NodeID `json:"members"`
+	PendingEpoch      uint64         `json:"pending_epoch"`
+	PendingActivateAt uint64         `json:"pending_activate_at"`
 }
 
 // Status snapshots the replica. Safe to call from any goroutine.
@@ -260,10 +300,24 @@ func (r *Replica) Status() Status {
 		InitSeconds:          time.Duration(r.obsInitNanos.Load()).Seconds(),
 		RecoverySeconds:      time.Duration(r.obsRecoverNanos.Load()).Seconds(),
 	}
+	member := r.obsMember.Load()
+	if member != nil {
+		s.Epoch = uint64(member.Epoch)
+		s.ConfigHash = fmt.Sprintf("%x", member.ConfigHash())
+		s.Members = append([]types.NodeID(nil), member.Members...)
+	}
+	if p := r.obsPending.Load(); p != nil {
+		s.PendingEpoch = uint64(p.Epoch)
+		s.PendingActivateAt = uint64(p.ActivateAt)
+	}
 	switch {
 	case s.Recovering:
 		s.Role = "recovering"
-	case r.cfg.IsLeader(types.View(view)):
+	case member != nil && !member.Contains(r.cfg.Self):
+		s.Role = "learner"
+	case member != nil && member.Leader(types.View(view)) == r.cfg.Self:
+		s.Role = "leader"
+	case member == nil && r.cfg.IsLeader(types.View(view)):
 		s.Role = "leader"
 	default:
 		s.Role = "replica"

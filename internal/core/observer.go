@@ -29,6 +29,17 @@ type StateObserver interface {
 	ObserveRecovered(node types.NodeID, newView, leaderView types.View, leader types.NodeID)
 }
 
+// EpochObserver is an optional extension of StateObserver: observers
+// that also implement it are told each time a replica activates a new
+// configuration epoch. The adversary harness uses it to machine-check
+// the reconfiguration invariants — all nodes activating epoch e agree
+// on its (activation height, config hash), and no height is governed
+// by two configurations.
+type EpochObserver interface {
+	ObserveEpochActivate(node types.NodeID, epoch types.Epoch, at types.Height,
+		configHash types.Hash, members []types.NodeID)
+}
+
 func (r *Replica) observePropose(view types.View, hash types.Hash) {
 	if r.cfg.Observer != nil {
 		r.cfg.Observer.ObservePropose(r.cfg.Self, view, hash)

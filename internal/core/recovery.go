@@ -154,14 +154,14 @@ func (r *Replica) onRecoveryRpy(from types.NodeID, m *MsgRecoveryRpy) {
 	}
 	if bc := m.BC; bc != nil {
 		if m.Block == nil || bc.Hash != rpy.PrepHash || bc.View != rpy.PrepView ||
-			bc.Signer != r.cfg.Leader(bc.View) ||
+			bc.Signer != r.leaderOf(bc.View) ||
 			!r.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
 			r.m.recoveryRejected.Inc()
 			return
 		}
 	}
 	if cc := m.CC; cc != nil {
-		if len(cc.Signers) < r.cfg.Quorum() ||
+		if len(cc.Signers) < r.quorum() ||
 			!r.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
 			r.m.recoveryRejected.Inc()
 			return
@@ -178,7 +178,7 @@ func (r *Replica) onRecoveryRpy(from types.NodeID, m *MsgRecoveryRpy) {
 // met, restores the checker through TEErecover and rejoins the
 // protocol.
 func (r *Replica) tryFinishRecovery() {
-	if len(r.recReplies) < r.cfg.Quorum() {
+	if len(r.recReplies) < r.quorum() {
 		return
 	}
 	// The highest-view reply handed to TEErecover must come from that
@@ -193,7 +193,7 @@ func (r *Replica) tryFinishRecovery() {
 	// leaderView+2 strictly above w.
 	var leaderMsg *MsgRecoveryRpy
 	for _, m := range r.recReplies {
-		if r.cfg.Leader(m.Rpy.CurView) == m.Rpy.Signer {
+		if r.leaderOf(m.Rpy.CurView) == m.Rpy.Signer {
 			if leaderMsg == nil || m.Rpy.CurView > leaderMsg.Rpy.CurView {
 				leaderMsg = m
 			}
@@ -211,17 +211,17 @@ func (r *Replica) tryFinishRecovery() {
 		froms = append(froms, id)
 	}
 	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
-	handed := make([]*MsgRecoveryRpy, 0, r.cfg.Quorum())
+	handed := make([]*MsgRecoveryRpy, 0, r.quorum())
 	handed = append(handed, leaderMsg)
 	for _, id := range froms {
-		if len(handed) == r.cfg.Quorum() {
+		if len(handed) == r.quorum() {
 			break
 		}
 		if m := r.recReplies[id]; m != leaderMsg && m.Rpy.CurView <= leaderMsg.Rpy.CurView {
 			handed = append(handed, m)
 		}
 	}
-	if len(handed) < r.cfg.Quorum() {
+	if len(handed) < r.quorum() {
 		return
 	}
 	replies := make([]*types.RecoveryRpy, len(handed))
@@ -264,7 +264,7 @@ func (r *Replica) tryFinishRecovery() {
 	r.decided = false
 	r.pm.Progress()
 	r.armViewTimer()
-	r.deliverOrSend(r.cfg.Leader(r.view), &MsgNewView{VC: vc})
+	r.deliverOrSend(r.leaderOf(r.view), &MsgNewView{VC: vc})
 	// Catch up the committed chain using the adopted commitment
 	// certificate (ancestors are pulled via block sync as needed).
 	if r.prebCC != nil {

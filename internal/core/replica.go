@@ -20,6 +20,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -162,6 +163,28 @@ type Config struct {
 	// testing: it exists so the fuzz harness can prove its safety
 	// invariants actually catch a broken TEE.
 	UnsafeWeakenChecker bool
+	// InitialMembership is the boot epoch's configuration (epoch.go).
+	// nil derives the conventional contiguous membership 0..N-1 from
+	// Ring — the historical fixed-membership behavior, bit-identical on
+	// the hot path. Operators pass the current epoch's membership when
+	// booting a joiner or rebooting a node after reconfigurations.
+	InitialMembership *types.Membership
+	// ReconfigDelay is Δ: a reconfig command committed at height h
+	// activates its epoch at height h+Δ. 0 defaults to 4.
+	ReconfigDelay uint64
+	// OnEpochChange fires after an epoch activates, with the new
+	// membership and its ring (the live node rewires transport peers and
+	// handshake keys here). Runs on the consensus goroutine; it must not
+	// call back into the replica.
+	OnEpochChange func(m *types.Membership, ring *crypto.KeyRing)
+	// KeyByPub resolves the private half of this node's OWN ring key
+	// given its marshalled public half, or nil when unknown — the
+	// stand-in for enclave-resident key provisioning. It is consulted
+	// when the active epoch's key for this node may differ from Priv: at
+	// boot after durable restore (a node restarting after its own key
+	// rotation), and at epoch activation when no key was staged via
+	// StageRotationKey. nil keeps Priv for life.
+	KeyByPub func(pub []byte) crypto.PrivateKey
 }
 
 // Bounds on the stash maps a Byzantine peer can write into. Honest
@@ -185,6 +208,7 @@ type Replica struct {
 	sched sched.Scheduler
 
 	svc     *crypto.Service
+	teeSvc  *crypto.Service
 	enclave *tee.Enclave
 	chk     *checker.Checker
 	acc     *accum.Accumulator
@@ -194,6 +218,19 @@ type Replica struct {
 	pm      protocol.Pacemaker
 
 	view types.View
+
+	// Epoch-based reconfiguration (epoch.go): the active epoch's
+	// membership, the scheduled next epoch (nil when none), and the ring
+	// of every epoch this incarnation has seen (restored certificates
+	// are judged under the epoch that produced them).
+	member     *types.Membership
+	pending    *types.Membership
+	epochRings map[types.Epoch]*crypto.KeyRing
+	// stagedPrivs holds the private halves of announced key rotations
+	// for this node, keyed by the epoch that installs them; keyMu guards
+	// it because StageRotationKey may be called from any goroutine.
+	keyMu       sync.Mutex
+	stagedPrivs map[types.Epoch]stagedRotation
 
 	// preb = ⟨b, φ_b, φ_c⟩: the latest stored block from a leader.
 	prebBlock *types.Block
@@ -225,6 +262,10 @@ type Replica struct {
 	snapEpoch      uint64
 	snapServed     map[types.NodeID]types.Height
 	durIncarnation uint64
+	// durHeight is the highest height the sealed durable marker attests;
+	// epoch activations reseal the marker at this height under the new
+	// sealing key so rollback detection survives rotations.
+	durHeight types.Height
 
 	// proposedTxs holds the real client transactions of our latest
 	// proposal. If the view times out before that block commits, they
@@ -269,6 +310,8 @@ type Replica struct {
 	quorumSpan   *obs.ActiveSpan
 
 	obsEnv          atomic.Value // protocol.Env, stored once in Init
+	obsMember       atomic.Pointer[types.Membership]
+	obsPending      atomic.Pointer[types.Membership]
 	obsView         atomic.Uint64
 	obsHeight       atomic.Uint64
 	obsSnapInstalls atomic.Uint64
@@ -372,6 +415,8 @@ func (r *Replica) Init(env protocol.Env) {
 	// components sign/verify at in-enclave speed.
 	r.svc = crypto.NewService(r.cfg.Scheme, r.cfg.Ring, nil, r.cfg.Self, env, r.cfg.CryptoCosts)
 	teeSvc := crypto.NewService(r.cfg.Scheme, r.cfg.Ring, r.cfg.Priv, r.cfg.Self, env, r.enclaveCrypto())
+	r.teeSvc = teeSvc
+	r.initMembership()
 	// A node with durable state on disk (or an enclave-sealed durable
 	// marker attesting there should be some) is by definition rebooting,
 	// so it must run the recovery protocol before participating even if
@@ -396,18 +441,30 @@ func (r *Replica) Init(env protocol.Env) {
 	r.chk = checker.New(checker.Config{
 		Enclave:      r.enclave,
 		Service:      teeSvc,
-		LeaderOf:     r.cfg.Leader,
+		LeaderOf:     r.leaderOf,
 		Quorum:       r.cfg.Quorum(),
+		QuorumFn:     r.quorum,
 		GenesisHash:  r.store.Genesis().Hash(),
 		Recovering:   mustRecover,
 		NonceSeed:    uint64(r.cfg.Seed)<<16 ^ uint64(r.cfg.Self),
 		UnsafeWeaken: r.cfg.UnsafeWeakenChecker,
 	})
 	r.acc = accum.New(r.enclave, teeSvc, r.cfg.Quorum())
+	r.acc.SetQuorumFn(r.quorum)
 	r.pm = protocol.Pacemaker{Base: r.cfg.BaseTimeout, MaxShift: 10}
 
 	r.prebBlock = r.store.Genesis()
 	r.restoreDurable(marker, hasMarker)
+	// Reconcile the enclave's sealed epoch only after the durable restore
+	// has advanced the configuration as far as the disk can prove — an
+	// enclave ahead of everything reconstructable is a configuration
+	// rollback, but an enclave ahead of just the BOOT config is the
+	// normal restart-after-rotation case the restore resolves.
+	r.syncEnclaveEpoch()
+	// With the epoch settled, make sure we sign as the member we claim
+	// to be: a node restarting after its own key rotation boots with
+	// its original Priv and must switch before recovery signs anything.
+	r.adoptOwnKey()
 
 	// Re-establish the secure channels to every peer (part of the
 	// initialization cost the paper's Table 2 reports).

@@ -98,10 +98,7 @@ func (r *Replica) abandonSnapshotFetch(why string) {
 		return
 	}
 	r.snapFetch = nil
-	next := types.NodeID((int(sf.from) + 1) % r.cfg.N)
-	if next == r.cfg.Self {
-		next = types.NodeID((int(next) + 1) % r.cfg.N)
-	}
+	next := r.nextMemberAfter(sf.from)
 	r.env.Logf("snapshot fetch from %d %s; retrying from %d", sf.from, why, next)
 	r.startSnapshotFetch(next)
 }
@@ -126,7 +123,10 @@ func (r *Replica) onSnapshotRequest(from types.NodeID, m *types.SnapshotRequest)
 		return
 	}
 	r.snapServed[from] = head.Height
-	s := &ledger.Snapshot{Height: head.Height, Block: head, CC: cc, Machine: r.machine.Snapshot()}
+	s := &ledger.Snapshot{
+		Height: head.Height, Block: head, CC: cc, Machine: r.machine.Snapshot(),
+		Epoch: r.member.Epoch, Member: r.member, Pending: r.pending,
+	}
 	data, err := s.Encode()
 	if err != nil {
 		r.env.Logf("snapshot encode failed: %v", err)
@@ -209,6 +209,22 @@ func (r *Replica) finishSnapshotFetch(sf *snapFetch) {
 		reject("height %d not beyond our committed %d", s.Height, r.store.CommittedHeight())
 		return
 	}
+	// Epoch binding: a transferred snapshot is only trusted within the
+	// requester's active epoch — its certificate must verify under the
+	// ring this node already holds. A membership claiming a different
+	// epoch would require trusting attacker-supplied keys to verify
+	// attacker-supplied certificates, so it is refused; a node that far
+	// behind must be re-booted with a current InitialMembership instead.
+	if s.Member != nil {
+		if s.Member.Epoch != r.member.Epoch {
+			reject("snapshot is from epoch %d, this node is at epoch %d", s.Member.Epoch, r.member.Epoch)
+			return
+		}
+		if s.Member.ConfigHash() != r.member.ConfigHash() {
+			reject("snapshot epoch %d config hash disagrees with ours", s.Member.Epoch)
+			return
+		}
+	}
 	if !r.verifyRestoredCC(s.CC) {
 		reject("commit certificate quorum does not verify")
 		return
@@ -234,6 +250,18 @@ func (r *Replica) finishSnapshotFetch(sf *snapFetch) {
 		r.lastCC = s.CC
 	}
 	r.obsHeight.Store(uint64(r.store.CommittedHeight()))
+	// Adopt the server's in-flight reconfiguration: the blocks below the
+	// snapshot tip are not replayed here, so a reconfig command committed
+	// in them must be re-armed from the snapshot's Pending or this node
+	// would miss the activation every peer performs.
+	if p := s.Pending; p != nil && p.Epoch == r.member.Epoch+1 && r.pending == nil {
+		r.pending = p.Clone()
+		r.obsPending.Store(r.pending)
+		if d := r.cfg.Durable; d != nil {
+			d.SetEpochConfig(r.member.Epoch, r.member, r.pending)
+		}
+		r.maybeActivateEpoch(r.store.CommittedHeight())
+	}
 	r.obsSnapInstalls.Add(1)
 	r.m.snapshotsInstalled.Inc()
 	r.trace.Emit(obs.TraceSnapshot, uint64(s.CC.View), uint64(s.Height),

@@ -60,11 +60,11 @@ func (r *Replica) enterNextView() {
 		// already moved on). Announce to everyone so all nodes learn
 		// each other's views and laggards can jump (maybeSyncViews).
 		r.env.Broadcast(msg)
-		if r.cfg.IsLeader(r.view) {
+		if r.isLeader(r.view) {
 			r.OnMessage(r.cfg.Self, msg)
 		}
 	} else {
-		r.deliverOrSend(r.cfg.Leader(r.view), msg)
+		r.deliverOrSend(r.leaderOf(r.view), msg)
 	}
 	// Refresh outstanding recovery replies now that our view moved.
 	r.refreshRecoveryReplies()
@@ -296,11 +296,11 @@ func (r *Replica) maybeSyncViews() {
 			claims = append(claims, v)
 		}
 	}
-	if len(claims) < r.cfg.Quorum() {
+	if len(claims) < r.quorum() {
 		return
 	}
 	sort.Slice(claims, func(i, j int) bool { return claims[i] > claims[j] })
-	target := claims[r.cfg.Quorum()-1]
+	target := claims[r.quorum()-1]
 	if target <= r.view {
 		return
 	}
@@ -329,7 +329,7 @@ func (r *Replica) maybeSyncViews() {
 // path (commitment certificate for view-1) or the accumulator path
 // (f+1 view certificates for the current view).
 func (r *Replica) tryPropose() {
-	if r.recovering || !r.cfg.IsLeader(r.view) || r.chk.Proposed() {
+	if r.recovering || !r.isLeader(r.view) || r.chk.Proposed() {
 		return
 	}
 	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
@@ -343,7 +343,7 @@ func (r *Replica) tryPropose() {
 			r.propose(r.lastCC.Hash, nil, r.lastCC)
 			return
 		} else {
-			r.requestBlock(missing, r.cfg.Leader(r.lastCC.View))
+			r.requestBlock(missing, r.leaderOf(r.lastCC.View))
 		}
 	}
 	// Accumulator path: f+1 view certificates for this view. View
@@ -354,7 +354,7 @@ func (r *Replica) tryPropose() {
 	// stalling the leader until the view times out.
 	for {
 		set := r.viewCerts[r.view]
-		if len(set) < r.cfg.Quorum() {
+		if len(set) < r.quorum() {
 			return
 		}
 		// Walk the set in signer order (ties on PrepView are common once
@@ -380,10 +380,10 @@ func (r *Replica) tryPropose() {
 			r.requestBlock(missing, best.Signer)
 			return
 		}
-		certs := make([]*types.ViewCert, 0, r.cfg.Quorum())
+		certs := make([]*types.ViewCert, 0, r.quorum())
 		certs = append(certs, best)
 		for _, id := range signers {
-			if len(certs) == r.cfg.Quorum() {
+			if len(certs) == r.quorum() {
 				break
 			}
 			vc, ok := set[id]
@@ -396,7 +396,7 @@ func (r *Replica) tryPropose() {
 			}
 			certs = append(certs, vc)
 		}
-		if len(certs) < r.cfg.Quorum() {
+		if len(certs) < r.quorum() {
 			// Forgeries were evicted mid-selection; re-check the quorum.
 			continue
 		}
@@ -411,7 +411,7 @@ func (r *Replica) tryPropose() {
 }
 
 func (r *Replica) haveQuorumCerts() bool {
-	return len(r.viewCerts[r.view]) >= r.cfg.Quorum()
+	return len(r.viewCerts[r.view]) >= r.quorum()
 }
 
 // propose creates, certifies and broadcasts a block extending
@@ -481,7 +481,7 @@ func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
 	if b == nil || bc == nil || b.Hash() != bc.Hash || b.View != bc.View {
 		return
 	}
-	if bc.Signer != r.cfg.Leader(bc.View) || b.Proposer != bc.Signer {
+	if bc.Signer != r.leaderOf(bc.View) || b.Proposer != bc.Signer {
 		return
 	}
 	switch {
@@ -520,7 +520,7 @@ func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
 	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
 	r.observeVote(sc.View, sc.Hash)
 	r.trace.Emit(obs.TraceVote, uint64(bc.View), uint64(b.Height), shortHash(bc.Hash))
-	r.deliverOrSend(r.cfg.Leader(bc.View), &MsgVote{SC: sc})
+	r.deliverOrSend(r.leaderOf(bc.View), &MsgVote{SC: sc})
 }
 
 // stashProposal inserts a proposal into the bounded stash. Same-view
@@ -556,7 +556,7 @@ func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
 		return
 	}
 	sc := m.SC
-	if sc == nil || sc.Signer != from || sc.View != r.view || !r.cfg.IsLeader(r.view) || r.decided {
+	if sc == nil || sc.Signer != from || sc.View != r.view || !r.isLeader(r.view) || r.decided {
 		return
 	}
 	if r.voteHash.IsZero() || sc.Hash != r.voteHash || r.votes[sc.Signer] != nil {
@@ -568,7 +568,7 @@ func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
 		return
 	}
 	r.votes[sc.Signer] = sc
-	if len(r.votes) < r.cfg.Quorum() {
+	if len(r.votes) < r.quorum() {
 		return
 	}
 	r.decided = true
@@ -599,7 +599,7 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 	if r.store.IsCommitted(cc.Hash) {
 		return
 	}
-	if len(cc.Signers) < r.cfg.Quorum() {
+	if len(cc.Signers) < r.quorum() {
 		return
 	}
 	// No host-side signature check here: TEEstoreCommit verifies the
@@ -660,6 +660,13 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 	// without a configured Durable).
 	r.persistCommits(newly, cc)
 	r.maybeSnapshot(b, cc)
+	// Chain-driven reconfiguration (epoch.go): committed reconfig
+	// commands schedule the next epoch, and the epoch activates once the
+	// committed height reaches its activation height — before the view
+	// advance below, so the next view is entered under the new epoch's
+	// leader rotation and quorum rules.
+	r.scanReconfigs(newly)
+	r.maybeActivateEpoch(r.store.CommittedHeight())
 	if cc.View >= r.view {
 		r.pm.Progress()
 		r.enterNextView()

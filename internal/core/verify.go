@@ -64,6 +64,12 @@ func NewVerifier(scheme crypto.Scheme, ring *crypto.KeyRing, cfg protocol.Config
 	return &Verifier{cfg: cfg, svc: svc}
 }
 
+// Rekey swaps the pre-verifier's ring after an epoch activation (the
+// live node calls it from core.Config.OnEpochChange, alongside the
+// transport rewiring). Cached verdicts from the old ring are reset with
+// the swap. Safe for concurrent use with PreVerify.
+func (v *Verifier) Rekey(ring *crypto.KeyRing) { v.svc.Rekey(ring) }
+
 // SetBatchRunner installs the fan-out hook used for quorum
 // certificates (sched.Pooled.RunBatch): the certificate's f+1 member
 // checks run concurrently instead of sequentially. nil keeps them

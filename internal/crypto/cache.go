@@ -132,6 +132,20 @@ func (c *CertCache) Mark(key types.Hash) {
 	c.set[key] = struct{}{}
 }
 
+// Reset drops every cached verification. Called on epoch transitions:
+// a signature proved under a rotated-out key must be re-verified — and
+// refused — under the new epoch's ring.
+func (c *CertCache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.set = make(map[types.Hash]struct{}, cap(c.ring))
+	c.ring = c.ring[:0]
+	c.next = 0
+}
+
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
 	Size      int

@@ -15,6 +15,7 @@ package crypto
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"achilles/internal/types"
@@ -31,6 +32,11 @@ type Scheme interface {
 	Sign(priv PrivateKey, msg []byte) types.Signature
 	// Verify reports whether sig is a valid signature of msg under pub.
 	Verify(pub PublicKey, msg []byte, sig types.Signature) bool
+	// MarshalPublic serializes a public key so it can ride inside a
+	// Reconfig command and a membership config hash.
+	MarshalPublic(pub PublicKey) []byte
+	// UnmarshalPublic reverses MarshalPublic.
+	UnmarshalPublic(data []byte) (PublicKey, error)
 }
 
 // PrivateKey is an opaque signing key. In the real system it never
@@ -63,6 +69,38 @@ func (r *KeyRing) Get(id types.NodeID) PublicKey { return r.keys[id] }
 // Len returns the number of registered keys.
 func (r *KeyRing) Len() int { return len(r.keys) }
 
+// Remove drops a node's key (membership eviction): the node's future
+// signatures — and only its future signatures — stop verifying against
+// this ring.
+func (r *KeyRing) Remove(id types.NodeID) { delete(r.keys, id) }
+
+// IDs returns the registered node identities in ascending order.
+func (r *KeyRing) IDs() []types.NodeID {
+	out := make([]types.NodeID, 0, len(r.keys))
+	for id := range r.keys {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the ring. Epoch transitions
+// build the next epoch's ring by cloning the current one and applying
+// the committed membership change, never by mutating a ring other
+// components still read (the harness shares one boot ring across all
+// simulated nodes).
+func (r *KeyRing) Clone() *KeyRing {
+	c := NewKeyRing()
+	for id, pk := range r.keys {
+		c.keys[id] = pk
+	}
+	return c
+}
+
 // Costs models the CPU time of signature operations, charged to the
 // runtime clock by Service. Defaults are calibrated to ECDSA P-256 on
 // the paper's 8-vCPU instances.
@@ -81,12 +119,18 @@ func DefaultCosts() Costs {
 // through a Service so modelled costs accrue automatically.
 type Service struct {
 	scheme Scheme
-	ring   *KeyRing
-	priv   PrivateKey
-	self   types.NodeID
-	meter  types.Meter
-	costs  Costs
-	cache  *CertCache
+	// ring is swapped atomically on epoch transitions (Rekey): the
+	// consensus goroutine rekeys while ingress verify workers may be
+	// mid-verification against the old epoch's ring.
+	ring atomic.Pointer[KeyRing]
+	// priv is swapped atomically when this node's own key rotates
+	// (RekeyPriv): signing may run on egress workers while the consensus
+	// goroutine performs the epoch transition.
+	priv  atomic.Pointer[PrivateKey]
+	self  types.NodeID
+	meter types.Meter
+	costs Costs
+	cache *CertCache
 }
 
 // NewService returns a metered signing service for node self.
@@ -94,8 +138,23 @@ func NewService(scheme Scheme, ring *KeyRing, priv PrivateKey, self types.NodeID
 	if meter == nil {
 		meter = types.NopMeter{}
 	}
-	return &Service{scheme: scheme, ring: ring, priv: priv, self: self, meter: meter, costs: costs}
+	s := &Service{scheme: scheme, self: self, meter: meter, costs: costs}
+	s.ring.Store(ring)
+	s.priv.Store(&priv)
+	return s
 }
+
+// Rekey swaps the service's key ring for the next epoch's and resets
+// the verified-signature cache: entries proved under an old epoch's
+// keys must not let a rotated-out signature pass after activation.
+func (s *Service) Rekey(ring *KeyRing) {
+	s.ring.Store(ring)
+	s.cache.Reset()
+}
+
+// RekeyPriv swaps the node's own signing key; an epoch that rotates
+// this node's ring key installs the matching private half with it.
+func (s *Service) RekeyPriv(priv PrivateKey) { s.priv.Store(&priv) }
 
 // SetCache attaches a verified-signature cache: verifications that hit
 // it return immediately without charging the modelled cost. Live-path
@@ -112,14 +171,14 @@ func (s *Service) Cache() *CertCache { return s.cache }
 // Self returns the node identity the service signs for.
 func (s *Service) Self() types.NodeID { return s.self }
 
-// Ring returns the service's key ring.
-func (s *Service) Ring() *KeyRing { return s.ring }
+// Ring returns the service's key ring (the current epoch's).
+func (s *Service) Ring() *KeyRing { return s.ring.Load() }
 
 // Sign signs msg with the node's private key, charging the modelled
 // signing cost.
 func (s *Service) Sign(msg []byte) types.Signature {
 	s.meter.Charge(s.costs.Sign)
-	return s.scheme.Sign(s.priv, msg)
+	return s.scheme.Sign(*s.priv.Load(), msg)
 }
 
 // Verify checks a signature attributed to node id, charging the
@@ -141,7 +200,7 @@ func (s *Service) Verify(id types.NodeID, msg []byte, sig types.Signature) bool 
 
 func (s *Service) verifyUncached(id types.NodeID, msg []byte, sig types.Signature) bool {
 	s.meter.Charge(s.costs.Verify)
-	pk := s.ring.Get(id)
+	pk := s.ring.Load().Get(id)
 	if pk == nil {
 		return false
 	}

@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math/big"
 
@@ -114,4 +115,23 @@ func (ECDSAScheme) Verify(pub PublicKey, msg []byte, sig types.Signature) bool {
 	}
 	digest := sha256.Sum256(msg)
 	return ecdsa.VerifyASN1(p.key, digest[:], sig)
+}
+
+// MarshalPublic implements Scheme (uncompressed SEC1 point encoding).
+func (ECDSAScheme) MarshalPublic(pub PublicKey) []byte {
+	p, ok := pub.(ecdsaPub)
+	if !ok || p.key == nil {
+		return nil
+	}
+	return elliptic.Marshal(p.key.Curve, p.key.X, p.key.Y)
+}
+
+// UnmarshalPublic implements Scheme.
+func (ECDSAScheme) UnmarshalPublic(data []byte) (PublicKey, error) {
+	curve := elliptic.P256()
+	x, y := elliptic.Unmarshal(curve, data)
+	if x == nil {
+		return nil, errors.New("crypto: invalid P-256 public key encoding")
+	}
+	return ecdsaPub{&ecdsa.PublicKey{Curve: curve, X: x, Y: y}}, nil
 }

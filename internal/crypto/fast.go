@@ -4,6 +4,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 
 	"achilles/internal/types"
 )
@@ -54,4 +55,25 @@ func (FastScheme) Verify(pub PublicKey, msg []byte, sig types.Signature) bool {
 	m := hmac.New(sha256.New, k.secret[:])
 	m.Write(msg)
 	return hmac.Equal(m.Sum(nil), sig)
+}
+
+// MarshalPublic implements Scheme. The "public" key IS the MAC secret —
+// acceptable only because FastScheme is restricted to simulation
+// environments with trusted key distribution.
+func (FastScheme) MarshalPublic(pub PublicKey) []byte {
+	k, ok := pub.(fastKey)
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), k.secret[:]...)
+}
+
+// UnmarshalPublic implements Scheme.
+func (FastScheme) UnmarshalPublic(data []byte) (PublicKey, error) {
+	if len(data) != 32 {
+		return nil, errors.New("crypto: invalid fast-scheme key encoding")
+	}
+	var k fastKey
+	copy(k.secret[:], data)
+	return k, nil
 }

@@ -1,0 +1,35 @@
+package crypto
+
+import (
+	"fmt"
+
+	"achilles/internal/types"
+)
+
+// RotationKeyPair derives node id's rotated ring key for the given
+// epoch from the cluster key seed — the deterministic stand-in for
+// attestation-backed key provisioning used by the live binaries.
+// achilles-node resolves its own rotated private keys with it
+// (core.Config.KeyByPub), and achilles-client's rotate command derives
+// the announced public key the same way, so both sides agree on the
+// key an epoch installs without any out-of-band transfer.
+func RotationKeyPair(scheme Scheme, seed int64, epoch uint64, id types.NodeID) (PrivateKey, PublicKey) {
+	// The multiplier only has to keep per-epoch seeds distinct from the
+	// boot seed and from each other; any large odd constant does.
+	return scheme.KeyPair(seed+int64(epoch)*1000003, id)
+}
+
+// RingFromKeys builds a verification ring from an epoch's marshalled
+// member keys (types.Membership.Keys) — the transport-facing twin of
+// the replica's internal epoch-ring construction.
+func RingFromKeys(scheme Scheme, keys map[types.NodeID][]byte) (*KeyRing, error) {
+	ring := NewKeyRing()
+	for id, kb := range keys {
+		pub, err := scheme.UnmarshalPublic(kb)
+		if err != nil {
+			return nil, fmt.Errorf("crypto: member %v key: %w", id, err)
+		}
+		ring.Add(id, pub)
+	}
+	return ring, nil
+}

@@ -1,0 +1,201 @@
+package harness
+
+// Bounded-memory soak: a live durable cluster must hold heap and
+// goroutine counts flat while it cycles through snapshot + WAL
+// truncation indefinitely — the steady state a long-lived deployment
+// actually runs in. A tiny snapshot interval compresses dozens of
+// cycles into seconds; two key rotations are interleaved so the
+// per-epoch bookkeeping (epoch rings, sealed markers, membership
+// snapshots) is also covered by the flatness assertion. Growth in any
+// of those structures across 20+ cycles is a leak that would
+// eventually OOM a real node.
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/ledger"
+	"achilles/internal/protocol"
+	"achilles/internal/tee"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+	"achilles/internal/wal"
+)
+
+func TestBoundedMemorySnapshotCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-memory soak skipped in -short mode")
+	}
+	registerLiveMessages()
+	const (
+		n        = 3
+		seed     = 5151
+		interval = 32 // snapshot every 32 heights
+		cycles   = 22 // >=20 snapshot+truncation cycles
+	)
+	scheme := crypto.ECDSAScheme{}
+	keys := &keyDirectory{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		p, pub := scheme.KeyPair(seed, types.NodeID(i))
+		privs[i] = p
+		keys.register(scheme, p, pub)
+		ring.Add(types.NodeID(i), pub)
+	}
+	peers := transport.LocalPeers(n, 24911)
+
+	root := t.TempDir()
+	commits := make([]atomic.Uint64, n)
+	reps := make([]*core.Replica, n)
+	durables := make([]*ledger.Durable, n)
+	runtimes := make([]*transport.Runtime, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		ds, err := tee.NewDirStore(filepath.Join(root, fmt.Sprintf("node-%d", i), "sealed"))
+		if err != nil {
+			t.Fatalf("sealed store: %v", err)
+		}
+		d, err := ledger.OpenDurable(ledger.DurableOptions{
+			Dir:              filepath.Join(root, fmt.Sprintf("node-%d", i), "data"),
+			Fsync:            wal.PolicyBatch,
+			SegmentBytes:     8 << 10,
+			SnapshotInterval: interval,
+		})
+		if err != nil {
+			t.Fatalf("open durable: %v", err)
+		}
+		durables[i] = d
+		var secret [32]byte
+		secret[0] = byte(id)
+		reps[i] = core.New(core.Config{
+			Config: protocol.Config{
+				Self: id, N: n, F: (n - 1) / 2,
+				BatchSize: 16, PayloadSize: 8,
+				BaseTimeout: 250 * time.Millisecond, Seed: seed,
+			},
+			Scheme:            scheme,
+			Ring:              ring,
+			Priv:              privs[i],
+			MachineSecret:     secret,
+			SealedStore:       ds,
+			SyntheticWorkload: true,
+			RetainHeights:     64,
+			PruneInterval:     8,
+			Durable:           d,
+			KeyByPub:          keys.lookup,
+		})
+		runtimes[i] = transport.New(transport.Config{
+			Self:      id,
+			Listen:    peers[id],
+			Peers:     peers,
+			Scheme:    scheme,
+			Ring:      ring,
+			Priv:      privs[i],
+			DialRetry: 50 * time.Millisecond,
+			OnCommit: func(b *types.Block, cc *types.CommitCert) {
+				commits[id].Add(1)
+			},
+		}, reps[i])
+		if err := runtimes[i].Start(); err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for i := range runtimes {
+			runtimes[i].Stop()
+			durables[i].Abort()
+		}
+	}()
+
+	sampleHeap := func() float64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	}
+
+	// Run until node 0 has completed `cycles` snapshot+truncation
+	// cycles, sampling after each one. Two key rotations are injected
+	// a third and two thirds of the way through.
+	var heap, goroutines []float64
+	rotated := 0
+	lastSnap := durables[0].SnapshotHeight()
+	deadline := time.Now().Add(4 * time.Minute)
+	for len(heap) < cycles {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d snapshot cycles within the deadline", len(heap), cycles)
+		}
+		cur := durables[0].SnapshotHeight()
+		if cur == lastSnap {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		lastSnap = cur
+		heap = append(heap, sampleHeap())
+		goroutines = append(goroutines, float64(runtime.NumGoroutine()))
+
+		if (rotated == 0 && len(heap) == cycles/3) || (rotated == 1 && len(heap) == 2*cycles/3) {
+			target := types.NodeID(rotated)
+			epoch := reps[0].Membership().Epoch + 1
+			rotPriv, rotPub := crypto.RotationKeyPair(scheme, seed, uint64(epoch), target)
+			pubM := keys.register(scheme, rotPriv, rotPub)
+			reps[target].StageRotationKey(epoch, rotPriv, pubM)
+			rc := &types.Reconfig{Op: types.ReconfigRotate, Node: target, Key: pubM, Signer: target}
+			rc.Sig = scheme.Sign(privs[target], types.ReconfigPayload(types.ReconfigRotate, target, pubM, ""))
+			if err := reps[target].SubmitReconfig(rc); err != nil {
+				t.Fatalf("rotate %v: %v", target, err)
+			}
+			rotated++
+		}
+	}
+	if rotated != 2 {
+		t.Fatalf("only %d rotations injected", rotated)
+	}
+	if got := reps[0].Membership().Epoch; got < 2 {
+		t.Fatalf("epoch = %d after two rotations, want >=2", got)
+	}
+
+	maxOf := func(v []float64) float64 {
+		m := v[0]
+		for _, x := range v[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	warm := cycles / 4 // discard boot transients
+	baseHeap, lateHeap := maxOf(heap[warm:warm*2]), maxOf(heap[len(heap)-warm:])
+	baseG, lateG := maxOf(goroutines[warm:warm*2]), maxOf(goroutines[len(goroutines)-warm:])
+
+	// Flatness: late-window peaks must not exceed the early steady
+	// state beyond GC noise. A per-cycle leak of even a few hundred KB
+	// or a single goroutine would blow these bounds.
+	if lateG > baseG+16 {
+		t.Errorf("goroutines grew %0.f -> %0.f across %d snapshot cycles", baseG, lateG, cycles)
+	}
+	if allowed := baseHeap*1.5 + 8<<20; lateHeap > allowed {
+		t.Errorf("heap grew %.1fMB -> %.1fMB across %d snapshot cycles (allowed %.1fMB)",
+			baseHeap/(1<<20), lateHeap/(1<<20), cycles, allowed/(1<<20))
+	}
+
+	// The cycles must actually have truncated: with snapshots claiming
+	// WAL coverage every 32 heights, sealed segments older than the
+	// newest snapshot are reclaimed and the directory stays bounded.
+	segs, err := filepath.Glob(filepath.Join(durables[0].WALDir(), "seg-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 64 {
+		t.Errorf("%d WAL segments live after %d snapshot cycles — truncation not keeping up", len(segs), cycles)
+	}
+	t.Logf("memory soak: %d cycles, epoch=%d, heap %.1fMB->%.1fMB, goroutines %.0f->%.0f, %d WAL segments",
+		cycles, reps[0].Membership().Epoch, baseHeap/(1<<20), lateHeap/(1<<20), baseG, lateG, len(segs))
+}

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/protocol"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+)
+
+// ReconfigRow is one measured chain-driven reconfiguration on a live
+// loopback cluster: how long the epoch took to activate cluster-wide
+// from the moment the command was submitted, and how much committed
+// throughput dipped while the change went through, against the
+// steady-state baseline measured immediately before.
+type ReconfigRow struct {
+	Op    string `json:"op"`
+	Node  int    `json:"node"`
+	Epoch uint64 `json:"epoch"`
+	// ActivationMS is submit→activation latency: the command must be
+	// ordered, committed, and reach its activation height (+Δ) on every
+	// node.
+	ActivationMS float64 `json:"activation_ms"`
+	// BaselineTPSk / WindowTPSk are committed K TPS before vs during
+	// the reconfiguration window; DipPct their relative drop.
+	BaselineTPSk float64 `json:"baseline_tps_k"`
+	WindowTPSk   float64 `json:"window_tps_k"`
+	DipPct       float64 `json:"dip_pct"`
+}
+
+func (r ReconfigRow) String() string {
+	return fmt.Sprintf("%-7s node=%-2d epoch=%-3d  activation %8.1f ms  %8.2fK -> %8.2fK TPS  dip %5.1f%%",
+		r.Op, r.Node, r.Epoch, r.ActivationMS, r.BaselineTPSk, r.WindowTPSk, r.DipPct)
+}
+
+// ReconfigBench measures epoch activation on a live n-node loopback
+// TCP cluster under saturated synthetic load: `rotations` successive
+// key rotations, each a full chain round-trip (submit → order → commit
+// → activate at h+Δ on every node). Like the scheduler ablation it is
+// a real-cluster measurement, not a simulation; rows feed the
+// `reconfig` table of BENCH_achilles.json.
+func ReconfigBench(n, basePort, rotations int, d Durations) []ReconfigRow {
+	registerLiveMessages()
+	const (
+		batch   = 64
+		payload = 64
+		seed    = 99
+	)
+	scheme := crypto.ECDSAScheme{}
+	ring := crypto.NewKeyRing()
+	privs := make([]crypto.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		p, pub := scheme.KeyPair(seed, types.NodeID(i))
+		ring.Add(types.NodeID(i), pub)
+		privs[i] = p
+	}
+	peers := transport.LocalPeers(n, basePort)
+
+	// Rotation keys are resolved through the same provisioning-map
+	// stand-in the soak uses.
+	var keyMu sync.Mutex
+	rotKeys := map[string]crypto.PrivateKey{}
+	keyByPub := func(pub []byte) crypto.PrivateKey {
+		keyMu.Lock()
+		defer keyMu.Unlock()
+		return rotKeys[string(pub)]
+	}
+
+	var txMu sync.Mutex
+	var txs uint64
+	reps := make([]*core.Replica, n)
+	runtimes := make([]*transport.Runtime, 0, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		var secret [32]byte
+		secret[0] = byte(id)
+		rep := core.New(core.Config{
+			Config: protocol.Config{
+				Self: id, N: n, F: (n - 1) / 2,
+				BatchSize: batch, PayloadSize: payload,
+				BaseTimeout: 500 * time.Millisecond, Seed: seed,
+			},
+			Scheme:            scheme,
+			Ring:              ring,
+			Priv:              privs[id],
+			MachineSecret:     secret,
+			SyntheticWorkload: true,
+			KeyByPub:          keyByPub,
+		})
+		reps[i] = rep
+		tcfg := transport.Config{
+			Self:   id,
+			Listen: peers[id],
+			Peers:  peers,
+			Scheme: scheme,
+			Ring:   ring,
+			Priv:   privs[id],
+		}
+		if id == 0 {
+			tcfg.OnCommit = func(b *types.Block, _ *types.CommitCert) {
+				txMu.Lock()
+				txs += uint64(len(b.Txs))
+				txMu.Unlock()
+			}
+		}
+		rt := transport.New(tcfg, rep)
+		if err := rt.Start(); err != nil {
+			panic(fmt.Sprintf("reconfig bench: start node %v: %v", id, err))
+		}
+		runtimes = append(runtimes, rt)
+	}
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+	}()
+
+	txCount := func() uint64 {
+		txMu.Lock()
+		defer txMu.Unlock()
+		return txs
+	}
+	tpsOver := func(window time.Duration) float64 {
+		t0 := txCount()
+		start := time.Now()
+		time.Sleep(window)
+		return float64(txCount()-t0) / time.Since(start).Seconds() / 1000
+	}
+
+	// Warm up until commits flow, then the configured warmup on top.
+	deadline := time.Now().Add(15 * time.Second)
+	for txCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(d.Warmup)
+
+	rows := make([]ReconfigRow, 0, rotations)
+	for r := 0; r < rotations; r++ {
+		target := types.NodeID(r % n)
+		baseline := tpsOver(d.Window / 2)
+
+		epoch := reps[0].Membership().Epoch + 1
+		rotPriv, rotPub := crypto.RotationKeyPair(scheme, seed, uint64(epoch), target)
+		pubM := scheme.MarshalPublic(rotPub)
+		keyMu.Lock()
+		rotKeys[string(pubM)] = rotPriv
+		keyMu.Unlock()
+		reps[target].StageRotationKey(epoch, rotPriv, pubM)
+		rc := &types.Reconfig{Op: types.ReconfigRotate, Node: target, Key: pubM, Signer: target}
+		rc.Sig = scheme.Sign(privsCurrent(privs, rotKeys, &keyMu, reps, target),
+			types.ReconfigPayload(types.ReconfigRotate, target, pubM, ""))
+
+		t0 := time.Now()
+		tx0 := txCount()
+		if err := reps[target].SubmitReconfig(rc); err != nil {
+			panic(fmt.Sprintf("reconfig bench: submit rotate %v: %v", target, err))
+		}
+		actDeadline := time.Now().Add(30 * time.Second)
+		activated := true
+		for {
+			all := true
+			for i := 0; i < n; i++ {
+				if reps[i].Membership().Epoch < epoch {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			if time.Now().After(actDeadline) {
+				activated = false
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		activation := time.Since(t0)
+		// Dip window: at least one baseline window around the change so
+		// slow activations don't shrink the denominator.
+		if rest := d.Window/2 - activation; rest > 0 {
+			time.Sleep(rest)
+		}
+		elapsed := time.Since(t0)
+		window := float64(txCount()-tx0) / elapsed.Seconds() / 1000
+
+		row := ReconfigRow{
+			Op:           types.ReconfigRotate.String(),
+			Node:         int(target),
+			Epoch:        uint64(epoch),
+			ActivationMS: float64(activation.Microseconds()) / 1000,
+			BaselineTPSk: baseline,
+			WindowTPSk:   window,
+		}
+		if !activated {
+			row.ActivationMS = -1
+		}
+		if baseline > 0 {
+			row.DipPct = (baseline - window) / baseline * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// privsCurrent resolves the signer's live key: its latest activated
+// rotation when one exists, else its boot key.
+func privsCurrent(boot []crypto.PrivateKey, rot map[string]crypto.PrivateKey,
+	mu *sync.Mutex, reps []*core.Replica, id types.NodeID) crypto.PrivateKey {
+	if m := reps[id].Membership(); m != nil {
+		mu.Lock()
+		p := rot[string(m.Keys[id])]
+		mu.Unlock()
+		if p != nil {
+			return p
+		}
+	}
+	return boot[id]
+}
+
+// PrintReconfigRows renders reconfiguration-bench rows in the same
+// style as PrintRows.
+func PrintReconfigRows(w io.Writer, title string, rows []ReconfigRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, r := range rows {
+		fmt.Fprintln(w, r.String())
+	}
+	fmt.Fprintln(w)
+}

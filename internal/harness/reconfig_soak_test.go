@@ -1,0 +1,554 @@
+package harness
+
+// Live rolling-upgrade soak: chain-driven reconfiguration end-to-end
+// on a real TCP loopback cluster with durable disks, exercised the way
+// an operator would run it. The cluster grows 3→5 (each joiner boots
+// with the current epoch's membership and catches up through snapshot
+// transfer), rotates EVERY member's ring key one epoch at a time, then
+// evicts a "compromised" member that has already gone dark — all while
+// synthetic load keeps committing. Along the way one node is killed
+// mid-epoch-change (after its own key rotation committed but with the
+// staged private key lost to the crash) and must reboot into the
+// correct epoch by restoring the chain, resolving its rotated key
+// through the KeyByPub provisioning hook, and recovering. Finally a
+// rogue runtime presenting the evicted node's old-epoch key must be
+// refused by every current member's handshake.
+//
+// Safety is cross-checked across every node and incarnation with the
+// same one-block-per-height log the crash soak uses: reconfiguration
+// must never produce committed-height divergence.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/crypto"
+	"achilles/internal/ledger"
+	"achilles/internal/obs"
+	"achilles/internal/protocol"
+	"achilles/internal/tee"
+	"achilles/internal/transport"
+	"achilles/internal/types"
+	"achilles/internal/wal"
+)
+
+// keyDirectory is the test's stand-in for attestation-backed key
+// provisioning: every private key the test mints (boot and rotation)
+// is registered under its marshalled public half, and each node's
+// KeyByPub hook resolves against it.
+type keyDirectory struct {
+	mu   sync.Mutex
+	priv map[string]crypto.PrivateKey
+}
+
+func (kd *keyDirectory) register(scheme crypto.Scheme, priv crypto.PrivateKey, pub crypto.PublicKey) []byte {
+	m := scheme.MarshalPublic(pub)
+	kd.mu.Lock()
+	defer kd.mu.Unlock()
+	if kd.priv == nil {
+		kd.priv = make(map[string]crypto.PrivateKey)
+	}
+	kd.priv[string(m)] = priv
+	return m
+}
+
+func (kd *keyDirectory) lookup(pub []byte) crypto.PrivateKey {
+	kd.mu.Lock()
+	defer kd.mu.Unlock()
+	return kd.priv[string(pub)]
+}
+
+// rtHolder hands the consensus goroutine's OnEpochChange callback a
+// stable handle on the node's current transport runtime: the callback
+// outlives runtime restarts, and activation can fire during Init
+// (restored reconfigs replay) before the test assigned the runtime.
+type rtHolder struct {
+	mu sync.Mutex
+	rt *transport.Runtime
+}
+
+func (h *rtHolder) set(rt *transport.Runtime) {
+	h.mu.Lock()
+	h.rt = rt
+	h.mu.Unlock()
+}
+
+func (h *rtHolder) get() *transport.Runtime {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rt
+}
+
+// nopReplica backs the rogue runtime of the old-key rejection phase:
+// it only ever attempts handshakes, never consensus.
+type nopReplica struct{}
+
+func (nopReplica) Init(protocol.Env)                     {}
+func (nopReplica) OnMessage(types.NodeID, types.Message) {}
+func (nopReplica) OnTimer(types.TimerID)                 {}
+
+func TestReconfigRollingUpgradeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reconfig rolling-upgrade soak skipped in -short mode")
+	}
+	registerLiveMessages()
+	const (
+		n0   = 3 // boot membership
+		nMax = 5 // after both joins
+		seed = 4242
+	)
+	scheme := crypto.ECDSAScheme{}
+	keys := &keyDirectory{}
+
+	// Boot keys for every identity that will ever exist; the boot ring
+	// holds only the original three.
+	bootPriv := make([]crypto.PrivateKey, nMax)
+	bootPubM := make([][]byte, nMax)
+	ring0 := crypto.NewKeyRing()
+	for i := 0; i < nMax; i++ {
+		p, pub := scheme.KeyPair(seed, types.NodeID(i))
+		bootPriv[i] = p
+		bootPubM[i] = keys.register(scheme, p, pub)
+		if i < n0 {
+			ring0.Add(types.NodeID(i), pub)
+		}
+	}
+	peers := transport.LocalPeers(nMax, 24611)
+	bootPeers := map[types.NodeID]string{}
+	for id := types.NodeID(0); id < n0; id++ {
+		bootPeers[id] = peers[id]
+	}
+
+	root := t.TempDir()
+	sealed := make([]*tee.DirStore, nMax)
+	dataDir := make([]string, nMax)
+	flightDirs := make([]string, nMax)
+	for i := 0; i < nMax; i++ {
+		dataDir[i] = filepath.Join(root, fmt.Sprintf("node-%d", i), "data")
+		flightDirs[i] = filepath.Join(root, fmt.Sprintf("node-%d", i), "flight")
+		ds, err := tee.NewDirStore(filepath.Join(root, fmt.Sprintf("node-%d", i), "sealed"))
+		if err != nil {
+			t.Fatalf("sealed store %d: %v", i, err)
+		}
+		sealed[i] = ds
+	}
+	openDurable := func(id types.NodeID) *ledger.Durable {
+		d, err := ledger.OpenDurable(ledger.DurableOptions{
+			Dir:              dataDir[id],
+			Fsync:            wal.PolicyBatch,
+			SegmentBytes:     8 << 10,
+			SnapshotInterval: 48,
+		})
+		if err != nil {
+			t.Fatalf("open durable %d: %v", id, err)
+		}
+		return d
+	}
+
+	safety := &csLog{byHeight: make(map[types.Height]types.Hash)}
+	commits := make([]atomic.Uint64, nMax)
+	holders := make([]*rtHolder, nMax)
+	for i := range holders {
+		holders[i] = &rtHolder{}
+	}
+	reps := make([]*core.Replica, nMax)
+	durables := make([]*ledger.Durable, nMax)
+
+	// rewire mirrors cmd/achilles-node's OnEpochChange: swap the
+	// handshake epoch and ring, then reconcile the peer table against
+	// the new membership (boot members keep their static addresses).
+	rewire := func(id types.NodeID, m *types.Membership, ring *crypto.KeyRing) {
+		rt := holders[id].get()
+		if rt == nil {
+			return
+		}
+		rt.SetEpoch(uint64(m.Epoch), m.ConfigHash())
+		rt.SetRing(ring)
+		// If this epoch rotated our key, future dials must present it.
+		if p := keys.lookup(m.Keys[id]); p != nil {
+			rt.SetPriv(p)
+		}
+		known := make(map[types.NodeID]bool)
+		for _, pid := range rt.PeerIDs() {
+			known[pid] = true
+		}
+		for _, mid := range m.Members {
+			if mid == id {
+				continue
+			}
+			addr := m.Addrs[mid]
+			if addr == "" {
+				addr = peers[mid]
+			}
+			rt.AddPeer(mid, addr)
+			delete(known, mid)
+		}
+		for pid := range known {
+			rt.RemovePeer(pid)
+		}
+	}
+
+	// bootNode builds one incarnation. im is nil for the original three
+	// (conventional boot membership from the ring) and the activated
+	// membership for joiners and post-reconfig reboots.
+	bootNode := func(id types.NodeID, label string, im *types.Membership, ring *crypto.KeyRing,
+		priv crypto.PrivateKey, dialPeers map[types.NodeID]string, n, f int) {
+		t.Helper()
+		d := openDurable(id)
+		durables[id] = d
+		// Each incarnation gets the anomaly flight recorder: a rollback
+		// detection or a reconfig-activation failure anywhere in the soak
+		// leaves a dump behind (copied out as a CI artifact on exit).
+		flight, err := obs.NewFlightRecorder(obs.FlightConfig{
+			Dir:         flightDirs[id],
+			Node:        label,
+			MaxDumps:    4,
+			MinInterval: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("flight recorder %s: %v", label, err)
+		}
+		var secret [32]byte
+		secret[0] = byte(id)
+		rep := core.New(core.Config{
+			Config: protocol.Config{
+				Self: id, N: n, F: f,
+				BatchSize: 16, PayloadSize: 8,
+				BaseTimeout: 250 * time.Millisecond, Seed: seed,
+			},
+			Scheme:            scheme,
+			Ring:              ring,
+			Priv:              priv,
+			MachineSecret:     secret,
+			SealedStore:       sealed[id],
+			SyntheticWorkload: true,
+			RetainHeights:     64,
+			PruneInterval:     8,
+			Durable:           d,
+			Flight:            flight,
+			InitialMembership: im,
+			OnEpochChange: func(m *types.Membership, epochRing *crypto.KeyRing) {
+				rewire(id, m, epochRing)
+			},
+			KeyByPub: keys.lookup,
+		})
+		reps[id] = rep
+		rt := transport.New(transport.Config{
+			Self:      id,
+			Listen:    peers[id],
+			Peers:     dialPeers,
+			Scheme:    scheme,
+			Ring:      ring,
+			Priv:      priv,
+			DialRetry: 50 * time.Millisecond,
+			OnCommit: func(b *types.Block, cc *types.CommitCert) {
+				safety.record(t, label, b)
+				commits[id].Add(1)
+			},
+		}, rep)
+		holders[id].set(rt)
+		if err := rt.Start(); err != nil {
+			t.Fatalf("start %s: %v", label, err)
+		}
+		// A joiner boots mid-epoch: its OnEpochChange has not fired yet,
+		// so bring the transport's handshake epoch up to date by hand
+		// (exactly what cmd/achilles-node does after core.New restores).
+		// Init runs asynchronously on the event loop; wait for the boot
+		// membership to settle first.
+		deadline := time.Now().Add(10 * time.Second)
+		for rep.Membership() == nil && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if m := rep.Membership(); m != nil && m.Epoch > 0 {
+			rewire(id, m, ring)
+		}
+	}
+	stopNode := func(id types.NodeID, clean bool) {
+		t.Helper()
+		if rt := holders[id].get(); rt != nil {
+			rt.Stop()
+			holders[id].set(nil)
+		}
+		if durables[id] != nil {
+			if clean {
+				if err := durables[id].Close(); err != nil {
+					t.Fatalf("clean close %d: %v", id, err)
+				}
+			} else {
+				durables[id].Abort()
+			}
+			durables[id] = nil
+		}
+	}
+	defer func() {
+		for i := 0; i < nMax; i++ {
+			stopNode(types.NodeID(i), false)
+		}
+	}()
+
+	waitCommits := func(id types.NodeID, extra uint64, timeout time.Duration, what string) {
+		t.Helper()
+		target := commits[id].Load() + extra
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if commits[id].Load() >= target {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("%s: node %v stuck at %d/%d commits", what, id, commits[id].Load(), target)
+	}
+	waitEpoch := func(id types.NodeID, epoch types.Epoch, timeout time.Duration, what string) *types.Membership {
+		t.Helper()
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if m := reps[id].Membership(); m != nil && m.Epoch >= epoch {
+				return m
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		m := reps[id].Membership()
+		t.Fatalf("%s: node %v still at epoch %d, want %d", what, id, m.Epoch, epoch)
+		return nil
+	}
+
+	// ringFor rebuilds an epoch's key ring from its membership — what
+	// an operator derives from the attested config when booting a node.
+	ringFor := func(m *types.Membership) *crypto.KeyRing {
+		t.Helper()
+		ring := crypto.NewKeyRing()
+		for _, mid := range m.Members {
+			pub, err := scheme.UnmarshalPublic(m.Keys[mid])
+			if err != nil {
+				t.Fatalf("epoch %d key for %v: %v", m.Epoch, mid, err)
+			}
+			ring.Add(mid, pub)
+		}
+		return ring
+	}
+	signReconfig := func(op types.ReconfigOp, node types.NodeID, key []byte, addr string,
+		signer types.NodeID, signerPriv crypto.PrivateKey) *types.Reconfig {
+		rc := &types.Reconfig{Op: op, Node: node, Key: key, Addr: addr, Signer: signer}
+		rc.Sig = scheme.Sign(signerPriv, types.ReconfigPayload(op, node, key, addr))
+		return rc
+	}
+
+	// curPriv tracks each node's live signing key as rotations activate.
+	curPriv := make([]crypto.PrivateKey, nMax)
+	copy(curPriv, bootPriv)
+
+	// Boot phase: the original three commit under the conventional
+	// epoch-0 membership.
+	for id := types.NodeID(0); id < n0; id++ {
+		bootNode(id, fmt.Sprintf("node-%d", id), nil, ring0, bootPriv[id], bootPeers, n0, (n0-1)/2)
+	}
+	waitCommits(0, 30, 30*time.Second, "boot")
+
+	// Phase 1+2: grow 3→5. Each join commits through the chain first;
+	// the joiner then boots with the activated membership and catches
+	// up (far past the survivors' 64-block retention, so through a
+	// snapshot transfer).
+	for _, joiner := range []types.NodeID{3, 4} {
+		epoch := reps[0].Membership().Epoch + 1
+		rc := signReconfig(types.ReconfigAdd, joiner, bootPubM[joiner], peers[joiner], 0, curPriv[0])
+		if err := reps[0].SubmitReconfig(rc); err != nil {
+			t.Fatalf("submit add %v: %v", joiner, err)
+		}
+		var m *types.Membership
+		for id := types.NodeID(0); id < joiner; id++ {
+			m = waitEpoch(id, epoch, 30*time.Second, fmt.Sprintf("join-%v", joiner))
+		}
+		if !m.Contains(joiner) {
+			t.Fatalf("epoch %d membership omits joiner %v: %v", m.Epoch, joiner, m.Members)
+		}
+		dialPeers := make(map[types.NodeID]string)
+		for _, mid := range m.Members {
+			addr := m.Addrs[mid]
+			if addr == "" {
+				addr = peers[mid]
+			}
+			dialPeers[mid] = addr
+		}
+		bootNode(joiner, fmt.Sprintf("joiner-%d", joiner), m.Clone(), ringFor(m),
+			bootPriv[joiner], dialPeers, m.N(), m.F())
+		waitCommits(joiner, 30, 60*time.Second, fmt.Sprintf("joiner-%d catch-up", joiner))
+		if got := reps[joiner].Membership().Epoch; got != epoch {
+			t.Fatalf("joiner %v settled at epoch %d, want %d", joiner, got, epoch)
+		}
+	}
+	if got := reps[0].Membership(); got.N() != nMax || got.Quorum() != nMax/2+1 {
+		t.Fatalf("after growth: n=%d quorum=%d, want n=%d quorum=%d",
+			got.N(), got.Quorum(), nMax, nMax/2+1)
+	}
+
+	// Phase 3: rotate every member's ring key, one epoch per member.
+	// Even-numbered targets stage their new private key ahead of the
+	// commit (the planned-rotation path); odd-numbered ones rely on the
+	// KeyByPub provisioning hook at activation. Both must keep the
+	// rotated node signing — a node stuck on its old key would be
+	// silently evicted by its own peers.
+	for _, target := range []types.NodeID{0, 1, 2, 3, 4} {
+		epoch := reps[target].Membership().Epoch + 1
+		rotPriv, rotPub := crypto.RotationKeyPair(scheme, seed, uint64(epoch), target)
+		pubM := keys.register(scheme, rotPriv, rotPub)
+		if target%2 == 0 {
+			reps[target].StageRotationKey(epoch, rotPriv, pubM)
+		}
+		rc := signReconfig(types.ReconfigRotate, target, pubM, "", target, curPriv[target])
+		if err := reps[target].SubmitReconfig(rc); err != nil {
+			t.Fatalf("submit rotate %v: %v", target, err)
+		}
+		for id := types.NodeID(0); id < nMax; id++ {
+			waitEpoch(id, epoch, 30*time.Second, fmt.Sprintf("rotate-%v", target))
+		}
+		curPriv[target] = rotPriv
+		// The rotated node must still be able to commit — i.e. its
+		// votes under the new key are being accepted.
+		waitCommits(target, 10, 30*time.Second, fmt.Sprintf("post-rotate-%v", target))
+	}
+
+	// Phase 4: crash mid-epoch-change. Node 2's key rotates again, but
+	// the node is killed as soon as the next epoch is scheduled — the
+	// staged private key dies with the process. The reboot must restore
+	// the chain, activate the pending epoch at the committed height,
+	// and resolve its rotated key through KeyByPub (it boots with the
+	// stale Priv).
+	victim := types.NodeID(2)
+	vEpoch := reps[victim].Membership().Epoch + 1
+	vPriv, vPub := crypto.RotationKeyPair(scheme, seed, uint64(vEpoch), victim)
+	vPubM := keys.register(scheme, vPriv, vPub)
+	rc := signReconfig(types.ReconfigRotate, victim, vPubM, "", victim, curPriv[victim])
+	reps[victim].StageRotationKey(vEpoch, vPriv, vPubM)
+	if err := reps[victim].SubmitReconfig(rc); err != nil {
+		t.Fatalf("submit victim rotate: %v", err)
+	}
+	// Kill the moment the reconfiguration is scheduled (pending) on the
+	// victim; if activation won the race, the kill still lands inside
+	// the first heights of the new epoch, which the reboot must handle
+	// identically.
+	pendDeadline := time.Now().Add(30 * time.Second)
+	for reps[victim].PendingMembership() == nil &&
+		reps[victim].Membership().Epoch < vEpoch && time.Now().Before(pendDeadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	stopNode(victim, false)
+	for id := types.NodeID(0); id < nMax; id++ {
+		if id == victim {
+			continue
+		}
+		waitEpoch(id, vEpoch, 30*time.Second, "victim-rotate survivors")
+	}
+	// Reboot exactly as the operator script would: current membership,
+	// current ring, and the node's ORIGINAL boot key — adoptOwnKey must
+	// swap to the rotated key before recovery signs anything.
+	m := reps[0].Membership()
+	dialPeers := make(map[types.NodeID]string)
+	for _, mid := range m.Members {
+		addr := m.Addrs[mid]
+		if addr == "" {
+			addr = peers[mid]
+		}
+		dialPeers[mid] = addr
+	}
+	bootNode(victim, "victim-reboot", m.Clone(), ringFor(m), bootPriv[victim], dialPeers, m.N(), m.F())
+	curPriv[victim] = vPriv
+	waitCommits(victim, 20, 60*time.Second, "victim reboot")
+	if got := reps[victim].Membership().Epoch; got != vEpoch {
+		t.Fatalf("rebooted victim at epoch %d, want %d", got, vEpoch)
+	}
+
+	// Phase 5: evict a compromised member. Node 4 goes dark first (the
+	// cluster keeps committing with 4 of 5), then the chain removes it.
+	evicted := types.NodeID(4)
+	stopNode(evicted, false)
+	waitCommits(0, 10, 30*time.Second, "dark member tolerated")
+	eEpoch := reps[0].Membership().Epoch + 1
+	rc = signReconfig(types.ReconfigRemove, evicted, nil, "", 0, curPriv[0])
+	if err := reps[0].SubmitReconfig(rc); err != nil {
+		t.Fatalf("submit remove: %v", err)
+	}
+	for id := types.NodeID(0); id < nMax-1; id++ {
+		waitEpoch(id, eEpoch, 30*time.Second, "evict")
+	}
+	final := reps[0].Membership()
+	if final.Contains(evicted) || final.N() != nMax-1 {
+		t.Fatalf("post-eviction membership: %v", final.Members)
+	}
+	// The peer table must have dropped the evicted member.
+	for _, pid := range holders[0].get().PeerIDs() {
+		if pid == evicted {
+			t.Errorf("node 0 still routes to evicted member %v", evicted)
+		}
+	}
+
+	// Phase 6: the evicted member's key must be dead. A rogue runtime
+	// presents node 4's old boot-era identity: the members' current
+	// epoch ring no longer contains any key for it, so every handshake
+	// is refused and no route forms.
+	rogue := transport.New(transport.Config{
+		Self:      evicted,
+		Peers:     map[types.NodeID]string{0: peers[0]},
+		Scheme:    scheme,
+		Ring:      ring0,
+		Priv:      bootPriv[evicted],
+		DialRetry: 50 * time.Millisecond,
+	}, nopReplica{})
+	if err := rogue.Start(); err != nil {
+		t.Fatalf("rogue start: %v", err)
+	}
+	time.Sleep(2 * time.Second)
+	if routes := rogue.ActiveRoutes(); routes != 0 {
+		t.Errorf("rogue with evicted old-epoch key holds %d active routes, want 0", routes)
+	}
+	rogue.Stop()
+
+	// Epilogue: the surviving four agree on the final epoch and config
+	// hash, keep committing, and no height ever diverged.
+	waitCommits(0, 20, 30*time.Second, "epilogue")
+	wantHash := final.ConfigHash()
+	for id := types.NodeID(0); id < nMax-1; id++ {
+		got := reps[id].Membership()
+		if got.Epoch != final.Epoch || got.ConfigHash() != wantHash {
+			t.Errorf("node %v settled at epoch %d hash %x, want epoch %d hash %x",
+				id, got.Epoch, got.ConfigHash(), final.Epoch, wantHash)
+		}
+	}
+	if len(safety.failures) != 0 {
+		t.Fatalf("safety violations at: %v", safety.failures)
+	}
+
+	// CI artifact hook: any anomaly dump a node wrote during the soak
+	// (rollback detection, reconfig-activation failure) lives in the
+	// test's TempDir and vanishes with it — when ACHILLES_FLIGHT_ARTIFACTS
+	// is set, copy dumps out for upload, one subdirectory per node.
+	if out := os.Getenv("ACHILLES_FLIGHT_ARTIFACTS"); out != "" {
+		for i, dir := range flightDirs {
+			dumps := obs.ListFlightDumps(dir)
+			if len(dumps) == 0 {
+				continue
+			}
+			dst := filepath.Join(out, fmt.Sprintf("reconfig-node-%d", i))
+			if err := os.MkdirAll(dst, 0o755); err != nil {
+				t.Fatalf("artifact dir: %v", err)
+			}
+			for _, path := range dumps {
+				buf, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("artifact read: %v", err)
+				}
+				if err := os.WriteFile(filepath.Join(dst, filepath.Base(path)), buf, 0o644); err != nil {
+					t.Fatalf("artifact write: %v", err)
+				}
+			}
+			t.Logf("flight dumps from node %d copied to %s", i, dst)
+		}
+	}
+	t.Logf("reconfig soak: final epoch=%d members=%v commits(node0)=%d",
+		final.Epoch, final.Members, commits[0].Load())
+}

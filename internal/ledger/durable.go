@@ -49,6 +49,10 @@ const (
 type CommitRecord struct {
 	Block *types.Block
 	CC    *types.CommitCert
+	// Epoch is the configuration epoch the block committed under; a
+	// restore verifies each record against the membership in force at
+	// its height rather than the boot-time ring.
+	Epoch types.Epoch
 }
 
 // Snapshot is a checkpoint of the committed state: the tip block, the
@@ -63,6 +67,15 @@ type Snapshot struct {
 	// WalSeq is the sequence number of the last WAL record whose
 	// effects the snapshot includes; restart replays from WalSeq+1.
 	WalSeq uint64
+	// Epoch and Member pin the configuration in force at the snapshot
+	// tip; Pending carries a committed-but-not-yet-active reconfiguration
+	// so a restart re-arms its activation. All three are gob-additive:
+	// snapshots written before reconfiguration existed decode with
+	// Epoch 0 and nil memberships, which restores interpret as the
+	// boot configuration.
+	Epoch   types.Epoch
+	Member  *types.Membership
+	Pending *types.Membership
 }
 
 // Encode serializes the snapshot.
@@ -161,6 +174,10 @@ type Durable struct {
 	snapSeq     uint64 // WalSeq of the newest snapshot
 	prevSnapSeq uint64 // WalSeq of the previous retained snapshot
 
+	epoch   types.Epoch
+	member  *types.Membership
+	pending *types.Membership
+
 	obsHeight atomic.Int64
 	obsBytes  atomic.Int64
 	obsUnix   atomic.Int64
@@ -244,10 +261,22 @@ func (d *Durable) Recovered() *Recovered {
 	return d.rec
 }
 
+// SetEpochConfig records the configuration epoch to stamp into
+// subsequent commit records and snapshots. The core calls it at boot,
+// when a reconfiguration is scheduled, and at each epoch activation.
+func (d *Durable) SetEpochConfig(epoch types.Epoch, member, pending *types.Membership) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.epoch, d.member, d.pending = epoch, member, pending
+}
+
 // AppendCommit durably logs one committed block. cc must be set on
 // the final block of each commit batch and nil on its ancestors.
 func (d *Durable) AppendCommit(b *types.Block, cc *types.CommitCert) error {
-	payload, err := encodeCommitRecord(CommitRecord{Block: b, CC: cc})
+	d.mu.Lock()
+	epoch := d.epoch
+	d.mu.Unlock()
+	payload, err := encodeCommitRecord(CommitRecord{Block: b, CC: cc, Epoch: epoch})
 	if err != nil {
 		return err
 	}
@@ -286,7 +315,10 @@ func (d *Durable) WriteSnapshot(head *types.Block, cc *types.CommitCert, machine
 	if err := d.log.Sync(); err != nil {
 		return err
 	}
-	s := &Snapshot{Height: head.Height, Block: head, CC: cc, Machine: machine, WalSeq: d.lastSeq}
+	s := &Snapshot{
+		Height: head.Height, Block: head, CC: cc, Machine: machine, WalSeq: d.lastSeq,
+		Epoch: d.epoch, Member: d.member, Pending: d.pending,
+	}
 	return d.installLocked(s)
 }
 

@@ -19,6 +19,7 @@ const (
 	TraceRecoveryReply = "recovery-reply"
 	TraceRecoveryDone  = "recovery-done"
 	TraceEcall         = "ecall"
+	TraceEpoch         = "epoch"
 )
 
 // TraceEvent is one recorded protocol event.

@@ -17,12 +17,20 @@
 package tee
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"achilles/internal/types"
 )
+
+// ErrNoBlob is returned by UnsealE when untrusted storage serves
+// nothing for a name.
+var ErrNoBlob = errors.New("tee: no sealed blob stored")
 
 // CallCosts models SGX-related overheads charged to the virtual clock.
 type CallCosts struct {
@@ -53,14 +61,26 @@ type Measurement = types.Hash
 // All counters are atomic: trusted calls run on the node's event-loop
 // goroutine while metric scrapers read concurrently.
 type Enclave struct {
-	measurement Measurement
-	meter       types.Meter
-	costs       CallCosts
-	store       SealedStore
-	sealer      *Sealer
-	disabled    bool
-	observe     func(fn string)
-	observeDur  func(fn string, d time.Duration)
+	measurement   Measurement
+	machineSecret [32]byte
+	meter         types.Meter
+	costs         CallCosts
+	store         SealedStore
+	// sealer is the current epoch's sealing key; base is the
+	// epoch-independent sealer reserved for the epoch marker itself
+	// (the root that tells a rebooting enclave which epoch key to
+	// derive); prev is the previous epoch's sealer, kept so a reboot
+	// that interrupted a rotation can still read — and reseal — blobs
+	// written just before the epoch advanced. All three are touched
+	// only from the node's event-loop goroutine.
+	sealer     *Sealer
+	base       *Sealer
+	prev       *Sealer
+	epoch      atomic.Uint64
+	configHash atomic.Value // types.Hash
+	disabled   bool
+	observe    func(fn string)
+	observeDur func(fn string, d time.Duration)
 
 	calls     atomic.Uint64
 	costNanos atomic.Int64
@@ -114,21 +134,104 @@ func New(cfg Config) *Enclave {
 		st = NewVersionedStore()
 	}
 	e := &Enclave{
-		measurement: cfg.Measurement,
-		meter:       m,
-		costs:       cfg.Costs,
-		store:       st,
-		sealer:      NewSealer(cfg.MachineSecret, cfg.Measurement),
-		disabled:    cfg.Disabled,
-		observe:     cfg.Observe,
-		observeDur:  cfg.ObserveDuration,
-		callsByFn:   make(map[string]*atomic.Uint64),
+		measurement:   cfg.Measurement,
+		machineSecret: cfg.MachineSecret,
+		meter:         m,
+		costs:         cfg.Costs,
+		store:         st,
+		sealer:        NewSealer(cfg.MachineSecret, cfg.Measurement),
+		base:          NewSealer(cfg.MachineSecret, cfg.Measurement),
+		disabled:      cfg.Disabled,
+		observe:       cfg.Observe,
+		observeDur:    cfg.ObserveDuration,
+		callsByFn:     make(map[string]*atomic.Uint64),
 	}
+	e.configHash.Store(types.Hash{})
+	e.restoreEpoch()
 	if !e.disabled {
 		m.Charge(e.costs.Init)
 		e.costNanos.Add(int64(e.costs.Init))
 	}
 	return e
+}
+
+// epochMarkerName is the sealed-store key of the epoch marker: the one
+// blob sealed under the epoch-independent base key, naming the current
+// configuration epoch and its config hash.
+const epochMarkerName = "achilles-epoch-marker"
+
+// epochMarker is the sealed attestation of the enclave's configuration
+// epoch. Writing it is the single atomic commit point of a rotation:
+// every epoch key is recomputable from (machine secret, measurement,
+// epoch), so a kill -9 on either side of the write leaves a fully
+// recoverable state.
+type epochMarker struct {
+	Epoch      uint64
+	ConfigHash types.Hash
+}
+
+// restoreEpoch re-derives the epoch-bound sealing keys from the sealed
+// epoch marker at enclave (re-)creation. A missing or corrupt marker
+// leaves the enclave at epoch 0; a rolled-back marker yields old-epoch
+// keys under which current blobs fail loudly with StaleEpochError —
+// detectable, never silently decoded.
+func (e *Enclave) restoreEpoch() {
+	sealed := e.store.Get(epochMarkerName)
+	if sealed == nil {
+		return
+	}
+	blob, err := e.base.Unseal(sealed)
+	if err != nil {
+		e.unsealFail.Add(1)
+		return
+	}
+	var m epochMarker
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&m); err != nil {
+		return
+	}
+	e.epoch.Store(m.Epoch)
+	e.configHash.Store(m.ConfigHash)
+	e.sealer = NewSealerAt(e.machineSecret, e.measurement, m.Epoch)
+	if m.Epoch > 0 {
+		e.prev = NewSealerAt(e.machineSecret, e.measurement, m.Epoch-1)
+	}
+}
+
+// AdvanceEpoch rotates the enclave's sealing key to a new configuration
+// epoch and seals the (epoch, config hash) marker. Epochs are
+// monotonic; re-advancing to the current epoch with the same hash is an
+// idempotent no-op (reboot replay).
+func (e *Enclave) AdvanceEpoch(epoch uint64, configHash types.Hash) error {
+	defer e.EnterCall("TEEadvanceEpoch")()
+	cur := e.epoch.Load()
+	if epoch == cur && configHash == e.EpochConfigHash() {
+		return nil
+	}
+	if epoch <= cur {
+		return fmt.Errorf("tee: epoch %d does not advance current epoch %d", epoch, cur)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&epochMarker{Epoch: epoch, ConfigHash: configHash}); err != nil {
+		return err
+	}
+	e.seals.Add(1)
+	e.store.Put(epochMarkerName, e.base.Seal(buf.Bytes()))
+	e.prev = e.sealer
+	e.sealer = NewSealerAt(e.machineSecret, e.measurement, epoch)
+	e.epoch.Store(epoch)
+	e.configHash.Store(configHash)
+	return nil
+}
+
+// Epoch returns the configuration epoch the enclave's sealing key is
+// bound to.
+func (e *Enclave) Epoch() uint64 { return e.epoch.Load() }
+
+// EpochConfigHash returns the config hash sealed at the last epoch
+// activation (zero at epoch 0 before any reconfiguration).
+func (e *Enclave) EpochConfigHash() types.Hash {
+	h, _ := e.configHash.Load().(types.Hash)
+	return h
 }
 
 // noopExit is the shared exit closure returned when no duration
@@ -217,18 +320,50 @@ func (e *Enclave) Seal(name string, blob []byte) {
 // Unseal reads name from untrusted storage and decrypts it. It returns
 // false if nothing was stored or the blob fails authentication (i.e.
 // was forged or corrupted — the adversary can replay but not forge).
+// Rotation-aware callers use UnsealE for the typed error.
 func (e *Enclave) Unseal(name string) ([]byte, bool) {
+	blob, err := e.UnsealE(name)
+	return blob, err == nil
+}
+
+// UnsealE is Unseal with typed errors: ErrNoBlob when nothing is
+// stored, *StaleEpochError when the blob was sealed under another
+// epoch's key, ErrSealCorrupt on forgery or corruption.
+func (e *Enclave) UnsealE(name string) ([]byte, error) {
 	e.unseals.Add(1)
 	sealed := e.store.Get(name)
 	if sealed == nil {
 		e.unsealFail.Add(1)
-		return nil, false
+		return nil, ErrNoBlob
 	}
-	blob, ok := e.sealer.Unseal(sealed)
-	if !ok {
+	blob, err := e.sealer.Unseal(sealed)
+	if err != nil {
 		e.unsealFail.Add(1)
 	}
-	return blob, ok
+	return blob, err
+}
+
+// UnsealPrev attempts to open name with the PREVIOUS epoch's key. It is
+// the explicit grace path for rotation atomicity: a crash between the
+// epoch-marker write and the resealing of dependent blobs leaves those
+// blobs one epoch behind, and the rebooting owner reads them here and
+// immediately reseals under the current key. Blobs older than one epoch
+// stay unreadable.
+func (e *Enclave) UnsealPrev(name string) ([]byte, error) {
+	if e.prev == nil {
+		return nil, ErrNoBlob
+	}
+	e.unseals.Add(1)
+	sealed := e.store.Get(name)
+	if sealed == nil {
+		e.unsealFail.Add(1)
+		return nil, ErrNoBlob
+	}
+	blob, err := e.prev.Unseal(sealed)
+	if err != nil {
+		e.unsealFail.Add(1)
+	}
+	return blob, err
 }
 
 // Store returns the enclave's untrusted storage, through which tests
@@ -236,22 +371,40 @@ func (e *Enclave) Unseal(name string) ([]byte, bool) {
 func (e *Enclave) Store() SealedStore { return e.store }
 
 // Attest produces an attestation report binding data (e.g. a public
-// key generated inside the enclave) to the enclave's measurement. Peers
-// verify it with VerifyReport. This stands in for SGX remote
-// attestation, which the paper uses to build the PKI without a trusted
-// third party (Sec. 4.5).
+// key generated inside the enclave) to the enclave's measurement AND
+// its current configuration epoch: a peer can thus demand proof that
+// the attesting enclave runs the expected code under the expected
+// membership config hash. This stands in for SGX remote attestation,
+// which the paper uses to build the PKI without a trusted third party
+// (Sec. 4.5).
 func (e *Enclave) Attest(data []byte) Report {
-	return Report{Measurement: e.measurement, Data: append([]byte(nil), data...)}
+	return Report{
+		Measurement: e.measurement,
+		Epoch:       e.epoch.Load(),
+		ConfigHash:  e.EpochConfigHash(),
+		Data:        append([]byte(nil), data...),
+	}
 }
 
 // Report is a (modelled) remote-attestation report.
 type Report struct {
 	Measurement Measurement
-	Data        []byte
+	// Epoch and ConfigHash bind the report to the configuration sealed
+	// at the enclave's last epoch activation.
+	Epoch      uint64
+	ConfigHash types.Hash
+	Data       []byte
 }
 
 // VerifyReport checks that a report was produced by an enclave with the
 // expected measurement.
 func VerifyReport(r Report, expected Measurement) bool {
 	return r.Measurement == expected
+}
+
+// VerifyReportConfig additionally checks the report's configuration
+// binding: the attesting enclave must run the expected epoch under the
+// expected config hash.
+func VerifyReportConfig(r Report, expected Measurement, epoch uint64, configHash types.Hash) bool {
+	return r.Measurement == expected && r.Epoch == epoch && r.ConfigHash == configHash
 }

@@ -5,24 +5,68 @@ import (
 	"crypto/cipher"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"sort"
 )
 
+// Sealing errors. StaleEpochError is typed so rotation-aware callers
+// can distinguish "sealed under an old epoch's key" (expected after a
+// key rotation; must fail loudly, never decode garbage) from outright
+// tampering.
+var (
+	// ErrSealCorrupt marks a blob that failed authentication: forged,
+	// truncated, or bit-flipped.
+	ErrSealCorrupt = errors.New("tee: sealed blob failed authentication")
+)
+
+// StaleEpochError reports a sealed blob whose cleartext epoch header
+// does not match the sealer's epoch: it was sealed before (or after) a
+// key rotation and this sealer's key will not open it.
+type StaleEpochError struct {
+	BlobEpoch   uint64
+	SealerEpoch uint64
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("tee: sealed blob from epoch %d, sealer at epoch %d", e.BlobEpoch, e.SealerEpoch)
+}
+
 // Sealer implements SGX-style sealing: authenticated encryption under a
-// key derived from the machine secret and the enclave measurement, so
-// only the same enclave code on the same machine can unseal.
+// key derived from the machine secret, the enclave measurement, and the
+// configuration epoch, so only the same enclave code on the same
+// machine — running the same epoch's configuration — can unseal. Each
+// blob carries its epoch in a cleartext header (authenticated as AEAD
+// associated data), so a post-rotation unseal of an old blob fails with
+// a typed StaleEpochError instead of an indistinct decrypt failure.
 type Sealer struct {
 	aead  cipher.AEAD
+	epoch uint64
 	nonce uint64
 }
 
-// NewSealer derives a sealing key from the machine secret and the
-// enclave measurement.
+// sealEpochHeaderSize is the cleartext epoch header prepended to every
+// sealed blob.
+const sealEpochHeaderSize = 8
+
+// NewSealer derives the epoch-0 sealing key from the machine secret and
+// the enclave measurement.
 func NewSealer(machineSecret [32]byte, m Measurement) *Sealer {
+	return NewSealerAt(machineSecret, m, 0)
+}
+
+// NewSealerAt derives the sealing key for a configuration epoch. The
+// derivation is deterministic, so after a crash mid-rotation both the
+// old and the new epoch's keys are recomputable from the sealed epoch
+// marker alone.
+func NewSealerAt(machineSecret [32]byte, m Measurement, epoch uint64) *Sealer {
 	material := sha256.New()
 	material.Write([]byte("seal-key-v1"))
 	material.Write(machineSecret[:])
 	material.Write(m[:])
+	var eb [8]byte
+	binary.BigEndian.PutUint64(eb[:], epoch)
+	material.Write(eb[:])
 	var key [32]byte
 	copy(key[:], material.Sum(nil))
 	block, err := aes.NewCipher(key[:])
@@ -33,32 +77,49 @@ func NewSealer(machineSecret [32]byte, m Measurement) *Sealer {
 	if err != nil {
 		panic("tee: gcm: " + err.Error())
 	}
-	return &Sealer{aead: aead}
+	return &Sealer{aead: aead, epoch: epoch}
 }
 
-// Seal encrypts and authenticates blob. Each call uses a fresh nonce.
+// Epoch returns the configuration epoch this sealer's key is bound to.
+func (s *Sealer) Epoch() uint64 { return s.epoch }
+
+// Seal encrypts and authenticates blob. Each call uses a fresh nonce;
+// the epoch header is bound as associated data.
 func (s *Sealer) Seal(blob []byte) []byte {
 	s.nonce++
+	var hdr [sealEpochHeaderSize]byte
+	binary.BigEndian.PutUint64(hdr[:], s.epoch)
 	nonce := make([]byte, s.aead.NonceSize())
 	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], s.nonce)
-	out := make([]byte, 0, len(nonce)+len(blob)+s.aead.Overhead())
+	out := make([]byte, 0, len(hdr)+len(nonce)+len(blob)+s.aead.Overhead())
+	out = append(out, hdr[:]...)
 	out = append(out, nonce...)
-	return s.aead.Seal(out, nonce, blob, nil)
+	return s.aead.Seal(out, nonce, blob, hdr[:])
 }
 
-// Unseal authenticates and decrypts a sealed blob. It returns false on
-// any tampering; replayed (stale but genuine) blobs decrypt fine —
-// that is exactly the freshness gap rollback attacks exploit.
-func (s *Sealer) Unseal(sealed []byte) ([]byte, bool) {
+// Unseal authenticates and decrypts a sealed blob. A blob sealed under
+// a different epoch's key fails with *StaleEpochError; tampering fails
+// with ErrSealCorrupt. Replayed (stale but genuine, same-epoch) blobs
+// decrypt fine — that is exactly the freshness gap rollback attacks
+// exploit.
+func (s *Sealer) Unseal(sealed []byte) ([]byte, error) {
 	ns := s.aead.NonceSize()
-	if len(sealed) < ns {
-		return nil, false
+	if len(sealed) < sealEpochHeaderSize+ns {
+		return nil, ErrSealCorrupt
 	}
-	plain, err := s.aead.Open(nil, sealed[:ns], sealed[ns:], nil)
+	hdr := sealed[:sealEpochHeaderSize]
+	if be := binary.BigEndian.Uint64(hdr); be != s.epoch {
+		// The header is attacker-writable, but lying buys nothing: a
+		// matching header still has to pass AEAD authentication below,
+		// and a mismatched one merely reports the stale epoch honestly.
+		return nil, &StaleEpochError{BlobEpoch: be, SealerEpoch: s.epoch}
+	}
+	body := sealed[sealEpochHeaderSize:]
+	plain, err := s.aead.Open(nil, body[:ns], body[ns:], hdr)
 	if err != nil {
-		return nil, false
+		return nil, ErrSealCorrupt
 	}
-	return plain, true
+	return plain, nil
 }
 
 // SealedStore is untrusted storage for sealed blobs. The operating

@@ -18,9 +18,9 @@ func TestSealerRoundTrip(t *testing.T) {
 	s := NewSealer(secret, testMeasurement("m"))
 	blob := []byte("checker state v1")
 	sealed := s.Seal(blob)
-	got, ok := s.Unseal(sealed)
-	if !ok || !bytes.Equal(got, blob) {
-		t.Fatalf("round trip failed: ok=%v got=%q", ok, got)
+	got, err := s.Unseal(sealed)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("round trip failed: err=%v got=%q", err, got)
 	}
 }
 
@@ -29,7 +29,7 @@ func TestSealerRejectsTruncated(t *testing.T) {
 	s := NewSealer(secret, testMeasurement("m"))
 	sealed := s.Seal([]byte("some sealed state"))
 	for _, n := range []int{0, 1, len(sealed) / 2, len(sealed) - 1} {
-		if _, ok := s.Unseal(sealed[:n]); ok {
+		if _, err := s.Unseal(sealed[:n]); err == nil {
 			t.Fatalf("truncation to %d bytes accepted", n)
 		}
 	}
@@ -44,7 +44,7 @@ func TestSealerRejectsBitFlips(t *testing.T) {
 	for i := range sealed {
 		tampered := append([]byte(nil), sealed...)
 		tampered[i] ^= 1 << uint(i%8)
-		if _, ok := s.Unseal(tampered); ok {
+		if _, err := s.Unseal(tampered); err == nil {
 			t.Fatalf("bit flip at byte %d accepted", i)
 		}
 	}
@@ -56,15 +56,15 @@ func TestSealerRejectsWrongMeasurementAndMachine(t *testing.T) {
 	sealer := NewSealer(secretA, testMeasurement("enclave-a"))
 	sealed := sealer.Seal([]byte("bound to enclave-a on machine-a"))
 	// Different enclave code on the same machine.
-	if _, ok := NewSealer(secretA, testMeasurement("enclave-b")).Unseal(sealed); ok {
+	if _, err := NewSealer(secretA, testMeasurement("enclave-b")).Unseal(sealed); err == nil {
 		t.Fatal("different measurement unsealed the blob")
 	}
 	// Same enclave code on a different machine.
-	if _, ok := NewSealer(secretB, testMeasurement("enclave-a")).Unseal(sealed); ok {
+	if _, err := NewSealer(secretB, testMeasurement("enclave-a")).Unseal(sealed); err == nil {
 		t.Fatal("different machine secret unsealed the blob")
 	}
 	// The original identity still can.
-	if _, ok := NewSealer(secretA, testMeasurement("enclave-a")).Unseal(sealed); !ok {
+	if _, err := NewSealer(secretA, testMeasurement("enclave-a")).Unseal(sealed); err != nil {
 		t.Fatal("matching sealer failed to unseal")
 	}
 }

@@ -161,8 +161,8 @@ func TestSealerProperty(t *testing.T) {
 			return false // nonce reuse
 		}
 		prev[string(sealed)] = true
-		out, ok := s.Unseal(sealed)
-		return ok && bytes.Equal(out, blob)
+		out, err := s.Unseal(sealed)
+		return err == nil && bytes.Equal(out, blob)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -171,10 +171,10 @@ func TestSealerProperty(t *testing.T) {
 
 func TestUnsealGarbage(t *testing.T) {
 	s := NewSealer([32]byte{1}, Measurement{})
-	if _, ok := s.Unseal([]byte("short")); ok {
+	if _, err := s.Unseal([]byte("short")); err == nil {
 		t.Fatal("short blob unsealed")
 	}
-	if _, ok := s.Unseal(make([]byte, 64)); ok {
+	if _, err := s.Unseal(make([]byte, 64)); err == nil {
 		t.Fatal("garbage unsealed")
 	}
 }

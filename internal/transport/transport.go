@@ -61,6 +61,14 @@ type Hello struct {
 	// private key. Empty for clients (which hold no ring key) and in
 	// unauthenticated deployments (no Ring configured).
 	Sig types.Signature
+	// Epoch and ConfigHash advertise the dialer's active configuration
+	// epoch (gob-additive; zero from pre-reconfiguration builds and
+	// clients). Epochs may legitimately differ by the activation skew of
+	// a rolling upgrade, but two replicas claiming the SAME nonzero
+	// epoch under different config hashes have diverged and the
+	// connection is refused.
+	Epoch      uint64
+	ConfigHash types.Hash
 }
 
 // Type implements types.Message.
@@ -242,12 +250,33 @@ type Runtime struct {
 	// trace (a leader proposing a height).
 	traceCtx atomic.Uint64
 
+	// Dynamic configuration (reconfiguration support): the live peer
+	// table and verification ring start from Config.Peers/Config.Ring
+	// and are rewired through AddPeer/RemovePeer/SetRing as epochs
+	// activate. epoch/configHash are advertised on outbound handshakes.
+	ring       atomic.Pointer[crypto.KeyRing]
+	epoch      atomic.Uint64
+	configHash atomic.Pointer[types.Hash]
+	// helloPriv signs outbound handshakes; starts as Config.Priv and is
+	// swapped through SetPriv when this node's own ring key rotates —
+	// new dials after a rotation must present the key peers' current
+	// epoch ring expects, or every reconnect would be refused.
+	helloPriv atomic.Pointer[crypto.PrivateKey]
+
 	mu        sync.Mutex
 	stopped   bool
-	outbound  map[types.NodeID]chan *frame
+	peers     map[types.NodeID]string
+	outbound  map[types.NodeID]*dialer
 	routes    map[types.NodeID]*route
 	lastHello map[types.NodeID]uint64
 	stats     map[types.NodeID]*peerStats
+}
+
+// dialer is the outbound lane to one peer: its frame queue and the
+// stop signal RemovePeer uses to retire the writer goroutine.
+type dialer struct {
+	ch   chan *frame
+	stop chan struct{}
 }
 
 // New creates a runtime for the replica.
@@ -293,10 +322,18 @@ func New(cfg Config, r protocol.Replica) *Runtime {
 		bulk:      make(chan func(), cfg.ClientQueue),
 		stopping:  make(chan struct{}),
 		done:      make(chan struct{}),
-		outbound:  make(map[types.NodeID]chan *frame),
+		peers:     make(map[types.NodeID]string, len(cfg.Peers)),
+		outbound:  make(map[types.NodeID]*dialer),
 		routes:    make(map[types.NodeID]*route),
 		lastHello: make(map[types.NodeID]uint64),
 		stats:     make(map[types.NodeID]*peerStats),
+	}
+	for id, addr := range cfg.Peers {
+		rt.peers[id] = addr
+	}
+	rt.ring.Store(cfg.Ring)
+	if cfg.Priv != nil {
+		rt.helloPriv.Store(&cfg.Priv)
 	}
 	// The scheduler's consensus-stage sink is the event loop: delivered
 	// steps run single-threaded, in delivery order within a lane, like
@@ -341,7 +378,13 @@ func (rt *Runtime) Start() error {
 		rt.listener = ln
 		go rt.acceptLoop(ln)
 	}
-	for id, addr := range rt.cfg.Peers {
+	rt.mu.Lock()
+	peers := make(map[types.NodeID]string, len(rt.peers))
+	for id, addr := range rt.peers {
+		peers[id] = addr
+	}
+	rt.mu.Unlock()
+	for id, addr := range peers {
 		if id == rt.cfg.Self {
 			continue
 		}
@@ -522,11 +565,15 @@ func (rt *Runtime) nextNonce() uint64 {
 	}
 }
 
-// helloFrame builds this node's signed handshake frame.
+// helloFrame builds this node's signed handshake frame, advertising
+// the active configuration epoch.
 func (rt *Runtime) helloFrame() *frame {
-	h := &Hello{From: rt.cfg.Self, Nonce: rt.nextNonce()}
-	if rt.cfg.Scheme != nil && rt.cfg.Priv != nil {
-		h.Sig = rt.cfg.Scheme.Sign(rt.cfg.Priv, crypto.HandshakePayload(h.From, h.Nonce))
+	h := &Hello{From: rt.cfg.Self, Nonce: rt.nextNonce(), Epoch: rt.epoch.Load()}
+	if ch := rt.configHash.Load(); ch != nil {
+		h.ConfigHash = *ch
+	}
+	if priv := rt.helloPriv.Load(); rt.cfg.Scheme != nil && priv != nil {
+		h.Sig = rt.cfg.Scheme.Sign(*priv, crypto.HandshakePayload(h.From, h.Nonce))
 	}
 	return &frame{From: rt.cfg.Self, Msg: h}
 }
@@ -543,10 +590,21 @@ func (rt *Runtime) authenticateHello(h *Hello) bool {
 	if h.From.IsClient() {
 		return true
 	}
-	if rt.cfg.Ring == nil || rt.cfg.Scheme == nil {
+	// Epoch binding: rolling activation legitimately skews epochs across
+	// peers for a few heights, so differing epochs pass — but a peer
+	// claiming OUR nonzero epoch under a different config hash has
+	// diverged (or is replaying an evicted configuration) and is refused.
+	if our := rt.epoch.Load(); our > 0 && h.Epoch == our {
+		if ch := rt.configHash.Load(); ch != nil && h.ConfigHash != (types.Hash{}) && h.ConfigHash != *ch {
+			rt.logf("rejecting %v: epoch %d config hash mismatch", h.From, h.Epoch)
+			return false
+		}
+	}
+	ring := rt.ring.Load()
+	if ring == nil || rt.cfg.Scheme == nil {
 		return true
 	}
-	pk := rt.cfg.Ring.Get(h.From)
+	pk := ring.Get(h.From)
 	if pk == nil {
 		return false
 	}
@@ -569,7 +627,7 @@ func (rt *Runtime) registerRoute(id types.NodeID, conn net.Conn, nonce uint64) b
 		closeRouteLocked(old)
 	}
 	r := &route{conn: conn, nonce: nonce}
-	if _, isPeer := rt.cfg.Peers[id]; !isPeer && !rt.stopped {
+	if _, isPeer := rt.peers[id]; !isPeer && !rt.stopped {
 		// Client route: replies go through a bounded queue and a
 		// dedicated writer, never a synchronous socket write on the
 		// sender's goroutine.
@@ -721,19 +779,19 @@ func (rt *Runtime) readLoop(conn net.Conn, expect types.NodeID, accepted bool) {
 
 // ensureDialer starts (once) the writer goroutine that owns the
 // outbound connection to a peer, reconnecting with backoff.
-func (rt *Runtime) ensureDialer(id types.NodeID, addr string) chan *frame {
+func (rt *Runtime) ensureDialer(id types.NodeID, addr string) *dialer {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if ch, ok := rt.outbound[id]; ok {
-		return ch
+	if d, ok := rt.outbound[id]; ok {
+		return d
 	}
-	ch := make(chan *frame, 1024)
-	rt.outbound[id] = ch
+	d := &dialer{ch: make(chan *frame, 1024), stop: make(chan struct{})}
+	rt.outbound[id] = d
 	if !rt.stopped {
 		rt.writers.Add(1)
-		go rt.writeLoop(id, addr, ch)
+		go rt.writeLoop(id, addr, d)
 	}
-	return ch
+	return d
 }
 
 func (rt *Runtime) dial(addr string) (net.Conn, error) {
@@ -746,8 +804,9 @@ func (rt *Runtime) dial(addr string) (net.Conn, error) {
 // writeLoop owns the outbound connection to one peer: it dials with
 // jittered exponential backoff, handshakes, keeps the connection alive
 // with pings, and on Stop drains its queue before exiting.
-func (rt *Runtime) writeLoop(id types.NodeID, addr string, ch chan *frame) {
+func (rt *Runtime) writeLoop(id types.NodeID, addr string, d *dialer) {
 	defer rt.writers.Done()
+	ch := d.ch
 	st := rt.statsFor(id)
 	var conn net.Conn
 	defer func() {
@@ -798,11 +857,13 @@ func (rt *Runtime) writeLoop(id types.NodeID, addr string, ch chan *frame) {
 				c.Close()
 			}
 			// Jittered exponential backoff: uniform in [b/2, b].
-			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 			select {
 			case <-rt.stopping:
 				return false
-			case <-time.After(d):
+			case <-d.stop:
+				return false
+			case <-time.After(wait):
 			}
 			if backoff *= 2; backoff > rt.cfg.DialRetryMax {
 				backoff = rt.cfg.DialRetryMax
@@ -819,6 +880,11 @@ func (rt *Runtime) writeLoop(id types.NodeID, addr string, ch chan *frame) {
 
 	for {
 		select {
+		case <-d.stop:
+			// The peer was removed from the configuration: retire the
+			// lane immediately (queued frames to an evicted member are
+			// not worth flushing).
+			return
 		case <-rt.stopping:
 			// Drain: flush whatever is queued over the existing
 			// connection (no redialing) within the drain budget.
@@ -874,10 +940,13 @@ func (rt *Runtime) TraceContext() types.TraceContext {
 // Send implements protocol.Env.
 func (rt *Runtime) Send(to types.NodeID, msg types.Message) {
 	f := &frame{From: rt.cfg.Self, Msg: msg, Trace: rt.TraceContext()}
-	if addr, ok := rt.cfg.Peers[to]; ok && to != rt.cfg.Self {
-		ch := rt.ensureDialer(to, addr)
+	rt.mu.Lock()
+	addr, isPeer := rt.peers[to]
+	rt.mu.Unlock()
+	if isPeer && to != rt.cfg.Self {
+		d := rt.ensureDialer(to, addr)
 		select {
-		case ch <- f:
+		case d.ch <- f:
 		default:
 			rt.noteSendDrop(to, msg)
 		}
@@ -918,11 +987,104 @@ func (rt *Runtime) noteSendDrop(to types.NodeID, msg types.Message) {
 
 // Broadcast implements protocol.Env.
 func (rt *Runtime) Broadcast(msg types.Message) {
-	for id := range rt.cfg.Peers {
+	rt.mu.Lock()
+	ids := make([]types.NodeID, 0, len(rt.peers))
+	for id := range rt.peers {
 		if id != rt.cfg.Self {
-			rt.Send(id, msg)
+			ids = append(ids, id)
 		}
 	}
+	rt.mu.Unlock()
+	for _, id := range ids {
+		rt.Send(id, msg)
+	}
+}
+
+// --- dynamic reconfiguration ---------------------------------------------
+
+// AddPeer installs (or re-addresses) a peer's dial address and starts
+// its outbound lane. Safe from any goroutine; the live node calls it
+// from core.Config.OnEpochChange when an epoch adds a member.
+func (rt *Runtime) AddPeer(id types.NodeID, addr string) {
+	if id == rt.cfg.Self || addr == "" {
+		return
+	}
+	rt.mu.Lock()
+	prev, had := rt.peers[id]
+	rt.peers[id] = addr
+	stopped := rt.stopped
+	rt.mu.Unlock()
+	if stopped {
+		return
+	}
+	if had && prev != addr {
+		// Re-addressed: retire the old lane so the next send redials.
+		rt.RemovePeer(id)
+		rt.mu.Lock()
+		rt.peers[id] = addr
+		rt.mu.Unlock()
+	}
+	rt.ensureDialer(id, addr)
+	rt.logf("peer %v added at %s", id, addr)
+}
+
+// RemovePeer drops a peer live: its outbound lane is retired, its
+// inbound route evicted, and future frames to it are unroutable. The
+// node calls it when an epoch removes a member (the evicted node may
+// still connect as a learner client, but holds no ring identity).
+func (rt *Runtime) RemovePeer(id types.NodeID) {
+	rt.mu.Lock()
+	delete(rt.peers, id)
+	d := rt.outbound[id]
+	delete(rt.outbound, id)
+	r := rt.routes[id]
+	if r != nil {
+		closeRouteLocked(r)
+		delete(rt.routes, id)
+	}
+	rt.mu.Unlock()
+	if d != nil {
+		close(d.stop)
+	}
+	if r != nil {
+		r.conn.Close()
+	}
+	rt.logf("peer %v removed", id)
+}
+
+// SetRing swaps the handshake-verification ring (key rotation). New
+// connections authenticate against the new ring; established
+// connections persist — their frames were authenticated at handshake
+// time, and consensus-level signatures are judged by the replica under
+// its own epoch ring regardless.
+func (rt *Runtime) SetRing(ring *crypto.KeyRing) { rt.ring.Store(ring) }
+
+// SetPriv swaps the key signing outbound handshakes (this node's own
+// ring-key rotation). Established connections persist; dials after the
+// swap present the new identity.
+func (rt *Runtime) SetPriv(priv crypto.PrivateKey) {
+	if priv == nil {
+		return
+	}
+	rt.helloPriv.Store(&priv)
+}
+
+// SetEpoch updates the configuration epoch advertised (and enforced,
+// see authenticateHello) on handshakes.
+func (rt *Runtime) SetEpoch(epoch uint64, configHash types.Hash) {
+	rt.configHash.Store(&configHash)
+	rt.epoch.Store(epoch)
+}
+
+// PeerIDs returns the current peer table's identities (tests, status).
+func (rt *Runtime) PeerIDs() []types.NodeID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ids := make([]types.NodeID, 0, len(rt.peers))
+	for id := range rt.peers {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // SetTimer implements protocol.Env.

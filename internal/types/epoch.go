@@ -1,0 +1,335 @@
+package types
+
+// Epoch-based reconfiguration (DESIGN.md §10): the replica set, its
+// key ring and its peer addresses are versioned by an Epoch. Every
+// epoch's configuration is summarized by a deterministic config hash
+// that is sealed into the enclave at activation and bound into
+// attestation reports, so a restarting node provably recovers into the
+// correct epoch's quorum rules and old-epoch keys are refused after a
+// rotation.
+//
+// Reconfiguration is driven through the chain itself: a signed
+// Reconfig command rides inside an ordinary Transaction payload
+// (recognized by a magic prefix) so the block format — and therefore
+// every golden ledger hash of a fixed-membership run — is unchanged.
+// Once the carrying block commits at height h, epoch e+1 activates
+// deterministically at height h+Δ on every replica.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Epoch numbers configuration generations. Epoch 0 is the boot
+// configuration distributed out of band (the PKI of Sec. 3.1).
+type Epoch uint64
+
+// ReconfigOp enumerates membership-change commands.
+type ReconfigOp uint8
+
+const (
+	// ReconfigAdd admits a new replica (Key and Addr required).
+	ReconfigAdd ReconfigOp = iota + 1
+	// ReconfigRemove evicts a replica from the membership.
+	ReconfigRemove
+	// ReconfigRotate replaces a replica's ring key (Key required).
+	ReconfigRotate
+)
+
+func (op ReconfigOp) String() string {
+	switch op {
+	case ReconfigAdd:
+		return "add"
+	case ReconfigRemove:
+		return "remove"
+	case ReconfigRotate:
+		return "rotate"
+	}
+	return fmt.Sprintf("reconfig(%d)", uint8(op))
+}
+
+// Reconfig is a signed membership-change command. Signer must be a
+// member of the epoch in which the command commits; Sig covers
+// ReconfigPayload under the signer's ring key of that epoch, so a
+// client (or an evicted ex-member) cannot forge one.
+type Reconfig struct {
+	Op   ReconfigOp
+	Node NodeID
+	// Key is the marshalled public key (add/rotate).
+	Key []byte
+	// Addr is the transport address of a joining replica (add).
+	Addr   string
+	Signer NodeID
+	Sig    Signature
+}
+
+// ReconfigPayload is the canonical signed encoding of a reconfig
+// command. The domain prefix keeps these signatures disjoint from
+// every consensus certificate and the transport handshake.
+func ReconfigPayload(op ReconfigOp, node NodeID, key []byte, addr string) []byte {
+	out := make([]byte, 0, 32+1+8+len(key)+len(addr))
+	out = append(out, []byte("achilles-reconfig-v1")...)
+	out = append(out, byte(op))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(node))
+	out = append(out, buf[:]...)
+	binary.BigEndian.PutUint64(buf[:], uint64(len(key)))
+	out = append(out, buf[:]...)
+	out = append(out, key...)
+	out = append(out, []byte(addr)...)
+	return out
+}
+
+// reconfigTxMagic prefixes the transaction payload carrying a Reconfig
+// command. Ordinary client payloads are opaque command bytes; the magic
+// is long enough that an accidental collision is not a concern, and a
+// deliberate collision buys nothing (the embedded signature still has
+// to verify against a current member's ring key).
+var reconfigTxMagic = []byte("\x00achilles-reconfig-tx-v1\x00")
+
+// maxReconfigField bounds the variable-length fields of a decoded
+// reconfig command so a hostile payload cannot ask for huge allocations.
+const maxReconfigField = 4096
+
+// EncodeTx serializes the command into a transaction payload.
+func (rc *Reconfig) EncodeTx() []byte {
+	out := make([]byte, 0, len(reconfigTxMagic)+1+8+8+4+len(rc.Key)+4+len(rc.Addr)+4+len(rc.Sig))
+	out = append(out, reconfigTxMagic...)
+	out = append(out, byte(rc.Op))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(rc.Node))
+	out = append(out, buf[:]...)
+	binary.BigEndian.PutUint64(buf[:], uint64(rc.Signer))
+	out = append(out, buf[:]...)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(rc.Key)))
+	out = append(out, buf[:4]...)
+	out = append(out, rc.Key...)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(rc.Addr)))
+	out = append(out, buf[:4]...)
+	out = append(out, rc.Addr...)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(rc.Sig)))
+	out = append(out, buf[:4]...)
+	out = append(out, rc.Sig...)
+	return out
+}
+
+// IsReconfigPayload reports whether a transaction payload carries a
+// reconfig command.
+func IsReconfigPayload(p []byte) bool {
+	return len(p) >= len(reconfigTxMagic) && string(p[:len(reconfigTxMagic)]) == string(reconfigTxMagic)
+}
+
+// DecodeReconfigTx parses a reconfig command out of a transaction
+// payload. It returns false for payloads without the magic prefix or
+// with a malformed body (truncated fields, oversized lengths).
+func DecodeReconfigTx(p []byte) (*Reconfig, bool) {
+	if !IsReconfigPayload(p) {
+		return nil, false
+	}
+	p = p[len(reconfigTxMagic):]
+	if len(p) < 1+8+8 {
+		return nil, false
+	}
+	rc := &Reconfig{Op: ReconfigOp(p[0])}
+	rc.Node = NodeID(binary.BigEndian.Uint64(p[1:9]))
+	rc.Signer = NodeID(binary.BigEndian.Uint64(p[9:17]))
+	p = p[17:]
+	next := func() ([]byte, bool) {
+		if len(p) < 4 {
+			return nil, false
+		}
+		n := int(binary.BigEndian.Uint32(p[:4]))
+		if n > maxReconfigField || len(p) < 4+n {
+			return nil, false
+		}
+		f := p[4 : 4+n]
+		p = p[4+n:]
+		return f, true
+	}
+	key, ok := next()
+	if !ok {
+		return nil, false
+	}
+	addr, ok := next()
+	if !ok {
+		return nil, false
+	}
+	sig, ok := next()
+	if !ok || len(p) != 0 {
+		return nil, false
+	}
+	if len(key) > 0 {
+		rc.Key = append([]byte(nil), key...)
+	}
+	rc.Addr = string(addr)
+	if len(sig) > 0 {
+		rc.Sig = append(Signature(nil), sig...)
+	}
+	switch rc.Op {
+	case ReconfigAdd, ReconfigRemove, ReconfigRotate:
+	default:
+		return nil, false
+	}
+	return rc, true
+}
+
+// Membership is one epoch's replica-set configuration: the member
+// identities (ascending), their marshalled ring keys, and (on the live
+// path) their transport addresses. ActivateAt is the committed height
+// at which the epoch takes effect; epoch 0 activates at genesis.
+type Membership struct {
+	Epoch      Epoch
+	ActivateAt Height
+	Members    []NodeID
+	Keys       map[NodeID][]byte
+	Addrs      map[NodeID]string
+}
+
+// N returns the membership size.
+func (m *Membership) N() int { return len(m.Members) }
+
+// F returns the fault threshold under the 2f+1 assumption.
+func (m *Membership) F() int { return (len(m.Members) - 1) / 2 }
+
+// Quorum returns the epoch's f+1 quorum.
+func (m *Membership) Quorum() int { return m.F() + 1 }
+
+// Leader returns the round-robin leader of view v under this epoch.
+// With the boot membership 0..n-1 this is exactly LeaderForView.
+func (m *Membership) Leader(v View) NodeID {
+	return m.Members[uint64(v)%uint64(len(m.Members))]
+}
+
+// Contains reports whether id is a member of this epoch.
+func (m *Membership) Contains(id NodeID) bool {
+	for _, n := range m.Members {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the membership.
+func (m *Membership) Clone() *Membership {
+	c := &Membership{
+		Epoch:      m.Epoch,
+		ActivateAt: m.ActivateAt,
+		Members:    append([]NodeID(nil), m.Members...),
+		Keys:       make(map[NodeID][]byte, len(m.Keys)),
+		Addrs:      make(map[NodeID]string, len(m.Addrs)),
+	}
+	for id, k := range m.Keys {
+		c.Keys[id] = append([]byte(nil), k...)
+	}
+	for id, a := range m.Addrs {
+		c.Addrs[id] = a
+	}
+	return c
+}
+
+// ConfigHash is the deterministic digest of the configuration: the
+// epoch number, its activation height, and every member's (id, key,
+// addr) triple in id order. It is what the enclave seals at activation
+// and what attestation reports bind to.
+func (m *Membership) ConfigHash() Hash {
+	h := sha256.New()
+	h.Write([]byte("achilles-config-v1"))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(m.Epoch))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(m.ActivateAt))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(len(m.Members)))
+	h.Write(buf[:])
+	for _, id := range m.Members {
+		binary.BigEndian.PutUint64(buf[:], uint64(id))
+		h.Write(buf[:])
+		key := m.Keys[id]
+		binary.BigEndian.PutUint64(buf[:], uint64(len(key)))
+		h.Write(buf[:])
+		h.Write(key)
+		addr := m.Addrs[id]
+		binary.BigEndian.PutUint64(buf[:], uint64(len(addr)))
+		h.Write(buf[:])
+		h.Write([]byte(addr))
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Apply derives the next epoch's membership from a committed reconfig
+// command. activateAt is the height the new epoch takes effect (commit
+// height + Δ). The receiver is not modified.
+func (m *Membership) Apply(rc *Reconfig, activateAt Height) (*Membership, error) {
+	next := m.Clone()
+	next.Epoch = m.Epoch + 1
+	next.ActivateAt = activateAt
+	switch rc.Op {
+	case ReconfigAdd:
+		if m.Contains(rc.Node) {
+			return nil, fmt.Errorf("reconfig add: node %v already a member", rc.Node)
+		}
+		if len(rc.Key) == 0 {
+			return nil, fmt.Errorf("reconfig add: node %v has no key", rc.Node)
+		}
+		next.Members = append(next.Members, rc.Node)
+		sort.Slice(next.Members, func(i, j int) bool { return next.Members[i] < next.Members[j] })
+		next.Keys[rc.Node] = append([]byte(nil), rc.Key...)
+		if rc.Addr != "" {
+			next.Addrs[rc.Node] = rc.Addr
+		}
+	case ReconfigRemove:
+		if !m.Contains(rc.Node) {
+			return nil, fmt.Errorf("reconfig remove: node %v is not a member", rc.Node)
+		}
+		if len(m.Members) <= 1 {
+			return nil, fmt.Errorf("reconfig remove: cannot empty the membership")
+		}
+		out := next.Members[:0]
+		for _, id := range next.Members {
+			if id != rc.Node {
+				out = append(out, id)
+			}
+		}
+		next.Members = out
+		delete(next.Keys, rc.Node)
+		delete(next.Addrs, rc.Node)
+	case ReconfigRotate:
+		if !m.Contains(rc.Node) {
+			return nil, fmt.Errorf("reconfig rotate: node %v is not a member", rc.Node)
+		}
+		if len(rc.Key) == 0 {
+			return nil, fmt.Errorf("reconfig rotate: node %v has no new key", rc.Node)
+		}
+		next.Keys[rc.Node] = append([]byte(nil), rc.Key...)
+	default:
+		return nil, fmt.Errorf("reconfig: unknown op %d", rc.Op)
+	}
+	return next, nil
+}
+
+// BootMembership derives the epoch-0 membership for the conventional
+// contiguous replica set 0..n-1. keys may be nil when marshalled keys
+// are unavailable (pure-sim runs where the shared ring is authoritative
+// and the config hash only needs to cover identities).
+func BootMembership(n int, keys map[NodeID][]byte, addrs map[NodeID]string) *Membership {
+	m := &Membership{
+		Members: make([]NodeID, n),
+		Keys:    make(map[NodeID][]byte, n),
+		Addrs:   make(map[NodeID]string, len(addrs)),
+	}
+	for i := 0; i < n; i++ {
+		m.Members[i] = NodeID(i)
+		if k, ok := keys[NodeID(i)]; ok {
+			m.Keys[NodeID(i)] = append([]byte(nil), k...)
+		}
+	}
+	for id, a := range addrs {
+		m.Addrs[id] = a
+	}
+	return m
+}
