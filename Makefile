@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check soak soak-pooled soak-overload soak-crash soak-flight soak-reconfig soak-memory fuzz fuzz-smoke fuzz-reconfig bench bench-json bench-sched bench-open-loop bench-durability bench-trace bench-reconfig metrics-demo clean
+.PHONY: all build vet test check soak soak-pooled soak-overload soak-crash soak-flight soak-reconfig soak-memory fuzz fuzz-smoke fuzz-reconfig bench bench-json bench-sched bench-smoke bench-open-loop bench-durability bench-trace bench-reconfig metrics-demo clean
 
 all: check
 
@@ -112,9 +112,15 @@ bench-json:
 	$(GO) run ./cmd/achilles-bench -quick -faults 1,2,4 -fig 3cd -sched-ablation -open-loop -durability -trace-breakdown -reconfig -json BENCH_achilles.json
 
 # Live loopback TCP scheduler ablation only (full windows): saturated
-# n=5 throughput under -sched sync vs -sched pooled.
+# n=5 throughput under -sched sync vs -sched pooled, each crossed with
+# chained-pipelining depths 1/2/4/8.
 bench-sched:
 	$(GO) run ./cmd/achilles-bench -sched-ablation
+
+# CI pipelining gate (reduced windows): a live loopback n=3 pooled
+# cluster at depth 4 must commit at least as much as at depth 1.
+bench-smoke:
+	$(GO) test -run 'TestPipelineSpeedupSmoke' -timeout 120s -count=1 -v ./internal/harness
 
 # Live open-loop overload rows only (full windows): n=3 pooled cluster
 # with mempool admission control behind the netchaos WAN profile,

@@ -133,10 +133,11 @@ type reconfigSpec struct {
 // transaction. The payload is exactly what core.SubmitReconfig would
 // enqueue, so the chain-side path (commit, signature check against the
 // committing epoch's ring, activation at h+Δ) is identical whether the
-// command originates from an operator CLI or a node. It is sent to a
-// single replica on purpose: the transaction waits in that node's pool
-// until it leads, and a second copy committed through another leader
-// would be rejected at apply time as a duplicate, muddying the logs.
+// command originates from an operator CLI or a node. Sending to a
+// single replica suffices: the receiving node forwards the command to
+// its peers (core.forwardReconfigTxs), so it reaches the leader even
+// under stable-view pipelining where the leadership never rotates, and
+// mempool dedup plus commit-time validation collapse the copies.
 func submitReconfig(rt *transport.Runtime, logger *obs.Logger, fatalf func(string, ...any),
 	scheme crypto.Scheme, seed int64, spec reconfigSpec) {
 	var (

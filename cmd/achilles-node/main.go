@@ -58,6 +58,10 @@ func main() {
 		snapEvery = flag.Uint64("snapshot-interval", 512, "state snapshot every this many committed heights (with -data-dir)")
 		schedName = flag.String("sched", "sync", "hot-path scheduler: sync (inline, single-threaded) or pooled (ingress verify pool + async execute/egress)")
 		schedWork = flag.Int("sched-workers", 0, "verify-pool workers for -sched pooled (0 = GOMAXPROCS)")
+		pipeDepth = flag.Int("pipeline-depth", 1, "chained-consensus heights the leader keeps in flight (1 = classic lock-step; >1 proposes height h+1 before h commits)")
+		adaptive  = flag.Bool("adaptive-batch", false, "size each proposed batch from mempool depth instead of always -batch (see -adaptive-batch-min/max)")
+		adaptMin  = flag.Int("adaptive-batch-min", 0, "floor for -adaptive-batch sizing (0 = 1)")
+		adaptMax  = flag.Int("adaptive-batch-max", 0, "cap for -adaptive-batch sizing (0 = -batch)")
 		retain    = flag.Uint64("retain-heights", 1024, "committed block bodies retained below the head before pruning; a rebooted empty node can only catch up by replay while peers still hold the bodies it missed")
 		mpDepth   = flag.Int("mempool-depth", 0, "admission depth bound: reject client transactions once the pool holds this many (0 = unbounded, legacy behavior)")
 		clRate    = flag.Float64("client-rate", 0, "per-client admitted transactions per second, enforced by a token bucket (0 = unlimited)")
@@ -254,6 +258,10 @@ func main() {
 		Recovering:        *recover_,
 		SyntheticWorkload: *synthetic,
 		Sched:             hotSched,
+		PipelineDepth:     *pipeDepth,
+		AdaptiveBatch:     *adaptive,
+		AdaptiveBatchMin:  *adaptMin,
+		AdaptiveBatchMax:  *adaptMax,
 		CertCache:         cache,
 		Pool:              txpool,
 		Admission:         admCfg,

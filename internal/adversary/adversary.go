@@ -355,8 +355,12 @@ func (a *Replica) tryCommitTwin() {
 		sigs = append(sigs, a.twinVotes[id].Sig)
 	}
 	a.twinDone = true
+	// The store certificates sign (hash, view, height); the assembled
+	// certificate must carry the height they attested or honest
+	// verifiers reject the quorum.
 	a.sendTo(a.halfB, &core.MsgDecide{CC: &types.CommitCert{
-		Hash: a.twinHash, View: a.eqView, Signers: signers, Sigs: sigs,
+		Hash: a.twinHash, View: a.eqView, Height: a.twinSelf.Height,
+		Signers: signers, Sigs: sigs,
 	}})
 }
 

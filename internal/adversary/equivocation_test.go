@@ -74,7 +74,7 @@ func (fx *trustedFixture) blockIn(parent *types.Block, v types.View, proposer ty
 // certificates for view v.
 func (fx *trustedFixture) accFor(leader types.NodeID, parent types.Hash, pv, v types.View) *types.AccCert {
 	ids := []types.NodeID{0, 1, 2}
-	sig := fx.svcs[leader].Sign(types.AccCertPayload(parent, pv, v, ids))
+	sig := fx.svcs[leader].Sign(types.AccCertPayload(parent, pv, 0, v, ids))
 	return &types.AccCert{Hash: parent, View: pv, CurView: v, IDs: ids, Signer: leader, Sig: sig}
 }
 
@@ -83,7 +83,7 @@ func (fx *trustedFixture) ccFor(hash types.Hash, v types.View) *types.CommitCert
 	signers := []types.NodeID{0, 1, 2}
 	sigs := make([]types.Signature, len(signers))
 	for i, id := range signers {
-		sigs[i] = fx.svcs[id].Sign(types.StoreCertPayload(hash, v))
+		sigs[i] = fx.svcs[id].Sign(types.StoreCertPayload(hash, v, 0))
 	}
 	return &types.CommitCert{Hash: hash, View: v, Signers: signers, Sigs: sigs}
 }
@@ -155,7 +155,7 @@ func TestAchillesCheckerRejectsVoteRegression(t *testing.T) {
 	h := types.HashBytes([]byte("old"))
 	bc := &types.BlockCert{
 		Hash: h, View: 1, Signer: eqLeaderOf(1),
-		Sig: leaderSvc.Sign(types.BlockCertPayload(h, 1)),
+		Sig: leaderSvc.Sign(types.BlockCertPayload(h, 1, 0)),
 	}
 	if _, err := c.TEEstore(bc); !errors.Is(err, checker.ErrStale) {
 		t.Fatalf("vote for a past view: err = %v, want ErrStale", err)
@@ -176,7 +176,7 @@ func TestAccumulatorRejectsReplayVectors(t *testing.T) {
 	acc := accum.New(fx.enclave("accum"), fx.svcs[1], eqQuorum)
 	vc := func(id types.NodeID, pv, v types.View, tag string) *types.ViewCert {
 		h := types.HashBytes([]byte(tag))
-		sig := fx.svcs[id].Sign(types.ViewCertPayload(h, pv, v))
+		sig := fx.svcs[id].Sign(types.ViewCertPayload(h, pv, 0, v))
 		return &types.ViewCert{PrepHash: h, PrepView: pv, CurView: v, Signer: id, Sig: sig}
 	}
 
@@ -256,7 +256,7 @@ func TestDamysusVoteRejectsRegression(t *testing.T) {
 	h := types.HashBytes([]byte("old"))
 	bc := &types.BlockCert{
 		Hash: h, View: 1, Signer: eqLeaderOf(1),
-		Sig: fx.svcs[eqLeaderOf(1)].Sign(types.BlockCertPayload(h, 1)),
+		Sig: fx.svcs[eqLeaderOf(1)].Sign(types.BlockCertPayload(h, 1, 0)),
 	}
 	if _, err := c.TEEvotePrepare(bc); !errors.Is(err, damysus.ErrStale) {
 		t.Fatalf("prepare vote for a past view: err = %v, want ErrStale", err)

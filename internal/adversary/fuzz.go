@@ -50,6 +50,10 @@ type Scenario struct {
 	// cannot reconstruct — a deployment constraint the live soak covers
 	// with disks, not a protocol bug for the fuzzer to flag.
 	Reconfig []ReconfigEvent
+	// Depth is the chained-pipelining window every replica runs with
+	// (1 = lock-step). Faults must not break safety or post-GST
+	// liveness at any depth, so the fuzzer varies it per scenario.
+	Depth int
 }
 
 // ReconfigEvent is one scheduled reconfiguration command.
@@ -75,6 +79,10 @@ func RandomScenario(seed int64, weaken, reconfig bool) Scenario {
 		Weaken: make(map[types.NodeID]bool),
 		Victim: -1,
 		GST:    700*time.Millisecond + time.Duration(rng.Intn(500))*time.Millisecond,
+		// Derived from the seed's low bits rather than an rng draw, so
+		// every historical seed reproduces its exact fault schedule —
+		// the pipeline depth rides along without perturbing it.
+		Depth: []int{1, 2, 4, 8}[int(seed)&3],
 	}
 	// Post-GST window: enough for the pacemaker backoff built up during
 	// the chaotic pre-GST phase (multi-second timeouts after repeated
@@ -170,7 +178,7 @@ func (s *Scenario) planReconfigs(rng *rand.Rand, n int) {
 // String renders the scenario as a one-stanza reproducer.
 func (s Scenario) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed=%d f=%d n=%d", s.Seed, s.F, 2*s.F+1)
+	fmt.Fprintf(&b, "seed=%d f=%d n=%d depth=%d", s.Seed, s.F, 2*s.F+1, s.Depth)
 	ids := make([]types.NodeID, 0, len(s.Byz))
 	for id := range s.Byz {
 		ids = append(ids, id)
@@ -251,6 +259,7 @@ func (s Scenario) Run() Result {
 		Synthetic:     true,
 		Observer:      inv,
 		WeakenChecker: s.Weaken,
+		PipelineDepth: s.Depth,
 	}
 	cfg.Wrap = func(id types.NodeID, recovering bool, r protocol.Replica) protocol.Replica {
 		b, ok := s.Byz[id]
@@ -385,6 +394,7 @@ func (s Scenario) scheduleReconfigs(c *harness.Cluster, eng *sim.Engine) {
 // only if the run still fails the same way.
 func Minimize(s Scenario, r Result) (Scenario, Result) {
 	simplify := []func(*Scenario){
+		func(c *Scenario) { c.Depth = 1 },
 		func(c *Scenario) { c.DropP = 0 },
 		func(c *Scenario) { c.Partition = false },
 		func(c *Scenario) { c.Rollback = "" },

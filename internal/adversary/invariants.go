@@ -25,11 +25,14 @@ type Invariants struct {
 	genesis  types.Hash
 	failures []string
 
-	// Signed views, kept across reboots: a view signed in any
-	// incarnation must never be re-signed with a different hash, and
-	// recovery must land strictly above all of them (Theorem 2).
-	proposed  map[types.NodeID]map[types.View]types.Hash
-	voted     map[types.NodeID]map[types.View]types.Hash
+	// Signed (view, height) slots, kept across reboots: a slot signed
+	// in any incarnation must never be re-signed with a different hash,
+	// and recovery must land strictly above every signed view
+	// (Theorem 2). Uniqueness is per height within a view because a
+	// pipelined leader legitimately signs one proposal per in-flight
+	// height of the same view.
+	proposed  map[types.NodeID]map[signSlot]types.Hash
+	voted     map[types.NodeID]map[signSlot]types.Hash
 	maxSigned map[types.NodeID]types.View
 
 	// Per-incarnation state, reset by NodeCrashed.
@@ -53,6 +56,13 @@ type Invariants struct {
 	nodeEpoch map[types.NodeID]types.Epoch
 }
 
+// signSlot is one (view, height) signing opportunity: Lemma 1's
+// no-equivocation property, generalized to the pipelined window.
+type signSlot struct {
+	view   types.View
+	height types.Height
+}
+
 // epochRecord pins the first honest report of an epoch's configuration;
 // every later honest report must match it exactly.
 type epochRecord struct {
@@ -68,8 +78,8 @@ func NewInvariants(n int) *Invariants {
 		n:            n,
 		exempt:       make(map[types.NodeID]bool),
 		genesis:      types.GenesisBlock().Hash(),
-		proposed:     make(map[types.NodeID]map[types.View]types.Hash),
-		voted:        make(map[types.NodeID]map[types.View]types.Hash),
+		proposed:     make(map[types.NodeID]map[signSlot]types.Hash),
+		voted:        make(map[types.NodeID]map[signSlot]types.Hash),
 		maxSigned:    make(map[types.NodeID]types.View),
 		lastAttested: make(map[types.NodeID]types.View),
 		commitHeight: make(map[types.NodeID]types.Height),
@@ -127,6 +137,14 @@ func (inv *Invariants) NodeRestored(id types.NodeID, height types.Height, hash t
 	inv.commitHash[id] = hash
 }
 
+// ObserveSnapshotInstall implements core.SnapshotObserver: a node that
+// installed a remote snapshot adopts (height, hash) as its committed
+// tip without recommitting the blocks below it, so the commit cursor
+// re-seeds exactly like a locally restored chain (NodeRestored).
+func (inv *Invariants) ObserveSnapshotInstall(id types.NodeID, height types.Height, hash types.Hash) {
+	inv.NodeRestored(id, height, hash)
+}
+
 func (inv *Invariants) failf(format string, args ...any) {
 	inv.failures = append(inv.failures, fmt.Sprintf(format, args...))
 }
@@ -153,38 +171,41 @@ func (inv *Invariants) HeightOf(id types.NodeID) types.Height {
 	return inv.commitHeight[id]
 }
 
-func (inv *Invariants) recordSigned(kind string, m map[types.NodeID]map[types.View]types.Hash,
-	node types.NodeID, view types.View, hash types.Hash) {
-	views := m[node]
-	if views == nil {
-		views = make(map[types.View]types.Hash)
-		m[node] = views
+func (inv *Invariants) recordSigned(kind string, m map[types.NodeID]map[signSlot]types.Hash,
+	node types.NodeID, view types.View, height types.Height, hash types.Hash) {
+	slots := m[node]
+	if slots == nil {
+		slots = make(map[signSlot]types.Hash)
+		m[node] = slots
 	}
-	// Re-signing the same hash at the same view is legitimate (duplicate
-	// proposal delivery re-runs TEEstore); a different hash is the
-	// equivocation Lemma 1 forbids.
-	if prev, ok := views[view]; ok && prev != hash && !inv.exempt[node] {
-		inv.failf("equivocation: node %v signed two %ss in view %d (%x vs %x)",
-			node, kind, view, prev[:4], hash[:4])
+	// Re-signing the same hash at the same slot is legitimate (duplicate
+	// proposal delivery re-runs TEEstore); a different hash at the same
+	// (view, height) is the equivocation Lemma 1 forbids. Distinct
+	// heights of the same view are distinct slots: that is exactly the
+	// pipelined window.
+	slot := signSlot{view: view, height: height}
+	if prev, ok := slots[slot]; ok && prev != hash && !inv.exempt[node] {
+		inv.failf("equivocation: node %v signed two %ss in view %d at height %d (%x vs %x)",
+			node, kind, view, height, prev[:4], hash[:4])
 	}
-	views[view] = hash
+	slots[slot] = hash
 	if view > inv.maxSigned[node] {
 		inv.maxSigned[node] = view
 	}
 }
 
 // ObservePropose implements core.StateObserver.
-func (inv *Invariants) ObservePropose(node types.NodeID, view types.View, hash types.Hash) {
+func (inv *Invariants) ObservePropose(node types.NodeID, view types.View, height types.Height, hash types.Hash) {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
-	inv.recordSigned("proposal", inv.proposed, node, view, hash)
+	inv.recordSigned("proposal", inv.proposed, node, view, height, hash)
 }
 
 // ObserveVote implements core.StateObserver.
-func (inv *Invariants) ObserveVote(node types.NodeID, view types.View, hash types.Hash) {
+func (inv *Invariants) ObserveVote(node types.NodeID, view types.View, height types.Height, hash types.Hash) {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
-	inv.recordSigned("vote", inv.voted, node, view, hash)
+	inv.recordSigned("vote", inv.voted, node, view, height, hash)
 }
 
 // ObserveReplyAttested implements core.StateObserver.

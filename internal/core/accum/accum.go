@@ -71,10 +71,15 @@ func (a *Accumulator) TEEaccum(best *types.ViewCert, all []*types.ViewCert) (*ty
 		if vc.CurView != best.CurView {
 			return nil, ErrViewMismatch
 		}
-		if !a.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
+		if !a.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.PrepHeight, vc.CurView), vc.Sig) {
 			return nil, ErrBadSignature
 		}
-		if vc.PrepView > best.PrepView {
+		// "Highest" is lexicographic on (PrepView, PrepHeight): with
+		// chained pipelining a single view prepares several heights, and
+		// a view-only comparison could certify extending an ancestor of
+		// a block that already gathered a commit quorum in that view.
+		if vc.PrepView > best.PrepView ||
+			(vc.PrepView == best.PrepView && vc.PrepHeight > best.PrepHeight) {
 			return nil, ErrNotHighest
 		}
 		if vc == best || (vc.Signer == best.Signer && vc.PrepView == best.PrepView && vc.PrepHash == best.PrepHash) {
@@ -88,9 +93,9 @@ func (a *Accumulator) TEEaccum(best *types.ViewCert, all []*types.ViewCert) (*ty
 	for _, vc := range all {
 		ids = append(ids, vc.Signer)
 	}
-	sig := a.svc.Sign(types.AccCertPayload(best.PrepHash, best.PrepView, best.CurView, ids))
+	sig := a.svc.Sign(types.AccCertPayload(best.PrepHash, best.PrepView, best.PrepHeight, best.CurView, ids))
 	return &types.AccCert{
-		Hash: best.PrepHash, View: best.PrepView, CurView: best.CurView,
+		Hash: best.PrepHash, View: best.PrepView, Height: best.PrepHeight, CurView: best.CurView,
 		IDs: ids, Signer: a.svc.Self(), Sig: sig,
 	}, nil
 }

@@ -43,7 +43,7 @@ func newFixture(t *testing.T) *fixture {
 // vc builds a signed view certificate for node id.
 func (fx *fixture) vc(id types.NodeID, prepView, curView types.View, tag string) *types.ViewCert {
 	h := types.HashBytes([]byte(tag))
-	sig := fx.svcs[id].Sign(types.ViewCertPayload(h, prepView, curView))
+	sig := fx.svcs[id].Sign(types.ViewCertPayload(h, prepView, 0, curView))
 	return &types.ViewCert{PrepHash: h, PrepView: prepView, CurView: curView, Signer: id, Sig: sig}
 }
 
@@ -62,7 +62,7 @@ func TestAccumHappyPath(t *testing.T) {
 		t.Fatalf("ids: %v", acc.IDs)
 	}
 	// The certificate verifies under the leader's key.
-	if !fx.svcs[1].Verify(0, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
+	if !fx.svcs[1].Verify(0, types.AccCertPayload(acc.Hash, acc.View, acc.Height, acc.CurView, acc.IDs), acc.Sig) {
 		t.Fatal("acc signature invalid")
 	}
 }

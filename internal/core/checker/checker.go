@@ -52,11 +52,27 @@ type Checker struct {
 	quorum   int
 	quorumFn func() int
 
-	// Trusted state (vi, flag) and (prepv, preph) per Sec. 4.3.
-	vi   types.View
-	flag bool
-	prpv types.View
-	prph types.Hash
+	// Trusted state (vi, flag) and (prepv, preph, prepht) per Sec. 4.3.
+	// prpht extends the paper's (prepv, preph) pair with the prepared
+	// block's chain height: with chained pipelining a single view
+	// certifies several heights, so prepared-state ordering must be
+	// lexicographic on (view, height) — a view-only comparison could
+	// roll the prepared block back to an ancestor within the same view.
+	vi    types.View
+	flag  bool
+	prpv  types.View
+	prph  types.Hash
+	prpht types.Height
+
+	// Chained-pipelining state: the hash and height of the block this
+	// checker last certified via TEEprepare in the current view. While
+	// the proposal flag is set, TEEprepare admits exactly one follow-up
+	// shape — a block extending pipeTip at pipeHeight+1 — so the
+	// one-block-per-(view, height) uniqueness behind Lemma 1 (no
+	// equivocation) is preserved: the certified blocks of one view form
+	// a single chain. Reset whenever the view advances.
+	pipeTip    types.Hash
+	pipeHeight types.Height
 
 	recovering   bool
 	lastNonce    uint64
@@ -69,8 +85,9 @@ type Checker struct {
 	// fast-path TEEprepare back to back, and re-verifying f+1
 	// signatures inside the enclave would double the per-view crypto
 	// cost for no security benefit.
-	verifiedCCHash types.Hash
-	verifiedCCView types.View
+	verifiedCCHash   types.Hash
+	verifiedCCView   types.View
+	verifiedCCHeight types.Height
 }
 
 // Config configures a checker instance.
@@ -154,37 +171,55 @@ func (c *Checker) PrepView() types.View { return c.prpv }
 // PrepHash returns the hash of the latest stored block.
 func (c *Checker) PrepHash() types.Hash { return c.prph }
 
+// PrepHeight returns the chain height of the latest stored block.
+func (c *Checker) PrepHeight() types.Height { return c.prpht }
+
 // Recovering reports whether the checker still awaits recovery.
 func (c *Checker) Recovering() bool { return c.recovering }
 
 // TEEprepare certifies the leader's block b for the current view
-// (Algorithm 2, lines 5-14). Exactly one of acc and cc must justify
-// the parent selection: an accumulator certificate binds b to extend
-// the highest stored block among f+1 view certificates; a commitment
-// certificate from view vi-1 justifies the fast path (new-view
-// optimization). The returned block certificate ⟨PROP, H(b), vi⟩σ is
-// the only one this checker will ever produce for view vi.
+// (Algorithm 2, lines 5-14). For the first block of a view exactly one
+// of acc and cc must justify the parent selection: an accumulator
+// certificate binds b to extend the highest stored block among f+1
+// view certificates; a commitment certificate from view vi-1 justifies
+// the fast path (new-view optimization). With chained pipelining a
+// leader may prepare further blocks in the same view while earlier
+// quorums are still assembling: such a block needs no external
+// justification, but it must extend exactly the block this checker
+// certified last (pipeTip) at the next height — so the blocks
+// certified within one view form a single chain and the
+// one-certificate-per-(view, height) uniqueness behind Lemma 1 holds.
+// The returned block certificate is ⟨PROP, H(b), vi, height⟩σ.
 func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, cc *types.CommitCert) (*types.BlockCert, error) {
 	defer c.enc.EnterCall("TEEprepare")()
 	if c.recovering {
 		return nil, ErrRecovering
 	}
-	if c.flag && !c.unsafeWeaken {
+	chained := c.flag && acc == nil && cc == nil &&
+		!c.pipeTip.IsZero() && b.Parent == c.pipeTip && b.Height == c.pipeHeight+1
+	if c.flag && !chained && !c.unsafeWeaken {
 		return nil, ErrAlreadyProposed
 	}
 	if b.Hash() != h {
 		return nil, ErrBadCertificate
 	}
 	switch {
+	case chained:
+		// Parent is the block this checker itself certified last in
+		// this view: the chain justifies itself, and the height check
+		// above pinned b to the unique next position.
 	case acc != nil:
 		if len(acc.IDs) < c.q() || !crypto.DistinctIDs(acc.IDs) {
 			return nil, ErrBadCertificate
 		}
-		if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
+		if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, acc.Height, acc.CurView, acc.IDs), acc.Sig) {
 			return nil, ErrBadCertificate
 		}
 		if b.Parent != acc.Hash || acc.CurView != c.vi {
 			return nil, ErrWrongView
+		}
+		if b.Height != acc.Height+1 {
+			return nil, ErrBadCertificate
 		}
 	case cc != nil:
 		if !c.verifyCC(cc) {
@@ -193,14 +228,18 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert, c
 		if b.Parent != cc.Hash || cc.View != c.vi-1 {
 			return nil, ErrWrongView
 		}
+		if b.Height != cc.Height+1 {
+			return nil, ErrBadCertificate
+		}
 	default:
 		if !c.unsafeWeaken {
 			return nil, ErrBadCertificate
 		}
 	}
 	c.flag = true
-	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi))
-	return &types.BlockCert{Hash: h, View: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+	c.pipeTip, c.pipeHeight = h, b.Height
+	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi, b.Height))
+	return &types.BlockCert{Hash: h, View: c.vi, Height: b.Height, Signer: c.svc.Self(), Sig: sig}, nil
 }
 
 // TEEstore stores the leader's block identified by its block
@@ -215,19 +254,27 @@ func (c *Checker) TEEstore(bc *types.BlockCert) (*types.StoreCert, error) {
 	if bc.Signer != c.leaderOf(bc.View) {
 		return nil, ErrBadCertificate
 	}
-	if !c.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+	if !c.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View, bc.Height), bc.Sig) {
 		return nil, ErrBadCertificate
 	}
 	if bc.View < c.vi {
 		return nil, ErrStale
 	}
-	c.prpv, c.prph = bc.View, bc.Hash
+	// Advance the prepared state only lexicographically on
+	// (view, height): with several block certificates per view in
+	// flight, an unconditional overwrite would let a re-delivered
+	// earlier certificate roll the prepared block back to an ancestor.
+	// The height is trusted because the leader's TEEprepare signed it.
+	if bc.View > c.prpv || (bc.View == c.prpv && bc.Height >= c.prpht) {
+		c.prpv, c.prph, c.prpht = bc.View, bc.Hash, bc.Height
+	}
 	if bc.View > c.vi {
 		c.vi = bc.View
 		c.flag = false
+		c.pipeTip, c.pipeHeight = types.ZeroHash, 0
 	}
-	sig := c.svc.Sign(types.StoreCertPayload(bc.Hash, bc.View))
-	return &types.StoreCert{Hash: bc.Hash, View: bc.View, Signer: c.svc.Self(), Sig: sig}, nil
+	sig := c.svc.Sign(types.StoreCertPayload(bc.Hash, bc.View, bc.Height))
+	return &types.StoreCert{Hash: bc.Hash, View: bc.View, Height: bc.Height, Signer: c.svc.Self(), Sig: sig}, nil
 }
 
 // TEEstoreCommit lets a node that missed a proposal adopt the state
@@ -244,12 +291,18 @@ func (c *Checker) TEEstoreCommit(cc *types.CommitCert) error {
 	if !c.verifyCC(cc) {
 		return ErrBadCertificate
 	}
-	if cc.View >= c.prpv {
-		c.prpv, c.prph = cc.View, cc.Hash
+	// Lexicographic (view, height) ordering, same rationale as TEEstore:
+	// within one view the commit of height h must not demote the
+	// prepared state below a later height h' > h this checker already
+	// stored — exactly the rollback a pipelined window would otherwise
+	// open when commits land out of order with stores.
+	if cc.View > c.prpv || (cc.View == c.prpv && cc.Height >= c.prpht) {
+		c.prpv, c.prph, c.prpht = cc.View, cc.Hash, cc.Height
 	}
 	if cc.View > c.vi {
 		c.vi = cc.View
 		c.flag = false
+		c.pipeTip, c.pipeHeight = types.ZeroHash, 0
 	}
 	return nil
 }
@@ -257,16 +310,16 @@ func (c *Checker) TEEstoreCommit(cc *types.CommitCert) error {
 // verifyCC checks a commitment certificate's f+1 signatures,
 // memoizing the last success.
 func (c *Checker) verifyCC(cc *types.CommitCert) bool {
-	if cc.Hash == c.verifiedCCHash && cc.View == c.verifiedCCView && !cc.Hash.IsZero() {
+	if cc.Hash == c.verifiedCCHash && cc.View == c.verifiedCCView && cc.Height == c.verifiedCCHeight && !cc.Hash.IsZero() {
 		return true
 	}
 	if len(cc.Signers) < c.q() {
 		return false
 	}
-	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View, cc.Height), cc.Sigs) {
 		return false
 	}
-	c.verifiedCCHash, c.verifiedCCView = cc.Hash, cc.View
+	c.verifiedCCHash, c.verifiedCCView, c.verifiedCCHeight = cc.Hash, cc.View, cc.Height
 	return true
 }
 
@@ -279,8 +332,9 @@ func (c *Checker) TEEview() (*types.ViewCert, error) {
 	}
 	c.vi++
 	c.flag = false
-	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
-	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
+	c.pipeTip, c.pipeHeight = types.ZeroHash, 0
+	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.prpht, c.vi))
+	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, PrepHeight: c.prpht, CurView: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
 }
 
 // TEErequest generates a fresh recovery request ⟨REQ, non⟩σ
@@ -310,9 +364,9 @@ func (c *Checker) TEEreply(req *types.RecoveryReq) (*types.RecoveryRpy, error) {
 	if !c.svc.Verify(req.Signer, types.RecoveryReqPayload(req.Nonce), req.Sig) {
 		return nil, ErrBadCertificate
 	}
-	sig := c.svc.Sign(types.RecoveryRpyPayload(c.prph, c.prpv, c.vi, req.Signer, req.Nonce))
+	sig := c.svc.Sign(types.RecoveryRpyPayload(c.prph, c.prpv, c.prpht, c.vi, req.Signer, req.Nonce))
 	return &types.RecoveryRpy{
-		PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi,
+		PrepHash: c.prph, PrepView: c.prpv, PrepHeight: c.prpht, CurView: c.vi,
 		Target: req.Signer, Nonce: req.Nonce,
 		Signer: c.svc.Self(), Sig: sig,
 	}, nil
@@ -350,7 +404,7 @@ func (c *Checker) TEErecover(leaderRpy *types.RecoveryRpy, replies []*types.Reco
 			return nil, ErrBadCertificate
 		}
 		seen[r.Signer] = true
-		if !c.svc.Verify(r.Signer, types.RecoveryRpyPayload(r.PrepHash, r.PrepView, r.CurView, r.Target, r.Nonce), r.Sig) {
+		if !c.svc.Verify(r.Signer, types.RecoveryRpyPayload(r.PrepHash, r.PrepView, r.PrepHeight, r.CurView, r.Target, r.Nonce), r.Sig) {
 			return nil, ErrBadCertificate
 		}
 		if r.CurView > leaderRpy.CurView {
@@ -368,6 +422,7 @@ func (c *Checker) TEErecover(leaderRpy *types.RecoveryRpy, replies []*types.Reco
 	}
 	c.vi = leaderRpy.CurView + 2
 	c.flag = false
+	c.pipeTip, c.pipeHeight = types.ZeroHash, 0
 	// Adopt the highest prepared state across the whole quorum, not the
 	// leader reply's. If a block committed at view w while this node was
 	// in the commit quorum, any f+1 distinct replies with views at most
@@ -379,14 +434,17 @@ func (c *Checker) TEErecover(leaderRpy *types.RecoveryRpy, replies []*types.Reco
 	// rollback: a leader that never saw the committed block hands back
 	// a stale (prpv, prph), and the recovered node's view certificates
 	// then let an accumulator quorum certify a conflicting sibling.
-	c.prpv, c.prph = leaderRpy.PrepView, leaderRpy.PrepHash
+	// The comparison is lexicographic on (view, height): under chained
+	// pipelining one view prepares many heights, and a view-only max
+	// could adopt an ancestor of a block this node helped commit.
+	c.prpv, c.prph, c.prpht = leaderRpy.PrepView, leaderRpy.PrepHash, leaderRpy.PrepHeight
 	for _, r := range replies {
-		if r.PrepView > c.prpv {
-			c.prpv, c.prph = r.PrepView, r.PrepHash
+		if r.PrepView > c.prpv || (r.PrepView == c.prpv && r.PrepHeight > c.prpht) {
+			c.prpv, c.prph, c.prpht = r.PrepView, r.PrepHash, r.PrepHeight
 		}
 	}
 	c.recovering = false
 	c.hasNonce = false
-	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
-	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi, Signer: self, Sig: sig}, nil
+	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.prpht, c.vi))
+	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, PrepHeight: c.prpht, CurView: c.vi, Signer: self, Sig: sig}, nil
 }

@@ -94,8 +94,8 @@ func blockAt(parent *types.Block, v types.View, proposer types.NodeID) *types.Bl
 // leader for extending the genesis block at view v.
 func (fx *fixture) accFor(leader types.NodeID, parent *types.Block, pv, v types.View) *types.AccCert {
 	ids := []types.NodeID{0, 1, 2}
-	sig := fx.svcs[leader].Sign(types.AccCertPayload(parent.Hash(), pv, v, ids))
-	return &types.AccCert{Hash: parent.Hash(), View: pv, CurView: v, IDs: ids, Signer: leader, Sig: sig}
+	sig := fx.svcs[leader].Sign(types.AccCertPayload(parent.Hash(), pv, parent.Height, v, ids))
+	return &types.AccCert{Hash: parent.Hash(), View: pv, Height: parent.Height, CurView: v, IDs: ids, Signer: leader, Sig: sig}
 }
 
 func TestTEEviewAdvances(t *testing.T) {
@@ -111,7 +111,7 @@ func TestTEEviewAdvances(t *testing.T) {
 	if vc.PrepHash != fx.genesis.Hash() || vc.PrepView != 0 {
 		t.Fatalf("fresh checker cert should reference genesis: %+v", vc)
 	}
-	if !fx.svcs[1].Verify(0, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
+	if !fx.svcs[1].Verify(0, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.PrepHeight, vc.CurView), vc.Sig) {
 		t.Fatal("view cert signature invalid")
 	}
 }
@@ -196,7 +196,7 @@ func storeRound(t *testing.T, fx *fixture, parent *types.Block, v types.View) (*
 	if err != nil {
 		t.Fatalf("prepare v%d: %v", v, err)
 	}
-	cc := &types.CommitCert{Hash: b.Hash(), View: v}
+	cc := &types.CommitCert{Hash: b.Hash(), View: v, Height: b.Height}
 	for i := 0; i < quorum; i++ {
 		sc, err := fx.checkers[i].TEEstore(bc)
 		if err != nil {
@@ -222,7 +222,7 @@ func TestTEEstoreRejectsNonLeaderCert(t *testing.T) {
 	fx.enterView(t, 1)
 	b := blockAt(fx.genesis, 1, 0)
 	// Node 3 (not the leader of view 1) signs a block certificate.
-	sig := fx.svcs[3].Sign(types.BlockCertPayload(b.Hash(), 1))
+	sig := fx.svcs[3].Sign(types.BlockCertPayload(b.Hash(), 1, b.Height))
 	bc := &types.BlockCert{Hash: b.Hash(), View: 1, Signer: 3, Sig: sig}
 	if _, err := fx.checkers[0].TEEstore(bc); !errors.Is(err, checker.ErrBadCertificate) {
 		t.Fatalf("non-leader cert accepted: %v", err)
@@ -240,8 +240,8 @@ func TestTEEstoreRejectsStale(t *testing.T) {
 	_, _ = storeRound(t, fx, b1, 2)
 	// Re-presenting the view-1 certificate after moving to view 2.
 	leader := leaderOf(1)
-	sig := fx.svcs[leader].Sign(types.BlockCertPayload(b1.Hash(), 1))
-	bc := &types.BlockCert{Hash: b1.Hash(), View: 1, Signer: leader, Sig: sig}
+	sig := fx.svcs[leader].Sign(types.BlockCertPayload(b1.Hash(), 1, b1.Height))
+	bc := &types.BlockCert{Hash: b1.Hash(), View: 1, Height: b1.Height, Signer: leader, Sig: sig}
 	if _, err := fx.checkers[0].TEEstore(bc); !errors.Is(err, checker.ErrStale) {
 		t.Fatalf("stale store accepted: %v", err)
 	}
@@ -440,7 +440,7 @@ func TestRecoveryRejections(t *testing.T) {
 	}()
 	forged := *replies[0]
 	forged.CurView += 10
-	forged.Sig = fx.svcs[0].Sign(types.RecoveryRpyPayload(forged.PrepHash, forged.PrepView, forged.CurView, forged.Target, forged.Nonce))
+	forged.Sig = fx.svcs[0].Sign(types.RecoveryRpyPayload(forged.PrepHash, forged.PrepView, forged.PrepHeight, forged.CurView, forged.Target, forged.Nonce))
 	if _, err := rec.TEErecover(leaderRpy, []*types.RecoveryRpy{leaderRpy, &forged, replies[1]}); !errors.Is(err, checker.ErrNoLeaderReply) {
 		t.Fatalf("higher-view non-leader reply accepted: %v", err)
 	}
@@ -553,8 +553,8 @@ func TestCheckerInvariantsProperty(t *testing.T) {
 			leader := leaderOf(v)
 			b := blockAt(parent, v, leader)
 			b.Txs[0].Seq = uint32(1000 + step)
-			sig := fx.svcs[leader].Sign(types.BlockCertPayload(b.Hash(), v))
-			bc := &types.BlockCert{Hash: b.Hash(), View: v, Signer: leader, Sig: sig}
+			sig := fx.svcs[leader].Sign(types.BlockCertPayload(b.Hash(), v, b.Height))
+			bc := &types.BlockCert{Hash: b.Hash(), View: v, Height: b.Height, Signer: leader, Sig: sig}
 			before := c.View()
 			sc, err := c.TEEstore(bc)
 			if err == nil {

@@ -177,7 +177,7 @@ func (r *Replica) restoreDurable(marker durableMarker, hasMarker bool) {
 			break
 		}
 		batches = append(batches, restoredBatch{blocks: buf, cc: cr.CC})
-		r.scanReconfigs(buf)
+		r.scanReconfigs(buf, cr.CC)
 		r.maybeActivateEpoch(cr.Block.Height)
 		buf = nil
 	}
@@ -265,7 +265,7 @@ func (r *Replica) verifyRestoredCC(cc *types.CommitCert) bool {
 	if cc == nil || len(cc.Signers) < r.quorum() {
 		return false
 	}
-	return r.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs)
+	return r.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View, cc.Height), cc.Sigs)
 }
 
 // persistCommits durably logs a freshly committed batch. The

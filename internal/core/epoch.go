@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"achilles/internal/crypto"
 	"achilles/internal/obs"
@@ -177,11 +178,18 @@ func (r *Replica) adoptOwnKey() {
 
 // SubmitReconfig queues a signed reconfiguration command for ordering
 // through the chain (priority lane — reconfigurations must not starve
-// behind a deep client backlog). The authoritative checks — signer is a
-// member, signature verifies under the epoch the command commits in,
-// the change applies cleanly — happen at commit time on every replica;
-// this only rejects structurally hopeless commands. Safe to call from
-// any goroutine (admin endpoints, tests).
+// behind a deep client backlog) and forwards it to the peers as an
+// ordinary client submission. The forward is what makes the command
+// live under chained pipelining: a healthy pipelined cluster keeps one
+// leader for as long as it commits, so "wait in this node's pool until
+// it leads" — sufficient under per-height rotation — could starve the
+// command forever. Mempool dedup collapses the copies, so at most one
+// commits. The authoritative checks — signer is a member, signature
+// verifies under the epoch the command commits in, the change applies
+// cleanly — happen at commit time on every replica; this only rejects
+// structurally hopeless commands. Safe to call from any goroutine
+// (admin endpoints, tests): the live transport's Send/Broadcast are
+// concurrency-safe queue handoffs.
 func (r *Replica) SubmitReconfig(rc *types.Reconfig) error {
 	if rc == nil {
 		return errors.New("core: nil reconfig")
@@ -206,16 +214,55 @@ func (r *Replica) SubmitReconfig(rc *types.Reconfig) error {
 		Payload: payload,
 	}
 	r.pool.Requeue([]types.Transaction{tx})
+	r.env.Broadcast(&types.ClientRequest{Txs: []types.Transaction{tx}})
 	return nil
 }
+
+// forwardReconfigTxs gives operator-submitted reconfig commands the
+// same treatment SubmitReconfig gives node-originated ones: priority
+// lane locally plus one broadcast to the peers. An operator CLI sends
+// its command to a single replica, which was live under per-height
+// leader rotation ("wait in this node's pool until it leads") but
+// starves under stable-view pipelining, where a healthy cluster keeps
+// one leader indefinitely. Each node forwards a given command at most
+// once, so the gossip is bounded at one broadcast per replica per
+// command; mempool dedup and commit-time validation collapse the
+// copies as usual. Consensus goroutine only.
+func (r *Replica) forwardReconfigTxs(txs []types.Transaction) {
+	for i := range txs {
+		if !types.IsReconfigPayload(txs[i].Payload) {
+			continue
+		}
+		k := txs[i].Key()
+		if r.forwardedRc[k] {
+			continue
+		}
+		if len(r.forwardedRc) >= maxForwardedReconfigs {
+			clear(r.forwardedRc)
+		}
+		r.forwardedRc[k] = true
+		r.pool.Requeue(txs[i : i+1])
+		r.env.Broadcast(&types.ClientRequest{Txs: txs[i : i+1]})
+	}
+}
+
+// maxForwardedReconfigs bounds the forwarded-command dedup set.
+// Reconfigurations are rare (one in flight per epoch), so the cap only
+// guards against a client spraying garbage reconfig-magic payloads;
+// clearing wholesale on overflow risks at worst one extra broadcast
+// per command.
+const maxForwardedReconfigs = 256
 
 // scanReconfigs inspects freshly committed blocks for reconfig
 // commands and schedules the next epoch from the first valid one. Runs
 // on the consensus goroutine for live commits and on the Init goroutine
 // for restored batches — in both cases in deterministic chain order, so
 // every replica schedules the identical epoch at the identical height.
-func (r *Replica) scanReconfigs(blocks []*types.Block) {
-	for _, b := range blocks {
+// cc is the certificate that committed the batch (certifying its last
+// block); it anchors the transition proof recorded for each scheduled
+// epoch, and may be nil on restore paths that lack one.
+func (r *Replica) scanReconfigs(blocks []*types.Block, cc *types.CommitCert) {
+	for bi, b := range blocks {
 		for i := range b.Txs {
 			p := b.Txs[i].Payload
 			if !types.IsReconfigPayload(p) {
@@ -227,14 +274,232 @@ func (r *Replica) scanReconfigs(blocks []*types.Block) {
 				r.env.Logf("reconfig: malformed command committed at height %d; ignoring", b.Height)
 				continue
 			}
-			r.applyCommittedReconfig(rc, b.Height)
+			if r.applyCommittedReconfig(rc, b.Height) {
+				r.recordEpochProof(rc, blocks[bi:], cc)
+			}
 		}
 	}
 }
 
+// Bounds on the retained epoch-transition proofs: how many blocks one
+// proof may span (the scheduling command must sit within this many
+// blocks of the certified batch tip — always true in steady state,
+// where batches are at most the pipeline window) and how many past
+// transitions are kept. A joiner further behind than maxEpochProofs
+// epochs falls back to re-booting with a current InitialMembership.
+const (
+	maxProofBlocks = 32
+	maxEpochProofs = 16
+)
+
+// recordEpochProof retains the transferable proof of the epoch
+// transition just scheduled by applyCommittedReconfig: the command, the
+// hash-linked blocks from its carrier to the certified batch tip, and
+// the certificate. Served inside snapshots (snapshot.go) so a node
+// stranded behind this reconfiguration can verify its way forward.
+func (r *Replica) recordEpochProof(rc *types.Reconfig, suffix []*types.Block, cc *types.CommitCert) {
+	if r.pending == nil || cc == nil || len(suffix) == 0 || len(suffix) > maxProofBlocks {
+		return
+	}
+	if suffix[len(suffix)-1].Hash() != cc.Hash {
+		return
+	}
+	r.epochProofs[r.pending.Epoch] = &types.EpochTransition{
+		Epoch:  r.pending.Epoch,
+		Rc:     rc,
+		Blocks: append([]*types.Block(nil), suffix...),
+		CC:     cc,
+	}
+	for len(r.epochProofs) > maxEpochProofs {
+		oldest := r.pending.Epoch
+		for e := range r.epochProofs {
+			if e < oldest {
+				oldest = e
+			}
+		}
+		delete(r.epochProofs, oldest)
+	}
+}
+
+// epochLineage returns the retained transition proofs in epoch order,
+// for embedding in a served snapshot.
+func (r *Replica) epochLineage() []*types.EpochTransition {
+	if len(r.epochProofs) == 0 {
+		return nil
+	}
+	out := make([]*types.EpochTransition, 0, len(r.epochProofs))
+	for _, t := range r.epochProofs {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// verifyEpochLineage walks transition proofs from this node's active
+// epoch up to target, re-running for each hop the authorization checks
+// the live commit path ran: the hop's certificate carries an f+1 quorum
+// of the previous epoch's members signing under its ring, the certified
+// block hash-links down to the block carrying the command, and the
+// command itself is signed by a member of that epoch. The walk must
+// converge on target's exact config hash — a lineage ending anywhere
+// else (including at a configuration derived from a committed command
+// the cluster arbitrated away) is refused. Pure: no replica state is
+// touched; the derived memberships and rings are returned for the
+// caller to adopt.
+func (r *Replica) verifyEpochLineage(target *types.Membership,
+	lineage []*types.EpochTransition) (*types.Membership, map[types.Epoch]*crypto.KeyRing, error) {
+	byEpoch := make(map[types.Epoch]*types.EpochTransition, len(lineage))
+	for _, t := range lineage {
+		if t != nil {
+			byEpoch[t.Epoch] = t
+		}
+	}
+	cur := r.member
+	ring := r.epochRings[cur.Epoch]
+	if ring == nil {
+		ring = r.cfg.Ring
+	}
+	rings := make(map[types.Epoch]*crypto.KeyRing)
+	for cur.Epoch < target.Epoch {
+		t := byEpoch[cur.Epoch+1]
+		if t == nil {
+			return nil, nil, fmt.Errorf("no transition proof for epoch %d", cur.Epoch+1)
+		}
+		if t.Rc == nil || t.CC == nil || len(t.Blocks) == 0 {
+			return nil, nil, fmt.Errorf("epoch %d transition proof is malformed", t.Epoch)
+		}
+		svc := crypto.NewService(r.cfg.Scheme, ring, nil, r.cfg.Self, nil, crypto.Costs{})
+		if len(t.CC.Signers) < cur.Quorum() {
+			return nil, nil, fmt.Errorf("epoch %d proof certificate has %d signers, quorum is %d",
+				t.Epoch, len(t.CC.Signers), cur.Quorum())
+		}
+		for _, id := range t.CC.Signers {
+			if !cur.Contains(id) {
+				return nil, nil, fmt.Errorf("epoch %d proof certificate signer %d is not a member of epoch %d",
+					t.Epoch, id, cur.Epoch)
+			}
+		}
+		if !svc.VerifyQuorum(t.CC.Signers,
+			types.StoreCertPayload(t.CC.Hash, t.CC.View, t.CC.Height), t.CC.Sigs) {
+			return nil, nil, fmt.Errorf("epoch %d proof certificate does not verify under epoch %d's ring",
+				t.Epoch, cur.Epoch)
+		}
+		last := t.Blocks[len(t.Blocks)-1]
+		if last.Hash() != t.CC.Hash || last.Height != t.CC.Height {
+			return nil, nil, fmt.Errorf("epoch %d proof blocks do not end at the certified block", t.Epoch)
+		}
+		for i := 1; i < len(t.Blocks); i++ {
+			if t.Blocks[i].Parent != t.Blocks[i-1].Hash() {
+				return nil, nil, fmt.Errorf("epoch %d proof blocks are not hash-linked", t.Epoch)
+			}
+		}
+		carrier := t.Blocks[0]
+		found := false
+		want := t.Rc.EncodeTx()
+		for i := range carrier.Txs {
+			if bytes.Equal(carrier.Txs[i].Payload, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("epoch %d proof block does not carry the claimed command", t.Epoch)
+		}
+		if !cur.Contains(t.Rc.Signer) {
+			return nil, nil, fmt.Errorf("epoch %d command signer %d is not a member of epoch %d",
+				t.Epoch, t.Rc.Signer, cur.Epoch)
+		}
+		if !svc.Verify(t.Rc.Signer,
+			types.ReconfigPayload(t.Rc.Op, t.Rc.Node, t.Rc.Key, t.Rc.Addr), t.Rc.Sig) {
+			return nil, nil, fmt.Errorf("epoch %d command signature does not verify under epoch %d's ring",
+				t.Epoch, cur.Epoch)
+		}
+		next, err := cur.Apply(t.Rc, carrier.Height+r.reconfigDelay())
+		if err != nil {
+			return nil, nil, fmt.Errorf("epoch %d command does not apply: %v", t.Epoch, err)
+		}
+		nring, err := ringFromMembership(r.cfg.Scheme, next)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur, ring = next, nring
+		rings[next.Epoch] = nring
+	}
+	if cur.ConfigHash() != target.ConfigHash() {
+		return nil, nil, fmt.Errorf("lineage converges on a different epoch %d configuration", cur.Epoch)
+	}
+	return cur, rings, nil
+}
+
+// adoptEpochLineage verifies a newer-epoch snapshot's transition proofs
+// and, on success, advances this node's configuration to the snapshot's
+// epoch: enclave epoch marker (sealing-key rotation), membership, rings
+// and service keys — the same swap activateEpoch performs, minus the
+// chain scheduling that this node slept through. The verified proofs
+// are retained so this node can in turn serve joiners behind it.
+func (r *Replica) adoptEpochLineage(target *types.Membership,
+	lineage []*types.EpochTransition) error {
+	final, rings, err := r.verifyEpochLineage(target, lineage)
+	if err != nil {
+		return err
+	}
+	if err := r.enclave.AdvanceEpoch(uint64(final.Epoch), final.ConfigHash()); err != nil {
+		return fmt.Errorf("enclave refused epoch %d: %v", final.Epoch, err)
+	}
+	for e, ring := range rings {
+		r.epochRings[e] = ring
+	}
+	fromEpoch := r.member.Epoch
+	// A reconfiguration this node had scheduled under its old epoch was
+	// arbitrated away by the epochs it slept through; the snapshot's own
+	// Pending (if any) is re-armed by the caller after the state installs.
+	r.pending = nil
+	r.obsPending.Store(nil)
+	if err := r.adoptRestoreMembership(final, nil); err != nil {
+		return err
+	}
+	r.adoptOwnKey()
+	for _, t := range lineage {
+		if t != nil && t.Epoch > fromEpoch && t.Epoch <= final.Epoch {
+			r.recordAdoptedProof(t)
+		}
+	}
+	for id := range r.viewClaims {
+		if !final.Contains(id) {
+			delete(r.viewClaims, id)
+		}
+	}
+	r.m.epochActivations.Inc()
+	r.trace.Emit(obs.TraceEpoch, uint64(r.view), uint64(r.store.CommittedHeight()),
+		fmt.Sprintf("lineage-adopted epoch=%d from=%d", final.Epoch, fromEpoch))
+	cfgHash := final.ConfigHash()
+	r.env.Logf("EPOCH-ACTIVATE: epoch %d adopted via snapshot lineage (from epoch %d, config=%x, n=%d, quorum=%d)",
+		final.Epoch, fromEpoch, cfgHash[:8], final.N(), final.Quorum())
+	if r.cfg.OnEpochChange != nil {
+		r.cfg.OnEpochChange(final.Clone(), r.epochRings[final.Epoch])
+	}
+	return nil
+}
+
+// recordAdoptedProof retains a lineage proof this node verified while
+// catching up, subject to the same retention bound as live recording.
+func (r *Replica) recordAdoptedProof(t *types.EpochTransition) {
+	r.epochProofs[t.Epoch] = t
+	for len(r.epochProofs) > maxEpochProofs {
+		oldest := t.Epoch
+		for e := range r.epochProofs {
+			if e < oldest {
+				oldest = e
+			}
+		}
+		delete(r.epochProofs, oldest)
+	}
+}
+
 // applyCommittedReconfig validates one committed reconfig command under
-// the active epoch and schedules its epoch.
-func (r *Replica) applyCommittedReconfig(rc *types.Reconfig, at types.Height) {
+// the active epoch and schedules its epoch, reporting whether it was
+// accepted.
+func (r *Replica) applyCommittedReconfig(rc *types.Reconfig, at types.Height) bool {
 	reject := func(why string) {
 		r.m.reconfigsRejected.Inc()
 		r.env.Logf("reconfig: %s %s(node=%d) at height %d rejected: %s",
@@ -243,26 +508,26 @@ func (r *Replica) applyCommittedReconfig(rc *types.Reconfig, at types.Height) {
 	if r.pending != nil {
 		reject(fmt.Sprintf("epoch %d is already pending activation at height %d",
 			r.pending.Epoch, r.pending.ActivateAt))
-		return
+		return false
 	}
 	if !r.member.Contains(rc.Signer) {
 		reject(fmt.Sprintf("signer %d is not a member of epoch %d", rc.Signer, r.member.Epoch))
-		return
+		return false
 	}
 	if !r.svc.Verify(rc.Signer, types.ReconfigPayload(rc.Op, rc.Node, rc.Key, rc.Addr), rc.Sig) {
 		reject(fmt.Sprintf("signature does not verify under epoch %d's ring", r.member.Epoch))
-		return
+		return false
 	}
 	if len(rc.Key) > 0 {
 		if _, err := r.cfg.Scheme.UnmarshalPublic(rc.Key); err != nil {
 			reject(fmt.Sprintf("key does not decode: %v", err))
-			return
+			return false
 		}
 	}
 	next, err := r.member.Apply(rc, at+r.reconfigDelay())
 	if err != nil {
 		reject(err.Error())
-		return
+		return false
 	}
 	r.pending = next
 	r.obsPending.Store(next)
@@ -274,6 +539,7 @@ func (r *Replica) applyCommittedReconfig(rc *types.Reconfig, at types.Height) {
 		fmt.Sprintf("scheduled epoch=%d %s(node=%d) activate=%d", next.Epoch, rc.Op, rc.Node, next.ActivateAt))
 	r.env.Logf("reconfig: epoch %d scheduled by %s(node=%d) committed at height %d; activates at height %d (n=%d, quorum=%d)",
 		next.Epoch, rc.Op, rc.Node, at, next.ActivateAt, next.N(), next.Quorum())
+	return true
 }
 
 // maybeActivateEpoch activates the pending epoch once the committed

@@ -16,11 +16,13 @@ import "achilles/internal/types"
 // at zero cost.
 type StateObserver interface {
 	// ObservePropose fires after TEEprepare signs a block certificate:
-	// this node proposed block hash in view.
-	ObservePropose(node types.NodeID, view types.View, hash types.Hash)
+	// this node proposed block hash at height in view. With chained
+	// pipelining a leader legitimately signs one proposal per height
+	// within a view, so uniqueness is per (node, view, height).
+	ObservePropose(node types.NodeID, view types.View, height types.Height, hash types.Hash)
 	// ObserveVote fires after TEEstore signs a store certificate: this
-	// node voted for block hash in view.
-	ObserveVote(node types.NodeID, view types.View, hash types.Hash)
+	// node voted for block hash at height in view.
+	ObserveVote(node types.NodeID, view types.View, height types.Height, hash types.Hash)
 	// ObserveReplyAttested fires after TEEreply attests this node's
 	// checker state (curView, prepView) to a recovering peer.
 	ObserveReplyAttested(node types.NodeID, curView, prepView types.View)
@@ -40,15 +42,31 @@ type EpochObserver interface {
 		configHash types.Hash, members []types.NodeID)
 }
 
-func (r *Replica) observePropose(view types.View, hash types.Hash) {
-	if r.cfg.Observer != nil {
-		r.cfg.Observer.ObservePropose(r.cfg.Self, view, hash)
+// SnapshotObserver is an optional extension of StateObserver: observers
+// that also implement it are told when a replica installs a remotely
+// fetched snapshot, adopting (height, block hash) as its committed tip
+// without emitting per-block commits. Commit-chain checkers need this
+// to re-seed their cursor — the node's next commit extends the snapshot
+// tip, not its previous chain position.
+type SnapshotObserver interface {
+	ObserveSnapshotInstall(node types.NodeID, height types.Height, hash types.Hash)
+}
+
+func (r *Replica) observeSnapshotInstall(height types.Height, hash types.Hash) {
+	if so, ok := r.cfg.Observer.(SnapshotObserver); ok {
+		so.ObserveSnapshotInstall(r.cfg.Self, height, hash)
 	}
 }
 
-func (r *Replica) observeVote(view types.View, hash types.Hash) {
+func (r *Replica) observePropose(view types.View, height types.Height, hash types.Hash) {
 	if r.cfg.Observer != nil {
-		r.cfg.Observer.ObserveVote(r.cfg.Self, view, hash)
+		r.cfg.Observer.ObservePropose(r.cfg.Self, view, height, hash)
+	}
+}
+
+func (r *Replica) observeVote(view types.View, height types.Height, hash types.Hash) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveVote(r.cfg.Self, view, height, hash)
 	}
 }
 

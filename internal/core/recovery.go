@@ -139,7 +139,7 @@ func (r *Replica) onRecoveryRpy(from types.NodeID, m *MsgRecoveryRpy) {
 	// after it has displaced an honest one in recReplies — f lying
 	// peers could otherwise keep the reply set permanently unusable.
 	if !r.svc.Verify(rpy.Signer,
-		types.RecoveryRpyPayload(rpy.PrepHash, rpy.PrepView, rpy.CurView, rpy.Target, rpy.Nonce),
+		types.RecoveryRpyPayload(rpy.PrepHash, rpy.PrepView, rpy.PrepHeight, rpy.CurView, rpy.Target, rpy.Nonce),
 		rpy.Sig) {
 		r.m.recoveryRejected.Inc()
 		r.env.Logf("recovery reply from %d rejected: bad attestation signature", from)
@@ -155,14 +155,14 @@ func (r *Replica) onRecoveryRpy(from types.NodeID, m *MsgRecoveryRpy) {
 	if bc := m.BC; bc != nil {
 		if m.Block == nil || bc.Hash != rpy.PrepHash || bc.View != rpy.PrepView ||
 			bc.Signer != r.leaderOf(bc.View) ||
-			!r.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+			!r.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View, bc.Height), bc.Sig) {
 			r.m.recoveryRejected.Inc()
 			return
 		}
 	}
 	if cc := m.CC; cc != nil {
 		if len(cc.Signers) < r.quorum() ||
-			!r.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+			!r.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View, cc.Height), cc.Sigs) {
 			r.m.recoveryRejected.Inc()
 			return
 		}
@@ -259,9 +259,7 @@ func (r *Replica) tryFinishRecovery() {
 	r.observeRecovered(vc.CurView, leaderMsg.Rpy.CurView, leaderMsg.Rpy.Signer)
 	r.trace.Emit(obs.TraceRecoveryDone, uint64(r.view), r.obsHeight.Load(),
 		fmt.Sprintf("epoch=%d", r.recEpoch))
-	r.votes = make(map[types.NodeID]*types.StoreCert)
-	r.voteHash = types.ZeroHash
-	r.decided = false
+	r.drainPipeline()
 	r.pm.Progress()
 	r.armViewTimer()
 	r.deliverOrSend(r.leaderOf(r.view), &MsgNewView{VC: vc})

@@ -92,6 +92,28 @@ type Config struct {
 	// DisableReReply ablates the view-advance recovery re-replies
 	// (recovery.go), leaving only nonce-fresh retry rounds.
 	DisableReReply bool
+	// PipelineDepth is how many consensus heights the leader keeps in
+	// flight at once (chained pipelining, DESIGN.md §11). 0 or 1 is the
+	// historical lock-step hot path — one height per view, a view
+	// change per commit — and is bit-exact with the golden-hash tests.
+	// Above 1 the view stays stable across commits: the leader proposes
+	// height h+1 as soon as h's proposal is broadcast (the checker
+	// certifies the chain link), and the view advances only on timeout,
+	// idle rotation or epoch activation.
+	PipelineDepth int
+	// AdaptiveBatch sizes each proposed batch from the mempool depth
+	// instead of the fixed BatchSize: deep backlogs fill blocks toward
+	// AdaptiveBatchMax, light traffic proposes small blocks down to
+	// AdaptiveBatchMin, so idle-period latency does not pay for
+	// saturation throughput. Off keeps the fixed BatchSize, which the
+	// deterministic runs pin. Meaningless under SyntheticWorkload (the
+	// synthetic generator bypasses the queue the depth is read from).
+	AdaptiveBatch bool
+	// AdaptiveBatchMin floors the adaptive batch size; 0 defaults to 1.
+	AdaptiveBatchMin int
+	// AdaptiveBatchMax caps the adaptive batch size; 0 defaults to
+	// 4x BatchSize.
+	AdaptiveBatchMax int
 	// Sched coordinates the staged hot path. The replica submits
 	// post-commit observer work to its Execute stage and client replies
 	// to its Egress stage; the live runtime additionally routes inbound
@@ -192,14 +214,28 @@ type Config struct {
 // views' proposals while a DECIDE is in flight, a couple of
 // certificates while ancestors sync); the caps only bite under attack.
 const (
-	// maxStashedProposals bounds stashedProposals across all views.
-	// Insertion prefers nearer views: those are the ones enterNextView
-	// will actually replay.
+	// maxStashedProposals bounds stashedProposals across all (view,
+	// height) slots. Insertion prefers nearer slots: those are the ones
+	// replay will actually consume.
 	maxStashedProposals = 16
 	// maxStashedCCs bounds stashedCCs (eviction drops the oldest
 	// entry; duplicates are kept — see stashCC).
 	maxStashedCCs = 64
 )
+
+// round is one in-flight proposal in the leader's pipeline window:
+// the votes gathered for it, whether its commitment certificate has
+// been formed, and the real client transactions it carries (requeued
+// through the mempool's priority lane if the window drains before the
+// block commits — admitted work must survive a failed leader slot
+// instead of relying solely on client retransmission, which admission
+// control may refuse).
+type round struct {
+	height  types.Height
+	votes   map[types.NodeID]*types.StoreCert
+	decided bool
+	txs     []types.Transaction
+}
 
 // Replica is an Achilles consensus node.
 type Replica struct {
@@ -240,9 +276,31 @@ type Replica struct {
 	lastCC *types.CommitCert
 
 	viewCerts map[types.View]map[types.NodeID]*types.ViewCert
-	votes     map[types.NodeID]*types.StoreCert // for our proposal in the current view
-	voteHash  types.Hash
-	decided   bool // CC formed for current view's proposal
+
+	// rounds is the leader's table of in-flight proposals for the
+	// current view, keyed by block hash: one entry per proposed height
+	// whose commitment certificate has not yet been applied. At
+	// PipelineDepth <= 1 it holds at most one entry and reproduces the
+	// historical single votes/voteHash/decided slot exactly; deeper
+	// windows hold one entry per pipelined height. Entries leave the
+	// table when their block commits (handleCC) or when the window is
+	// drained (drainPipeline).
+	rounds map[types.Hash]*round
+	// pipeTip/pipeHeight mirror the checker's pipeline anchor on the
+	// host side: hash and height of the last block this node proposed
+	// in the current view (zero when none). Chained refill extends it.
+	pipeTip    types.Hash
+	pipeHeight types.Height
+	// refilling guards refillWindow against re-entry: a chained propose
+	// self-votes, and at f=0 the self-vote alone commits and re-enters
+	// tryPropose before the refill loop's own bookkeeping runs.
+	refilling bool
+	// viewTimerDeadline is the earliest instant the most recently armed
+	// view timer may legitimately fire. The runtime cannot cancel
+	// timers, so pipelined commit progress re-arms by pushing the
+	// deadline; an earlier-armed timer firing before it is stale and
+	// ignored (OnTimer).
+	viewTimerDeadline types.Time
 
 	// viewClaims records, per peer, the highest view attested by a
 	// signature-verified view certificate. When f+1 nodes (counting
@@ -251,7 +309,11 @@ type Replica struct {
 	// (maybeSyncViews).
 	viewClaims map[types.NodeID]types.View
 
-	stashedProposals map[types.View]*MsgProposal
+	// stashedProposals keys stashed proposals by (view, height): with
+	// chained pipelining several of one view's heights can be in flight
+	// at once, and keying by view alone would let sibling heights evict
+	// each other while their common ancestor syncs.
+	stashedProposals map[types.View]map[types.Height]*MsgProposal
 	stashedCCs       []*types.CommitCert
 	inflightSync     map[types.Hash]int
 
@@ -262,17 +324,19 @@ type Replica struct {
 	snapEpoch      uint64
 	snapServed     map[types.NodeID]types.Height
 	durIncarnation uint64
+	// epochProofs retains the transition proof for each epoch this node
+	// saw activate (bounded to the most recent maxEpochProofs), served
+	// inside snapshots so requesters stranded behind a reconfiguration
+	// can verify their way forward (epoch.go).
+	epochProofs map[types.Epoch]*types.EpochTransition
+	// forwardedRc tracks operator-submitted reconfig transactions this
+	// node has already rebroadcast to the peers, bounding the forward
+	// to one broadcast per command per node (epoch.go).
+	forwardedRc map[types.TxKey]bool
 	// durHeight is the highest height the sealed durable marker attests;
 	// epoch activations reseal the marker at this height under the new
 	// sealing key so rollback detection survives rotations.
 	durHeight types.Height
-
-	// proposedTxs holds the real client transactions of our latest
-	// proposal. If the view times out before that block commits, they
-	// are requeued through the mempool's priority lane — admitted work
-	// must survive a failed leader slot instead of relying solely on
-	// client retransmission (which admission control may now refuse).
-	proposedTxs []types.Transaction
 
 	recovering bool
 	recEpoch   types.View // distinguishes retry timers
@@ -356,10 +420,12 @@ func New(cfg Config) *Replica {
 		trace:            cfg.Trace,
 		viewCerts:        make(map[types.View]map[types.NodeID]*types.ViewCert),
 		viewClaims:       make(map[types.NodeID]types.View),
-		votes:            make(map[types.NodeID]*types.StoreCert),
-		stashedProposals: make(map[types.View]*MsgProposal),
+		rounds:           make(map[types.Hash]*round),
+		stashedProposals: make(map[types.View]map[types.Height]*MsgProposal),
 		inflightSync:     make(map[types.Hash]int),
 		snapServed:       make(map[types.NodeID]types.Height),
+		epochProofs:      make(map[types.Epoch]*types.EpochTransition),
+		forwardedRc:      make(map[types.TxKey]bool),
 		recReplies:       make(map[types.NodeID]*MsgRecoveryRpy),
 		recoveryPending:  make(map[types.NodeID]*pendingRecovery),
 	}

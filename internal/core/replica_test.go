@@ -26,6 +26,10 @@ type miniNet struct {
 }
 
 func newMiniNet(t *testing.T, n, f int, synthetic bool) *miniNet {
+	return newMiniNetDepth(t, n, f, synthetic, 0)
+}
+
+func newMiniNetDepth(t *testing.T, n, f int, synthetic bool, depth int) *miniNet {
 	t.Helper()
 	scheme := crypto.FastScheme{}
 	ring := crypto.NewKeyRing()
@@ -48,6 +52,7 @@ func newMiniNet(t *testing.T, n, f int, synthetic bool) *miniNet {
 			Ring:              ring,
 			Priv:              privs[id],
 			SyntheticWorkload: synthetic,
+			PipelineDepth:     depth,
 		})
 		m.envs[id] = &protocoltest.Env{}
 	}
@@ -188,6 +193,12 @@ func TestReplicaTimeoutAdvancesView(t *testing.T) {
 	}
 	last := env.Timers[len(env.Timers)-1]
 	env.Reset()
+	// Fire the timer at its deadline, as the runtime would: firings
+	// before the armed deadline are treated as stale re-arms and
+	// ignored.
+	if d := last.At - env.Now(); d > 0 {
+		env.Advance(d)
+	}
 	r.OnTimer(last.ID)
 	if r.View() != v+1 {
 		t.Fatalf("view after timeout = %d, want %d", r.View(), v+1)
@@ -274,5 +285,57 @@ func TestReplicaLedgerAccessors(t *testing.T) {
 	}
 	if r.Ledger().CommittedHeight() == 0 {
 		t.Fatal("ledger saw no commits")
+	}
+}
+
+// TestReconfigForwardedToLeaderUnderPipelining pins the operator-CLI
+// submission path: a reconfig command arriving as an ordinary
+// ClientRequest at a single replica must still commit when that
+// replica never leads. Under stable-view pipelining a healthy cluster
+// keeps one leader for as long as it commits, so "wait in this node's
+// pool until it leads" — sufficient under per-height rotation — would
+// starve the command forever; the handler forwards it to the peers
+// instead (forwardReconfigTxs).
+func TestReconfigForwardedToLeaderUnderPipelining(t *testing.T) {
+	m := newMiniNetDepth(t, 3, 1, true, 4)
+	m.start()
+
+	// Aim the submission at a replica that does not lead the current
+	// view; with commits flowing the leader keeps its seat, so without
+	// forwarding the command could never be proposed.
+	r0 := m.reps[0]
+	leader := r0.Membership().Leader(r0.View())
+	target := types.NodeID((int(leader) + 1) % 3)
+
+	scheme := crypto.FastScheme{}
+	signer := types.NodeID(0)
+	signerPriv, _ := scheme.KeyPair(3, signer)
+	rotated := types.NodeID(1)
+	rotPriv, rotPub := crypto.RotationKeyPair(scheme, 3, 1, rotated)
+	key := scheme.MarshalPublic(rotPub)
+	rc := &types.Reconfig{Op: types.ReconfigRotate, Node: rotated, Key: key, Signer: signer}
+	rc.Sig = scheme.Sign(signerPriv, types.ReconfigPayload(rc.Op, rc.Node, rc.Key, rc.Addr))
+	// The rotated member needs its new private key staged to keep
+	// signing once the epoch activates (the cluster must stay live
+	// long enough for every replica to reach the activation height).
+	m.reps[rotated].StageRotationKey(1, rotPriv, key)
+
+	payload := rc.EncodeTx()
+	h := types.HashBytes(payload)
+	tx := types.Transaction{
+		Client:  rc.Signer,
+		Seq:     uint32(h[0])<<8 | uint32(h[1]),
+		Payload: payload,
+	}
+	m.reps[target].OnMessage(types.ClientIDBase, &types.ClientRequest{Txs: []types.Transaction{tx}})
+	for i := 0; i < 20 && m.reps[0].Membership().Epoch != 1; i++ {
+		m.flush()
+	}
+	for i := 0; i < m.n; i++ {
+		id := types.NodeID(i)
+		if got := m.reps[id].Membership().Epoch; got != 1 {
+			t.Fatalf("node %d: epoch = %d, want 1 (reconfig submitted to non-leader %d starved)",
+				id, got, target)
+		}
 	}
 }

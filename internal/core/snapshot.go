@@ -126,6 +126,10 @@ func (r *Replica) onSnapshotRequest(from types.NodeID, m *types.SnapshotRequest)
 	s := &ledger.Snapshot{
 		Height: head.Height, Block: head, CC: cc, Machine: r.machine.Snapshot(),
 		Epoch: r.member.Epoch, Member: r.member, Pending: r.pending,
+		// The retained transition proofs ride along so a requester whose
+		// epoch trails ours can verify its way forward (epoch.go) instead
+		// of rejecting the snapshot.
+		Lineage: r.epochLineage(),
 	}
 	data, err := s.Encode()
 	if err != nil {
@@ -209,18 +213,29 @@ func (r *Replica) finishSnapshotFetch(sf *snapFetch) {
 		reject("height %d not beyond our committed %d", s.Height, r.store.CommittedHeight())
 		return
 	}
-	// Epoch binding: a transferred snapshot is only trusted within the
-	// requester's active epoch — its certificate must verify under the
-	// ring this node already holds. A membership claiming a different
-	// epoch would require trusting attacker-supplied keys to verify
-	// attacker-supplied certificates, so it is refused; a node that far
-	// behind must be re-booted with a current InitialMembership instead.
+	// Epoch binding: a transferred snapshot is trusted only under a
+	// configuration this node can verify. Within the active epoch that
+	// is the ring it already holds; a snapshot from a NEWER epoch must
+	// carry the lineage of transition proofs — each hop's certificate
+	// quorum signs under the previous epoch's ring — which
+	// adoptEpochLineage walks before switching this node's membership,
+	// rings and sealing key to the snapshot's epoch. A bare
+	// membership with no verifiable lineage (or one from an epoch this
+	// node is already past) is refused; a node stranded beyond the
+	// served lineage's reach must be re-booted with a current
+	// InitialMembership instead.
 	if s.Member != nil {
-		if s.Member.Epoch != r.member.Epoch {
+		switch {
+		case s.Member.Epoch > r.member.Epoch:
+			if err := r.adoptEpochLineage(s.Member, s.Lineage); err != nil {
+				reject("snapshot is from epoch %d, this node is at epoch %d: %v",
+					s.Member.Epoch, r.member.Epoch, err)
+				return
+			}
+		case s.Member.Epoch < r.member.Epoch:
 			reject("snapshot is from epoch %d, this node is at epoch %d", s.Member.Epoch, r.member.Epoch)
 			return
-		}
-		if s.Member.ConfigHash() != r.member.ConfigHash() {
+		case s.Member.ConfigHash() != r.member.ConfigHash():
 			reject("snapshot epoch %d config hash disagrees with ours", s.Member.Epoch)
 			return
 		}
@@ -246,7 +261,8 @@ func (r *Replica) finishSnapshotFetch(sf *snapFetch) {
 	r.snapFetch = nil
 	r.snapEpoch++ // invalidate the pending retry timer
 	r.prebBlock, r.prebBC, r.prebCC = s.Block, nil, s.CC
-	if r.lastCC == nil || s.CC.View > r.lastCC.View {
+	if r.lastCC == nil || s.CC.View > r.lastCC.View ||
+		(s.CC.View == r.lastCC.View && s.CC.Height > r.lastCC.Height) {
 		r.lastCC = s.CC
 	}
 	r.obsHeight.Store(uint64(r.store.CommittedHeight()))
@@ -264,6 +280,7 @@ func (r *Replica) finishSnapshotFetch(sf *snapFetch) {
 	}
 	r.obsSnapInstalls.Add(1)
 	r.m.snapshotsInstalled.Inc()
+	r.observeSnapshotInstall(s.Height, s.Block.Hash())
 	r.trace.Emit(obs.TraceSnapshot, uint64(s.CC.View), uint64(s.Height),
 		fmt.Sprintf("installed from=%d", sf.from))
 	r.env.Logf("snapshot installed: committed height %d from node %d", s.Height, sf.from)
@@ -287,7 +304,10 @@ func (r *Replica) finishSnapshotFetch(sf *snapFetch) {
 	r.stashedCCs = kept
 	// Outstanding block-sync markers point below the horizon; drop
 	// them so future sync starts fresh from the new tip.
-	r.inflightSync = make(map[types.Hash]int)
+	clear(r.inflightSync)
+	// Any in-flight proposals of ours predate the installed state and
+	// can no longer commit; requeue their client transactions.
+	r.drainPipeline()
 	if s.CC.View >= r.view {
 		r.pm.Progress()
 		r.enterNextView()

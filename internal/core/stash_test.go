@@ -110,8 +110,8 @@ func TestStashedProposalsBounded(t *testing.T) {
 	if got := len(r.stashedProposals); got != maxStashedProposals {
 		t.Fatalf("same-view replace changed stash size: %d", got)
 	}
-	if r.stashedProposals[base+5] != repl {
-		t.Errorf("same-view arrival did not replace the stashed proposal")
+	if r.stashedProposals[base+5][repl.Block.Height] != repl {
+		t.Errorf("same-slot arrival did not replace the stashed proposal")
 	}
 	if got := r.m.stashDrops.Value(); got != wantDrops+1 {
 		t.Fatalf("stashDrops after replace = %d, want %d", got, wantDrops+1)

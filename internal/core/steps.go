@@ -19,6 +19,7 @@ import (
 
 	"achilles/internal/mempool"
 	"achilles/internal/obs"
+	"achilles/internal/sched"
 	"achilles/internal/types"
 )
 
@@ -30,15 +31,19 @@ func (r *Replica) enterNextView() {
 	if err != nil {
 		return
 	}
+	// Abandon the in-flight pipeline window before anything else
+	// touches the mempool: requeued transactions must be back in the
+	// priority lane before this view's leader (possibly us, via the
+	// self-delivered NEW-VIEW below) assembles its first batch.
+	r.drainPipeline()
 	r.view = vc.CurView
 	r.obsView.Store(uint64(r.view))
 	r.trace.Emit(obs.TraceNewView, uint64(r.view), uint64(r.obsHeight.Load()), "")
-	r.votes = make(map[types.NodeID]*types.StoreCert)
-	r.voteHash = types.ZeroHash
-	r.decided = false
 	// Forget stale sync requests; anything still needed will be
-	// re-requested (possibly from a different peer).
-	r.inflightSync = make(map[types.Hash]int)
+	// re-requested (possibly from a different peer). Cleared in place:
+	// view changes are the hot path under faults, and reallocating the
+	// per-view maps every view churns the allocator for nothing.
+	clear(r.inflightSync)
 	delete(r.viewCerts, r.view-2)
 	// Drop stashed proposals for views we have moved past; they can
 	// never be replayed (onProposal rejects below-view proposals).
@@ -69,14 +74,69 @@ func (r *Replica) enterNextView() {
 	// Refresh outstanding recovery replies now that our view moved.
 	r.refreshRecoveryReplies()
 	// A proposal for this view may already be waiting.
-	if m, ok := r.stashedProposals[r.view]; ok {
-		delete(r.stashedProposals, r.view)
-		r.onProposal(m.BC.Signer, m)
-	}
+	r.replayStashedProposals()
 }
 
+// drainPipeline abandons every in-flight round: uncommitted client
+// transactions are requeued through the mempool's priority lane in
+// height order (so re-proposal preserves their original order) and the
+// window state is cleared in place. Called on every view transition
+// and on recovery/snapshot adoption — any point where the in-flight
+// proposals can no longer commit under the current chain anchor.
+func (r *Replica) drainPipeline() {
+	if len(r.rounds) > 0 {
+		open := make([]*round, 0, len(r.rounds))
+		for _, rd := range r.rounds {
+			open = append(open, rd)
+		}
+		sort.Slice(open, func(i, j int) bool { return open[i].height < open[j].height })
+		for _, rd := range open {
+			if len(rd.txs) > 0 {
+				// Requeue skips transactions that committed meanwhile.
+				// Should an abandoned block still commit later via the
+				// accumulator path, the dedup maps and the done-set skip
+				// in NextBatch keep the duplicates off the chain, exactly
+				// as they do for client retransmissions.
+				r.pool.Requeue(rd.txs)
+			}
+		}
+		clear(r.rounds)
+	}
+	r.pipeTip, r.pipeHeight = types.ZeroHash, 0
+}
+
+// pipelined reports whether the chained-pipelining hot path is active.
+// At depth <= 1 every pipelining hook is a no-op and the replica runs
+// the historical one-height-per-view sequence bit-exactly.
+func (r *Replica) pipelined() bool { return r.cfg.PipelineDepth > 1 }
+
 func (r *Replica) armViewTimer() {
-	r.env.SetTimer(r.pm.Timeout(), types.TimerID{Kind: types.TimerViewChange, View: r.view})
+	d := r.pm.Timeout()
+	// Timers cannot be cancelled, only outlived: record the deadline so
+	// OnTimer can tell this arming's firing from a stale earlier one
+	// (pipelined commit progress re-arms the timer every commit).
+	r.viewTimerDeadline = r.env.Now() + d
+	r.env.SetTimer(d, types.TimerID{Kind: types.TimerViewChange, View: r.view})
+}
+
+// replayStashedProposals replays every stashed proposal for the
+// current view in height order — parents before children, so a
+// pipelined chain unblocks in one pass.
+func (r *Replica) replayStashedProposals() {
+	set := r.stashedProposals[r.view]
+	if len(set) == 0 {
+		return
+	}
+	delete(r.stashedProposals, r.view)
+	hs := make([]types.Height, 0, len(set))
+	for h := range set {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	for _, h := range hs {
+		m := set[h]
+		r.onProposal(m.BC.Signer, m)
+	}
 }
 
 // deliverOrSend routes a message, short-circuiting self-addressed
@@ -122,6 +182,10 @@ func (r *Replica) OnMessage(from types.NodeID, msg types.Message) {
 		r.onSnapshotChunk(from, m)
 	case *types.ClientRequest:
 		if !r.recovering {
+			// Reconfig commands must reach the leader even when this
+			// node never leads (stable-view pipelining): forward once,
+			// before ordinary admission (epoch.go).
+			r.forwardReconfigTxs(m.Txs)
 			// On the pooled live path the ingress stage staged this
 			// message's transactions off-loop (core.Verifier), applying
 			// admission there; draining admits everything staged so far
@@ -199,6 +263,11 @@ func (r *Replica) OnTimer(id types.TimerID) {
 		if r.recovering || id.View != r.view {
 			return
 		}
+		// A timer armed before the most recent re-arm (pipelined commit
+		// progress pushes the deadline instead of cancelling) is stale.
+		if r.env.Now() < r.viewTimerDeadline {
+			return
+		}
 		// A view that expired with an empty mempool is idle rotation,
 		// not a failure: the backoff only grows when there was work to
 		// order and the view still made no progress.
@@ -209,16 +278,9 @@ func (r *Replica) OnTimer(id types.TimerID) {
 			r.flightTrigger("view-timeout", fmt.Sprintf("failures=%d", r.pm.Failures()))
 			r.env.Logf("view %d timed out (failures=%d)", r.view, r.pm.Failures())
 		}
-		// Our latest proposal missed its view: requeue its client
-		// transactions through the priority lane (Requeue skips any that
-		// committed meanwhile). Should the timed-out block still commit
-		// later via the accumulator path, the dedup maps and the done-set
-		// skip in NextBatch keep the duplicates off the chain, exactly as
-		// they do for client retransmissions.
-		if len(r.proposedTxs) > 0 {
-			r.pool.Requeue(r.proposedTxs)
-			r.proposedTxs = nil
-		}
+		// In-flight proposals missed their view: enterNextView drains
+		// the window, requeuing their client transactions through the
+		// priority lane before the next leader slot assembles a batch.
 		r.enterNextView()
 	case types.TimerRecoveryRetry:
 		if !r.recovering || id.View != r.recEpoch {
@@ -270,8 +332,7 @@ func (r *Replica) onNewView(from types.NodeID, m *MsgNewView) {
 				// base pace instead of waiting out a multi-second
 				// timeout the rest of the cluster has already left.
 				r.pm.CatchUp()
-				r.env.SetTimer(r.pm.Timeout(),
-					types.TimerID{Kind: types.TimerViewChange, View: r.view})
+				r.armViewTimer()
 			}
 		}
 	}
@@ -325,11 +386,20 @@ func (r *Replica) maybeSyncViews() {
 	r.enterNextView()
 }
 
-// tryPropose attempts to propose in the current view, via the fast
-// path (commitment certificate for view-1) or the accumulator path
-// (f+1 view certificates for the current view).
+// tryPropose attempts to propose in the current view: the first
+// proposal of a view goes through the fast path (commitment
+// certificate for view-1) or the accumulator path (f+1 view
+// certificates for the current view); once the view's chain is
+// anchored, refillWindow keeps up to PipelineDepth chained heights in
+// flight.
 func (r *Replica) tryPropose() {
-	if r.recovering || !r.isLeader(r.view) || r.chk.Proposed() {
+	if r.recovering || !r.isLeader(r.view) {
+		return
+	}
+	if r.chk.Proposed() {
+		// Already anchored in this view; only the pipelined refill can
+		// add more heights.
+		r.refillWindow()
 		return
 	}
 	if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
@@ -337,10 +407,20 @@ func (r *Replica) tryPropose() {
 		// by timeout while idle).
 		return
 	}
-	// Fast path: extend the block committed in the previous view.
-	if !r.cfg.DisableFastPath && r.lastCC != nil && r.lastCC.View == r.view-1 {
+	// Fast path: extend the block committed in the previous view. Safe
+	// only at depth 1, where a view certifies at most one block, so a
+	// CC from view-1 IS that view's unique tip. A pipelined view forms
+	// one CC per in-flight height: our lastCC may trail a higher CC
+	// another node already committed, and extending it would fork that
+	// height. Pipelined leaders therefore always re-anchor through the
+	// view-certificate quorum below, whose intersection with any commit
+	// quorum surfaces the highest prepared block.
+	if !r.cfg.DisableFastPath && !r.pipelined() &&
+		r.lastCC != nil && r.lastCC.View == r.view-1 {
 		if ok, missing := r.store.HasAncestry(r.lastCC.Hash); ok {
-			r.propose(r.lastCC.Hash, nil, r.lastCC)
+			if r.propose(r.lastCC.Hash, nil, r.lastCC) {
+				r.refillWindow()
+			}
 			return
 		} else {
 			r.requestBlock(missing, r.leaderOf(r.lastCC.View))
@@ -368,7 +448,12 @@ func (r *Replica) tryPropose() {
 		sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
 		var best *types.ViewCert
 		for _, id := range signers {
-			if vc := set[id]; best == nil || vc.PrepView > best.PrepView {
+			// "Highest" is lexicographic on (PrepView, PrepHeight),
+			// matching TEEaccum: a pipelined view prepares several
+			// heights, and a view-only comparison could hand TEEaccum a
+			// best certificate it rejects as not highest.
+			if vc := set[id]; best == nil || vc.PrepView > best.PrepView ||
+				(vc.PrepView == best.PrepView && vc.PrepHeight > best.PrepHeight) {
 				best = vc
 			}
 		}
@@ -405,7 +490,9 @@ func (r *Replica) tryPropose() {
 			r.env.Logf("TEEaccum failed: %v", err)
 			return
 		}
-		r.propose(acc.Hash, acc, nil)
+		if r.propose(acc.Hash, acc, nil) {
+			r.refillWindow()
+		}
 		return
 	}
 }
@@ -414,13 +501,65 @@ func (r *Replica) haveQuorumCerts() bool {
 	return len(r.viewCerts[r.view]) >= r.quorum()
 }
 
+// refillWindow tops the pipeline window back up to PipelineDepth by
+// proposing chained blocks that extend this leader's own tip: the
+// checker certifies the chain link (parent == its pipeline anchor,
+// height == anchor height + 1) with no accumulator or commitment
+// certificate needed, which is what lets height h+1 leave the leader
+// before h has gathered its quorum. No-op at depth <= 1 — the
+// historical one-height-per-view hot path — and for non-leaders.
+func (r *Replica) refillWindow() {
+	if !r.pipelined() || r.refilling || r.recovering || !r.isLeader(r.view) {
+		return
+	}
+	r.refilling = true
+	defer func() { r.refilling = false }()
+	for len(r.rounds) < r.cfg.PipelineDepth && !r.pipeTip.IsZero() {
+		if !r.cfg.SyntheticWorkload && r.pool.Len() == 0 {
+			return
+		}
+		if !r.propose(r.pipeTip, nil, nil) {
+			return
+		}
+	}
+}
+
+// batchSize returns the proposer's batch budget for the next block:
+// the fixed BatchSize, or — with AdaptiveBatch — a budget that follows
+// the mempool depth, split across the window slots still open so a
+// deep pipeline spreads the backlog over its in-flight heights instead
+// of proposing one huge block and empty successors.
+func (r *Replica) batchSize() int {
+	if !r.cfg.AdaptiveBatch {
+		return r.cfg.BatchSize
+	}
+	lo, hi := r.cfg.AdaptiveBatchMin, r.cfg.AdaptiveBatchMax
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= 0 {
+		hi = 4 * r.cfg.BatchSize
+	}
+	if hi < lo {
+		hi = lo
+	}
+	n := r.pool.Len()
+	if open := r.cfg.PipelineDepth - len(r.rounds); open > 1 {
+		n = (n + open - 1) / open
+	}
+	return min(max(n, lo), hi)
+}
+
 // propose creates, certifies and broadcasts a block extending
 // parentHash, justified by exactly one of acc and cc (Algorithm 1,
-// propose function).
-func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.CommitCert) {
+// propose function) — or, when both are nil, by the checker's chained
+// pipelining rule (the parent is this leader's own pipeline anchor).
+// Returns whether a block was proposed; the window bookkeeping in
+// refillWindow depends on it.
+func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.CommitCert) bool {
 	parent := r.store.Get(parentHash)
 	if parent == nil {
-		return
+		return false
 	}
 	// The proposal starts a new causal chain: mint its trace context
 	// before batch assembly so the mempool-wait observer and the
@@ -430,11 +569,11 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 	if ctx.Sampled {
 		batchT0 = time.Now()
 	}
-	txs := r.pool.NextBatch(r.cfg.BatchSize, r.env.Now())
-	r.proposedTxs = r.proposedTxs[:0]
+	txs := r.pool.NextBatch(r.batchSize(), r.env.Now())
+	var clientTxs []types.Transaction
 	for i := range txs {
 		if !txs[i].Client.IsSynthetic() {
-			r.proposedTxs = append(r.proposedTxs, txs[i])
+			clientTxs = append(clientTxs, txs[i])
 		}
 	}
 	op := r.machine.Execute(parent.Op, txs)
@@ -450,16 +589,27 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 		Proposer: r.cfg.Self,
 		Proposed: r.env.Now(),
 	}
-	bc, err := r.chk.TEEprepare(b, b.Hash(), acc, cc)
+	h := b.Hash()
+	bc, err := r.chk.TEEprepare(b, h, acc, cc)
 	if err != nil {
 		r.env.Logf("TEEprepare failed: %v", err)
-		return
+		// The drawn transactions go back through the priority lane:
+		// nothing proposed them, so nothing will ever requeue them.
+		if len(clientTxs) > 0 {
+			r.pool.Requeue(clientTxs)
+		}
+		return false
 	}
 	r.store.Add(b)
 	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
-	r.voteHash = b.Hash()
-	r.observePropose(bc.View, bc.Hash)
-	r.trace.Emit(obs.TracePropose, uint64(b.View), uint64(b.Height), shortHash(r.voteHash))
+	r.rounds[h] = &round{
+		height: b.Height,
+		votes:  make(map[types.NodeID]*types.StoreCert),
+		txs:    clientTxs,
+	}
+	r.pipeTip, r.pipeHeight = h, b.Height
+	r.observePropose(bc.View, bc.Height, bc.Hash)
+	r.trace.Emit(obs.TracePropose, uint64(b.View), uint64(b.Height), shortHash(h))
 	r.env.Broadcast(&MsgProposal{Block: b, BC: bc})
 	// The propose stage ends with the broadcast; quorum assembly (our
 	// own vote included) starts here.
@@ -467,10 +617,11 @@ func (r *Replica) propose(parentHash types.Hash, acc *types.AccCert, cc *types.C
 	// Vote for our own block.
 	sc, err := r.chk.TEEstore(bc)
 	if err != nil {
-		return
+		return true
 	}
-	r.observeVote(sc.View, sc.Hash)
+	r.observeVote(sc.View, sc.Height, sc.Hash)
 	r.onVote(r.cfg.Self, &MsgVote{SC: sc})
+	return true
 }
 
 func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
@@ -518,37 +669,78 @@ func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
 	}
 	r.store.Add(b)
 	r.prebBlock, r.prebBC, r.prebCC = b, bc, nil
-	r.observeVote(sc.View, sc.Hash)
+	r.observeVote(sc.View, sc.Height, sc.Hash)
 	r.trace.Emit(obs.TraceVote, uint64(bc.View), uint64(b.Height), shortHash(bc.Hash))
 	r.deliverOrSend(r.leaderOf(bc.View), &MsgVote{SC: sc})
+	if r.pipelined() {
+		// A pipelined leader's next height may have arrived first (the
+		// network does not preserve broadcast order) and been stashed
+		// waiting for this block; replay it now that its parent is
+		// stored.
+		r.replayStashedChild(b)
+	}
 }
 
-// stashProposal inserts a proposal into the bounded stash. Same-view
-// arrivals replace in place; when the stash is full, the farthest
-// future view is evicted in favor of a nearer one (nearer views are
-// the ones enterNextView will actually replay) and proposals farther
-// than everything held are dropped.
-func (r *Replica) stashProposal(m *MsgProposal) {
-	v := m.BC.View
-	if _, ok := r.stashedProposals[v]; ok {
-		r.stashedProposals[v] = m
+// replayStashedChild replays the stashed current-view proposal that
+// directly extends parent, if any. Chains recurse through onProposal:
+// each replayed child replays its own successor once stored.
+func (r *Replica) replayStashedChild(parent *types.Block) {
+	set := r.stashedProposals[r.view]
+	m, ok := set[parent.Height+1]
+	if !ok {
 		return
 	}
-	if len(r.stashedProposals) >= maxStashedProposals {
-		var farthest types.View
-		for sv := range r.stashedProposals {
-			if sv > farthest {
-				farthest = sv
+	delete(set, parent.Height+1)
+	if len(set) == 0 {
+		delete(r.stashedProposals, r.view)
+	}
+	r.onProposal(m.BC.Signer, m)
+}
+
+// stashProposal inserts a proposal into the bounded stash, keyed by
+// (view, height). Same-slot arrivals replace in place; when the stash
+// is full, the farthest future slot — lexicographic on (view, height)
+// — is evicted in favor of a nearer one (nearer slots are the ones
+// replay will actually consume) and proposals farther than everything
+// held are dropped.
+func (r *Replica) stashProposal(m *MsgProposal) {
+	v, h := m.BC.View, m.Block.Height
+	if set, ok := r.stashedProposals[v]; ok {
+		if _, ok := set[h]; ok {
+			set[h] = m
+			return
+		}
+	}
+	total := 0
+	for _, set := range r.stashedProposals {
+		total += len(set)
+	}
+	if total >= maxStashedProposals {
+		var fv types.View
+		var fh types.Height
+		for sv, set := range r.stashedProposals {
+			for sh := range set {
+				if sv > fv || (sv == fv && sh > fh) {
+					fv, fh = sv, sh
+				}
 			}
 		}
-		if farthest <= v {
+		if fv < v || (fv == v && fh <= h) {
 			r.m.stashDrops.Inc()
 			return
 		}
-		delete(r.stashedProposals, farthest)
+		delete(r.stashedProposals[fv], fh)
+		if len(r.stashedProposals[fv]) == 0 {
+			delete(r.stashedProposals, fv)
+		}
 		r.m.stashDrops.Inc()
 	}
-	r.stashedProposals[v] = m
+	set := r.stashedProposals[v]
+	if set == nil {
+		set = make(map[types.Height]*MsgProposal, 1)
+		r.stashedProposals[v] = set
+	}
+	set[h] = m
 }
 
 func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
@@ -556,30 +748,33 @@ func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
 		return
 	}
 	sc := m.SC
-	if sc == nil || sc.Signer != from || sc.View != r.view || !r.isLeader(r.view) || r.decided {
+	if sc == nil || sc.Signer != from || sc.View != r.view || !r.isLeader(r.view) {
 		return
 	}
-	if r.voteHash.IsZero() || sc.Hash != r.voteHash || r.votes[sc.Signer] != nil {
+	// The vote names its round by block hash; no open round means the
+	// vote is stale (its block committed or the window drained).
+	rd := r.rounds[sc.Hash]
+	if rd == nil || rd.decided || sc.Height != rd.height || rd.votes[sc.Signer] != nil {
 		return
 	}
 	// Our own store certificate needs no re-verification; peers' do.
 	if sc.Signer != r.cfg.Self &&
-		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View), sc.Sig) {
+		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View, sc.Height), sc.Sig) {
 		return
 	}
-	r.votes[sc.Signer] = sc
-	if len(r.votes) < r.quorum() {
+	rd.votes[sc.Signer] = sc
+	if len(rd.votes) < r.quorum() {
 		return
 	}
-	r.decided = true
+	rd.decided = true
 	r.finishQuorumTrace()
-	signers := make([]types.NodeID, 0, len(r.votes))
-	sigs := make([]types.Signature, 0, len(r.votes))
-	for id, v := range r.votes {
+	signers := make([]types.NodeID, 0, len(rd.votes))
+	sigs := make([]types.Signature, 0, len(rd.votes))
+	for id, v := range rd.votes {
 		signers = append(signers, id)
 		sigs = append(sigs, v.Sig)
 	}
-	cc := &types.CommitCert{Hash: sc.Hash, View: sc.View, Signers: signers, Sigs: sigs}
+	cc := &types.CommitCert{Hash: sc.Hash, View: sc.View, Height: sc.Height, Signers: signers, Sigs: sigs}
 	r.env.Broadcast(&MsgDecide{CC: cc})
 	r.handleCC(cc, r.cfg.Self)
 }
@@ -623,13 +818,21 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 	if r.prebBC != nil && r.prebBC.Hash != cc.Hash {
 		r.prebBC = nil
 	}
-	if r.lastCC == nil || cc.View > r.lastCC.View {
+	// lastCC tracks the certified chain tip, lexicographic on (view,
+	// height): a pipelined view certifies several heights, and keeping
+	// only the first would anchor the next view's fast path on a stale
+	// parent.
+	if r.lastCC == nil || cc.View > r.lastCC.View ||
+		(cc.View == r.lastCC.View && cc.Height > r.lastCC.Height) {
 		r.lastCC = cc
 	}
 	now := r.env.Now()
 	tctx := r.traceCtx()
 	for _, nb := range newly {
 		nb, cc := nb, cc
+		// The committed block's round (if we led it) leaves the window;
+		// a chained commit retires every ancestor's round with it.
+		delete(r.rounds, nb.Hash())
 		// Post-commit observer work (execute stage) and client replies
 		// (egress stage) leave the consensus goroutine here. Under the
 		// Sync scheduler both run inline, reproducing the historical
@@ -637,8 +840,15 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 		// so a slow commit observer or client socket never stalls the
 		// next consensus step. MarkCommitted stays inline: the mempool's
 		// dedup maps belong to the consensus goroutine.
-		r.sched.Execute(r.spanWrap(tctx, obs.StageExecute, cc.View, nb.Height,
-			func() { r.env.Commit(nb, cc) }))
+		execTask := r.spanWrap(tctx, obs.StageExecute, cc.View, nb.Height,
+			func() { r.env.Commit(nb, cc) })
+		if hs, ok := r.sched.(sched.HeightSequencer); ok {
+			// Height-tagged: the scheduler checks the pipelined commits
+			// reach its execute lane in increasing height order.
+			hs.ExecuteAt(nb.Height, execTask)
+		} else {
+			r.sched.Execute(execTask)
+		}
 		r.pool.MarkCommitted(nb.Txs)
 		r.sched.Egress(r.spanWrap(tctx, obs.StageEgress, cc.View, nb.Height,
 			func() { r.replyClients(nb, cc) }))
@@ -665,11 +875,34 @@ func (r *Replica) handleCC(cc *types.CommitCert, from types.NodeID) {
 	// committed height reaches its activation height — before the view
 	// advance below, so the next view is entered under the new epoch's
 	// leader rotation and quorum rules.
-	r.scanReconfigs(newly)
+	epochBefore := r.member.Epoch
+	r.scanReconfigs(newly, cc)
 	r.maybeActivateEpoch(r.store.CommittedHeight())
 	if cc.View >= r.view {
 		r.pm.Progress()
-		r.enterNextView()
+		if r.pipelined() && cc.View == r.view && r.member.Epoch == epochBefore &&
+			len(r.recoveryPending) == 0 {
+			// Stable-view pipelining: a commit is progress, not a view
+			// transition. Keep the leader, push the view-timer deadline,
+			// and slide the window (the leader refills through
+			// tryPropose). The view still advances on timeout, on epoch
+			// activation (the new epoch re-anchors leader rotation and
+			// quorum under a drained window), and when the certificate
+			// proves the cluster is ahead of us. While a peer's recovery
+			// request is pending, commits take the enterNextView branch
+			// instead: a recovering node can only rejoin once it holds a
+			// reply from a node that leads its own attested view
+			// (Algorithm 3), and under a permanently stable view — whose
+			// leader may be the very node whose replies it cannot use —
+			// that reply might never exist. Rotating per commit at the
+			// depth-1 cadence until the victim is back guarantees honest
+			// leaders cycle through, and every view advance re-sends our
+			// reply (refreshRecoveryReplies).
+			r.armViewTimer()
+			r.tryPropose()
+		} else {
+			r.enterNextView()
+		}
 	}
 	// Periodically drop old block bodies past the retention horizon
 	// (certificate verification never needs them again).
@@ -806,9 +1039,6 @@ func (r *Replica) resumeStashed(from types.NodeID) {
 			}
 		}
 	}
-	if m, ok := r.stashedProposals[r.view]; ok {
-		delete(r.stashedProposals, r.view)
-		r.onProposal(m.BC.Signer, m)
-	}
+	r.replayStashedProposals()
 	r.tryPropose()
 }

@@ -24,7 +24,7 @@ func (r *Replica) verifyViewCert(vc *types.ViewCert) bool {
 	if vc.Signer == r.cfg.Self {
 		return true
 	}
-	if r.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.CurView), vc.Sig) {
+	if r.svc.Verify(vc.Signer, types.ViewCertPayload(vc.PrepHash, vc.PrepView, vc.PrepHeight, vc.CurView), vc.Sig) {
 		return true
 	}
 	r.m.badViewCerts.Inc()
@@ -112,7 +112,7 @@ func (v *Verifier) PreVerify(from types.NodeID, msg types.Message) {
 		// thing) and check the leader's block certificate, which
 		// TEEprepare/TEEstore will re-verify through the cache.
 		m.Block.Hash()
-		v.svc.Verify(m.BC.Signer, types.BlockCertPayload(m.BC.Hash, m.BC.View), m.BC.Sig)
+		v.svc.Verify(m.BC.Signer, types.BlockCertPayload(m.BC.Hash, m.BC.View, m.BC.Height), m.BC.Sig)
 	case *MsgVote:
 		// Deliberately not pre-verified. The leader stops checking
 		// votes at quorum (onVote drops late votes before the
@@ -144,13 +144,13 @@ func (v *Verifier) PreVerify(from types.NodeID, msg types.Message) {
 		}
 		rpy := m.Rpy
 		v.svc.Verify(rpy.Signer,
-			types.RecoveryRpyPayload(rpy.PrepHash, rpy.PrepView, rpy.CurView, rpy.Target, rpy.Nonce),
+			types.RecoveryRpyPayload(rpy.PrepHash, rpy.PrepView, rpy.PrepHeight, rpy.CurView, rpy.Target, rpy.Nonce),
 			rpy.Sig)
 		if m.Block != nil {
 			m.Block.Hash()
 		}
 		if m.BC != nil {
-			v.svc.Verify(m.BC.Signer, types.BlockCertPayload(m.BC.Hash, m.BC.View), m.BC.Sig)
+			v.svc.Verify(m.BC.Signer, types.BlockCertPayload(m.BC.Hash, m.BC.View, m.BC.Height), m.BC.Sig)
 		}
 		if m.CC != nil {
 			v.preVerifyCC(m.CC)
@@ -216,5 +216,5 @@ func (v *Verifier) sendRetries(res mempool.AdmitResult) {
 // the whole-certificate digest so the enclave's TEEstoreCommit check
 // becomes a single cache probe.
 func (v *Verifier) preVerifyCC(cc *types.CommitCert) {
-	v.svc.VerifyQuorumBatch(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs, v.runBatch)
+	v.svc.VerifyQuorumBatch(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View, cc.Height), cc.Sigs, v.runBatch)
 }

@@ -1,0 +1,52 @@
+package core
+
+import "achilles/internal/types"
+
+// Fast-wire codec hooks for the Achilles hot frames. Proposal, vote
+// and decide dominate live traffic — one of each per (node, height) —
+// so they ride the pooled binary codec instead of gob; everything
+// else (view change, recovery, snapshots) stays on the reflective
+// path. Tags are part of the wire format: never reuse or renumber.
+const (
+	wireTagProposal byte = 0x01
+	wireTagVote     byte = 0x02
+	wireTagDecide   byte = 0x03
+)
+
+// WireTag implements types.FastWireMessage.
+func (*MsgProposal) WireTag() byte { return wireTagProposal }
+
+// AppendWire implements types.FastWireMessage.
+func (m *MsgProposal) AppendWire(b []byte) []byte {
+	b = types.AppendWireBlock(b, m.Block)
+	return types.AppendWireBlockCert(b, m.BC)
+}
+
+// WireTag implements types.FastWireMessage.
+func (*MsgVote) WireTag() byte { return wireTagVote }
+
+// AppendWire implements types.FastWireMessage.
+func (m *MsgVote) AppendWire(b []byte) []byte {
+	return types.AppendWireStoreCert(b, m.SC)
+}
+
+// WireTag implements types.FastWireMessage.
+func (*MsgDecide) WireTag() byte { return wireTagDecide }
+
+// AppendWire implements types.FastWireMessage.
+func (m *MsgDecide) AppendWire(b []byte) []byte {
+	return types.AppendWireCommitCert(b, m.CC)
+}
+
+func init() {
+	types.RegisterFastWire(wireTagProposal, func(r *types.WireReader) (types.Message, error) {
+		m := &MsgProposal{Block: types.ReadWireBlock(r), BC: types.ReadWireBlockCert(r)}
+		return m, nil
+	})
+	types.RegisterFastWire(wireTagVote, func(r *types.WireReader) (types.Message, error) {
+		return &MsgVote{SC: types.ReadWireStoreCert(r)}, nil
+	})
+	types.RegisterFastWire(wireTagDecide, func(r *types.WireReader) (types.Message, error) {
+		return &MsgDecide{CC: types.ReadWireCommitCert(r)}, nil
+	})
+}

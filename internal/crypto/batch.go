@@ -1,0 +1,224 @@
+package crypto
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/asn1"
+	"math/big"
+
+	"achilles/internal/types"
+)
+
+// BatchVerifier is implemented by schemes that can check a whole
+// quorum's signatures over one shared payload in a single pass,
+// faster than verifying them one by one. The check is probabilistic
+// in the standard sense (random multipliers), so a true return is
+// sound with overwhelming probability; a false return means "the
+// batch did not verify as a whole" and the caller must fall back to
+// per-signature verification to find the culprit — or to accept a
+// quorum the batch equation could not express (see VerifyBatch).
+type BatchVerifier interface {
+	VerifyBatch(pubs []PublicKey, msg []byte, sigs []types.Signature) bool
+}
+
+// maxBatchSigs bounds the signatures one batch equation covers. The
+// y-parity of each recovered commitment point is unknown (only its x
+// coordinate rides in the signature), so acceptance searches the
+// 2^k sign assignments with one point addition each; quorums are
+// f+1 ≤ 12 in every deployment this repo models, keeping the search
+// under 4096 additions — still far below k full scalar
+// multiplications.
+const maxBatchSigs = 12
+
+// ecdsaASN1Sig mirrors the DER layout of an ECDSA signature,
+// SEQUENCE { INTEGER r, INTEGER s }.
+type ecdsaASN1Sig struct {
+	R, S *big.Int
+}
+
+// VerifyBatch implements BatchVerifier for ECDSA P-256 with the
+// classic batch equation. For signature i = (r_i, s_i) over the
+// shared digest e with public key Q_i, define w_i = s_i^{-1},
+// u_i = e·w_i and v_i = r_i·w_i; the signature is valid iff the
+// commitment point R_i = u_i·G + v_i·Q_i has x(R_i) ≡ r_i (mod n).
+// Recovering each R_i from r_i (modular square root; p ≡ 3 mod 4 so
+// a single exponentiation) collapses the k independent checks into
+// one equation under random multipliers a_i:
+//
+//	Σ a_i·R_i == (Σ a_i·u_i)·G + Σ (a_i·v_i)·Q_i
+//
+// A forged member cannot satisfy it except with probability ~2^-128
+// over the choice of a_i. Two sources of false negatives are
+// accepted and left to the caller's per-signature fallback: the
+// recovered R_i has an ambiguous y parity (handled by a bounded sign
+// search below, so only pathological batches miss), and the rare
+// r_i whose true x coordinate was reduced mod n (x ∈ [n, p)), which
+// recovery cannot reconstruct.
+func (ECDSAScheme) VerifyBatch(pubs []PublicKey, msg []byte, sigs []types.Signature) bool {
+	k := len(pubs)
+	if k == 0 || k > maxBatchSigs || k != len(sigs) {
+		return false
+	}
+	curve := elliptic.P256()
+	params := curve.Params()
+	n, p := params.N, params.P
+	digest := sha256.Sum256(msg)
+	e := new(big.Int).SetBytes(digest[:])
+
+	// Accumulators: uSum = Σ a_i·u_i (scalar), qx/qy = Σ (a_i·v_i)·Q_i,
+	// and the per-signature points P_i = a_i·R_i for the sign search.
+	uSum := new(big.Int)
+	var qx, qy *big.Int
+	px := make([]*big.Int, k)
+	py := make([]*big.Int, k)
+	for i := 0; i < k; i++ {
+		pub, ok := pubs[i].(ecdsaPub)
+		if !ok || pub.key == nil || pub.key.X == nil {
+			return false
+		}
+		var sig ecdsaASN1Sig
+		rest, err := asn1.Unmarshal(sigs[i], &sig)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		r, s := sig.R, sig.S
+		if r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(n) >= 0 || s.Cmp(n) >= 0 {
+			return false
+		}
+		w := new(big.Int).ModInverse(s, n)
+		if w == nil {
+			return false
+		}
+		u := new(big.Int).Mul(e, w)
+		u.Mod(u, n)
+		v := new(big.Int).Mul(r, w)
+		v.Mod(v, n)
+		a := batchMultiplier(i)
+		if a == nil {
+			return false
+		}
+		// Recover R_i from its x coordinate r_i. Which square root is
+		// the real y is unknowable from the signature; pick one and let
+		// the sign search absorb the ambiguity.
+		ry := sqrtModP(curveRHS(params, r), p)
+		if ry == nil {
+			return false
+		}
+		px[i], py[i] = curve.ScalarMult(r, ry, a.Bytes())
+
+		au := new(big.Int).Mul(a, u)
+		uSum.Add(uSum, au.Mod(au, n))
+		av := new(big.Int).Mul(a, v)
+		av.Mod(av, n)
+		tx, ty := curve.ScalarMult(pub.key.X, pub.key.Y, av.Bytes())
+		qx, qy = addAffine(curve, qx, qy, tx, ty)
+	}
+	uSum.Mod(uSum, n)
+	tx, ty := curve.ScalarBaseMult(uSum.Bytes())
+	tx, ty = addAffine(curve, tx, ty, qx, qy)
+
+	// Sign search: find ε_i ∈ {±1} with Σ ε_i·P_i == T. Gray-code
+	// enumeration flips one sign per step, costing one addition of the
+	// precomputed ±2·P_j.
+	sx, sy := new(big.Int), new(big.Int)
+	for i := 0; i < k; i++ {
+		sx, sy = addAffine(curve, sx, sy, px[i], py[i])
+	}
+	if pointEq(sx, sy, tx, ty) {
+		return true
+	}
+	dblx := make([]*big.Int, k)
+	dbly := make([]*big.Int, k)
+	sign := make([]int, k)
+	for i := 0; i < k; i++ {
+		dblx[i], dbly[i] = curve.Double(px[i], py[i])
+		sign[i] = 1
+	}
+	for g := uint(1); g < 1<<uint(k); g++ {
+		j := trailingZeros(g)
+		// Flipping ε_j adds -2·ε_j·P_j to the running sum.
+		fx, fy := dblx[j], new(big.Int).Set(dbly[j])
+		if sign[j] == 1 && fy.Sign() != 0 {
+			fy.Sub(p, fy)
+		}
+		sign[j] = -sign[j]
+		sx, sy = addAffine(curve, sx, sy, fx, fy)
+		if pointEq(sx, sy, tx, ty) {
+			return true
+		}
+	}
+	return false
+}
+
+// batchMultiplier returns the random 128-bit multiplier for batch
+// slot i. Slot 0 uses 1 (the standard optimization: a forger cannot
+// target a fixed slot because the other multipliers are unknown).
+func batchMultiplier(i int) *big.Int {
+	if i == 0 {
+		return big.NewInt(1)
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return nil
+	}
+	buf[0] |= 0x80 // force full width, never zero
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// curveRHS evaluates x³ - 3x + b mod p, the right-hand side of the
+// short-Weierstrass equation for the NIST curves.
+func curveRHS(params *elliptic.CurveParams, x *big.Int) *big.Int {
+	rhs := new(big.Int).Mul(x, x)
+	rhs.Mul(rhs, x)
+	three := new(big.Int).Lsh(x, 1)
+	three.Add(three, x)
+	rhs.Sub(rhs, three)
+	rhs.Add(rhs, params.B)
+	return rhs.Mod(rhs, params.P)
+}
+
+// sqrtModP returns a square root of a mod p, or nil when a is a
+// non-residue. P-256's p ≡ 3 (mod 4), so the root is a^((p+1)/4).
+func sqrtModP(a, p *big.Int) *big.Int {
+	exp := new(big.Int).Add(p, big.NewInt(1))
+	exp.Rsh(exp, 2)
+	y := new(big.Int).Exp(a, exp, p)
+	chk := new(big.Int).Mul(y, y)
+	if chk.Mod(chk, p).Cmp(a) != 0 {
+		return nil
+	}
+	return y
+}
+
+// addAffine adds two affine points, treating nil or (0,0) as the
+// identity (the legacy elliptic API's point-at-infinity convention).
+func addAffine(curve elliptic.Curve, x1, y1, x2, y2 *big.Int) (*big.Int, *big.Int) {
+	if x1 == nil || (x1.Sign() == 0 && y1.Sign() == 0) {
+		return x2, y2
+	}
+	if x2 == nil || (x2.Sign() == 0 && y2.Sign() == 0) {
+		return x1, y1
+	}
+	return curve.Add(x1, y1, x2, y2)
+}
+
+// pointEq compares affine points, nil and (0,0) both meaning
+// infinity.
+func pointEq(x1, y1, x2, y2 *big.Int) bool {
+	inf1 := x1 == nil || (x1.Sign() == 0 && y1.Sign() == 0)
+	inf2 := x2 == nil || (x2.Sign() == 0 && y2.Sign() == 0)
+	if inf1 || inf2 {
+		return inf1 == inf2
+	}
+	return x1.Cmp(x2) == 0 && y1.Cmp(y2) == 0
+}
+
+func trailingZeros(v uint) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -246,6 +246,39 @@ func (s *Service) VerifyQuorumBatch(signers []types.NodeID, msg []byte, sigs []t
 		}
 		seen[id] = true
 	}
+	// True batch verification: with a cache attached (the live path —
+	// the simulator keeps cache nil, so its metered charge sequence is
+	// untouched) and a scheme that supports it, check the whole quorum
+	// in one batched equation. On success the cache is warmed for every
+	// member signature, not just the whole-quorum digest: the inline
+	// paths that later re-check an individual member (vote handling,
+	// the checker) must hit instead of paying a second full
+	// verification — the double-charge the per-member marks close. A
+	// failed batch falls through to the per-signature path below, which
+	// identifies the culprit (or accepts a quorum whose commitment
+	// points the batch equation could not reconstruct).
+	if s.cache != nil && len(signers) > 1 {
+		if bv, canBatch := s.scheme.(BatchVerifier); canBatch {
+			ring := s.ring.Load()
+			pubs := make([]PublicKey, len(signers))
+			known := true
+			for i, id := range signers {
+				if pubs[i] = ring.Get(id); pubs[i] == nil {
+					known = false
+					break
+				}
+			}
+			if known && bv.VerifyBatch(pubs, msg, sigs) {
+				// One charge for the single batched pass.
+				s.meter.Charge(s.costs.Verify)
+				for i, id := range signers {
+					s.cache.Mark(CacheKey(id, msg, sigs[i]))
+				}
+				s.cache.Mark(qkey)
+				return true
+			}
+		}
+	}
 	ok := true
 	if run != nil && len(signers) > 1 {
 		results := make([]bool, len(signers))

@@ -98,7 +98,7 @@ func (c *Checker) TEEnewview() (*types.ViewCert, error) {
 	c.vi++
 	c.flag = false
 	c.protect()
-	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, c.vi))
+	sig := c.svc.Sign(types.ViewCertPayload(c.prph, c.prpv, 0, c.vi))
 	return &types.ViewCert{PrepHash: c.prph, PrepView: c.prpv, CurView: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
 }
 
@@ -116,7 +116,7 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert) (
 	if len(acc.IDs) < c.quorum || !crypto.DistinctIDs(acc.IDs) {
 		return nil, ErrBadCertificate
 	}
-	if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, acc.CurView, acc.IDs), acc.Sig) {
+	if !c.svc.Verify(acc.Signer, types.AccCertPayload(acc.Hash, acc.View, 0, acc.CurView, acc.IDs), acc.Sig) {
 		return nil, ErrBadCertificate
 	}
 	if b.Parent != acc.Hash || acc.CurView != c.vi {
@@ -124,7 +124,7 @@ func (c *Checker) TEEprepare(b *types.Block, h types.Hash, acc *types.AccCert) (
 	}
 	c.flag = true
 	c.protect()
-	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi))
+	sig := c.svc.Sign(types.BlockCertPayload(h, c.vi, 0))
 	return &types.BlockCert{Hash: h, View: c.vi, Signer: c.svc.Self(), Sig: sig}, nil
 }
 
@@ -135,7 +135,7 @@ func (c *Checker) TEEvotePrepare(bc *types.BlockCert) (*types.StoreCert, error) 
 	if bc.Signer != c.leaderOf(bc.View) {
 		return nil, ErrBadCertificate
 	}
-	if !c.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+	if !c.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View, 0), bc.Sig) {
 		return nil, ErrBadCertificate
 	}
 	if bc.View < c.vi {
@@ -169,7 +169,7 @@ func (c *Checker) TEEstorePrepared(pc *types.CommitCert) (*types.StoreCert, erro
 		c.flag = false
 	}
 	c.protect()
-	sig := c.svc.Sign(types.StoreCertPayload(pc.Hash, pc.View))
+	sig := c.svc.Sign(types.StoreCertPayload(pc.Hash, pc.View, 0))
 	return &types.StoreCert{Hash: pc.Hash, View: pc.View, Signer: c.svc.Self(), Sig: sig}, nil
 }
 
@@ -180,7 +180,7 @@ func (c *Checker) TEEcatchup(cc *types.CommitCert) error {
 	if len(cc.Signers) < c.quorum {
 		return ErrBadCertificate
 	}
-	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View), cc.Sigs) {
+	if !c.svc.VerifyQuorum(cc.Signers, types.StoreCertPayload(cc.Hash, cc.View, 0), cc.Sigs) {
 		return ErrBadCertificate
 	}
 	if cc.View >= c.prpv {

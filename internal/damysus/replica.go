@@ -362,7 +362,7 @@ func (r *Replica) onCommitVote(from types.NodeID, m *MsgCommitVote) {
 		return
 	}
 	if sc.Signer != r.cfg.Self &&
-		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View), sc.Sig) {
+		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View, 0), sc.Sig) {
 		return
 	}
 	r.commitVotes[sc.Signer] = sc

@@ -60,7 +60,7 @@ func (s *Sequencer) TEEorder(b *types.Block, h types.Hash, seq uint64) (*types.B
 		s.enc.Seal("flexibft-seq", state[:])
 		s.ctr.Increment()
 	}
-	sig := s.svc.Sign(types.BlockCertPayload(h, types.View(seq)))
+	sig := s.svc.Sign(types.BlockCertPayload(h, types.View(seq), 0))
 	return &types.BlockCert{Hash: h, View: types.View(seq), Signer: s.svc.Self(), Sig: sig}, nil
 }
 
@@ -109,7 +109,7 @@ func (m *MsgEpochChange) Size() int { return 8 + 32 + 8 + 4 + types.SigSize }
 
 // epochChangePayload is the signed content of an epoch change.
 func epochChangePayload(e types.View, h types.Hash, height types.Height) []byte {
-	return types.ViewCertPayload(h, types.View(height), e)
+	return types.ViewCertPayload(h, types.View(height), 0, e)
 }
 
 // --- replica -------------------------------------------------------------
@@ -331,7 +331,7 @@ func (r *Replica) tryPropose() {
 func (r *Replica) voteFor(b *types.Block, bc *types.BlockCert) {
 	sc := &types.StoreCert{
 		Hash: b.Hash(), View: bc.View, Signer: r.cfg.Self,
-		Sig: r.svc.Sign(types.StoreCertPayload(b.Hash(), bc.View)),
+		Sig: r.svc.Sign(types.StoreCertPayload(b.Hash(), bc.View, 0)),
 	}
 	m := &MsgVote{SC: sc, Epoch: r.epoch}
 	r.env.Broadcast(m)
@@ -346,7 +346,7 @@ func (r *Replica) onProposal(from types.NodeID, m *MsgProposal) {
 	if m.Epoch != r.epoch || b.Proposer != r.leaderOf(m.Epoch) || bc.Signer != b.Proposer {
 		return
 	}
-	if from != r.cfg.Self && !r.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View), bc.Sig) {
+	if from != r.cfg.Self && !r.svc.Verify(bc.Signer, types.BlockCertPayload(bc.Hash, bc.View, 0), bc.Sig) {
 		return
 	}
 	if uint64(bc.View) != uint64(b.Height) {
@@ -383,7 +383,7 @@ func (r *Replica) onVote(from types.NodeID, m *MsgVote) {
 		return
 	}
 	if from != r.cfg.Self &&
-		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View), sc.Sig) {
+		!r.svc.Verify(sc.Signer, types.StoreCertPayload(sc.Hash, sc.View, 0), sc.Sig) {
 		return
 	}
 	set := r.votes[sc.Hash]

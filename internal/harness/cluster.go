@@ -101,6 +101,10 @@ type ClusterConfig struct {
 	// Synthetic saturates every block with generated transactions; set
 	// false when driving the cluster with real clients (Fig. 4).
 	Synthetic bool
+	// PipelineDepth is how many chained heights the Achilles leaders
+	// keep in flight at once (core.Config.PipelineDepth). 0 or 1 is the
+	// historical lock-step hot path the golden tests pin.
+	PipelineDepth int
 	// Admission enables mempool admission control on the Achilles
 	// replicas (depth bound, per-client rate limits, RETRY-AFTER
 	// backpressure). The zero value disables it — the historical
@@ -274,6 +278,7 @@ func (c *Cluster) buildReplica(id types.NodeID, recovering bool) protocol.Replic
 			Recovering:          recovering,
 			ExecCostPerTx:       cfg.Costs.ExecPerTx,
 			SyntheticWorkload:   cfg.Synthetic,
+			PipelineDepth:       cfg.PipelineDepth,
 			DisableFastPath:     cfg.AblateFastPath,
 			DisableReReply:      cfg.AblateReReply,
 			RetainHeights:       cfg.RetainHeights,

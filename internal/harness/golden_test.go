@@ -60,16 +60,24 @@ func goldenFingerprint(t *testing.T, c *Cluster, until time.Duration) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// goldenDepths are the pipeline depths the golden hashes must be
+// byte-identical across: 0 (the default) and an explicit 1 must both
+// run the historical lock-step hot path. Any divergence means the
+// pipelining refactor leaked into the depth-1 sequence.
+var goldenDepths = []int{0, 1}
+
 // TestGoldenLedgerHashSteady pins a fault-free saturated run.
 func TestGoldenLedgerHashSteady(t *testing.T) {
 	const want = "0671e2d59b5a55c811e9bc31c2c0194acf68673c0a36713c8ef0c90791ea9079"
-	c := NewCluster(ClusterConfig{
-		Protocol: Achilles, F: 2, BatchSize: 50, PayloadSize: 32,
-		Seed: 41, Synthetic: true,
-	})
-	got := goldenFingerprint(t, c, 1500*time.Millisecond)
-	if got != want {
-		t.Fatalf("steady-state golden fingerprint moved:\n got %s\nwant %s\nthe refactor changed simulated behavior (see file comment)", got, want)
+	for _, depth := range goldenDepths {
+		c := NewCluster(ClusterConfig{
+			Protocol: Achilles, F: 2, BatchSize: 50, PayloadSize: 32,
+			Seed: 41, Synthetic: true, PipelineDepth: depth,
+		})
+		got := goldenFingerprint(t, c, 1500*time.Millisecond)
+		if got != want {
+			t.Fatalf("steady-state golden fingerprint moved (pipeline depth %d):\n got %s\nwant %s\nthe refactor changed simulated behavior (see file comment)", depth, got, want)
+		}
 	}
 }
 
@@ -78,15 +86,17 @@ func TestGoldenLedgerHashSteady(t *testing.T) {
 // verification traffic and the most rng-sensitive send ordering.
 func TestGoldenLedgerHashRecovery(t *testing.T) {
 	const want = "fc7614ff3bc669cdfbeafa5f20687f61e11fca2bbcdb123c00ec7a654d7ff553"
-	c := NewCluster(ClusterConfig{
-		Protocol: Achilles, F: 2, BatchSize: 50, PayloadSize: 32,
-		Seed: 43, Synthetic: true,
-	})
-	st := c.SealedStore(2)
-	c.Engine.At(399*time.Millisecond, func() { st.Wipe("rollback") })
-	c.CrashReboot(2, 400*time.Millisecond, 550*time.Millisecond)
-	got := goldenFingerprint(t, c, 2500*time.Millisecond)
-	if got != want {
-		t.Fatalf("recovery golden fingerprint moved:\n got %s\nwant %s\nthe refactor changed simulated behavior (see file comment)", got, want)
+	for _, depth := range goldenDepths {
+		c := NewCluster(ClusterConfig{
+			Protocol: Achilles, F: 2, BatchSize: 50, PayloadSize: 32,
+			Seed: 43, Synthetic: true, PipelineDepth: depth,
+		})
+		st := c.SealedStore(2)
+		c.Engine.At(399*time.Millisecond, func() { st.Wipe("rollback") })
+		c.CrashReboot(2, 400*time.Millisecond, 550*time.Millisecond)
+		got := goldenFingerprint(t, c, 2500*time.Millisecond)
+		if got != want {
+			t.Fatalf("recovery golden fingerprint moved (pipeline depth %d):\n got %s\nwant %s\nthe refactor changed simulated behavior (see file comment)", depth, got, want)
+		}
 	}
 }

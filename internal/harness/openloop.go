@@ -142,7 +142,7 @@ func OpenLoopLive(cfg OpenLoopConfig, d Durations) []OpenLoopRow {
 		if cfg.WAN {
 			probeChaos = netchaos.New(netchaos.Config{Seed: olSeed, Latency: wanOneWay})
 		}
-		probe, _ := runSchedConfig("pooled", cfg.Nodes, cfg.BasePort, d, probeChaos, 0)
+		probe, _ := runSchedConfig("pooled", 1, cfg.Nodes, cfg.BasePort, d, probeChaos, 0)
 		sat = probe.TPSk * 1000
 	}
 	if sat <= 0 {

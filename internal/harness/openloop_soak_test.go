@@ -71,7 +71,7 @@ func TestLiveOverloadSoak(t *testing.T) {
 	// soak, floored so the offered rate stays a genuine overload even
 	// on slow CI.
 	probeChaos := netchaos.New(netchaos.Config{Seed: olSeed, Latency: 20 * time.Millisecond})
-	probe, _ := runSchedConfig("pooled", 3, basePort, QuickDurations(), probeChaos, 0)
+	probe, _ := runSchedConfig("pooled", 1, 3, basePort, QuickDurations(), probeChaos, 0)
 	sat := probe.TPSk * 1000
 	if sat < 1000 {
 		sat = 1000

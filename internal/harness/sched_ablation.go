@@ -22,6 +22,7 @@ import (
 // throughput on a live loopback TCP cluster.
 type SchedAblationRow struct {
 	Sched      string  `json:"sched"`
+	Depth      int     `json:"pipeline_depth"`
 	Nodes      int     `json:"nodes"`
 	Batch      int     `json:"batch"`
 	Payload    int     `json:"payload"`
@@ -47,36 +48,50 @@ func registerLiveMessages() {
 	})
 }
 
+// AblationDepths are the chained-pipelining windows the scheduler
+// ablation sweeps: depth 1 is the classic lock-step protocol, deeper
+// windows keep that many heights in flight.
+var AblationDepths = []int{1, 2, 4, 8}
+
 // SchedAblation measures the live hot path end to end under the two
 // schedulers achilles-node ships: Sync (inline single-threaded stages,
 // no verified-cert cache — the historical behavior) and Pooled
-// (ingress verify pool + cert cache + async execute/egress). Unlike
+// (ingress verify pool + cert cache + async execute/egress), each
+// crossed with the chained-pipelining depths in AblationDepths. Unlike
 // every other experiment in this package it does NOT run on the
 // simulator: it boots a real n-node TCP loopback cluster per
 // configuration with real ECDSA signatures and synthetic load, warms
 // it up, and counts commits on one node over the measurement window.
-// basePort spaces the two clusters apart so lingering TIME_WAIT
-// sockets from the first run cannot collide with the second.
+// basePort spaces the clusters apart so lingering TIME_WAIT sockets
+// from one run cannot collide with the next.
 func SchedAblation(n, basePort int, d Durations) []SchedAblationRow {
 	registerLiveMessages()
-	rows := make([]SchedAblationRow, 0, 2)
-	for i, name := range []string{"sync", "pooled"} {
-		row, _ := runSchedConfig(name, n, basePort+100*i, d, nil, 0)
-		rows = append(rows, row)
+	rows := make([]SchedAblationRow, 0, 2*len(AblationDepths))
+	i := 0
+	for _, name := range []string{"sync", "pooled"} {
+		for _, depth := range AblationDepths {
+			row, _ := runSchedConfig(name, depth, n, basePort+100*i, d, nil, 0)
+			rows = append(rows, row)
+			i++
+		}
 	}
 	return rows
 }
 
 // runSchedConfig boots one live loopback cluster under the named
-// scheduler and measures its saturated synthetic throughput. A non-nil
-// chaos wraps every link, so the measurement reflects the same network
-// profile as whatever the caller compares it against. spanEvery > 0
-// additionally wires a per-node span tracer at that sampling rate
-// (1 = every trace) and returns the tracers alongside the row, so the
-// trace-breakdown bench can harvest stage attribution after the run;
-// 0 leaves tracing disabled, which is the throughput baseline.
-func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netchaos.Chaos, spanEvery int) (SchedAblationRow, []*obs.SpanTracer) {
+// scheduler at the given chained-pipelining depth and measures its
+// saturated synthetic throughput. A non-nil chaos wraps every link, so
+// the measurement reflects the same network profile as whatever the
+// caller compares it against. spanEvery > 0 additionally wires a
+// per-node span tracer at that sampling rate (1 = every trace) and
+// returns the tracers alongside the row, so the trace-breakdown bench
+// can harvest stage attribution after the run; 0 leaves tracing
+// disabled, which is the throughput baseline.
+func runSchedConfig(schedName string, depth, n, basePort int, d Durations, chaos *netchaos.Chaos, spanEvery int) (SchedAblationRow, []*obs.SpanTracer) {
 	registerLiveMessages()
+	if depth < 1 {
+		depth = 1
+	}
 	const (
 		batch   = 64
 		payload = 64
@@ -144,6 +159,7 @@ func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netch
 			CertCache:         cache,
 			Pool:              txpool,
 			Spans:             spans,
+			PipelineDepth:     depth,
 		})
 		tcfg := transport.Config{
 			Self:   id,
@@ -197,6 +213,7 @@ func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netch
 	}
 	return SchedAblationRow{
 		Sched:      schedName,
+		Depth:      depth,
 		Nodes:      n,
 		Batch:      batch,
 		Payload:    payload,
@@ -214,7 +231,7 @@ func runSchedConfig(schedName string, n, basePort int, d Durations, chaos *netch
 func PrintSchedRows(w io.Writer, title string, rows []SchedAblationRow) {
 	fmt.Fprintf(w, "== %s ==\n", title)
 	for _, r := range rows {
-		fmt.Fprintf(w, "sched=%-7s n=%-3d batch=%-4d payload=%-4d window=%6.0fms blocks=%-5d tps=%7.2fK blocks/s=%6.1f cache-hits=%d\n",
-			r.Sched, r.Nodes, r.Batch, r.Payload, r.WindowMS, r.Blocks, r.TPSk, r.BlocksPerS, r.CacheHits)
+		fmt.Fprintf(w, "sched=%-7s depth=%-2d n=%-3d batch=%-4d payload=%-4d window=%6.0fms blocks=%-5d tps=%7.2fK blocks/s=%6.1f cache-hits=%d\n",
+			r.Sched, r.Depth, r.Nodes, r.Batch, r.Payload, r.WindowMS, r.Blocks, r.TPSk, r.BlocksPerS, r.CacheHits)
 	}
 }

@@ -81,3 +81,72 @@ func TestAchillesPrunedClusterStaysLive(t *testing.T) {
 	}
 	t.Logf("pruned cluster: %v", res)
 }
+
+// TestAchillesSnapshotLineageCrossEpoch reboots a wiped node after the
+// survivors have both pruned past it AND activated a new epoch (a ring
+// key rotation committed during the outage). The snapshot the victim
+// fetches is certified under a ring it does not hold at boot; it must
+// verify the epoch-transition proof carried in the snapshot's lineage
+// — the rotation command, its carrying block and a commit certificate
+// signed under epoch 0's ring — adopt epoch 1, and only then install
+// the snapshot and rejoin. Before lineage proofs existed this wedged
+// the victim forever on "snapshot is from epoch 1, this node is at
+// epoch 0".
+func TestAchillesSnapshotLineageCrossEpoch(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Protocol:      Achilles,
+		F:             2,
+		BatchSize:     20,
+		PayloadSize:   0,
+		Seed:          29,
+		Synthetic:     true,
+		RetainHeights: 8,
+		PruneInterval: 4,
+		PipelineDepth: 4,
+	})
+	victim := types.NodeID(4)
+	c.CrashReboot(victim, 300*time.Millisecond, 2*time.Second)
+
+	// While the victim is down, rotate a survivor's ring key through the
+	// chain: epoch 1 activates cluster-wide long before the reboot.
+	rotated := types.NodeID(1)
+	scheme := c.Config.Scheme
+	priv, pub := scheme.KeyPair(0x11ea6e, rotated)
+	key := scheme.MarshalPublic(pub)
+	payload := types.ReconfigPayload(types.ReconfigRotate, rotated, key, "")
+	rc := &types.Reconfig{
+		Op: types.ReconfigRotate, Node: rotated, Key: key, Signer: rotated,
+		Sig: scheme.Sign(c.PrivateKey(rotated), payload),
+	}
+	c.Engine.At(types.Time(600*time.Millisecond), func() {
+		rep := c.Engine.Replica(rotated).(*core.Replica)
+		rep.StageRotationKey(rep.Membership().Epoch+1, priv, key)
+		if err := rep.SubmitReconfig(rc); err != nil {
+			t.Errorf("submit rotate: %v", err)
+		}
+	})
+
+	res := c.Measure(200*time.Millisecond, 5*time.Second)
+	if len(res.SafetyViolations) != 0 {
+		t.Fatalf("safety violations: %v", res.SafetyViolations)
+	}
+	rep := c.Engine.Replica(victim).(*core.Replica)
+	if rep.Recovering() {
+		t.Fatal("victim never completed recovery")
+	}
+	if got := rep.Membership().Epoch; got != 1 {
+		t.Fatalf("victim is at epoch %d, want 1 (lineage not adopted)", got)
+	}
+	if got := rep.SnapshotsInstalled(); got == 0 {
+		t.Fatal("victim rejoined without installing a snapshot (pruning horizon not exercised)")
+	}
+	if got := c.Metrics.CommitsAt(victim); got == 0 {
+		t.Fatal("victim committed nothing after the cross-epoch snapshot install")
+	}
+	head := rep.Ledger().Head()
+	if want := c.Metrics.byHeight[head.Height]; want != head.Hash() {
+		t.Fatalf("victim head at height %d disagrees with the cluster", head.Height)
+	}
+	t.Logf("cross-epoch catch-up: %v; victim epoch=%d snapshots=%d commits=%d head=%d",
+		res, rep.Membership().Epoch, rep.SnapshotsInstalled(), c.Metrics.CommitsAt(victim), head.Height)
+}

@@ -76,6 +76,14 @@ type Snapshot struct {
 	Epoch   types.Epoch
 	Member  *types.Membership
 	Pending *types.Membership
+	// Lineage carries the epoch-transition proofs the snapshotting node
+	// retained, oldest first. A requester whose active epoch trails the
+	// snapshot's verifies them hop by hop (each hop's certificate signs
+	// under the previous epoch's ring) instead of rejecting the snapshot
+	// outright — without it, a node that slept through a reconfiguration
+	// past its peers' pruning horizon could never rejoin. Gob-additive:
+	// older snapshots decode with a nil lineage.
+	Lineage []*types.EpochTransition
 }
 
 // Encode serializes the snapshot.

@@ -3,6 +3,7 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"achilles/internal/obs"
@@ -52,13 +53,19 @@ type Pooled struct {
 	quit    chan struct{}
 	stop    sync.Once
 
-	ingressTasks *obs.Counter
-	executeTasks *obs.Counter
-	egressTasks  *obs.Counter
-	egressShed   *obs.Counter
-	verifyWait   *obs.Histogram
-	executeWait  *obs.Histogram
-	egressWait   *obs.Histogram
+	// execHeight is the highest commit height handed to the execute
+	// lane; ExecuteAt checks monotonicity against it. Written only by
+	// the consensus goroutine, read by the metrics scraper.
+	execHeight atomic.Uint64
+
+	ingressTasks    *obs.Counter
+	executeTasks    *obs.Counter
+	egressTasks     *obs.Counter
+	egressShed      *obs.Counter
+	execRegressions *obs.Counter
+	verifyWait      *obs.Histogram
+	executeWait     *obs.Histogram
+	egressWait      *obs.Histogram
 }
 
 type verifyTask struct {
@@ -119,6 +126,8 @@ func (p *Pooled) register(reg *obs.Registry) {
 		"Tasks accepted per pipeline stage.", obs.L("stage", "egress"))
 	p.egressShed = reg.Counter("achilles_sched_egress_shed_total",
 		"Egress tasks dropped because the reply queue was full.")
+	p.execRegressions = reg.Counter("achilles_sched_execute_height_regressions_total",
+		"Execute tasks submitted for a height at or below one already executed (pipeline ordering violation).")
 	p.verifyWait = reg.Histogram("achilles_sched_stage_wait_seconds",
 		"Queue wait per pipeline stage (enqueue to start of work).",
 		nil, obs.L("stage", "verify"))
@@ -227,6 +236,25 @@ func (p *Pooled) Execute(fn func()) {
 	}
 }
 
+// ExecuteAt implements HeightSequencer: the task joins the ordered
+// execute lane like Execute, and the height tag is checked against the
+// highest height already submitted. With the pipelined window several
+// heights commit back-to-back; their execute tasks must arrive in
+// strictly increasing height order (heights may skip — snapshot
+// catch-up — but never regress). A regression is counted, not
+// reordered: the serial lane still runs tasks in submission order, and
+// the counter turns a silent state-machine divergence into an alarm.
+func (p *Pooled) ExecuteAt(h types.Height, fn func()) {
+	if h != 0 {
+		if last := p.execHeight.Load(); uint64(h) <= last {
+			p.execRegressions.Inc()
+		} else {
+			p.execHeight.Store(uint64(h))
+		}
+	}
+	p.Execute(fn)
+}
+
 // Egress implements Scheduler: ordered, shedding when full. A slow or
 // dead client connection must never apply backpressure to consensus;
 // clients retransmit and pick the reply up from another replica.
@@ -262,4 +290,7 @@ func (p *Pooled) Stop() {
 	p.stop.Do(func() { close(p.quit) })
 }
 
-var _ Scheduler = (*Pooled)(nil)
+var (
+	_ Scheduler       = (*Pooled)(nil)
+	_ HeightSequencer = (*Pooled)(nil)
+)

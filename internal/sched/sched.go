@@ -83,6 +83,22 @@ type Scheduler interface {
 	Stop()
 }
 
+// HeightSequencer is implemented by schedulers that accept post-commit
+// work tagged with the chain height it belongs to. With chained
+// pipelining several heights commit in quick succession, and the
+// execute lane's correctness depends on applying them in height order;
+// a height-tagged submission lets the scheduler enforce (or at least
+// observe) that ordering instead of trusting submission order blindly.
+// Heights are monotone but not dense — snapshot catch-up jumps the
+// committed height forward — so implementations must only check
+// monotonicity, never buffer for gap-filling.
+type HeightSequencer interface {
+	// ExecuteAt schedules fn like Scheduler.Execute, recording that it
+	// applies commit height h. h = 0 means "not height-attributable"
+	// and is exempt from ordering checks.
+	ExecuteAt(h types.Height, fn func())
+}
+
 // Sync is the inline scheduler: every stage runs immediately on the
 // calling goroutine, preserving the exact call order of the
 // pre-pipeline replica. It is the only scheduler whose behavior is
@@ -115,10 +131,17 @@ func (s *Sync) Ingress(_ types.NodeID, msg types.Message, _ types.TraceContext, 
 // Execute implements Scheduler (inline).
 func (s *Sync) Execute(fn func()) { fn() }
 
+// ExecuteAt implements HeightSequencer (inline: submission order IS
+// height order on the single consensus goroutine).
+func (s *Sync) ExecuteAt(_ types.Height, fn func()) { fn() }
+
 // Egress implements Scheduler (inline).
 func (s *Sync) Egress(fn func()) { fn() }
 
 // Stop implements Scheduler.
 func (s *Sync) Stop() {}
 
-var _ Scheduler = (*Sync)(nil)
+var (
+	_ Scheduler       = (*Sync)(nil)
+	_ HeightSequencer = (*Sync)(nil)
+)

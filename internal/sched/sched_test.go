@@ -206,3 +206,45 @@ func TestPooledConcurrentSubmitters(t *testing.T) {
 	}
 	p.Stop()
 }
+
+// TestPooledExecuteAtCountsRegressions: heights handed to the execute
+// lane must be strictly increasing (gaps are fine — snapshot catch-up
+// skips heights); a regression increments the alarm counter but the
+// task still runs.
+func TestPooledExecuteAtCountsRegressions(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPooled(Options{Workers: 2, Obs: reg})
+	defer p.Stop()
+
+	ran := make(chan types.Height, 16)
+	submit := func(h types.Height) {
+		p.ExecuteAt(h, func() { ran <- h })
+	}
+	// Monotone with a gap (1, 2, 5) then regressions (5 repeat, 3), then
+	// height-0 tasks, which are exempt from ordering checks.
+	for _, h := range []types.Height{1, 2, 5, 5, 3, 0, 0} {
+		submit(h)
+	}
+	for i := 0; i < 7; i++ {
+		select {
+		case <-ran:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/7 tasks ran", i)
+		}
+	}
+	v, ok := reg.Value("achilles_sched_execute_height_regressions_total")
+	if !ok || v != 2 {
+		t.Fatalf("regression counter = %v (present=%v), want 2", v, ok)
+	}
+	// The high-water mark is unchanged by the regressions: height 4 is
+	// still "new" only if above 5 — submit 6 and confirm no new alarm.
+	submit(6)
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("height-6 task never ran")
+	}
+	if v, _ := reg.Value("achilles_sched_execute_height_regressions_total"); v != 2 {
+		t.Fatalf("regression counter moved to %v after monotone submit", v)
+	}
+}

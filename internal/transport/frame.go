@@ -48,18 +48,53 @@ func RegisterMessages(msgs ...types.Message) {
 	}
 }
 
-// encodeFrame encodes one length-prefixed frame into a single buffer,
-// so the transport issues exactly one Write per frame. Besides saving
-// a syscall, this is what lets a fault injector drop a whole frame
-// without corrupting the stream framing.
-func encodeFrame(f *frame) ([]byte, error) {
-	buf := frameBuffer{buf: make([]byte, 4, 512)}
+// fastFrameFlag marks a frame body encoded with the pooled binary
+// codec (types/wirefast.go) instead of gob. MaxFrameSize is far below
+// 2^31, so the length prefix's high bit is free to carry it; peers
+// predating the flag would reject such frames as oversized rather
+// than misparse them.
+const fastFrameFlag = 0x80000000
+
+// encodeFrame encodes one length-prefixed frame into a single pooled
+// buffer, so the transport issues exactly one Write per frame and
+// returns the buffer to the pool afterwards (releaseFrameBuf).
+// Hot-path messages implementing types.FastWireMessage take the
+// hand-rolled binary codec — no reflection, no per-frame allocation
+// beyond the message itself — and set fastFrameFlag in the length
+// word; everything else goes through gob. Besides saving a syscall,
+// the single-buffer write is what lets a fault injector drop a whole
+// frame without corrupting the stream framing.
+func encodeFrame(f *frame) (*[]byte, error) {
+	bp := types.GetWireBuf()
+	if fm, ok := f.Msg.(types.FastWireMessage); ok && types.FastWireDecoder(fm.WireTag()) != nil {
+		b := append(*bp, 0, 0, 0, 0)
+		b = types.WireAppendU32(b, uint32(f.From))
+		b = types.WireAppendU64(b, f.Trace.Pack())
+		b = types.WireAppendU8(b, fm.WireTag())
+		b = fm.AppendWire(b)
+		if len(b)-4 > MaxFrameSize {
+			*bp = b
+			types.PutWireBuf(bp)
+			return nil, errors.New("transport: frame exceeds MaxFrameSize")
+		}
+		binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4)|fastFrameFlag)
+		*bp = b
+		return bp, nil
+	}
+	buf := frameBuffer{buf: append(*bp, 0, 0, 0, 0)}
 	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		*bp = buf.buf
+		types.PutWireBuf(bp)
 		return nil, err
 	}
 	binary.BigEndian.PutUint32(buf.buf[:4], uint32(len(buf.buf)-4))
-	return buf.buf, nil
+	*bp = buf.buf
+	return bp, nil
 }
+
+// releaseFrameBuf returns an encodeFrame buffer to the pool once its
+// bytes are on the wire (or abandoned).
+func releaseFrameBuf(bp *[]byte) { types.PutWireBuf(bp) }
 
 // WriteFrame writes one length-prefixed frame carrying msg attributed
 // to from. It is the transport's wire format, exported for tooling and
@@ -67,11 +102,12 @@ func encodeFrame(f *frame) ([]byte, error) {
 // performs no validation: test adversaries use it to put structurally
 // invalid messages on the wire.
 func WriteFrame(w io.Writer, from types.NodeID, msg types.Message) error {
-	b, err := encodeFrame(&frame{From: from, Msg: msg})
+	bp, err := encodeFrame(&frame{From: from, Msg: msg})
 	if err != nil {
 		return err
 	}
-	_, err = w.Write(b)
+	_, err = w.Write(*bp)
+	releaseFrameBuf(bp)
 	return err
 }
 
@@ -101,22 +137,70 @@ func readFrame(r io.Reader) (*frame, int, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, 0, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	word := binary.BigEndian.Uint32(hdr[:])
+	fast := word&fastFrameFlag != 0
+	n := word &^ fastFrameFlag
 	if n > MaxFrameSize {
 		// The claimed length cannot be trusted, so the stream cannot be
 		// resynchronized: this is fatal, not an ErrBadFrame.
 		return nil, 4, errors.New("transport: oversized frame")
 	}
-	buf := make([]byte, n)
+	// The body buffer is pooled: both decoders copy out every byte the
+	// decoded message keeps, so the buffer goes straight back.
+	bp := types.GetWireBuf()
+	var buf []byte
+	if cap(*bp) >= int(n) {
+		buf = (*bp)[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
+		*bp = buf
+		types.PutWireBuf(bp)
 		return nil, 4, err
 	}
 	consumed := int(n) + 4
-	f, err := decodeFrameBody(buf)
+	var f *frame
+	var err error
+	if fast {
+		f, err = decodeFastFrameBody(buf)
+	} else {
+		f, err = decodeFrameBody(buf)
+	}
+	*bp = buf
+	types.PutWireBuf(bp)
 	if err != nil {
 		return nil, consumed, err
 	}
 	return f, consumed, nil
+}
+
+// decodeFastFrameBody decodes a frame body written by the fast binary
+// codec. All errors wrap ErrBadFrame, exactly as for gob bodies.
+func decodeFastFrameBody(buf []byte) (*frame, error) {
+	r := types.NewWireReader(buf)
+	var f frame
+	f.From = types.NodeID(int32(r.U32()))
+	f.Trace = types.UnpackTraceContext(r.U64())
+	tag := r.U8()
+	if r.Err() {
+		return nil, fmt.Errorf("%w: truncated fast frame header", ErrBadFrame)
+	}
+	dec := types.FastWireDecoder(tag)
+	if dec == nil {
+		return nil, fmt.Errorf("%w: unknown fast frame tag 0x%02x", ErrBadFrame, tag)
+	}
+	msg, err := dec(r)
+	if err != nil || r.Err() || r.Len() != 0 {
+		return nil, fmt.Errorf("%w: malformed fast frame body (tag 0x%02x)", ErrBadFrame, tag)
+	}
+	f.Msg = msg
+	if v, ok := f.Msg.(types.WireValidator); ok {
+		if err := v.ValidateWire(); err != nil {
+			return nil, fmt.Errorf("%w: %s %v", ErrBadFrame, frameType(&f), err)
+		}
+	}
+	return &f, nil
 }
 
 // decodeFrameBody decodes and validates one frame body. All errors

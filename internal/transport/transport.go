@@ -651,13 +651,16 @@ func (rt *Runtime) replyLoop(id types.NodeID, conn net.Conn, ch chan *frame) {
 			st.sendDrops.Add(1)
 			continue
 		}
-		b, err := encodeFrame(f)
+		bp, err := encodeFrame(f)
 		if err != nil {
 			rt.logf("encode %s: %v", frameType(f), err)
 			continue
 		}
-		if _, err := conn.Write(b); err != nil {
-			rt.logf("reply to %v: %v", id, err)
+		n := len(*bp)
+		_, werr := conn.Write(*bp)
+		releaseFrameBuf(bp)
+		if werr != nil {
+			rt.logf("reply to %v: %v", id, werr)
 			st.sendDrops.Add(1)
 			// Force eviction through the connection's readLoop.
 			conn.Close()
@@ -665,7 +668,7 @@ func (rt *Runtime) replyLoop(id types.NodeID, conn net.Conn, ch chan *frame) {
 			continue
 		}
 		st.sent.Add(1)
-		st.bytesSent.Add(uint64(len(b)))
+		st.bytesSent.Add(uint64(n))
 	}
 }
 
@@ -819,20 +822,23 @@ func (rt *Runtime) writeLoop(id types.NodeID, addr string, d *dialer) {
 	// connection is dropped (the frame is lost — consensus protocols
 	// tolerate message loss, and the next send reconnects).
 	write := func(f *frame) {
-		b, err := encodeFrame(f)
+		bp, err := encodeFrame(f)
 		if err != nil {
 			rt.logf("encode %s: %v", frameType(f), err)
 			return
 		}
-		if _, err := conn.Write(b); err != nil {
-			rt.logf("write to %v (%s): %v", id, addr, err)
+		n := len(*bp)
+		_, werr := conn.Write(*bp)
+		releaseFrameBuf(bp)
+		if werr != nil {
+			rt.logf("write to %v (%s): %v", id, addr, werr)
 			conn.Close()
 			conn = nil
 			st.sendDrops.Add(1)
 			return
 		}
 		st.sent.Add(1)
-		st.bytesSent.Add(uint64(len(b)))
+		st.bytesSent.Add(uint64(n))
 	}
 
 	// connect dials until it succeeds and the handshake is written, or
@@ -844,7 +850,9 @@ func (rt *Runtime) writeLoop(id types.NodeID, addr string, d *dialer) {
 			if err == nil {
 				hb, herr := encodeFrame(rt.helloFrame())
 				if herr == nil {
-					if _, werr := c.Write(hb); werr == nil {
+					_, werr := c.Write(*hb)
+					releaseFrameBuf(hb)
+					if werr == nil {
 						conn = c
 						st.connects.Add(1)
 						// Connections are bidirectional: replies (e.g.

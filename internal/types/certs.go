@@ -56,37 +56,45 @@ func (k CertKind) String() string {
 	return "UNKNOWN"
 }
 
-// BlockCert is the block certificate φ_b = ⟨PROP, h, v⟩σ created by the
-// leader's CHECKER in the COMMIT phase; it proves the leader proposed
-// exactly one block for view v.
+// BlockCert is the block certificate φ_b = ⟨PROP, h, v, ht⟩σ created by
+// the leader's CHECKER in the COMMIT phase; it proves the leader
+// proposed exactly one block per chain position in view v. Height is
+// signed so a verifying CHECKER can trust the block's chain position
+// without trusting its own (untrusted) host: with chained pipelining a
+// single view certifies several heights and the prepared-state ordering
+// is lexicographic on (view, height).
 type BlockCert struct {
 	Hash   Hash
 	View   View
+	Height Height
 	Signer NodeID
 	Sig    Signature
 }
 
-// WireSize returns the certificate's size on the wire.
+// WireSize returns the certificate's nominal size on the wire (the
+// height rides inside the 8-byte view word budget).
 func (c *BlockCert) WireSize() int { return 32 + 8 + 4 + SigSize }
 
-// StoreCert is the store certificate φ_s = ⟨COMMIT, h, v⟩σ a node's
+// StoreCert is the store certificate φ_s = ⟨COMMIT, h, v, ht⟩σ a node's
 // CHECKER emits after storing the leader's block.
 type StoreCert struct {
 	Hash   Hash
 	View   View
+	Height Height
 	Signer NodeID
 	Sig    Signature
 }
 
-// WireSize returns the certificate's size on the wire.
+// WireSize returns the certificate's nominal size on the wire.
 func (c *StoreCert) WireSize() int { return 32 + 8 + 4 + SigSize }
 
-// CommitCert is the commitment certificate φ_c = ⟨DECIDE, h, v⟩σ⃗f+1:
+// CommitCert is the commitment certificate φ_c = ⟨DECIDE, h, v, ht⟩σ⃗f+1:
 // f+1 store certificates combined by the leader. At least one signer is
 // correct and therefore holds the block.
 type CommitCert struct {
 	Hash    Hash
 	View    View
+	Height  Height
 	Signers []NodeID
 	Sigs    []Signature
 }
@@ -100,9 +108,10 @@ func (c *CommitCert) WireSize() int { return 32 + 8 + len(c.Signers)*(4+SigSize)
 // the accumulator was generated for, which TEEprepare checks against
 // its own view counter (Algorithm 2, line 8).
 type AccCert struct {
-	Hash    Hash // hash of the parent block to extend
-	View    View // view at which the parent block was produced
-	CurView View // view the accumulator authorizes a proposal for
+	Hash    Hash   // hash of the parent block to extend
+	View    View   // view at which the parent block was produced
+	Height  Height // chain height of the parent block
+	CurView View   // view the accumulator authorizes a proposal for
 	IDs     []NodeID
 	Signer  NodeID
 	Sig     Signature
@@ -115,11 +124,12 @@ func (c *AccCert) WireSize() int { return 32 + 8 + 8 + len(c.IDs)*4 + 4 + SigSiz
 // by TEEview when a node enters view v'; (h, v) identify its latest
 // stored block. v' prevents stale certificates from being replayed.
 type ViewCert struct {
-	PrepHash Hash
-	PrepView View
-	CurView  View
-	Signer   NodeID
-	Sig      Signature
+	PrepHash   Hash
+	PrepView   View
+	PrepHeight Height
+	CurView    View
+	Signer     NodeID
+	Sig        Signature
 }
 
 // WireSize returns the certificate's size on the wire.
@@ -140,13 +150,14 @@ func (c *RecoveryReq) WireSize() int { return 8 + 4 + SigSize }
 // CHECKER attests its current view and latest stored block to the
 // recovering node k.
 type RecoveryRpy struct {
-	PrepHash Hash
-	PrepView View
-	CurView  View
-	Target   NodeID
-	Nonce    uint64
-	Signer   NodeID
-	Sig      Signature
+	PrepHash   Hash
+	PrepView   View
+	PrepHeight Height
+	CurView    View
+	Target     NodeID
+	Nonce      uint64
+	Signer     NodeID
+	Sig        Signature
 }
 
 // WireSize returns the certificate's size on the wire.
@@ -172,10 +183,20 @@ func payload(kind CertKind, h Hash, words ...uint64) []byte {
 }
 
 // BlockCertPayload returns the bytes signed in a block certificate.
-func BlockCertPayload(h Hash, v View) []byte { return payload(KindProp, h, uint64(v)) }
+// The height word binds the block's chain position into the trusted
+// signature: under chained pipelining prepared state is ordered
+// lexicographically on (view, height), so the height a CHECKER adopts
+// must be attested by the proposing CHECKER, not by the untrusted host.
+// Protocols without a height notion (Damysus, OneShot, FlexiBFT) pass 0
+// consistently.
+func BlockCertPayload(h Hash, v View, ht Height) []byte {
+	return payload(KindProp, h, uint64(v), uint64(ht))
+}
 
 // StoreCertPayload returns the bytes signed in a store certificate.
-func StoreCertPayload(h Hash, v View) []byte { return payload(KindStore, h, uint64(v)) }
+func StoreCertPayload(h Hash, v View, ht Height) []byte {
+	return payload(KindStore, h, uint64(v), uint64(ht))
+}
 
 // PrepareCertPayload returns the bytes signed in a Damysus/OneShot
 // prepare vote.
@@ -183,8 +204,8 @@ func PrepareCertPayload(h Hash, v View) []byte { return payload(KindPrepare, h, 
 
 // AccCertPayload returns the bytes signed in an accumulator
 // certificate.
-func AccCertPayload(h Hash, v, cur View, ids []NodeID) []byte {
-	b := payload(KindAcc, h, uint64(v), uint64(cur))
+func AccCertPayload(h Hash, v View, ht Height, cur View, ids []NodeID) []byte {
+	b := payload(KindAcc, h, uint64(v), uint64(ht), uint64(cur))
 	var w [4]byte
 	for _, id := range ids {
 		binary.BigEndian.PutUint32(w[:], uint32(id))
@@ -194,14 +215,14 @@ func AccCertPayload(h Hash, v, cur View, ids []NodeID) []byte {
 }
 
 // ViewCertPayload returns the bytes signed in a view certificate.
-func ViewCertPayload(h Hash, v, cur View) []byte {
-	return payload(KindNewView, h, uint64(v), uint64(cur))
+func ViewCertPayload(h Hash, v View, ht Height, cur View) []byte {
+	return payload(KindNewView, h, uint64(v), uint64(ht), uint64(cur))
 }
 
 // RecoveryReqPayload returns the bytes signed in a recovery request.
 func RecoveryReqPayload(nonce uint64) []byte { return payload(KindRecoveryReq, ZeroHash, nonce) }
 
 // RecoveryRpyPayload returns the bytes signed in a recovery reply.
-func RecoveryRpyPayload(h Hash, prepv, cur View, target NodeID, nonce uint64) []byte {
-	return payload(KindRecoveryRpy, h, uint64(prepv), uint64(cur), uint64(target), nonce)
+func RecoveryRpyPayload(h Hash, prepv View, ht Height, cur View, target NodeID, nonce uint64) []byte {
+	return payload(KindRecoveryRpy, h, uint64(prepv), uint64(ht), uint64(cur), uint64(target), nonce)
 }

@@ -175,6 +175,29 @@ func DecodeReconfigTx(p []byte) (*Reconfig, bool) {
 	return rc, true
 }
 
+// EpochTransition is the transferable proof of one epoch transition
+// e → e+1: the committed Reconfig command, the hash-linked run of
+// blocks from the block carrying it up to a directly certified block,
+// and that block's commit certificate, whose f+1 quorum signs under
+// epoch e's ring. Everything needed to check it is epoch e's
+// configuration, so a chain of transitions lets a node that slept
+// through any number of reconfigurations walk its trust forward hop by
+// hop — the cross-epoch snapshot catch-up path (DESIGN.md §10).
+//
+// The verifier re-runs exactly the authorization checks the live
+// commit path runs (signer is a member of e, signature verifies under
+// e's ring, Apply succeeds); what it cannot reconstruct is the live
+// path's "first valid command wins" arbitration, so the walk is
+// additionally pinned to the serving cluster's final config hash.
+type EpochTransition struct {
+	// Epoch is the epoch this transition activates (e+1).
+	Epoch Epoch
+	Rc    *Reconfig
+	// Blocks[0] carries Rc; Blocks[len-1] is certified by CC.
+	Blocks []*Block
+	CC     *CommitCert
+}
+
 // Membership is one epoch's replica-set configuration: the member
 // identities (ascending), their marshalled ring keys, and (on the live
 // path) their transport addresses. ActivateAt is the committed height

@@ -142,13 +142,13 @@ func TestCertPayloadsDistinct(t *testing.T) {
 	h := HashBytes([]byte("block"))
 	v := View(7)
 	payloads := map[string][]byte{
-		"block":   BlockCertPayload(h, v),
-		"store":   StoreCertPayload(h, v),
+		"block":   BlockCertPayload(h, v, 3),
+		"store":   StoreCertPayload(h, v, 3),
 		"prepare": PrepareCertPayload(h, v),
-		"view":    ViewCertPayload(h, v, v),
-		"acc":     AccCertPayload(h, v, v, []NodeID{1, 2}),
+		"view":    ViewCertPayload(h, v, 3, v),
+		"acc":     AccCertPayload(h, v, 3, v, []NodeID{1, 2}),
 		"req":     RecoveryReqPayload(7),
-		"rpy":     RecoveryRpyPayload(h, v, v, 1, 7),
+		"rpy":     RecoveryRpyPayload(h, v, 3, v, 1, 7),
 	}
 	for a, pa := range payloads {
 		for b, pb := range payloads {
@@ -163,23 +163,35 @@ func TestCertPayloadsDistinct(t *testing.T) {
 // influence the signed bytes.
 func TestCertPayloadFieldSensitivity(t *testing.T) {
 	h1, h2 := HashBytes([]byte("a")), HashBytes([]byte("b"))
-	if bytes.Equal(BlockCertPayload(h1, 1), BlockCertPayload(h2, 1)) {
+	if bytes.Equal(BlockCertPayload(h1, 1, 1), BlockCertPayload(h2, 1, 1)) {
 		t.Fatal("hash not covered")
 	}
-	if bytes.Equal(BlockCertPayload(h1, 1), BlockCertPayload(h1, 2)) {
+	if bytes.Equal(BlockCertPayload(h1, 1, 1), BlockCertPayload(h1, 2, 1)) {
 		t.Fatal("view not covered")
 	}
-	if bytes.Equal(ViewCertPayload(h1, 1, 5), ViewCertPayload(h1, 1, 6)) {
+	if bytes.Equal(BlockCertPayload(h1, 1, 1), BlockCertPayload(h1, 1, 2)) {
+		t.Fatal("height not covered")
+	}
+	if bytes.Equal(ViewCertPayload(h1, 1, 2, 5), ViewCertPayload(h1, 1, 2, 6)) {
 		t.Fatal("current view not covered in view cert")
 	}
-	if bytes.Equal(AccCertPayload(h1, 1, 2, []NodeID{1}), AccCertPayload(h1, 1, 2, []NodeID{2})) {
+	if bytes.Equal(ViewCertPayload(h1, 1, 2, 5), ViewCertPayload(h1, 1, 3, 5)) {
+		t.Fatal("prepared height not covered in view cert")
+	}
+	if bytes.Equal(AccCertPayload(h1, 1, 7, 2, []NodeID{1}), AccCertPayload(h1, 1, 7, 2, []NodeID{2})) {
 		t.Fatal("ids not covered in acc cert")
 	}
-	if bytes.Equal(RecoveryRpyPayload(h1, 1, 2, 3, 4), RecoveryRpyPayload(h1, 1, 2, 3, 5)) {
+	if bytes.Equal(AccCertPayload(h1, 1, 7, 2, []NodeID{1}), AccCertPayload(h1, 1, 8, 2, []NodeID{1})) {
+		t.Fatal("height not covered in acc cert")
+	}
+	if bytes.Equal(RecoveryRpyPayload(h1, 1, 6, 2, 3, 4), RecoveryRpyPayload(h1, 1, 6, 2, 3, 5)) {
 		t.Fatal("nonce not covered in recovery reply")
 	}
-	if bytes.Equal(RecoveryRpyPayload(h1, 1, 2, 3, 4), RecoveryRpyPayload(h1, 1, 2, 9, 4)) {
+	if bytes.Equal(RecoveryRpyPayload(h1, 1, 6, 2, 3, 4), RecoveryRpyPayload(h1, 1, 6, 2, 9, 4)) {
 		t.Fatal("target not covered in recovery reply")
+	}
+	if bytes.Equal(RecoveryRpyPayload(h1, 1, 6, 2, 3, 4), RecoveryRpyPayload(h1, 1, 7, 2, 3, 4)) {
+		t.Fatal("prepared height not covered in recovery reply")
 	}
 }
 
